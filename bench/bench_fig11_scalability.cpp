@@ -1,0 +1,184 @@
+/// \file bench_fig11_scalability.cpp
+/// \brief Reproduces **Figure 11**: ABS-workload throughput for
+/// confidential transactions as the consortium scales.
+///
+/// Sweeps: nodes ∈ {4,8,12,16,20} × execution threads ∈ {1,4,6} ×
+/// network ∈ {single zone, two zones (Shanghai/Beijing 1:2)}.
+///
+/// Paper shape: throughput stays flat as nodes grow within one zone;
+/// 4-way parallel execution is ~2× over 1-way and 6-way adds little
+/// more; the two-zone deployment degrades with node count (WAN consensus
+/// latency).
+///
+/// Per-block time = k-way execution makespan + PBFT ordering latency
+/// (message-level DES with sender-NIC serialization) + the ~6 ms
+/// cloud-SSD block write (§6.4).
+///
+/// Substitution note: this host has a single CPU core, so k-way
+/// parallelism cannot be observed as wall time. Each transaction is
+/// executed (really, through the enclave) and timed individually; the
+/// block's k-way makespan is then computed by LPT scheduling of the
+/// conflict groups the engine reports — the same groups the parallel
+/// BlockExecutor uses on real multicore hosts.
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "bench/bench_util.h"
+#include "chain/pbft.h"
+
+using namespace confide;
+using namespace confide::bench;
+
+namespace {
+
+constexpr int kAbsInstances = 8;   // spread txs across contracts so the
+                                   // conflict-key scheduler can go wide
+constexpr int kTxTotal = 96;
+constexpr size_t kBlockBytes = 48 * 1024;
+
+// Longest-processing-time makespan of group times on k workers.
+double Makespan(const std::map<uint64_t, double>& group_seconds, uint32_t k) {
+  std::vector<double> groups;
+  for (const auto& [key, secs] : group_seconds) groups.push_back(secs);
+  std::sort(groups.rbegin(), groups.rend());
+  std::priority_queue<double, std::vector<double>, std::greater<double>> workers;
+  for (uint32_t i = 0; i < k; ++i) workers.push(0.0);
+  for (double g : groups) {
+    double load = workers.top();
+    workers.pop();
+    workers.push(load + g);
+  }
+  double makespan = 0;
+  while (!workers.empty()) {
+    makespan = workers.top();
+    workers.pop();
+  }
+  return makespan;
+}
+
+double RunConfig(core::ConfideSystem* sys, core::Client* client, size_t n_nodes,
+                 uint32_t threads, bool two_zone) {
+  crypto::Drbg rng(7);
+  std::vector<chain::Transaction> txs;
+  for (int i = 0; i < kTxTotal; ++i) {
+    std::string name = "abs-" + std::to_string(i % kAbsInstances);
+    auto sub = client->MakeConfidentialTx(chain::NamedAddress(name), "abs_transfer",
+                                          workloads::MakeAbsAssetFlat(&rng, i));
+    txs.push_back(sub->tx);
+  }
+  auto* engine = sys->confidential_engine();
+  for (const chain::Transaction& tx : txs) (void)engine->PreVerify(tx);
+
+  chain::NetworkSim net = two_zone ? chain::NetworkSim::TwoZone(n_nodes)
+                                   : chain::NetworkSim::SingleZone(n_nodes);
+
+  // Partition into blocks by byte budget, as ProposeBlock would.
+  chain::CommitStateDb* state = sys->node()->state();
+  double total_seconds = 0;
+  size_t executed = 0;
+  size_t pos = 0;
+  while (pos < txs.size()) {
+    size_t block_bytes = 0;
+    std::map<uint64_t, double> group_seconds;
+    size_t begin = pos;
+    while (pos < txs.size()) {
+      size_t tx_bytes = txs[pos].Serialize().size();
+      if (pos > begin && block_bytes + tx_bytes > kBlockBytes) break;
+      block_bytes += tx_bytes;
+      const chain::Transaction& tx = txs[pos];
+      double secs = TimeSeconds([&] {
+        auto receipt = engine->Execute(tx, state);
+        if (!receipt.ok() || !receipt->success) std::abort();
+      });
+      group_seconds[engine->ConflictKey(tx)] += secs;
+      ++executed;
+      ++pos;
+    }
+    (void)state->Commit();
+    double exec_seconds = Makespan(group_seconds, threads);
+    uint64_t consensus_ns =
+        chain::SimulatePbftRound(net, 0, block_bytes).quorum_commit_ns;
+    total_seconds += exec_seconds + double(consensus_ns) / 1e9 + 0.006;
+  }
+  return double(executed) / total_seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 11: scalability with the ABS workload (tx/s) ==\n");
+  std::printf("%d confidential ABS transfers per config; per-block time = "
+              "exec makespan(k) + PBFT(DES) + 6ms SSD write\n\n",
+              kTxTotal);
+
+  // One system serves all configs (execution cost does not depend on the
+  // simulated cluster size; consensus does).
+  core::SystemOptions options;
+  options.seed = 40'000;
+  options.block_max_bytes = kBlockBytes;
+  auto sys = MustBootstrap(options);
+  core::Client client(5, sys->pk_tx());
+  for (int i = 0; i < kAbsInstances; ++i) {
+    std::string name = "abs-" + std::to_string(i);
+    MustDeploy(sys.get(), &client, name, workloads::AbsContractSource(), true);
+    MustCall(sys.get(), &client, name, "abs_seed_whitelist", Bytes{});
+  }
+
+  const size_t kNodes[] = {4, 8, 12, 16, 20};
+  struct Series {
+    const char* label;
+    uint32_t threads;
+    bool two_zone;
+  };
+  const Series kSeries[] = {
+      {"1-thread", 1, false},
+      {"4-thread", 4, false},
+      {"6-thread", 6, false},
+      {"2-zones(4thr)", 4, true},
+  };
+
+  std::printf("%-15s", "nodes");
+  for (size_t n : kNodes) std::printf("%10zu", n);
+  std::printf("\n");
+
+  double tps[4][5];
+  for (size_t s = 0; s < 4; ++s) {
+    std::printf("%-15s", kSeries[s].label);
+    for (size_t ni = 0; ni < 5; ++ni) {
+      tps[s][ni] = RunConfig(sys.get(), &client, kNodes[ni], kSeries[s].threads,
+                             kSeries[s].two_zone);
+      std::printf("%10.1f", tps[s][ni]);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nshape checks (paper Figure 11):\n");
+  bool flat = true;
+  for (size_t s = 0; s < 3; ++s) {
+    double lo = tps[s][0], hi = tps[s][0];
+    for (size_t ni = 1; ni < 5; ++ni) {
+      lo = std::min(lo, tps[s][ni]);
+      hi = std::max(hi, tps[s][ni]);
+    }
+    bool this_flat = hi / lo < 1.6;
+    std::printf("  %-15s flat across 4..20 nodes: %s (max/min %.2f)\n",
+                kSeries[s].label, this_flat ? "yes" : "NO", hi / lo);
+    flat = flat && this_flat;
+  }
+  double speedup4 = tps[1][0] / tps[0][0];
+  double speedup6 = tps[2][0] / tps[1][0];
+  std::printf("  4-way vs 1-way speedup: %.2fx (paper: ~2x)\n", speedup4);
+  std::printf("  6-way vs 4-way speedup: %.2fx (paper: ~1x, no further gain)\n",
+              speedup6);
+  bool zone_degrades = tps[3][4] < tps[3][0] * 0.9 && tps[3][4] < tps[1][4];
+  std::printf("  two-zone degrades with node count and vs single zone: %s "
+              "(%.1f -> %.1f tx/s)\n",
+              zone_degrades ? "yes" : "NO", tps[3][0], tps[3][4]);
+
+  bool ok = flat && speedup4 > 1.4 && speedup6 < 1.35 && zone_degrades;
+  std::printf("overall: %s\n", ok ? "PASS" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,202 @@
+/// \file bench_overhead_decomposition.cpp
+/// \brief Micro-decomposition of the confidentiality overheads (§6.1):
+/// the workload-independent T-Protocol cost, the workload-dependent
+/// D-Protocol state crypto, enclave-boundary crossings (copy vs
+/// user_check marshalling, §5.3), EPC paging, and the exit-less monitor
+/// vs ocall-based monitoring ablation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/sim_clock.h"
+#include "confide/protocol.h"
+#include "crypto/drbg.h"
+#include "tee/enclave.h"
+
+using namespace confide;
+
+namespace {
+
+// --- T-Protocol (workload-independent, "fixed overhead") -------------------
+
+void BM_TProtocol_SealEnvelope(benchmark::State& state) {
+  crypto::Drbg rng(1);
+  crypto::KeyPair kp = crypto::GenerateKeyPair(&rng);
+  Bytes raw = rng.Generate(size_t(state.range(0)));
+  core::TxKey k_tx{};
+  uint64_t entropy = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SealEnvelope(kp.pub, k_tx, raw, ++entropy));
+  }
+}
+BENCHMARK(BM_TProtocol_SealEnvelope)->Arg(300)->Arg(4096);
+
+void BM_TProtocol_OpenEnvelope_PrivateKeyPath(benchmark::State& state) {
+  crypto::Drbg rng(2);
+  crypto::KeyPair kp = crypto::GenerateKeyPair(&rng);
+  core::TxKey k_tx{};
+  auto envelope = core::SealEnvelope(kp.pub, k_tx, rng.Generate(300), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::OpenEnvelope(kp.priv, *envelope));
+  }
+}
+BENCHMARK(BM_TProtocol_OpenEnvelope_PrivateKeyPath);
+
+void BM_TProtocol_OpenEnvelope_CachedSymmetricPath(benchmark::State& state) {
+  // The §5.2 C3 path: k_tx from the pre-verification cache.
+  crypto::Drbg rng(3);
+  crypto::KeyPair kp = crypto::GenerateKeyPair(&rng);
+  core::TxKey k_tx{};
+  k_tx[0] = 1;
+  auto envelope = core::SealEnvelope(kp.pub, k_tx, rng.Generate(300), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::OpenEnvelopeBody(k_tx, *envelope));
+  }
+}
+BENCHMARK(BM_TProtocol_OpenEnvelope_CachedSymmetricPath);
+
+// --- D-Protocol (workload-dependent: per state I/O) -------------------------
+
+void BM_DProtocol_SealState(benchmark::State& state) {
+  core::StateKey k{};
+  crypto::Drbg(4).Fill(k.data(), 32);
+  Bytes value = crypto::Drbg(5).Generate(size_t(state.range(0)));
+  Bytes aad = core::StateAad(AsByteView("contract"), AsByteView("key"), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SealState(k, value, aad));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DProtocol_SealState)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_DProtocol_OpenState(benchmark::State& state) {
+  core::StateKey k{};
+  crypto::Drbg(6).Fill(k.data(), 32);
+  Bytes value = crypto::Drbg(7).Generate(size_t(state.range(0)));
+  Bytes aad = core::StateAad(AsByteView("contract"), AsByteView("key"), 1);
+  auto sealed = core::SealState(k, value, aad);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::OpenState(k, *sealed, aad));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DProtocol_OpenState)->Arg(64)->Arg(1024)->Arg(4096);
+
+// --- Enclave boundary -------------------------------------------------------
+
+class EchoEnclave : public tee::Enclave {
+ public:
+  std::string CodeIdentity() const override { return "bench-echo"; }
+  Result<Bytes> HandleEcall(uint64_t fn, ByteView input,
+                            tee::EnclaveContext* ctx) override {
+    if (fn == 2) ctx->MonitorEmit(0, "tick");
+    if (fn == 3) ctx->MonitorEmitViaOcall(0, "tick");
+    return ToBytes(input.first(std::min<size_t>(input.size(), 8)));
+  }
+};
+
+struct BoundaryFixture {
+  SimClock clock;
+  tee::EnclavePlatform platform{tee::TeeCostModel{}, &clock, 1};
+  tee::EnclaveId id = 0;
+  BoundaryFixture() {
+    id = *platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  }
+};
+
+void BM_Ecall_CopyInOut(benchmark::State& state) {
+  BoundaryFixture fx;
+  Bytes payload(size_t(state.range(0)), 0xAA);
+  uint64_t modeled_start = fx.clock.NowNs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.platform.Ecall(fx.id, 1, payload, tee::PointerSemantics::kCopyInOut));
+  }
+  state.counters["modeled_ns/op"] = benchmark::Counter(
+      double(fx.clock.NowNs() - modeled_start) / double(state.iterations()));
+}
+BENCHMARK(BM_Ecall_CopyInOut)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Ecall_UserCheck(benchmark::State& state) {
+  // §5.3 "optimized data structure": the user_check flag skips the
+  // Edger8r copy+check marshalling.
+  BoundaryFixture fx;
+  Bytes payload(size_t(state.range(0)), 0xAA);
+  uint64_t modeled_start = fx.clock.NowNs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.platform.Ecall(fx.id, 1, payload, tee::PointerSemantics::kUserCheck));
+  }
+  state.counters["modeled_ns/op"] = benchmark::Counter(
+      double(fx.clock.NowNs() - modeled_start) / double(state.iterations()));
+}
+BENCHMARK(BM_Ecall_UserCheck)->Arg(64)->Arg(4096)->Arg(65536);
+
+// --- Monitor: exit-less ring vs ocall ---------------------------------------
+
+void BM_Monitor_Exitless(benchmark::State& state) {
+  BoundaryFixture fx;
+  Bytes payload(8, 0);
+  uint64_t modeled_start = fx.clock.NowNs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.platform.Ecall(fx.id, 2, payload));
+    (void)fx.platform.DrainMonitor();
+  }
+  state.counters["modeled_ns/op"] = benchmark::Counter(
+      double(fx.clock.NowNs() - modeled_start) / double(state.iterations()));
+}
+BENCHMARK(BM_Monitor_Exitless);
+
+void BM_Monitor_ViaOcall(benchmark::State& state) {
+  BoundaryFixture fx;
+  Bytes payload(8, 0);
+  uint64_t modeled_start = fx.clock.NowNs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.platform.Ecall(fx.id, 3, payload));
+    (void)fx.platform.DrainMonitor();
+  }
+  state.counters["modeled_ns/op"] = benchmark::Counter(
+      double(fx.clock.NowNs() - modeled_start) / double(state.iterations()));
+}
+BENCHMARK(BM_Monitor_ViaOcall);
+
+// --- EPC paging --------------------------------------------------------------
+
+void BM_Epc_WithinBudget(benchmark::State& state) {
+  tee::TeeCostModel model;
+  SimClock clock;
+  tee::TeeStats stats;
+  tee::EpcManager epc(model, &clock, &stats);
+  auto a = epc.Allocate(8 << 20);
+  auto b = epc.Allocate(8 << 20);
+  for (auto _ : state) {
+    (void)epc.Touch(*a);
+    (void)epc.Touch(*b);
+  }
+  state.counters["pages_swapped"] =
+      double(stats.pages_evicted.load() + stats.pages_loaded.load());
+}
+BENCHMARK(BM_Epc_WithinBudget);
+
+void BM_Epc_Thrashing(benchmark::State& state) {
+  // Working set of 2x60 MB against the 93.5 MB EPC: every touch faults.
+  tee::TeeCostModel model;
+  SimClock clock;
+  tee::TeeStats stats;
+  tee::EpcManager epc(model, &clock, &stats);
+  auto a = epc.Allocate(60 << 20);
+  auto b = epc.Allocate(60 << 20);
+  uint64_t modeled_start = clock.NowNs();
+  for (auto _ : state) {
+    (void)epc.Touch(*a);
+    (void)epc.Touch(*b);
+  }
+  state.counters["pages_swapped"] =
+      double(stats.pages_evicted.load() + stats.pages_loaded.load());
+  state.counters["modeled_ns/op"] = benchmark::Counter(
+      double(clock.NowNs() - modeled_start) / double(state.iterations()));
+}
+BENCHMARK(BM_Epc_Thrashing);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,275 @@
+#include "ccle/codec.h"
+
+#include "common/endian.h"
+#include "serialize/flatlite.h"
+
+namespace confide::ccle {
+
+namespace {
+
+using serialize::FlatLiteBuilder;
+using serialize::FlatLiteView;
+
+Bytes ScalarBytes(uint64_t v) {
+  Bytes out(8);
+  StoreLe64(out.data(), v);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+class Encoder {
+ public:
+  Encoder(const Schema& schema, FieldCipher* cipher, ByteView context)
+      : schema_(schema), cipher_(cipher), context_(context) {}
+
+  Result<Bytes> EncodeTable(const TableDef& table, const Value& value,
+                            const std::string& path, bool inherited_conf) {
+    if (value.kind() != Value::Kind::kTable) {
+      return Status::InvalidArgument("ccle: expected table value at " + path);
+    }
+    FlatLiteBuilder builder(uint32_t(table.fields.size()));
+    for (const FieldDef& field : table.fields) {
+      const Value* fv = value.FindField(field.name);
+      if (fv == nullptr) continue;  // absent field
+      bool conf = inherited_conf || field.confidential;
+      std::string fpath = path + "." + field.name;
+
+      if (field.is_map) {
+        if (fv->kind() != Value::Kind::kMap) {
+          return Status::InvalidArgument("ccle: expected map at " + fpath);
+        }
+        std::vector<Bytes> encoded_entries;
+        for (const auto& [key, entry_value] : fv->entries()) {
+          FlatLiteBuilder entry(2);
+          entry.SetString(0, key);  // map keys stay public (lookup index)
+          CONFIDE_ASSIGN_OR_RETURN(
+              Bytes elem,
+              EncodeElement(field, entry_value, fpath + "[" + key + "]", conf));
+          entry.SetBytes(1, elem);
+          encoded_entries.push_back(entry.Finish());
+        }
+        builder.SetVector(field.index, encoded_entries);
+      } else if (field.is_vector) {
+        if (fv->kind() != Value::Kind::kVector) {
+          return Status::InvalidArgument("ccle: expected vector at " + fpath);
+        }
+        std::vector<Bytes> encoded;
+        for (size_t i = 0; i < fv->items().size(); ++i) {
+          CONFIDE_ASSIGN_OR_RETURN(
+              Bytes elem,
+              EncodeElement(field, fv->items()[i],
+                            fpath + "[" + std::to_string(i) + "]", conf));
+          encoded.push_back(std::move(elem));
+        }
+        builder.SetVector(field.index, encoded);
+      } else {
+        CONFIDE_ASSIGN_OR_RETURN(Bytes elem, EncodeElement(field, *fv, fpath, conf));
+        // Scalars in plain, non-confidential form use the scalar slot;
+        // everything else is a bytes slot.
+        if (!conf && field.type != FieldType::kTable &&
+            field.type != FieldType::kString) {
+          builder.SetU64(field.index, fv->AsUInt());
+        } else {
+          builder.SetBytes(field.index, elem);
+        }
+      }
+    }
+    return builder.Finish();
+  }
+
+ private:
+  // Encodes one element (scalar / string / nested table), sealing it when
+  // confidential. For tables, confidentiality recurses into the leaves.
+  Result<Bytes> EncodeElement(const FieldDef& field, const Value& value,
+                              const std::string& path, bool conf) {
+    switch (field.type) {
+      case FieldType::kUByte:
+      case FieldType::kUInt:
+      case FieldType::kULong: {
+        if (value.kind() != Value::Kind::kUInt) {
+          return Status::InvalidArgument("ccle: expected scalar at " + path);
+        }
+        Bytes plain = ScalarBytes(value.AsUInt());
+        if (conf) return Seal(plain, path);
+        return plain;
+      }
+      case FieldType::kString: {
+        if (value.kind() != Value::Kind::kString) {
+          return Status::InvalidArgument("ccle: expected string at " + path);
+        }
+        Bytes plain = ToBytes(value.AsString());
+        if (conf) return Seal(plain, path);
+        return plain;
+      }
+      case FieldType::kTable: {
+        const TableDef* nested = schema_.FindTable(field.table_type);
+        if (nested == nullptr) {
+          return Status::Internal("ccle: unresolved table " + field.table_type);
+        }
+        // Recursion carries the confidential bit to nested leaves.
+        return EncodeTable(*nested, value, path, conf);
+      }
+    }
+    return Status::Internal("ccle: unhandled field type");
+  }
+
+  Result<Bytes> Seal(ByteView plain, const std::string& path) {
+    Bytes aad = Concat(context_, AsByteView(path));
+    return cipher_->Encrypt(plain, aad);
+  }
+
+  const Schema& schema_;
+  FieldCipher* cipher_;
+  ByteView context_;
+};
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+class Decoder {
+ public:
+  // cipher == nullptr -> redacted (audit) mode.
+  Decoder(const Schema& schema, FieldCipher* cipher, ByteView context)
+      : schema_(schema), cipher_(cipher), context_(context) {}
+
+  Result<Value> DecodeTable(const TableDef& table, ByteView buffer,
+                            const std::string& path, bool inherited_conf) {
+    CONFIDE_ASSIGN_OR_RETURN(FlatLiteView view, FlatLiteView::Parse(buffer));
+    Value value = Value::Table();
+    for (const FieldDef& field : table.fields) {
+      if (!view.Has(field.index)) continue;
+      bool conf = inherited_conf || field.confidential;
+      std::string fpath = path + "." + field.name;
+
+      if (field.is_map) {
+        CONFIDE_ASSIGN_OR_RETURN(uint32_t count, view.GetVectorSize(field.index));
+        Value map = Value::Map();
+        for (uint32_t i = 0; i < count; ++i) {
+          CONFIDE_ASSIGN_OR_RETURN(ByteView entry_bytes,
+                                   view.GetVectorElement(field.index, i));
+          CONFIDE_ASSIGN_OR_RETURN(FlatLiteView entry, FlatLiteView::Parse(entry_bytes));
+          CONFIDE_ASSIGN_OR_RETURN(std::string_view key, entry.GetString(0));
+          CONFIDE_ASSIGN_OR_RETURN(ByteView elem, entry.GetBytes(1));
+          CONFIDE_ASSIGN_OR_RETURN(
+              Value entry_value,
+              DecodeElement(field, elem, fpath + "[" + std::string(key) + "]", conf));
+          map.SetEntry(std::string(key), std::move(entry_value));
+        }
+        value.SetField(field.name, std::move(map));
+      } else if (field.is_vector) {
+        CONFIDE_ASSIGN_OR_RETURN(uint32_t count, view.GetVectorSize(field.index));
+        Value vec = Value::Vector();
+        for (uint32_t i = 0; i < count; ++i) {
+          CONFIDE_ASSIGN_OR_RETURN(ByteView elem, view.GetVectorElement(field.index, i));
+          CONFIDE_ASSIGN_OR_RETURN(
+              Value item,
+              DecodeElement(field, elem, fpath + "[" + std::to_string(i) + "]", conf));
+          vec.Append(std::move(item));
+        }
+        value.SetField(field.name, std::move(vec));
+      } else if (!conf && field.type != FieldType::kTable &&
+                 field.type != FieldType::kString) {
+        CONFIDE_ASSIGN_OR_RETURN(uint64_t scalar, view.GetU64(field.index));
+        value.SetField(field.name, Value::UInt(scalar));
+      } else {
+        CONFIDE_ASSIGN_OR_RETURN(ByteView elem, view.GetBytes(field.index));
+        CONFIDE_ASSIGN_OR_RETURN(Value item, DecodeElement(field, elem, fpath, conf));
+        value.SetField(field.name, std::move(item));
+      }
+    }
+    return value;
+  }
+
+ private:
+  Result<Value> DecodeElement(const FieldDef& field, ByteView elem,
+                              const std::string& path, bool conf) {
+    if (field.type == FieldType::kTable) {
+      const TableDef* nested = schema_.FindTable(field.table_type);
+      if (nested == nullptr) {
+        return Status::Internal("ccle: unresolved table " + field.table_type);
+      }
+      return DecodeTable(*nested, elem, path, conf);
+    }
+    Bytes plain;
+    if (conf) {
+      if (cipher_ == nullptr) return Value::Redacted();
+      Bytes aad = Concat(context_, AsByteView(path));
+      CONFIDE_ASSIGN_OR_RETURN(plain, cipher_->Decrypt(elem, aad));
+    } else {
+      plain = ToBytes(elem);
+    }
+    if (field.type == FieldType::kString) {
+      return Value::String(ToString(plain));
+    }
+    if (plain.size() != 8) {
+      return Status::Corruption("ccle: scalar payload is not 8 bytes at " + path);
+    }
+    return Value::UInt(LoadLe64(plain.data()));
+  }
+
+  const Schema& schema_;
+  FieldCipher* cipher_;
+  ByteView context_;
+};
+
+size_t CountLeaves(const Schema& schema, const TableDef& table, const Value& value,
+                   bool inherited_conf) {
+  size_t count = 0;
+  for (const FieldDef& field : table.fields) {
+    const Value* fv = value.FindField(field.name);
+    if (fv == nullptr) continue;
+    bool conf = inherited_conf || field.confidential;
+    auto count_element = [&](const Value& element) -> size_t {
+      if (field.type == FieldType::kTable) {
+        const TableDef* nested = schema.FindTable(field.table_type);
+        return nested ? CountLeaves(schema, *nested, element, conf) : 0;
+      }
+      return conf ? 1 : 0;
+    };
+    if (field.is_map) {
+      for (const auto& [key, entry] : fv->entries()) count += count_element(entry);
+    } else if (field.is_vector) {
+      for (const Value& item : fv->items()) count += count_element(item);
+    } else {
+      count += count_element(*fv);
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<Bytes> EncodeSecure(const Schema& schema, const Value& value,
+                           FieldCipher* cipher, ByteView context) {
+  const TableDef* root = schema.FindTable(schema.root_type);
+  if (root == nullptr) return Status::Internal("ccle: schema has no root");
+  Encoder encoder(schema, cipher, context);
+  return encoder.EncodeTable(*root, value, schema.root_type, /*inherited=*/false);
+}
+
+Result<Value> DecodeSecure(const Schema& schema, ByteView buffer,
+                           FieldCipher* cipher, ByteView context) {
+  const TableDef* root = schema.FindTable(schema.root_type);
+  if (root == nullptr) return Status::Internal("ccle: schema has no root");
+  Decoder decoder(schema, cipher, context);
+  return decoder.DecodeTable(*root, buffer, schema.root_type, /*inherited=*/false);
+}
+
+Result<Value> DecodeRedacted(const Schema& schema, ByteView buffer) {
+  const TableDef* root = schema.FindTable(schema.root_type);
+  if (root == nullptr) return Status::Internal("ccle: schema has no root");
+  Decoder decoder(schema, /*cipher=*/nullptr, ByteView{});
+  return decoder.DecodeTable(*root, buffer, schema.root_type, /*inherited=*/false);
+}
+
+size_t CountConfidentialLeaves(const Schema& schema, const Value& value) {
+  const TableDef* root = schema.FindTable(schema.root_type);
+  if (root == nullptr) return 0;
+  return CountLeaves(schema, *root, value, false);
+}
+
+}  // namespace confide::ccle

@@ -1,0 +1,227 @@
+#include "ccle/schema.h"
+
+#include <cctype>
+#include <functional>
+#include <set>
+
+namespace confide::ccle {
+
+namespace {
+
+struct SchemaParser {
+  std::string_view text;
+  size_t pos = 0;
+  int line = 1;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("ccle schema: " + what + " at line " +
+                                   std::to_string(line));
+  }
+
+  void SkipWs() {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos;
+      } else if (c == '/' && pos + 1 < text.size() && text[pos + 1] == '/') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos >= text.size();
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (Consume(c)) return Status::OK();
+    return Error(std::string("expected '") + c + "'");
+  }
+
+  Result<std::string> Ident() {
+    SkipWs();
+    if (pos >= text.size() || !(std::isalpha(uint8_t(text[pos])) || text[pos] == '_')) {
+      return Error("expected identifier");
+    }
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(uint8_t(text[pos])) || text[pos] == '_')) {
+      ++pos;
+    }
+    return std::string(text.substr(start, pos - start));
+  }
+
+  Result<std::string> QuotedString() {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') return Error("expected string");
+    ++pos;
+    size_t start = pos;
+    while (pos < text.size() && text[pos] != '"') ++pos;
+    if (pos >= text.size()) return Error("unterminated string");
+    std::string s(text.substr(start, pos - start));
+    ++pos;
+    return s;
+  }
+
+  bool PeekKeyword(std::string_view kw) {
+    SkipWs();
+    if (text.substr(pos, kw.size()) != kw) return false;
+    size_t after = pos + kw.size();
+    if (after < text.size() &&
+        (std::isalnum(uint8_t(text[after])) || text[after] == '_')) {
+      return false;
+    }
+    pos = after;
+    return true;
+  }
+};
+
+Result<FieldType> TypeFromName(const std::string& name, bool* is_table) {
+  *is_table = false;
+  if (name == "ubyte") return FieldType::kUByte;
+  if (name == "uint") return FieldType::kUInt;
+  if (name == "ulong") return FieldType::kULong;
+  if (name == "string") return FieldType::kString;
+  *is_table = true;
+  return FieldType::kTable;
+}
+
+// Detects reference cycles among tables via DFS.
+Status CheckAcyclic(const Schema& schema) {
+  enum class Mark { kWhite, kGray, kBlack };
+  std::unordered_map<std::string, Mark> marks;
+  std::function<Status(const std::string&)> visit =
+      [&](const std::string& name) -> Status {
+    Mark& mark = marks[name];
+    if (mark == Mark::kGray) {
+      return Status::InvalidArgument("ccle schema: cycle through table " + name);
+    }
+    if (mark == Mark::kBlack) return Status::OK();
+    mark = Mark::kGray;
+    const TableDef* table = schema.FindTable(name);
+    for (const FieldDef& field : table->fields) {
+      if (field.type == FieldType::kTable) {
+        CONFIDE_RETURN_NOT_OK(visit(field.table_type));
+      }
+    }
+    marks[name] = Mark::kBlack;
+    return Status::OK();
+  };
+  for (const auto& [name, table] : schema.tables) {
+    CONFIDE_RETURN_NOT_OK(visit(name));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Schema> ParseSchema(std::string_view source) {
+  SchemaParser p{source};
+  Schema schema;
+  std::set<std::string> declared_attributes;
+
+  while (!p.AtEnd()) {
+    if (p.PeekKeyword("attribute")) {
+      CONFIDE_ASSIGN_OR_RETURN(std::string attr, p.QuotedString());
+      CONFIDE_RETURN_NOT_OK(p.Expect(';'));
+      declared_attributes.insert(attr);
+      continue;
+    }
+    if (p.PeekKeyword("root_type")) {
+      CONFIDE_ASSIGN_OR_RETURN(schema.root_type, p.Ident());
+      CONFIDE_RETURN_NOT_OK(p.Expect(';'));
+      continue;
+    }
+    if (p.PeekKeyword("table")) {
+      TableDef table;
+      CONFIDE_ASSIGN_OR_RETURN(table.name, p.Ident());
+      if (schema.tables.count(table.name)) {
+        return p.Error("duplicate table " + table.name);
+      }
+      CONFIDE_RETURN_NOT_OK(p.Expect('{'));
+      uint32_t index = 0;
+      while (!p.Consume('}')) {
+        FieldDef field;
+        field.index = index++;
+        CONFIDE_ASSIGN_OR_RETURN(field.name, p.Ident());
+        CONFIDE_RETURN_NOT_OK(p.Expect(':'));
+        if (p.Consume('[')) {
+          field.is_vector = true;
+          CONFIDE_ASSIGN_OR_RETURN(std::string type_name, p.Ident());
+          bool is_table = false;
+          CONFIDE_ASSIGN_OR_RETURN(field.type, TypeFromName(type_name, &is_table));
+          if (is_table) field.table_type = type_name;
+          CONFIDE_RETURN_NOT_OK(p.Expect(']'));
+        } else {
+          CONFIDE_ASSIGN_OR_RETURN(std::string type_name, p.Ident());
+          bool is_table = false;
+          CONFIDE_ASSIGN_OR_RETURN(field.type, TypeFromName(type_name, &is_table));
+          if (is_table) field.table_type = type_name;
+        }
+        // Optional attribute list: (map), (confidential), (map, confidential).
+        if (p.Consume('(')) {
+          do {
+            CONFIDE_ASSIGN_OR_RETURN(std::string attr, p.Ident());
+            if (!declared_attributes.count(attr)) {
+              return p.Error("attribute '" + attr + "' used before declaration");
+            }
+            if (attr == "map") {
+              field.is_map = true;
+            } else if (attr == "confidential") {
+              field.confidential = true;
+            } else {
+              return p.Error("unknown attribute '" + attr + "'");
+            }
+          } while (p.Consume(','));
+          CONFIDE_RETURN_NOT_OK(p.Expect(')'));
+        }
+        CONFIDE_RETURN_NOT_OK(p.Expect(';'));
+        if (field.is_map && !field.is_vector) {
+          return p.Error("map attribute requires a vector type for field " +
+                         field.name);
+        }
+        table.fields.push_back(std::move(field));
+      }
+      schema.tables[table.name] = std::move(table);
+      continue;
+    }
+    return p.Error("expected 'attribute', 'table' or 'root_type'");
+  }
+
+  // Validation: referenced tables exist; root type exists.
+  for (const auto& [name, table] : schema.tables) {
+    for (const FieldDef& field : table.fields) {
+      if (field.type == FieldType::kTable &&
+          !schema.tables.count(field.table_type)) {
+        return Status::InvalidArgument("ccle schema: unknown table type '" +
+                                       field.table_type + "' in " + name);
+      }
+    }
+  }
+  if (schema.root_type.empty()) {
+    return Status::InvalidArgument("ccle schema: missing root_type");
+  }
+  if (!schema.tables.count(schema.root_type)) {
+    return Status::InvalidArgument("ccle schema: root_type '" +
+                                   schema.root_type + "' not declared");
+  }
+  CONFIDE_RETURN_NOT_OK(CheckAcyclic(schema));
+  return schema;
+}
+
+}  // namespace confide::ccle

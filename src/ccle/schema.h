@@ -1,0 +1,87 @@
+/// \file schema.h
+/// \brief CCLe schema: the confidential smart-contract language extension.
+///
+/// CCLe (paper §4) is a FlatBuffers-flavoured IDL with two extra
+/// attributes: `confidential` marks data that must only exist in plain
+/// text inside the enclave, and `map` declares key:value composite fields
+/// (the account:asset model). The parser propagates `confidential`
+/// recursively into composite types, exactly as the paper describes: "the
+/// composite data types will be parsed recursively, and all the primitive
+/// data in it will be set confidential attribute".
+///
+/// Example (paper Listing 1):
+///
+///   attribute "map";
+///   attribute "confidential";
+///   table Demo {
+///     owner: string;
+///     admin: [Administrator];
+///     account_map: [Account](map);
+///   }
+///   table Account {
+///     user_id: string;
+///     organization: string(confidential);
+///     asset_map: [Asset](map, confidential);
+///   }
+///   root_type Demo;
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace confide::ccle {
+
+/// \brief Primitive and composite field types.
+enum class FieldType : uint8_t {
+  kUByte,
+  kUInt,
+  kULong,
+  kString,
+  kTable,   ///< nested table (named in `table_type`)
+};
+
+/// \brief One table field.
+struct FieldDef {
+  std::string name;
+  FieldType type = FieldType::kULong;
+  std::string table_type;   ///< for kTable (element type when vector/map)
+  bool is_vector = false;   ///< `[T]`
+  bool is_map = false;      ///< `(map)` — vector of key:value entries
+  bool confidential = false;
+  uint32_t index = 0;       ///< FlatLite slot
+};
+
+/// \brief One `table` declaration.
+struct TableDef {
+  std::string name;
+  std::vector<FieldDef> fields;
+
+  const FieldDef* FindField(std::string_view field_name) const {
+    for (const FieldDef& field : fields) {
+      if (field.name == field_name) return &field;
+    }
+    return nullptr;
+  }
+};
+
+/// \brief A parsed schema.
+struct Schema {
+  std::unordered_map<std::string, TableDef> tables;
+  std::string root_type;
+
+  const TableDef* FindTable(std::string_view name) const {
+    auto it = tables.find(std::string(name));
+    return it == tables.end() ? nullptr : &it->second;
+  }
+};
+
+/// \brief Parses CCLe schema text. Validates that referenced table types
+/// exist, the root type is declared, attributes are declared before use,
+/// and there are no reference cycles (tables must form a DAG).
+Result<Schema> ParseSchema(std::string_view source);
+
+}  // namespace confide::ccle

@@ -1,0 +1,130 @@
+/// \file value.h
+/// \brief Runtime value tree for CCLe-typed data.
+///
+/// Contract state described by a CCLe schema is manipulated as a Value
+/// tree in the engine and (de)serialized by the confidential codec. A
+/// redacted leaf is what a third-party auditor sees in place of a
+/// confidential field when reading without the state key (paper §4's
+/// audit motivation).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::ccle {
+
+/// \brief A dynamically typed CCLe value.
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kUInt,      ///< ubyte/uint/ulong
+    kString,
+    kTable,     ///< named fields
+    kVector,    ///< homogeneous elements
+    kMap,       ///< string key -> Value
+    kRedacted,  ///< confidential content, key not available
+  };
+
+  Value() : kind_(Kind::kUInt) {}
+
+  static Value UInt(uint64_t v) {
+    Value value;
+    value.kind_ = Kind::kUInt;
+    value.uint_ = v;
+    return value;
+  }
+  static Value String(std::string s) {
+    Value value;
+    value.kind_ = Kind::kString;
+    value.str_ = std::move(s);
+    return value;
+  }
+  static Value Table() {
+    Value value;
+    value.kind_ = Kind::kTable;
+    return value;
+  }
+  static Value Vector() {
+    Value value;
+    value.kind_ = Kind::kVector;
+    return value;
+  }
+  static Value Map() {
+    Value value;
+    value.kind_ = Kind::kMap;
+    return value;
+  }
+  static Value Redacted() {
+    Value value;
+    value.kind_ = Kind::kRedacted;
+    return value;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_redacted() const { return kind_ == Kind::kRedacted; }
+
+  uint64_t AsUInt() const { return uint_; }
+  const std::string& AsString() const { return str_; }
+
+  /// \brief Table field access (insertion order preserved).
+  void SetField(std::string name, Value value) {
+    for (auto& [k, v] : fields_) {
+      if (k == name) {
+        v = std::move(value);
+        return;
+      }
+    }
+    fields_.emplace_back(std::move(name), std::move(value));
+  }
+  const Value* FindField(std::string_view name) const {
+    for (const auto& [k, v] : fields_) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+  const std::vector<std::pair<std::string, Value>>& fields() const { return fields_; }
+
+  /// \brief Vector element access.
+  void Append(Value value) { items_.push_back(std::move(value)); }
+  const std::vector<Value>& items() const { return items_; }
+
+  /// \brief Map entry access (insertion order preserved).
+  void SetEntry(std::string key, Value value) {
+    for (auto& [k, v] : entries_) {
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    }
+    entries_.emplace_back(std::move(key), std::move(value));
+  }
+  const Value* FindEntry(std::string_view key) const {
+    for (const auto& [k, v] : entries_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  const std::vector<std::pair<std::string, Value>>& entries() const { return entries_; }
+
+  bool operator==(const Value& other) const {
+    return kind_ == other.kind_ && uint_ == other.uint_ && str_ == other.str_ &&
+           fields_ == other.fields_ && items_ == other.items_ &&
+           entries_ == other.entries_;
+  }
+
+ private:
+  Kind kind_;
+  uint64_t uint_ = 0;
+  std::string str_;
+  std::vector<std::pair<std::string, Value>> fields_;   // kTable
+  std::vector<Value> items_;                            // kVector
+  std::vector<std::pair<std::string, Value>> entries_;  // kMap
+};
+
+}  // namespace confide::ccle

@@ -1,0 +1,96 @@
+#include "chain/executor.h"
+
+#include <map>
+#include <thread>
+
+namespace confide::chain {
+
+Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
+    const std::vector<Transaction>& transactions, const EngineSet& engines,
+    StateDb* state) const {
+  std::vector<Receipt> receipts(transactions.size());
+
+  // Group by conflict key, preserving in-block order within each group.
+  std::map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < transactions.size(); ++i) {
+    ExecutionEngine* engine = engines.Route(transactions[i]);
+    if (engine == nullptr) {
+      return Status::InvalidArgument("executor: no engine for tx type");
+    }
+    groups[engine->ConflictKey(transactions[i])].push_back(i);
+  }
+
+  // Each worker drains whole groups; writes stage in a per-group overlay
+  // and merge in deterministic group order afterwards.
+  std::vector<std::pair<uint64_t, std::vector<size_t>>> group_list(groups.begin(),
+                                                                   groups.end());
+  std::vector<OverlayStateDb> overlays;
+  overlays.reserve(group_list.size());
+  for (size_t g = 0; g < group_list.size(); ++g) overlays.emplace_back(state);
+
+  std::atomic<size_t> next_group{0};
+  std::atomic<bool> failed{false};
+  std::string failure;
+  std::mutex failure_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      size_t g = next_group.fetch_add(1);
+      if (g >= group_list.size() || failed.load()) return;
+      OverlayStateDb& overlay = overlays[g];
+      for (size_t index : group_list[g].second) {
+        const Transaction& tx = transactions[index];
+        ExecutionEngine* engine = engines.Route(tx);
+        // Per-transaction overlay so a failed tx discards only its own
+        // writes while earlier group writes survive.
+        OverlayStateDb txn(&overlay);
+        Result<Receipt> result = engine->Execute(tx, &txn);
+        Receipt receipt;
+        if (result.ok()) {
+          receipt = std::move(result).value();
+          if (receipt.success) {
+            (void)txn.Commit();
+          } else {
+            txn.Discard();
+          }
+        } else if (result.status().IsVmTrap() ||
+                   result.status().code() == StatusCode::kResourceExhausted ||
+                   result.status().IsCryptoError() ||
+                   result.status().IsNotFound()) {
+          // Transaction-level failure: record and continue.
+          txn.Discard();
+          receipt.tx_hash = tx.Hash();
+          receipt.success = false;
+          receipt.status_message = result.status().ToString();
+        } else {
+          // Engine/infrastructure failure: abort the block.
+          std::lock_guard<std::mutex> lock(failure_mutex);
+          failure = result.status().ToString();
+          failed.store(true);
+          return;
+        }
+        receipts[index] = std::move(receipt);
+      }
+    }
+  };
+
+  uint32_t n_threads = std::max<uint32_t>(1, options_.parallelism);
+  if (n_threads == 1 || group_list.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  if (failed.load()) {
+    return Status::Internal("executor: block aborted: " + failure);
+  }
+  // Deterministic merge order.
+  for (OverlayStateDb& overlay : overlays) {
+    CONFIDE_RETURN_NOT_OK(overlay.Commit());
+  }
+  return receipts;
+}
+
+}  // namespace confide::chain

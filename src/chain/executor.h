@@ -1,0 +1,39 @@
+/// \file executor.h
+/// \brief Block executor with k-way parallel scheduling.
+///
+/// Ant Blockchain "supports smart contract paralleled execution" (paper
+/// §6.2, Figure 11 reports 1/4/6-way numbers). Transactions are grouped
+/// by conflict key (engine-reported; typically the target contract);
+/// groups execute concurrently on a thread pool while transactions within
+/// a group stay serial. Receipts are returned in block order regardless of
+/// completion order.
+
+#pragma once
+
+#include <vector>
+
+#include "chain/engine.h"
+
+namespace confide::chain {
+
+struct ExecutorOptions {
+  uint32_t parallelism = 1;
+};
+
+/// \brief Executes a block's transactions and returns per-tx receipts in
+/// order. A failed transaction yields a success=false receipt and its
+/// state writes are discarded; execution continues (standard blockchain
+/// semantics — failures are recorded, not fatal).
+class BlockExecutor {
+ public:
+  explicit BlockExecutor(ExecutorOptions options) : options_(options) {}
+
+  Result<std::vector<Receipt>> ExecuteBlock(
+      const std::vector<Transaction>& transactions, const EngineSet& engines,
+      StateDb* state) const;
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace confide::chain

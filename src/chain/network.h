@@ -1,0 +1,64 @@
+/// \file network.h
+/// \brief Simulated consortium network with zones.
+///
+/// Substitution for the paper's deployments: nodes in one VPC
+/// (intra-zone RTT ~0.2 ms) or split across Shanghai/Beijing over public
+/// network (inter-zone RTT ~30 ms, lower bandwidth) — the Figure 11
+/// two-zone configuration.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace confide::chain {
+
+/// \brief Link parameters between two zones.
+struct LinkModel {
+  uint64_t latency_ns = 200'000;          ///< one-way propagation
+  uint64_t bandwidth_bytes_per_sec = 1'250'000'000;  ///< 10 Gb/s default
+};
+
+/// \brief Node placement + pairwise link model.
+class NetworkSim {
+ public:
+  /// \brief Declares a zone; returns its id.
+  uint32_t AddZone(std::string name);
+
+  /// \brief Places a node in `zone`; returns the node id.
+  uint32_t AddNode(uint32_t zone);
+
+  /// \brief Sets the link model between two zones (symmetric).
+  void SetLink(uint32_t zone_a, uint32_t zone_b, LinkModel link);
+
+  size_t NodeCount() const { return node_zone_.size(); }
+  uint32_t ZoneOf(uint32_t node) const { return node_zone_[node]; }
+
+  /// \brief Modelled one-way delivery time for `bytes` from a to b.
+  uint64_t TransferNs(uint32_t from_node, uint32_t to_node, uint64_t bytes) const;
+
+  /// \brief Propagation-only latency (no payload).
+  uint64_t LatencyNs(uint32_t from_node, uint32_t to_node) const;
+
+  /// \brief Wire-serialization time for `bytes` on the a→b link (the
+  /// sender NIC is busy for this long per message).
+  uint64_t SerializationNs(uint32_t from_node, uint32_t to_node, uint64_t bytes) const;
+
+  /// \brief Convenience: a single-zone network of n nodes with
+  /// intra-datacenter links.
+  static NetworkSim SingleZone(size_t n);
+
+  /// \brief Convenience: the paper's two-city setup — nodes split 1:2
+  /// between zones connected by a high-latency public link.
+  static NetworkSim TwoZone(size_t n, uint64_t inter_latency_ns = 30'000'000);
+
+ private:
+  std::vector<std::string> zones_;
+  std::vector<uint32_t> node_zone_;
+  std::vector<std::vector<LinkModel>> links_;  // [zone][zone]
+};
+
+}  // namespace confide::chain

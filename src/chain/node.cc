@@ -1,0 +1,198 @@
+#include "chain/node.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/endian.h"
+
+namespace confide::chain {
+
+namespace {
+
+std::string ReceiptKey(const crypto::Hash256& tx_hash) {
+  return "rcpt/" + HexEncode(crypto::HashView(tx_hash));
+}
+
+std::string TxIndexKey(const crypto::Hash256& tx_hash) {
+  return "txix/" + HexEncode(crypto::HashView(tx_hash));
+}
+
+}  // namespace
+
+Node::Node(NodeOptions options, EngineSet engines)
+    : options_(options),
+      engines_(engines),
+      executor_(ExecutorOptions{options.parallelism}) {
+  storage::LsmOptions lsm;
+  auto store = storage::LsmKvStore::Open(lsm);
+  kv_ = std::shared_ptr<storage::KvStore>(std::move(*store));
+  state_ = std::make_unique<CommitStateDb>(kv_);
+  blocks_ = std::make_unique<storage::BlockStore>(kv_, options.clock);
+}
+
+Status Node::SubmitTransaction(Transaction tx) {
+  if (tx.type == TxType::kConfidential && tx.envelope.empty()) {
+    return Status::InvalidArgument("node: confidential tx without envelope");
+  }
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  unverified_.push_back(std::move(tx));
+  return Status::OK();
+}
+
+Result<size_t> Node::PreVerify() {
+  std::deque<Transaction> pending;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pending.swap(unverified_);
+  }
+  if (pending.empty()) return size_t(0);
+
+  std::vector<Transaction> txs(pending.begin(), pending.end());
+  std::vector<uint8_t> valid(txs.size(), 0);
+  std::atomic<size_t> next{0};
+
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= txs.size()) return;
+      ExecutionEngine* engine = engines_.Route(txs[i]);
+      if (engine == nullptr) continue;
+      auto ok = engine->PreVerify(txs[i]);
+      valid[i] = (ok.ok() && *ok) ? 1 : 0;
+    }
+  };
+
+  uint32_t n_threads = std::max<uint32_t>(1, options_.parallelism);
+  if (n_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    for (size_t i = 0; i < txs.size(); ++i) {
+      if (valid[i]) {
+        verified_.push_back(std::move(txs[i]));
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+Result<Block> Node::ProposeBlock() {
+  Block block;
+  block.header.height = blocks_->NextHeight();
+  block.header.parent_hash = last_block_hash_;
+  block.header.timestamp_ns = block.header.height;  // deterministic
+
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    while (!verified_.empty()) {
+      size_t tx_bytes = verified_.front().Serialize().size();
+      if (!block.transactions.empty() && bytes + tx_bytes > options_.block_max_bytes) {
+        break;
+      }
+      block.transactions.push_back(std::move(verified_.front()));
+      verified_.pop_front();
+      bytes += tx_bytes;
+    }
+  }
+
+  std::vector<Bytes> leaves;
+  for (const Transaction& tx : block.transactions) {
+    leaves.push_back(tx.Serialize());
+  }
+  block.header.tx_root = crypto::MerkleTree(leaves).Root();
+  return block;
+}
+
+Result<std::vector<Receipt>> Node::ApplyBlock(const Block& block) {
+  if (block.header.height != blocks_->NextHeight()) {
+    return Status::InvalidArgument("node: block height mismatch");
+  }
+  if (block.header.height > 0 && block.header.parent_hash != last_block_hash_) {
+    return Status::InvalidArgument("node: parent hash mismatch");
+  }
+
+  CONFIDE_ASSIGN_OR_RETURN(
+      std::vector<Receipt> receipts,
+      executor_.ExecuteBlock(block.transactions, engines_, state_.get()));
+
+  // Persist receipts and the tx→block index alongside the state writes.
+  for (size_t i = 0; i < receipts.size(); ++i) {
+    const crypto::Hash256 tx_hash = block.transactions[i].Hash();
+    receipts[i].tx_hash = tx_hash;
+    uint8_t height_be[8];
+    StoreBe64(height_be, block.header.height);
+    kv_->Put(ReceiptKey(tx_hash), receipts[i].Serialize());
+    kv_->Put(TxIndexKey(tx_hash), Bytes(height_be, height_be + 8));
+  }
+
+  std::vector<Bytes> receipt_leaves;
+  for (const Receipt& receipt : receipts) {
+    receipt_leaves.push_back(receipt.Serialize());
+  }
+
+  Block stored = block;
+  stored.header.receipt_root = crypto::MerkleTree(receipt_leaves).Root();
+  CONFIDE_RETURN_NOT_OK(state_->Commit());
+  stored.header.state_root = state_->StateRoot();
+
+  crypto::Hash256 block_hash = stored.header.Hash();
+  CONFIDE_RETURN_NOT_OK(
+      blocks_->Append(stored.header.height, block_hash, stored.Serialize()));
+  last_block_hash_ = block_hash;
+  return receipts;
+}
+
+Result<Receipt> Node::GetReceipt(const crypto::Hash256& tx_hash) const {
+  CONFIDE_ASSIGN_OR_RETURN(Bytes wire, kv_->Get(ReceiptKey(tx_hash)));
+  return Receipt::Deserialize(wire);
+}
+
+Result<TxProof> Node::ProveTransaction(const crypto::Hash256& tx_hash) const {
+  CONFIDE_ASSIGN_OR_RETURN(Bytes height_bytes, kv_->Get(TxIndexKey(tx_hash)));
+  if (height_bytes.size() != 8) return Status::Corruption("node: bad tx index");
+  uint64_t height = LoadBe64(height_bytes.data());
+  CONFIDE_ASSIGN_OR_RETURN(Bytes block_wire, blocks_->GetByHeight(height));
+  CONFIDE_ASSIGN_OR_RETURN(Block block, Block::Deserialize(block_wire));
+
+  std::vector<Bytes> leaves;
+  size_t index = block.transactions.size();
+  for (size_t i = 0; i < block.transactions.size(); ++i) {
+    leaves.push_back(block.transactions[i].Serialize());
+    if (block.transactions[i].Hash() == tx_hash) index = i;
+  }
+  if (index == block.transactions.size()) {
+    return Status::Corruption("node: tx index points to wrong block");
+  }
+  crypto::MerkleTree tree(leaves);
+  TxProof proof;
+  proof.header = block.header;
+  proof.tx_wire = leaves[index];
+  CONFIDE_ASSIGN_OR_RETURN(proof.proof, tree.Prove(index));
+  return proof;
+}
+
+bool Node::VerifyTxProof(const TxProof& proof) {
+  return crypto::MerkleTree::Verify(proof.header.tx_root, proof.tx_wire,
+                                    proof.proof);
+}
+
+size_t Node::UnverifiedPoolSize() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return unverified_.size();
+}
+
+size_t Node::VerifiedPoolSize() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return verified_.size();
+}
+
+}  // namespace confide::chain

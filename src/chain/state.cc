@@ -1,0 +1,83 @@
+#include "chain/state.h"
+
+namespace confide::chain {
+
+std::string StateDb::StateKey(const Address& contract, ByteView key) {
+  return AddressToString(contract) + "/" + ToString(key);
+}
+
+// ---------------------------------------------------------------------------
+// CommitStateDb
+// ---------------------------------------------------------------------------
+
+Result<Bytes> CommitStateDb::Get(const Address& contract, ByteView key) const {
+  std::string full_key = StateKey(contract, key);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = overlay_.find(full_key);
+    if (it != overlay_.end()) return it->second;
+  }
+  return kv_->Get(full_key);
+}
+
+void CommitStateDb::Put(const Address& contract, ByteView key, Bytes value) {
+  std::string full_key = StateKey(contract, key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  overlay_[full_key] = std::move(value);
+}
+
+size_t CommitStateDb::PendingWrites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overlay_.size();
+}
+
+Status CommitStateDb::Commit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (overlay_.empty()) return Status::OK();
+  storage::WriteBatch batch;
+  crypto::Sha256 root_ctx;
+  root_ctx.Update(crypto::HashView(state_root_));
+  for (auto& [key, value] : overlay_) {
+    root_ctx.Update(AsByteView(key));
+    root_ctx.Update(value);
+    batch.Put(key, std::move(value));
+  }
+  CONFIDE_RETURN_NOT_OK(kv_->Write(batch));
+  state_root_ = root_ctx.Finish();
+  overlay_.clear();
+  return Status::OK();
+}
+
+void CommitStateDb::Discard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  overlay_.clear();
+}
+
+crypto::Hash256 CommitStateDb::StateRoot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_root_;
+}
+
+// ---------------------------------------------------------------------------
+// OverlayStateDb
+// ---------------------------------------------------------------------------
+
+Result<Bytes> OverlayStateDb::Get(const Address& contract, ByteView key) const {
+  auto it = writes_.find(StateKey(contract, key));
+  if (it != writes_.end()) return it->second.second;
+  return parent_->Get(contract, key);
+}
+
+void OverlayStateDb::Put(const Address& contract, ByteView key, Bytes value) {
+  writes_[StateKey(contract, key)] = {{contract, ToBytes(key)}, std::move(value)};
+}
+
+Status OverlayStateDb::Commit() {
+  for (auto& [full_key, entry] : writes_) {
+    parent_->Put(entry.first.first, entry.first.second, std::move(entry.second));
+  }
+  writes_.clear();
+  return Status::OK();
+}
+
+}  // namespace confide::chain

@@ -1,0 +1,87 @@
+/// \file state.h
+/// \brief Contract state database: per-contract namespaced KV access with
+/// block-atomic commit and a state root.
+///
+/// Two implementations share the StateDb interface:
+///  * CommitStateDb — the node's canonical state over a KvStore; buffered
+///    writes land atomically per block and fold into a chained state root.
+///  * OverlayStateDb — a scratch view for one parallel execution group;
+///    reads fall through to the parent, writes stay local until merged
+///    (or are thrown away when the transaction fails).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "chain/types.h"
+#include "storage/kv_store.h"
+
+namespace confide::chain {
+
+/// \brief Abstract contract-state access used by execution engines.
+class StateDb {
+ public:
+  virtual ~StateDb() = default;
+
+  /// \brief Namespaced key: <contract hex>/<raw key>.
+  static std::string StateKey(const Address& contract, ByteView key);
+
+  virtual Result<Bytes> Get(const Address& contract, ByteView key) const = 0;
+  virtual void Put(const Address& contract, ByteView key, Bytes value) = 0;
+
+  /// \brief Makes buffered writes durable/visible at this layer's parent.
+  virtual Status Commit() = 0;
+
+  /// \brief Drops buffered writes.
+  virtual void Discard() = 0;
+
+  /// \brief Buffered write count (tests).
+  virtual size_t PendingWrites() const = 0;
+};
+
+/// \brief Canonical node state over a KvStore.
+class CommitStateDb : public StateDb {
+ public:
+  explicit CommitStateDb(std::shared_ptr<storage::KvStore> kv) : kv_(std::move(kv)) {}
+
+  Result<Bytes> Get(const Address& contract, ByteView key) const override;
+  void Put(const Address& contract, ByteView key, Bytes value) override;
+  Status Commit() override;
+  void Discard() override;
+  size_t PendingWrites() const override;
+
+  /// \brief Chained digest over all committed writes. (A production
+  /// system would use a Merkle-Patricia trie; the chained digest preserves
+  /// the state-continuity property consensus checks, §3.3.)
+  crypto::Hash256 StateRoot() const;
+
+  storage::KvStore* backing() { return kv_.get(); }
+
+ private:
+  std::shared_ptr<storage::KvStore> kv_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Bytes> overlay_;
+  crypto::Hash256 state_root_{};
+};
+
+/// \brief Scratch overlay for one transaction/group; Commit() merges into
+/// the parent, Discard() drops.
+class OverlayStateDb : public StateDb {
+ public:
+  explicit OverlayStateDb(StateDb* parent) : parent_(parent) {}
+
+  Result<Bytes> Get(const Address& contract, ByteView key) const override;
+  void Put(const Address& contract, ByteView key, Bytes value) override;
+  Status Commit() override;
+  void Discard() override { writes_.clear(); }
+  size_t PendingWrites() const override { return writes_.size(); }
+
+ private:
+  StateDb* parent_;
+  // Keyed by (contract, raw key) so merges replay through parent->Put.
+  std::map<std::string, std::pair<std::pair<Address, Bytes>, Bytes>> writes_;
+};
+
+}  // namespace confide::chain

@@ -1,0 +1,187 @@
+#include "chain/types.h"
+
+#include "serialize/rlp.h"
+
+namespace confide::chain {
+
+using serialize::RlpDecode;
+using serialize::RlpEncode;
+using serialize::RlpItem;
+
+Address NamedAddress(std::string_view name) {
+  crypto::Hash256 h = crypto::Sha256::Digest(
+      Concat(AsByteView("confide-contract:"), AsByteView(name)));
+  Address addr;
+  std::copy(h.begin(), h.begin() + addr.size(), addr.begin());
+  return addr;
+}
+
+namespace {
+
+RlpItem BytesItem(ByteView b) { return RlpItem(ToBytes(b)); }
+
+Result<Bytes> FixedBytes(const RlpItem& item, size_t n, const char* what) {
+  if (!item.is_bytes() || item.bytes().size() != n) {
+    return Status::Corruption(std::string("chain: bad ") + what);
+  }
+  return item.bytes();
+}
+
+}  // namespace
+
+Bytes Transaction::Serialize() const {
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem::U64(uint64_t(type)));
+  if (type == TxType::kConfidential) {
+    items.push_back(BytesItem(envelope));
+  } else {
+    items.push_back(BytesItem(ByteView(sender.data(), sender.size())));
+    items.push_back(BytesItem(ByteView(contract.data(), contract.size())));
+    items.push_back(RlpItem::String(entry));
+    items.push_back(BytesItem(input));
+    items.push_back(RlpItem::U64(nonce));
+    items.push_back(BytesItem(ByteView(signature.data(), signature.size())));
+  }
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<Transaction> Transaction::Deserialize(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
+  if (!item.is_list() || item.list().empty()) {
+    return Status::Corruption("chain: transaction is not a list");
+  }
+  const auto& fields = item.list();
+  Transaction tx;
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t type_num, fields[0].AsU64());
+  if (type_num > 1) return Status::Corruption("chain: unknown tx type");
+  tx.type = TxType(type_num);
+  if (tx.type == TxType::kConfidential) {
+    if (fields.size() != 2 || !fields[1].is_bytes()) {
+      return Status::Corruption("chain: bad confidential tx");
+    }
+    tx.envelope = fields[1].bytes();
+    return tx;
+  }
+  if (fields.size() != 7) return Status::Corruption("chain: bad public tx arity");
+  CONFIDE_ASSIGN_OR_RETURN(Bytes sender, FixedBytes(fields[1], 64, "sender"));
+  std::copy(sender.begin(), sender.end(), tx.sender.begin());
+  CONFIDE_ASSIGN_OR_RETURN(Bytes contract, FixedBytes(fields[2], 20, "contract"));
+  std::copy(contract.begin(), contract.end(), tx.contract.begin());
+  if (!fields[3].is_bytes()) return Status::Corruption("chain: bad entry");
+  tx.entry = ToString(fields[3].bytes());
+  if (!fields[4].is_bytes()) return Status::Corruption("chain: bad input");
+  tx.input = fields[4].bytes();
+  CONFIDE_ASSIGN_OR_RETURN(tx.nonce, fields[5].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(Bytes sig, FixedBytes(fields[6], 64, "signature"));
+  std::copy(sig.begin(), sig.end(), tx.signature.begin());
+  return tx;
+}
+
+crypto::Hash256 Transaction::Hash() const {
+  return crypto::Sha256::Digest(Serialize());
+}
+
+crypto::Hash256 Transaction::SigningHash() const {
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem::U64(uint64_t(type)));
+  items.push_back(BytesItem(ByteView(sender.data(), sender.size())));
+  items.push_back(BytesItem(ByteView(contract.data(), contract.size())));
+  items.push_back(RlpItem::String(entry));
+  items.push_back(BytesItem(input));
+  items.push_back(RlpItem::U64(nonce));
+  return crypto::Sha256::Digest(RlpEncode(RlpItem::List(std::move(items))));
+}
+
+Bytes Receipt::Serialize() const {
+  std::vector<RlpItem> items;
+  items.push_back(BytesItem(crypto::HashView(tx_hash)));
+  items.push_back(RlpItem::U64(success ? 1 : 0));
+  items.push_back(RlpItem::String(status_message));
+  items.push_back(BytesItem(output));
+  std::vector<RlpItem> log_items;
+  for (const Bytes& log : logs) log_items.push_back(BytesItem(log));
+  items.push_back(RlpItem::List(std::move(log_items)));
+  items.push_back(RlpItem::U64(gas_used));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<Receipt> Receipt::Deserialize(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
+  if (!item.is_list() || item.list().size() != 6) {
+    return Status::Corruption("chain: bad receipt");
+  }
+  const auto& fields = item.list();
+  Receipt receipt;
+  CONFIDE_ASSIGN_OR_RETURN(Bytes hash, FixedBytes(fields[0], 32, "tx hash"));
+  std::copy(hash.begin(), hash.end(), receipt.tx_hash.begin());
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t success, fields[1].AsU64());
+  receipt.success = success != 0;
+  receipt.status_message = ToString(fields[2].bytes());
+  receipt.output = fields[3].bytes();
+  if (!fields[4].is_list()) return Status::Corruption("chain: bad logs");
+  for (const RlpItem& log : fields[4].list()) {
+    receipt.logs.push_back(log.bytes());
+  }
+  CONFIDE_ASSIGN_OR_RETURN(receipt.gas_used, fields[5].AsU64());
+  return receipt;
+}
+
+Bytes BlockHeader::Serialize() const {
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem::U64(height));
+  items.push_back(BytesItem(crypto::HashView(parent_hash)));
+  items.push_back(BytesItem(crypto::HashView(tx_root)));
+  items.push_back(BytesItem(crypto::HashView(receipt_root)));
+  items.push_back(BytesItem(crypto::HashView(state_root)));
+  items.push_back(RlpItem::U64(timestamp_ns));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+crypto::Hash256 BlockHeader::Hash() const {
+  return crypto::Sha256::Digest(Serialize());
+}
+
+Bytes Block::Serialize() const {
+  std::vector<RlpItem> tx_items;
+  for (const Transaction& tx : transactions) {
+    tx_items.push_back(RlpItem(tx.Serialize()));
+  }
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem(header.Serialize()));
+  items.push_back(RlpItem::List(std::move(tx_items)));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<Block> Block::Deserialize(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
+  if (!item.is_list() || item.list().size() != 2) {
+    return Status::Corruption("chain: bad block");
+  }
+  Block block;
+  // Header.
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem header_item, RlpDecode(item.list()[0].bytes()));
+  if (!header_item.is_list() || header_item.list().size() != 6) {
+    return Status::Corruption("chain: bad block header");
+  }
+  const auto& h = header_item.list();
+  CONFIDE_ASSIGN_OR_RETURN(block.header.height, h[0].AsU64());
+  auto copy_hash = [&](const RlpItem& src, crypto::Hash256* dst) -> Status {
+    CONFIDE_ASSIGN_OR_RETURN(Bytes bytes, FixedBytes(src, 32, "header hash"));
+    std::copy(bytes.begin(), bytes.end(), dst->begin());
+    return Status::OK();
+  };
+  CONFIDE_RETURN_NOT_OK(copy_hash(h[1], &block.header.parent_hash));
+  CONFIDE_RETURN_NOT_OK(copy_hash(h[2], &block.header.tx_root));
+  CONFIDE_RETURN_NOT_OK(copy_hash(h[3], &block.header.receipt_root));
+  CONFIDE_RETURN_NOT_OK(copy_hash(h[4], &block.header.state_root));
+  CONFIDE_ASSIGN_OR_RETURN(block.header.timestamp_ns, h[5].AsU64());
+  // Transactions.
+  if (!item.list()[1].is_list()) return Status::Corruption("chain: bad tx list");
+  for (const RlpItem& tx_item : item.list()[1].list()) {
+    CONFIDE_ASSIGN_OR_RETURN(Transaction tx, Transaction::Deserialize(tx_item.bytes()));
+    block.transactions.push_back(std::move(tx));
+  }
+  return block;
+}
+
+}  // namespace confide::chain

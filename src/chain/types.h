@@ -1,0 +1,97 @@
+/// \file types.h
+/// \brief Core chain data types: transactions, receipts, blocks.
+///
+/// Transactions carry TYPE=0 (public) or TYPE=1 (confidential, paper
+/// Figure 3). A confidential transaction's body is a T-Protocol envelope;
+/// its plain fields are only what routing needs. Serialization is RLP.
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+
+namespace confide::chain {
+
+/// \brief 20-byte account/contract address.
+using Address = std::array<uint8_t, 20>;
+
+inline std::string AddressToString(const Address& a) {
+  return HexEncode(ByteView(a.data(), a.size()));
+}
+
+/// \brief Derives a contract address from a human-readable name
+/// (consortium chains deploy named service contracts).
+Address NamedAddress(std::string_view name);
+
+/// \brief Transaction kind, carried in the clear for routing.
+enum class TxType : uint8_t { kPublic = 0, kConfidential = 1 };
+
+/// \brief A smart-contract transaction.
+///
+/// For kPublic every field is populated and `signature` covers
+/// SigningHash(). For kConfidential only `type` and `envelope` are
+/// meaningful on the wire; the remaining fields exist after the
+/// Confidential-Engine decrypts the envelope into a raw transaction.
+struct Transaction {
+  TxType type = TxType::kPublic;
+  crypto::PublicKey sender{};   ///< initiator's public key
+  Address contract{};           ///< target contract
+  std::string entry;            ///< method name
+  Bytes input;                  ///< method arguments
+  uint64_t nonce = 0;
+  crypto::Signature signature{};
+  Bytes envelope;               ///< kConfidential: Enc(pk,k_tx)|Enc(k_tx,raw)
+
+  /// \brief Hash over the full wire form (transaction id).
+  crypto::Hash256 Hash() const;
+
+  /// \brief Digest the sender signs (excludes the signature itself).
+  crypto::Hash256 SigningHash() const;
+
+  Bytes Serialize() const;
+  static Result<Transaction> Deserialize(ByteView wire);
+};
+
+/// \brief Execution receipt. For confidential transactions the stored
+/// form is encrypted under k_tx (T-Protocol, paper formula 2).
+struct Receipt {
+  crypto::Hash256 tx_hash{};
+  bool success = false;
+  std::string status_message;   ///< trap/status text when !success
+  Bytes output;
+  std::vector<Bytes> logs;
+  uint64_t gas_used = 0;
+
+  Bytes Serialize() const;
+  static Result<Receipt> Deserialize(ByteView wire);
+};
+
+/// \brief Block header with Merkle commitments.
+struct BlockHeader {
+  uint64_t height = 0;
+  crypto::Hash256 parent_hash{};
+  crypto::Hash256 tx_root{};
+  crypto::Hash256 receipt_root{};
+  crypto::Hash256 state_root{};
+  uint64_t timestamp_ns = 0;
+
+  crypto::Hash256 Hash() const;
+  Bytes Serialize() const;
+};
+
+/// \brief A block: header plus full transactions.
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  Bytes Serialize() const;
+  static Result<Block> Deserialize(ByteView wire);
+};
+
+}  // namespace confide::chain

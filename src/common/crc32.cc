@@ -1,0 +1,32 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace confide {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(ByteView data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  uint32_t crc = ~seed;
+  for (uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace confide

@@ -1,0 +1,15 @@
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3) used for WAL record integrity.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace confide {
+
+/// \brief Computes the CRC-32 of `data` with optional chaining seed.
+uint32_t Crc32(ByteView data, uint32_t seed = 0);
+
+}  // namespace confide

@@ -1,0 +1,24 @@
+/// \file logging.h
+/// \brief Minimal leveled logger. Off by default so tests stay quiet.
+
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace confide {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// \brief Writes one formatted line to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const char* module, const std::string& msg);
+
+#define CONFIDE_LOG(level, module, msg) \
+  ::confide::LogMessage(::confide::LogLevel::level, module, (msg))
+
+}  // namespace confide

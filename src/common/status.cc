@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace confide {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kPermissionDenied: return "PermissionDenied";
+    case StatusCode::kCryptoError: return "CryptoError";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kVmTrap: return "VmTrap";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace confide

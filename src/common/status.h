@@ -1,0 +1,130 @@
+/// \file status.h
+/// \brief Arrow/RocksDB-style Status and Result<T> error model.
+///
+/// All fallible library functions return Status (or Result<T> when they
+/// produce a value). Exceptions are never thrown across library boundaries.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace confide {
+
+/// \brief Coarse error category carried by Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,       ///< stored bytes failed integrity/parse checks
+  kPermissionDenied, ///< access-control or attestation failure
+  kCryptoError,      ///< decryption/verification/primitive failure
+  kResourceExhausted,///< EPC/gas/memory budget exceeded
+  kVmTrap,           ///< smart-contract execution trapped
+  kUnavailable,      ///< transient (network, consensus not reached)
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Value-semantics error status. Cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status PermissionDenied(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+  static Status CryptoError(std::string m) { return {StatusCode::kCryptoError, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status VmTrap(std::string m) { return {StatusCode::kVmTrap, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status NotImplemented(std::string m) { return {StatusCode::kNotImplemented, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCryptoError() const { return code_ == StatusCode::kCryptoError; }
+  bool IsVmTrap() const { return code_ == StatusCode::kVmTrap; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// \brief Either a value of T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : var_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    if (ok()) return ok_status;
+    return std::get<Status>(var_);
+  }
+
+  /// \brief Value accessors; must only be called when ok().
+  T& value() & { return std::get<T>(var_); }
+  const T& value() const& { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// \brief Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(var_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// \brief Propagates a non-OK Status from an expression.
+#define CONFIDE_RETURN_NOT_OK(expr)                     \
+  do {                                                  \
+    ::confide::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+/// \brief Evaluates a Result-returning expression, assigning the value or
+/// propagating the error.
+#define CONFIDE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)  \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define CONFIDE_CONCAT_INNER(a, b) a##b
+#define CONFIDE_CONCAT(a, b) CONFIDE_CONCAT_INNER(a, b)
+
+#define CONFIDE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CONFIDE_ASSIGN_OR_RETURN_IMPL(CONFIDE_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace confide

@@ -1,0 +1,83 @@
+#include "confide/client.h"
+
+#include "crypto/drbg.h"
+#include "serialize/rlp.h"
+
+namespace confide::core {
+
+using serialize::RlpDecode;
+
+Client::Client(uint64_t seed, const crypto::PublicKey& pk_tx) : pk_tx_(pk_tx) {
+  crypto::Drbg rng(Concat(AsByteView("confide-client:"),
+                          ByteView(reinterpret_cast<const uint8_t*>(&seed), 8)));
+  keypair_ = crypto::GenerateKeyPair(&rng);
+  rng.Fill(root_key_.data(), root_key_.size());
+  entropy_ = seed;
+}
+
+chain::Transaction Client::MakeRawTx(const chain::Address& contract,
+                                     std::string entry, Bytes input) {
+  chain::Transaction tx;
+  tx.type = chain::TxType::kPublic;  // the raw form is public-shaped
+  tx.sender = keypair_.pub;
+  tx.contract = contract;
+  tx.entry = std::move(entry);
+  tx.input = std::move(input);
+  tx.nonce = nonce_++;
+  tx.signature = *crypto::EcdsaSign(keypair_.priv, tx.SigningHash());
+  return tx;
+}
+
+chain::Transaction Client::MakePublicTx(const chain::Address& contract,
+                                        std::string entry, Bytes input) {
+  return MakeRawTx(contract, std::move(entry), std::move(input));
+}
+
+Result<ConfidentialSubmission> Client::MakeConfidentialTx(
+    const chain::Address& contract, std::string entry, Bytes input) {
+  chain::Transaction raw = MakeRawTx(contract, std::move(entry), std::move(input));
+  Bytes raw_bytes = raw.Serialize();
+
+  ConfidentialSubmission submission;
+  submission.raw_hash = crypto::Sha256::Digest(raw_bytes);
+  submission.k_tx = DeriveTxKey(crypto::HashView(root_key_), submission.raw_hash);
+  CONFIDE_ASSIGN_OR_RETURN(
+      Bytes envelope, SealEnvelope(pk_tx_, submission.k_tx, raw_bytes, ++entropy_));
+  submission.tx.type = chain::TxType::kConfidential;
+  submission.tx.envelope = std::move(envelope);
+  return submission;
+}
+
+Result<chain::Receipt> Client::OpenSealedReceipt(const TxKey& k_tx,
+                                                 ByteView sealed_receipt) {
+  CONFIDE_ASSIGN_OR_RETURN(Bytes raw, OpenReceipt(k_tx, sealed_receipt));
+  return chain::Receipt::Deserialize(raw);
+}
+
+Result<crypto::PublicKey> Client::VerifyEnginePublicKey(
+    ByteView info_blob, const tee::Measurement& expected_km_measurement) {
+  CONFIDE_ASSIGN_OR_RETURN(serialize::RlpItem item, RlpDecode(info_blob));
+  if (!item.is_list() || item.list().size() != 2) {
+    return Status::Corruption("client: bad pk info blob");
+  }
+  const Bytes& pk_bytes = item.list()[0].bytes();
+  if (pk_bytes.size() != 64) return Status::Corruption("client: bad pk_tx");
+  crypto::PublicKey pk{};
+  std::copy(pk_bytes.begin(), pk_bytes.end(), pk.begin());
+
+  CONFIDE_ASSIGN_OR_RETURN(tee::Quote quote,
+                           DeserializeQuote(item.list()[1].bytes()));
+  if (!tee::VerifyQuote(quote)) {
+    return Status::PermissionDenied("client: quote rejected");
+  }
+  if (quote.mrenclave != expected_km_measurement) {
+    return Status::PermissionDenied("client: measurement mismatch");
+  }
+  crypto::Hash256 fingerprint = crypto::Sha256::Digest(pk_bytes);
+  if (!ConstantTimeEqual(quote.user_data, crypto::HashView(fingerprint))) {
+    return Status::PermissionDenied("client: pk fingerprint mismatch (MITM?)");
+  }
+  return pk;
+}
+
+}  // namespace confide::core

@@ -1,0 +1,68 @@
+/// \file client.h
+/// \brief Client-side SDK: building confidential transactions and reading
+/// sealed receipts.
+///
+/// A client verifies the engine's pk_tx against its attestation quote
+/// (the fingerprint is locked into the report, §3.2.2), then seals raw
+/// transactions into T-Protocol envelopes. k_tx derives from the client's
+/// root key and the raw transaction hash (one key per transaction); the
+/// client retains it to open the sealed receipt later — or hands it to an
+/// auditor to delegate access to exactly that one transaction (§3.2.3).
+
+#pragma once
+
+#include "chain/types.h"
+#include "confide/key_manager.h"
+#include "confide/protocol.h"
+
+namespace confide::core {
+
+/// \brief A confidential transaction plus the client-retained secrets.
+struct ConfidentialSubmission {
+  chain::Transaction tx;        ///< the TYPE=1 envelope transaction
+  TxKey k_tx{};                 ///< one-time key (receipt access / delegation)
+  crypto::Hash256 raw_hash{};   ///< hash of the sealed raw transaction
+};
+
+/// \brief A transaction-submitting principal.
+class Client {
+ public:
+  /// \brief Derives the signing key pair and T-Protocol root key from
+  /// `seed`; binds to the engine public key `pk_tx`.
+  Client(uint64_t seed, const crypto::PublicKey& pk_tx);
+
+  const crypto::PublicKey& public_key() const { return keypair_.pub; }
+
+  /// \brief Builds a signed public (TYPE=0) transaction.
+  chain::Transaction MakePublicTx(const chain::Address& contract,
+                                  std::string entry, Bytes input);
+
+  /// \brief Builds a confidential (TYPE=1) transaction: the signed raw
+  /// transaction sealed in a T-Protocol envelope. The returned k_tx stays
+  /// with the client.
+  Result<ConfidentialSubmission> MakeConfidentialTx(const chain::Address& contract,
+                                                    std::string entry, Bytes input);
+
+  /// \brief Opens a sealed receipt with k_tx (the owner's copy or a
+  /// delegated one — receipt delegation is exactly "hand over k_tx").
+  static Result<chain::Receipt> OpenSealedReceipt(const TxKey& k_tx,
+                                                  ByteView sealed_receipt);
+
+  /// \brief Verifies a KM enclave's public-key info blob (pk_tx + quote):
+  /// the quote must chain to the hardware root, carry the expected
+  /// measurement, and bind SHA256(pk_tx). Returns the authenticated key.
+  static Result<crypto::PublicKey> VerifyEnginePublicKey(
+      ByteView info_blob, const tee::Measurement& expected_km_measurement);
+
+ private:
+  chain::Transaction MakeRawTx(const chain::Address& contract, std::string entry,
+                               Bytes input);
+
+  crypto::KeyPair keypair_;
+  crypto::Hash256 root_key_;
+  crypto::PublicKey pk_tx_;
+  uint64_t nonce_ = 0;
+  uint64_t entropy_ = 0;
+};
+
+}  // namespace confide::core

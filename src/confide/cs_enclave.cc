@@ -1,0 +1,449 @@
+#include "confide/cs_enclave.h"
+
+#include <map>
+
+#include "common/endian.h"
+#include "crypto/drbg.h"
+#include "crypto/keccak.h"
+#include "serialize/rlp.h"
+
+namespace confide::core {
+
+namespace {
+
+using serialize::RlpDecode;
+using serialize::RlpEncode;
+using serialize::RlpItem;
+
+uint64_t ConflictKeyOf(const chain::Address& contract) {
+  return LoadBe64(contract.data());
+}
+
+uint32_t SelectorOf(std::string_view entry) {
+  crypto::Hash256 h = crypto::Keccak256::Digest(AsByteView(entry));
+  return LoadBe32(h.data());
+}
+
+/// The SDM: the in-enclave HostEnv. State crossings are ocalls; values are
+/// sealed/opened with D-Protocol; a per-execution memory cache absorbs
+/// repeated reads (the SCF-AR flow reads the same accounts repeatedly).
+class SdmEnv : public vm::HostEnv {
+ public:
+  using CodeCache = std::unordered_map<std::string, std::pair<Bytes, uint8_t>>;
+
+  SdmEnv(tee::EnclaveContext* ctx, const CsOptions& options, uint64_t token,
+         const StateKey& k_states, chain::Address contract, uint64_t svn,
+         vm::cvm::CvmVm* cvm, vm::evm::EvmVm* evm, uint32_t depth,
+         CsExecuteResponse* stats, std::mutex* code_cache_mutex,
+         CodeCache* code_cache)
+      : ctx_(ctx),
+        options_(options),
+        token_(token),
+        k_states_(k_states),
+        contract_(contract),
+        svn_(svn),
+        cvm_(cvm),
+        evm_(evm),
+        depth_(depth),
+        stats_(stats),
+        code_cache_mutex_(code_cache_mutex),
+        code_cache_(code_cache) {}
+
+  Result<Bytes> GetStorage(ByteView key) override {
+    if (count_ops_) ++stats_->get_storage_ops;
+    std::string cache_key = CacheKey(key);
+    if (options_.enable_state_cache) {
+      auto it = cache_.find(cache_key);
+      if (it != cache_.end()) {
+        if (!it->second) return Status::NotFound("sdm: cached absent");
+        return *it->second;
+      }
+    }
+    // Ocall: fetch the sealed value from the untrusted store.
+    std::vector<RlpItem> req;
+    req.push_back(RlpItem::U64(token_));
+    req.push_back(RlpItem(Bytes(contract_.begin(), contract_.end())));
+    req.push_back(RlpItem(ToBytes(key)));
+    CONFIDE_ASSIGN_OR_RETURN(
+        Bytes resp, ctx_->Ocall(kOcallGetState, RlpEncode(RlpItem::List(std::move(req))),
+                                options_.ocall_semantics));
+    CONFIDE_ASSIGN_OR_RETURN(RlpItem resp_item, RlpDecode(resp));
+    if (!resp_item.is_list() || resp_item.list().size() != 2) {
+      return Status::Corruption("sdm: bad get-state response");
+    }
+    CONFIDE_ASSIGN_OR_RETURN(uint64_t found, resp_item.list()[0].AsU64());
+    if (found == 0) {
+      if (options_.enable_state_cache) cache_[cache_key] = std::nullopt;
+      return Status::NotFound("sdm: no such state");
+    }
+    Bytes aad = StateAad(ByteView(contract_.data(), contract_.size()), key, svn_);
+    CONFIDE_ASSIGN_OR_RETURN(Bytes plain,
+                             OpenState(k_states_, resp_item.list()[1].bytes(), aad));
+    if (options_.enable_state_cache) cache_[cache_key] = plain;
+    return plain;
+  }
+
+  Status SetStorage(ByteView key, ByteView value) override {
+    ++stats_->set_storage_ops;
+    Bytes aad = StateAad(ByteView(contract_.data(), contract_.size()), key, svn_);
+    CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, SealState(k_states_, value, aad));
+    std::vector<RlpItem> req;
+    req.push_back(RlpItem::U64(token_));
+    req.push_back(RlpItem(Bytes(contract_.begin(), contract_.end())));
+    req.push_back(RlpItem(ToBytes(key)));
+    req.push_back(RlpItem(std::move(sealed)));
+    CONFIDE_RETURN_NOT_OK(
+        ctx_->Ocall(kOcallSetState, RlpEncode(RlpItem::List(std::move(req))),
+                    options_.ocall_semantics)
+            .status());
+    if (options_.enable_state_cache) cache_[CacheKey(key)] = ToBytes(value);
+    return Status::OK();
+  }
+
+  void EmitLog(ByteView data) override { logs.push_back(ToBytes(data)); }
+
+  Result<Bytes> CallContract(ByteView address, ByteView input) override {
+    ++stats_->contract_calls;
+    if (depth_ + 1 >= options_.max_call_depth) {
+      return Status::VmTrap("sdm: call depth exceeded");
+    }
+    if (address.size() != contract_.size()) {
+      return Status::InvalidArgument("sdm: bad callee address");
+    }
+    chain::Address callee{};
+    std::copy(address.begin(), address.end(), callee.begin());
+    // Convention: input = entry-name '\0' args.
+    size_t sep = 0;
+    while (sep < input.size() && input[sep] != 0) ++sep;
+    std::string entry(reinterpret_cast<const char*>(input.data()), sep);
+    ByteView args = (sep < input.size()) ? input.subspan(sep + 1) : ByteView{};
+
+    SdmEnv callee_env(ctx_, options_, token_, k_states_, callee, svn_, cvm_, evm_,
+                      depth_ + 1, stats_, code_cache_mutex_, code_cache_);
+    CONFIDE_ASSIGN_OR_RETURN(vm::ExecutionResult result,
+                             callee_env.RunContract(entry, args));
+    for (Bytes& log : callee_env.logs) logs.push_back(std::move(log));
+    return result.output;
+  }
+
+  /// Loads this contract's code via the SDM and runs it on the right VM.
+  /// With the OPT1 code cache, repeat executions skip the sealed-code
+  /// ocall and its D-Protocol decryption entirely. Code fetches bypass
+  /// the Table-1 state-op counters (contract loading, not contract I/O).
+  Result<vm::ExecutionResult> RunContract(std::string_view entry, ByteView args) {
+    std::string cache_key = chain::AddressToString(contract_);
+    Bytes code;
+    Bytes vm_byte;
+    bool cached = false;
+    if (options_.enable_code_cache) {
+      std::lock_guard<std::mutex> lock(*code_cache_mutex_);
+      auto it = code_cache_->find(cache_key);
+      if (it != code_cache_->end()) {
+        code = it->second.first;
+        vm_byte = Bytes{it->second.second};
+        cached = true;
+      }
+    }
+    if (!cached) {
+      count_ops_ = false;
+      auto code_result = GetStorage(AsByteView("__code__"));
+      auto vm_result = GetStorage(AsByteView("__vm__"));
+      count_ops_ = true;
+      CONFIDE_RETURN_NOT_OK(code_result.status());
+      CONFIDE_RETURN_NOT_OK(vm_result.status());
+      code = std::move(*code_result);
+      vm_byte = std::move(*vm_result);
+      if (options_.enable_code_cache && vm_byte.size() == 1) {
+        std::lock_guard<std::mutex> lock(*code_cache_mutex_);
+        (*code_cache_)[cache_key] = {code, vm_byte[0]};
+      }
+    }
+    if (vm_byte.size() != 1) return Status::Corruption("sdm: bad vm kind");
+
+    vm::ExecConfig config;
+    config.gas_limit = options_.gas_limit;
+    config.enable_code_cache = options_.enable_code_cache;
+    config.enable_fusion = options_.enable_fusion;
+
+    if (vm_byte[0] == 0) {
+      return cvm_->Execute(code, entry, args, this, config);
+    }
+    Bytes calldata(4);
+    StoreBe32(calldata.data(), SelectorOf(entry));
+    Append(&calldata, args);
+    return evm_->Execute(code, calldata, this, config);
+  }
+
+  std::vector<Bytes> logs;
+
+ private:
+  std::string CacheKey(ByteView key) const {
+    return chain::AddressToString(contract_) + "/" + ToString(key);
+  }
+
+  tee::EnclaveContext* ctx_;
+  const CsOptions& options_;
+  uint64_t token_;
+  const StateKey& k_states_;
+  chain::Address contract_;
+  uint64_t svn_;
+  vm::cvm::CvmVm* cvm_;
+  vm::evm::EvmVm* evm_;
+  uint32_t depth_;
+  CsExecuteResponse* stats_;
+  std::mutex* code_cache_mutex_;
+  CodeCache* code_cache_;
+  bool count_ops_ = true;
+  std::map<std::string, std::optional<Bytes>> cache_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CsExecuteResponse codec
+// ---------------------------------------------------------------------------
+
+Bytes CsExecuteResponse::Serialize() const {
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem::U64(success ? 1 : 0));
+  items.push_back(RlpItem::String(status_message));
+  items.push_back(RlpItem(sealed_receipt));
+  items.push_back(RlpItem::U64(gas_used));
+  items.push_back(RlpItem::U64(conflict_key));
+  items.push_back(RlpItem::U64(contract_calls));
+  items.push_back(RlpItem::U64(get_storage_ops));
+  items.push_back(RlpItem::U64(set_storage_ops));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<CsExecuteResponse> CsExecuteResponse::Deserialize(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
+  if (!item.is_list() || item.list().size() != 8) {
+    return Status::Corruption("cs: bad execute response");
+  }
+  const auto& f = item.list();
+  CsExecuteResponse resp;
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t success, f[0].AsU64());
+  resp.success = success != 0;
+  resp.status_message = ToString(f[1].bytes());
+  resp.sealed_receipt = f[2].bytes();
+  CONFIDE_ASSIGN_OR_RETURN(resp.gas_used, f[3].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.conflict_key, f[4].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.contract_calls, f[5].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.get_storage_ops, f[6].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.set_storage_ops, f[7].AsU64());
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// CsEnclave
+// ---------------------------------------------------------------------------
+
+Result<Bytes> CsEnclave::HandleEcall(uint64_t fn, ByteView input,
+                                     tee::EnclaveContext* ctx) {
+  switch (fn) {
+    case kCsGetProvisionReport: return GetProvisionReport(ctx);
+    case kCsInstallKeys: return InstallKeys(input);
+    case kCsPreVerifyBatch: return PreVerifyBatch(input, ctx);
+    case kCsExecute: return Execute(input, ctx);
+    default:
+      return Status::InvalidArgument("cs: unknown ecall");
+  }
+}
+
+Result<Bytes> CsEnclave::GetProvisionReport(tee::EnclaveContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crypto::Drbg rng(Concat(AsByteView("confide-cs-channel:"),
+                          ByteView(reinterpret_cast<const uint8_t*>(&seed_), 8)));
+  provision_ecdh_ = crypto::GenerateKeyPair(&rng);
+  tee::LocalReport report = ctx->CreateLocalReport(
+      ByteView(provision_ecdh_->pub.data(), provision_ecdh_->pub.size()));
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem(Bytes(report.mrenclave.begin(), report.mrenclave.end())));
+  items.push_back(RlpItem::U64(report.security_version));
+  items.push_back(RlpItem(report.user_data));
+  items.push_back(RlpItem(Bytes(report.mac.begin(), report.mac.end())));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<Bytes> CsEnclave::InstallKeys(ByteView blob) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!provision_ecdh_) return Status::Unavailable("cs: no provisioning channel");
+  CONFIDE_ASSIGN_OR_RETURN(ConsortiumKeys keys,
+                           UnwrapConsortiumKeys(provision_ecdh_->priv, blob));
+  keys_ = keys;
+  provision_ecdh_.reset();
+  return Bytes{};
+}
+
+Result<OpenedEnvelope> CsEnclave::OpenWithCache(ByteView envelope,
+                                                const crypto::Hash256& env_hash,
+                                                bool* was_verified) {
+  *was_verified = false;
+  std::string hash_key = HexEncode(crypto::HashView(env_hash));
+  if (options_.enable_preverify_cache) {
+    std::optional<CachedMeta> meta;
+    {
+      // Keep the critical section tiny: the symmetric decryption below
+      // must run outside the lock or parallel executors serialize.
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = meta_cache_.find(hash_key);
+      if (it != meta_cache_.end()) {
+        ++cache_hits_;
+        meta = it->second;
+      } else {
+        ++cache_misses_;
+      }
+    }
+    if (meta) {
+      // C3: symmetric-only recovery with the cached k_tx.
+      OpenedEnvelope opened;
+      opened.k_tx = meta->k_tx;
+      auto body = OpenEnvelopeBody(meta->k_tx, envelope);
+      if (body.ok()) {
+        opened.raw_tx = std::move(*body);
+        *was_verified = meta->verified;
+        return opened;
+      }
+      // Fall through to the full path on cache inconsistency.
+    }
+  }
+  std::optional<ConsortiumKeys> keys;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    keys = keys_;
+  }
+  if (!keys) return Status::Unavailable("cs: keys not provisioned");
+  return OpenEnvelope(keys->sk_tx, envelope);
+}
+
+Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* ctx) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
+  if (!item.is_list()) return Status::Corruption("cs: bad batch");
+  std::optional<ConsortiumKeys> keys;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    keys = keys_;
+  }
+  if (!keys) return Status::Unavailable("cs: keys not provisioned");
+
+  std::vector<RlpItem> results;
+  for (const RlpItem& env_item : item.list()) {
+    const Bytes& envelope = env_item.bytes();
+    crypto::Hash256 env_hash = crypto::Sha256::Digest(envelope);
+    bool valid = false;
+    uint64_t conflict_key = 0;
+    TxKey k_tx{};
+
+    // P2: private-key decryption of the digital envelope.
+    auto opened = OpenEnvelope(keys->sk_tx, envelope);
+    if (opened.ok()) {
+      k_tx = opened->k_tx;
+      // P3: signature verification of the recovered raw transaction.
+      auto raw = chain::Transaction::Deserialize(opened->raw_tx);
+      if (raw.ok()) {
+        valid = crypto::EcdsaVerify(raw->sender, raw->SigningHash(), raw->signature);
+        conflict_key = ConflictKeyOf(raw->contract);
+      }
+    }
+    // P4: aggregate (hash, k_tx, f_verified) into the enclave cache.
+    if (valid && options_.enable_preverify_cache) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      meta_cache_[HexEncode(crypto::HashView(env_hash))] =
+          CachedMeta{k_tx, true, conflict_key};
+    }
+    std::vector<RlpItem> entry;
+    entry.push_back(RlpItem(Bytes(env_hash.begin(), env_hash.end())));
+    entry.push_back(RlpItem::U64(valid ? 1 : 0));
+    entry.push_back(RlpItem::U64(conflict_key));
+    results.push_back(RlpItem::List(std::move(entry)));
+  }
+  ctx->MonitorEmit(0, "cs: pre-verified batch");
+  return RlpEncode(RlpItem::List(std::move(results)));
+}
+
+Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
+  if (!item.is_list() || item.list().size() != 2) {
+    return Status::Corruption("cs: bad execute request");
+  }
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+  const Bytes& envelope = item.list()[1].bytes();
+  crypto::Hash256 env_hash = crypto::Sha256::Digest(envelope);
+
+  CsExecuteResponse response;
+  auto fail = [&](const Status& status) -> Result<Bytes> {
+    response.success = false;
+    response.status_message = status.ToString();
+    ctx->MonitorEmit(2, "cs: tx failed: " + status.ToString());
+    return response.Serialize();
+  };
+
+  bool was_verified = false;
+  auto opened = OpenWithCache(envelope, env_hash, &was_verified);
+  if (!opened.ok()) return fail(opened.status());
+
+  auto raw = chain::Transaction::Deserialize(opened->raw_tx);
+  if (!raw.ok()) return fail(raw.status());
+
+  if (!was_verified &&
+      !crypto::EcdsaVerify(raw->sender, raw->SigningHash(), raw->signature)) {
+    return fail(Status::PermissionDenied("cs: bad transaction signature"));
+  }
+
+  StateKey k_states;
+  uint64_t svn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!keys_) return fail(Status::Unavailable("cs: keys not provisioned"));
+    k_states = keys_->k_states;
+    svn = SecurityVersion();
+  }
+
+  response.conflict_key = ConflictKeyOf(raw->contract);
+  SdmEnv env(ctx, options_, token, k_states, raw->contract, svn, &cvm_, &evm_,
+             /*depth=*/0, &response, &code_cache_mutex_, &code_cache_);
+
+  chain::Receipt raw_receipt;
+  raw_receipt.tx_hash = env_hash;
+
+  if (raw->entry == "__deploy__") {
+    // Confidential deployment: code lands sealed like any other state.
+    auto deploy = RlpDecode(raw->input);
+    if (!deploy.ok() || !deploy->is_list() || deploy->list().size() != 2) {
+      return fail(Status::InvalidArgument("cs: bad deploy payload"));
+    }
+    auto vm_kind = deploy->list()[0].AsU64();
+    if (!vm_kind.ok() || *vm_kind > 1) {
+      return fail(Status::InvalidArgument("cs: bad vm kind"));
+    }
+    Status st = env.SetStorage(AsByteView("__code__"), deploy->list()[1].bytes());
+    if (st.ok()) st = env.SetStorage(AsByteView("__vm__"), Bytes{uint8_t(*vm_kind)});
+    if (!st.ok()) return fail(st);
+    raw_receipt.success = true;
+  } else {
+    auto result = env.RunContract(raw->entry, raw->input);
+    if (!result.ok()) {
+      if (result.status().IsVmTrap() ||
+          result.status().code() == StatusCode::kResourceExhausted ||
+          result.status().IsNotFound()) {
+        return fail(result.status());
+      }
+      return result.status();  // infrastructure error: propagate
+    }
+    raw_receipt.success = true;
+    raw_receipt.output = std::move(result->output);
+    raw_receipt.gas_used = result->gas_used;
+    response.gas_used = result->gas_used;
+  }
+  raw_receipt.logs = std::move(env.logs);
+
+  // Rpt_conf = Enc(k_tx, Rpt_raw).
+  auto sealed = SealReceipt(opened->k_tx, raw_receipt.Serialize());
+  if (!sealed.ok()) return fail(sealed.status());
+  response.sealed_receipt = std::move(*sealed);
+  response.success = true;
+  return response.Serialize();
+}
+
+}  // namespace confide::core

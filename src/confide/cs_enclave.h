@@ -1,0 +1,141 @@
+/// \file cs_enclave.h
+/// \brief Contract Service enclave: the Confidential-Engine's trusted half
+/// (paper §3.2.1, §5.1, §5.2).
+///
+/// Inside the enclave live:
+///   * the **pre-processor** — opens T-Protocol envelopes, verifies
+///     signatures, and (when the pre-verification cache is on, OPT3)
+///     memoizes (tx hash → k_tx, f_verified) so the execution phase pays
+///     only a symmetric decryption instead of the private-key operation;
+///   * the **key cache** — sk_tx / k_states provisioned from the KM
+///     enclave over a local-attestation channel;
+///   * the **SDM** (secure data module) — a vm::HostEnv whose
+///     GetStorage/SetStorage cross the boundary via ocalls and apply
+///     D-Protocol sealing, with a memory cache for I/O efficiency;
+///   * both VMs (CONFIDE-VM and EVM) with their code caches (OPT1/OPT4).
+
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "chain/types.h"
+#include "confide/key_manager.h"
+#include "confide/protocol.h"
+#include "tee/enclave.h"
+#include "vm/cvm/interpreter.h"
+#include "vm/evm/evm.h"
+
+namespace confide::core {
+
+/// \brief CS enclave ecall ids.
+enum CsEcall : uint64_t {
+  kCsGetProvisionReport = 20,  ///< -> RLP local report, user_data = ECDH pub
+  kCsInstallKeys = 21,         ///< provision blob -> ()
+  kCsPreVerifyBatch = 22,      ///< RLP [envelope...] -> RLP [{hash, valid, ck}...]
+  kCsExecute = 23,             ///< RLP{token, envelope} -> execute response
+};
+
+/// \brief Ocall ids served by the untrusted host (ConfidentialEngine).
+enum CsOcall : uint64_t {
+  kOcallGetState = 30,  ///< RLP{token, contract, key} -> RLP{found, value}
+  kOcallSetState = 31,  ///< RLP{token, contract, key, value} -> ()
+};
+
+/// \brief Feature toggles matching the paper's optimization ladder.
+struct CsOptions {
+  bool enable_preverify_cache = true;   ///< OPT3 (§5.2)
+  bool enable_code_cache = true;        ///< OPT1 (§6.4)
+  bool enable_fusion = true;            ///< OPT4 (§6.4)
+  bool enable_state_cache = true;       ///< SDM memory cache (§3.2.1)
+  /// Marshalling mode for state ocalls ("optimized data structure", §5.3).
+  tee::PointerSemantics ocall_semantics = tee::PointerSemantics::kCopyInOut;
+  uint64_t gas_limit = 400'000'000;
+  uint32_t max_call_depth = 64;
+};
+
+/// \brief Result of one in-enclave execution, as returned to the host.
+struct CsExecuteResponse {
+  bool success = false;
+  std::string status_message;
+  Bytes sealed_receipt;      ///< Rpt_conf = Enc(k_tx, Rpt_raw)
+  uint64_t gas_used = 0;
+  uint64_t conflict_key = 0;
+  // Operation counts (Table 1 profile).
+  uint64_t contract_calls = 0;
+  uint64_t get_storage_ops = 0;
+  uint64_t set_storage_ops = 0;
+
+  Bytes Serialize() const;
+  static Result<CsExecuteResponse> Deserialize(ByteView wire);
+};
+
+/// \brief One entry of a pre-verification batch response.
+struct PreVerifyResult {
+  crypto::Hash256 tx_hash{};
+  bool valid = false;
+  uint64_t conflict_key = 0;
+};
+
+/// \brief The contract-service enclave.
+class CsEnclave : public tee::Enclave {
+ public:
+  explicit CsEnclave(uint64_t seed, CsOptions options = CsOptions{})
+      : seed_(seed), options_(options) {}
+
+  std::string CodeIdentity() const override { return "confide-cs-enclave"; }
+  uint64_t SecurityVersion() const override { return 1; }
+
+  Result<Bytes> HandleEcall(uint64_t fn, ByteView input,
+                            tee::EnclaveContext* ctx) override;
+
+  /// \brief Cache statistics (tests/benchmarks).
+  uint64_t preverify_cache_hits() const { return cache_hits_; }
+  uint64_t preverify_cache_misses() const { return cache_misses_; }
+  vm::cvm::CvmStats cvm_stats() const { return cvm_.stats(); }
+
+ private:
+  struct CachedMeta {
+    TxKey k_tx{};
+    bool verified = false;
+    uint64_t conflict_key = 0;
+  };
+
+  Result<Bytes> GetProvisionReport(tee::EnclaveContext* ctx);
+  Result<Bytes> InstallKeys(ByteView blob);
+  Result<Bytes> PreVerifyBatch(ByteView request, tee::EnclaveContext* ctx);
+  Result<Bytes> Execute(ByteView request, tee::EnclaveContext* ctx);
+
+  // Opens an envelope, via cache (symmetric path) or sk_tx (full path).
+  Result<OpenedEnvelope> OpenWithCache(ByteView envelope,
+                                       const crypto::Hash256& env_hash,
+                                       bool* was_verified);
+
+  uint64_t seed_;
+  CsOptions options_;
+  std::mutex mutex_;
+  std::optional<ConsortiumKeys> keys_;
+  std::optional<crypto::KeyPair> provision_ecdh_;
+  std::unordered_map<std::string, CachedMeta> meta_cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+
+  vm::cvm::CvmVm cvm_;
+  vm::evm::EvmVm evm_;
+
+  // OPT1 code cache: decrypted contract code by address, so repeat
+  // executions skip the sealed-code ocall + D-Protocol decryption (the
+  // wire-format decode is cached separately inside the VMs).
+  std::mutex code_cache_mutex_;
+  std::unordered_map<std::string, std::pair<Bytes, uint8_t>> code_cache_;
+
+ public:
+  /// \brief Accessors used by the in-enclave SDM (internal).
+  std::mutex* code_cache_mutex() { return &code_cache_mutex_; }
+  std::unordered_map<std::string, std::pair<Bytes, uint8_t>>* code_cache() {
+    return &code_cache_;
+  }
+};
+
+}  // namespace confide::core

@@ -1,0 +1,295 @@
+#include "confide/engines.h"
+
+#include "common/endian.h"
+#include "crypto/keccak.h"
+#include "serialize/rlp.h"
+
+namespace confide::core {
+
+namespace {
+
+using serialize::RlpDecode;
+using serialize::RlpEncode;
+using serialize::RlpItem;
+
+uint32_t SelectorOf(std::string_view entry) {
+  crypto::Hash256 h = crypto::Keccak256::Digest(AsByteView(entry));
+  return LoadBe32(h.data());
+}
+
+/// Plain HostEnv for the public engine: state in the clear, nested calls
+/// resolved through the on-chain registry.
+class PlainEnv : public vm::HostEnv {
+ public:
+  PlainEnv(chain::StateDb* state, chain::Address contract,
+           const EngineOptions& options, vm::cvm::CvmVm* cvm, vm::evm::EvmVm* evm,
+           uint32_t depth)
+      : state_(state),
+        contract_(contract),
+        options_(options),
+        cvm_(cvm),
+        evm_(evm),
+        depth_(depth) {}
+
+  Result<Bytes> GetStorage(ByteView key) override {
+    return state_->Get(contract_, key);
+  }
+
+  Status SetStorage(ByteView key, ByteView value) override {
+    state_->Put(contract_, key, ToBytes(value));
+    return Status::OK();
+  }
+
+  void EmitLog(ByteView data) override { logs.push_back(ToBytes(data)); }
+
+  Result<Bytes> CallContract(ByteView address, ByteView input) override {
+    if (depth_ + 1 >= options_.max_call_depth) {
+      return Status::VmTrap("public: call depth exceeded");
+    }
+    if (address.size() != contract_.size()) {
+      return Status::InvalidArgument("public: bad callee address");
+    }
+    chain::Address callee{};
+    std::copy(address.begin(), address.end(), callee.begin());
+    size_t sep = 0;
+    while (sep < input.size() && input[sep] != 0) ++sep;
+    std::string entry(reinterpret_cast<const char*>(input.data()), sep);
+    ByteView args = (sep < input.size()) ? input.subspan(sep + 1) : ByteView{};
+
+    PlainEnv callee_env(state_, callee, options_, cvm_, evm_, depth_ + 1);
+    CONFIDE_ASSIGN_OR_RETURN(vm::ExecutionResult result,
+                             callee_env.Run(entry, args));
+    for (Bytes& log : callee_env.logs) logs.push_back(std::move(log));
+    return result.output;
+  }
+
+  Result<vm::ExecutionResult> Run(std::string_view entry, ByteView args) {
+    CONFIDE_ASSIGN_OR_RETURN(chain::ContractRegistry::ContractInfo info,
+                             chain::ContractRegistry::Load(state_, contract_));
+    vm::ExecConfig config;
+    config.gas_limit = options_.gas_limit;
+    config.enable_code_cache = options_.enable_code_cache;
+    config.enable_fusion = options_.enable_fusion;
+    if (info.vm == chain::VmKind::kCvm) {
+      return cvm_->Execute(info.code, entry, args, this, config);
+    }
+    Bytes calldata(4);
+    StoreBe32(calldata.data(), SelectorOf(entry));
+    Append(&calldata, args);
+    return evm_->Execute(info.code, calldata, this, config);
+  }
+
+  std::vector<Bytes> logs;
+
+ private:
+  chain::StateDb* state_;
+  chain::Address contract_;
+  const EngineOptions& options_;
+  vm::cvm::CvmVm* cvm_;
+  vm::evm::EvmVm* evm_;
+  uint32_t depth_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PublicEngine
+// ---------------------------------------------------------------------------
+
+Result<bool> PublicEngine::PreVerify(const chain::Transaction& tx) {
+  if (tx.type != chain::TxType::kPublic) {
+    return Status::InvalidArgument("public engine: wrong tx type");
+  }
+  return crypto::EcdsaVerify(tx.sender, tx.SigningHash(), tx.signature);
+}
+
+Result<chain::Receipt> PublicEngine::Execute(const chain::Transaction& tx,
+                                             chain::StateDb* state) {
+  chain::Receipt receipt;
+  receipt.tx_hash = tx.Hash();
+
+  if (!options_.assume_preverified &&
+      !crypto::EcdsaVerify(tx.sender, tx.SigningHash(), tx.signature)) {
+    receipt.success = false;
+    receipt.status_message = "bad signature";
+    return receipt;
+  }
+
+  if (tx.entry == "__deploy__") {
+    auto deploy = RlpDecode(tx.input);
+    if (!deploy.ok() || !deploy->is_list() || deploy->list().size() != 2) {
+      receipt.success = false;
+      receipt.status_message = "bad deploy payload";
+      return receipt;
+    }
+    auto vm_kind = deploy->list()[0].AsU64();
+    if (!vm_kind.ok() || *vm_kind > 1) {
+      receipt.success = false;
+      receipt.status_message = "bad vm kind";
+      return receipt;
+    }
+    state->Put(tx.contract, AsByteView(chain::ContractRegistry::kCodeKey),
+               deploy->list()[1].bytes());
+    state->Put(tx.contract, AsByteView(chain::ContractRegistry::kVmKey),
+               Bytes{uint8_t(*vm_kind)});
+    receipt.success = true;
+    return receipt;
+  }
+
+  PlainEnv env(state, tx.contract, options_, &cvm_, &evm_, /*depth=*/0);
+  auto result = env.Run(tx.entry, tx.input);
+  if (!result.ok()) {
+    receipt.success = false;
+    receipt.status_message = result.status().ToString();
+    return receipt;
+  }
+  receipt.success = true;
+  receipt.output = std::move(result->output);
+  receipt.gas_used = result->gas_used;
+  receipt.logs = std::move(env.logs);
+  return receipt;
+}
+
+uint64_t PublicEngine::ConflictKey(const chain::Transaction& tx) {
+  return LoadBe64(tx.contract.data());
+}
+
+// ---------------------------------------------------------------------------
+// ConfidentialEngine
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ConfidentialEngine>> ConfidentialEngine::Create(
+    tee::EnclavePlatform* platform, CsOptions options, uint64_t seed,
+    uint64_t enclave_heap_bytes) {
+  auto enclave = std::make_shared<CsEnclave>(seed, options);
+  CONFIDE_ASSIGN_OR_RETURN(tee::EnclaveId id,
+                           platform->CreateEnclave(enclave, enclave_heap_bytes));
+  std::unique_ptr<ConfidentialEngine> engine(
+      new ConfidentialEngine(platform, std::move(enclave), id, options));
+  engine->RegisterOcalls();
+  return engine;
+}
+
+void ConfidentialEngine::RegisterOcalls() {
+  platform_->RegisterOcall(kOcallGetState, [this](ByteView payload) -> Result<Bytes> {
+    CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
+    if (!item.is_list() || item.list().size() != 3) {
+      return Status::Corruption("ocall: bad get-state request");
+    }
+    CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+    chain::StateDb* state;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = contexts_.find(token);
+      if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
+      state = it->second;
+    }
+    if (item.list()[1].bytes().size() != 20) {
+      return Status::Corruption("ocall: bad contract address");
+    }
+    chain::Address contract{};
+    std::copy(item.list()[1].bytes().begin(), item.list()[1].bytes().end(),
+              contract.begin());
+    auto value = state->Get(contract, item.list()[2].bytes());
+    std::vector<RlpItem> resp;
+    if (value.ok()) {
+      resp.push_back(RlpItem::U64(1));
+      resp.push_back(RlpItem(std::move(*value)));
+    } else if (value.status().IsNotFound()) {
+      resp.push_back(RlpItem::U64(0));
+      resp.push_back(RlpItem(Bytes{}));
+    } else {
+      return value.status();
+    }
+    return RlpEncode(RlpItem::List(std::move(resp)));
+  });
+
+  platform_->RegisterOcall(kOcallSetState, [this](ByteView payload) -> Result<Bytes> {
+    CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
+    if (!item.is_list() || item.list().size() != 4) {
+      return Status::Corruption("ocall: bad set-state request");
+    }
+    CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+    chain::StateDb* state;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = contexts_.find(token);
+      if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
+      state = it->second;
+    }
+    if (item.list()[1].bytes().size() != 20) {
+      return Status::Corruption("ocall: bad contract address");
+    }
+    chain::Address contract{};
+    std::copy(item.list()[1].bytes().begin(), item.list()[1].bytes().end(),
+              contract.begin());
+    state->Put(contract, item.list()[2].bytes(), item.list()[3].bytes());
+    return Bytes{};
+  });
+}
+
+Result<bool> ConfidentialEngine::PreVerify(const chain::Transaction& tx) {
+  if (tx.type != chain::TxType::kConfidential) {
+    return Status::InvalidArgument("confidential engine: wrong tx type");
+  }
+  std::vector<RlpItem> batch;
+  batch.push_back(RlpItem(tx.envelope));
+  CONFIDE_ASSIGN_OR_RETURN(
+      Bytes resp, platform_->Ecall(enclave_id_, kCsPreVerifyBatch,
+                                   RlpEncode(RlpItem::List(std::move(batch)))));
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(resp));
+  if (!item.is_list() || item.list().size() != 1 || !item.list()[0].is_list() ||
+      item.list()[0].list().size() != 3) {
+    return Status::Corruption("confidential engine: bad preverify response");
+  }
+  const auto& entry = item.list()[0].list();
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t valid, entry[1].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t conflict_key, entry[2].AsU64());
+  if (valid != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conflict_keys_[HexEncode(entry[0].bytes())] = conflict_key;
+  }
+  return valid != 0;
+}
+
+Result<chain::Receipt> ConfidentialEngine::Execute(const chain::Transaction& tx,
+                                                   chain::StateDb* state) {
+  uint64_t token = next_token_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    contexts_[token] = state;
+  }
+  std::vector<RlpItem> req;
+  req.push_back(RlpItem::U64(token));
+  req.push_back(RlpItem(tx.envelope));
+  auto resp = platform_->Ecall(enclave_id_, kCsExecute,
+                               RlpEncode(RlpItem::List(std::move(req))),
+                               options_.ocall_semantics);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    contexts_.erase(token);
+  }
+  CONFIDE_RETURN_NOT_OK(resp.status());
+  CONFIDE_ASSIGN_OR_RETURN(CsExecuteResponse exec, CsExecuteResponse::Deserialize(*resp));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_response_ = exec;
+  }
+
+  chain::Receipt receipt;
+  receipt.tx_hash = tx.Hash();
+  receipt.success = exec.success;
+  receipt.status_message = exec.status_message;
+  receipt.output = std::move(exec.sealed_receipt);  // only the owner can open
+  receipt.gas_used = exec.gas_used;
+  return receipt;
+}
+
+uint64_t ConfidentialEngine::ConflictKey(const chain::Transaction& tx) {
+  crypto::Hash256 env_hash = crypto::Sha256::Digest(tx.envelope);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = conflict_keys_.find(HexEncode(crypto::HashView(env_hash)));
+  return it == conflict_keys_.end() ? 0 : it->second;
+}
+
+}  // namespace confide::core

@@ -1,0 +1,298 @@
+#include "confide/key_manager.h"
+
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "serialize/rlp.h"
+
+namespace confide::core {
+
+namespace {
+
+using serialize::RlpDecode;
+using serialize::RlpEncode;
+using serialize::RlpItem;
+
+RlpItem FixedItem(ByteView b) { return RlpItem(ToBytes(b)); }
+
+Result<Bytes> GetFixed(const RlpItem& item, size_t n, const char* what) {
+  if (!item.is_bytes() || item.bytes().size() != n) {
+    return Status::Corruption(std::string("k-protocol: bad ") + what);
+  }
+  return item.bytes();
+}
+
+}  // namespace
+
+Bytes SerializeQuote(const tee::Quote& quote) {
+  std::vector<RlpItem> items;
+  items.push_back(FixedItem(crypto::HashView(quote.mrenclave)));
+  items.push_back(RlpItem::U64(quote.security_version));
+  items.push_back(RlpItem::U64(quote.platform_id));
+  items.push_back(RlpItem(quote.user_data));
+  items.push_back(FixedItem(ByteView(quote.platform_key.data(), 64)));
+  items.push_back(FixedItem(ByteView(quote.platform_cert.data(), 64)));
+  items.push_back(FixedItem(ByteView(quote.signature.data(), 64)));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<tee::Quote> DeserializeQuote(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
+  if (!item.is_list() || item.list().size() != 7) {
+    return Status::Corruption("k-protocol: bad quote");
+  }
+  const auto& f = item.list();
+  tee::Quote quote;
+  CONFIDE_ASSIGN_OR_RETURN(Bytes mr, GetFixed(f[0], 32, "measurement"));
+  std::copy(mr.begin(), mr.end(), quote.mrenclave.begin());
+  CONFIDE_ASSIGN_OR_RETURN(quote.security_version, f[1].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(quote.platform_id, f[2].AsU64());
+  if (!f[3].is_bytes()) return Status::Corruption("k-protocol: bad user data");
+  quote.user_data = f[3].bytes();
+  CONFIDE_ASSIGN_OR_RETURN(Bytes pk, GetFixed(f[4], 64, "platform key"));
+  std::copy(pk.begin(), pk.end(), quote.platform_key.begin());
+  CONFIDE_ASSIGN_OR_RETURN(Bytes cert, GetFixed(f[5], 64, "platform cert"));
+  std::copy(cert.begin(), cert.end(), quote.platform_cert.begin());
+  CONFIDE_ASSIGN_OR_RETURN(Bytes sig, GetFixed(f[6], 64, "signature"));
+  std::copy(sig.begin(), sig.end(), quote.signature.begin());
+  return quote;
+}
+
+Result<Bytes> WrapConsortiumKeys(const ConsortiumKeys& keys,
+                                 const crypto::PublicKey& recipient,
+                                 uint64_t entropy) {
+  crypto::Drbg rng(Concat(AsByteView("confide-provision-eph:"),
+                          ByteView(reinterpret_cast<const uint8_t*>(&entropy), 8)));
+  crypto::KeyPair ephemeral = crypto::GenerateKeyPair(&rng);
+  CONFIDE_ASSIGN_OR_RETURN(crypto::Hash256 shared,
+                           crypto::EcdhSharedSecret(ephemeral.priv, recipient));
+  Bytes wrap = crypto::Hkdf(ByteView{}, crypto::HashView(shared),
+                            AsByteView("confide-provision-wrap"), 32);
+  crypto::Hash256 wrap_key;
+  std::copy(wrap.begin(), wrap.end(), wrap_key.begin());
+
+  std::vector<RlpItem> payload_items;
+  payload_items.push_back(FixedItem(ByteView(keys.sk_tx.data(), 32)));
+  payload_items.push_back(FixedItem(ByteView(keys.pk_tx.data(), 64)));
+  payload_items.push_back(FixedItem(crypto::HashView(keys.k_states)));
+  Bytes payload = RlpEncode(RlpItem::List(std::move(payload_items)));
+
+  CONFIDE_ASSIGN_OR_RETURN(crypto::AesGcm gcm,
+                           crypto::AesGcm::Create(crypto::HashView(wrap_key)));
+  Bytes iv = rng.Generate(crypto::kGcmIvSize);
+  CONFIDE_ASSIGN_OR_RETURN(Bytes sealed,
+                           gcm.Seal(iv, payload, AsByteView("provision")));
+  SecureZero(&payload);
+
+  std::vector<RlpItem> items;
+  items.push_back(FixedItem(ByteView(ephemeral.pub.data(), 64)));
+  items.push_back(RlpItem(std::move(iv)));
+  items.push_back(RlpItem(std::move(sealed)));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<ConsortiumKeys> UnwrapConsortiumKeys(const crypto::PrivateKey& recipient_priv,
+                                            ByteView blob) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(blob));
+  if (!item.is_list() || item.list().size() != 3) {
+    return Status::CryptoError("k-protocol: bad provision blob");
+  }
+  const auto& f = item.list();
+  CONFIDE_ASSIGN_OR_RETURN(Bytes eph, GetFixed(f[0], 64, "ephemeral key"));
+  crypto::PublicKey ephemeral{};
+  std::copy(eph.begin(), eph.end(), ephemeral.begin());
+
+  CONFIDE_ASSIGN_OR_RETURN(crypto::Hash256 shared,
+                           crypto::EcdhSharedSecret(recipient_priv, ephemeral));
+  Bytes wrap = crypto::Hkdf(ByteView{}, crypto::HashView(shared),
+                            AsByteView("confide-provision-wrap"), 32);
+  crypto::Hash256 wrap_key;
+  std::copy(wrap.begin(), wrap.end(), wrap_key.begin());
+
+  CONFIDE_ASSIGN_OR_RETURN(crypto::AesGcm gcm,
+                           crypto::AesGcm::Create(crypto::HashView(wrap_key)));
+  CONFIDE_ASSIGN_OR_RETURN(Bytes payload,
+                           gcm.Open(f[1].bytes(), f[2].bytes(), AsByteView("provision")));
+
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem payload_item, RlpDecode(payload));
+  if (!payload_item.is_list() || payload_item.list().size() != 3) {
+    return Status::CryptoError("k-protocol: bad provision payload");
+  }
+  const auto& p = payload_item.list();
+  ConsortiumKeys keys;
+  CONFIDE_ASSIGN_OR_RETURN(Bytes sk, GetFixed(p[0], 32, "sk_tx"));
+  std::copy(sk.begin(), sk.end(), keys.sk_tx.begin());
+  CONFIDE_ASSIGN_OR_RETURN(Bytes pk, GetFixed(p[1], 64, "pk_tx"));
+  std::copy(pk.begin(), pk.end(), keys.pk_tx.begin());
+  CONFIDE_ASSIGN_OR_RETURN(Bytes ks, GetFixed(p[2], 32, "k_states"));
+  std::copy(ks.begin(), ks.end(), keys.k_states.begin());
+  SecureZero(&payload);
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// KmEnclave
+// ---------------------------------------------------------------------------
+
+Result<Bytes> KmEnclave::HandleEcall(uint64_t fn, ByteView input,
+                                     tee::EnclaveContext* ctx) {
+  switch (fn) {
+    case kKmGenerateKeys: return GenerateKeys(ctx);
+    case kKmGetPublicInfo: return GetPublicInfo(ctx);
+    case kKmCreateJoinRequest: return CreateJoinRequest(ctx);
+    case kKmProvisionPeer: return ProvisionPeer(input, ctx);
+    case kKmAcceptProvision: return AcceptProvision(input, ctx);
+    case kKmProvisionCs: return ProvisionCs(input, ctx);
+    default:
+      return Status::InvalidArgument("km: unknown ecall");
+  }
+}
+
+Result<Bytes> KmEnclave::GenerateKeys(tee::EnclaveContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (keys_) return Status::AlreadyExists("km: keys already present");
+  crypto::Drbg rng(Concat(AsByteView("confide-km-keygen:"),
+                          ByteView(reinterpret_cast<const uint8_t*>(&seed_), 8)));
+  ConsortiumKeys keys;
+  crypto::KeyPair tx_pair = crypto::GenerateKeyPair(&rng);
+  keys.sk_tx = tx_pair.priv;
+  keys.pk_tx = tx_pair.pub;
+  rng.Fill(keys.k_states.data(), keys.k_states.size());
+  keys_ = keys;
+  ctx->MonitorEmit(1, "km: consortium keys generated");
+  return Bytes{};
+}
+
+Result<Bytes> KmEnclave::GetPublicInfo(tee::EnclaveContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!keys_) return Status::Unavailable("km: keys not provisioned");
+  // Lock pk_tx's fingerprint into the attestation report (MITM immunity).
+  crypto::Hash256 fingerprint =
+      crypto::Sha256::Digest(ByteView(keys_->pk_tx.data(), 64));
+  tee::Quote quote = ctx->CreateQuote(crypto::HashView(fingerprint));
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem(Bytes(keys_->pk_tx.begin(), keys_->pk_tx.end())));
+  items.push_back(RlpItem(SerializeQuote(quote)));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<Bytes> KmEnclave::CreateJoinRequest(tee::EnclaveContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crypto::Drbg rng(Concat(AsByteView("confide-km-join:"),
+                          ByteView(reinterpret_cast<const uint8_t*>(&seed_), 8)));
+  join_ecdh_ = crypto::GenerateKeyPair(&rng);
+  // Quote binds the channel key to this measured enclave.
+  tee::Quote quote =
+      ctx->CreateQuote(ByteView(join_ecdh_->pub.data(), join_ecdh_->pub.size()));
+  return SerializeQuote(quote);
+}
+
+Result<Bytes> KmEnclave::ProvisionPeer(ByteView joiner_quote,
+                                       tee::EnclaveContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!keys_) return Status::Unavailable("km: keys not provisioned");
+  CONFIDE_ASSIGN_OR_RETURN(tee::Quote quote, DeserializeQuote(joiner_quote));
+  if (!tee::VerifyQuote(quote)) {
+    return Status::PermissionDenied("km: joiner quote rejected");
+  }
+  // Mutual authentication: the joiner must run the same measured code.
+  if (quote.mrenclave != ctx->Self()) {
+    return Status::PermissionDenied("km: joiner measurement mismatch");
+  }
+  if (quote.user_data.size() != 64) {
+    return Status::PermissionDenied("km: joiner channel key malformed");
+  }
+  crypto::PublicKey channel{};
+  std::copy(quote.user_data.begin(), quote.user_data.end(), channel.begin());
+  return WrapConsortiumKeys(*keys_, channel, seed_ ^ quote.platform_id);
+}
+
+Result<Bytes> KmEnclave::AcceptProvision(ByteView blob, tee::EnclaveContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!join_ecdh_) return Status::Unavailable("km: no join in progress");
+  CONFIDE_ASSIGN_OR_RETURN(ConsortiumKeys keys,
+                           UnwrapConsortiumKeys(join_ecdh_->priv, blob));
+  keys_ = keys;
+  join_ecdh_.reset();
+  ctx->MonitorEmit(1, "km: provisioned via MAP");
+  return Bytes{};
+}
+
+Result<Bytes> KmEnclave::ProvisionCs(ByteView cs_report, tee::EnclaveContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!keys_) return Status::Unavailable("km: keys not provisioned");
+  // Parse the CS enclave's local report: RLP{mrenclave, svn, user_data, mac}.
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(cs_report));
+  if (!item.is_list() || item.list().size() != 4) {
+    return Status::Corruption("km: bad local report");
+  }
+  const auto& f = item.list();
+  tee::LocalReport report;
+  CONFIDE_ASSIGN_OR_RETURN(Bytes mr, GetFixed(f[0], 32, "cs measurement"));
+  std::copy(mr.begin(), mr.end(), report.mrenclave.begin());
+  CONFIDE_ASSIGN_OR_RETURN(report.security_version, f[1].AsU64());
+  report.user_data = f[2].bytes();
+  CONFIDE_ASSIGN_OR_RETURN(Bytes mac, GetFixed(f[3], 32, "report mac"));
+  std::copy(mac.begin(), mac.end(), report.mac.begin());
+
+  if (!ctx->VerifyLocalReport(report)) {
+    return Status::PermissionDenied("km: CS local report rejected");
+  }
+  if (report.user_data.size() != 64) {
+    return Status::PermissionDenied("km: CS channel key malformed");
+  }
+  crypto::PublicKey channel{};
+  std::copy(report.user_data.begin(), report.user_data.end(), channel.begin());
+  return WrapConsortiumKeys(*keys_, channel, seed_ + 0x9000);
+}
+
+// ---------------------------------------------------------------------------
+// CentralKms
+// ---------------------------------------------------------------------------
+
+CentralKms::CentralKms(uint64_t seed) {
+  crypto::Drbg rng(Concat(AsByteView("confide-central-kms:"),
+                          ByteView(reinterpret_cast<const uint8_t*>(&seed), 8)));
+  crypto::KeyPair tx_pair = crypto::GenerateKeyPair(&rng);
+  keys_.sk_tx = tx_pair.priv;
+  keys_.pk_tx = tx_pair.pub;
+  rng.Fill(keys_.k_states.data(), keys_.k_states.size());
+}
+
+Result<Bytes> CentralKms::Provision(ByteView join_request_quote,
+                                    const tee::Measurement& expected_measurement) {
+  CONFIDE_ASSIGN_OR_RETURN(tee::Quote quote, DeserializeQuote(join_request_quote));
+  if (!tee::VerifyQuote(quote)) {
+    return Status::PermissionDenied("kms: quote rejected");
+  }
+  if (quote.mrenclave != expected_measurement) {
+    return Status::PermissionDenied("kms: measurement mismatch");
+  }
+  if (quote.user_data.size() != 64) {
+    return Status::PermissionDenied("kms: channel key malformed");
+  }
+  crypto::PublicKey channel{};
+  std::copy(quote.user_data.begin(), quote.user_data.end(), channel.begin());
+  return WrapConsortiumKeys(keys_, channel, entropy_++);
+}
+
+// ---------------------------------------------------------------------------
+// MAP orchestration
+// ---------------------------------------------------------------------------
+
+Status RunMutualAttestation(tee::EnclavePlatform* provider_platform,
+                            tee::EnclaveId provider_km,
+                            tee::EnclavePlatform* joiner_platform,
+                            tee::EnclaveId joiner_km) {
+  CONFIDE_ASSIGN_OR_RETURN(
+      Bytes join_request,
+      joiner_platform->Ecall(joiner_km, kKmCreateJoinRequest, ByteView{}));
+  CONFIDE_ASSIGN_OR_RETURN(
+      Bytes blob,
+      provider_platform->Ecall(provider_km, kKmProvisionPeer, join_request));
+  CONFIDE_RETURN_NOT_OK(
+      joiner_platform->Ecall(joiner_km, kKmAcceptProvision, blob).status());
+  return Status::OK();
+}
+
+}  // namespace confide::core

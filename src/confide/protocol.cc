@@ -1,0 +1,149 @@
+#include "confide/protocol.h"
+
+#include "common/endian.h"
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "serialize/rlp.h"
+
+namespace confide::core {
+
+namespace {
+
+using serialize::RlpDecode;
+using serialize::RlpEncode;
+using serialize::RlpItem;
+
+// Synthetic IV: first 12 bytes of HMAC(key, "iv" || aad || plain).
+Bytes SyntheticIv(const crypto::Hash256& key, ByteView aad, ByteView plain) {
+  Bytes input = Concat(AsByteView("confide-siv:"), aad, plain);
+  crypto::Hash256 mac = crypto::HmacSha256(crypto::HashView(key), input);
+  return Bytes(mac.begin(), mac.begin() + 12);
+}
+
+Result<Bytes> GcmSealWithIv(const crypto::Hash256& key, ByteView iv,
+                            ByteView plain, ByteView aad) {
+  CONFIDE_ASSIGN_OR_RETURN(crypto::AesGcm gcm,
+                           crypto::AesGcm::Create(crypto::HashView(key)));
+  CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, gcm.Seal(iv, plain, aad));
+  return Concat(iv, sealed);
+}
+
+Result<Bytes> GcmOpenWithIv(const crypto::Hash256& key, ByteView sealed,
+                            ByteView aad) {
+  if (sealed.size() < 12) return Status::CryptoError("confide: short ciphertext");
+  CONFIDE_ASSIGN_OR_RETURN(crypto::AesGcm gcm,
+                           crypto::AesGcm::Create(crypto::HashView(key)));
+  return gcm.Open(sealed.first(12), sealed.subspan(12), aad);
+}
+
+}  // namespace
+
+TxKey DeriveTxKey(ByteView user_root_key, const crypto::Hash256& raw_tx_hash) {
+  Bytes okm = crypto::Hkdf(crypto::HashView(raw_tx_hash), user_root_key,
+                           AsByteView("confide-t-protocol-ktx"), 32);
+  TxKey key;
+  std::copy(okm.begin(), okm.end(), key.begin());
+  return key;
+}
+
+Result<Bytes> SealEnvelope(const crypto::PublicKey& pk_tx, const TxKey& k_tx,
+                           ByteView raw_tx, uint64_t entropy) {
+  // ECIES: ephemeral key -> ECDH(pk_tx) -> HKDF wrap key.
+  crypto::Drbg rng(Concat(AsByteView("confide-ecies-eph:"),
+                          ByteView(reinterpret_cast<const uint8_t*>(&entropy), 8),
+                          ByteView(k_tx.data(), 8)));
+  crypto::KeyPair ephemeral = crypto::GenerateKeyPair(&rng);
+  CONFIDE_ASSIGN_OR_RETURN(crypto::Hash256 shared,
+                           crypto::EcdhSharedSecret(ephemeral.priv, pk_tx));
+  Bytes wrap = crypto::Hkdf(ByteView{}, crypto::HashView(shared),
+                            AsByteView("confide-envelope-wrap"), 32);
+  crypto::Hash256 wrap_key;
+  std::copy(wrap.begin(), wrap.end(), wrap_key.begin());
+
+  // Enc(pk_tx, k_tx): seal the one-time key under the wrap key.
+  Bytes iv1 = SyntheticIv(wrap_key, AsByteView("ktx"), crypto::HashView(k_tx));
+  CONFIDE_ASSIGN_OR_RETURN(
+      Bytes wrapped_key,
+      GcmSealWithIv(wrap_key, iv1, crypto::HashView(k_tx), AsByteView("ktx")));
+
+  // Enc(k_tx, Tx_raw).
+  Bytes iv2 = SyntheticIv(k_tx, AsByteView("txraw"), raw_tx);
+  CONFIDE_ASSIGN_OR_RETURN(Bytes body,
+                           GcmSealWithIv(k_tx, iv2, raw_tx, AsByteView("txraw")));
+
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem(Bytes(ephemeral.pub.begin(), ephemeral.pub.end())));
+  items.push_back(RlpItem(std::move(wrapped_key)));
+  items.push_back(RlpItem(std::move(body)));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<OpenedEnvelope> OpenEnvelope(const crypto::PrivateKey& sk_tx,
+                                    ByteView envelope) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(envelope));
+  if (!item.is_list() || item.list().size() != 3) {
+    return Status::CryptoError("confide: malformed envelope");
+  }
+  const auto& fields = item.list();
+  if (!fields[0].is_bytes() || fields[0].bytes().size() != 64) {
+    return Status::CryptoError("confide: bad ephemeral key");
+  }
+  crypto::PublicKey ephemeral{};
+  std::copy(fields[0].bytes().begin(), fields[0].bytes().end(), ephemeral.begin());
+
+  CONFIDE_ASSIGN_OR_RETURN(crypto::Hash256 shared,
+                           crypto::EcdhSharedSecret(sk_tx, ephemeral));
+  Bytes wrap = crypto::Hkdf(ByteView{}, crypto::HashView(shared),
+                            AsByteView("confide-envelope-wrap"), 32);
+  crypto::Hash256 wrap_key;
+  std::copy(wrap.begin(), wrap.end(), wrap_key.begin());
+
+  CONFIDE_ASSIGN_OR_RETURN(
+      Bytes k_tx_bytes,
+      GcmOpenWithIv(wrap_key, fields[1].bytes(), AsByteView("ktx")));
+  if (k_tx_bytes.size() != 32) {
+    return Status::CryptoError("confide: bad k_tx length");
+  }
+  OpenedEnvelope opened;
+  std::copy(k_tx_bytes.begin(), k_tx_bytes.end(), opened.k_tx.begin());
+
+  CONFIDE_ASSIGN_OR_RETURN(
+      opened.raw_tx, GcmOpenWithIv(opened.k_tx, fields[2].bytes(), AsByteView("txraw")));
+  return opened;
+}
+
+Result<Bytes> OpenEnvelopeBody(const TxKey& k_tx, ByteView envelope) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(envelope));
+  if (!item.is_list() || item.list().size() != 3) {
+    return Status::CryptoError("confide: malformed envelope");
+  }
+  return GcmOpenWithIv(k_tx, item.list()[2].bytes(), AsByteView("txraw"));
+}
+
+Result<Bytes> SealReceipt(const TxKey& k_tx, ByteView raw_receipt) {
+  Bytes iv = SyntheticIv(k_tx, AsByteView("receipt"), raw_receipt);
+  return GcmSealWithIv(k_tx, iv, raw_receipt, AsByteView("receipt"));
+}
+
+Result<Bytes> OpenReceipt(const TxKey& k_tx, ByteView sealed_receipt) {
+  return GcmOpenWithIv(k_tx, sealed_receipt, AsByteView("receipt"));
+}
+
+Result<Bytes> SealState(const StateKey& k_states, ByteView plain, ByteView aad) {
+  Bytes iv = SyntheticIv(k_states, aad, plain);
+  return GcmSealWithIv(k_states, iv, plain, aad);
+}
+
+Result<Bytes> OpenState(const StateKey& k_states, ByteView sealed, ByteView aad) {
+  return GcmOpenWithIv(k_states, sealed, aad);
+}
+
+Bytes StateAad(ByteView contract_id, ByteView state_key, uint64_t security_version) {
+  uint8_t svn[8];
+  StoreBe64(svn, security_version);
+  return Concat(AsByteView("confide-d-protocol:"), contract_id, AsByteView("/"),
+                state_key, ByteView(svn, 8));
+}
+
+}  // namespace confide::core

@@ -1,0 +1,94 @@
+/// \file protocol.h
+/// \brief CONFIDE's cryptographic protocols (paper §3.2.3, §3.2.4).
+///
+/// **T-Protocol** — end-to-end transaction confidentiality:
+///
+///     Tx_conf  = Enc(pk_tx, k_tx) | Enc(k_tx, Tx_raw)          (formula 1)
+///     Rpt_conf = Enc(k_tx, Rpt_raw)                            (formula 2)
+///
+/// The envelope is ECIES-style: an ephemeral secp256k1 key agrees with
+/// pk_tx, HKDF derives a wrap key, and AES-GCM seals the one-time
+/// transaction key k_tx, which in turn seals the raw transaction. k_tx is
+/// derived from the user's root key and the raw transaction hash, so each
+/// transaction uses a fresh key (chosen-plaintext/ciphertext hardening,
+/// §3.2.3 "Security") while remaining recomputable by the owner.
+///
+/// **D-Protocol** — state/code confidentiality at rest:
+///
+///     Data_auth = Enc(k_states, Data)                          (formula 3)
+///
+/// AES-GCM under the consortium state root key with associated data
+/// binding contract identity and key (plus security version) — moving a
+/// ciphertext between contracts or state slots breaks authentication.
+/// The IV is synthetic (SIV-style, derived from key, AAD and plaintext):
+/// every node must produce byte-identical ciphertexts or block
+/// state/receipt roots would diverge across replicas.
+
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+
+namespace confide::core {
+
+/// \brief One-time symmetric transaction key.
+using TxKey = crypto::Hash256;
+/// \brief Consortium state root key (k_states).
+using StateKey = crypto::Hash256;
+
+// ---------------------------------------------------------------------------
+// T-Protocol
+// ---------------------------------------------------------------------------
+
+/// \brief Derives k_tx from the user's root key and the raw transaction
+/// hash (paper: "one-time symmetric key of each transaction which is
+/// derived from a user root key and the transaction hash").
+TxKey DeriveTxKey(ByteView user_root_key, const crypto::Hash256& raw_tx_hash);
+
+/// \brief Builds Tx_conf from the raw transaction bytes under the
+/// engine's public key pk_tx. `entropy` seeds the ephemeral ECIES key.
+Result<Bytes> SealEnvelope(const crypto::PublicKey& pk_tx, const TxKey& k_tx,
+                           ByteView raw_tx, uint64_t entropy);
+
+/// \brief Envelope contents after opening.
+struct OpenedEnvelope {
+  TxKey k_tx{};
+  Bytes raw_tx;
+};
+
+/// \brief Opens Tx_conf inside the enclave using sk_tx.
+Result<OpenedEnvelope> OpenEnvelope(const crypto::PrivateKey& sk_tx,
+                                    ByteView envelope);
+
+/// \brief Symmetric-only open: recovers Tx_raw when k_tx is already known
+/// from the pre-verification cache — the paper's C3 step, which "saves the
+/// decryption cost" of the private-key operation (§5.2).
+Result<Bytes> OpenEnvelopeBody(const TxKey& k_tx, ByteView envelope);
+
+/// \brief Seals a receipt under k_tx (deterministic: replicas must agree).
+Result<Bytes> SealReceipt(const TxKey& k_tx, ByteView raw_receipt);
+
+/// \brief Opens a sealed receipt (transaction owner or delegate, who was
+/// handed k_tx offline — the paper's authorization story).
+Result<Bytes> OpenReceipt(const TxKey& k_tx, ByteView sealed_receipt);
+
+// ---------------------------------------------------------------------------
+// D-Protocol
+// ---------------------------------------------------------------------------
+
+/// \brief Seals a state value (or contract code). Deterministic for a
+/// given (key, aad, plain) triple so all replicas store identical bytes.
+Result<Bytes> SealState(const StateKey& k_states, ByteView plain, ByteView aad);
+
+/// \brief Opens a sealed state value; fails on tampering or wrong AAD.
+Result<Bytes> OpenState(const StateKey& k_states, ByteView sealed, ByteView aad);
+
+/// \brief Canonical AAD for a contract state entry: binds contract
+/// identity, state key and security version (paper §3.2.4: "additional
+/// authentication data is related to on-chain run-time information such as
+/// contract identity, contract owner and security version").
+Bytes StateAad(ByteView contract_id, ByteView state_key, uint64_t security_version);
+
+}  // namespace confide::core

@@ -1,0 +1,122 @@
+#include "confide/system.h"
+
+#include "serialize/rlp.h"
+
+namespace confide::core {
+
+Result<std::unique_ptr<ConfideSystem>> ConfideSystem::BootstrapCommon(
+    SystemOptions options,
+    const std::function<Result<Bytes>(ConfideSystem*)>& obtain_keys) {
+  std::unique_ptr<ConfideSystem> sys(new ConfideSystem());
+  sys->options_ = options;
+  sys->platform_ = std::make_unique<tee::EnclavePlatform>(
+      options.tee_model, &sys->clock_, options.seed);
+
+  // 1. KM enclave.
+  sys->km_ = std::make_shared<KmEnclave>(options.seed);
+  CONFIDE_ASSIGN_OR_RETURN(sys->km_id_,
+                           sys->platform_->CreateEnclave(sys->km_, 4 << 20));
+  sys->km_alive_ = true;
+
+  // 2. Obtain consortium keys (generate / MAP / KMS, mode-specific).
+  CONFIDE_RETURN_NOT_OK(obtain_keys(sys.get()).status());
+
+  // Client-facing pk info (pk_tx + binding quote).
+  CONFIDE_ASSIGN_OR_RETURN(
+      sys->pk_info_blob_,
+      sys->platform_->Ecall(sys->km_id_, kKmGetPublicInfo, ByteView{}));
+  CONFIDE_ASSIGN_OR_RETURN(
+      sys->pk_tx_,
+      Client::VerifyEnginePublicKey(
+          sys->pk_info_blob_, tee::MeasureEnclave("confide-km-enclave", 1)));
+
+  // 3-5. CS enclave + engines + node.
+  CONFIDE_RETURN_NOT_OK(sys->FinishBootstrap());
+  return sys;
+}
+
+Status ConfideSystem::ProvisionCs() {
+  CONFIDE_ASSIGN_OR_RETURN(
+      Bytes report,
+      platform_->Ecall(confidential_->enclave_id(), kCsGetProvisionReport,
+                       ByteView{}));
+  CONFIDE_ASSIGN_OR_RETURN(Bytes blob,
+                           platform_->Ecall(km_id_, kKmProvisionCs, report));
+  CONFIDE_RETURN_NOT_OK(
+      platform_->Ecall(confidential_->enclave_id(), kCsInstallKeys, blob).status());
+  return Status::OK();
+}
+
+Status ConfideSystem::FinishBootstrap() {
+  CONFIDE_ASSIGN_OR_RETURN(
+      confidential_,
+      ConfidentialEngine::Create(platform_.get(), options_.cs, options_.seed));
+  CONFIDE_RETURN_NOT_OK(ProvisionCs());
+
+  if (options_.destroy_km_after_provision) {
+    CONFIDE_RETURN_NOT_OK(platform_->DestroyEnclave(km_id_));
+    km_alive_ = false;
+  }
+
+  public_ = std::make_unique<PublicEngine>(options_.public_engine);
+
+  chain::NodeOptions node_options;
+  node_options.parallelism = options_.parallelism;
+  node_options.block_max_bytes = options_.block_max_bytes;
+  node_options.clock = &clock_;
+  chain::EngineSet engines;
+  engines.public_engine = public_.get();
+  engines.confidential_engine = confidential_.get();
+  node_ = std::make_unique<chain::Node>(node_options, engines);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ConfideSystem>> ConfideSystem::BootstrapFirst(
+    SystemOptions options) {
+  return BootstrapCommon(options, [](ConfideSystem* sys) -> Result<Bytes> {
+    return sys->platform_->Ecall(sys->km_id_, kKmGenerateKeys, ByteView{});
+  });
+}
+
+Result<std::unique_ptr<ConfideSystem>> ConfideSystem::BootstrapJoin(
+    SystemOptions options, ConfideSystem* provider) {
+  if (!provider->km_alive()) {
+    return Status::Unavailable(
+        "bootstrap: provider KM enclave already destroyed");
+  }
+  return BootstrapCommon(options, [provider](ConfideSystem* sys) -> Result<Bytes> {
+    CONFIDE_RETURN_NOT_OK(RunMutualAttestation(provider->platform_.get(),
+                                               provider->km_id_,
+                                               sys->platform_.get(), sys->km_id_));
+    return Bytes{};
+  });
+}
+
+Result<std::unique_ptr<ConfideSystem>> ConfideSystem::BootstrapWithKms(
+    SystemOptions options, CentralKms* kms) {
+  return BootstrapCommon(options, [kms](ConfideSystem* sys) -> Result<Bytes> {
+    CONFIDE_ASSIGN_OR_RETURN(
+        Bytes request,
+        sys->platform_->Ecall(sys->km_id_, kKmCreateJoinRequest, ByteView{}));
+    CONFIDE_ASSIGN_OR_RETURN(
+        Bytes blob,
+        kms->Provision(request, tee::MeasureEnclave("confide-km-enclave", 1)));
+    return sys->platform_->Ecall(sys->km_id_, kKmAcceptProvision, blob);
+  });
+}
+
+Result<std::vector<chain::Receipt>> ConfideSystem::RunToCompletion() {
+  std::vector<chain::Receipt> all;
+  for (;;) {
+    CONFIDE_RETURN_NOT_OK(node_->PreVerify().status());
+    if (node_->VerifiedPoolSize() == 0) break;
+    CONFIDE_ASSIGN_OR_RETURN(chain::Block block, node_->ProposeBlock());
+    if (block.transactions.empty()) break;
+    CONFIDE_ASSIGN_OR_RETURN(std::vector<chain::Receipt> receipts,
+                             node_->ApplyBlock(block));
+    for (chain::Receipt& receipt : receipts) all.push_back(std::move(receipt));
+  }
+  return all;
+}
+
+}  // namespace confide::core

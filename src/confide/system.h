@@ -1,0 +1,93 @@
+/// \file system.h
+/// \brief Whole-node bootstrap: platform + enclaves + K-Protocol +
+/// engines + chain node, wired the way a deployment would be.
+///
+/// Bootstrap sequence per node (paper §5.1):
+///  1. create the SGX platform and the KM enclave;
+///  2. obtain the consortium keys — first node generates them, joiners run
+///     the MAP against an existing node (or a CentralKms provisions them);
+///  3. create the CS enclave; provision keys over the local-attestation
+///     channel;
+///  4. destroy the KM enclave to release EPC ("it will be destroyed as
+///     soon as possible", §5.3);
+///  5. stand up the chain node with both engines.
+
+#pragma once
+
+#include <memory>
+
+#include "chain/node.h"
+#include "confide/client.h"
+#include "confide/engines.h"
+
+namespace confide::core {
+
+struct SystemOptions {
+  uint32_t parallelism = 1;
+  size_t block_max_bytes = 4096;
+  CsOptions cs;
+  EngineOptions public_engine;
+  tee::TeeCostModel tee_model;
+  uint64_t seed = 1;
+  /// Destroy the KM enclave after provisioning (paper default). Keep it
+  /// alive only when later MAP provisioning of other nodes is expected.
+  bool destroy_km_after_provision = true;
+};
+
+/// \brief One fully bootstrapped CONFIDE node.
+class ConfideSystem {
+ public:
+  /// \brief Boots the first node: its KM enclave generates the keys.
+  static Result<std::unique_ptr<ConfideSystem>> BootstrapFirst(SystemOptions options);
+
+  /// \brief Boots a joining node via decentralized MAP against `provider`
+  /// (whose KM enclave must still be alive).
+  static Result<std::unique_ptr<ConfideSystem>> BootstrapJoin(
+      SystemOptions options, ConfideSystem* provider);
+
+  /// \brief Boots a node provisioned by a centralized KMS.
+  static Result<std::unique_ptr<ConfideSystem>> BootstrapWithKms(
+      SystemOptions options, CentralKms* kms);
+
+  /// \brief The engine public key clients seal envelopes to.
+  const crypto::PublicKey& pk_tx() const { return pk_tx_; }
+
+  /// \brief The pk_tx info blob (key + binding quote) served to clients.
+  const Bytes& pk_info_blob() const { return pk_info_blob_; }
+
+  chain::Node* node() { return node_.get(); }
+  ConfidentialEngine* confidential_engine() { return confidential_.get(); }
+  PublicEngine* public_engine() { return public_.get(); }
+  tee::EnclavePlatform* platform() { return platform_.get(); }
+  SimClock* clock() { return &clock_; }
+  tee::EnclaveId km_enclave_id() const { return km_id_; }
+  bool km_alive() const { return km_alive_; }
+
+  /// \brief Submits, pre-verifies, proposes, and applies until the pools
+  /// drain. Convenience for tests/examples; returns total receipts.
+  Result<std::vector<chain::Receipt>> RunToCompletion();
+
+ private:
+  ConfideSystem() = default;
+
+  static Result<std::unique_ptr<ConfideSystem>> BootstrapCommon(
+      SystemOptions options,
+      const std::function<Result<Bytes>(ConfideSystem*)>& obtain_keys);
+
+  Status ProvisionCs();
+  Status FinishBootstrap();
+
+  SystemOptions options_;
+  SimClock clock_;
+  std::unique_ptr<tee::EnclavePlatform> platform_;
+  std::shared_ptr<KmEnclave> km_;
+  tee::EnclaveId km_id_ = 0;
+  bool km_alive_ = false;
+  std::unique_ptr<ConfidentialEngine> confidential_;
+  std::unique_ptr<PublicEngine> public_;
+  std::unique_ptr<chain::Node> node_;
+  crypto::PublicKey pk_tx_{};
+  Bytes pk_info_blob_;
+};
+
+}  // namespace confide::core

@@ -1,0 +1,184 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+namespace confide::crypto {
+
+namespace {
+
+// GF(2^8) multiply with the AES polynomial x^8 + x^4 + x^3 + x + 1.
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    bool hi = a & 0x80;
+    a <<= 1;
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+struct SboxTables {
+  uint8_t sbox[256];
+  uint8_t inv_sbox[256];
+
+  SboxTables() {
+    // Multiplicative inverses via brute force (startup-only cost).
+    uint8_t inv[256] = {0};
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        if (GfMul(uint8_t(a), uint8_t(b)) == 1) {
+          inv[a] = uint8_t(b);
+          break;
+        }
+      }
+    }
+    for (int i = 0; i < 256; ++i) {
+      uint8_t x = inv[i];
+      // Affine transform: s = x ^ rotl(x,1) ^ rotl(x,2) ^ rotl(x,3) ^ rotl(x,4) ^ 0x63.
+      auto rotl8 = [](uint8_t v, int n) -> uint8_t {
+        return uint8_t((v << n) | (v >> (8 - n)));
+      };
+      uint8_t s = x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63;
+      sbox[i] = s;
+      inv_sbox[s] = uint8_t(i);
+    }
+  }
+};
+
+const SboxTables& Tables() {
+  static const SboxTables tables;
+  return tables;
+}
+
+void SubBytes(uint8_t state[16]) {
+  const auto& t = Tables();
+  for (int i = 0; i < 16; ++i) state[i] = t.sbox[state[i]];
+}
+
+void InvSubBytes(uint8_t state[16]) {
+  const auto& t = Tables();
+  for (int i = 0; i < 16; ++i) state[i] = t.inv_sbox[state[i]];
+}
+
+// State layout: column-major, state[r + 4c].
+void ShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  // Row 1: shift left 1.
+  t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+  // Row 2: shift left 2.
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // Row 3: shift left 3 (== right 1).
+  t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+void InvShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
+}
+
+void MixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = GfMul(a0, 2) ^ GfMul(a1, 3) ^ a2 ^ a3;
+    col[1] = a0 ^ GfMul(a1, 2) ^ GfMul(a2, 3) ^ a3;
+    col[2] = a0 ^ a1 ^ GfMul(a2, 2) ^ GfMul(a3, 3);
+    col[3] = GfMul(a0, 3) ^ a1 ^ a2 ^ GfMul(a3, 2);
+  }
+}
+
+void InvMixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = GfMul(a0, 14) ^ GfMul(a1, 11) ^ GfMul(a2, 13) ^ GfMul(a3, 9);
+    col[1] = GfMul(a0, 9) ^ GfMul(a1, 14) ^ GfMul(a2, 11) ^ GfMul(a3, 13);
+    col[2] = GfMul(a0, 13) ^ GfMul(a1, 9) ^ GfMul(a2, 14) ^ GfMul(a3, 11);
+    col[3] = GfMul(a0, 11) ^ GfMul(a1, 13) ^ GfMul(a2, 9) ^ GfMul(a3, 14);
+  }
+}
+
+void AddRoundKey(uint8_t s[16], const uint8_t* rk) {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+}  // namespace
+
+Result<Aes> Aes::Create(ByteView key) {
+  int nk;  // key length in 32-bit words
+  switch (key.size()) {
+    case 16: nk = 4; break;
+    case 24: nk = 6; break;
+    case 32: nk = 8; break;
+    default:
+      return Status::InvalidArgument("AES key must be 16, 24 or 32 bytes");
+  }
+  Aes aes;
+  aes.rounds_ = nk + 6;
+  const int total_words = 4 * (aes.rounds_ + 1);
+
+  uint8_t* w = aes.round_keys_.data();
+  std::memcpy(w, key.data(), key.size());
+
+  const auto& t = Tables();
+  uint8_t rcon = 0x01;
+  for (int i = nk; i < total_words; ++i) {
+    uint8_t temp[4];
+    std::memcpy(temp, w + 4 * (i - 1), 4);
+    if (i % nk == 0) {
+      // RotWord + SubWord + Rcon.
+      uint8_t first = temp[0];
+      temp[0] = t.sbox[temp[1]] ^ rcon;
+      temp[1] = t.sbox[temp[2]];
+      temp[2] = t.sbox[temp[3]];
+      temp[3] = t.sbox[first];
+      rcon = GfMul(rcon, 2);
+    } else if (nk > 6 && i % nk == 4) {
+      for (int j = 0; j < 4; ++j) temp[j] = t.sbox[temp[j]];
+    }
+    for (int j = 0; j < 4; ++j) {
+      w[4 * i + j] = w[4 * (i - nk) + j] ^ temp[j];
+    }
+  }
+  return aes;
+}
+
+void Aes::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  uint8_t s[16];
+  std::memcpy(s, in, 16);
+  AddRoundKey(s, round_keys_.data());
+  for (int r = 1; r < rounds_; ++r) {
+    SubBytes(s);
+    ShiftRows(s);
+    MixColumns(s);
+    AddRoundKey(s, round_keys_.data() + 16 * r);
+  }
+  SubBytes(s);
+  ShiftRows(s);
+  AddRoundKey(s, round_keys_.data() + 16 * rounds_);
+  std::memcpy(out, s, 16);
+}
+
+void Aes::DecryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  uint8_t s[16];
+  std::memcpy(s, in, 16);
+  AddRoundKey(s, round_keys_.data() + 16 * rounds_);
+  for (int r = rounds_ - 1; r >= 1; --r) {
+    InvShiftRows(s);
+    InvSubBytes(s);
+    AddRoundKey(s, round_keys_.data() + 16 * r);
+    InvMixColumns(s);
+  }
+  InvShiftRows(s);
+  InvSubBytes(s);
+  AddRoundKey(s, round_keys_.data());
+  std::memcpy(out, s, 16);
+}
+
+}  // namespace confide::crypto

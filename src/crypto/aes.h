@@ -1,0 +1,42 @@
+/// \file aes.h
+/// \brief AES-128/192/256 block cipher (FIPS 197) from scratch.
+///
+/// The S-box is derived at static-init time from the GF(2^8) inverse plus
+/// the affine transform, so there is no hand-transcribed table to get wrong.
+/// This is a portable reference implementation (the paper uses AES-NI via
+/// the Intel SGX SDK — algorithmic behaviour is identical, only throughput
+/// differs).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::crypto {
+
+/// \brief Expanded-key AES context supporting 128/192/256-bit keys.
+class Aes {
+ public:
+  /// \brief Builds a context from a 16/24/32-byte key.
+  static Result<Aes> Create(ByteView key);
+
+  /// \brief Encrypts one 16-byte block. `in` and `out` may alias.
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  /// \brief Decrypts one 16-byte block. `in` and `out` may alias.
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+
+  // Expanded key: (rounds + 1) * 16 bytes, max 15 * 16 = 240.
+  std::array<uint8_t, 240> round_keys_{};
+  int rounds_ = 0;
+};
+
+}  // namespace confide::crypto

@@ -1,0 +1,100 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+#include "crypto/sha256.h"
+
+namespace confide::crypto {
+
+namespace {
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = RotL32(d, 16);
+  c += d; b ^= c; b = RotL32(b, 12);
+  a += b; d ^= a; d = RotL32(d, 8);
+  c += d; b ^= c; b = RotL32(b, 7);
+}
+
+// ChaCha20 block function (RFC 7539) with a 64-bit counter and zero nonce —
+// used as a PRG, not for encryption.
+void ChaChaBlock(const uint8_t key[32], uint64_t counter, uint8_t out[64]) {
+  uint32_t state[16];
+  state[0] = 0x61707865; state[1] = 0x3320646e;
+  state[2] = 0x79622d32; state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = LoadLe32(key + 4 * i);
+  state[12] = uint32_t(counter);
+  state[13] = uint32_t(counter >> 32);
+  state[14] = 0;
+  state[15] = 0;
+
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    StoreLe32(out + 4 * i, x[i] + state[i]);
+  }
+}
+
+}  // namespace
+
+Drbg::Drbg(ByteView seed) {
+  Hash256 h = Sha256::Digest(seed);
+  std::memcpy(key_, h.data(), 32);
+}
+
+Drbg::Drbg(uint64_t seed) {
+  uint8_t buf[8];
+  StoreLe64(buf, seed);
+  Hash256 h = Sha256::Digest(ByteView(buf, 8));
+  std::memcpy(key_, h.data(), 32);
+}
+
+void Drbg::Refill() {
+  ChaChaBlock(key_, counter_++, block_);
+  block_pos_ = 0;
+}
+
+void Drbg::Fill(uint8_t* out, size_t len) {
+  size_t pos = 0;
+  while (pos < len) {
+    if (block_pos_ == 64) Refill();
+    size_t take = std::min(len - pos, size_t(64) - block_pos_);
+    std::memcpy(out + pos, block_ + block_pos_, take);
+    block_pos_ += take;
+    pos += take;
+  }
+}
+
+Bytes Drbg::Generate(size_t len) {
+  Bytes out(len);
+  Fill(out.data(), len);
+  return out;
+}
+
+uint64_t Drbg::NextU64() {
+  uint8_t buf[8];
+  Fill(buf, 8);
+  return LoadLe64(buf);
+}
+
+uint64_t Drbg::NextBounded(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = bound * (UINT64_MAX / bound);
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+}  // namespace confide::crypto

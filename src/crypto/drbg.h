@@ -1,0 +1,45 @@
+/// \file drbg.h
+/// \brief Deterministic random bit generator built on ChaCha20.
+///
+/// Deterministic seeding keeps every simulation reproducible: enclaves,
+/// nodes, and workload generators all draw from seeded Drbg instances.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace confide::crypto {
+
+/// \brief ChaCha20-based DRBG. Not thread-safe; one instance per consumer.
+class Drbg {
+ public:
+  /// \brief Seeds from arbitrary bytes (hashed to a 32-byte key).
+  explicit Drbg(ByteView seed);
+
+  /// \brief Seeds from a 64-bit value (convenient for tests/benchmarks).
+  explicit Drbg(uint64_t seed);
+
+  /// \brief Fills `out` with pseudo-random bytes.
+  void Fill(uint8_t* out, size_t len);
+
+  /// \brief Returns `len` pseudo-random bytes.
+  Bytes Generate(size_t len);
+
+  /// \brief Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// \brief Uniform value in [0, bound) for bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+ private:
+  void Refill();
+
+  uint8_t key_[32];
+  uint64_t counter_ = 0;
+  uint8_t block_[64];
+  size_t block_pos_ = 64;  // exhausted
+};
+
+}  // namespace confide::crypto

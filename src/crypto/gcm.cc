@@ -1,0 +1,151 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace confide::crypto {
+
+namespace {
+
+void Inc32(uint8_t block[16]) {
+  uint32_t ctr = LoadBe32(block + 12);
+  StoreBe32(block + 12, ctr + 1);
+}
+
+}  // namespace
+
+AesGcm::AesGcm(Aes aes) : aes_(std::move(aes)) {
+  uint8_t zero[16] = {0};
+  uint8_t h[16];
+  aes_.EncryptBlock(zero, h);
+  h_.hi = LoadBe64(h);
+  h_.lo = LoadBe64(h + 8);
+}
+
+Result<AesGcm> AesGcm::Create(ByteView key) {
+  if (key.size() != 16 && key.size() != 32) {
+    return Status::InvalidArgument("AES-GCM key must be 16 or 32 bytes");
+  }
+  CONFIDE_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+  return AesGcm(std::move(aes));
+}
+
+// Multiplies x by the hash subkey in GF(2^128) (bit-reflected as per GCM).
+AesGcm::Block AesGcm::GhashMul(const Block& x) const {
+  Block z;
+  Block v = h_;
+  for (int i = 0; i < 128; ++i) {
+    uint64_t bit =
+        (i < 64) ? (x.hi >> (63 - i)) & 1 : (x.lo >> (127 - i)) & 1;
+    if (bit) {
+      z.hi ^= v.hi;
+      z.lo ^= v.lo;
+    }
+    bool lsb = v.lo & 1;
+    v.lo = (v.lo >> 1) | (v.hi << 63);
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xe100000000000000ULL;
+  }
+  return z;
+}
+
+AesGcm::Block AesGcm::Ghash(ByteView aad, ByteView ciphertext) const {
+  Block y;
+  auto absorb = [&](ByteView data) {
+    for (size_t pos = 0; pos < data.size(); pos += 16) {
+      uint8_t block[16] = {0};
+      size_t n = std::min<size_t>(16, data.size() - pos);
+      std::memcpy(block, data.data() + pos, n);
+      y.hi ^= LoadBe64(block);
+      y.lo ^= LoadBe64(block + 8);
+      y = GhashMul(y);
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  // Length block: [len(AAD)]64 || [len(C)]64, in bits.
+  y.hi ^= uint64_t(aad.size()) * 8;
+  y.lo ^= uint64_t(ciphertext.size()) * 8;
+  y = GhashMul(y);
+  return y;
+}
+
+void AesGcm::Ctr(const uint8_t j0[16], ByteView in, uint8_t* out) const {
+  uint8_t counter[16];
+  std::memcpy(counter, j0, 16);
+  uint8_t keystream[16];
+  for (size_t pos = 0; pos < in.size(); pos += 16) {
+    Inc32(counter);
+    aes_.EncryptBlock(counter, keystream);
+    size_t n = std::min<size_t>(16, in.size() - pos);
+    for (size_t i = 0; i < n; ++i) out[pos + i] = in[pos + i] ^ keystream[i];
+  }
+}
+
+Result<Bytes> AesGcm::Seal(ByteView iv, ByteView plaintext, ByteView aad) const {
+  uint8_t j0[16] = {0};
+  if (iv.size() == kGcmIvSize) {
+    std::memcpy(j0, iv.data(), kGcmIvSize);
+    j0[15] = 1;
+  } else if (!iv.empty()) {
+    Block g = Ghash(ByteView{}, iv);
+    // GHASH(IV || pad || [0]64 || [len(IV)]64) — Ghash() appended the length
+    // block with aad-len 0 and data-len len(IV), which matches the spec.
+    StoreBe64(j0, g.hi);
+    StoreBe64(j0 + 8, g.lo);
+  } else {
+    return Status::InvalidArgument("GCM IV must be non-empty");
+  }
+
+  Bytes out(plaintext.size() + kGcmTagSize);
+  Ctr(j0, plaintext, out.data());
+
+  Block s = Ghash(aad, ByteView(out.data(), plaintext.size()));
+  uint8_t tag[16];
+  StoreBe64(tag, s.hi);
+  StoreBe64(tag + 8, s.lo);
+  uint8_t e_j0[16];
+  aes_.EncryptBlock(j0, e_j0);
+  for (int i = 0; i < 16; ++i) tag[i] ^= e_j0[i];
+  std::memcpy(out.data() + plaintext.size(), tag, kGcmTagSize);
+  return out;
+}
+
+Result<Bytes> AesGcm::Open(ByteView iv, ByteView sealed, ByteView aad) const {
+  if (sealed.size() < kGcmTagSize) {
+    return Status::CryptoError("GCM ciphertext shorter than tag");
+  }
+  ByteView ciphertext = sealed.first(sealed.size() - kGcmTagSize);
+  ByteView tag = sealed.last(kGcmTagSize);
+
+  uint8_t j0[16] = {0};
+  if (iv.size() == kGcmIvSize) {
+    std::memcpy(j0, iv.data(), kGcmIvSize);
+    j0[15] = 1;
+  } else if (!iv.empty()) {
+    Block g = Ghash(ByteView{}, iv);
+    StoreBe64(j0, g.hi);
+    StoreBe64(j0 + 8, g.lo);
+  } else {
+    return Status::InvalidArgument("GCM IV must be non-empty");
+  }
+
+  Block s = Ghash(aad, ciphertext);
+  uint8_t expected[16];
+  StoreBe64(expected, s.hi);
+  StoreBe64(expected + 8, s.lo);
+  uint8_t e_j0[16];
+  aes_.EncryptBlock(j0, e_j0);
+  for (int i = 0; i < 16; ++i) expected[i] ^= e_j0[i];
+
+  if (!ConstantTimeEqual(ByteView(expected, 16), tag)) {
+    return Status::CryptoError("GCM authentication tag mismatch");
+  }
+
+  Bytes plain(ciphertext.size());
+  Ctr(j0, ciphertext, plain.data());
+  return plain;
+}
+
+}  // namespace confide::crypto

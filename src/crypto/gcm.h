@@ -1,0 +1,51 @@
+/// \file gcm.h
+/// \brief AES-GCM authenticated encryption (NIST SP 800-38D) from scratch.
+///
+/// This is the AEAD used by CONFIDE's D-Protocol (state/code encryption
+/// with associated data = contract identity, owner, security version), by
+/// T-Protocol envelopes, and by the TEE simulator's page sealing.
+
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace confide::crypto {
+
+/// \brief GCM tag length in bytes.
+inline constexpr size_t kGcmTagSize = 16;
+/// \brief Recommended IV length in bytes.
+inline constexpr size_t kGcmIvSize = 12;
+
+/// \brief AES-GCM context bound to one key.
+class AesGcm {
+ public:
+  /// \brief Builds a context from a 16 or 32-byte AES key.
+  static Result<AesGcm> Create(ByteView key);
+
+  /// \brief Encrypts `plaintext` with `iv` (12 bytes recommended) and
+  /// authenticates `aad`. Returns ciphertext || 16-byte tag.
+  Result<Bytes> Seal(ByteView iv, ByteView plaintext, ByteView aad) const;
+
+  /// \brief Decrypts Seal() output; fails with CryptoError when the tag or
+  /// AAD does not verify.
+  Result<Bytes> Open(ByteView iv, ByteView sealed, ByteView aad) const;
+
+ private:
+  explicit AesGcm(Aes aes);
+
+  struct Block {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+  };
+
+  Block GhashMul(const Block& x) const;
+  Block Ghash(ByteView aad, ByteView ciphertext) const;
+  void Ctr(const uint8_t j0[16], ByteView in, uint8_t* out) const;
+
+  Aes aes_;
+  Block h_;  // hash subkey E(K, 0^128)
+};
+
+}  // namespace confide::crypto

@@ -1,0 +1,27 @@
+/// \file hmac.h
+/// \brief HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869) from scratch.
+///
+/// HKDF derives per-transaction keys k_tx from the user root key and the
+/// transaction hash (T-Protocol), and session keys from ECDH shared secrets
+/// (K-Protocol MAP channels).
+
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace confide::crypto {
+
+/// \brief HMAC-SHA256 of `data` under `key`.
+Hash256 HmacSha256(ByteView key, ByteView data);
+
+/// \brief HKDF-Extract: PRK = HMAC(salt, ikm).
+Hash256 HkdfExtract(ByteView salt, ByteView ikm);
+
+/// \brief HKDF-Expand to `out_len` bytes (out_len <= 255 * 32).
+Bytes HkdfExpand(const Hash256& prk, ByteView info, size_t out_len);
+
+/// \brief Extract-then-expand convenience.
+Bytes Hkdf(ByteView salt, ByteView ikm, ByteView info, size_t out_len);
+
+}  // namespace confide::crypto

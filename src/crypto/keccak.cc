@@ -1,0 +1,114 @@
+#include "crypto/keccak.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace confide::crypto {
+
+namespace {
+
+constexpr uint64_t kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int kRotations[25] = {
+    0,  1,  62, 28, 27,  //
+    36, 44, 6,  55, 20,  //
+    3,  10, 43, 25, 39,  //
+    41, 45, 15, 21, 8,   //
+    18, 2,  61, 56, 14,
+};
+
+}  // namespace
+
+void Keccak256::Reset() {
+  std::memset(state_, 0, sizeof(state_));
+  buf_len_ = 0;
+}
+
+void Keccak256::Permute() {
+  uint64_t* a = state_;
+  for (int round = 0; round < 24; ++round) {
+    // Theta.
+    uint64_t c[5], d[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ RotL64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d[x];
+    }
+    // Rho + Pi.
+    uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = RotL64(a[x + 5 * y], kRotations[x + 5 * y]);
+      }
+    }
+    // Chi.
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] = b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota.
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+void Keccak256::Absorb(const uint8_t* block) {
+  for (size_t i = 0; i < kRate / 8; ++i) {
+    state_[i] ^= LoadLe64(block + 8 * i);
+  }
+  Permute();
+}
+
+void Keccak256::Update(ByteView data) {
+  size_t pos = 0;
+  if (buf_len_ > 0) {
+    size_t take = std::min(data.size(), kRate - buf_len_);
+    std::memcpy(buf_ + buf_len_, data.data(), take);
+    buf_len_ += take;
+    pos = take;
+    if (buf_len_ == kRate) {
+      Absorb(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (pos + kRate <= data.size()) {
+    Absorb(data.data() + pos);
+    pos += kRate;
+  }
+  if (pos < data.size()) {
+    std::memcpy(buf_, data.data() + pos, data.size() - pos);
+    buf_len_ = data.size() - pos;
+  }
+}
+
+Hash256 Keccak256::Finish() {
+  // Keccak (pre-SHA3) multi-rate padding: 0x01 ... 0x80.
+  std::memset(buf_ + buf_len_, 0, kRate - buf_len_);
+  buf_[buf_len_] ^= 0x01;
+  buf_[kRate - 1] ^= 0x80;
+  Absorb(buf_);
+
+  Hash256 out;
+  for (int i = 0; i < 4; ++i) StoreLe64(out.data() + 8 * i, state_[i]);
+  return out;
+}
+
+Hash256 Keccak256::Digest(ByteView data) {
+  Keccak256 ctx;
+  ctx.Update(data);
+  return ctx.Finish();
+}
+
+}  // namespace confide::crypto

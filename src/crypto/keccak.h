@@ -1,0 +1,40 @@
+/// \file keccak.h
+/// \brief Keccak-256 (the pre-FIPS Ethereum variant, pad 0x01) from scratch.
+///
+/// Used by the EVM SHA3 opcode, contract addresses, and the Crypto-Hash
+/// synthetic workload (paper §6.1 runs SHA-256 and Keccak 100×).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace confide::crypto {
+
+/// \brief Incremental Keccak-256 sponge (rate 136 bytes, capacity 512 bits).
+class Keccak256 {
+ public:
+  Keccak256() { Reset(); }
+
+  void Reset();
+  void Update(ByteView data);
+  Hash256 Finish();
+
+  /// \brief One-shot convenience.
+  static Hash256 Digest(ByteView data);
+
+ private:
+  static constexpr size_t kRate = 136;
+
+  void Permute();
+  void Absorb(const uint8_t* block);
+
+  uint64_t state_[25];
+  uint8_t buf_[kRate];
+  size_t buf_len_ = 0;
+};
+
+}  // namespace confide::crypto

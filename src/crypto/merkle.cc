@@ -1,0 +1,70 @@
+#include "crypto/merkle.h"
+
+namespace confide::crypto {
+
+Hash256 MerkleTree::HashLeaf(ByteView leaf) {
+  Sha256 ctx;
+  uint8_t prefix = 0x00;
+  ctx.Update(ByteView(&prefix, 1));
+  ctx.Update(leaf);
+  return ctx.Finish();
+}
+
+Hash256 MerkleTree::HashInterior(const Hash256& left, const Hash256& right) {
+  Sha256 ctx;
+  uint8_t prefix = 0x01;
+  ctx.Update(ByteView(&prefix, 1));
+  ctx.Update(HashView(left));
+  ctx.Update(HashView(right));
+  return ctx.Finish();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) : leaf_count_(leaves.size()) {
+  std::vector<Hash256> level;
+  if (leaves.empty()) {
+    levels_.push_back({Sha256::Digest(ByteView{})});
+    return;
+  }
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(HashLeaf(leaf));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& left = prev[i];
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(HashInterior(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+Result<MerkleProof> MerkleTree::Prove(size_t index) const {
+  if (index >= leaf_count_) {
+    return Status::OutOfRange("merkle leaf index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  size_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling >= nodes.size()) sibling = pos;  // odd node pairs with itself
+    proof.steps.push_back({nodes[sibling], sibling < pos});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Hash256& root, ByteView leaf, const MerkleProof& proof) {
+  Hash256 acc = HashLeaf(leaf);
+  for (const auto& step : proof.steps) {
+    acc = step.sibling_is_left ? HashInterior(step.sibling, acc)
+                               : HashInterior(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace confide::crypto

@@ -1,0 +1,83 @@
+/// \file ast.h
+/// \brief CCL abstract syntax tree.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace confide::lang {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class UnOp : uint8_t { kNeg, kNot, kBitNot };
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kIntLiteral,
+    kStringLiteral,  ///< evaluates to a pointer into the literal pool
+    kVariable,
+    kUnary,
+    kBinary,
+    kCall,           ///< user function or builtin
+  };
+
+  Kind kind;
+  int line = 0;
+
+  int64_t int_value = 0;       // kIntLiteral
+  std::string string_value;    // kStringLiteral
+  std::string name;            // kVariable, kCall
+  UnOp un_op{};                // kUnary
+  BinOp bin_op{};              // kBinary
+  ExprPtr lhs, rhs;            // kUnary uses lhs only
+  std::vector<ExprPtr> args;   // kCall
+};
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    kVarDecl,
+    kAssign,
+    kIf,
+    kWhile,
+    kReturn,
+    kBreak,
+    kContinue,
+    kExpr,
+    kBlock,
+  };
+
+  Kind kind;
+  int line = 0;
+
+  std::string name;            // kVarDecl / kAssign target
+  ExprPtr expr;                // initializer / condition / return value
+  std::vector<StmtPtr> body;   // kBlock, kIf-then, kWhile body
+  std::vector<StmtPtr> else_body;  // kIf
+};
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<FunctionDecl> functions;
+};
+
+}  // namespace confide::lang

@@ -1,0 +1,34 @@
+#include "lang/builtins.h"
+
+#include <unordered_map>
+
+namespace confide::lang {
+
+std::optional<BuiltinInfo> LookupBuiltin(std::string_view name) {
+  static const std::unordered_map<std::string_view, BuiltinInfo> kTable = {
+      {"get_storage", {Builtin::kGetStorage, 4}},
+      {"set_storage", {Builtin::kSetStorage, 4}},
+      {"sha256", {Builtin::kSha256, 3}},
+      {"keccak256", {Builtin::kKeccak256, 3}},
+      {"input_size", {Builtin::kInputSize, 0}},
+      {"read_input", {Builtin::kReadInput, 2}},
+      {"write_output", {Builtin::kWriteOutput, 2}},
+      {"call", {Builtin::kCall, 6}},
+      {"log", {Builtin::kLog, 2}},
+      {"abort", {Builtin::kAbort, 1}},
+      {"alloc", {Builtin::kAlloc, 1}},
+      {"load8", {Builtin::kLoad8, 1}},
+      {"load32", {Builtin::kLoad32, 1}},
+      {"load64", {Builtin::kLoad64, 1}},
+      {"store8", {Builtin::kStore8, 2}},
+      {"store32", {Builtin::kStore32, 2}},
+      {"store64", {Builtin::kStore64, 2}},
+      {"memcpy", {Builtin::kMemCpy, 3}},
+      {"memset", {Builtin::kMemSet, 3}},
+  };
+  auto it = kTable.find(name);
+  if (it == kTable.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace confide::lang

@@ -1,0 +1,47 @@
+/// \file builtins.h
+/// \brief CCL builtin functions shared by both codegen backends.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace confide::lang {
+
+/// \brief Builtins the language front end recognizes. Backends lower each
+/// to host calls, inline instruction sequences, or (when a backend has no
+/// primitive, e.g. memcpy on EVM) fall back to the stdlib CCL function of
+/// the same name.
+enum class Builtin : uint8_t {
+  kGetStorage,   // (key_ptr, key_len, val_ptr, val_cap) -> len
+  kSetStorage,   // (key_ptr, key_len, val_ptr, val_len) -> 0
+  kSha256,       // (ptr, len, out_ptr) -> 0
+  kKeccak256,    // (ptr, len, out_ptr) -> 0
+  kInputSize,    // () -> len
+  kReadInput,    // (dst, cap) -> copied
+  kWriteOutput,  // (ptr, len) -> 0
+  kCall,         // (addr_ptr, addr_len, in_ptr, in_len, out_ptr, out_cap) -> len
+  kLog,          // (ptr, len) -> 0
+  kAbort,        // (code) -> traps
+  kAlloc,        // (n) -> ptr (bump allocator over the VM heap)
+  kLoad8,        // (ptr) -> byte
+  kLoad32,       // (ptr) -> u32
+  kLoad64,       // (ptr) -> u64 (per-VM byte order; see docs)
+  kStore8,       // (ptr, v) -> 0
+  kStore32,      // (ptr, v) -> 0
+  kStore64,      // (ptr, v) -> 0
+  kMemCpy,       // (dst, src, n) -> 0   [CVM native; EVM via stdlib]
+  kMemSet,       // (dst, byte, n) -> 0  [CVM native; EVM via stdlib]
+};
+
+struct BuiltinInfo {
+  Builtin builtin;
+  uint32_t arity;
+};
+
+/// \brief Front-end lookup; backends may still decline (fall back to a
+/// same-named CCL function).
+std::optional<BuiltinInfo> LookupBuiltin(std::string_view name);
+
+}  // namespace confide::lang

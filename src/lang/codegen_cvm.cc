@@ -1,0 +1,374 @@
+#include "lang/codegen_cvm.h"
+
+#include <unordered_map>
+
+#include "common/endian.h"
+#include "lang/builtins.h"
+#include "vm/cvm/builder.h"
+#include "vm/cvm/interpreter.h"
+
+namespace confide::lang {
+
+namespace {
+
+using vm::cvm::FunctionBuilder;
+using vm::cvm::ModuleBuilder;
+using vm::cvm::Op;
+
+// Linear-memory layout: [0,8) scratch, [8,16) heap pointer, [16,...)
+// string-literal pool, then the bump-allocated heap.
+constexpr uint32_t kHeapPtrAddr = 8;
+constexpr uint32_t kPoolBase = 16;
+
+class CvmCodegen {
+ public:
+  Result<Bytes> Compile(const Program& program) {
+    // Pass 1: function table.
+    for (size_t i = 0; i < program.functions.size(); ++i) {
+      const FunctionDecl& fn = program.functions[i];
+      if (fn_index_.count(fn.name)) {
+        return Status::InvalidArgument("ccl: duplicate function " + fn.name);
+      }
+      fn_index_[fn.name] = uint32_t(i);
+      fn_arity_[fn.name] = uint32_t(fn.params.size());
+    }
+    // Pass 2: bodies.
+    for (const FunctionDecl& fn : program.functions) {
+      CONFIDE_RETURN_NOT_OK(EmitFunction(fn));
+    }
+    // Assemble the module: pool data + heap pointer init.
+    if (!pool_.empty()) builder_.AddData(kPoolBase, pool_);
+    uint64_t heap_base = (kPoolBase + pool_.size() + 7) & ~uint64_t(7);
+    Bytes heap_init(8);
+    StoreLe64(heap_init.data(), heap_base);
+    builder_.AddData(kHeapPtrAddr, std::move(heap_init));
+    return EncodeModule(builder_.Finish());
+  }
+
+ private:
+  Status Error(int line, const std::string& what) {
+    return Status::InvalidArgument("ccl cvm: " + what + " (line " +
+                                   std::to_string(line) + ")");
+  }
+
+  uint32_t PoolAdd(const std::string& s) {
+    auto it = literal_offsets_.find(s);
+    if (it != literal_offsets_.end()) return it->second;
+    uint32_t offset = kPoolBase + uint32_t(pool_.size());
+    Append(&pool_, AsByteView(s));
+    pool_.push_back(0);  // NUL terminator
+    literal_offsets_[s] = offset;
+    return offset;
+  }
+
+  // --- scope management ---
+
+  Result<uint32_t> ResolveVar(const std::string& name, int line) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto hit = it->find(name);
+      if (hit != it->end()) return hit->second;
+    }
+    return Error(line, "undefined variable '" + name + "'");
+  }
+
+  Result<uint32_t> DeclareVar(const std::string& name, int line) {
+    if (scopes_.back().count(name)) {
+      return Error(line, "redeclared variable '" + name + "'");
+    }
+    uint32_t idx = fb_->AddLocal();
+    scopes_.back()[name] = idx;
+    return idx;
+  }
+
+  // --- expression emission ---
+
+  Status EmitExpr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLiteral:
+        fb_->I64Const(e.int_value);
+        return Status::OK();
+      case Expr::Kind::kStringLiteral:
+        fb_->I64Const(int64_t(PoolAdd(e.string_value)));
+        return Status::OK();
+      case Expr::Kind::kVariable: {
+        CONFIDE_ASSIGN_OR_RETURN(uint32_t idx, ResolveVar(e.name, e.line));
+        fb_->LocalGet(idx);
+        return Status::OK();
+      }
+      case Expr::Kind::kUnary:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.lhs));
+        switch (e.un_op) {
+          case UnOp::kNeg:
+            // -x == 0 - x
+            fb_->LocalSet(tmp_a_);
+            fb_->I64Const(0).LocalGet(tmp_a_).Emit(Op::kSub);
+            break;
+          case UnOp::kNot:
+            fb_->Emit(Op::kEqz);
+            break;
+          case UnOp::kBitNot:
+            fb_->I64Const(-1).Emit(Op::kXor);
+            break;
+        }
+        return Status::OK();
+      case Expr::Kind::kBinary:
+        return EmitBinary(e);
+      case Expr::Kind::kCall:
+        return EmitCall(e);
+    }
+    return Error(e.line, "unhandled expression kind");
+  }
+
+  Status EmitBinary(const Expr& e) {
+    // Short-circuit logical operators need branches.
+    if (e.bin_op == BinOp::kLogicalAnd || e.bin_op == BinOp::kLogicalOr) {
+      bool is_and = e.bin_op == BinOp::kLogicalAnd;
+      auto short_label = fb_->NewLabel();
+      auto end_label = fb_->NewLabel();
+      CONFIDE_RETURN_NOT_OK(EmitExpr(*e.lhs));
+      // a && b: if !a -> 0 ; a || b: if a -> 1
+      if (is_and) {
+        fb_->Emit(Op::kEqz);
+        fb_->BrIf(short_label);
+      } else {
+        fb_->BrIf(short_label);
+      }
+      CONFIDE_RETURN_NOT_OK(EmitExpr(*e.rhs));
+      fb_->I64Const(0).Emit(Op::kNe);  // normalize to 0/1
+      fb_->Br(end_label);
+      fb_->Bind(short_label);
+      fb_->I64Const(is_and ? 0 : 1);
+      fb_->Bind(end_label);
+      fb_->Emit(Op::kNop);
+      return Status::OK();
+    }
+
+    CONFIDE_RETURN_NOT_OK(EmitExpr(*e.lhs));
+    CONFIDE_RETURN_NOT_OK(EmitExpr(*e.rhs));
+    switch (e.bin_op) {
+      case BinOp::kAdd: fb_->Emit(Op::kAdd); break;
+      case BinOp::kSub: fb_->Emit(Op::kSub); break;
+      case BinOp::kMul: fb_->Emit(Op::kMul); break;
+      case BinOp::kDiv: fb_->Emit(Op::kDivS); break;
+      case BinOp::kRem: fb_->Emit(Op::kRemS); break;
+      case BinOp::kAnd: fb_->Emit(Op::kAnd); break;
+      case BinOp::kOr: fb_->Emit(Op::kOr); break;
+      case BinOp::kXor: fb_->Emit(Op::kXor); break;
+      case BinOp::kShl: fb_->Emit(Op::kShl); break;
+      case BinOp::kShr: fb_->Emit(Op::kShrS); break;
+      case BinOp::kEq: fb_->Emit(Op::kEq); break;
+      case BinOp::kNe: fb_->Emit(Op::kNe); break;
+      case BinOp::kLt: fb_->Emit(Op::kLtS); break;
+      case BinOp::kLe: fb_->Emit(Op::kLeS); break;
+      case BinOp::kGt: fb_->Emit(Op::kGtS); break;
+      case BinOp::kGe: fb_->Emit(Op::kGeS); break;
+      default:
+        return Error(e.line, "unhandled binary operator");
+    }
+    return Status::OK();
+  }
+
+  Status EmitCall(const Expr& e) {
+    auto builtin = LookupBuiltin(e.name);
+    if (builtin) {
+      if (e.args.size() != builtin->arity) {
+        return Error(e.line, "builtin " + e.name + " expects " +
+                                 std::to_string(builtin->arity) + " arguments");
+      }
+      for (const ExprPtr& arg : e.args) {
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*arg));
+      }
+      return EmitBuiltin(builtin->builtin, e.line);
+    }
+    auto it = fn_index_.find(e.name);
+    if (it == fn_index_.end()) {
+      return Error(e.line, "unknown function '" + e.name + "'");
+    }
+    if (e.args.size() != fn_arity_[e.name]) {
+      return Error(e.line, "function " + e.name + " expects " +
+                               std::to_string(fn_arity_[e.name]) + " arguments");
+    }
+    for (const ExprPtr& arg : e.args) {
+      CONFIDE_RETURN_NOT_OK(EmitExpr(*arg));
+    }
+    fb_->Call(it->second);
+    return Status::OK();
+  }
+
+  Status EmitBuiltin(Builtin builtin, int line) {
+    using vm::cvm::HostFn;
+    switch (builtin) {
+      case Builtin::kGetStorage: fb_->CallHost(HostFn::kHostGetStorage); break;
+      case Builtin::kSetStorage: fb_->CallHost(HostFn::kHostSetStorage); break;
+      case Builtin::kSha256: fb_->CallHost(HostFn::kHostSha256); break;
+      case Builtin::kKeccak256: fb_->CallHost(HostFn::kHostKeccak256); break;
+      case Builtin::kInputSize: fb_->CallHost(HostFn::kHostInputSize); break;
+      case Builtin::kReadInput: fb_->CallHost(HostFn::kHostReadInput); break;
+      case Builtin::kWriteOutput: fb_->CallHost(HostFn::kHostWriteOutput); break;
+      case Builtin::kCall: fb_->CallHost(HostFn::kHostCall); break;
+      case Builtin::kLog: fb_->CallHost(HostFn::kHostLog); break;
+      case Builtin::kAbort: fb_->CallHost(HostFn::kHostAbort); break;
+      case Builtin::kAlloc:
+        // (n) -> p:  tA = (n + 7) & ~7; p = *heap; *heap = p + tA; -> p
+        fb_->I64Const(7).Emit(Op::kAdd).I64Const(-8).Emit(Op::kAnd);
+        fb_->LocalSet(tmp_a_);
+        fb_->I64Const(kHeapPtrAddr).Emit(Op::kLoad64).LocalSet(tmp_b_);
+        fb_->I64Const(kHeapPtrAddr);
+        fb_->LocalGet(tmp_b_).LocalGet(tmp_a_).Emit(Op::kAdd);
+        fb_->Emit(Op::kStore64);
+        fb_->LocalGet(tmp_b_);
+        break;
+      case Builtin::kLoad8: fb_->Emit(Op::kLoad8U); break;
+      case Builtin::kLoad32: fb_->Emit(Op::kLoad32U); break;
+      case Builtin::kLoad64: fb_->Emit(Op::kLoad64); break;
+      case Builtin::kStore8:
+        fb_->Emit(Op::kStore8);
+        fb_->I64Const(0);  // builtins yield a value
+        break;
+      case Builtin::kStore32:
+        fb_->Emit(Op::kStore32);
+        fb_->I64Const(0);
+        break;
+      case Builtin::kStore64:
+        fb_->Emit(Op::kStore64);
+        fb_->I64Const(0);
+        break;
+      case Builtin::kMemCpy:
+        fb_->Emit(Op::kMemCopy);
+        fb_->I64Const(0);
+        break;
+      case Builtin::kMemSet:
+        fb_->Emit(Op::kMemFill);
+        fb_->I64Const(0);
+        break;
+      default:
+        return Error(line, "builtin not supported by CVM backend");
+    }
+    return Status::OK();
+  }
+
+  // --- statement emission ---
+
+  Status EmitStmtList(const std::vector<StmtPtr>& stmts) {
+    scopes_.emplace_back();
+    for (const StmtPtr& stmt : stmts) {
+      CONFIDE_RETURN_NOT_OK(EmitStmt(*stmt));
+    }
+    scopes_.pop_back();
+    return Status::OK();
+  }
+
+  Status EmitStmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kVarDecl: {
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        CONFIDE_ASSIGN_OR_RETURN(uint32_t idx, DeclareVar(s.name, s.line));
+        fb_->LocalSet(idx);
+        return Status::OK();
+      }
+      case Stmt::Kind::kAssign: {
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        CONFIDE_ASSIGN_OR_RETURN(uint32_t idx, ResolveVar(s.name, s.line));
+        fb_->LocalSet(idx);
+        return Status::OK();
+      }
+      case Stmt::Kind::kIf: {
+        auto else_label = fb_->NewLabel();
+        auto end_label = fb_->NewLabel();
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        fb_->Emit(Op::kEqz).BrIf(else_label);
+        CONFIDE_RETURN_NOT_OK(EmitStmtList(s.body));
+        fb_->Br(end_label);
+        fb_->Bind(else_label);
+        fb_->Emit(Op::kNop);
+        if (!s.else_body.empty()) {
+          CONFIDE_RETURN_NOT_OK(EmitStmtList(s.else_body));
+        }
+        fb_->Bind(end_label);
+        fb_->Emit(Op::kNop);
+        return Status::OK();
+      }
+      case Stmt::Kind::kWhile: {
+        auto loop_label = fb_->NewLabel();
+        auto end_label = fb_->NewLabel();
+        fb_->Bind(loop_label);
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        fb_->Emit(Op::kEqz).BrIf(end_label);
+        loop_stack_.push_back({loop_label, end_label});
+        CONFIDE_RETURN_NOT_OK(EmitStmtList(s.body));
+        loop_stack_.pop_back();
+        fb_->Br(loop_label);
+        fb_->Bind(end_label);
+        fb_->Emit(Op::kNop);
+        return Status::OK();
+      }
+      case Stmt::Kind::kReturn:
+        if (s.expr != nullptr) {
+          CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        } else {
+          fb_->I64Const(0);
+        }
+        fb_->Return();
+        return Status::OK();
+      case Stmt::Kind::kBreak:
+        if (loop_stack_.empty()) return Error(s.line, "break outside loop");
+        fb_->Br(loop_stack_.back().second);
+        return Status::OK();
+      case Stmt::Kind::kContinue:
+        if (loop_stack_.empty()) return Error(s.line, "continue outside loop");
+        fb_->Br(loop_stack_.back().first);
+        return Status::OK();
+      case Stmt::Kind::kExpr:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        fb_->Emit(Op::kDrop);
+        return Status::OK();
+      case Stmt::Kind::kBlock:
+        return EmitStmtList(s.body);
+    }
+    return Error(s.line, "unhandled statement kind");
+  }
+
+  Status EmitFunction(const FunctionDecl& fn) {
+    FunctionBuilder builder(uint32_t(fn.params.size()), 0);
+    fb_ = &builder;
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      scopes_.back()[fn.params[i]] = uint32_t(i);
+    }
+    tmp_a_ = builder.AddLocal();
+    tmp_b_ = builder.AddLocal();
+    loop_stack_.clear();
+
+    CONFIDE_RETURN_NOT_OK(EmitStmtList(fn.body));
+    // Implicit `return 0` safeguards functions whose control flow can
+    // reach the end of the body.
+    fb_->I64Const(0).Return();
+
+    CONFIDE_ASSIGN_OR_RETURN(uint32_t index, builder_.AddFunction(builder));
+    builder_.Export(fn.name, index);
+    fb_ = nullptr;
+    return Status::OK();
+  }
+
+  ModuleBuilder builder_;
+  std::unordered_map<std::string, uint32_t> fn_index_;
+  std::unordered_map<std::string, uint32_t> fn_arity_;
+  std::unordered_map<std::string, uint32_t> literal_offsets_;
+  Bytes pool_;
+
+  FunctionBuilder* fb_ = nullptr;
+  std::vector<std::unordered_map<std::string, uint32_t>> scopes_;
+  std::vector<std::pair<FunctionBuilder::Label, FunctionBuilder::Label>> loop_stack_;
+  uint32_t tmp_a_ = 0;
+  uint32_t tmp_b_ = 0;
+};
+
+}  // namespace
+
+Result<Bytes> CompileToCvm(const Program& program) {
+  CvmCodegen codegen;
+  return codegen.Compile(program);
+}
+
+}  // namespace confide::lang

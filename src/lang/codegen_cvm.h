@@ -1,0 +1,17 @@
+/// \file codegen_cvm.h
+/// \brief CCL → CONFIDE-VM bytecode backend.
+
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace confide::lang {
+
+/// \brief Compiles a parsed program to a CONFIDE-VM wire module. Every
+/// function is exported under its own name; zero-parameter functions are
+/// valid transaction entry points.
+Result<Bytes> CompileToCvm(const Program& program);
+
+}  // namespace confide::lang

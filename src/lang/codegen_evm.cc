@@ -1,0 +1,633 @@
+#include "lang/codegen_evm.h"
+
+#include <unordered_map>
+
+#include "common/endian.h"
+#include "crypto/keccak.h"
+#include "lang/builtins.h"
+#include "vm/evm/evm.h"
+
+namespace confide::lang {
+
+uint32_t EvmSelector(std::string_view name) {
+  crypto::Hash256 h = crypto::Keccak256::Digest(AsByteView(name));
+  return LoadBe32(h.data());
+}
+
+namespace {
+
+using vm::evm::EvmAssembler;
+using vm::evm::U256;
+using namespace vm::evm;  // opcode constants
+
+// Memory map: 0x00 scratch, 0x20 frame pointer, 0x40 heap pointer,
+// 0x60.. literal pool, frames from kFrameBase, heap from kHeapBase.
+constexpr uint64_t kFpSlot = 0x20;
+constexpr uint64_t kHeapPtrSlot = 0x40;
+constexpr uint64_t kPoolBase = 0x60;
+constexpr uint64_t kFrameBase = 0x10000;
+constexpr uint64_t kHeapBase = 0x40000;
+
+const U256 kMask64 = []() {
+  U256 m(0);
+  m.limb[0] = ~uint64_t(0);
+  return m;
+}();
+
+const U256 kMask192 = []() {
+  U256 m;
+  m.limb[0] = ~uint64_t(0);
+  m.limb[1] = ~uint64_t(0);
+  m.limb[2] = ~uint64_t(0);
+  return m;
+}();
+
+const U256 kMask224 = []() {
+  U256 m;
+  m.limb[0] = ~uint64_t(0);
+  m.limb[1] = ~uint64_t(0);
+  m.limb[2] = ~uint64_t(0);
+  m.limb[3] = 0xFFFFFFFFull;
+  return m;
+}();
+
+// Counts `var` declarations in a statement tree (each gets a frame slot).
+size_t CountVarDecls(const std::vector<StmtPtr>& stmts) {
+  size_t count = 0;
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->kind == Stmt::Kind::kVarDecl) ++count;
+    count += CountVarDecls(stmt->body);
+    count += CountVarDecls(stmt->else_body);
+  }
+  return count;
+}
+
+class EvmCodegen {
+ public:
+  Result<Bytes> Compile(const Program& program) {
+    // Function table + labels.
+    for (const FunctionDecl& fn : program.functions) {
+      if (fn_info_.count(fn.name)) {
+        return Status::InvalidArgument("ccl: duplicate function " + fn.name);
+      }
+      FnInfo info;
+      info.arity = uint32_t(fn.params.size());
+      info.label = asm_.NewLabel();
+      fn_info_[fn.name] = info;
+    }
+    // Literal pool (collected up front so the prologue knows its size).
+    for (const FunctionDecl& fn : program.functions) {
+      CollectLiterals(fn.body);
+    }
+
+    EmitPrologueAndDispatcher(program);
+    for (const FunctionDecl& fn : program.functions) {
+      CONFIDE_RETURN_NOT_OK(EmitFunction(fn));
+    }
+    asm_.BindHere(pool_label_);
+    CONFIDE_ASSIGN_OR_RETURN(Bytes code, asm_.Finish());
+    Append(&code, pool_);
+    return code;
+  }
+
+ private:
+  struct FnInfo {
+    uint32_t arity = 0;
+    EvmAssembler::Label label = 0;
+  };
+
+  Status Error(int line, const std::string& what) {
+    return Status::InvalidArgument("ccl evm: " + what + " (line " +
+                                   std::to_string(line) + ")");
+  }
+
+  void CollectLiteralsExpr(const Expr& e) {
+    if (e.kind == Expr::Kind::kStringLiteral) PoolAdd(e.string_value);
+    if (e.lhs) CollectLiteralsExpr(*e.lhs);
+    if (e.rhs) CollectLiteralsExpr(*e.rhs);
+    for (const ExprPtr& arg : e.args) CollectLiteralsExpr(*arg);
+  }
+
+  void CollectLiterals(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& stmt : stmts) {
+      if (stmt->expr) CollectLiteralsExpr(*stmt->expr);
+      CollectLiterals(stmt->body);
+      CollectLiterals(stmt->else_body);
+    }
+  }
+
+  uint64_t PoolAdd(const std::string& s) {
+    auto it = literal_offsets_.find(s);
+    if (it != literal_offsets_.end()) return it->second;
+    uint64_t offset = kPoolBase + pool_.size();
+    Append(&pool_, AsByteView(s));
+    pool_.push_back(0);
+    literal_offsets_[s] = offset;
+    return offset;
+  }
+
+  void EmitPrologueAndDispatcher(const Program& program) {
+    pool_label_ = asm_.NewLabel();
+    // Heap and frame pointers.
+    asm_.Push(kHeapBase).Push(kHeapPtrSlot).Op(OP_MSTORE);
+    asm_.Push(kFrameBase).Push(kFpSlot).Op(OP_MSTORE);
+    // Literal pool: CODECOPY(dst=kPoolBase, src=pool_label, len).
+    if (!pool_.empty()) {
+      asm_.Push(pool_.size());
+      asm_.PushLabel(pool_label_);
+      asm_.Push(kPoolBase);
+      asm_.Op(OP_CODECOPY);
+    }
+    // Selector dispatch over zero-parameter functions.
+    asm_.Push(0).Op(OP_CALLDATALOAD).Push(224).Op(OP_SHR);
+    for (const FunctionDecl& fn : program.functions) {
+      if (!fn.params.empty()) continue;
+      auto entry = asm_.NewLabel();
+      auto after = asm_.NewLabel();
+      auto skip = asm_.NewLabel();
+      asm_.Op(OP_DUP1).Push(EvmSelector(fn.name)).Op(OP_EQ);
+      asm_.PushLabel(entry).Op(OP_JUMPI);
+      asm_.PushLabel(skip).Op(OP_JUMP);
+      asm_.Bind(entry);
+      asm_.Op(OP_POP);  // drop selector
+      asm_.PushLabel(after);
+      asm_.PushLabel(fn_info_[fn.name].label).Op(OP_JUMP);
+      asm_.Bind(after);
+      // Result stays on the stack: it becomes ExecutionResult.return_value
+      // at STOP; contract output comes from write_output (XSETOUTPUT).
+      asm_.Op(OP_STOP);
+      asm_.Bind(skip);
+    }
+    asm_.Op(OP_INVALID);  // unknown selector
+  }
+
+  // --- frame-slot helpers (the Solidity-style locals-in-memory cost) ---
+  //
+  // mem[kFpSlot] is a frame *stack pointer*: each function's prologue adds
+  // its own frame size and its epilogue subtracts it, so frames never
+  // overlap regardless of caller/callee size. Local slot i lives at
+  // SP - frame_size + 32*i, i.e. SP minus a per-function constant.
+
+  void EmitLocalAddr(uint32_t slot) {
+    uint64_t offset = cur_frame_size_ - 32 * uint64_t(slot);
+    asm_.Push(kFpSlot).Op(OP_MLOAD).Push(offset).Op(OP_SWAP1).Op(OP_SUB);
+  }
+  void EmitLocalLoad(uint32_t slot) {
+    EmitLocalAddr(slot);
+    asm_.Op(OP_MLOAD);
+  }
+  void EmitLocalStore(uint32_t slot) {  // consumes value on stack
+    EmitLocalAddr(slot);
+    asm_.Op(OP_MSTORE);
+  }
+
+  void EmitMask64() { asm_.Push(kMask64).Op(OP_AND); }
+  void EmitSignExtendTop() { asm_.Push(7).Op(OP_SIGNEXTEND); }
+
+  // --- scopes ---
+
+  Result<uint32_t> ResolveVar(const std::string& name, int line) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto hit = it->find(name);
+      if (hit != it->end()) return hit->second;
+    }
+    return Error(line, "undefined variable '" + name + "'");
+  }
+
+  Result<uint32_t> DeclareVar(const std::string& name, int line) {
+    if (scopes_.back().count(name)) {
+      return Error(line, "redeclared variable '" + name + "'");
+    }
+    uint32_t slot = next_slot_++;
+    scopes_.back()[name] = slot;
+    return slot;
+  }
+
+  // --- expressions ---
+
+  Status EmitExpr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLiteral:
+        asm_.Push(U256(uint64_t(e.int_value)));
+        if (e.int_value < 0) EmitMask64();  // store negatives masked
+        return Status::OK();
+      case Expr::Kind::kStringLiteral:
+        asm_.Push(PoolAdd(e.string_value));
+        return Status::OK();
+      case Expr::Kind::kVariable: {
+        CONFIDE_ASSIGN_OR_RETURN(uint32_t slot, ResolveVar(e.name, e.line));
+        EmitLocalLoad(slot);
+        return Status::OK();
+      }
+      case Expr::Kind::kUnary:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.lhs));
+        switch (e.un_op) {
+          case UnOp::kNeg:
+            asm_.Push(0).Op(OP_SUB);  // Sub(top=0, next=x) = -x
+            EmitMask64();
+            break;
+          case UnOp::kNot:
+            asm_.Op(OP_ISZERO);
+            break;
+          case UnOp::kBitNot:
+            asm_.Op(OP_NOT);
+            EmitMask64();
+            break;
+        }
+        return Status::OK();
+      case Expr::Kind::kBinary:
+        return EmitBinary(e);
+      case Expr::Kind::kCall:
+        return EmitCall(e);
+    }
+    return Error(e.line, "unhandled expression kind");
+  }
+
+  Status EmitBinary(const Expr& e) {
+    if (e.bin_op == BinOp::kLogicalAnd || e.bin_op == BinOp::kLogicalOr) {
+      bool is_and = e.bin_op == BinOp::kLogicalAnd;
+      auto short_label = asm_.NewLabel();
+      auto end_label = asm_.NewLabel();
+      CONFIDE_RETURN_NOT_OK(EmitExpr(*e.lhs));
+      if (is_and) asm_.Op(OP_ISZERO);
+      asm_.PushLabel(short_label).Op(OP_JUMPI);
+      CONFIDE_RETURN_NOT_OK(EmitExpr(*e.rhs));
+      asm_.Op(OP_ISZERO).Op(OP_ISZERO);  // normalize
+      asm_.PushLabel(end_label).Op(OP_JUMP);
+      asm_.Bind(short_label);
+      asm_.Push(is_and ? 0 : 1);
+      asm_.Bind(end_label);
+      return Status::OK();
+    }
+
+    CONFIDE_RETURN_NOT_OK(EmitExpr(*e.lhs));
+    CONFIDE_RETURN_NOT_OK(EmitExpr(*e.rhs));
+    // Stack is [lhs, rhs] (rhs on top). Our EVM ops compute op(top, next),
+    // so non-commutative ops need the SWAP1 Solidity also emits.
+    switch (e.bin_op) {
+      case BinOp::kAdd: asm_.Op(OP_ADD); EmitMask64(); break;
+      case BinOp::kSub: asm_.Op(OP_SWAP1).Op(OP_SUB); EmitMask64(); break;
+      case BinOp::kMul: asm_.Op(OP_MUL); EmitMask64(); break;
+      case BinOp::kDiv:
+        EmitSignExtendTop();                     // rhs
+        asm_.Op(OP_SWAP1);
+        EmitSignExtendTop();                     // lhs (now on top)
+        asm_.Op(OP_SDIV);
+        EmitMask64();
+        break;
+      case BinOp::kRem:
+        EmitSignExtendTop();
+        asm_.Op(OP_SWAP1);
+        EmitSignExtendTop();
+        asm_.Op(OP_SMOD);
+        EmitMask64();
+        break;
+      case BinOp::kAnd: asm_.Op(OP_AND); break;
+      case BinOp::kOr: asm_.Op(OP_OR); break;
+      case BinOp::kXor: asm_.Op(OP_XOR); break;
+      case BinOp::kShl:
+        // [x, k]: SHL pops shift(top) then value.
+        asm_.Push(63).Op(OP_AND).Op(OP_SHL);
+        EmitMask64();
+        break;
+      case BinOp::kShr:
+        // Arithmetic shift: sign-extend x, then SAR, then mask.
+        asm_.Push(63).Op(OP_AND);                // clamp k
+        asm_.Op(OP_SWAP1);
+        EmitSignExtendTop();                     // x on top
+        asm_.Op(OP_SWAP1);                       // [x', k]
+        asm_.Op(OP_SAR);
+        EmitMask64();
+        break;
+      case BinOp::kEq: asm_.Op(OP_EQ); break;
+      case BinOp::kNe: asm_.Op(OP_EQ).Op(OP_ISZERO); break;
+      case BinOp::kLt:
+        EmitSignExtendTop();
+        asm_.Op(OP_SWAP1);
+        EmitSignExtendTop();
+        asm_.Op(OP_SLT);  // SLt(top=lhs', next=rhs') = lhs < rhs
+        break;
+      case BinOp::kGt:
+        EmitSignExtendTop();
+        asm_.Op(OP_SWAP1);
+        EmitSignExtendTop();
+        asm_.Op(OP_SGT);
+        break;
+      case BinOp::kLe:
+        EmitSignExtendTop();
+        asm_.Op(OP_SWAP1);
+        EmitSignExtendTop();
+        asm_.Op(OP_SGT).Op(OP_ISZERO);
+        break;
+      case BinOp::kGe:
+        EmitSignExtendTop();
+        asm_.Op(OP_SWAP1);
+        EmitSignExtendTop();
+        asm_.Op(OP_SLT).Op(OP_ISZERO);
+        break;
+      default:
+        return Error(e.line, "unhandled binary operator");
+    }
+    return Status::OK();
+  }
+
+  // Emits call args in reverse source order so the first argument lands on
+  // top of the stack (the pop order of the X* opcodes).
+  Status EmitArgsReversed(const Expr& e) {
+    for (auto it = e.args.rbegin(); it != e.args.rend(); ++it) {
+      CONFIDE_RETURN_NOT_OK(EmitExpr(**it));
+    }
+    return Status::OK();
+  }
+
+  Status EmitCall(const Expr& e) {
+    auto builtin = LookupBuiltin(e.name);
+    if (builtin && builtin->builtin != Builtin::kMemCpy &&
+        builtin->builtin != Builtin::kMemSet) {
+      if (e.args.size() != builtin->arity) {
+        return Error(e.line, "builtin " + e.name + " expects " +
+                                 std::to_string(builtin->arity) + " arguments");
+      }
+      return EmitBuiltin(e, builtin->builtin);
+    }
+    // memcpy/memset and user functions resolve to CCL functions (the
+    // stdlib provides memcpy/memset on this backend).
+    auto it = fn_info_.find(e.name);
+    if (it == fn_info_.end()) {
+      return Error(e.line, "unknown function '" + e.name + "'");
+    }
+    if (e.args.size() != it->second.arity) {
+      return Error(e.line, "function " + e.name + " expects " +
+                               std::to_string(it->second.arity) + " arguments");
+    }
+    auto ret = asm_.NewLabel();
+    asm_.PushLabel(ret);
+    for (const ExprPtr& arg : e.args) {
+      CONFIDE_RETURN_NOT_OK(EmitExpr(*arg));
+    }
+    asm_.PushLabel(it->second.label).Op(OP_JUMP);
+    asm_.Bind(ret);  // result on stack
+    return Status::OK();
+  }
+
+  Status EmitBuiltin(const Expr& e, Builtin builtin) {
+    switch (builtin) {
+      case Builtin::kGetStorage:
+        CONFIDE_RETURN_NOT_OK(EmitArgsReversed(e));
+        asm_.Op(OP_XGETSTORAGE);
+        return Status::OK();
+      case Builtin::kSetStorage:
+        CONFIDE_RETURN_NOT_OK(EmitArgsReversed(e));
+        asm_.Op(OP_XSETSTORAGE);
+        return Status::OK();
+      case Builtin::kSha256:
+        CONFIDE_RETURN_NOT_OK(EmitArgsReversed(e));
+        asm_.Op(OP_XSHA256);
+        return Status::OK();
+      case Builtin::kKeccak256: {
+        // keccak256(ptr, len, out): SHA3 then MSTORE at out.
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[1]));  // len
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));  // ptr (top)
+        asm_.Op(OP_SHA3);                              // hash
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[2]));  // out (top)
+        asm_.Op(OP_MSTORE);
+        asm_.Push(0);
+        return Status::OK();
+      }
+      case Builtin::kInputSize:
+        asm_.Push(4).Op(OP_CALLDATASIZE).Op(OP_SUB);
+        return Status::OK();
+      case Builtin::kReadInput: {
+        // (dst, cap) -> copied = min(cap, calldatasize-4); copy; result.
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));  // dst
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[1]));  // cap
+        auto keep_cap = asm_.NewLabel();
+        auto done = asm_.NewLabel();
+        asm_.Push(4).Op(OP_CALLDATASIZE).Op(OP_SUB);  // dst cap isize
+        asm_.Op((OP_DUP1 + 1)).Op((OP_DUP1 + 1));                 // dst cap isize cap isize
+        asm_.Op(OP_GT);                               // (cap > isize)? no:
+        // GT pops a=isize, b=cap → pushes cap < isize.
+        asm_.PushLabel(keep_cap).Op(OP_JUMPI);        // dst cap isize
+        asm_.Op(OP_SWAP1).Op(OP_POP);                 // dst isize
+        asm_.PushLabel(done).Op(OP_JUMP);
+        asm_.Bind(keep_cap);
+        asm_.Op(OP_POP);                              // dst cap
+        asm_.Bind(done);                              // dst copied
+        asm_.Op(OP_DUP1);                             // dst copied len
+        asm_.Push(4);                                 // dst copied len 4
+        asm_.Op(OP_DUP1 + 3);                         // DUP4: dst copied len 4 dst
+        asm_.Op(OP_CALLDATACOPY);                     // dst copied
+        asm_.Op(OP_SWAP1).Op(OP_POP);                 // copied
+        return Status::OK();
+      }
+      case Builtin::kWriteOutput:
+        // (ptr, len): XSETOUTPUT pops ptr then len.
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[1]));  // len
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));  // ptr (top)
+        asm_.Op(OP_XSETOUTPUT);
+        asm_.Push(0);
+        return Status::OK();
+      case Builtin::kCall:
+        CONFIDE_RETURN_NOT_OK(EmitArgsReversed(e));
+        asm_.Op(OP_XCALL);
+        return Status::OK();
+      case Builtin::kLog:
+        // LOG0 pops offset then len.
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[1]));  // len
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));  // ptr (top)
+        asm_.Op(OP_LOG0);
+        asm_.Push(0);
+        return Status::OK();
+      case Builtin::kAbort:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));
+        asm_.Op(OP_POP).Op(OP_INVALID);
+        asm_.Push(0);  // unreachable, keeps stack typing uniform
+        return Status::OK();
+      case Builtin::kAlloc: {
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));  // n
+        asm_.Push(31).Op(OP_ADD).Push(31).Op(OP_NOT).Op(OP_AND);  // aligned
+        asm_.Push(kHeapPtrSlot).Op(OP_MLOAD);  // aligned p
+        asm_.Op(OP_SWAP1);                     // p aligned
+        asm_.Op((OP_DUP1 + 1)).Op(OP_ADD);           // p p+aligned
+        asm_.Push(kHeapPtrSlot).Op(OP_MSTORE); // p
+        return Status::OK();
+      }
+      case Builtin::kLoad8:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));
+        asm_.Op(OP_MLOAD).Push(0).Op(OP_BYTE);
+        return Status::OK();
+      case Builtin::kLoad32:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));
+        asm_.Op(OP_MLOAD).Push(224).Op(OP_SHR);
+        return Status::OK();
+      case Builtin::kLoad64:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));
+        asm_.Op(OP_MLOAD).Push(192).Op(OP_SHR);
+        return Status::OK();
+      case Builtin::kStore8:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));  // p
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[1]));  // v
+        asm_.Op(OP_SWAP1).Op(OP_MSTORE8);
+        asm_.Push(0);
+        return Status::OK();
+      case Builtin::kStore32:
+        return EmitWideStore(e, 224, kMask224);
+      case Builtin::kStore64:
+        return EmitWideStore(e, 192, kMask192);
+      default:
+        return Error(e.line, "builtin not supported by EVM backend");
+    }
+  }
+
+  // store{32,64}(p, v): read-modify-write of the 32-byte word at p.
+  Status EmitWideStore(const Expr& e, uint64_t shift, const U256& keep_mask) {
+    CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[0]));  // p
+    CONFIDE_RETURN_NOT_OK(EmitExpr(*e.args[1]));  // v
+    asm_.Push(shift).Op(OP_SHL);                  // p, v<<shift
+    asm_.Op((OP_DUP1 + 1)).Op(OP_MLOAD);                // p, vs, old
+    asm_.Push(keep_mask).Op(OP_AND);              // p, vs, old_low
+    asm_.Op(OP_OR);                               // p, new
+    asm_.Op(OP_SWAP1).Op(OP_MSTORE);
+    asm_.Push(0);
+    return Status::OK();
+  }
+
+  // --- statements ---
+
+  Status EmitStmtList(const std::vector<StmtPtr>& stmts) {
+    scopes_.emplace_back();
+    for (const StmtPtr& stmt : stmts) {
+      CONFIDE_RETURN_NOT_OK(EmitStmt(*stmt));
+    }
+    scopes_.pop_back();
+    return Status::OK();
+  }
+
+  Status EmitStmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kVarDecl: {
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        CONFIDE_ASSIGN_OR_RETURN(uint32_t slot, DeclareVar(s.name, s.line));
+        EmitLocalStore(slot);
+        return Status::OK();
+      }
+      case Stmt::Kind::kAssign: {
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        CONFIDE_ASSIGN_OR_RETURN(uint32_t slot, ResolveVar(s.name, s.line));
+        EmitLocalStore(slot);
+        return Status::OK();
+      }
+      case Stmt::Kind::kIf: {
+        auto else_label = asm_.NewLabel();
+        auto end_label = asm_.NewLabel();
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        asm_.Op(OP_ISZERO).PushLabel(else_label).Op(OP_JUMPI);
+        CONFIDE_RETURN_NOT_OK(EmitStmtList(s.body));
+        asm_.PushLabel(end_label).Op(OP_JUMP);
+        asm_.Bind(else_label);
+        if (!s.else_body.empty()) {
+          CONFIDE_RETURN_NOT_OK(EmitStmtList(s.else_body));
+        }
+        asm_.Bind(end_label);
+        return Status::OK();
+      }
+      case Stmt::Kind::kWhile: {
+        auto loop_label = asm_.NewLabel();
+        auto end_label = asm_.NewLabel();
+        asm_.Bind(loop_label);
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        asm_.Op(OP_ISZERO).PushLabel(end_label).Op(OP_JUMPI);
+        loop_stack_.push_back({loop_label, end_label});
+        CONFIDE_RETURN_NOT_OK(EmitStmtList(s.body));
+        loop_stack_.pop_back();
+        asm_.PushLabel(loop_label).Op(OP_JUMP);
+        asm_.Bind(end_label);
+        return Status::OK();
+      }
+      case Stmt::Kind::kReturn:
+        if (s.expr != nullptr) {
+          CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        } else {
+          asm_.Push(0);
+        }
+        EmitEpilogueAndReturn();
+        return Status::OK();
+      case Stmt::Kind::kBreak:
+        if (loop_stack_.empty()) return Error(s.line, "break outside loop");
+        asm_.PushLabel(loop_stack_.back().second).Op(OP_JUMP);
+        return Status::OK();
+      case Stmt::Kind::kContinue:
+        if (loop_stack_.empty()) return Error(s.line, "continue outside loop");
+        asm_.PushLabel(loop_stack_.back().first).Op(OP_JUMP);
+        return Status::OK();
+      case Stmt::Kind::kExpr:
+        CONFIDE_RETURN_NOT_OK(EmitExpr(*s.expr));
+        asm_.Op(OP_POP);
+        return Status::OK();
+      case Stmt::Kind::kBlock:
+        return EmitStmtList(s.body);
+    }
+    return Error(s.line, "unhandled statement kind");
+  }
+
+  // Releases this function's frame and jumps to the return address.
+  // Stack on entry: [ret_addr, result].
+  void EmitEpilogueAndReturn() {
+    asm_.Push(kFpSlot).Op(OP_MLOAD);               // ret, result, sp
+    asm_.Push(cur_frame_size_).Op(OP_SWAP1).Op(OP_SUB);  // sp - frame
+    asm_.Push(kFpSlot).Op(OP_MSTORE);              // ret, result
+    asm_.Op(OP_SWAP1).Op(OP_JUMP);
+  }
+
+  Status EmitFunction(const FunctionDecl& fn) {
+    const FnInfo& info = fn_info_[fn.name];
+    scopes_.clear();
+    scopes_.emplace_back();
+    next_slot_ = 0;
+    loop_stack_.clear();
+
+    size_t total_slots = fn.params.size() + CountVarDecls(fn.body);
+    cur_frame_size_ = 32 * (uint64_t(total_slots) + 1);
+
+    asm_.Bind(info.label);
+    // Frame prologue: bump the frame stack pointer by this frame's size.
+    asm_.Push(kFpSlot).Op(OP_MLOAD);
+    asm_.Push(cur_frame_size_).Op(OP_ADD);
+    asm_.Push(kFpSlot).Op(OP_MSTORE);
+
+    // Bind params: stack is [ret, a1..aN] with aN on top.
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      scopes_.back()[fn.params[i]] = uint32_t(i);
+    }
+    next_slot_ = uint32_t(fn.params.size());
+    for (size_t i = fn.params.size(); i > 0; --i) {
+      EmitLocalStore(uint32_t(i - 1));  // pops aN into its slot
+    }
+
+    CONFIDE_RETURN_NOT_OK(EmitStmtList(fn.body));
+    // Implicit return 0.
+    asm_.Push(0);
+    EmitEpilogueAndReturn();
+    return Status::OK();
+  }
+
+  EvmAssembler asm_;
+  EvmAssembler::Label pool_label_ = 0;
+  std::unordered_map<std::string, FnInfo> fn_info_;
+  std::unordered_map<std::string, uint64_t> literal_offsets_;
+  Bytes pool_;
+
+  std::vector<std::unordered_map<std::string, uint32_t>> scopes_;
+  std::vector<std::pair<EvmAssembler::Label, EvmAssembler::Label>> loop_stack_;
+  uint32_t next_slot_ = 0;
+  uint64_t cur_frame_size_ = 0;
+};
+
+}  // namespace
+
+Result<Bytes> CompileToEvm(const Program& program) {
+  EvmCodegen codegen;
+  return codegen.Compile(program);
+}
+
+}  // namespace confide::lang

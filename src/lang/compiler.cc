@@ -1,0 +1,27 @@
+#include "lang/compiler.h"
+
+#include "lang/codegen_cvm.h"
+#include "lang/codegen_evm.h"
+#include "lang/parser.h"
+#include "lang/stdlib.h"
+
+namespace confide::lang {
+
+Result<Bytes> Compile(std::string_view source, VmTarget target,
+                      bool include_stdlib) {
+  std::string full(source);
+  if (include_stdlib) {
+    full += "\n";
+    full += StdlibSource();
+  }
+  CONFIDE_ASSIGN_OR_RETURN(Program program, Parse(full));
+  switch (target) {
+    case VmTarget::kCvm:
+      return CompileToCvm(program);
+    case VmTarget::kEvm:
+      return CompileToEvm(program);
+  }
+  return Status::InvalidArgument("unknown target");
+}
+
+}  // namespace confide::lang

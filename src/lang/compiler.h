@@ -1,0 +1,20 @@
+/// \file compiler.h
+/// \brief CCL compiler driver: source → bytecode for either VM.
+
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::lang {
+
+/// \brief Compilation target.
+enum class VmTarget { kCvm, kEvm };
+
+/// \brief Compiles CCL source (with the stdlib appended unless
+/// `include_stdlib` is false) for `target`. For kCvm the result is a wire
+/// module; for kEvm it is runnable EVM bytecode with a selector dispatcher.
+Result<Bytes> Compile(std::string_view source, VmTarget target,
+                      bool include_stdlib = true);
+
+}  // namespace confide::lang

@@ -1,0 +1,247 @@
+#include "lang/lexer.h"
+
+#include <unordered_map>
+
+namespace confide::lang {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "eof";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLiteral: return "integer";
+    case TokenKind::kStringLiteral: return "string";
+    case TokenKind::kFn: return "'fn'";
+    case TokenKind::kVar: return "'var'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kWhile: return "'while'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kBreak: return "'break'";
+    case TokenKind::kContinue: return "'continue'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+    {"fn", TokenKind::kFn},         {"var", TokenKind::kVar},
+    {"if", TokenKind::kIf},         {"else", TokenKind::kElse},
+    {"while", TokenKind::kWhile},   {"return", TokenKind::kReturn},
+    {"break", TokenKind::kBreak},   {"continue", TokenKind::kContinue},
+};
+
+struct Lexer {
+  std::string_view source;
+  size_t pos = 0;
+  int line = 1;
+  int column = 1;
+
+  bool AtEnd() const { return pos >= source.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+  }
+  char Advance() {
+    char c = source[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("ccl lex: " + what + " at line " +
+                                   std::to_string(line) + ":" +
+                                   std::to_string(column));
+  }
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  Lexer lx{source};
+  std::vector<Token> tokens;
+
+  auto push = [&](TokenKind kind, std::string text = {}, int64_t value = 0) {
+    tokens.push_back({kind, std::move(text), value, lx.line, lx.column});
+  };
+
+  while (!lx.AtEnd()) {
+    char c = lx.Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      lx.Advance();
+      continue;
+    }
+    if (c == '/' && lx.Peek(1) == '/') {
+      while (!lx.AtEnd() && lx.Peek() != '\n') lx.Advance();
+      continue;
+    }
+    if (std::isalpha(uint8_t(c)) || c == '_') {
+      std::string ident;
+      while (!lx.AtEnd() && (std::isalnum(uint8_t(lx.Peek())) || lx.Peek() == '_')) {
+        ident.push_back(lx.Advance());
+      }
+      auto kw = kKeywords.find(ident);
+      if (kw != kKeywords.end()) {
+        push(kw->second);
+      } else {
+        push(TokenKind::kIdent, std::move(ident));
+      }
+      continue;
+    }
+    if (std::isdigit(uint8_t(c))) {
+      int64_t value = 0;
+      if (c == '0' && (lx.Peek(1) == 'x' || lx.Peek(1) == 'X')) {
+        lx.Advance();
+        lx.Advance();
+        bool any = false;
+        while (!lx.AtEnd() && std::isxdigit(uint8_t(lx.Peek()))) {
+          char h = lx.Advance();
+          int digit = (h <= '9') ? h - '0' : (std::tolower(h) - 'a' + 10);
+          value = value * 16 + digit;
+          any = true;
+        }
+        if (!any) return lx.Error("hex literal needs digits");
+      } else {
+        while (!lx.AtEnd() && std::isdigit(uint8_t(lx.Peek()))) {
+          value = value * 10 + (lx.Advance() - '0');
+        }
+      }
+      push(TokenKind::kIntLiteral, {}, value);
+      continue;
+    }
+    if (c == '"') {
+      lx.Advance();
+      std::string text;
+      while (true) {
+        if (lx.AtEnd()) return lx.Error("unterminated string literal");
+        char ch = lx.Advance();
+        if (ch == '"') break;
+        if (ch == '\\') {
+          if (lx.AtEnd()) return lx.Error("unterminated escape");
+          char esc = lx.Advance();
+          switch (esc) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case 'r': text.push_back('\r'); break;
+            case '0': text.push_back('\0'); break;
+            case '\\': text.push_back('\\'); break;
+            case '"': text.push_back('"'); break;
+            default: return lx.Error("unknown escape");
+          }
+        } else {
+          text.push_back(ch);
+        }
+      }
+      push(TokenKind::kStringLiteral, std::move(text));
+      continue;
+    }
+
+    lx.Advance();
+    switch (c) {
+      case '(': push(TokenKind::kLParen); break;
+      case ')': push(TokenKind::kRParen); break;
+      case '{': push(TokenKind::kLBrace); break;
+      case '}': push(TokenKind::kRBrace); break;
+      case ',': push(TokenKind::kComma); break;
+      case ';': push(TokenKind::kSemicolon); break;
+      case '+': push(TokenKind::kPlus); break;
+      case '-': push(TokenKind::kMinus); break;
+      case '*': push(TokenKind::kStar); break;
+      case '/': push(TokenKind::kSlash); break;
+      case '%': push(TokenKind::kPercent); break;
+      case '^': push(TokenKind::kCaret); break;
+      case '~': push(TokenKind::kTilde); break;
+      case '&':
+        if (lx.Peek() == '&') {
+          lx.Advance();
+          push(TokenKind::kAndAnd);
+        } else {
+          push(TokenKind::kAmp);
+        }
+        break;
+      case '|':
+        if (lx.Peek() == '|') {
+          lx.Advance();
+          push(TokenKind::kOrOr);
+        } else {
+          push(TokenKind::kPipe);
+        }
+        break;
+      case '=':
+        if (lx.Peek() == '=') {
+          lx.Advance();
+          push(TokenKind::kEq);
+        } else {
+          push(TokenKind::kAssign);
+        }
+        break;
+      case '!':
+        if (lx.Peek() == '=') {
+          lx.Advance();
+          push(TokenKind::kNe);
+        } else {
+          push(TokenKind::kBang);
+        }
+        break;
+      case '<':
+        if (lx.Peek() == '<') {
+          lx.Advance();
+          push(TokenKind::kShl);
+        } else if (lx.Peek() == '=') {
+          lx.Advance();
+          push(TokenKind::kLe);
+        } else {
+          push(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (lx.Peek() == '>') {
+          lx.Advance();
+          push(TokenKind::kShr);
+        } else if (lx.Peek() == '=') {
+          lx.Advance();
+          push(TokenKind::kGe);
+        } else {
+          push(TokenKind::kGt);
+        }
+        break;
+      default:
+        return lx.Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenKind::kEof);
+  return tokens;
+}
+
+}  // namespace confide::lang

@@ -1,0 +1,17 @@
+/// \file lexer.h
+/// \brief CCL lexer: source text to token stream.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "lang/token.h"
+
+namespace confide::lang {
+
+/// \brief Tokenizes CCL source. Supports //-comments, decimal and 0x hex
+/// integer literals, and C-style string escapes.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace confide::lang

@@ -1,0 +1,291 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+namespace confide::lang {
+
+namespace {
+
+struct Parser {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos + ahead, tokens.size() - 1);
+    return tokens[i];
+  }
+  const Token& Advance() { return tokens[std::min(pos++, tokens.size() - 1)]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("ccl parse: " + what + " near line " +
+                                   std::to_string(Peek().line));
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::OK();
+    return Error(std::string("expected ") + TokenKindName(kind) + ", found " +
+                 TokenKindName(Peek().kind));
+  }
+
+  // --- expressions, precedence climbing ---
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (Check(TokenKind::kIntLiteral)) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIntLiteral;
+      e->int_value = tok.int_value;
+      e->line = tok.line;
+      return e;
+    }
+    if (Check(TokenKind::kStringLiteral)) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kStringLiteral;
+      e->string_value = tok.text;
+      e->line = tok.line;
+      return e;
+    }
+    if (Check(TokenKind::kIdent)) {
+      std::string name = tok.text;
+      int line = tok.line;
+      Advance();
+      if (Match(TokenKind::kLParen)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kCall;
+        e->name = std::move(name);
+        e->line = line;
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            CONFIDE_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->args.push_back(std::move(arg));
+          } while (Match(TokenKind::kComma));
+        }
+        CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kVariable;
+      e->name = std::move(name);
+      e->line = line;
+      return e;
+    }
+    if (Match(TokenKind::kLParen)) {
+      CONFIDE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    return Error(std::string("unexpected token ") + TokenKindName(tok.kind));
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    UnOp op;
+    if (Match(TokenKind::kMinus)) {
+      op = UnOp::kNeg;
+    } else if (Match(TokenKind::kBang)) {
+      op = UnOp::kNot;
+    } else if (Match(TokenKind::kTilde)) {
+      op = UnOp::kBitNot;
+    } else {
+      return ParsePrimary();
+    }
+    CONFIDE_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kUnary;
+    e->un_op = op;
+    e->lhs = std::move(operand);
+    return e;
+  }
+
+  // Precedence (low to high):
+  // || ; && ; | ; ^ ; & ; == != ; < <= > >= ; << >> ; + - ; * / %
+  static int Precedence(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kOrOr: return 1;
+      case TokenKind::kAndAnd: return 2;
+      case TokenKind::kPipe: return 3;
+      case TokenKind::kCaret: return 4;
+      case TokenKind::kAmp: return 5;
+      case TokenKind::kEq: case TokenKind::kNe: return 6;
+      case TokenKind::kLt: case TokenKind::kLe:
+      case TokenKind::kGt: case TokenKind::kGe: return 7;
+      case TokenKind::kShl: case TokenKind::kShr: return 8;
+      case TokenKind::kPlus: case TokenKind::kMinus: return 9;
+      case TokenKind::kStar: case TokenKind::kSlash: case TokenKind::kPercent:
+        return 10;
+      default: return 0;
+    }
+  }
+
+  static BinOp ToBinOp(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kOrOr: return BinOp::kLogicalOr;
+      case TokenKind::kAndAnd: return BinOp::kLogicalAnd;
+      case TokenKind::kPipe: return BinOp::kOr;
+      case TokenKind::kCaret: return BinOp::kXor;
+      case TokenKind::kAmp: return BinOp::kAnd;
+      case TokenKind::kEq: return BinOp::kEq;
+      case TokenKind::kNe: return BinOp::kNe;
+      case TokenKind::kLt: return BinOp::kLt;
+      case TokenKind::kLe: return BinOp::kLe;
+      case TokenKind::kGt: return BinOp::kGt;
+      case TokenKind::kGe: return BinOp::kGe;
+      case TokenKind::kShl: return BinOp::kShl;
+      case TokenKind::kShr: return BinOp::kShr;
+      case TokenKind::kPlus: return BinOp::kAdd;
+      case TokenKind::kMinus: return BinOp::kSub;
+      case TokenKind::kStar: return BinOp::kMul;
+      case TokenKind::kSlash: return BinOp::kDiv;
+      default: return BinOp::kRem;
+    }
+  }
+
+  Result<ExprPtr> ParseBinary(int min_prec) {
+    CONFIDE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      int prec = Precedence(Peek().kind);
+      if (prec == 0 || prec < min_prec) return lhs;
+      TokenKind op_kind = Advance().kind;
+      CONFIDE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBinary(prec + 1));
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kBinary;
+      e->bin_op = ToBinOp(op_kind);
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseBinary(1); }
+
+  // --- statements ---
+
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kLBrace));
+    std::vector<StmtPtr> stmts;
+    while (!Check(TokenKind::kRBrace)) {
+      if (Check(TokenKind::kEof)) return Error("unterminated block");
+      CONFIDE_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStmt());
+      stmts.push_back(std::move(stmt));
+    }
+    Advance();  // consume '}'
+    return stmts;
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    int line = Peek().line;
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = line;
+
+    if (Match(TokenKind::kVar)) {
+      if (!Check(TokenKind::kIdent)) return Error("expected variable name");
+      stmt->kind = Stmt::Kind::kVarDecl;
+      stmt->name = Advance().text;
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kAssign));
+      CONFIDE_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kSemicolon));
+      return stmt;
+    }
+    if (Match(TokenKind::kIf)) {
+      stmt->kind = Stmt::Kind::kIf;
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      CONFIDE_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      CONFIDE_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      if (Match(TokenKind::kElse)) {
+        if (Check(TokenKind::kIf)) {
+          CONFIDE_ASSIGN_OR_RETURN(StmtPtr nested, ParseStmt());
+          stmt->else_body.push_back(std::move(nested));
+        } else {
+          CONFIDE_ASSIGN_OR_RETURN(stmt->else_body, ParseBlock());
+        }
+      }
+      return stmt;
+    }
+    if (Match(TokenKind::kWhile)) {
+      stmt->kind = Stmt::Kind::kWhile;
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      CONFIDE_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      CONFIDE_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    if (Match(TokenKind::kReturn)) {
+      stmt->kind = Stmt::Kind::kReturn;
+      if (!Check(TokenKind::kSemicolon)) {
+        CONFIDE_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      }
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kSemicolon));
+      return stmt;
+    }
+    if (Match(TokenKind::kBreak)) {
+      stmt->kind = Stmt::Kind::kBreak;
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kSemicolon));
+      return stmt;
+    }
+    if (Match(TokenKind::kContinue)) {
+      stmt->kind = Stmt::Kind::kContinue;
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kSemicolon));
+      return stmt;
+    }
+    if (Check(TokenKind::kLBrace)) {
+      stmt->kind = Stmt::Kind::kBlock;
+      CONFIDE_ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+      return stmt;
+    }
+    // Assignment (ident = expr;) or expression statement.
+    if (Check(TokenKind::kIdent) && Peek(1).kind == TokenKind::kAssign) {
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->name = Advance().text;
+      Advance();  // '='
+      CONFIDE_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kSemicolon));
+      return stmt;
+    }
+    stmt->kind = Stmt::Kind::kExpr;
+    CONFIDE_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kSemicolon));
+    return stmt;
+  }
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!Check(TokenKind::kEof)) {
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kFn));
+      FunctionDecl fn;
+      fn.line = Peek().line;
+      if (!Check(TokenKind::kIdent)) return Error("expected function name");
+      fn.name = Advance().text;
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          if (!Check(TokenKind::kIdent)) return Error("expected parameter name");
+          fn.params.push_back(Advance().text);
+        } while (Match(TokenKind::kComma));
+      }
+      CONFIDE_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      CONFIDE_ASSIGN_OR_RETURN(fn.body, ParseBlock());
+      program.functions.push_back(std::move(fn));
+    }
+    return program;
+  }
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view source) {
+  CONFIDE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser{std::move(tokens)};
+  return parser.ParseProgram();
+}
+
+}  // namespace confide::lang

@@ -1,0 +1,14 @@
+/// \file parser.h
+/// \brief CCL recursive-descent parser.
+
+#pragma once
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace confide::lang {
+
+/// \brief Parses CCL source into a Program.
+Result<Program> Parse(std::string_view source);
+
+}  // namespace confide::lang

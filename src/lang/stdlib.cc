@@ -1,0 +1,399 @@
+#include "lang/stdlib.h"
+
+namespace confide::lang {
+
+const char* StdlibSource() {
+  return R"CCL(
+// ---------------------------------------------------------------------------
+// CCL standard library. Memory + string + JSON scanning helpers.
+// On CONFIDE-VM, memcpy/memset are shadowed by native bulk-memory opcodes;
+// these definitions serve the EVM backend (and document the semantics).
+// ---------------------------------------------------------------------------
+
+fn memcpy(dst, src, n) {
+  var i = 0;
+  while (i < n) {
+    store8(dst + i, load8(src + i));
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn memset(dst, b, n) {
+  var i = 0;
+  while (i < n) {
+    store8(dst + i, b);
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn strlen(p) {
+  var i = 0;
+  while (load8(p + i) != 0) {
+    i = i + 1;
+  }
+  return i;
+}
+
+// Copies the NUL-terminated string at src to dst; returns the new end
+// pointer (dst + len), enabling chained concatenation.
+fn str_append(dst, src) {
+  var n = strlen(src);
+  memcpy(dst, src, n);
+  return dst + n;
+}
+
+// Appends exactly n bytes; returns the new end pointer.
+fn bytes_append(dst, src, n) {
+  memcpy(dst, src, n);
+  return dst + n;
+}
+
+fn bytes_eq(a, b, n) {
+  var i = 0;
+  while (i < n) {
+    if (load8(a + i) != load8(b + i)) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+// Writes v in decimal at dst; returns the digit count.
+fn u64_to_dec(v, dst) {
+  if (v == 0) {
+    store8(dst, 48);
+    return 1;
+  }
+  var tmp = alloc(24);
+  var n = 0;
+  while (v > 0) {
+    store8(tmp + n, 48 + (v % 10));
+    v = v / 10;
+    n = n + 1;
+  }
+  var i = 0;
+  while (i < n) {
+    store8(dst + i, load8(tmp + n - 1 - i));
+    i = i + 1;
+  }
+  return n;
+}
+
+// Parses an unsigned decimal integer at p; stops at the first non-digit.
+fn dec_to_u64(p) {
+  var v = 0;
+  while (1) {
+    var c = load8(p);
+    if (c < 48 || c > 57) {
+      break;
+    }
+    v = v * 10 + (c - 48);
+    p = p + 1;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// JSON scanning (byte-level, allocation-free) — the in-contract JSON
+// parsing the ABS workload performs before OPT2 switched it to Flatbuffers.
+// ---------------------------------------------------------------------------
+
+fn json_skip_ws(p, end) {
+  while (p < end) {
+    var c = load8(p);
+    if (c != 32 && c != 9 && c != 10 && c != 13) {
+      break;
+    }
+    p = p + 1;
+  }
+  return p;
+}
+
+// p at an opening quote; returns the pointer just past the closing quote.
+fn json_skip_string(p, end) {
+  p = p + 1;
+  while (p < end) {
+    var c = load8(p);
+    if (c == 92) {
+      p = p + 2;
+      continue;
+    }
+    if (c == 34) {
+      return p + 1;
+    }
+    p = p + 1;
+  }
+  return p;
+}
+
+// Skips one JSON value (string, object, array, number, or literal).
+fn json_skip_value(p, end) {
+  p = json_skip_ws(p, end);
+  if (p >= end) {
+    return p;
+  }
+  var c = load8(p);
+  if (c == 34) {
+    return json_skip_string(p, end);
+  }
+  if (c == 123 || c == 91) {
+    var depth = 0;
+    while (p < end) {
+      c = load8(p);
+      if (c == 34) {
+        p = json_skip_string(p, end);
+        continue;
+      }
+      if (c == 123 || c == 91) {
+        depth = depth + 1;
+      }
+      if (c == 125 || c == 93) {
+        depth = depth - 1;
+        if (depth == 0) {
+          return p + 1;
+        }
+      }
+      p = p + 1;
+    }
+    return p;
+  }
+  while (p < end) {
+    c = load8(p);
+    if (c == 44 || c == 125 || c == 93 || c == 32 || c == 10 || c == 9 || c == 13) {
+      break;
+    }
+    p = p + 1;
+  }
+  return p;
+}
+
+// Finds the value of top-level member `key` (NUL-terminated) in the JSON
+// object at [json, json+len); returns a pointer to the value or 0.
+fn json_find_field(json, len, key) {
+  var end = json + len;
+  var klen = strlen(key);
+  var p = json_skip_ws(json, end);
+  if (p >= end || load8(p) != 123) {
+    return 0;
+  }
+  p = p + 1;
+  while (p < end) {
+    p = json_skip_ws(p, end);
+    if (p >= end || load8(p) == 125) {
+      return 0;
+    }
+    if (load8(p) != 34) {
+      return 0;
+    }
+    var kstart = p + 1;
+    p = json_skip_string(p, end);
+    var kend = p - 1;
+    p = json_skip_ws(p, end);
+    if (p >= end || load8(p) != 58) {
+      return 0;
+    }
+    p = p + 1;
+    p = json_skip_ws(p, end);
+    if (kend - kstart == klen) {
+      if (bytes_eq(kstart, key, klen) == 1) {
+        return p;
+      }
+    }
+    p = json_skip_value(p, end);
+    p = json_skip_ws(p, end);
+    if (p < end && load8(p) == 44) {
+      p = p + 1;
+    }
+  }
+  return 0;
+}
+
+// Counts top-level members of the JSON object.
+fn json_count_fields(json, len) {
+  var end = json + len;
+  var count = 0;
+  var p = json_skip_ws(json, end);
+  if (p >= end || load8(p) != 123) {
+    return 0;
+  }
+  p = p + 1;
+  while (p < end) {
+    p = json_skip_ws(p, end);
+    if (p >= end || load8(p) == 125) {
+      break;
+    }
+    if (load8(p) != 34) {
+      break;
+    }
+    p = json_skip_string(p, end);
+    p = json_skip_ws(p, end);
+    if (p >= end || load8(p) != 58) {
+      break;
+    }
+    p = p + 1;
+    p = json_skip_value(p, end);
+    count = count + 1;
+    p = json_skip_ws(p, end);
+    if (p < end && load8(p) == 44) {
+      p = p + 1;
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-contract helpers. Contract addresses derive from service names
+// (address = first 20 bytes of sha256("confide-contract:" + name)), so
+// contracts can route to named services without hard-coded byte strings.
+// Call input convention: entry-name '\0' args.
+// ---------------------------------------------------------------------------
+
+fn named_address(name, out20) {
+  var buf = alloc(96);
+  var end = str_append(buf, "confide-contract:");
+  end = str_append(end, name);
+  var digest = alloc(32);
+  sha256(buf, end - buf, digest);
+  memcpy(out20, digest, 20);
+  return out20;
+}
+
+fn call_named(name, entry, args, args_len, out, out_cap) {
+  var addr = alloc(20);
+  named_address(name, addr);
+  var elen = strlen(entry);
+  var in = alloc(elen + 1 + args_len);
+  memcpy(in, entry, elen);
+  store8(in + elen, 0);
+  memcpy(in + elen + 1, args, args_len);
+  return call(addr, 20, in, elen + 1 + args_len, out, out_cap);
+}
+
+// ---------------------------------------------------------------------------
+// Typed state helpers: u64 state values stored as 8 raw bytes.
+// ---------------------------------------------------------------------------
+
+fn state_get_u64(key) {
+  var b = alloc(16);
+  var n = get_storage(key, strlen(key), b, 8);
+  if (n != 8) { return 0; }
+  return load64(b);
+}
+
+fn state_put_u64(key, v) {
+  var b = alloc(8);
+  store64(b, v);
+  set_storage(key, strlen(key), b, 8);
+  return 0;
+}
+
+fn state_get_u64k(key, key_len) {
+  var b = alloc(16);
+  var n = get_storage(key, key_len, b, 8);
+  if (n != 8) { return 0; }
+  return load64(b);
+}
+
+fn state_put_u64k(key, key_len, v) {
+  var b = alloc(8);
+  store64(b, v);
+  set_storage(key, key_len, b, 8);
+  return 0;
+}
+
+// Builds "<prefix><name>" as a NUL-terminated key; returns the pointer.
+fn make_key(prefix, name, name_len) {
+  var k = alloc(96 + name_len);
+  var e = str_append(k, prefix);
+  e = bytes_append(e, name, name_len);
+  store8(e, 0);
+  return k;
+}
+
+// Builds "<prefix><name><suffix>" as a NUL-terminated key.
+fn make_key2(prefix, name, name_len, suffix) {
+  var k = alloc(128 + name_len);
+  var e = str_append(k, prefix);
+  e = bytes_append(e, name, name_len);
+  e = str_append(e, suffix);
+  store8(e, 0);
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Newline-separated argument scanning (service-call convention).
+// ---------------------------------------------------------------------------
+
+fn line_at(p, end, idx) {
+  var i = 0;
+  while (i < idx) {
+    while (p < end && load8(p) != 10) { p = p + 1; }
+    p = p + 1;
+    i = i + 1;
+  }
+  return p;
+}
+
+fn line_len(p, end) {
+  var q = p;
+  while (q < end && load8(q) != 10) { q = q + 1; }
+  return q - p;
+}
+
+// ---------------------------------------------------------------------------
+// FlatLite accessors (the "Flatbuffers protocol" of OPT2): O(1) field
+// access by offset arithmetic instead of a JSON scan.
+// Layout: [u32 magic][u32 field_count][u32 offsets[n]][data]; offset 0 =
+// absent; bytes fields are [u32 len][payload]; scalars are 8 raw bytes.
+// ---------------------------------------------------------------------------
+
+fn flat_field_count(buf) {
+  return load32(buf + 4);
+}
+
+fn flat_offset(buf, idx) {
+  return load32(buf + 8 + 4 * idx);
+}
+
+fn flat_has(buf, idx) {
+  return flat_offset(buf, idx) != 0;
+}
+
+fn flat_u64(buf, idx) {
+  return load64(buf + flat_offset(buf, idx));
+}
+
+fn flat_bytes_len(buf, idx) {
+  return load32(buf + flat_offset(buf, idx));
+}
+
+fn flat_bytes_ptr(buf, idx) {
+  return buf + flat_offset(buf, idx) + 4;
+}
+
+// Copies the string value at p (opening quote) into dst; returns length.
+fn json_copy_string(p, dst, cap) {
+  p = p + 1;
+  var i = 0;
+  while (i < cap) {
+    var c = load8(p);
+    if (c == 34) {
+      break;
+    }
+    if (c == 92) {
+      p = p + 1;
+      c = load8(p);
+    }
+    store8(dst + i, c);
+    i = i + 1;
+    p = p + 1;
+  }
+  return i;
+}
+)CCL";
+}
+
+}  // namespace confide::lang

@@ -1,0 +1,18 @@
+/// \file stdlib.h
+/// \brief The CCL standard library, written in CCL.
+///
+/// These routines execute *in-VM* on both backends, which is the point:
+/// the paper's Figure 10 workloads (string concatenation, JSON parsing)
+/// spend their time in exactly this kind of bytecode, and the EVM/CVM gap
+/// emerges from running the same logic on both engines. On CONFIDE-VM,
+/// memcpy/memset resolve to native bulk-memory opcodes; on EVM they fall
+/// back to the byte-loop definitions below (the EVM has no memcpy).
+
+#pragma once
+
+namespace confide::lang {
+
+/// \brief Returns the stdlib CCL source (string/memory/JSON helpers).
+const char* StdlibSource();
+
+}  // namespace confide::lang

@@ -1,0 +1,46 @@
+/// \file token.h
+/// \brief Token definitions for CCL, the contract language.
+///
+/// CCL is the stand-in for the paper's smart-contract source languages
+/// (Solidity for EVM, C++/Go for Wasm): a small C-like language with one
+/// 64-bit integer type, byte buffers via pointers into VM linear memory,
+/// and host builtins. One front end, two backends (CONFIDE-VM and EVM),
+/// so Figure 10/12 workloads execute identical logic on both engines.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace confide::lang {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdent,
+  kIntLiteral,
+  kStringLiteral,
+  // Keywords.
+  kFn, kVar, kIf, kElse, kWhile, kReturn, kBreak, kContinue,
+  // Punctuation.
+  kLParen, kRParen, kLBrace, kRBrace, kComma, kSemicolon,
+  // Operators.
+  kAssign,       // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier name or decoded string literal
+  int64_t int_value = 0;  // for kIntLiteral
+  int line = 0;
+  int column = 0;
+};
+
+/// \brief Human-readable token-kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace confide::lang

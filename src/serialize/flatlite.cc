@@ -1,0 +1,154 @@
+#include "serialize/flatlite.h"
+
+#include "common/endian.h"
+
+namespace confide::serialize {
+
+namespace {
+constexpr uint32_t kMagic = 0x464c4954;  // "FLIT"
+constexpr size_t kHeaderBase = 8;        // magic + field_count
+}  // namespace
+
+FlatLiteBuilder::FlatLiteBuilder(uint32_t field_count)
+    : field_count_(field_count), offsets_(field_count, 0) {}
+
+void FlatLiteBuilder::SetU64(uint32_t field, uint64_t value) {
+  offsets_[field] = uint32_t(data_.size()) + 1;  // +1 reserves 0 for "absent"
+  uint8_t buf[8];
+  StoreLe64(buf, value);
+  Append(&data_, ByteView(buf, 8));
+}
+
+void FlatLiteBuilder::SetBytes(uint32_t field, ByteView data) {
+  offsets_[field] = uint32_t(data_.size()) + 1;
+  uint8_t len[4];
+  StoreLe32(len, uint32_t(data.size()));
+  Append(&data_, ByteView(len, 4));
+  Append(&data_, data);
+}
+
+void FlatLiteBuilder::SetVector(uint32_t field, const std::vector<Bytes>& elements) {
+  offsets_[field] = uint32_t(data_.size()) + 1;
+  uint8_t count[4];
+  StoreLe32(count, uint32_t(elements.size()));
+  Append(&data_, ByteView(count, 4));
+  // Element offset slots hold absolute buffer offsets; the header size is
+  // fixed at construction so it is known here.
+  const uint32_t header = uint32_t(kHeaderBase + 4 * field_count_);
+  size_t slot_base = data_.size();
+  data_.resize(data_.size() + 4 * elements.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    StoreLe32(data_.data() + slot_base + 4 * i, header + uint32_t(data_.size()));
+    uint8_t len[4];
+    StoreLe32(len, uint32_t(elements[i].size()));
+    Append(&data_, ByteView(len, 4));
+    Append(&data_, elements[i]);
+  }
+}
+
+Bytes FlatLiteBuilder::Finish() {
+  const size_t header = kHeaderBase + 4 * field_count_;
+  Bytes out(header + data_.size());
+  StoreLe32(out.data(), kMagic);
+  StoreLe32(out.data() + 4, field_count_);
+  for (uint32_t i = 0; i < field_count_; ++i) {
+    // Stored offsets become absolute (0 stays "absent").
+    uint32_t rel = offsets_[i];
+    StoreLe32(out.data() + kHeaderBase + 4 * i,
+              rel == 0 ? 0 : uint32_t(header) + rel - 1);
+  }
+  std::copy(data_.begin(), data_.end(), out.begin() + header);
+  return out;
+}
+
+Result<FlatLiteView> FlatLiteView::Parse(ByteView buffer) {
+  if (buffer.size() < kHeaderBase) {
+    return Status::Corruption("flatlite: buffer too small");
+  }
+  if (LoadLe32(buffer.data()) != kMagic) {
+    return Status::Corruption("flatlite: bad magic");
+  }
+  uint32_t field_count = LoadLe32(buffer.data() + 4);
+  if (buffer.size() < kHeaderBase + size_t(4) * field_count) {
+    return Status::Corruption("flatlite: truncated offset table");
+  }
+  return FlatLiteView(buffer, field_count);
+}
+
+Result<uint32_t> FlatLiteView::OffsetOf(uint32_t field) const {
+  if (field >= field_count_) {
+    return Status::OutOfRange("flatlite: field index out of range");
+  }
+  uint32_t off = LoadLe32(buffer_.data() + kHeaderBase + 4 * field);
+  if (off == 0) return Status::NotFound("flatlite: field absent");
+  if (off >= buffer_.size()) {
+    return Status::Corruption("flatlite: field offset out of bounds");
+  }
+  return off;
+}
+
+bool FlatLiteView::Has(uint32_t field) const {
+  if (field >= field_count_) return false;
+  return LoadLe32(buffer_.data() + kHeaderBase + 4 * field) != 0;
+}
+
+Result<uint64_t> FlatLiteView::GetU64(uint32_t field) const {
+  CONFIDE_ASSIGN_OR_RETURN(uint32_t off, OffsetOf(field));
+  if (off + 8 > buffer_.size()) {
+    return Status::Corruption("flatlite: scalar overruns buffer");
+  }
+  return LoadLe64(buffer_.data() + off);
+}
+
+Result<ByteView> FlatLiteView::LengthPrefixedAt(uint32_t offset) const {
+  if (offset + 4 > buffer_.size()) {
+    return Status::Corruption("flatlite: length prefix overruns buffer");
+  }
+  uint32_t len = LoadLe32(buffer_.data() + offset);
+  if (size_t(offset) + 4 + len > buffer_.size()) {
+    return Status::Corruption("flatlite: payload overruns buffer");
+  }
+  return buffer_.subspan(offset + 4, len);
+}
+
+Result<ByteView> FlatLiteView::GetBytes(uint32_t field) const {
+  CONFIDE_ASSIGN_OR_RETURN(uint32_t off, OffsetOf(field));
+  return LengthPrefixedAt(off);
+}
+
+Result<std::string_view> FlatLiteView::GetString(uint32_t field) const {
+  CONFIDE_ASSIGN_OR_RETURN(ByteView b, GetBytes(field));
+  return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+Result<FlatLiteView> FlatLiteView::GetTable(uint32_t field) const {
+  CONFIDE_ASSIGN_OR_RETURN(ByteView b, GetBytes(field));
+  return Parse(b);
+}
+
+Result<uint32_t> FlatLiteView::GetVectorSize(uint32_t field) const {
+  CONFIDE_ASSIGN_OR_RETURN(uint32_t off, OffsetOf(field));
+  if (off + 4 > buffer_.size()) {
+    return Status::Corruption("flatlite: vector count overruns buffer");
+  }
+  return LoadLe32(buffer_.data() + off);
+}
+
+Result<ByteView> FlatLiteView::GetVectorElement(uint32_t field, uint32_t index) const {
+  CONFIDE_ASSIGN_OR_RETURN(uint32_t off, OffsetOf(field));
+  CONFIDE_ASSIGN_OR_RETURN(uint32_t count, GetVectorSize(field));
+  if (index >= count) {
+    return Status::OutOfRange("flatlite: vector index out of range");
+  }
+  size_t slot = size_t(off) + 4 + size_t(4) * index;
+  if (slot + 4 > buffer_.size()) {
+    return Status::Corruption("flatlite: vector slot overruns buffer");
+  }
+  uint32_t elem_off = LoadLe32(buffer_.data() + slot);
+  if (elem_off == 0 || elem_off >= buffer_.size()) {
+    return Status::Corruption("flatlite: bad vector element offset");
+  }
+  return LengthPrefixedAt(elem_off);
+}
+
+}  // namespace confide::serialize

@@ -1,0 +1,96 @@
+/// \file flatlite.h
+/// \brief FlatLite — a FlatBuffers-style zero-copy binary table format.
+///
+/// The paper's OPT2 replaces in-contract JSON parsing with Flatbuffers
+/// (§6.4): field access becomes O(1) offset arithmetic instead of a full
+/// text parse. FlatLite reproduces that property with a compact layout:
+///
+///   [u32 magic][u32 field_count][u32 offsets[field_count]][data region]
+///
+/// offsets are relative to the buffer start; offset 0 marks an absent
+/// field. Scalar fields store 8 little-endian bytes; strings/bytes store
+/// [u32 len][payload]; nested tables store a complete FlatLite buffer as a
+/// bytes field; vectors store [u32 count][u32 offsets...].
+///
+/// CCLe (src/ccle) layers the confidentiality model on top: its codec
+/// encrypts exactly the confidential leaf fields of a FlatLite tree.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::serialize {
+
+/// \brief Builds a FlatLite table with `field_count` slots.
+class FlatLiteBuilder {
+ public:
+  explicit FlatLiteBuilder(uint32_t field_count);
+
+  /// \brief Stores a 64-bit scalar into slot `field`.
+  void SetU64(uint32_t field, uint64_t value);
+
+  /// \brief Stores raw bytes (also used for strings and nested tables).
+  void SetBytes(uint32_t field, ByteView data);
+  void SetString(uint32_t field, std::string_view s) { SetBytes(field, AsByteView(s)); }
+
+  /// \brief Stores a nested table.
+  void SetTable(uint32_t field, const Bytes& table) { SetBytes(field, table); }
+
+  /// \brief Stores a vector of nested buffers (each element a complete
+  /// FlatLite buffer or raw byte string).
+  void SetVector(uint32_t field, const std::vector<Bytes>& elements);
+
+  /// \brief Produces the final buffer. The builder must not be reused.
+  Bytes Finish();
+
+ private:
+  uint32_t field_count_;
+  std::vector<uint32_t> offsets_;
+  Bytes data_;  // data region, offsets are relative to final header size
+};
+
+/// \brief Zero-copy reader over a FlatLite buffer. The viewed bytes must
+/// outlive the view.
+class FlatLiteView {
+ public:
+  /// \brief Validates the header and offset table bounds.
+  static Result<FlatLiteView> Parse(ByteView buffer);
+
+  uint32_t field_count() const { return field_count_; }
+  bool Has(uint32_t field) const;
+
+  /// \brief Reads a scalar slot.
+  Result<uint64_t> GetU64(uint32_t field) const;
+
+  /// \brief Reads a bytes/string slot without copying.
+  Result<ByteView> GetBytes(uint32_t field) const;
+  Result<std::string_view> GetString(uint32_t field) const;
+
+  /// \brief Reads a nested table slot.
+  Result<FlatLiteView> GetTable(uint32_t field) const;
+
+  /// \brief Number of elements in a vector slot.
+  Result<uint32_t> GetVectorSize(uint32_t field) const;
+
+  /// \brief Reads element `index` of a vector slot without copying.
+  Result<ByteView> GetVectorElement(uint32_t field, uint32_t index) const;
+
+  ByteView buffer() const { return buffer_; }
+
+ private:
+  FlatLiteView(ByteView buffer, uint32_t field_count)
+      : buffer_(buffer), field_count_(field_count) {}
+
+  Result<uint32_t> OffsetOf(uint32_t field) const;
+  Result<ByteView> LengthPrefixedAt(uint32_t offset) const;
+
+  ByteView buffer_;
+  uint32_t field_count_;
+};
+
+}  // namespace confide::serialize

@@ -1,0 +1,290 @@
+#include "serialize/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace confide::serialize {
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos));
+  }
+
+  bool Consume(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (Consume(c)) return Status::OK();
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (text.substr(pos, kw.size()) == kw) {
+      pos += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    CONFIDE_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (AtEnd()) return Fail("unterminated escape");
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else return Fail("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs folded to
+            // the replacement character — sufficient for this library).
+            if (code < 0x80) {
+              out.push_back(char(code));
+            } else if (code < 0x800) {
+              out.push_back(char(0xc0 | (code >> 6)));
+              out.push_back(char(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(char(0xe0 | (code >> 12)));
+              out.push_back(char(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(char(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else if (uint8_t(c) < 0x20) {
+        return Fail("raw control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos;
+    if (Consume('-')) {}
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos;
+    bool is_integral = true;
+    if (Consume('.')) {
+      is_integral = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_integral = false;
+      ++pos;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos;
+    }
+    std::string token(text.substr(start, pos - start));
+    if (token.empty() || token == "-") return Fail("malformed number");
+    if (is_integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue(int64_t(v));
+      }
+      // Fall through to double on overflow.
+    }
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("malformed number");
+    return JsonValue(d);
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (AtEnd()) return Fail("unexpected end of input");
+    char c = Peek();
+    if (c == '{') {
+      ++pos;
+      JsonValue::Object obj;
+      SkipWs();
+      if (Consume('}')) return JsonValue(std::move(obj));
+      while (true) {
+        SkipWs();
+        CONFIDE_ASSIGN_OR_RETURN(std::string key, ParseString());
+        SkipWs();
+        CONFIDE_RETURN_NOT_OK(Expect(':'));
+        CONFIDE_ASSIGN_OR_RETURN(JsonValue val, ParseValue(depth + 1));
+        obj.emplace_back(std::move(key), std::move(val));
+        SkipWs();
+        if (Consume(',')) continue;
+        CONFIDE_RETURN_NOT_OK(Expect('}'));
+        return JsonValue(std::move(obj));
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      JsonValue::Array arr;
+      SkipWs();
+      if (Consume(']')) return JsonValue(std::move(arr));
+      while (true) {
+        CONFIDE_ASSIGN_OR_RETURN(JsonValue val, ParseValue(depth + 1));
+        arr.push_back(std::move(val));
+        SkipWs();
+        if (Consume(',')) continue;
+        CONFIDE_RETURN_NOT_OK(Expect(']'));
+        return JsonValue(std::move(arr));
+      }
+    }
+    if (c == '"') {
+      CONFIDE_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeKeyword("true")) return JsonValue(true);
+    if (ConsumeKeyword("false")) return JsonValue(false);
+    if (ConsumeKeyword("null")) return JsonValue(nullptr);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Fail("unexpected character");
+  }
+};
+
+void WriteEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (uint8_t(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void WriteTo(const JsonValue& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "null";
+  } else if (v.is_bool()) {
+    *out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    *out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.as_double());
+    *out += buf;
+  } else if (v.is_string()) {
+    WriteEscaped(v.as_string(), out);
+  } else if (v.is_array()) {
+    out->push_back('[');
+    bool first = true;
+    for (const auto& item : v.as_array()) {
+      if (!first) out->push_back(',');
+      first = false;
+      WriteTo(item, out);
+    }
+    out->push_back(']');
+  } else {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, val] : v.as_object()) {
+      if (!first) out->push_back(',');
+      first = false;
+      WriteEscaped(key, out);
+      out->push_back(':');
+      WriteTo(val, out);
+    }
+    out->push_back('}');
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  if (!is_object()) value_ = Object{};
+  for (auto& [k, v] : as_object()) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  as_object().emplace_back(std::move(key), std::move(value));
+}
+
+Result<JsonValue> JsonParse(std::string_view text) {
+  Parser parser{text};
+  CONFIDE_ASSIGN_OR_RETURN(JsonValue v, parser.ParseValue(0));
+  parser.SkipWs();
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("json: trailing garbage after document");
+  }
+  return v;
+}
+
+std::string JsonWrite(const JsonValue& value) {
+  std::string out;
+  WriteTo(value, &out);
+  return out;
+}
+
+}  // namespace confide::serialize

@@ -1,0 +1,80 @@
+/// \file json.h
+/// \brief JSON parser/writer.
+///
+/// JSON is the request format of the ABS production workload (paper §6.1):
+/// requests arrive as ~60-key JSON strings which the contract must parse.
+/// This host-side implementation backs workload generation and the
+/// pre-OPT2 (JSON-encoded asset) benchmark configuration.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::serialize {
+
+/// \brief A JSON value. Object member order is preserved.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  JsonValue(bool b) : value_(b) {}                        // NOLINT
+  JsonValue(int64_t i) : value_(i) {}                     // NOLINT
+  JsonValue(int i) : value_(int64_t(i)) {}                // NOLINT
+  JsonValue(uint64_t u) : value_(int64_t(u)) {}           // NOLINT
+  JsonValue(double d) : value_(d) {}                      // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}      // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}    // NOLINT
+  JsonValue(Array a) : value_(std::move(a)) {}            // NOLINT
+  JsonValue(Object o) : value_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  int64_t as_int() const { return std::get<int64_t>(value_); }
+  double as_double() const {
+    return is_int() ? double(std::get<int64_t>(value_)) : std::get<double>(value_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  Array& as_array() { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+
+  /// \brief Object member lookup; nullptr when missing or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// \brief Appends/overwrites an object member.
+  void Set(std::string key, JsonValue value);
+
+  bool operator==(const JsonValue& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array, Object> value_;
+};
+
+/// \brief Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Nesting depth is capped at 128.
+Result<JsonValue> JsonParse(std::string_view text);
+
+/// \brief Serializes compactly (no whitespace).
+std::string JsonWrite(const JsonValue& value);
+
+}  // namespace confide::serialize

@@ -1,0 +1,71 @@
+/// \file leb128.h
+/// \brief LEB128 variable-length integers (the Wasm module encoding used by
+/// CONFIDE-VM bytecode, paper §6.4 OPT1).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::serialize {
+
+/// \brief Appends an unsigned LEB128 encoding of `value` to `out`.
+inline void WriteUleb128(Bytes* out, uint64_t value) {
+  do {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;
+    if (value != 0) byte |= 0x80;
+    out->push_back(byte);
+  } while (value != 0);
+}
+
+/// \brief Appends a signed LEB128 encoding of `value` to `out`.
+inline void WriteSleb128(Bytes* out, int64_t value) {
+  bool more = true;
+  while (more) {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;  // arithmetic shift
+    if ((value == 0 && !(byte & 0x40)) || (value == -1 && (byte & 0x40))) {
+      more = false;
+    } else {
+      byte |= 0x80;
+    }
+    out->push_back(byte);
+  }
+}
+
+/// \brief Reads an unsigned LEB128 value; advances *pos.
+inline Result<uint64_t> ReadUleb128(ByteView data, size_t* pos) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= data.size()) return Status::Corruption("truncated uleb128");
+    if (shift >= 64) return Status::Corruption("uleb128 overflows 64 bits");
+    uint8_t byte = data[(*pos)++];
+    result |= uint64_t(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) return result;
+    shift += 7;
+  }
+}
+
+/// \brief Reads a signed LEB128 value; advances *pos.
+inline Result<int64_t> ReadSleb128(ByteView data, size_t* pos) {
+  int64_t result = 0;
+  int shift = 0;
+  uint8_t byte;
+  do {
+    if (*pos >= data.size()) return Status::Corruption("truncated sleb128");
+    if (shift >= 64) return Status::Corruption("sleb128 overflows 64 bits");
+    byte = data[(*pos)++];
+    result |= int64_t(byte & 0x7f) << shift;
+    shift += 7;
+  } while (byte & 0x80);
+  if (shift < 64 && (byte & 0x40)) {
+    result |= -(int64_t(1) << shift);  // sign extend
+  }
+  return result;
+}
+
+}  // namespace confide::serialize

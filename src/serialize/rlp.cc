@@ -1,0 +1,137 @@
+#include "serialize/rlp.h"
+
+namespace confide::serialize {
+
+namespace {
+
+void EncodeLength(Bytes* out, size_t len, uint8_t offset) {
+  if (len < 56) {
+    out->push_back(uint8_t(offset + len));
+    return;
+  }
+  // Minimal big-endian length-of-length form.
+  uint8_t buf[8];
+  int n = 0;
+  size_t tmp = len;
+  while (tmp > 0) {
+    buf[n++] = uint8_t(tmp & 0xff);
+    tmp >>= 8;
+  }
+  out->push_back(uint8_t(offset + 55 + n));
+  for (int i = n - 1; i >= 0; --i) out->push_back(buf[i]);
+}
+
+void EncodeTo(const RlpItem& item, Bytes* out) {
+  if (item.is_bytes()) {
+    const Bytes& b = item.bytes();
+    if (b.size() == 1 && b[0] < 0x80) {
+      out->push_back(b[0]);
+      return;
+    }
+    EncodeLength(out, b.size(), 0x80);
+    Append(out, b);
+    return;
+  }
+  Bytes payload;
+  for (const RlpItem& child : item.list()) EncodeTo(child, &payload);
+  EncodeLength(out, payload.size(), 0xc0);
+  Append(out, payload);
+}
+
+struct Decoder {
+  ByteView data;
+  size_t pos = 0;
+
+  Result<size_t> ReadLength(int len_of_len) {
+    if (pos + len_of_len > data.size()) {
+      return Status::Corruption("rlp: truncated length");
+    }
+    if (len_of_len > 8) return Status::Corruption("rlp: length too large");
+    size_t len = 0;
+    for (int i = 0; i < len_of_len; ++i) len = (len << 8) | data[pos++];
+    if (len < 56) return Status::Corruption("rlp: non-canonical long length");
+    return len;
+  }
+
+  Result<RlpItem> DecodeItem() {
+    if (pos >= data.size()) return Status::Corruption("rlp: empty input");
+    uint8_t prefix = data[pos++];
+    if (prefix < 0x80) {
+      return RlpItem(Bytes{prefix});
+    }
+    if (prefix <= 0xb7) {
+      size_t len = prefix - 0x80;
+      if (pos + len > data.size()) return Status::Corruption("rlp: truncated string");
+      if (len == 1 && data[pos] < 0x80) {
+        return Status::Corruption("rlp: non-canonical single byte");
+      }
+      Bytes b(data.begin() + pos, data.begin() + pos + len);
+      pos += len;
+      return RlpItem(std::move(b));
+    }
+    if (prefix <= 0xbf) {
+      CONFIDE_ASSIGN_OR_RETURN(size_t len, ReadLength(prefix - 0xb7));
+      if (pos + len > data.size()) return Status::Corruption("rlp: truncated string");
+      Bytes b(data.begin() + pos, data.begin() + pos + len);
+      pos += len;
+      return RlpItem(std::move(b));
+    }
+    size_t len;
+    if (prefix <= 0xf7) {
+      len = prefix - 0xc0;
+    } else {
+      CONFIDE_ASSIGN_OR_RETURN(len, ReadLength(prefix - 0xf7));
+    }
+    if (pos + len > data.size()) return Status::Corruption("rlp: truncated list");
+    size_t end = pos + len;
+    std::vector<RlpItem> items;
+    while (pos < end) {
+      CONFIDE_ASSIGN_OR_RETURN(RlpItem child, DecodeItem());
+      if (pos > end) return Status::Corruption("rlp: list item overruns list");
+      items.push_back(std::move(child));
+    }
+    return RlpItem(std::move(items));
+  }
+};
+
+}  // namespace
+
+RlpItem RlpItem::U64(uint64_t v) {
+  Bytes b;
+  // Minimal big-endian encoding; zero is the empty string.
+  uint8_t buf[8];
+  int n = 0;
+  while (v > 0) {
+    buf[n++] = uint8_t(v & 0xff);
+    v >>= 8;
+  }
+  for (int i = n - 1; i >= 0; --i) b.push_back(buf[i]);
+  return RlpItem(std::move(b));
+}
+
+Result<uint64_t> RlpItem::AsU64() const {
+  if (!is_bytes()) return Status::InvalidArgument("rlp: list is not an integer");
+  const Bytes& b = bytes();
+  if (b.size() > 8) return Status::OutOfRange("rlp: integer exceeds 64 bits");
+  if (!b.empty() && b[0] == 0) return Status::Corruption("rlp: non-minimal integer");
+  uint64_t v = 0;
+  for (uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+Bytes RlpEncode(const RlpItem& item) {
+  Bytes out;
+  EncodeTo(item, &out);
+  return out;
+}
+
+Result<RlpItem> RlpDecode(ByteView data) {
+  Decoder dec{data};
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, dec.DecodeItem());
+  if (dec.pos != data.size()) {
+    return Status::Corruption("rlp: trailing bytes after item");
+  }
+  return item;
+}
+
+}  // namespace confide::serialize

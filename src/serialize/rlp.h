@@ -1,0 +1,48 @@
+/// \file rlp.h
+/// \brief Recursive Length Prefix encoding (the Ethereum wire/storage
+/// format the paper cites for enclave-boundary serialization, §5.3).
+
+#pragma once
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::serialize {
+
+/// \brief An RLP item: either a byte string or a list of items.
+class RlpItem {
+ public:
+  RlpItem() : value_(Bytes{}) {}
+  explicit RlpItem(Bytes bytes) : value_(std::move(bytes)) {}
+  explicit RlpItem(std::vector<RlpItem> list) : value_(std::move(list)) {}
+
+  static RlpItem String(std::string_view s) { return RlpItem(ToBytes(s)); }
+  static RlpItem U64(uint64_t v);
+  static RlpItem List(std::vector<RlpItem> items) { return RlpItem(std::move(items)); }
+
+  bool is_bytes() const { return std::holds_alternative<Bytes>(value_); }
+  bool is_list() const { return !is_bytes(); }
+
+  const Bytes& bytes() const { return std::get<Bytes>(value_); }
+  const std::vector<RlpItem>& list() const { return std::get<std::vector<RlpItem>>(value_); }
+
+  /// \brief Decodes a big-endian minimal integer payload.
+  Result<uint64_t> AsU64() const;
+
+  bool operator==(const RlpItem& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<Bytes, std::vector<RlpItem>> value_;
+};
+
+/// \brief Serializes an item to canonical RLP bytes.
+Bytes RlpEncode(const RlpItem& item);
+
+/// \brief Parses exactly one item consuming the full input.
+Result<RlpItem> RlpDecode(ByteView data);
+
+}  // namespace confide::serialize

@@ -1,0 +1,45 @@
+#include "storage/block_store.h"
+
+#include "common/endian.h"
+
+namespace confide::storage {
+
+std::string BlockStore::HeightKey(uint64_t height) {
+  uint8_t be[8];
+  StoreBe64(be, height);
+  return "blk/h/" + HexEncode(ByteView(be, 8));
+}
+
+std::string BlockStore::HashKey(const crypto::Hash256& hash) {
+  return "blk/x/" + HexEncode(crypto::HashView(hash));
+}
+
+Status BlockStore::Append(uint64_t height, const crypto::Hash256& hash, Bytes block) {
+  if (height != next_height_) {
+    return Status::InvalidArgument("non-contiguous block height");
+  }
+  if (clock_ != nullptr) {
+    clock_->AdvanceNs(ssd_.write_latency_ns +
+                      ssd_.write_ns_per_kib * (block.size() / 1024));
+  }
+  WriteBatch batch;
+  uint8_t be[8];
+  StoreBe64(be, height);
+  batch.Put(HashKey(hash), Bytes(be, be + 8));
+  batch.Put(HeightKey(height), std::move(block));
+  CONFIDE_RETURN_NOT_OK(kv_->Write(batch));
+  ++next_height_;
+  return Status::OK();
+}
+
+Result<Bytes> BlockStore::GetByHeight(uint64_t height) const {
+  return kv_->Get(HeightKey(height));
+}
+
+Result<Bytes> BlockStore::GetByHash(const crypto::Hash256& hash) const {
+  CONFIDE_ASSIGN_OR_RETURN(Bytes height_bytes, kv_->Get(HashKey(hash)));
+  if (height_bytes.size() != 8) return Status::Corruption("bad height index entry");
+  return GetByHeight(LoadBe64(height_bytes.data()));
+}
+
+}  // namespace confide::storage

@@ -1,0 +1,177 @@
+#include "storage/lsm_store.h"
+
+#include <algorithm>
+#include <map>
+
+namespace confide::storage {
+
+std::optional<std::optional<Bytes>> SortedRun::Get(const std::string& key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const RunEntry& entry, const std::string& k) { return entry.key < k; });
+  if (it != entries_.end() && it->key == key) return it->value;
+  return std::nullopt;
+}
+
+Result<std::unique_ptr<LsmKvStore>> LsmKvStore::Open(const LsmOptions& options) {
+  std::unique_ptr<LsmKvStore> store(new LsmKvStore(options));
+  if (!options.wal_dir.empty()) {
+    std::string wal_path = options.wal_dir + "/confide.wal";
+    CONFIDE_RETURN_NOT_OK(Wal::Replay(wal_path, [&](const WriteBatch& batch) {
+      for (const auto& op : batch.ops()) {
+        if (op.type == WriteBatch::OpType::kPut) {
+          store->mem_.Put(op.key, op.value);
+        } else {
+          store->mem_.Put(op.key, std::nullopt);
+        }
+      }
+    }));
+    CONFIDE_ASSIGN_OR_RETURN(store->wal_, Wal::Open(wal_path));
+  }
+  return store;
+}
+
+Result<Bytes> LsmKvStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto hit = mem_.Get(key)) {
+    if (*hit) return **hit;
+    return Status::NotFound("key deleted: " + key);
+  }
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {  // newest first
+    if (auto hit = (*it)->Get(key)) {
+      if (*hit) return **hit;
+      return Status::NotFound("key deleted: " + key);
+    }
+  }
+  return Status::NotFound("key not found: " + key);
+}
+
+Status LsmKvStore::ApplyLocked(const WriteBatch& batch) {
+  if (wal_ != nullptr) {
+    CONFIDE_RETURN_NOT_OK(wal_->Append(batch));
+  }
+  for (const auto& op : batch.ops()) {
+    if (op.type == WriteBatch::OpType::kPut) {
+      mem_.Put(op.key, op.value);
+    } else {
+      mem_.Put(op.key, std::nullopt);
+    }
+  }
+  return MaybeFlushLocked();
+}
+
+Status LsmKvStore::Put(const std::string& key, Bytes value) {
+  WriteBatch batch;
+  batch.Put(key, std::move(value));
+  return Write(batch);
+}
+
+Status LsmKvStore::Delete(const std::string& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Status LsmKvStore::Write(const WriteBatch& batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ApplyLocked(batch);
+}
+
+Status LsmKvStore::MaybeFlushLocked() {
+  if (mem_.approximate_bytes() < options_.memtable_flush_bytes) {
+    return Status::OK();
+  }
+  std::vector<RunEntry> entries;
+  entries.reserve(mem_.entry_count());
+  mem_.ForEach([&](const std::string& key, const std::optional<Bytes>& value) {
+    entries.push_back({key, value});
+  });
+  runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
+  mem_ = MemTable();
+  if (wal_ != nullptr) {
+    // The flushed data lives in the run now; in a full implementation the
+    // run would be persisted before the WAL reset. Runs here are held in
+    // memory, so the WAL retains durability only for the current memtable.
+    CONFIDE_RETURN_NOT_OK(wal_->Reset());
+  }
+  if (runs_.size() > options_.max_runs) CompactLocked();
+  return Status::OK();
+}
+
+void LsmKvStore::CompactLocked() {
+  // Full merge: newest shadowing oldest, tombstones dropped at the bottom.
+  std::map<std::string, std::optional<Bytes>> merged;
+  for (const auto& run : runs_) {  // oldest first; later inserts overwrite
+    for (const auto& entry : run->entries()) {
+      merged[entry.key] = entry.value;
+    }
+  }
+  std::vector<RunEntry> entries;
+  entries.reserve(merged.size());
+  for (auto& [key, value] : merged) {
+    if (value) entries.push_back({key, std::move(value)});
+  }
+  runs_.clear();
+  runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
+}
+
+Status LsmKvStore::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t saved = options_.memtable_flush_bytes;
+  options_.memtable_flush_bytes = 0;
+  Status status = MaybeFlushLocked();
+  options_.memtable_flush_bytes = saved;
+  return status;
+}
+
+size_t LsmKvStore::RunCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return runs_.size();
+}
+
+namespace {
+
+/// Snapshot iterator: materializes the merged view at construction.
+class SnapshotIterator : public KvIterator {
+ public:
+  explicit SnapshotIterator(std::map<std::string, Bytes> data)
+      : data_(std::move(data)), it_(data_.begin()) {}
+
+  bool Valid() const override { return it_ != data_.end(); }
+  void Next() override { ++it_; }
+  const std::string& key() const override { return it_->first; }
+  const Bytes& value() const override { return it_->second; }
+  void Seek(const std::string& target) override { it_ = data_.lower_bound(target); }
+  void SeekToFirst() override { it_ = data_.begin(); }
+
+ private:
+  std::map<std::string, Bytes> data_;
+  std::map<std::string, Bytes>::const_iterator it_;
+};
+
+}  // namespace
+
+std::unique_ptr<KvIterator> LsmKvStore::NewIterator() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::optional<Bytes>> merged;
+  for (const auto& run : runs_) {
+    for (const auto& entry : run->entries()) merged[entry.key] = entry.value;
+  }
+  mem_.ForEach([&](const std::string& key, const std::optional<Bytes>& value) {
+    merged[key] = value;
+  });
+  std::map<std::string, Bytes> live;
+  for (auto& [key, value] : merged) {
+    if (value) live.emplace(key, std::move(*value));
+  }
+  return std::make_unique<SnapshotIterator>(std::move(live));
+}
+
+size_t LsmKvStore::ApproximateCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = mem_.entry_count();
+  for (const auto& run : runs_) count += run->entries().size();
+  return count;
+}
+
+}  // namespace confide::storage

@@ -1,0 +1,80 @@
+/// \file lsm_store.h
+/// \brief LSM-style KV store: skiplist memtable + WAL + sorted runs with
+/// tombstone-dropping compaction. In-memory by default; pointing it at a
+/// directory adds WAL durability with crash-recovery replay.
+
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "storage/kv_store.h"
+#include "storage/memtable.h"
+#include "storage/wal.h"
+
+namespace confide::storage {
+
+/// \brief Tuning knobs.
+struct LsmOptions {
+  /// Memtable bytes before flush to a sorted run.
+  size_t memtable_flush_bytes = 4 << 20;
+  /// Sorted runs before a full merge compaction.
+  size_t max_runs = 6;
+  /// Directory for the WAL; empty string = volatile store.
+  std::string wal_dir;
+};
+
+/// \brief Key/value (or tombstone) entry of a sorted run.
+struct RunEntry {
+  std::string key;
+  std::optional<Bytes> value;  // nullopt = tombstone
+};
+
+/// \brief Immutable sorted run produced by a memtable flush.
+class SortedRun {
+ public:
+  explicit SortedRun(std::vector<RunEntry> entries) : entries_(std::move(entries)) {}
+
+  /// \brief Binary-searched point lookup.
+  std::optional<std::optional<Bytes>> Get(const std::string& key) const;
+
+  const std::vector<RunEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<RunEntry> entries_;
+};
+
+/// \brief The store. Thread-safe.
+class LsmKvStore : public KvStore {
+ public:
+  /// \brief Opens a store; replays the WAL when `options.wal_dir` is set.
+  static Result<std::unique_ptr<LsmKvStore>> Open(const LsmOptions& options);
+
+  Result<Bytes> Get(const std::string& key) const override;
+  Status Put(const std::string& key, Bytes value) override;
+  Status Delete(const std::string& key) override;
+  Status Write(const WriteBatch& batch) override;
+  std::unique_ptr<KvIterator> NewIterator() const override;
+  size_t ApproximateCount() const override;
+
+  /// \brief Forces a memtable flush (tests/benchmarks).
+  Status Flush();
+
+  /// \brief Number of sorted runs currently live (tests).
+  size_t RunCount() const;
+
+ private:
+  explicit LsmKvStore(const LsmOptions& options) : options_(options) {}
+
+  Status ApplyLocked(const WriteBatch& batch);
+  Status MaybeFlushLocked();
+  void CompactLocked();
+
+  LsmOptions options_;
+  mutable std::mutex mutex_;
+  MemTable mem_;
+  std::vector<std::shared_ptr<SortedRun>> runs_;  // oldest first
+  std::unique_ptr<Wal> wal_;
+};
+
+}  // namespace confide::storage

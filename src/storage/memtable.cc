@@ -1,0 +1,60 @@
+#include "storage/memtable.h"
+
+namespace confide::storage {
+
+int MemTable::RandomHeight() {
+  int height = 1;
+  // 1/4 branching factor, as in LevelDB.
+  while (height < kMaxHeight && rng_.NextBounded(4) == 0) ++height;
+  return height;
+}
+
+void MemTable::FindGreaterOrEqual(const std::string& key,
+                                  std::array<Node*, kMaxHeight>* prev) const {
+  Node* node = head_.get();
+  for (int level = height_ - 1; level >= 0; --level) {
+    while (node->next[level] != nullptr && node->next[level]->key < key) {
+      node = node->next[level];
+    }
+    (*prev)[level] = node;
+  }
+  for (int level = height_; level < kMaxHeight; ++level) {
+    (*prev)[level] = head_.get();
+  }
+}
+
+void MemTable::Put(const std::string& key, std::optional<Bytes> value) {
+  std::array<Node*, kMaxHeight> prev;
+  FindGreaterOrEqual(key, &prev);
+  Node* existing = prev[0]->next[0];
+  if (existing != nullptr && existing->key == key) {
+    bytes_ -= existing->value ? existing->value->size() : 0;
+    bytes_ += value ? value->size() : 0;
+    existing->value = std::move(value);
+    return;
+  }
+  int height = RandomHeight();
+  if (height > height_) height_ = height;
+  auto node = std::make_unique<Node>();
+  node->key = key;
+  node->value = std::move(value);
+  for (int level = 0; level < height; ++level) {
+    node->next[level] = prev[level]->next[level];
+    prev[level]->next[level] = node.get();
+  }
+  bytes_ += key.size() + (node->value ? node->value->size() : 0) + sizeof(Node);
+  ++count_;
+  nodes_.push_back(std::move(node));
+}
+
+std::optional<std::optional<Bytes>> MemTable::Get(const std::string& key) const {
+  std::array<Node*, kMaxHeight> prev;
+  FindGreaterOrEqual(key, &prev);
+  Node* node = prev[0]->next[0];
+  if (node != nullptr && node->key == key) {
+    return node->value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace confide::storage

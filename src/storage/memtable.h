@@ -1,0 +1,65 @@
+/// \file memtable.h
+/// \brief Skiplist-backed memtable (LevelDB/RocksDB lineage).
+///
+/// Entries are key → optional value; an empty optional is a tombstone that
+/// shadows older sorted runs until compaction drops it.
+
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace confide::storage {
+
+/// \brief Ordered in-memory table. Not internally synchronized; callers
+/// (LsmKvStore) hold their own lock.
+class MemTable {
+ public:
+  MemTable() : rng_(0xC0FF1DE) {}
+
+  /// \brief Inserts or overwrites; nullopt records a tombstone.
+  void Put(const std::string& key, std::optional<Bytes> value);
+
+  /// \brief Three-way lookup: {found, value-or-tombstone}.
+  /// Outer optional: key present in this table at all. Inner: tombstone.
+  std::optional<std::optional<Bytes>> Get(const std::string& key) const;
+
+  size_t entry_count() const { return count_; }
+  size_t approximate_bytes() const { return bytes_; }
+
+  /// \brief In-order visitation of all entries (tombstones included).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* node = head_->next[0]; node != nullptr; node = node->next[0]) {
+      fn(node->key, node->value);
+    }
+  }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    std::string key;
+    std::optional<Bytes> value;
+    std::array<Node*, kMaxHeight> next{};
+  };
+
+  int RandomHeight();
+  // Returns the last node < key at every level.
+  void FindGreaterOrEqual(const std::string& key,
+                          std::array<Node*, kMaxHeight>* prev) const;
+
+  std::unique_ptr<Node> head_ = std::make_unique<Node>();
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int height_ = 1;
+  size_t count_ = 0;
+  size_t bytes_ = 0;
+  mutable crypto::Drbg rng_;
+};
+
+}  // namespace confide::storage

@@ -1,0 +1,132 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/endian.h"
+
+namespace confide::storage {
+
+Bytes EncodeBatch(const WriteBatch& batch) {
+  Bytes out;
+  uint8_t buf[4];
+  StoreLe32(buf, uint32_t(batch.ops().size()));
+  Append(&out, ByteView(buf, 4));
+  for (const auto& op : batch.ops()) {
+    out.push_back(uint8_t(op.type));
+    StoreLe32(buf, uint32_t(op.key.size()));
+    Append(&out, ByteView(buf, 4));
+    Append(&out, AsByteView(op.key));
+    if (op.type == WriteBatch::OpType::kPut) {
+      StoreLe32(buf, uint32_t(op.value.size()));
+      Append(&out, ByteView(buf, 4));
+      Append(&out, op.value);
+    }
+  }
+  return out;
+}
+
+Result<WriteBatch> DecodeBatch(ByteView payload) {
+  WriteBatch batch;
+  size_t pos = 0;
+  auto read_u32 = [&](uint32_t* out) -> Status {
+    if (pos + 4 > payload.size()) return Status::Corruption("wal: truncated u32");
+    *out = LoadLe32(payload.data() + pos);
+    pos += 4;
+    return Status::OK();
+  };
+  uint32_t count;
+  CONFIDE_RETURN_NOT_OK(read_u32(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos >= payload.size()) return Status::Corruption("wal: truncated op");
+    uint8_t type = payload[pos++];
+    uint32_t key_len;
+    CONFIDE_RETURN_NOT_OK(read_u32(&key_len));
+    if (pos + key_len > payload.size()) return Status::Corruption("wal: truncated key");
+    std::string key(reinterpret_cast<const char*>(payload.data() + pos), key_len);
+    pos += key_len;
+    if (type == uint8_t(WriteBatch::OpType::kPut)) {
+      uint32_t val_len;
+      CONFIDE_RETURN_NOT_OK(read_u32(&val_len));
+      if (pos + val_len > payload.size()) {
+        return Status::Corruption("wal: truncated value");
+      }
+      Bytes value(payload.begin() + pos, payload.begin() + pos + val_len);
+      pos += val_len;
+      batch.Put(std::move(key), std::move(value));
+    } else if (type == uint8_t(WriteBatch::OpType::kDelete)) {
+      batch.Delete(std::move(key));
+    } else {
+      return Status::Corruption("wal: unknown op type");
+    }
+  }
+  if (pos != payload.size()) return Status::Corruption("wal: trailing bytes in batch");
+  return batch;
+}
+
+Wal::~Wal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::Internal("wal: cannot open " + path);
+  }
+  return std::unique_ptr<Wal>(new Wal(file, path));
+}
+
+Status Wal::Append(const WriteBatch& batch) {
+  Bytes payload = EncodeBatch(batch);
+  uint8_t header[8];
+  StoreLe32(header, Crc32(payload));
+  StoreLe32(header + 4, uint32_t(payload.size()));
+  if (std::fwrite(header, 1, 8, file_) != 8 ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    return Status::Internal("wal: short write");
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (std::fflush(file_) != 0) return Status::Internal("wal: flush failed");
+  return Status::OK();
+}
+
+Status Wal::Replay(const std::string& path,
+                   const std::function<void(const WriteBatch&)>& apply) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::OK();  // no log yet
+  Status status = Status::OK();
+  for (;;) {
+    uint8_t header[8];
+    size_t n = std::fread(header, 1, 8, file);
+    if (n == 0) break;  // clean EOF
+    if (n < 8) break;   // torn header at tail: stop silently
+    uint32_t crc = LoadLe32(header);
+    uint32_t len = LoadLe32(header + 4);
+    Bytes payload(len);
+    if (std::fread(payload.data(), 1, len, file) != len) break;  // torn tail
+    if (Crc32(payload) != crc) {
+      status = Status::Corruption("wal: crc mismatch");
+      break;
+    }
+    auto batch = DecodeBatch(payload);
+    if (!batch.ok()) {
+      status = batch.status();
+      break;
+    }
+    apply(*batch);
+  }
+  std::fclose(file);
+  return status;
+}
+
+Status Wal::Reset() {
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return Status::Internal("wal: cannot truncate");
+  return Status::OK();
+}
+
+}  // namespace confide::storage

@@ -1,0 +1,54 @@
+/// \file wal.h
+/// \brief Write-ahead log: batches are framed with CRC-32 and fsync-free
+/// appended; replay stops cleanly at the first torn/corrupt record.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/kv_store.h"
+
+namespace confide::storage {
+
+/// \brief Serializes a WriteBatch to its WAL payload.
+Bytes EncodeBatch(const WriteBatch& batch);
+
+/// \brief Parses a WAL payload back into a WriteBatch.
+Result<WriteBatch> DecodeBatch(ByteView payload);
+
+/// \brief Append-only write-ahead log.
+class Wal {
+ public:
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// \brief Opens (creating if needed) the log at `path` for appending.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+
+  /// \brief Appends one batch record: [u32 crc][u32 len][payload].
+  Status Append(const WriteBatch& batch);
+
+  /// \brief Flushes buffered writes to the OS.
+  Status Sync();
+
+  /// \brief Replays every intact record of the log at `path` in order.
+  /// Missing file is not an error (empty log). A torn tail record ends the
+  /// replay without error; a mid-file CRC mismatch is Corruption.
+  static Status Replay(const std::string& path,
+                       const std::function<void(const WriteBatch&)>& apply);
+
+  /// \brief Truncates the log (after a successful memtable flush).
+  Status Reset();
+
+ private:
+  Wal(std::FILE* file, std::string path) : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  std::string path_;
+};
+
+}  // namespace confide::storage

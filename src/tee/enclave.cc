@@ -1,0 +1,244 @@
+#include "tee/enclave.h"
+
+#include "common/endian.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+
+namespace confide::tee {
+
+// ---------------------------------------------------------------------------
+// EnclaveContext
+// ---------------------------------------------------------------------------
+
+Result<Bytes> EnclaveContext::Ocall(uint64_t fn, ByteView payload,
+                                    PointerSemantics semantics) {
+  return platform_->DispatchOcall(fn, payload, semantics);
+}
+
+Measurement EnclaveContext::Self() const {
+  std::lock_guard<std::mutex> lock(platform_->mutex_);
+  return platform_->enclaves_.at(enclave_id_).measurement;
+}
+
+uint64_t EnclaveContext::SecurityVersion() const {
+  std::lock_guard<std::mutex> lock(platform_->mutex_);
+  return platform_->enclaves_.at(enclave_id_).security_version;
+}
+
+LocalReport EnclaveContext::CreateLocalReport(ByteView user_data) const {
+  LocalReport report;
+  report.mrenclave = Self();
+  report.security_version = SecurityVersion();
+  report.user_data = ToBytes(user_data);
+  report.mac = platform_->LocalReportMac(report.mrenclave,
+                                         report.security_version, user_data);
+  return report;
+}
+
+bool EnclaveContext::VerifyLocalReport(const LocalReport& report) const {
+  return platform_->VerifyLocalReport(report);
+}
+
+Quote EnclaveContext::CreateQuote(ByteView user_data) const {
+  Quote quote;
+  quote.mrenclave = Self();
+  quote.security_version = SecurityVersion();
+  quote.platform_id = platform_->platform_id_;
+  quote.user_data = ToBytes(user_data);
+  quote.platform_key = platform_->attestation_key_.pub;
+  quote.platform_cert = platform_->attestation_cert_;
+  crypto::Hash256 digest = crypto::Sha256::Digest(QuoteSigningBody(quote));
+  quote.signature = *crypto::EcdsaSign(platform_->attestation_key_.priv, digest);
+  return quote;
+}
+
+crypto::Hash256 EnclaveContext::SealKey(std::string_view label) const {
+  // Seal key = HMAC(platform seal root, measurement || label): bound to
+  // the platform *and* the enclave identity, like SGX's EGETKEY.
+  Bytes input = Concat(crypto::HashView(Self()), AsByteView(label));
+  return crypto::HmacSha256(crypto::HashView(platform_->seal_root_key_), input);
+}
+
+void EnclaveContext::MonitorEmit(uint32_t severity, std::string_view message) {
+  MonitorRecord record;
+  record.sequence = platform_->monitor_sequence_.fetch_add(1, std::memory_order_relaxed);
+  record.enclave_id = enclave_id_;
+  record.severity = severity;
+  record.SetMessage(message);
+  // Exit-less: a handful of cycles for the ring write, no transition.
+  platform_->clock_->AdvanceCycles(60);
+  platform_->monitor_ring_.Push(record);
+}
+
+void EnclaveContext::MonitorEmitViaOcall(uint32_t severity, std::string_view message) {
+  MonitorRecord record;
+  record.sequence = platform_->monitor_sequence_.fetch_add(1, std::memory_order_relaxed);
+  record.enclave_id = enclave_id_;
+  record.severity = severity;
+  record.SetMessage(message);
+  // Full boundary crossing charged, then the record lands in the same ring.
+  Bytes payload(sizeof(MonitorRecord));
+  std::memcpy(payload.data(), &record, sizeof(MonitorRecord));
+  (void)platform_->DispatchOcall(/*fn=*/0, payload, PointerSemantics::kCopyInOut);
+  platform_->monitor_ring_.Push(record);
+}
+
+EpcManager* EnclaveContext::epc() { return &platform_->epc_; }
+
+// ---------------------------------------------------------------------------
+// EnclavePlatform
+// ---------------------------------------------------------------------------
+
+EnclavePlatform::EnclavePlatform(const TeeCostModel& model, SimClock* clock,
+                                 uint64_t platform_seed)
+    : model_(model),
+      clock_(clock),
+      epc_(model, clock, &stats_),
+      platform_id_(platform_seed) {
+  crypto::Drbg rng(Concat(AsByteView("confide-platform-keys:"),
+                          crypto::HashView(crypto::Sha256::Digest(
+                              ByteView(reinterpret_cast<const uint8_t*>(&platform_seed),
+                                       sizeof(platform_seed))))));
+  attestation_key_ = crypto::GenerateKeyPair(&rng);
+  attestation_cert_ = AttestationRoot::CertifyPlatformKey(attestation_key_.pub);
+  rng.Fill(local_report_key_.data(), local_report_key_.size());
+  rng.Fill(seal_root_key_.data(), seal_root_key_.size());
+}
+
+void EnclavePlatform::ChargeTransition() {
+  uint64_t count = stats_.transitions.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t cycles = (count % model_.cold_transition_period == 0)
+                        ? model_.transition_cycles_cold
+                        : model_.transition_cycles_warm;
+  clock_->AdvanceCycles(cycles);
+  stats_.modeled_cycles.fetch_add(cycles, std::memory_order_relaxed);
+}
+
+void EnclavePlatform::ChargeCopy(size_t bytes, PointerSemantics semantics,
+                                 bool inbound) {
+  if (semantics == PointerSemantics::kUserCheck) {
+    stats_.user_check_bypasses.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t cycles = model_.copy_setup_cycles +
+                    uint64_t(double(bytes) * model_.copy_cycles_per_byte);
+  clock_->AdvanceCycles(cycles);
+  stats_.modeled_cycles.fetch_add(cycles, std::memory_order_relaxed);
+  auto& counter = inbound ? stats_.bytes_copied_in : stats_.bytes_copied_out;
+  counter.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+Result<EnclaveId> EnclavePlatform::CreateEnclave(std::shared_ptr<Enclave> code,
+                                                 uint64_t heap_bytes) {
+  CONFIDE_ASSIGN_OR_RETURN(EpcRegionId heap, epc_.Allocate(heap_bytes));
+  std::lock_guard<std::mutex> lock(mutex_);
+  EnclaveId id = next_enclave_id_++;
+  LoadedEnclave loaded;
+  loaded.measurement = MeasureEnclave(code->CodeIdentity(), code->SecurityVersion());
+  loaded.security_version = code->SecurityVersion();
+  loaded.code = std::move(code);
+  loaded.heap_region = heap;
+  enclaves_[id] = std::move(loaded);
+  return id;
+}
+
+Status EnclavePlatform::DestroyEnclave(EnclaveId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = enclaves_.find(id);
+  if (it == enclaves_.end()) return Status::NotFound("unknown enclave");
+  CONFIDE_RETURN_NOT_OK(epc_.Free(it->second.heap_region));
+  enclaves_.erase(it);
+  return Status::OK();
+}
+
+Result<Bytes> EnclavePlatform::Ecall(EnclaveId id, uint64_t fn, ByteView input,
+                                     PointerSemantics semantics) {
+  std::shared_ptr<Enclave> code;
+  EpcRegionId heap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = enclaves_.find(id);
+    if (it == enclaves_.end()) return Status::NotFound("unknown enclave");
+    code = it->second.code;
+    heap = it->second.heap_region;
+  }
+  stats_.ecalls.fetch_add(1, std::memory_order_relaxed);
+  ChargeTransition();                          // EENTER
+  ChargeCopy(input.size(), semantics, /*inbound=*/true);
+  CONFIDE_RETURN_NOT_OK(epc_.Touch(heap));     // working set fault-in
+
+  EnclaveContext ctx(this, id);
+  Result<Bytes> result = code->HandleEcall(fn, input, &ctx);
+
+  if (result.ok()) {
+    ChargeCopy(result.value().size(), semantics, /*inbound=*/false);
+  }
+  ChargeTransition();                          // EEXIT
+  return result;
+}
+
+void EnclavePlatform::RegisterOcall(uint64_t fn, OcallHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ocalls_[fn] = std::move(handler);
+}
+
+Result<Bytes> EnclavePlatform::DispatchOcall(uint64_t fn, ByteView payload,
+                                             PointerSemantics semantics) {
+  OcallHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ocalls_.find(fn);
+    if (it == ocalls_.end()) {
+      // Monitor ocall (fn 0) may be unregistered; treat as a sink.
+      if (fn == 0) {
+        handler = [](ByteView) -> Result<Bytes> { return Bytes{}; };
+      } else {
+        return Status::NotFound("no handler for ocall " + std::to_string(fn));
+      }
+    } else {
+      handler = it->second;
+    }
+  }
+  stats_.ocalls.fetch_add(1, std::memory_order_relaxed);
+  ChargeTransition();                          // exit to host
+  ChargeCopy(payload.size(), semantics, /*inbound=*/false);
+  Result<Bytes> result = handler(payload);
+  if (result.ok()) {
+    ChargeCopy(result.value().size(), semantics, /*inbound=*/true);
+  }
+  ChargeTransition();                          // re-enter enclave
+  return result;
+}
+
+crypto::Hash256 EnclavePlatform::LocalReportMac(const Measurement& mrenclave,
+                                                uint64_t svn,
+                                                ByteView user_data) const {
+  uint8_t svn_bytes[8];
+  StoreBe64(svn_bytes, svn);
+  Bytes body = Concat(crypto::HashView(mrenclave), ByteView(svn_bytes, 8), user_data);
+  return crypto::HmacSha256(crypto::HashView(local_report_key_), body);
+}
+
+bool EnclavePlatform::VerifyLocalReport(const LocalReport& report) const {
+  crypto::Hash256 expected = LocalReportMac(report.mrenclave,
+                                            report.security_version,
+                                            report.user_data);
+  return ConstantTimeEqual(crypto::HashView(expected), crypto::HashView(report.mac));
+}
+
+Result<Measurement> EnclavePlatform::GetMeasurement(EnclaveId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = enclaves_.find(id);
+  if (it == enclaves_.end()) return Status::NotFound("unknown enclave");
+  return it->second.measurement;
+}
+
+std::vector<MonitorRecord> EnclavePlatform::DrainMonitor() {
+  std::vector<MonitorRecord> records;
+  while (auto record = monitor_ring_.Pop()) {
+    records.push_back(*record);
+  }
+  return records;
+}
+
+}  // namespace confide::tee

@@ -1,0 +1,186 @@
+/// \file enclave.h
+/// \brief The simulated SGX platform: enclave lifecycle, ecall/ocall
+/// boundary with marshalling semantics, attestation, sealing, monitoring.
+///
+/// Enclave *code* is a C++ object implementing the Enclave interface; the
+/// platform mediates every crossing so transition and copy costs are
+/// charged exactly where hardware would pay them (see cost_model.h).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "crypto/secp256k1.h"
+#include "tee/attestation.h"
+#include "tee/cost_model.h"
+#include "tee/epc.h"
+#include "tee/ring_buffer.h"
+
+namespace confide::tee {
+
+class EnclavePlatform;
+class EnclaveContext;
+
+/// \brief Enclave handle.
+using EnclaveId = uint64_t;
+
+/// \brief EDL-style pointer marshalling semantics for a boundary crossing.
+enum class PointerSemantics {
+  kCopyInOut,   ///< Edger8r [in]/[out]: buffers copied + range checked
+  kUserCheck,   ///< `user_check`: no copy, caller owns memory safety
+};
+
+/// \brief Interface implemented by enclave code (KM enclave, CS enclave).
+class Enclave {
+ public:
+  virtual ~Enclave() = default;
+
+  /// \brief Identity string measured at load (stand-in for page hashing).
+  virtual std::string CodeIdentity() const = 0;
+
+  /// \brief Security version (SVN) included in the measurement and AAD.
+  virtual uint64_t SecurityVersion() const { return 1; }
+
+  /// \brief Handles one ecall. `ctx` is valid only for the duration of the
+  /// call; the return buffer is marshalled back to the host.
+  virtual Result<Bytes> HandleEcall(uint64_t fn, ByteView input,
+                                    EnclaveContext* ctx) = 0;
+};
+
+/// \brief Ocall handler registered by the untrusted host.
+using OcallHandler = std::function<Result<Bytes>(ByteView payload)>;
+
+/// \brief Per-call view of platform services available to enclave code.
+class EnclaveContext {
+ public:
+  /// \brief Calls out to the untrusted host. Charges transition + copy
+  /// costs according to `semantics`.
+  Result<Bytes> Ocall(uint64_t fn, ByteView payload,
+                      PointerSemantics semantics = PointerSemantics::kCopyInOut);
+
+  /// \brief This enclave's measurement.
+  Measurement Self() const;
+
+  /// \brief This enclave's security version.
+  uint64_t SecurityVersion() const;
+
+  /// \brief Creates a local-attestation report (same-platform verifiable).
+  LocalReport CreateLocalReport(ByteView user_data) const;
+
+  /// \brief Verifies a local report produced on this platform (EREPORT
+  /// target verification — how the KM enclave authenticates the CS
+  /// enclave before provisioning keys over the local channel).
+  bool VerifyLocalReport(const LocalReport& report) const;
+
+  /// \brief Creates a remote-attestation quote signed by the platform's
+  /// certified attestation key.
+  Quote CreateQuote(ByteView user_data) const;
+
+  /// \brief Derives a sealing key bound to this enclave's measurement.
+  crypto::Hash256 SealKey(std::string_view label) const;
+
+  /// \brief Emits a monitor record through the exit-less ring (cheap).
+  void MonitorEmit(uint32_t severity, std::string_view message);
+
+  /// \brief Emits a monitor record via an ocall (expensive; kept for the
+  /// ablation benchmark).
+  void MonitorEmitViaOcall(uint32_t severity, std::string_view message);
+
+  /// \brief EPC allocator for in-enclave memory. Allocations count against
+  /// the platform-wide EPC budget.
+  EpcManager* epc();
+
+  EnclaveId enclave_id() const { return enclave_id_; }
+  EnclavePlatform* platform() { return platform_; }
+
+ private:
+  friend class EnclavePlatform;
+  EnclaveContext(EnclavePlatform* platform, EnclaveId id)
+      : platform_(platform), enclave_id_(id) {}
+
+  EnclavePlatform* platform_;
+  EnclaveId enclave_id_;
+};
+
+/// \brief One simulated SGX-capable host. Owns the EPC, the attestation
+/// key, the ocall table and the monitor ring.
+class EnclavePlatform {
+ public:
+  /// \brief `platform_seed` derives the platform attestation/sealing keys
+  /// deterministically; distinct seeds model distinct machines.
+  EnclavePlatform(const TeeCostModel& model, SimClock* clock, uint64_t platform_seed);
+
+  /// \brief Loads enclave code, measures it, reserves `heap_bytes` of EPC.
+  Result<EnclaveId> CreateEnclave(std::shared_ptr<Enclave> code, uint64_t heap_bytes);
+
+  /// \brief Destroys an enclave and releases its EPC (the paper destroys
+  /// the KM enclave after provisioning to free memory, §5.3).
+  Status DestroyEnclave(EnclaveId id);
+
+  /// \brief Invokes fn inside the enclave, charging boundary costs.
+  Result<Bytes> Ecall(EnclaveId id, uint64_t fn, ByteView input,
+                      PointerSemantics semantics = PointerSemantics::kCopyInOut);
+
+  /// \brief Registers the host-side handler for ocall `fn`.
+  void RegisterOcall(uint64_t fn, OcallHandler handler);
+
+  /// \brief Verifies a local report produced on this platform.
+  bool VerifyLocalReport(const LocalReport& report) const;
+
+  /// \brief Returns an enclave's measurement.
+  Result<Measurement> GetMeasurement(EnclaveId id) const;
+
+  /// \brief Drains pending monitor records (host polling thread).
+  std::vector<MonitorRecord> DrainMonitor();
+
+  uint64_t platform_id() const { return platform_id_; }
+  TeeStats& stats() { return stats_; }
+  SimClock* clock() { return clock_; }
+  EpcManager* epc() { return &epc_; }
+  const TeeCostModel& cost_model() const { return model_; }
+
+ private:
+  friend class EnclaveContext;
+
+  struct LoadedEnclave {
+    std::shared_ptr<Enclave> code;
+    Measurement measurement;
+    EpcRegionId heap_region = 0;
+    uint64_t security_version = 1;
+  };
+
+  void ChargeTransition();
+  void ChargeCopy(size_t bytes, PointerSemantics semantics, bool inbound);
+  Result<Bytes> DispatchOcall(uint64_t fn, ByteView payload, PointerSemantics semantics);
+  crypto::Hash256 LocalReportMac(const Measurement& mrenclave, uint64_t svn,
+                                 ByteView user_data) const;
+
+  TeeCostModel model_;
+  SimClock* clock_;
+  TeeStats stats_;
+  EpcManager epc_;
+  uint64_t platform_id_;
+
+  crypto::KeyPair attestation_key_;
+  crypto::Signature attestation_cert_;
+  crypto::Hash256 local_report_key_;  // platform-secret MAC key
+  crypto::Hash256 seal_root_key_;     // platform-secret sealing root
+
+  mutable std::mutex mutex_;
+  std::unordered_map<EnclaveId, LoadedEnclave> enclaves_;
+  std::unordered_map<uint64_t, OcallHandler> ocalls_;
+  EnclaveId next_enclave_id_ = 1;
+  std::atomic<uint64_t> monitor_sequence_{0};
+
+  MonitorRing<1024> monitor_ring_;
+};
+
+}  // namespace confide::tee

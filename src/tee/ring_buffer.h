@@ -1,0 +1,81 @@
+/// \file ring_buffer.h
+/// \brief Lock-free SPSC ring buffer for the exit-less monitor channel.
+///
+/// Paper §5.3 "improved enclave's monitor system": status records are
+/// one-way streams out of the enclave; pushing them through ocalls would
+/// pay a full enclave transition per record, so CONFIDE writes them into a
+/// lock-free ring buffer in untrusted memory that a host polling thread
+/// drains asynchronously (an exit-less call in the style of Eleos).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <string>
+
+namespace confide::tee {
+
+/// \brief Fixed-size monitor record. Contents carry only error/status
+/// text, never application data (paper's confidentiality constraint).
+struct MonitorRecord {
+  uint64_t sequence = 0;
+  uint64_t enclave_id = 0;
+  uint32_t severity = 0;
+  char message[104] = {0};
+
+  void SetMessage(std::string_view text) {
+    size_t n = std::min(text.size(), sizeof(message) - 1);
+    std::memcpy(message, text.data(), n);
+    message[n] = '\0';
+  }
+};
+
+/// \brief Single-producer single-consumer lock-free ring of MonitorRecords.
+///
+/// The producer (enclave) never blocks: when the ring is full the record
+/// is dropped and a drop counter incremented — monitoring must not stall
+/// transaction execution.
+template <size_t Capacity>
+class MonitorRing {
+  static_assert((Capacity & (Capacity - 1)) == 0, "capacity must be a power of two");
+
+ public:
+  /// \brief Producer side. Returns false if the ring was full (dropped).
+  bool Push(const MonitorRecord& record) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= Capacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & (Capacity - 1)] = record;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Consumer side. Empty optional when no records are pending.
+  std::optional<MonitorRecord> Pop() {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    MonitorRecord record = slots_[tail & (Capacity - 1)];
+    tail_.store(tail + 1, std::memory_order_release);
+    return record;
+  }
+
+  uint64_t Dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t Size() const {
+    return size_t(head_.load(std::memory_order_acquire) -
+                  tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::array<MonitorRecord, Capacity> slots_{};
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace confide::tee

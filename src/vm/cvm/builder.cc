@@ -1,0 +1,35 @@
+#include "vm/cvm/builder.h"
+
+namespace confide::vm::cvm {
+
+Result<Function> FunctionBuilder::Finish() const {
+  Function fn;
+  fn.param_count = param_count_;
+  fn.local_count = local_count_;
+  fn.code = code_;
+  for (const Fixup& fixup : fixups_) {
+    size_t target = labels_[fixup.label];
+    if (target == kUnbound) {
+      return Status::InvalidArgument("builder: unbound label");
+    }
+    fn.code[fixup.instr_index].a = target;
+  }
+  return fn;
+}
+
+Result<uint32_t> ModuleBuilder::AddFunction(const FunctionBuilder& builder) {
+  CONFIDE_ASSIGN_OR_RETURN(Function fn, builder.Finish());
+  functions_.push_back(std::move(fn));
+  return uint32_t(functions_.size() - 1);
+}
+
+Module ModuleBuilder::Finish() const {
+  Module module;
+  module.functions = functions_;
+  module.exports = exports_;
+  module.data_segments = data_;
+  module.memory_bytes = memory_bytes_;
+  return module;
+}
+
+}  // namespace confide::vm::cvm

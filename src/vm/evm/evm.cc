@@ -1,0 +1,615 @@
+#include "vm/evm/evm.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+#include "crypto/keccak.h"
+#include "crypto/sha256.h"
+
+namespace confide::vm::evm {
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+EvmAssembler& EvmAssembler::Push(const U256& value) {
+  Bytes be = value.ToBytes();
+  size_t first = 0;
+  while (first < 31 && be[first] == 0) ++first;
+  size_t n = 32 - first;
+  code_.push_back(uint8_t(OP_PUSH1 + n - 1));
+  code_.insert(code_.end(), be.begin() + first, be.end());
+  return *this;
+}
+
+EvmAssembler& EvmAssembler::PushLabel(Label label) {
+  code_.push_back(OP_PUSH1 + 1);  // PUSH2
+  fixups_.push_back({code_.size(), label});
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+Result<Bytes> EvmAssembler::Finish() {
+  for (const Fixup& fixup : fixups_) {
+    size_t target = label_offsets_[fixup.label];
+    if (target == kUnbound) {
+      return Status::InvalidArgument("evm asm: unbound label");
+    }
+    if (target > 0xffff) {
+      return Status::OutOfRange("evm asm: code exceeds PUSH2 addressing");
+    }
+    code_[fixup.code_offset] = uint8_t(target >> 8);
+    code_[fixup.code_offset + 1] = uint8_t(target);
+  }
+  return code_;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shaped Istanbul-style gas costs.
+struct Gas {
+  static constexpr uint64_t kVeryLow = 3;
+  static constexpr uint64_t kLow = 5;
+  static constexpr uint64_t kMid = 8;
+  static constexpr uint64_t kJumpdest = 1;
+  static constexpr uint64_t kSha3 = 30;
+  static constexpr uint64_t kSha3Word = 6;
+  static constexpr uint64_t kSload = 800;
+  static constexpr uint64_t kSstoreSet = 20000;
+  static constexpr uint64_t kSstoreReset = 5000;
+  static constexpr uint64_t kLog = 375;
+  static constexpr uint64_t kXcall = 700;
+  static constexpr uint64_t kMemWord = 3;
+  static constexpr uint64_t kCopyWord = 3;
+};
+
+std::vector<bool> ScanJumpdests(ByteView code) {
+  std::vector<bool> valid(code.size(), false);
+  for (size_t pc = 0; pc < code.size();) {
+    uint8_t op = code[pc];
+    if (op == OP_JUMPDEST) valid[pc] = true;
+    if (op >= OP_PUSH1 && op <= OP_PUSH1 + 31) {
+      pc += size_t(op - OP_PUSH1 + 1) + 1;
+    } else {
+      ++pc;
+    }
+  }
+  return valid;
+}
+
+struct EvmState {
+  std::vector<U256> stack;
+  std::vector<uint8_t> memory;
+  uint64_t gas = 0;
+  uint64_t gas_limit = 0;
+  uint64_t mem_words_charged = 0;
+
+  Status ChargeGas(uint64_t amount) {
+    gas += amount;
+    if (gas > gas_limit) return Status::ResourceExhausted("evm: out of gas");
+    return Status::OK();
+  }
+
+  // Memory expansion with linear + quadratic cost, per yellow paper shape.
+  Status TouchMemory(uint64_t offset, uint64_t len) {
+    if (len == 0) return Status::OK();
+    uint64_t end = offset + len;
+    if (end < offset || end > (64u << 20)) {
+      return Status::VmTrap("evm: memory limit exceeded");
+    }
+    uint64_t words = (end + 31) / 32;
+    if (words > mem_words_charged) {
+      uint64_t new_cost = Gas::kMemWord * words + words * words / 512;
+      uint64_t old_cost =
+          Gas::kMemWord * mem_words_charged +
+          mem_words_charged * mem_words_charged / 512;
+      CONFIDE_RETURN_NOT_OK(ChargeGas(new_cost - old_cost));
+      mem_words_charged = words;
+      memory.resize(words * 32, 0);
+    }
+    return Status::OK();
+  }
+
+  Status Pop(U256* out) {
+    if (stack.empty()) return Status::VmTrap("evm: stack underflow");
+    *out = stack.back();
+    stack.pop_back();
+    return Status::OK();
+  }
+
+  Status Push(U256 v) {
+    if (stack.size() >= 1024) return Status::VmTrap("evm: stack overflow");
+    stack.push_back(v);
+    return Status::OK();
+  }
+};
+
+// Word-granular byte-range storage: base slot = keccak(key), length slot =
+// keccak(key || "len"). This loops through the same SLOAD/SSTORE host path
+// a Solidity `bytes` value would.
+Bytes SlotKey(const U256& slot) { return slot.ToBytes(); }
+
+U256 SlotOf(ByteView key, const char* salt) {
+  crypto::Keccak256 ctx;
+  ctx.Update(key);
+  ctx.Update(AsByteView(salt));
+  crypto::Hash256 h = ctx.Finish();
+  return U256::FromBytesBe(crypto::HashView(h));
+}
+
+}  // namespace
+
+Result<ExecutionResult> EvmVm::Execute(ByteView code, ByteView input,
+                                       HostEnv* env, const ExecConfig& config) const {
+  std::vector<bool> jumpdests = ScanJumpdests(code);
+  EvmState st;
+  st.gas_limit = config.gas_limit;
+  st.stack.reserve(128);
+  uint64_t instructions = 0;
+  Bytes output;
+
+  auto sload_word = [&](const U256& slot) -> Result<U256> {
+    CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kSload));
+    auto value = env->GetStorage(SlotKey(slot));
+    if (!value.ok()) {
+      if (value.status().IsNotFound()) return U256();
+      return value.status();
+    }
+    return U256::FromBytesBe(*value);
+  };
+  auto sstore_word = [&](const U256& slot, const U256& value) -> Status {
+    CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kSstoreReset));
+    return env->SetStorage(SlotKey(slot), value.ToBytes());
+  };
+
+  for (size_t pc = 0; pc < code.size();) {
+    uint8_t op = code[pc];
+    ++instructions;
+    ++pc;
+
+    // PUSH family.
+    if (op >= OP_PUSH1 && op <= OP_PUSH1 + 31) {
+      CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+      size_t n = size_t(op - OP_PUSH1) + 1;
+      if (pc + n > code.size()) return Status::VmTrap("evm: truncated push");
+      CONFIDE_RETURN_NOT_OK(st.Push(U256::FromBytesBe(code.subspan(pc, n))));
+      pc += n;
+      continue;
+    }
+    // DUP family.
+    if (op >= OP_DUP1 && op <= OP_DUP1 + 15) {
+      CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+      size_t n = size_t(op - OP_DUP1) + 1;
+      if (st.stack.size() < n) return Status::VmTrap("evm: stack underflow");
+      CONFIDE_RETURN_NOT_OK(st.Push(st.stack[st.stack.size() - n]));
+      continue;
+    }
+    // SWAP family.
+    if (op >= OP_SWAP1 && op <= OP_SWAP1 + 15) {
+      CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+      size_t n = size_t(op - OP_SWAP1) + 1;
+      if (st.stack.size() < n + 1) return Status::VmTrap("evm: stack underflow");
+      std::swap(st.stack.back(), st.stack[st.stack.size() - 1 - n]);
+      continue;
+    }
+
+    U256 a, b, c;
+    switch (op) {
+      case OP_STOP:
+        pc = code.size();
+        break;
+      case OP_ADD:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(Add(a, b)));
+        break;
+      case OP_MUL:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(Mul(a, b)));
+        break;
+      case OP_SUB:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(Sub(a, b)));
+        break;
+      case OP_DIV:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(Div(a, b)));
+        break;
+      case OP_SDIV:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(SDiv(a, b)));
+        break;
+      case OP_MOD:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(Mod(a, b)));
+        break;
+      case OP_SMOD:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(SMod(a, b)));
+        break;
+      case OP_SIGNEXTEND:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(SignExtend(a.AsU64(), b)));
+        break;
+      case OP_LT:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(Lt(a, b) ? 1 : 0)));
+        break;
+      case OP_GT:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(Lt(b, a) ? 1 : 0)));
+        break;
+      case OP_SLT:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(SLt(a, b) ? 1 : 0)));
+        break;
+      case OP_SGT:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(SLt(b, a) ? 1 : 0)));
+        break;
+      case OP_EQ:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(a == b ? 1 : 0)));
+        break;
+      case OP_ISZERO:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(a.IsZero() ? 1 : 0)));
+        break;
+      case OP_AND:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(And(a, b)));
+        break;
+      case OP_OR:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(Or(a, b)));
+        break;
+      case OP_XOR:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(Xor(a, b)));
+        break;
+      case OP_NOT:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Push(Not(a)));
+        break;
+      case OP_BYTE:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(ByteAt(b, a.AsU64()))));
+        break;
+      case OP_SHL:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(a.FitsU64() ? Shl(b, a.AsU64()) : U256()));
+        break;
+      case OP_SHR:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(st.Push(a.FitsU64() ? Shr(b, a.AsU64()) : U256()));
+        break;
+      case OP_SAR:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(
+            st.Push(a.FitsU64() ? Sar(b, a.AsU64())
+                                : (b.Bit(255) ? Not(U256()) : U256())));
+        break;
+      case OP_SHA3: {
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));  // offset
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));  // len
+        uint64_t off = a.AsU64(), len = b.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(off, len));
+        CONFIDE_RETURN_NOT_OK(
+            st.ChargeGas(Gas::kSha3 + Gas::kSha3Word * ((len + 31) / 32)));
+        crypto::Hash256 h =
+            crypto::Keccak256::Digest(ByteView(st.memory.data() + off, len));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256::FromBytesBe(crypto::HashView(h))));
+        break;
+      }
+      case OP_CALLDATALOAD: {
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        uint8_t word[32] = {0};
+        uint64_t off = a.FitsU64() ? a.AsU64() : input.size();
+        for (int i = 0; i < 32; ++i) {
+          if (off + uint64_t(i) < input.size()) word[i] = input[off + i];
+        }
+        CONFIDE_RETURN_NOT_OK(st.Push(U256::FromBytesBe(ByteView(word, 32))));
+        break;
+      }
+      case OP_CALLDATASIZE:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(input.size())));
+        break;
+      case OP_CALLDATACOPY: {
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));  // mem offset
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));  // data offset
+        CONFIDE_RETURN_NOT_OK(st.Pop(&c));  // len
+        uint64_t mem_off = a.AsU64(), data_off = b.AsU64(), len = c.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(mem_off, len));
+        CONFIDE_RETURN_NOT_OK(
+            st.ChargeGas(Gas::kVeryLow + Gas::kCopyWord * ((len + 31) / 32)));
+        for (uint64_t i = 0; i < len; ++i) {
+          st.memory[mem_off + i] =
+              (data_off + i < input.size()) ? input[data_off + i] : 0;
+        }
+        break;
+      }
+      case OP_CODESIZE:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(code.size())));
+        break;
+      case OP_CODECOPY: {
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));  // mem offset
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));  // code offset
+        CONFIDE_RETURN_NOT_OK(st.Pop(&c));  // len
+        uint64_t mem_off = a.AsU64(), code_off = b.AsU64(), len = c.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(mem_off, len));
+        CONFIDE_RETURN_NOT_OK(
+            st.ChargeGas(Gas::kVeryLow + Gas::kCopyWord * ((len + 31) / 32)));
+        for (uint64_t i = 0; i < len; ++i) {
+          st.memory[mem_off + i] =
+              (code_off + i < code.size()) ? code[code_off + i] : 0;
+        }
+        break;
+      }
+      case OP_XSETOUTPUT: {
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));  // ptr
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));  // len
+        uint64_t off = a.AsU64(), len = b.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(off, len));
+        output.assign(st.memory.begin() + off, st.memory.begin() + off + len);
+        break;
+      }
+      case OP_POP:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(2));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        break;
+      case OP_MLOAD: {
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        uint64_t off = a.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(off, 32));
+        CONFIDE_RETURN_NOT_OK(
+            st.Push(U256::FromBytesBe(ByteView(st.memory.data() + off, 32))));
+        break;
+      }
+      case OP_MSTORE: {
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        uint64_t off = a.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(off, 32));
+        b.ToBytesBe(st.memory.data() + off);
+        break;
+      }
+      case OP_MSTORE8: {
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kVeryLow));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        uint64_t off = a.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(off, 1));
+        st.memory[off] = uint8_t(b.AsU64());
+        break;
+      }
+      case OP_SLOAD: {
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_ASSIGN_OR_RETURN(U256 value, sload_word(a));
+        CONFIDE_RETURN_NOT_OK(st.Push(value));
+        break;
+      }
+      case OP_SSTORE: {
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        CONFIDE_RETURN_NOT_OK(sstore_word(a, b));
+        break;
+      }
+      case OP_JUMP: {
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kMid));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        uint64_t target = a.AsU64();
+        if (!a.FitsU64() || target >= code.size() || !jumpdests[target]) {
+          return Status::VmTrap("evm: invalid jump destination");
+        }
+        pc = target;
+        break;
+      }
+      case OP_JUMPI: {
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(10));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        if (!b.IsZero()) {
+          uint64_t target = a.AsU64();
+          if (!a.FitsU64() || target >= code.size() || !jumpdests[target]) {
+            return Status::VmTrap("evm: invalid jump destination");
+          }
+          pc = target;
+        }
+        break;
+      }
+      case OP_PC:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(2));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(pc - 1)));
+        break;
+      case OP_MSIZE:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(2));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(st.memory.size())));
+        break;
+      case OP_GAS:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(2));
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(st.gas_limit - st.gas)));
+        break;
+      case OP_JUMPDEST:
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kJumpdest));
+        break;
+      case OP_LOG0: {
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        uint64_t off = a.AsU64(), len = b.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(off, len));
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kLog + 8 * len));
+        env->EmitLog(ByteView(st.memory.data() + off, len));
+        break;
+      }
+      case OP_RETURN: {
+        CONFIDE_RETURN_NOT_OK(st.Pop(&a));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&b));
+        uint64_t off = a.AsU64(), len = b.AsU64();
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(off, len));
+        output.assign(st.memory.begin() + off, st.memory.begin() + off + len);
+        pc = code.size();
+        break;
+      }
+      case OP_REVERT:
+        return Status::VmTrap("evm: revert");
+      case OP_INVALID:
+        return Status::VmTrap("evm: invalid opcode executed");
+
+      // --- CONFIDE platform extensions ---
+      case OP_XGETSTORAGE: {
+        // (key_ptr, key_len, val_ptr, val_cap) -> pushes actual length.
+        U256 cap, vptr, klen, kptr;
+        CONFIDE_RETURN_NOT_OK(st.Pop(&kptr));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&klen));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&vptr));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&cap));
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(kptr.AsU64(), klen.AsU64()));
+        // Copy the key out: later TouchMemory calls may reallocate memory.
+        Bytes key(st.memory.begin() + kptr.AsU64(),
+                  st.memory.begin() + kptr.AsU64() + klen.AsU64());
+        // Word-granular read: length slot then ceil(len/32) value slots.
+        U256 len_slot = SlotOf(key, ":len");
+        CONFIDE_ASSIGN_OR_RETURN(U256 len_word, sload_word(len_slot));
+        uint64_t len = len_word.AsU64();
+        uint64_t copy = std::min(len, cap.AsU64());
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(vptr.AsU64(), copy));
+        U256 base_slot = SlotOf(key, ":data");
+        for (uint64_t w = 0; w * 32 < copy; ++w) {
+          CONFIDE_ASSIGN_OR_RETURN(U256 word, sload_word(Add(base_slot, U256(w))));
+          uint8_t word_bytes[32];
+          word.ToBytesBe(word_bytes);
+          uint64_t n = std::min<uint64_t>(32, copy - w * 32);
+          std::memcpy(st.memory.data() + vptr.AsU64() + w * 32, word_bytes, n);
+        }
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(len)));
+        break;
+      }
+      case OP_XSETSTORAGE: {
+        // (key_ptr, key_len, val_ptr, val_len)
+        U256 vlen, vptr, klen, kptr;
+        CONFIDE_RETURN_NOT_OK(st.Pop(&kptr));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&klen));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&vptr));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&vlen));
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(kptr.AsU64(), klen.AsU64()));
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(vptr.AsU64(), vlen.AsU64()));
+        Bytes key(st.memory.begin() + kptr.AsU64(),
+                  st.memory.begin() + kptr.AsU64() + klen.AsU64());
+        uint64_t len = vlen.AsU64();
+        CONFIDE_RETURN_NOT_OK(sstore_word(SlotOf(key, ":len"), U256(len)));
+        U256 base_slot = SlotOf(key, ":data");
+        for (uint64_t w = 0; w * 32 < len; ++w) {
+          uint8_t word_bytes[32] = {0};
+          uint64_t n = std::min<uint64_t>(32, len - w * 32);
+          std::memcpy(word_bytes, st.memory.data() + vptr.AsU64() + w * 32, n);
+          CONFIDE_RETURN_NOT_OK(sstore_word(Add(base_slot, U256(w)),
+                                            U256::FromBytesBe(ByteView(word_bytes, 32))));
+        }
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(0)));
+        break;
+      }
+      case OP_XSHA256: {
+        // (ptr, len, out_ptr) — stands in for the 0x02 precompile CALL.
+        U256 out_ptr, len, ptr;
+        CONFIDE_RETURN_NOT_OK(st.Pop(&ptr));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&len));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&out_ptr));
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(ptr.AsU64(), len.AsU64()));
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(out_ptr.AsU64(), 32));
+        // Precompile pricing: 60 + 12/word, plus the CALL stipend shape.
+        CONFIDE_RETURN_NOT_OK(
+            st.ChargeGas(Gas::kXcall + 60 + 12 * ((len.AsU64() + 31) / 32)));
+        crypto::Hash256 h = crypto::Sha256::Digest(
+            ByteView(st.memory.data() + ptr.AsU64(), len.AsU64()));
+        std::memcpy(st.memory.data() + out_ptr.AsU64(), h.data(), 32);
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(0)));
+        break;
+      }
+      case OP_XCALL: {
+        // (addr_ptr, addr_len, in_ptr, in_len, out_ptr, out_cap) -> out_len
+        U256 out_cap, out_ptr, in_len, in_ptr, addr_len, addr_ptr;
+        CONFIDE_RETURN_NOT_OK(st.Pop(&addr_ptr));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&addr_len));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&in_ptr));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&in_len));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&out_ptr));
+        CONFIDE_RETURN_NOT_OK(st.Pop(&out_cap));
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(addr_ptr.AsU64(), addr_len.AsU64()));
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(in_ptr.AsU64(), in_len.AsU64()));
+        CONFIDE_RETURN_NOT_OK(st.ChargeGas(Gas::kXcall));
+        ByteView addr(st.memory.data() + addr_ptr.AsU64(), addr_len.AsU64());
+        ByteView in(st.memory.data() + in_ptr.AsU64(), in_len.AsU64());
+        CONFIDE_ASSIGN_OR_RETURN(Bytes out, env->CallContract(addr, in));
+        uint64_t n = std::min<uint64_t>(out.size(), out_cap.AsU64());
+        CONFIDE_RETURN_NOT_OK(st.TouchMemory(out_ptr.AsU64(), n));
+        std::memcpy(st.memory.data() + out_ptr.AsU64(), out.data(), n);
+        CONFIDE_RETURN_NOT_OK(st.Push(U256(out.size())));
+        break;
+      }
+
+      default:
+        return Status::VmTrap("evm: unknown opcode " + std::to_string(op));
+    }
+  }
+
+  ExecutionResult result;
+  result.output = std::move(output);
+  result.return_value =
+      st.stack.empty() ? 0 : st.stack.back().AsU64();
+  result.gas_used = st.gas;
+  result.instructions_retired = instructions;
+  return result;
+}
+
+}  // namespace confide::vm::evm

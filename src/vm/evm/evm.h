@@ -1,0 +1,110 @@
+/// \file evm.h
+/// \brief EVM-compatible baseline interpreter.
+///
+/// CONFIDE "enables EVM for a traditional smart contract ecosystem"
+/// (§3.2.1) and Figure 10 compares it against CONFIDE-VM. This is a
+/// faithful stack machine over 256-bit words with the core opcode set,
+/// word-granular storage, quadratic memory expansion and a shaped gas
+/// schedule.
+///
+/// Substitution note: instead of precompile CALLs, four extension opcodes
+/// (XGETSTORAGE/XSETSTORAGE/XSHA256/XCALL) bridge to the platform host
+/// interface. XSETSTORAGE/XGETSTORAGE internally loop over 32-byte words
+/// through the same storage path as SSTORE/SLOAD — reproducing the
+/// Solidity-style cost amplification for byte-string state.
+
+#pragma once
+
+#include <vector>
+
+#include "vm/evm/uint256.h"
+#include "vm/host_env.h"
+
+namespace confide::vm::evm {
+
+/// \brief Opcode values (Ethereum yellow-paper numbering where shared).
+enum Opcode : uint8_t {
+  OP_STOP = 0x00, OP_ADD = 0x01, OP_MUL = 0x02, OP_SUB = 0x03,
+  OP_DIV = 0x04, OP_SDIV = 0x05, OP_MOD = 0x06, OP_SMOD = 0x07,
+  OP_SIGNEXTEND = 0x0b,
+  OP_LT = 0x10, OP_GT = 0x11, OP_SLT = 0x12, OP_SGT = 0x13,
+  OP_EQ = 0x14, OP_ISZERO = 0x15, OP_AND = 0x16, OP_OR = 0x17,
+  OP_XOR = 0x18, OP_NOT = 0x19, OP_BYTE = 0x1a,
+  OP_SHL = 0x1b, OP_SHR = 0x1c, OP_SAR = 0x1d,
+  OP_SHA3 = 0x20,
+  OP_CALLDATALOAD = 0x35, OP_CALLDATASIZE = 0x36, OP_CALLDATACOPY = 0x37,
+  OP_CODESIZE = 0x38, OP_CODECOPY = 0x39,
+  OP_POP = 0x50, OP_MLOAD = 0x51, OP_MSTORE = 0x52, OP_MSTORE8 = 0x53,
+  OP_SLOAD = 0x54, OP_SSTORE = 0x55, OP_JUMP = 0x56, OP_JUMPI = 0x57,
+  OP_PC = 0x58, OP_MSIZE = 0x59, OP_GAS = 0x5a, OP_JUMPDEST = 0x5b,
+  OP_PUSH1 = 0x60,   // ..PUSH32 = 0x7f
+  OP_DUP1 = 0x80,    // ..DUP16 = 0x8f
+  OP_SWAP1 = 0x90,   // ..SWAP16 = 0x9f
+  OP_LOG0 = 0xa0,
+  OP_XGETSTORAGE = 0xf5, OP_XSETSTORAGE = 0xf6,
+  OP_XSHA256 = 0xf7, OP_XCALL = 0xf8,
+  OP_XSETOUTPUT = 0xf9,  ///< (ptr, len): records output without halting
+  OP_RETURN = 0xf3, OP_REVERT = 0xfd, OP_INVALID = 0xfe,
+};
+
+/// \brief The EVM engine. Stateless; safe to share across threads.
+class EvmVm {
+ public:
+  /// \brief Runs `code` with `input` as calldata.
+  Result<ExecutionResult> Execute(ByteView code, ByteView input, HostEnv* env,
+                                  const ExecConfig& config) const;
+};
+
+/// \brief Label-based EVM bytecode assembler (the CCL EVM backend's
+/// output stage). Labels become PUSH2 immediates patched at Finish().
+class EvmAssembler {
+ public:
+  using Label = size_t;
+
+  EvmAssembler& Op(uint8_t opcode) {
+    code_.push_back(opcode);
+    return *this;
+  }
+
+  /// \brief PUSHn with the minimal width for `value` (at least PUSH1).
+  EvmAssembler& Push(const U256& value);
+  EvmAssembler& Push(uint64_t value) { return Push(U256(value)); }
+
+  Label NewLabel() {
+    label_offsets_.push_back(kUnbound);
+    return label_offsets_.size() - 1;
+  }
+
+  /// \brief Binds `label` here and emits a JUMPDEST.
+  EvmAssembler& Bind(Label label) {
+    label_offsets_[label] = code_.size();
+    return Op(OP_JUMPDEST);
+  }
+
+  /// \brief Binds `label` to the current offset without a JUMPDEST (for
+  /// non-jump references such as the CODECOPY literal-pool offset).
+  EvmAssembler& BindHere(Label label) {
+    label_offsets_[label] = code_.size();
+    return *this;
+  }
+
+  /// \brief PUSH2 of a label's offset (patched later).
+  EvmAssembler& PushLabel(Label label);
+
+  /// \brief Current byte offset (for inspection).
+  size_t size() const { return code_.size(); }
+
+  Result<Bytes> Finish();
+
+ private:
+  static constexpr size_t kUnbound = size_t(-1);
+  Bytes code_;
+  std::vector<size_t> label_offsets_;
+  struct Fixup {
+    size_t code_offset;  // where the 2 placeholder bytes live
+    Label label;
+  };
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace confide::vm::evm

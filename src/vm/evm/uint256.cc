@@ -1,0 +1,237 @@
+#include "vm/evm/uint256.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+
+namespace confide::vm::evm {
+
+U256 U256::FromBytesBe(ByteView bytes) {
+  U256 out;
+  size_t n = std::min<size_t>(bytes.size(), 32);
+  // Right-align: the last byte of input is the least significant.
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t byte = bytes[bytes.size() - 1 - i];
+    out.limb[i / 8] |= uint64_t(byte) << (8 * (i % 8));
+  }
+  return out;
+}
+
+void U256::ToBytesBe(uint8_t out[32]) const {
+  for (int i = 0; i < 4; ++i) StoreBe64(out + 8 * i, limb[3 - i]);
+}
+
+Bytes U256::ToBytes() const {
+  Bytes out(32);
+  ToBytesBe(out.data());
+  return out;
+}
+
+std::string U256::ToHex() const {
+  Bytes b = ToBytes();
+  return "0x" + HexEncode(b);
+}
+
+int Cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] < b.limb[i]) return -1;
+    if (a.limb[i] > b.limb[i]) return 1;
+  }
+  return 0;
+}
+
+bool SLt(const U256& a, const U256& b) {
+  bool a_neg = a.Bit(255);
+  bool b_neg = b.Bit(255);
+  if (a_neg != b_neg) return a_neg;
+  return Lt(a, b);
+}
+
+U256 Add(const U256& a, const U256& b) {
+  U256 r;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 s = (unsigned __int128)a.limb[i] + b.limb[i] + carry;
+    r.limb[i] = uint64_t(s);
+    carry = s >> 64;
+  }
+  return r;
+}
+
+U256 Sub(const U256& a, const U256& b) {
+  U256 r;
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 d = (unsigned __int128)a.limb[i] - b.limb[i] - borrow;
+    r.limb[i] = uint64_t(d);
+    borrow = (d >> 64) & 1;
+  }
+  return r;
+}
+
+U256 Mul(const U256& a, const U256& b) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; i + j < 4; ++j) {
+      unsigned __int128 cur = (unsigned __int128)a.limb[i] * b.limb[j] +
+                              r.limb[i + j] + carry;
+      r.limb[i + j] = uint64_t(cur);
+      carry = cur >> 64;
+    }
+  }
+  return r;
+}
+
+namespace {
+
+// Shift-subtract long division; returns quotient, sets *rem.
+U256 DivMod(const U256& a, const U256& b, U256* rem) {
+  U256 quotient;
+  U256 remainder;
+  if (b.IsZero()) {
+    *rem = U256();
+    return U256();  // EVM: division by zero yields zero
+  }
+  for (int i = 255; i >= 0; --i) {
+    remainder = Shl(remainder, 1);
+    if (a.Bit(unsigned(i))) remainder.limb[0] |= 1;
+    if (Cmp(remainder, b) >= 0) {
+      remainder = Sub(remainder, b);
+      quotient.limb[i >> 6] |= uint64_t(1) << (i & 63);
+    }
+  }
+  *rem = remainder;
+  return quotient;
+}
+
+}  // namespace
+
+U256 Div(const U256& a, const U256& b) {
+  U256 rem;
+  return DivMod(a, b, &rem);
+}
+
+U256 Mod(const U256& a, const U256& b) {
+  U256 rem;
+  DivMod(a, b, &rem);
+  return rem;
+}
+
+U256 SDiv(const U256& a, const U256& b) {
+  if (b.IsZero()) return U256();
+  bool a_neg = a.Bit(255);
+  bool b_neg = b.Bit(255);
+  U256 ua = a_neg ? Neg(a) : a;
+  U256 ub = b_neg ? Neg(b) : b;
+  U256 q = Div(ua, ub);
+  return (a_neg != b_neg) ? Neg(q) : q;
+}
+
+U256 SMod(const U256& a, const U256& b) {
+  if (b.IsZero()) return U256();
+  bool a_neg = a.Bit(255);
+  U256 ua = a_neg ? Neg(a) : a;
+  U256 ub = b.Bit(255) ? Neg(b) : b;
+  U256 r = Mod(ua, ub);
+  return a_neg ? Neg(r) : r;
+}
+
+U256 And(const U256& a, const U256& b) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) r.limb[i] = a.limb[i] & b.limb[i];
+  return r;
+}
+
+U256 Or(const U256& a, const U256& b) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) r.limb[i] = a.limb[i] | b.limb[i];
+  return r;
+}
+
+U256 Xor(const U256& a, const U256& b) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) r.limb[i] = a.limb[i] ^ b.limb[i];
+  return r;
+}
+
+U256 Not(const U256& a) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) r.limb[i] = ~a.limb[i];
+  return r;
+}
+
+U256 Neg(const U256& a) { return Add(Not(a), U256(1)); }
+
+U256 Shl(const U256& a, uint64_t shift) {
+  if (shift >= 256) return U256();
+  U256 r;
+  uint64_t limb_shift = shift / 64;
+  uint64_t bit_shift = shift % 64;
+  for (int i = 3; i >= 0; --i) {
+    uint64_t v = 0;
+    int src = i - int(limb_shift);
+    if (src >= 0) {
+      v = a.limb[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) {
+        v |= a.limb[src - 1] >> (64 - bit_shift);
+      }
+    }
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+U256 Shr(const U256& a, uint64_t shift) {
+  if (shift >= 256) return U256();
+  U256 r;
+  uint64_t limb_shift = shift / 64;
+  uint64_t bit_shift = shift % 64;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = 0;
+    int src = i + int(limb_shift);
+    if (src <= 3) {
+      v = a.limb[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 <= 3) {
+        v |= a.limb[src + 1] << (64 - bit_shift);
+      }
+    }
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+U256 Sar(const U256& a, uint64_t shift) {
+  bool neg = a.Bit(255);
+  if (shift >= 256) {
+    return neg ? Not(U256()) : U256();
+  }
+  U256 r = Shr(a, shift);
+  if (neg && shift > 0) {
+    // Fill the vacated high bits with ones.
+    U256 mask = Shl(Not(U256()), 256 - shift);
+    r = Or(r, mask);
+  }
+  return r;
+}
+
+U256 SignExtend(uint64_t byte_index, const U256& a) {
+  if (byte_index >= 31) return a;
+  unsigned sign_bit = unsigned(byte_index * 8 + 7);
+  if (!a.Bit(sign_bit)) {
+    // Clear everything above the sign bit.
+    U256 mask = Sub(Shl(U256(1), sign_bit + 1), U256(1));
+    return And(a, mask);
+  }
+  U256 ones = Shl(Not(U256()), sign_bit + 1);
+  return Or(a, ones);
+}
+
+uint64_t ByteAt(const U256& a, uint64_t i) {
+  if (i >= 32) return 0;
+  uint8_t bytes[32];
+  a.ToBytesBe(bytes);
+  return bytes[i];
+}
+
+}  // namespace confide::vm::evm

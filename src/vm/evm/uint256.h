@@ -1,0 +1,72 @@
+/// \file uint256.h
+/// \brief 256-bit unsigned integer arithmetic for the EVM baseline.
+///
+/// Every EVM stack slot is one of these — the word size is the root of
+/// the EVM-vs-Wasm performance gap the paper measures in Figure 10.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace confide::vm::evm {
+
+/// \brief Little-endian 4x64 256-bit unsigned integer, wrapping semantics.
+struct U256 {
+  std::array<uint64_t, 4> limb{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(uint64_t v) : limb{v, 0, 0, 0} {}
+
+  static U256 FromBytesBe(ByteView bytes);  ///< right-aligned, <=32 bytes
+  void ToBytesBe(uint8_t out[32]) const;
+  Bytes ToBytes() const;
+
+  bool IsZero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+  uint64_t AsU64() const { return limb[0]; }  ///< low 64 bits
+  bool FitsU64() const { return (limb[1] | limb[2] | limb[3]) == 0; }
+  bool Bit(unsigned i) const { return (limb[i >> 6] >> (i & 63)) & 1; }
+
+  bool operator==(const U256& o) const { return limb == o.limb; }
+  std::string ToHex() const;
+};
+
+int Cmp(const U256& a, const U256& b);
+inline bool Lt(const U256& a, const U256& b) { return Cmp(a, b) < 0; }
+/// \brief Two's-complement signed comparison.
+bool SLt(const U256& a, const U256& b);
+
+U256 Add(const U256& a, const U256& b);
+U256 Sub(const U256& a, const U256& b);
+U256 Mul(const U256& a, const U256& b);
+/// \brief Unsigned division; x/0 == 0 (EVM semantics).
+U256 Div(const U256& a, const U256& b);
+/// \brief Unsigned modulo; x%0 == 0 (EVM semantics).
+U256 Mod(const U256& a, const U256& b);
+/// \brief Signed division with EVM semantics.
+U256 SDiv(const U256& a, const U256& b);
+/// \brief Signed modulo with EVM semantics (sign follows dividend).
+U256 SMod(const U256& a, const U256& b);
+
+U256 And(const U256& a, const U256& b);
+U256 Or(const U256& a, const U256& b);
+U256 Xor(const U256& a, const U256& b);
+U256 Not(const U256& a);
+U256 Neg(const U256& a);
+
+/// \brief Logical shifts; shift >= 256 yields zero.
+U256 Shl(const U256& a, uint64_t shift);
+U256 Shr(const U256& a, uint64_t shift);
+/// \brief Arithmetic right shift (SAR).
+U256 Sar(const U256& a, uint64_t shift);
+
+/// \brief EVM SIGNEXTEND: treat `a` as a (b+1)-byte signed value.
+U256 SignExtend(uint64_t byte_index, const U256& a);
+
+/// \brief EVM BYTE: the `i`-th byte counting from the most significant.
+uint64_t ByteAt(const U256& a, uint64_t i);
+
+}  // namespace confide::vm::evm

@@ -1,0 +1,70 @@
+/// \file workloads.h
+/// \brief The paper's evaluation workloads (§6): contract sources in CCL
+/// and matching input generators.
+///
+///  * **Synthetic** (§6.1, Figure 10): string concatenation, E-notes
+///    depository (4 KB), crypto hash (100× SHA-256 + Keccak), JSON
+///    parsing (~60 key-values).
+///  * **ABS** (§6.1/6.4, Figures 9 & 12): asset transfer with
+///    authentication, parsing (JSON or Flatbuffers-style), validation
+///    (inclusion, numeric, string comparisons) and ~1 KB storage.
+///  * **SCF-AR** (§6.3, Figure 8, Table 1): the hierarchical supply-chain
+///    finance flow — Gateway → Manager → service contracts — profiled at
+///    ~31 contract calls, ~151 GetStorage, ~9 SetStorage per transfer.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/types.h"
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+
+namespace confide::workloads {
+
+// ---------------------------------------------------------------------------
+// Contract sources (CCL — compile for either VM via lang::Compile)
+// ---------------------------------------------------------------------------
+
+/// \brief Entries: string_concat, enotes_deposit, crypto_hash, json_parse.
+const char* SyntheticContractSource();
+
+/// \brief Entries: abs_transfer (FlatLite input, post-OPT2),
+/// abs_transfer_json (JSON input, pre-OPT2), abs_seed_whitelist.
+const char* AbsContractSource();
+
+/// \brief The SCF-AR contract suite: (service name, source) pairs. Deploy
+/// each at chain::NamedAddress(name). The flow entry is
+/// "transfer" on "scf.gateway"; seed accounts first via "seed" entries.
+std::vector<std::pair<std::string, const char*>> ScfArContracts();
+
+// ---------------------------------------------------------------------------
+// Input generators
+// ---------------------------------------------------------------------------
+
+/// \brief JSON object with `n_keys` string/number members.
+std::string MakeJsonRecord(crypto::Drbg* rng, int n_keys);
+
+/// \brief String-concatenation input: 10-byte id + 35-kv JSON (§6.1 (1)).
+Bytes MakeStringConcatInput(crypto::Drbg* rng);
+
+/// \brief E-notes input: 10-byte id + 4 KB payload (§6.1 (2)).
+Bytes MakeENotesInput(crypto::Drbg* rng);
+
+/// \brief Crypto-hash input: a 64-byte message (§6.1 (3)).
+Bytes MakeCryptoHashInput(crypto::Drbg* rng);
+
+/// \brief JSON-parsing input: ~60-kv request with loan/bank info (§6.1 (4)).
+Bytes MakeJsonParseInput(crypto::Drbg* rng);
+
+/// \brief ABS asset record with ~10 attributes in FlatLite form, ~1 KB.
+Bytes MakeAbsAssetFlat(crypto::Drbg* rng, uint64_t asset_seq);
+
+/// \brief Same record as JSON text (the pre-OPT2 encoding).
+Bytes MakeAbsAssetJson(crypto::Drbg* rng, uint64_t asset_seq);
+
+/// \brief SCF-AR transfer request: "<asset>\n<from>\n<to>\n<amount>".
+Bytes MakeScfTransferInput(crypto::Drbg* rng, uint64_t seq);
+
+}  // namespace confide::workloads

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "ccle/codec.h"
+#include "serialize/flatlite.h"
+#include "ccle/schema.h"
+#include "ccle/value.h"
+#include "crypto/drbg.h"
+#include "crypto/gcm.h"
+
+namespace confide::ccle {
+namespace {
+
+// The paper's Listing 1, verbatim structure.
+constexpr const char* kDemoSchema = R"(
+attribute "map";
+attribute "confidential";
+
+table Demo {
+  owner: string;
+  admin: [Administrator];
+  account_map: [Account](map);
+}
+
+table Administrator {
+  identity: string;
+  name: string;
+}
+
+table Account {
+  user_id: string;
+  organization: string(confidential);
+  asset_map: [Asset](map, confidential);
+}
+
+table Asset {
+  type: ubyte;
+  amount: ulong;
+}
+
+root_type Demo;
+)";
+
+/// AES-GCM-backed cipher with a random per-call IV, mirroring D-Protocol.
+class GcmFieldCipher : public FieldCipher {
+ public:
+  GcmFieldCipher() : rng_(4242) {
+    Bytes key = crypto::Drbg(7).Generate(32);
+    gcm_ = std::make_unique<crypto::AesGcm>(*crypto::AesGcm::Create(key));
+  }
+
+  Result<Bytes> Encrypt(ByteView plain, ByteView aad) override {
+    ++encrypt_count;
+    Bytes iv = rng_.Generate(crypto::kGcmIvSize);
+    CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, gcm_->Seal(iv, plain, aad));
+    return Concat(iv, sealed);
+  }
+
+  Result<Bytes> Decrypt(ByteView sealed, ByteView aad) override {
+    ++decrypt_count;
+    if (sealed.size() < crypto::kGcmIvSize) {
+      return Status::CryptoError("ccle test: short ciphertext");
+    }
+    return gcm_->Open(sealed.first(crypto::kGcmIvSize),
+                      sealed.subspan(crypto::kGcmIvSize), aad);
+  }
+
+  int encrypt_count = 0;
+  int decrypt_count = 0;
+
+ private:
+  std::unique_ptr<crypto::AesGcm> gcm_;
+  crypto::Drbg rng_;
+};
+
+Value BuildDemoValue() {
+  Value asset1 = Value::Table();
+  asset1.SetField("type", Value::UInt(1));
+  asset1.SetField("amount", Value::UInt(50000));
+  Value asset2 = Value::Table();
+  asset2.SetField("type", Value::UInt(2));
+  asset2.SetField("amount", Value::UInt(777));
+
+  Value assets = Value::Map();
+  assets.SetEntry("asset-001", asset1);
+  assets.SetEntry("asset-002", asset2);
+
+  Value account = Value::Table();
+  account.SetField("user_id", Value::String("alice"));
+  account.SetField("organization", Value::String("acme-bank"));
+  account.SetField("asset_map", assets);
+
+  Value accounts = Value::Map();
+  accounts.SetEntry("alice", account);
+
+  Value admin = Value::Table();
+  admin.SetField("identity", Value::String("admin-1"));
+  admin.SetField("name", Value::String("root"));
+  Value admins = Value::Vector();
+  admins.Append(admin);
+
+  Value demo = Value::Table();
+  demo.SetField("owner", Value::String("consortium-operator"));
+  demo.SetField("admin", admins);
+  demo.SetField("account_map", accounts);
+  return demo;
+}
+
+// ---------------------------------------------------------------------------
+// Schema parsing
+// ---------------------------------------------------------------------------
+
+TEST(CcleSchemaTest, ParsesPaperListing1) {
+  auto schema = ParseSchema(kDemoSchema);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->root_type, "Demo");
+  EXPECT_EQ(schema->tables.size(), 4u);
+
+  const TableDef* account = schema->FindTable("Account");
+  ASSERT_NE(account, nullptr);
+  const FieldDef* org = account->FindField("organization");
+  ASSERT_NE(org, nullptr);
+  EXPECT_TRUE(org->confidential);
+  EXPECT_EQ(org->type, FieldType::kString);
+
+  const FieldDef* asset_map = account->FindField("asset_map");
+  ASSERT_NE(asset_map, nullptr);
+  EXPECT_TRUE(asset_map->is_map);
+  EXPECT_TRUE(asset_map->confidential);
+  EXPECT_EQ(asset_map->table_type, "Asset");
+
+  const TableDef* demo = schema->FindTable("Demo");
+  EXPECT_FALSE(demo->FindField("owner")->confidential);
+  EXPECT_TRUE(demo->FindField("admin")->is_vector);
+  EXPECT_FALSE(demo->FindField("admin")->is_map);
+}
+
+TEST(CcleSchemaTest, RejectsUndeclaredAttribute) {
+  EXPECT_FALSE(ParseSchema(R"(
+    table T { x: ulong(confidential); }
+    root_type T;
+  )").ok());
+}
+
+TEST(CcleSchemaTest, RejectsUnknownTableType) {
+  EXPECT_FALSE(ParseSchema(R"(
+    table T { x: Missing; }
+    root_type T;
+  )").ok());
+}
+
+TEST(CcleSchemaTest, RejectsMissingOrUnknownRoot) {
+  EXPECT_FALSE(ParseSchema("table T { x: ulong; }").ok());
+  EXPECT_FALSE(ParseSchema("table T { x: ulong; } root_type Nope;").ok());
+}
+
+TEST(CcleSchemaTest, RejectsCycles) {
+  EXPECT_FALSE(ParseSchema(R"(
+    table A { b: B; }
+    table B { a: A; }
+    root_type A;
+  )").ok());
+}
+
+TEST(CcleSchemaTest, RejectsMapOnScalarField) {
+  EXPECT_FALSE(ParseSchema(R"(
+    attribute "map";
+    table T { x: ulong(map); }
+    root_type T;
+  )").ok());
+}
+
+TEST(CcleSchemaTest, RejectsDuplicateTable) {
+  EXPECT_FALSE(ParseSchema(R"(
+    table T { x: ulong; }
+    table T { y: ulong; }
+    root_type T;
+  )").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Confidential codec
+// ---------------------------------------------------------------------------
+
+TEST(CcleCodecTest, SecureRoundTripPreservesValue) {
+  auto schema = ParseSchema(kDemoSchema);
+  ASSERT_TRUE(schema.ok());
+  Value demo = BuildDemoValue();
+  GcmFieldCipher cipher;
+
+  auto encoded = EncodeSecure(*schema, demo, &cipher, AsByteView("contract-1"));
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+
+  auto decoded = DecodeSecure(*schema, *encoded, &cipher, AsByteView("contract-1"));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, demo);
+}
+
+TEST(CcleCodecTest, OnlyConfidentialLeavesAreEncrypted) {
+  auto schema = ParseSchema(kDemoSchema);
+  ASSERT_TRUE(schema.ok());
+  Value demo = BuildDemoValue();
+  GcmFieldCipher cipher;
+  ASSERT_TRUE(EncodeSecure(*schema, demo, &cipher, ByteView{}).ok());
+  // Confidential leaves: organization (1) + 2 assets x (type, amount) = 5.
+  EXPECT_EQ(cipher.encrypt_count, 5);
+  EXPECT_EQ(CountConfidentialLeaves(*schema, demo), 5u);
+}
+
+TEST(CcleCodecTest, PublicFieldsReadableWithoutKey) {
+  auto schema = ParseSchema(kDemoSchema);
+  ASSERT_TRUE(schema.ok());
+  Value demo = BuildDemoValue();
+  GcmFieldCipher cipher;
+  auto encoded = EncodeSecure(*schema, demo, &cipher, ByteView{});
+  ASSERT_TRUE(encoded.ok());
+
+  // The auditor's view: no cipher.
+  auto redacted = DecodeRedacted(*schema, *encoded);
+  ASSERT_TRUE(redacted.ok()) << redacted.status().ToString();
+  EXPECT_EQ(redacted->FindField("owner")->AsString(), "consortium-operator");
+  const Value* admins = redacted->FindField("admin");
+  ASSERT_NE(admins, nullptr);
+  EXPECT_EQ(admins->items()[0].FindField("name")->AsString(), "root");
+
+  const Value* account = redacted->FindField("account_map")->FindEntry("alice");
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->FindField("user_id")->AsString(), "alice");
+  // Confidential leaves are opaque.
+  EXPECT_TRUE(account->FindField("organization")->is_redacted());
+  const Value* asset =
+      account->FindField("asset_map")->FindEntry("asset-001");
+  ASSERT_NE(asset, nullptr);
+  EXPECT_TRUE(asset->FindField("amount")->is_redacted());
+  EXPECT_TRUE(asset->FindField("type")->is_redacted());
+}
+
+TEST(CcleCodecTest, CiphertextSwapBetweenFieldsDetected) {
+  // Binding the field path as AAD prevents moving a sealed blob from one
+  // field to another (or one map key to another).
+  auto schema = ParseSchema(R"(
+    attribute "confidential";
+    table T {
+      a: ulong(confidential);
+      b: ulong(confidential);
+    }
+    root_type T;
+  )");
+  ASSERT_TRUE(schema.ok());
+  Value v = Value::Table();
+  v.SetField("a", Value::UInt(100));
+  v.SetField("b", Value::UInt(200));
+  GcmFieldCipher cipher;
+  auto encoded = EncodeSecure(*schema, v, &cipher, AsByteView("ctx"));
+  ASSERT_TRUE(encoded.ok());
+
+  // Swap the two sealed blobs at the FlatLite level.
+  auto view = serialize::FlatLiteView::Parse(*encoded);
+  ASSERT_TRUE(view.ok());
+  auto blob_a = view->GetBytes(0);
+  auto blob_b = view->GetBytes(1);
+  ASSERT_TRUE(blob_a.ok() && blob_b.ok());
+  serialize::FlatLiteBuilder forged(2);
+  forged.SetBytes(0, *blob_b);
+  forged.SetBytes(1, *blob_a);
+  Bytes forged_buf = forged.Finish();
+
+  auto decoded = DecodeSecure(*schema, forged_buf, &cipher, AsByteView("ctx"));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCryptoError());
+}
+
+TEST(CcleCodecTest, WrongContextFailsDecryption) {
+  auto schema = ParseSchema(kDemoSchema);
+  ASSERT_TRUE(schema.ok());
+  Value demo = BuildDemoValue();
+  GcmFieldCipher cipher;
+  auto encoded = EncodeSecure(*schema, demo, &cipher, AsByteView("contract-1"));
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeSecure(*schema, *encoded, &cipher, AsByteView("contract-2"));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(CcleCodecTest, AbsentFieldsStayAbsent) {
+  auto schema = ParseSchema(kDemoSchema);
+  ASSERT_TRUE(schema.ok());
+  Value demo = Value::Table();
+  demo.SetField("owner", Value::String("only-owner"));
+  GcmFieldCipher cipher;
+  auto encoded = EncodeSecure(*schema, demo, &cipher, ByteView{});
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeSecure(*schema, *encoded, &cipher, ByteView{});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->FindField("owner")->AsString(), "only-owner");
+  EXPECT_EQ(decoded->FindField("account_map"), nullptr);
+  EXPECT_EQ(cipher.encrypt_count, 0);
+}
+
+TEST(CcleCodecTest, TypeMismatchRejectedAtEncode) {
+  auto schema = ParseSchema(kDemoSchema);
+  ASSERT_TRUE(schema.ok());
+  Value demo = Value::Table();
+  demo.SetField("owner", Value::UInt(5));  // should be string
+  GcmFieldCipher cipher;
+  EXPECT_FALSE(EncodeSecure(*schema, demo, &cipher, ByteView{}).ok());
+}
+
+TEST(CcleCodecTest, MapEntriesAddressableByKey) {
+  auto schema = ParseSchema(kDemoSchema);
+  ASSERT_TRUE(schema.ok());
+  Value demo = BuildDemoValue();
+  GcmFieldCipher cipher;
+  auto encoded = EncodeSecure(*schema, demo, &cipher, ByteView{});
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeSecure(*schema, *encoded, &cipher, ByteView{});
+  ASSERT_TRUE(decoded.ok());
+  const Value* account = decoded->FindField("account_map")->FindEntry("alice");
+  ASSERT_NE(account, nullptr);
+  EXPECT_EQ(account->FindField("organization")->AsString(), "acme-bank");
+  EXPECT_EQ(
+      account->FindField("asset_map")->FindEntry("asset-001")->FindField("amount")->AsUInt(),
+      50000u);
+  EXPECT_EQ(decoded->FindField("account_map")->FindEntry("bob"), nullptr);
+}
+
+}  // namespace
+}  // namespace confide::ccle

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace confide {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kNotImplemented); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Corruption("bad bytes");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(std::move(r).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto f = []() -> Result<int> { return 7; };
+  auto g = [&]() -> Result<int> {
+    CONFIDE_ASSIGN_OR_RETURN(int v, f());
+    return v * 2;
+  };
+  ASSERT_TRUE(g().ok());
+  EXPECT_EQ(*g(), 14);
+
+  auto bad = []() -> Result<int> { return Status::Internal("boom"); };
+  auto h = [&]() -> Result<int> {
+    CONFIDE_ASSIGN_OR_RETURN(int v, bad());
+    return v;
+  };
+  EXPECT_FALSE(h().ok());
+  EXPECT_EQ(h().status().code(), StatusCode::kInternal);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abff");
+  auto decoded = HexDecode(hex);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(BytesTest, HexDecodeAccepts0xPrefixAndUppercase) {
+  auto decoded = HexDecode("0xABCD");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (Bytes{0xab, 0xcd}));
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());    // non-hex
+}
+
+TEST(BytesTest, ConcatJoinsViews) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  Bytes c = Concat(a, b, AsByteView("x"));
+  EXPECT_EQ(c, (Bytes{1, 2, 3, 'x'}));
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, ByteView(a.data(), 2)));
+}
+
+TEST(BytesTest, StringConversions) {
+  std::string s = "hello";
+  Bytes b = ToBytes(s);
+  EXPECT_EQ(ToString(b), s);
+}
+
+TEST(BytesTest, SecureZeroClears) {
+  Bytes secret = {9, 9, 9, 9};
+  SecureZero(&secret);
+  EXPECT_EQ(secret, (Bytes{0, 0, 0, 0}));
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowNs(), 0u);
+  clock.AdvanceNs(100);
+  clock.AdvanceNs(50);
+  EXPECT_EQ(clock.NowNs(), 150u);
+  clock.Reset();
+  EXPECT_EQ(clock.NowNs(), 0u);
+}
+
+TEST(SimClockTest, CyclesConvertAtPaperFrequency) {
+  SimClock clock;
+  clock.AdvanceCycles(3700);  // 3700 cycles @ 3.7 GHz = 1000 ns
+  EXPECT_EQ(clock.NowNs(), 1000u);
+}
+
+}  // namespace
+}  // namespace confide

@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include "confide/client.h"
+#include "confide/system.h"
+#include "crypto/drbg.h"
+#include "lang/compiler.h"
+#include "serialize/rlp.h"
+#include "storage/kv_store.h"
+
+namespace confide::core {
+namespace {
+
+using chain::NamedAddress;
+using chain::Transaction;
+using chain::TxType;
+
+// A small counter contract used across the end-to-end tests.
+constexpr const char* kCounterSource = R"(
+fn increment() {
+  var key = "counter";
+  var buf = alloc(16);
+  var n = get_storage(key, strlen(key), buf, 16);
+  var value = 0;
+  if (n == 8) { value = load64(buf); }
+  value = value + 1;
+  store64(buf, value);
+  set_storage(key, strlen(key), buf, 8);
+  var out = alloc(32);
+  var len = u64_to_dec(value, out);
+  write_output(out, len);
+  log("incremented", 11);
+  return value;
+}
+)";
+
+Bytes DeployPayload(chain::VmKind vm, const Bytes& code) {
+  std::vector<serialize::RlpItem> items;
+  items.push_back(serialize::RlpItem::U64(uint64_t(vm)));
+  items.push_back(serialize::RlpItem(code));
+  return serialize::RlpEncode(serialize::RlpItem::List(std::move(items)));
+}
+
+// ---------------------------------------------------------------------------
+// Protocols
+// ---------------------------------------------------------------------------
+
+TEST(TProtocolTest, EnvelopeRoundTrip) {
+  crypto::Drbg rng(1);
+  crypto::KeyPair engine_keys = crypto::GenerateKeyPair(&rng);
+  Bytes raw = rng.Generate(300);
+  TxKey k_tx = DeriveTxKey(AsByteView("user-root"), crypto::Sha256::Digest(raw));
+
+  auto envelope = SealEnvelope(engine_keys.pub, k_tx, raw, 7);
+  ASSERT_TRUE(envelope.ok());
+  auto opened = OpenEnvelope(engine_keys.priv, *envelope);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->raw_tx, raw);
+  EXPECT_EQ(opened->k_tx, k_tx);
+}
+
+TEST(TProtocolTest, WrongPrivateKeyFails) {
+  crypto::Drbg rng(2);
+  crypto::KeyPair right = crypto::GenerateKeyPair(&rng);
+  crypto::KeyPair wrong = crypto::GenerateKeyPair(&rng);
+  TxKey k_tx{};
+  auto envelope = SealEnvelope(right.pub, k_tx, AsByteView("raw"), 1);
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_FALSE(OpenEnvelope(wrong.priv, *envelope).ok());
+}
+
+TEST(TProtocolTest, TamperedEnvelopeFails) {
+  crypto::Drbg rng(3);
+  crypto::KeyPair keys = crypto::GenerateKeyPair(&rng);
+  TxKey k_tx{};
+  k_tx[0] = 9;
+  auto envelope = SealEnvelope(keys.pub, k_tx, AsByteView("raw tx bytes"), 1);
+  ASSERT_TRUE(envelope.ok());
+  (*envelope)[envelope->size() - 1] ^= 1;
+  EXPECT_FALSE(OpenEnvelope(keys.priv, *envelope).ok());
+}
+
+TEST(TProtocolTest, SymmetricOnlyPathRecoversBody) {
+  crypto::Drbg rng(4);
+  crypto::KeyPair keys = crypto::GenerateKeyPair(&rng);
+  Bytes raw = rng.Generate(120);
+  TxKey k_tx = DeriveTxKey(AsByteView("root"), crypto::Sha256::Digest(raw));
+  auto envelope = SealEnvelope(keys.pub, k_tx, raw, 1);
+  ASSERT_TRUE(envelope.ok());
+  auto body = OpenEnvelopeBody(k_tx, *envelope);  // C3: no private-key op
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(*body, raw);
+}
+
+TEST(TProtocolTest, TxKeysAreUniquePerTransaction) {
+  auto h1 = crypto::Sha256::Digest(AsByteView("tx1"));
+  auto h2 = crypto::Sha256::Digest(AsByteView("tx2"));
+  EXPECT_NE(DeriveTxKey(AsByteView("root"), h1), DeriveTxKey(AsByteView("root"), h2));
+  EXPECT_NE(DeriveTxKey(AsByteView("root-a"), h1), DeriveTxKey(AsByteView("root-b"), h1));
+}
+
+TEST(TProtocolTest, ReceiptSealOpenAndDelegation) {
+  TxKey k_tx{};
+  k_tx[31] = 1;
+  Bytes receipt = ToBytes(std::string_view("receipt-body"));
+  auto sealed = SealReceipt(k_tx, receipt);
+  ASSERT_TRUE(sealed.ok());
+  // Owner (or a delegate handed k_tx) can open.
+  auto opened = OpenReceipt(k_tx, *sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, receipt);
+  // Anyone else cannot.
+  TxKey other{};
+  other[31] = 2;
+  EXPECT_FALSE(OpenReceipt(other, *sealed).ok());
+}
+
+TEST(DProtocolTest, DeterministicAcrossReplicas) {
+  StateKey k{};
+  k[0] = 7;
+  Bytes aad = StateAad(AsByteView("contract-1"), AsByteView("balance"), 1);
+  auto c1 = SealState(k, AsByteView("100"), aad);
+  auto c2 = SealState(k, AsByteView("100"), aad);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_EQ(*c1, *c2);  // replicas must agree byte-for-byte
+}
+
+TEST(DProtocolTest, AadBindsContractAndKeyAndVersion) {
+  StateKey k{};
+  Bytes aad1 = StateAad(AsByteView("c1"), AsByteView("k"), 1);
+  auto sealed = SealState(k, AsByteView("secret"), aad1);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_TRUE(OpenState(k, *sealed, aad1).ok());
+  // Different contract, key or security version all fail.
+  EXPECT_FALSE(OpenState(k, *sealed, StateAad(AsByteView("c2"), AsByteView("k"), 1)).ok());
+  EXPECT_FALSE(OpenState(k, *sealed, StateAad(AsByteView("c1"), AsByteView("x"), 1)).ok());
+  EXPECT_FALSE(OpenState(k, *sealed, StateAad(AsByteView("c1"), AsByteView("k"), 2)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// K-Protocol
+// ---------------------------------------------------------------------------
+
+TEST(KProtocolTest, QuoteSerializationRoundTrip) {
+  SimClock clock;
+  tee::EnclavePlatform platform(tee::TeeCostModel{}, &clock, 9);
+  auto km = std::make_shared<KmEnclave>(9);
+  auto id = platform.CreateEnclave(km, 1 << 20);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(platform.Ecall(*id, kKmGenerateKeys, ByteView{}).ok());
+  auto request = platform.Ecall(*id, kKmCreateJoinRequest, ByteView{});
+  ASSERT_TRUE(request.ok());
+  auto quote = DeserializeQuote(*request);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(tee::VerifyQuote(*quote));
+  EXPECT_EQ(SerializeQuote(*quote), *request);
+}
+
+TEST(KProtocolTest, WrapUnwrapConsortiumKeys) {
+  crypto::Drbg rng(10);
+  crypto::KeyPair recipient = crypto::GenerateKeyPair(&rng);
+  ConsortiumKeys keys;
+  crypto::KeyPair tx_pair = crypto::GenerateKeyPair(&rng);
+  keys.sk_tx = tx_pair.priv;
+  keys.pk_tx = tx_pair.pub;
+  rng.Fill(keys.k_states.data(), 32);
+
+  auto blob = WrapConsortiumKeys(keys, recipient.pub, 5);
+  ASSERT_TRUE(blob.ok());
+  auto unwrapped = UnwrapConsortiumKeys(recipient.priv, *blob);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(unwrapped->sk_tx, keys.sk_tx);
+  EXPECT_EQ(unwrapped->k_states, keys.k_states);
+
+  crypto::KeyPair wrong = crypto::GenerateKeyPair(&rng);
+  EXPECT_FALSE(UnwrapConsortiumKeys(wrong.priv, *blob).ok());
+}
+
+TEST(KProtocolTest, MapProvisionsJoinerWithSameKeys) {
+  SimClock clock;
+  tee::EnclavePlatform provider_platform(tee::TeeCostModel{}, &clock, 11);
+  tee::EnclavePlatform joiner_platform(tee::TeeCostModel{}, &clock, 12);
+  auto provider_km = std::make_shared<KmEnclave>(11);
+  auto joiner_km = std::make_shared<KmEnclave>(12);
+  auto provider_id = provider_platform.CreateEnclave(provider_km, 1 << 20);
+  auto joiner_id = joiner_platform.CreateEnclave(joiner_km, 1 << 20);
+  ASSERT_TRUE(provider_id.ok() && joiner_id.ok());
+  ASSERT_TRUE(provider_platform.Ecall(*provider_id, kKmGenerateKeys, ByteView{}).ok());
+
+  ASSERT_TRUE(RunMutualAttestation(&provider_platform, *provider_id,
+                                   &joiner_platform, *joiner_id)
+                  .ok());
+
+  // Both sides now serve the same pk_tx.
+  auto info_a = provider_platform.Ecall(*provider_id, kKmGetPublicInfo, ByteView{});
+  auto info_b = joiner_platform.Ecall(*joiner_id, kKmGetPublicInfo, ByteView{});
+  ASSERT_TRUE(info_a.ok() && info_b.ok());
+  auto mr = tee::MeasureEnclave("confide-km-enclave", 1);
+  auto pk_a = Client::VerifyEnginePublicKey(*info_a, mr);
+  auto pk_b = Client::VerifyEnginePublicKey(*info_b, mr);
+  ASSERT_TRUE(pk_a.ok() && pk_b.ok());
+  EXPECT_EQ(*pk_a, *pk_b);
+}
+
+TEST(KProtocolTest, MapRejectsDifferentEnclaveCode) {
+  // A "joiner" running different code (different measurement) is refused.
+  class RogueEnclave : public KmEnclave {
+   public:
+    using KmEnclave::KmEnclave;
+    std::string CodeIdentity() const override { return "rogue-km-enclave"; }
+  };
+  SimClock clock;
+  tee::EnclavePlatform provider_platform(tee::TeeCostModel{}, &clock, 13);
+  tee::EnclavePlatform joiner_platform(tee::TeeCostModel{}, &clock, 14);
+  auto provider_km = std::make_shared<KmEnclave>(13);
+  auto rogue = std::make_shared<RogueEnclave>(14);
+  auto provider_id = provider_platform.CreateEnclave(provider_km, 1 << 20);
+  auto rogue_id = joiner_platform.CreateEnclave(rogue, 1 << 20);
+  ASSERT_TRUE(provider_id.ok() && rogue_id.ok());
+  ASSERT_TRUE(provider_platform.Ecall(*provider_id, kKmGenerateKeys, ByteView{}).ok());
+
+  Status status = RunMutualAttestation(&provider_platform, *provider_id,
+                                       &joiner_platform, *rogue_id);
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(KProtocolTest, CentralKmsProvisionsVerifiedEnclaves) {
+  CentralKms kms(77);
+  SimClock clock;
+  tee::EnclavePlatform platform(tee::TeeCostModel{}, &clock, 15);
+  auto km = std::make_shared<KmEnclave>(15);
+  auto id = platform.CreateEnclave(km, 1 << 20);
+  ASSERT_TRUE(id.ok());
+
+  auto request = platform.Ecall(*id, kKmCreateJoinRequest, ByteView{});
+  ASSERT_TRUE(request.ok());
+  auto blob = kms.Provision(*request, tee::MeasureEnclave("confide-km-enclave", 1));
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  ASSERT_TRUE(platform.Ecall(*id, kKmAcceptProvision, *blob).ok());
+
+  auto info = platform.Ecall(*id, kKmGetPublicInfo, ByteView{});
+  ASSERT_TRUE(info.ok());
+  auto pk = Client::VerifyEnginePublicKey(*info,
+                                          tee::MeasureEnclave("confide-km-enclave", 1));
+  ASSERT_TRUE(pk.ok());
+  EXPECT_EQ(*pk, kms.pk_tx());
+
+  // Wrong expected measurement is refused.
+  EXPECT_FALSE(
+      kms.Provision(*request, tee::MeasureEnclave("other", 1)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end confidential execution
+// ---------------------------------------------------------------------------
+
+class ConfideE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemOptions options;
+    options.seed = 100;
+    auto sys = ConfideSystem::BootstrapFirst(options);
+    ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+    sys_ = std::move(*sys);
+    client_ = std::make_unique<Client>(500, sys_->pk_tx());
+
+    auto code = lang::Compile(kCounterSource, lang::VmTarget::kCvm);
+    ASSERT_TRUE(code.ok()) << code.status().ToString();
+    counter_code_ = *code;
+  }
+
+  // Deploys the counter contract confidentially and returns its address.
+  chain::Address DeployCounter() {
+    chain::Address addr = NamedAddress("counter");
+    auto submission = client_->MakeConfidentialTx(
+        addr, "__deploy__", DeployPayload(chain::VmKind::kCvm, counter_code_));
+    EXPECT_TRUE(submission.ok());
+    EXPECT_TRUE(sys_->node()->SubmitTransaction(submission->tx).ok());
+    auto receipts = sys_->RunToCompletion();
+    EXPECT_TRUE(receipts.ok());
+    EXPECT_EQ(receipts->size(), 1u);
+    EXPECT_TRUE((*receipts)[0].success);
+    return addr;
+  }
+
+  std::unique_ptr<ConfideSystem> sys_;
+  std::unique_ptr<Client> client_;
+  Bytes counter_code_;
+};
+
+TEST_F(ConfideE2eTest, BootstrapDestroysKmEnclave) {
+  EXPECT_FALSE(sys_->km_alive());  // EPC released, paper §5.3
+}
+
+TEST_F(ConfideE2eTest, ConfidentialDeployAndCall) {
+  chain::Address addr = DeployCounter();
+
+  auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(call->tx).ok());
+  auto receipts = sys_->RunToCompletion();
+  ASSERT_TRUE(receipts.ok()) << receipts.status().ToString();
+  ASSERT_EQ(receipts->size(), 1u);
+  ASSERT_TRUE((*receipts)[0].success) << (*receipts)[0].status_message;
+
+  // The on-chain receipt output is sealed; only k_tx opens it.
+  auto opened = Client::OpenSealedReceipt(call->k_tx, (*receipts)[0].output);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(ToString(opened->output), "1");
+  ASSERT_EQ(opened->logs.size(), 1u);
+  EXPECT_EQ(ToString(opened->logs[0]), "incremented");
+
+  TxKey wrong{};
+  EXPECT_FALSE(Client::OpenSealedReceipt(wrong, (*receipts)[0].output).ok());
+}
+
+TEST_F(ConfideE2eTest, StateIsEncryptedAtRest) {
+  chain::Address addr = DeployCounter();
+  auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(call->tx).ok());
+  ASSERT_TRUE(sys_->RunToCompletion().ok());
+
+  // The malicious-host view: read the raw KV store directly (§3.3 — "the
+  // data in database can be accessed through database API directly").
+  auto raw = sys_->node()->state()->Get(addr, AsByteView("counter"));
+  ASSERT_TRUE(raw.ok());
+  // The stored bytes must not contain the plaintext 8-byte LE counter.
+  Bytes plain(8, 0);
+  plain[0] = 1;
+  EXPECT_NE(*raw, plain);
+  EXPECT_GT(raw->size(), 8u + 12u);  // IV + tag overhead present
+
+  // Same for the contract code.
+  auto raw_code = sys_->node()->state()->Get(addr, AsByteView("__code__"));
+  ASSERT_TRUE(raw_code.ok());
+  EXPECT_NE(*raw_code, counter_code_);
+}
+
+TEST_F(ConfideE2eTest, CounterAccumulatesAcrossBlocks) {
+  chain::Address addr = DeployCounter();
+  ConfidentialSubmission last{};
+  for (int i = 0; i < 5; ++i) {
+    auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+    ASSERT_TRUE(call.ok());
+    ASSERT_TRUE(sys_->node()->SubmitTransaction(call->tx).ok());
+    auto receipts = sys_->RunToCompletion();
+    ASSERT_TRUE(receipts.ok());
+    ASSERT_TRUE((*receipts)[0].success) << (*receipts)[0].status_message;
+    last = *call;
+    auto opened = Client::OpenSealedReceipt(call->k_tx, (*receipts)[0].output);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(ToString(opened->output), std::to_string(i + 1));
+  }
+}
+
+TEST_F(ConfideE2eTest, PreVerificationCachePopulatesAndHits) {
+  chain::Address addr = DeployCounter();
+  auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(call->tx).ok());
+
+  CsEnclave* cs = sys_->confidential_engine()->enclave();
+  uint64_t hits_before = cs->preverify_cache_hits();
+  ASSERT_TRUE(sys_->RunToCompletion().ok());
+  // Execution found the pre-verified metadata (C2 hit).
+  EXPECT_GT(cs->preverify_cache_hits(), hits_before);
+}
+
+TEST_F(ConfideE2eTest, TamperedEnvelopeRejectedInPreVerify) {
+  chain::Address addr = DeployCounter();
+  auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+  Transaction tampered = call->tx;
+  tampered.envelope[tampered.envelope.size() / 2] ^= 0xff;
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(tampered).ok());
+  auto verified = sys_->node()->PreVerify();
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(*verified, 0u);  // discarded
+}
+
+TEST_F(ConfideE2eTest, PublicAndConfidentialCoexist) {
+  chain::Address conf_addr = DeployCounter();
+
+  // Deploy the same contract publicly under another address.
+  chain::Address pub_addr = NamedAddress("counter-public");
+  Transaction pub_deploy = client_->MakePublicTx(
+      pub_addr, "__deploy__", DeployPayload(chain::VmKind::kCvm, counter_code_));
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(pub_deploy).ok());
+
+  Transaction pub_call = client_->MakePublicTx(pub_addr, "increment", Bytes{});
+  auto conf_call = client_->MakeConfidentialTx(conf_addr, "increment", Bytes{});
+  ASSERT_TRUE(conf_call.ok());
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(pub_call).ok());
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(conf_call->tx).ok());
+
+  auto receipts = sys_->RunToCompletion();
+  ASSERT_TRUE(receipts.ok());
+  int success = 0;
+  for (const auto& receipt : *receipts) success += receipt.success ? 1 : 0;
+  EXPECT_EQ(success, int(receipts->size()));
+
+  // Public state is plaintext; confidential state is not.
+  auto pub_state = sys_->node()->state()->Get(pub_addr, AsByteView("counter"));
+  ASSERT_TRUE(pub_state.ok());
+  EXPECT_EQ(pub_state->size(), 8u);  // raw LE counter
+  auto conf_state = sys_->node()->state()->Get(conf_addr, AsByteView("counter"));
+  ASSERT_TRUE(conf_state.ok());
+  EXPECT_GT(conf_state->size(), 8u);  // sealed
+}
+
+TEST_F(ConfideE2eTest, JoinedNodeExecutesIdentically) {
+  // Bootstrap a second node via MAP (provider keeps KM alive).
+  SystemOptions first_options;
+  first_options.seed = 200;
+  first_options.destroy_km_after_provision = false;
+  auto first = ConfideSystem::BootstrapFirst(first_options);
+  ASSERT_TRUE(first.ok());
+
+  SystemOptions second_options;
+  second_options.seed = 201;
+  auto second = ConfideSystem::BootstrapJoin(second_options, first->get());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ((*first)->pk_tx(), (*second)->pk_tx());
+
+  // The same confidential transactions replay on both nodes with
+  // identical sealed state (replica determinism).
+  Client client(42, (*first)->pk_tx());
+  chain::Address addr = NamedAddress("ctr");
+  auto deploy = client.MakeConfidentialTx(
+      addr, "__deploy__", DeployPayload(chain::VmKind::kCvm, counter_code_));
+  ASSERT_TRUE(deploy.ok());
+  auto call = client.MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+
+  for (ConfideSystem* sys : {first->get(), second->get()}) {
+    ASSERT_TRUE(sys->node()->SubmitTransaction(deploy->tx).ok());
+    ASSERT_TRUE(sys->node()->SubmitTransaction(call->tx).ok());
+    auto receipts = sys->RunToCompletion();
+    ASSERT_TRUE(receipts.ok());
+    for (const auto& receipt : *receipts) {
+      EXPECT_TRUE(receipt.success) << receipt.status_message;
+    }
+  }
+  auto state_a = (*first)->node()->state()->Get(addr, AsByteView("counter"));
+  auto state_b = (*second)->node()->state()->Get(addr, AsByteView("counter"));
+  ASSERT_TRUE(state_a.ok() && state_b.ok());
+  EXPECT_EQ(*state_a, *state_b);
+  EXPECT_EQ((*first)->node()->state()->StateRoot(),
+            (*second)->node()->state()->StateRoot());
+}
+
+TEST_F(ConfideE2eTest, TeeCostsAreCharged) {
+  chain::Address addr = DeployCounter();
+  auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+  uint64_t before_ns = sys_->clock()->NowNs();
+  uint64_t ocalls_before = sys_->platform()->stats().ocalls.load();
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(call->tx).ok());
+  ASSERT_TRUE(sys_->RunToCompletion().ok());
+  EXPECT_GT(sys_->platform()->stats().ocalls.load(), ocalls_before);
+  EXPECT_GT(sys_->clock()->NowNs(), before_ns);
+}
+
+}  // namespace
+}  // namespace confide::core

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "crypto/keccak.h"
+#include "tests/test_util.h"
+#include "vm/evm/evm.h"
+#include "vm/evm/uint256.h"
+
+namespace confide::vm::evm {
+namespace {
+
+using testutil::MapHostEnv;
+
+ExecConfig DefaultConfig() { return ExecConfig{}; }
+
+U256 FromHex(std::string_view hex) {
+  auto bytes = HexDecode(hex);
+  EXPECT_TRUE(bytes.ok());
+  return U256::FromBytesBe(*bytes);
+}
+
+// ---------------------------------------------------------------------------
+// uint256
+// ---------------------------------------------------------------------------
+
+TEST(U256Test, BytesRoundTrip) {
+  U256 v = FromHex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(v.ToHex(),
+            "0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(U256(0x1234).ToHex(),
+            "0x0000000000000000000000000000000000000000000000000000000000001234");
+}
+
+TEST(U256Test, AddWithCarryChains) {
+  U256 max = Not(U256());
+  EXPECT_TRUE(Add(max, U256(1)).IsZero());  // wraparound
+  U256 a = FromHex("ffffffffffffffffffffffffffffffff");  // 2^128 - 1
+  U256 sum = Add(a, U256(1));
+  EXPECT_EQ(sum.limb[2], 1u);
+  EXPECT_EQ(sum.limb[0], 0u);
+}
+
+TEST(U256Test, SubBorrows) {
+  EXPECT_EQ(Sub(U256(5), U256(3)).AsU64(), 2u);
+  U256 neg = Sub(U256(0), U256(1));
+  EXPECT_EQ(neg, Not(U256()));  // -1 = all ones
+}
+
+TEST(U256Test, MulWraps) {
+  EXPECT_EQ(Mul(U256(7), U256(6)).AsU64(), 42u);
+  // (2^128)^2 wraps to zero.
+  U256 big = Shl(U256(1), 128);
+  EXPECT_TRUE(Mul(big, big).IsZero());
+  // (2^64) * (2^64) = 2^128.
+  U256 r = Mul(Shl(U256(1), 64), Shl(U256(1), 64));
+  EXPECT_EQ(r, Shl(U256(1), 128));
+}
+
+TEST(U256Test, DivModLongDivision) {
+  EXPECT_EQ(Div(U256(100), U256(7)).AsU64(), 14u);
+  EXPECT_EQ(Mod(U256(100), U256(7)).AsU64(), 2u);
+  EXPECT_TRUE(Div(U256(5), U256()).IsZero());  // EVM: x/0 == 0
+  EXPECT_TRUE(Mod(U256(5), U256()).IsZero());
+
+  // 2^200 / 2^100 == 2^100.
+  EXPECT_EQ(Div(Shl(U256(1), 200), Shl(U256(1), 100)), Shl(U256(1), 100));
+
+  // Large random-ish value: check a*q + r == a for division identity.
+  U256 a = FromHex("deadbeefcafebabe1234567890abcdefdeadbeefcafebabe1234567890abcdef");
+  U256 b = FromHex("ffff1234567890");
+  U256 q = Div(a, b);
+  U256 r = Mod(a, b);
+  EXPECT_EQ(Add(Mul(q, b), r), a);
+  EXPECT_TRUE(Lt(r, b));
+}
+
+TEST(U256Test, SignedOps) {
+  U256 minus_ten = Neg(U256(10));
+  EXPECT_EQ(SDiv(minus_ten, U256(3)), Neg(U256(3)));
+  EXPECT_EQ(SMod(minus_ten, U256(3)), Neg(U256(1)));
+  EXPECT_TRUE(SLt(minus_ten, U256(1)));
+  EXPECT_FALSE(SLt(U256(1), minus_ten));
+  EXPECT_FALSE(Lt(minus_ten, U256(1)));  // unsigned: huge
+}
+
+TEST(U256Test, Shifts) {
+  EXPECT_EQ(Shl(U256(1), 255).Bit(255), true);
+  EXPECT_TRUE(Shl(U256(1), 256).IsZero());
+  EXPECT_EQ(Shr(Shl(U256(0xff), 100), 100).AsU64(), 0xffu);
+  // SAR keeps the sign.
+  U256 neg = Neg(U256(16));
+  EXPECT_EQ(Sar(neg, 2), Neg(U256(4)));
+  EXPECT_EQ(Sar(neg, 256), Not(U256()));
+}
+
+TEST(U256Test, SignExtendAndByte) {
+  // 0xff as a 1-byte signed value is -1.
+  EXPECT_EQ(SignExtend(0, U256(0xff)), Not(U256()));
+  // 0x7f stays positive.
+  EXPECT_EQ(SignExtend(0, U256(0x7f)).AsU64(), 0x7fu);
+  // Byte 31 is the least significant.
+  EXPECT_EQ(ByteAt(U256(0xab), 31), 0xabu);
+  EXPECT_EQ(ByteAt(Shl(U256(0xcd), 248), 0), 0xcdu);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+Result<ExecutionResult> RunCode(EvmAssembler& assembler, MapHostEnv* env,
+                            ByteView input = {}) {
+  auto code = assembler.Finish();
+  EXPECT_TRUE(code.ok());
+  EvmVm vm;
+  return vm.Execute(*code, input, env, DefaultConfig());
+}
+
+TEST(EvmTest, ArithmeticAndReturn32ByteValue) {
+  // return (3 + 4) * 5 as a 32-byte word
+  EvmAssembler assembler;
+  assembler.Push(4).Push(3).Op(OP_ADD).Push(5).Op(OP_MUL);
+  assembler.Push(0).Op(OP_MSTORE);
+  assembler.Push(32).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(U256::FromBytesBe(result->output).AsU64(), 35u);
+}
+
+TEST(EvmTest, StackOpsDupSwapPop) {
+  EvmAssembler assembler;
+  assembler.Push(1).Push(2).Push(3);
+  assembler.Op(OP_DUP1 + 2);   // dup third: 1 2 3 1
+  assembler.Op(OP_SWAP1);      // 1 2 1 3
+  assembler.Op(OP_POP);        // 1 2 1
+  assembler.Op(OP_ADD);        // 1 3
+  assembler.Op(OP_ADD);        // 4
+  assembler.Push(0).Op(OP_MSTORE).Push(32).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(U256::FromBytesBe(result->output).AsU64(), 4u);
+}
+
+TEST(EvmTest, JumpLoopSums) {
+  // i in [0,10): sum += i, via JUMPI loop. Locals in memory 0x00 (sum), 0x20 (i).
+  EvmAssembler assembler;
+  auto loop = assembler.NewLabel();
+  auto body = assembler.NewLabel();
+  auto done = assembler.NewLabel();
+  assembler.Bind(loop);
+  // if (i < 10) goto body else done
+  assembler.Push(10).Push(0x20).Op(OP_MLOAD).Op(OP_LT);  // i < 10
+  assembler.PushLabel(body).Op(OP_JUMPI);
+  assembler.PushLabel(done).Op(OP_JUMP);
+  assembler.Bind(body);
+  // sum += i
+  assembler.Push(0x20).Op(OP_MLOAD).Push(0).Op(OP_MLOAD).Op(OP_ADD);
+  assembler.Push(0).Op(OP_MSTORE);
+  // i += 1
+  assembler.Push(1).Push(0x20).Op(OP_MLOAD).Op(OP_ADD).Push(0x20).Op(OP_MSTORE);
+  assembler.PushLabel(loop).Op(OP_JUMP);
+  assembler.Bind(done);
+  assembler.Push(32).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(U256::FromBytesBe(result->output).AsU64(), 45u);
+}
+
+TEST(EvmTest, JumpToNonJumpdestTraps) {
+  EvmAssembler assembler;
+  assembler.Push(0).Op(OP_JUMP);  // offset 0 is PUSH, not JUMPDEST
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsVmTrap());
+}
+
+TEST(EvmTest, Sha3MatchesKeccak) {
+  EvmAssembler assembler;
+  // "abc" into memory at 0 byte by byte, then SHA3(0, 3).
+  assembler.Push('a').Push(0).Op(OP_MSTORE8);
+  assembler.Push('b').Push(1).Op(OP_MSTORE8);
+  assembler.Push('c').Push(2).Op(OP_MSTORE8);
+  assembler.Push(3).Push(0).Op(OP_SHA3);
+  assembler.Push(0).Op(OP_MSTORE).Push(32).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok());
+  auto expected = crypto::Keccak256::Digest(AsByteView("abc"));
+  EXPECT_EQ(HexEncode(result->output), HexEncode(crypto::HashView(expected)));
+}
+
+TEST(EvmTest, CalldataAccess) {
+  EvmAssembler assembler;
+  assembler.Push(0).Op(OP_CALLDATALOAD);
+  assembler.Push(0).Op(OP_MSTORE);
+  assembler.Op(OP_CALLDATASIZE).Push(0x20).Op(OP_MSTORE);
+  assembler.Push(64).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  Bytes input(32, 0);
+  input[31] = 9;
+  auto result = RunCode(assembler, &env, input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(U256::FromBytesBe(ByteView(result->output.data(), 32)).AsU64(), 9u);
+  EXPECT_EQ(U256::FromBytesBe(ByteView(result->output.data() + 32, 32)).AsU64(), 32u);
+}
+
+TEST(EvmTest, SloadSstoreWordGranular) {
+  EvmAssembler assembler;
+  assembler.Push(1234).Push(7).Op(OP_SSTORE);  // storage[7] = 1234
+  assembler.Push(7).Op(OP_SLOAD);
+  assembler.Push(0).Op(OP_MSTORE).Push(32).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(U256::FromBytesBe(result->output).AsU64(), 1234u);
+  EXPECT_EQ(env.set_count, 1);
+  EXPECT_EQ(env.get_count, 1);
+}
+
+TEST(EvmTest, ByteRangeStorageAmplifiesToWordOps) {
+  // XSETSTORAGE of a 100-byte value must hit the host once per 32-byte
+  // word plus the length slot: 1 + ceil(100/32) = 5 SetStorage calls.
+  EvmAssembler assembler;
+  // key "k" at mem 0; value 100 bytes at mem 32 (zero-filled is fine).
+  assembler.Push('k').Push(0).Op(OP_MSTORE8);
+  assembler.Push(100).Push(32).Push(1).Push(0).Op(OP_XSETSTORAGE);
+  assembler.Op(OP_POP);
+  // Read back: cap 256 at mem 512.
+  assembler.Push(256).Push(512).Push(1).Push(0).Op(OP_XGETSTORAGE);
+  assembler.Push(0).Op(OP_MSTORE).Push(32).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(U256::FromBytesBe(result->output).AsU64(), 100u);  // stored length
+  EXPECT_EQ(env.set_count, 5);
+  EXPECT_EQ(env.get_count, 5);
+}
+
+TEST(EvmTest, XSha256Precompile) {
+  EvmAssembler assembler;
+  assembler.Push('a').Push(0).Op(OP_MSTORE8);
+  assembler.Push('b').Push(1).Op(OP_MSTORE8);
+  assembler.Push('c').Push(2).Op(OP_MSTORE8);
+  assembler.Push(64).Push(3).Push(0).Op(OP_XSHA256).Op(OP_POP);
+  assembler.Push(32).Push(64).Op(OP_RETURN);
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(HexEncode(result->output),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(EvmTest, XCallRoutesToHostEnv) {
+  EvmAssembler assembler;
+  assembler.Push('A').Push(0).Op(OP_MSTORE8);  // address "A"
+  assembler.Push(64).Push(128).Push(0).Push(0).Push(1).Push(0).Op(OP_XCALL);
+  assembler.Push(0).Op(OP_MSTORE).Push(32).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  env.call_hook = [](ByteView address, ByteView) -> Result<Bytes> {
+    EXPECT_EQ(ToString(address), "A");
+    return ToBytes(std::string_view("ok"));
+  };
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(U256::FromBytesBe(result->output).AsU64(), 2u);  // out length
+}
+
+TEST(EvmTest, RevertAndInvalidTrap) {
+  {
+    EvmAssembler assembler;
+    assembler.Push(0).Push(0).Op(OP_REVERT);
+    MapHostEnv env;
+    EXPECT_TRUE(RunCode(assembler, &env).status().IsVmTrap());
+  }
+  {
+    EvmAssembler assembler;
+    assembler.Op(OP_INVALID);
+    MapHostEnv env;
+    EXPECT_TRUE(RunCode(assembler, &env).status().IsVmTrap());
+  }
+}
+
+TEST(EvmTest, OutOfGasOnInfiniteLoop) {
+  EvmAssembler assembler;
+  auto loop = assembler.NewLabel();
+  assembler.Bind(loop);
+  assembler.PushLabel(loop).Op(OP_JUMP);
+  auto code = assembler.Finish();
+  ASSERT_TRUE(code.ok());
+  MapHostEnv env;
+  EvmVm vm;
+  ExecConfig config;
+  config.gas_limit = 100000;
+  auto result = vm.Execute(*code, {}, &env, config);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvmTest, StackUnderflowTraps) {
+  EvmAssembler assembler;
+  assembler.Op(OP_ADD);
+  MapHostEnv env;
+  EXPECT_TRUE(RunCode(assembler, &env).status().IsVmTrap());
+}
+
+TEST(EvmTest, MemoryExpansionChargesQuadratically) {
+  MapHostEnv env;
+  EvmVm vm;
+  uint64_t small_gas, large_gas;
+  {
+    EvmAssembler assembler;
+    assembler.Push(0).Push(1024).Op(OP_MSTORE).Op(OP_STOP);
+    auto code = assembler.Finish();
+    auto r = vm.Execute(*code, {}, &env, DefaultConfig());
+    ASSERT_TRUE(r.ok());
+    small_gas = r->gas_used;
+  }
+  {
+    EvmAssembler assembler;
+    assembler.Push(0).Push(1 << 20).Op(OP_MSTORE).Op(OP_STOP);
+    auto code = assembler.Finish();
+    auto r = vm.Execute(*code, {}, &env, DefaultConfig());
+    ASSERT_TRUE(r.ok());
+    large_gas = r->gas_used;
+  }
+  // 1 MiB touch must cost far more than 1 KiB (quadratic term).
+  EXPECT_GT(large_gas, small_gas * 100);
+}
+
+TEST(EvmTest, SignExtendOpcode) {
+  EvmAssembler assembler;
+  assembler.Push(0xff).Push(0).Op(OP_SIGNEXTEND);  // -> -1
+  assembler.Push(1).Op(OP_ADD);                    // -> 0
+  assembler.Op(OP_ISZERO);
+  assembler.Push(0).Op(OP_MSTORE).Push(32).Push(0).Op(OP_RETURN);
+  MapHostEnv env;
+  auto result = RunCode(assembler, &env);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(U256::FromBytesBe(result->output).AsU64(), 1u);
+}
+
+}  // namespace
+}  // namespace confide::vm::evm

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/drbg.h"
+#include "serialize/flatlite.h"
+#include "serialize/json.h"
+#include "serialize/leb128.h"
+#include "serialize/rlp.h"
+
+namespace confide::serialize {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LEB128
+// ---------------------------------------------------------------------------
+
+TEST(Leb128Test, UnsignedKnownEncodings) {
+  Bytes out;
+  WriteUleb128(&out, 0);
+  EXPECT_EQ(out, (Bytes{0x00}));
+  out.clear();
+  WriteUleb128(&out, 624485);  // canonical Wikipedia example
+  EXPECT_EQ(out, (Bytes{0xe5, 0x8e, 0x26}));
+}
+
+TEST(Leb128Test, SignedKnownEncodings) {
+  Bytes out;
+  WriteSleb128(&out, -123456);  // canonical example
+  EXPECT_EQ(out, (Bytes{0xc0, 0xbb, 0x78}));
+}
+
+TEST(Leb128Test, UnsignedRoundTrip) {
+  const uint64_t cases[] = {0, 1, 127, 128, 300, 16384, uint64_t(1) << 32,
+                            UINT64_MAX};
+  for (uint64_t v : cases) {
+    Bytes out;
+    WriteUleb128(&out, v);
+    size_t pos = 0;
+    auto back = ReadUleb128(out, &pos);
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, out.size());
+  }
+}
+
+TEST(Leb128Test, SignedRoundTrip) {
+  for (int64_t v : {int64_t(0), int64_t(1), int64_t(-1), int64_t(63),
+                    int64_t(64), int64_t(-64), int64_t(-65), INT64_MAX,
+                    INT64_MIN}) {
+    Bytes out;
+    WriteSleb128(&out, v);
+    size_t pos = 0;
+    auto back = ReadSleb128(out, &pos);
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(Leb128Test, TruncatedInputFails) {
+  Bytes bad = {0x80};  // continuation bit with no follow-up
+  size_t pos = 0;
+  EXPECT_FALSE(ReadUleb128(bad, &pos).ok());
+}
+
+// ---------------------------------------------------------------------------
+// RLP (Ethereum wiki reference vectors)
+// ---------------------------------------------------------------------------
+
+TEST(RlpTest, EncodeDog) {
+  EXPECT_EQ(HexEncode(RlpEncode(RlpItem::String("dog"))), "83646f67");
+}
+
+TEST(RlpTest, EncodeCatDogList) {
+  auto item = RlpItem::List({RlpItem::String("cat"), RlpItem::String("dog")});
+  EXPECT_EQ(HexEncode(RlpEncode(item)), "c88363617483646f67");
+}
+
+TEST(RlpTest, EncodeEmptyStringAndList) {
+  EXPECT_EQ(HexEncode(RlpEncode(RlpItem::String(""))), "80");
+  EXPECT_EQ(HexEncode(RlpEncode(RlpItem::List({}))), "c0");
+}
+
+TEST(RlpTest, EncodeIntegers) {
+  EXPECT_EQ(HexEncode(RlpEncode(RlpItem::U64(0))), "80");
+  EXPECT_EQ(HexEncode(RlpEncode(RlpItem::U64(15))), "0f");
+  EXPECT_EQ(HexEncode(RlpEncode(RlpItem::U64(1024))), "820400");
+}
+
+TEST(RlpTest, EncodeLongString) {
+  std::string lorem =
+      "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+  Bytes enc = RlpEncode(RlpItem::String(lorem));
+  EXPECT_EQ(enc[0], 0xb8);
+  EXPECT_EQ(enc[1], lorem.size());
+}
+
+TEST(RlpTest, RoundTripNested) {
+  auto item = RlpItem::List({
+      RlpItem::U64(42),
+      RlpItem::String("hello"),
+      RlpItem::List({RlpItem::String("nested"), RlpItem::U64(7)}),
+  });
+  auto back = RlpDecode(RlpEncode(item));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, item);
+  ASSERT_TRUE(back->is_list());
+  EXPECT_EQ(*back->list()[0].AsU64(), 42u);
+  EXPECT_EQ(ToString(back->list()[1].bytes()), "hello");
+}
+
+TEST(RlpTest, DecodeRejectsTrailingBytes) {
+  Bytes enc = RlpEncode(RlpItem::String("dog"));
+  enc.push_back(0x00);
+  EXPECT_FALSE(RlpDecode(enc).ok());
+}
+
+TEST(RlpTest, DecodeRejectsTruncation) {
+  Bytes enc = RlpEncode(RlpItem::String("longer string here"));
+  enc.pop_back();
+  EXPECT_FALSE(RlpDecode(enc).ok());
+}
+
+TEST(RlpTest, DecodeRejectsNonCanonicalSingleByte) {
+  Bytes bad = {0x81, 0x05};  // 0x05 must encode as itself
+  EXPECT_FALSE(RlpDecode(bad).ok());
+}
+
+TEST(RlpTest, FuzzRoundTripRandomStructures) {
+  crypto::Drbg rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<RlpItem> items;
+    int n = int(rng.NextBounded(5));
+    for (int i = 0; i < n; ++i) {
+      if (rng.NextBounded(2) == 0) {
+        items.push_back(RlpItem(rng.Generate(rng.NextBounded(100))));
+      } else {
+        items.push_back(RlpItem::List({RlpItem(rng.Generate(rng.NextBounded(60)))}));
+      }
+    }
+    RlpItem root = RlpItem::List(std::move(items));
+    auto back = RlpDecode(RlpEncode(root));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, root);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonParse("null")->is_null());
+  EXPECT_EQ(JsonParse("true")->as_bool(), true);
+  EXPECT_EQ(JsonParse("false")->as_bool(), false);
+  EXPECT_EQ(JsonParse("42")->as_int(), 42);
+  EXPECT_EQ(JsonParse("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonParse("3.25")->as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonParse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(JsonParse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto v = JsonParse(R"({"loan":{"amount":100000,"rate":4.5},)"
+                     R"("banks":["icbc","abc"],"approved":true})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("loan")->Find("amount")->as_int(), 100000);
+  EXPECT_DOUBLE_EQ(v->Find("loan")->Find("rate")->as_double(), 4.5);
+  EXPECT_EQ(v->Find("banks")->as_array()[1].as_string(), "abc");
+  EXPECT_TRUE(v->Find("approved")->as_bool());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, EscapesRoundTrip) {
+  JsonValue v(std::string("line1\nline2\t\"quoted\"\\"));
+  auto back = JsonParse(JsonWrite(v));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_string(), v.as_string());
+}
+
+TEST(JsonTest, UnicodeEscapeDecodes) {
+  auto v = JsonParse("\"\\u0041\\u00e9\\u4e2d\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonTest, WriteReadRoundTripPreservesOrder) {
+  JsonValue obj{JsonValue::Object{}};
+  obj.Set("z", 1);
+  obj.Set("a", 2);
+  obj.Set("m", JsonValue(JsonValue::Array{JsonValue(1), JsonValue("x")}));
+  std::string text = JsonWrite(obj);
+  EXPECT_EQ(text, R"({"z":1,"a":2,"m":[1,"x"]})");
+  auto back = JsonParse(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, obj);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonParse("").ok());
+  EXPECT_FALSE(JsonParse("{").ok());
+  EXPECT_FALSE(JsonParse("[1,]").ok());
+  EXPECT_FALSE(JsonParse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonParse("\"unterminated").ok());
+  EXPECT_FALSE(JsonParse("1 2").ok());
+  EXPECT_FALSE(JsonParse("tru").ok());
+}
+
+TEST(JsonTest, RejectsTooDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonParse(deep).ok());
+}
+
+TEST(JsonTest, SetOverwritesExistingKey) {
+  JsonValue obj{JsonValue::Object{}};
+  obj.Set("k", 1);
+  obj.Set("k", 2);
+  EXPECT_EQ(obj.as_object().size(), 1u);
+  EXPECT_EQ(obj.Find("k")->as_int(), 2);
+}
+
+TEST(JsonTest, LargeIntegerFallsBackToDouble) {
+  auto v = JsonParse("99999999999999999999999999");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_double());
+}
+
+// ---------------------------------------------------------------------------
+// FlatLite
+// ---------------------------------------------------------------------------
+
+TEST(FlatLiteTest, ScalarAndStringRoundTrip) {
+  FlatLiteBuilder builder(3);
+  builder.SetU64(0, 123456789);
+  builder.SetString(1, "asset-001");
+  Bytes buf = builder.Finish();
+
+  auto view = FlatLiteView::Parse(buf);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->field_count(), 3u);
+  EXPECT_EQ(*view->GetU64(0), 123456789u);
+  EXPECT_EQ(*view->GetString(1), "asset-001");
+  EXPECT_FALSE(view->Has(2));
+  EXPECT_TRUE(view->GetU64(2).status().IsNotFound());
+}
+
+TEST(FlatLiteTest, NestedTable) {
+  FlatLiteBuilder inner(2);
+  inner.SetU64(0, 7);
+  inner.SetString(1, "inner");
+  Bytes inner_buf = inner.Finish();
+
+  FlatLiteBuilder outer(1);
+  outer.SetTable(0, inner_buf);
+  Bytes buf = outer.Finish();
+
+  auto view = FlatLiteView::Parse(buf);
+  ASSERT_TRUE(view.ok());
+  auto nested = view->GetTable(0);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(*nested->GetU64(0), 7u);
+  EXPECT_EQ(*nested->GetString(1), "inner");
+}
+
+TEST(FlatLiteTest, VectorOfTables) {
+  std::vector<Bytes> assets;
+  for (int i = 0; i < 5; ++i) {
+    FlatLiteBuilder b(2);
+    b.SetU64(0, uint64_t(i) * 100);
+    b.SetString(1, "asset-" + std::to_string(i));
+    assets.push_back(b.Finish());
+  }
+  FlatLiteBuilder outer(1);
+  outer.SetVector(0, assets);
+  Bytes buf = outer.Finish();
+
+  auto view = FlatLiteView::Parse(buf);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(*view->GetVectorSize(0), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    auto elem = view->GetVectorElement(0, i);
+    ASSERT_TRUE(elem.ok());
+    auto elem_view = FlatLiteView::Parse(*elem);
+    ASSERT_TRUE(elem_view.ok());
+    EXPECT_EQ(*elem_view->GetU64(0), uint64_t(i) * 100);
+  }
+  EXPECT_FALSE(view->GetVectorElement(0, 5).ok());
+}
+
+TEST(FlatLiteTest, ZeroCopyViewsAliasBuffer) {
+  FlatLiteBuilder builder(1);
+  builder.SetString(0, "zero-copy");
+  Bytes buf = builder.Finish();
+  auto view = FlatLiteView::Parse(buf);
+  ASSERT_TRUE(view.ok());
+  auto bytes = view->GetBytes(0);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_GE(bytes->data(), buf.data());
+  EXPECT_LT(bytes->data(), buf.data() + buf.size());
+}
+
+TEST(FlatLiteTest, RejectsCorruptBuffers) {
+  EXPECT_FALSE(FlatLiteView::Parse(Bytes{1, 2, 3}).ok());
+
+  FlatLiteBuilder builder(1);
+  builder.SetString(0, "data");
+  Bytes buf = builder.Finish();
+  Bytes bad_magic = buf;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(FlatLiteView::Parse(bad_magic).ok());
+
+  Bytes truncated(buf.begin(), buf.begin() + 8);
+  auto v = FlatLiteView::Parse(truncated);
+  // Header itself parses only if the offset table fits.
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(FlatLiteTest, OutOfRangeFieldRejected) {
+  FlatLiteBuilder builder(2);
+  builder.SetU64(0, 1);
+  Bytes buf = builder.Finish();
+  auto view = FlatLiteView::Parse(buf);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(view->GetU64(9).ok());
+  EXPECT_FALSE(view->Has(9));
+}
+
+}  // namespace
+}  // namespace confide::serialize

@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/crc32.h"
+#include "common/sim_clock.h"
+#include "crypto/drbg.h"
+#include "storage/block_store.h"
+#include "storage/lsm_store.h"
+#include "storage/memtable.h"
+#include "storage/wal.h"
+
+namespace confide::storage {
+namespace {
+
+LsmOptions VolatileOptions() {
+  LsmOptions options;
+  options.memtable_flush_bytes = 1 << 20;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926, the classic check value.
+  EXPECT_EQ(Crc32(AsByteView("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32(ByteView{}), 0u); }
+
+// ---------------------------------------------------------------------------
+// MemTable
+// ---------------------------------------------------------------------------
+
+TEST(MemTableTest, PutGetOverwrite) {
+  MemTable mem;
+  mem.Put("a", ToBytes(std::string_view("1")));
+  mem.Put("b", ToBytes(std::string_view("2")));
+  mem.Put("a", ToBytes(std::string_view("3")));
+  auto a = mem.Get("a");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(a->has_value());
+  EXPECT_EQ(ToString(**a), "3");
+  EXPECT_EQ(mem.entry_count(), 2u);
+  EXPECT_FALSE(mem.Get("zzz").has_value());
+}
+
+TEST(MemTableTest, TombstoneIsDistinctFromAbsent) {
+  MemTable mem;
+  mem.Put("gone", std::nullopt);
+  auto hit = mem.Get("gone");
+  ASSERT_TRUE(hit.has_value());     // key is present...
+  EXPECT_FALSE(hit->has_value());   // ...as a tombstone
+}
+
+TEST(MemTableTest, ForEachVisitsInKeyOrder) {
+  MemTable mem;
+  crypto::Drbg rng(3);
+  for (int i = 0; i < 500; ++i) {
+    mem.Put("key-" + std::to_string(rng.NextBounded(1000)),
+            ToBytes(std::string_view("v")));
+  }
+  std::string prev;
+  bool first = true;
+  mem.ForEach([&](const std::string& key, const std::optional<Bytes>&) {
+    if (!first) EXPECT_LT(prev, key);
+    prev = key;
+    first = false;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "confide_wal_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "test.wal").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    WriteBatch b1;
+    b1.Put("k1", ToBytes(std::string_view("v1")));
+    b1.Delete("k2");
+    ASSERT_TRUE((*wal)->Append(b1).ok());
+    WriteBatch b2;
+    b2.Put("k3", ToBytes(std::string_view("v3")));
+    ASSERT_TRUE((*wal)->Append(b2).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  std::vector<WriteBatch> replayed;
+  ASSERT_TRUE(Wal::Replay(path_, [&](const WriteBatch& b) {
+                replayed.push_back(b);
+              }).ok());
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].ops().size(), 2u);
+  EXPECT_EQ(replayed[0].ops()[0].key, "k1");
+  EXPECT_EQ(replayed[0].ops()[1].type, WriteBatch::OpType::kDelete);
+  EXPECT_EQ(replayed[1].ops()[0].key, "k3");
+}
+
+TEST_F(WalTest, MissingFileIsEmptyLog) {
+  int count = 0;
+  ASSERT_TRUE(Wal::Replay(path_, [&](const WriteBatch&) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(WalTest, TornTailStopsSilently) {
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    WriteBatch b;
+    b.Put("k", ToBytes(std::string_view("v")));
+    ASSERT_TRUE((*wal)->Append(b).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Simulate a crash mid-append: write a valid header with missing body.
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  uint8_t torn[8] = {1, 2, 3, 4, 200, 0, 0, 0};
+  std::fwrite(torn, 1, 8, f);
+  std::fclose(f);
+
+  int count = 0;
+  ASSERT_TRUE(Wal::Replay(path_, [&](const WriteBatch&) { ++count; }).ok());
+  EXPECT_EQ(count, 1);  // the intact record only
+}
+
+TEST_F(WalTest, CorruptRecordReportsCorruption) {
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    WriteBatch b;
+    b.Put("key-one", ToBytes(std::string_view("value-one")));
+    ASSERT_TRUE((*wal)->Append(b).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Flip a payload byte in place.
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  std::fseek(f, 12, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, 12, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+
+  Status status = Wal::Replay(path_, [](const WriteBatch&) {});
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalTest, BatchCodecRoundTrip) {
+  WriteBatch batch;
+  batch.Put("alpha", ToBytes(std::string_view("1")));
+  batch.Delete("beta");
+  batch.Put("", Bytes{});  // empty key and value are legal
+  auto decoded = DecodeBatch(EncodeBatch(batch));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->ops().size(), 3u);
+  EXPECT_EQ(decoded->ops()[0].key, "alpha");
+  EXPECT_EQ(decoded->ops()[1].type, WriteBatch::OpType::kDelete);
+  EXPECT_TRUE(decoded->ops()[2].key.empty());
+}
+
+// ---------------------------------------------------------------------------
+// LSM store
+// ---------------------------------------------------------------------------
+
+TEST(LsmStoreTest, BasicPutGetDelete) {
+  auto store = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", ToBytes(std::string_view("v"))).ok());
+  auto got = (*store)->Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), "v");
+  ASSERT_TRUE((*store)->Delete("k").ok());
+  EXPECT_TRUE((*store)->Get("k").status().IsNotFound());
+}
+
+TEST(LsmStoreTest, WriteBatchAtomicView) {
+  auto store = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(store.ok());
+  WriteBatch batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.Put("key-" + std::to_string(i), ToBytes(std::to_string(i * 10)));
+  }
+  ASSERT_TRUE((*store)->Write(batch).ok());
+  for (int i = 0; i < 100; ++i) {
+    auto got = (*store)->Get("key-" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToString(*got), std::to_string(i * 10));
+  }
+}
+
+TEST(LsmStoreTest, FlushMovesDataToRunsAndLookupsStillWork) {
+  auto store = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i), ToBytes(std::to_string(i))).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->RunCount(), 1u);
+  for (int i = 0; i < 50; ++i) {
+    auto got = (*store)->Get("k" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToString(*got), std::to_string(i));
+  }
+}
+
+TEST(LsmStoreTest, NewerWriteShadowsFlushedRun) {
+  auto store = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", ToBytes(std::string_view("old"))).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("k", ToBytes(std::string_view("new"))).ok());
+  EXPECT_EQ(ToString(*(*store)->Get("k")), "new");
+
+  // Tombstone over a flushed value.
+  ASSERT_TRUE((*store)->Delete("k").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_TRUE((*store)->Get("k").status().IsNotFound());
+}
+
+TEST(LsmStoreTest, CompactionMergesRunsAndDropsTombstones) {
+  LsmOptions options = VolatileOptions();
+  options.max_runs = 2;
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      std::string key = "k" + std::to_string(i);
+      if (round == 3 && i < 5) {
+        ASSERT_TRUE((*store)->Delete(key).ok());
+      } else {
+        ASSERT_TRUE((*store)->Put(key, ToBytes(std::to_string(round))).ok());
+      }
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  EXPECT_LE((*store)->RunCount(), 2u);
+  for (int i = 0; i < 10; ++i) {
+    auto got = (*store)->Get("k" + std::to_string(i));
+    if (i < 5) {
+      EXPECT_TRUE(got.status().IsNotFound()) << i;
+    } else {
+      ASSERT_TRUE(got.ok()) << i;
+      EXPECT_EQ(ToString(*got), "3");
+    }
+  }
+}
+
+TEST(LsmStoreTest, IteratorSeesMergedSnapshot) {
+  auto store = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", ToBytes(std::string_view("1"))).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Put("b", ToBytes(std::string_view("2"))).ok());
+  ASSERT_TRUE((*store)->Put("a", ToBytes(std::string_view("1b"))).ok());
+  ASSERT_TRUE((*store)->Delete("c").ok());
+
+  auto it = (*store)->NewIterator();
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "a");
+  EXPECT_EQ(ToString(it->value()), "1b");
+  it->Next();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "b");
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+
+  // Snapshot isolation: later writes invisible to the open iterator.
+  ASSERT_TRUE((*store)->Put("z", ToBytes(std::string_view("3"))).ok());
+  it->SeekToFirst();
+  int count = 0;
+  for (; it->Valid(); it->Next()) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+TEST(LsmStoreTest, IteratorSeek) {
+  auto store = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(store.ok());
+  for (char c = 'a'; c <= 'f'; ++c) {
+    ASSERT_TRUE((*store)->Put(std::string(1, c), ToBytes(std::string(1, c))).ok());
+  }
+  auto it = (*store)->NewIterator();
+  it->Seek("c");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "c");
+  it->Seek("cc");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "d");
+  it->Seek("zzz");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(LsmStoreTest, WalRecoveryRestoresState) {
+  auto dir = std::filesystem::temp_directory_path() / "confide_lsm_recovery";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  LsmOptions options = VolatileOptions();
+  options.wal_dir = dir.string();
+  {
+    auto store = LsmKvStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("persist", ToBytes(std::string_view("me"))).ok());
+    ASSERT_TRUE((*store)->Delete("ghost").ok());
+    // Store dropped without any clean shutdown: WAL is the only copy.
+  }
+  {
+    auto store = LsmKvStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    auto got = (*store)->Get("persist");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToString(*got), "me");
+    EXPECT_TRUE((*store)->Get("ghost").status().IsNotFound());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LsmStoreTest, RandomizedAgainstReferenceMap) {
+  auto store = LsmKvStore::Open([&] {
+    LsmOptions options;
+    options.memtable_flush_bytes = 2048;  // force frequent flushes
+    options.max_runs = 3;
+    return options;
+  }());
+  ASSERT_TRUE(store.ok());
+  std::map<std::string, Bytes> reference;
+  crypto::Drbg rng(77);
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = "k" + std::to_string(rng.NextBounded(200));
+    if (rng.NextBounded(4) == 0) {
+      ASSERT_TRUE((*store)->Delete(key).ok());
+      reference.erase(key);
+    } else {
+      Bytes value = rng.Generate(1 + rng.NextBounded(40));
+      ASSERT_TRUE((*store)->Put(key, value).ok());
+      reference[key] = value;
+    }
+  }
+  for (const auto& [key, value] : reference) {
+    auto got = (*store)->Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value);
+  }
+  // And absent keys really are absent.
+  for (int i = 200; i < 220; ++i) {
+    EXPECT_TRUE((*store)->Get("k" + std::to_string(i)).status().IsNotFound());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block store
+// ---------------------------------------------------------------------------
+
+TEST(BlockStoreTest, AppendAndFetchByHeightAndHash) {
+  auto kv = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(kv.ok());
+  BlockStore blocks(std::shared_ptr<KvStore>(std::move(*kv)));
+
+  Bytes block0 = ToBytes(std::string_view("genesis"));
+  auto h0 = crypto::Sha256::Digest(block0);
+  ASSERT_TRUE(blocks.Append(0, h0, block0).ok());
+  Bytes block1 = ToBytes(std::string_view("block-1"));
+  auto h1 = crypto::Sha256::Digest(block1);
+  ASSERT_TRUE(blocks.Append(1, h1, block1).ok());
+
+  EXPECT_EQ(blocks.NextHeight(), 2u);
+  EXPECT_EQ(ToString(*blocks.GetByHeight(0)), "genesis");
+  EXPECT_EQ(ToString(*blocks.GetByHash(h1)), "block-1");
+  EXPECT_TRUE(blocks.GetByHeight(5).status().IsNotFound());
+}
+
+TEST(BlockStoreTest, RejectsNonContiguousHeights) {
+  auto kv = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(kv.ok());
+  BlockStore blocks(std::shared_ptr<KvStore>(std::move(*kv)));
+  Bytes block = ToBytes(std::string_view("b"));
+  EXPECT_FALSE(blocks.Append(3, crypto::Sha256::Digest(block), block).ok());
+}
+
+TEST(BlockStoreTest, SsdModelChargesLatency) {
+  auto kv = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(kv.ok());
+  SimClock clock;
+  BlockStore blocks(std::shared_ptr<KvStore>(std::move(*kv)), &clock);
+  Bytes block(4096, 0xbb);
+  ASSERT_TRUE(blocks.Append(0, crypto::Sha256::Digest(block), block).ok());
+  // Default model: 6 ms + 4 µs/KiB * 4 KiB = 6.016 ms.
+  EXPECT_EQ(clock.NowNs(), 6'000'000u + 4 * 4'000u);
+}
+
+}  // namespace
+}  // namespace confide::storage

@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/sim_clock.h"
+#include "tee/attestation.h"
+#include "tee/enclave.h"
+#include "tee/epc.h"
+#include "tee/ring_buffer.h"
+
+namespace confide::tee {
+namespace {
+
+// A trivial enclave used across these tests: fn 1 echoes input, fn 2
+// issues an ocall, fn 3 emits monitor records, fn 4 creates attestations.
+class EchoEnclave : public Enclave {
+ public:
+  std::string CodeIdentity() const override { return "echo-enclave-v1"; }
+
+  Result<Bytes> HandleEcall(uint64_t fn, ByteView input,
+                            EnclaveContext* ctx) override {
+    switch (fn) {
+      case 1:
+        return ToBytes(input);
+      case 2:
+        return ctx->Ocall(7, input);
+      case 3:
+        ctx->MonitorEmit(1, "status ok");
+        return Bytes{};
+      case 4: {
+        Quote quote = ctx->CreateQuote(input);
+        return ToBytes(quote.user_data);  // smoke: round-trips user data
+      }
+      default:
+        return Status::InvalidArgument("unknown fn");
+    }
+  }
+};
+
+TeeCostModel SmallEpcModel() {
+  TeeCostModel model;
+  model.epc_usable_bytes = 16 * 4096;  // 16 pages to force paging
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// EPC manager
+// ---------------------------------------------------------------------------
+
+TEST(EpcTest, AllocateWithinBudgetNoEviction) {
+  SimClock clock;
+  TeeStats stats;
+  EpcManager epc(SmallEpcModel(), &clock, &stats);
+  auto region = epc.Allocate(8 * 4096);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(epc.ResidentBytes(), 8u * 4096);
+  EXPECT_EQ(stats.pages_evicted.load(), 0u);
+}
+
+TEST(EpcTest, OverflowEvictsLru) {
+  SimClock clock;
+  TeeStats stats;
+  EpcManager epc(SmallEpcModel(), &clock, &stats);
+  auto r1 = epc.Allocate(10 * 4096);
+  auto r2 = epc.Allocate(10 * 4096);  // must evict r1
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(stats.pages_evicted.load(), 10u);
+  EXPECT_GT(clock.NowNs(), 0u);
+
+  // Touching r1 pages it back in (and evicts r2).
+  uint64_t evicted_before = stats.pages_evicted.load();
+  ASSERT_TRUE(epc.Touch(*r1).ok());
+  EXPECT_EQ(stats.pages_loaded.load(), 10u);
+  EXPECT_GT(stats.pages_evicted.load(), evicted_before);
+}
+
+TEST(EpcTest, RequestBeyondTotalEpcFails) {
+  SimClock clock;
+  TeeStats stats;
+  EpcManager epc(SmallEpcModel(), &clock, &stats);
+  EXPECT_FALSE(epc.Allocate(17 * 4096).ok());
+}
+
+TEST(EpcTest, FreeReleasesPages) {
+  SimClock clock;
+  TeeStats stats;
+  EpcManager epc(SmallEpcModel(), &clock, &stats);
+  auto r1 = epc.Allocate(16 * 4096);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(epc.Free(*r1).ok());
+  EXPECT_EQ(epc.ResidentBytes(), 0u);
+  // Space is reusable without eviction.
+  TeeStats fresh;
+  auto r2 = epc.Allocate(16 * 4096);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(stats.pages_evicted.load(), 0u);
+}
+
+TEST(EpcTest, TouchKeepsHotRegionResident) {
+  SimClock clock;
+  TeeStats stats;
+  EpcManager epc(SmallEpcModel(), &clock, &stats);
+  auto hot = epc.Allocate(4 * 4096);
+  auto cold = epc.Allocate(4 * 4096);
+  ASSERT_TRUE(hot.ok() && cold.ok());
+  ASSERT_TRUE(epc.Touch(*hot).ok());         // hot becomes MRU
+  auto big = epc.Allocate(10 * 4096);        // forces eviction of LRU (cold)
+  ASSERT_TRUE(big.ok());
+  uint64_t loads_before = stats.pages_loaded.load();
+  ASSERT_TRUE(epc.Touch(*hot).ok());         // still resident: no load
+  EXPECT_EQ(stats.pages_loaded.load(), loads_before);
+}
+
+TEST(EpcTest, UnknownRegionRejected) {
+  SimClock clock;
+  TeeStats stats;
+  EpcManager epc(SmallEpcModel(), &clock, &stats);
+  EXPECT_TRUE(epc.Free(42).IsNotFound());
+  EXPECT_TRUE(epc.Touch(42).IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Enclave platform: boundary costs
+// ---------------------------------------------------------------------------
+
+TEST(EnclaveTest, EcallRoundTripEchoes) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, /*seed=*/1);
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+  auto out = platform.Ecall(*id, 1, AsByteView("hello enclave"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(ToString(*out), "hello enclave");
+  EXPECT_EQ(platform.stats().ecalls.load(), 1u);
+  EXPECT_EQ(platform.stats().transitions.load(), 2u);  // EENTER + EEXIT
+}
+
+TEST(EnclaveTest, EcallChargesTransitionCycles) {
+  SimClock clock;
+  TeeCostModel model;
+  EnclavePlatform platform(model, &clock, 1);
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+  uint64_t before = clock.NowNs();
+  ASSERT_TRUE(platform.Ecall(*id, 1, AsByteView("x")).ok());
+  uint64_t elapsed = clock.NowNs() - before;
+  // At least two warm transitions at 8314 cycles / 3.7 GHz ≈ 2247 ns each.
+  EXPECT_GE(elapsed, 2 * 2200u);
+}
+
+TEST(EnclaveTest, UserCheckSkipsCopyCost) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 1);
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+
+  Bytes big(1 << 20, 0xaa);
+  ASSERT_TRUE(platform.Ecall(*id, 1, big, PointerSemantics::kCopyInOut).ok());
+  uint64_t copied = platform.stats().bytes_copied_in.load();
+  EXPECT_GE(copied, big.size());
+
+  ASSERT_TRUE(platform.Ecall(*id, 1, big, PointerSemantics::kUserCheck).ok());
+  EXPECT_EQ(platform.stats().bytes_copied_in.load(), copied);  // unchanged
+  EXPECT_GT(platform.stats().user_check_bypasses.load(), 0u);
+}
+
+TEST(EnclaveTest, OcallDispatchesToHostHandler) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 1);
+  platform.RegisterOcall(7, [](ByteView payload) -> Result<Bytes> {
+    Bytes out = ToBytes(payload);
+    out.push_back('!');
+    return out;
+  });
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+  auto out = platform.Ecall(*id, 2, AsByteView("ping"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(ToString(*out), "ping!");
+  EXPECT_EQ(platform.stats().ocalls.load(), 1u);
+  EXPECT_EQ(platform.stats().transitions.load(), 4u);  // ecall pair + ocall pair
+}
+
+TEST(EnclaveTest, UnregisteredOcallFails) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 1);
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(platform.Ecall(*id, 2, AsByteView("ping")).ok());
+}
+
+TEST(EnclaveTest, DestroyReleasesEpc) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 1);
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+  uint64_t resident = platform.epc()->ResidentBytes();
+  EXPECT_GT(resident, 0u);
+  ASSERT_TRUE(platform.DestroyEnclave(*id).ok());
+  EXPECT_EQ(platform.epc()->ResidentBytes(), 0u);
+  EXPECT_FALSE(platform.Ecall(*id, 1, AsByteView("x")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Attestation
+// ---------------------------------------------------------------------------
+
+TEST(AttestationTest, MeasurementDependsOnIdentityAndSvn) {
+  auto m1 = MeasureEnclave("cs-enclave", 1);
+  auto m2 = MeasureEnclave("cs-enclave", 2);
+  auto m3 = MeasureEnclave("km-enclave", 1);
+  EXPECT_NE(m1, m2);
+  EXPECT_NE(m1, m3);
+  EXPECT_EQ(m1, MeasureEnclave("cs-enclave", 1));
+}
+
+TEST(AttestationTest, QuoteVerifiesAgainstRoot) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, /*seed=*/5);
+  auto enclave = std::make_shared<EchoEnclave>();
+  auto id = platform.CreateEnclave(enclave, 1 << 20);
+  ASSERT_TRUE(id.ok());
+
+  // Build a quote through the context path used by K-Protocol.
+  class QuoteEnclave : public Enclave {
+   public:
+    std::string CodeIdentity() const override { return "quote-enclave"; }
+    Result<Bytes> HandleEcall(uint64_t, ByteView input, EnclaveContext* ctx) override {
+      quote = ctx->CreateQuote(input);
+      return Bytes{};
+    }
+    Quote quote;
+  };
+  auto qe = std::make_shared<QuoteEnclave>();
+  auto qid = platform.CreateEnclave(qe, 1 << 20);
+  ASSERT_TRUE(qid.ok());
+  ASSERT_TRUE(platform.Ecall(*qid, 1, AsByteView("pk-fingerprint")).ok());
+
+  EXPECT_TRUE(VerifyQuote(qe->quote));
+  EXPECT_EQ(qe->quote.mrenclave, MeasureEnclave("quote-enclave", 1));
+  EXPECT_EQ(ToString(qe->quote.user_data), "pk-fingerprint");
+}
+
+TEST(AttestationTest, TamperedQuoteRejected) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 6);
+  class QuoteEnclave : public Enclave {
+   public:
+    std::string CodeIdentity() const override { return "quote-enclave"; }
+    Result<Bytes> HandleEcall(uint64_t, ByteView input, EnclaveContext* ctx) override {
+      quote = ctx->CreateQuote(input);
+      return Bytes{};
+    }
+    Quote quote;
+  };
+  auto qe = std::make_shared<QuoteEnclave>();
+  auto qid = platform.CreateEnclave(qe, 1 << 20);
+  ASSERT_TRUE(qid.ok());
+  ASSERT_TRUE(platform.Ecall(*qid, 1, AsByteView("data")).ok());
+
+  Quote tampered = qe->quote;
+  tampered.user_data.push_back('x');  // MITM alters the bound key data
+  EXPECT_FALSE(VerifyQuote(tampered));
+
+  Quote wrong_measure = qe->quote;
+  wrong_measure.mrenclave[0] ^= 1;
+  EXPECT_FALSE(VerifyQuote(wrong_measure));
+
+  // Self-signed platform key without a root cert fails.
+  Quote rogue = qe->quote;
+  crypto::Drbg rng(123);
+  auto rogue_kp = crypto::GenerateKeyPair(&rng);
+  rogue.platform_key = rogue_kp.pub;
+  crypto::Hash256 digest = crypto::Sha256::Digest(QuoteSigningBody(rogue));
+  rogue.signature = *crypto::EcdsaSign(rogue_kp.priv, digest);
+  EXPECT_FALSE(VerifyQuote(rogue));
+}
+
+TEST(AttestationTest, LocalReportVerifiesOnlyOnSamePlatform) {
+  SimClock clock;
+  EnclavePlatform platform_a(TeeCostModel{}, &clock, 10);
+  EnclavePlatform platform_b(TeeCostModel{}, &clock, 11);
+
+  class ReportEnclave : public Enclave {
+   public:
+    std::string CodeIdentity() const override { return "report-enclave"; }
+    Result<Bytes> HandleEcall(uint64_t, ByteView input, EnclaveContext* ctx) override {
+      report = ctx->CreateLocalReport(input);
+      return Bytes{};
+    }
+    LocalReport report;
+  };
+  auto re = std::make_shared<ReportEnclave>();
+  auto id = platform_a.CreateEnclave(re, 1 << 20);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(platform_a.Ecall(*id, 1, AsByteView("channel-key")).ok());
+
+  EXPECT_TRUE(platform_a.VerifyLocalReport(re->report));
+  EXPECT_FALSE(platform_b.VerifyLocalReport(re->report));
+
+  LocalReport tampered = re->report;
+  tampered.user_data.push_back('!');
+  EXPECT_FALSE(platform_a.VerifyLocalReport(tampered));
+}
+
+TEST(AttestationTest, SealKeyBoundToMeasurement) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 12);
+  class SealEnclave : public Enclave {
+   public:
+    explicit SealEnclave(std::string name) : name_(std::move(name)) {}
+    std::string CodeIdentity() const override { return name_; }
+    Result<Bytes> HandleEcall(uint64_t, ByteView, EnclaveContext* ctx) override {
+      key = ctx->SealKey("state");
+      return Bytes{};
+    }
+    crypto::Hash256 key{};
+
+   private:
+    std::string name_;
+  };
+  auto e1 = std::make_shared<SealEnclave>("enclave-one");
+  auto e2 = std::make_shared<SealEnclave>("enclave-two");
+  auto id1 = platform.CreateEnclave(e1, 1 << 20);
+  auto id2 = platform.CreateEnclave(e2, 1 << 20);
+  ASSERT_TRUE(id1.ok() && id2.ok());
+  ASSERT_TRUE(platform.Ecall(*id1, 1, ByteView{}).ok());
+  ASSERT_TRUE(platform.Ecall(*id2, 1, ByteView{}).ok());
+  EXPECT_NE(e1->key, e2->key);
+
+  // Same code on the same platform re-derives the same key (sealing).
+  auto e1_again = std::make_shared<SealEnclave>("enclave-one");
+  auto id3 = platform.CreateEnclave(e1_again, 1 << 20);
+  ASSERT_TRUE(id3.ok());
+  ASSERT_TRUE(platform.Ecall(*id3, 1, ByteView{}).ok());
+  EXPECT_EQ(e1->key, e1_again->key);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor ring
+// ---------------------------------------------------------------------------
+
+TEST(MonitorRingTest, PushPopFifo) {
+  MonitorRing<8> ring;
+  for (uint64_t i = 0; i < 5; ++i) {
+    MonitorRecord r;
+    r.sequence = i;
+    r.SetMessage("msg-" + std::to_string(i));
+    EXPECT_TRUE(ring.Push(r));
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto r = ring.Pop();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->sequence, i);
+  }
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(MonitorRingTest, FullRingDropsWithoutBlocking) {
+  MonitorRing<4> ring;
+  MonitorRecord r;
+  for (int i = 0; i < 6; ++i) ring.Push(r);
+  EXPECT_EQ(ring.Size(), 4u);
+  EXPECT_EQ(ring.Dropped(), 2u);
+}
+
+TEST(MonitorRingTest, MessageTruncatedSafely) {
+  MonitorRecord r;
+  std::string huge(500, 'x');
+  r.SetMessage(huge);
+  EXPECT_EQ(std::string(r.message).size(), sizeof(r.message) - 1);
+}
+
+TEST(MonitorRingTest, ConcurrentProducerConsumer) {
+  MonitorRing<256> ring;
+  constexpr int kRecords = 10000;
+  std::thread producer([&] {
+    for (int i = 0; i < kRecords; ++i) {
+      MonitorRecord r;
+      r.sequence = uint64_t(i);
+      while (!ring.Push(r)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kRecords) {
+    if (auto r = ring.Pop()) {
+      EXPECT_EQ(r->sequence, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+}
+
+TEST(MonitorTest, ExitlessEmitAvoidsTransitions) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 1);
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(platform.Ecall(*id, 3, ByteView{}).ok());
+  // Only the ecall's own 2 transitions; the monitor emit added none.
+  EXPECT_EQ(platform.stats().transitions.load(), 2u);
+  auto records = platform.DrainMonitor();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_STREQ(records[0].message, "status ok");
+}
+
+}  // namespace
+}  // namespace confide::tee

@@ -1,0 +1,47 @@
+/// \file test_util.h
+/// \brief Shared helpers for the test suites.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vm/host_env.h"
+
+namespace confide::testutil {
+
+/// \brief Simple in-memory HostEnv with a pluggable cross-contract hook.
+class MapHostEnv : public vm::HostEnv {
+ public:
+  Result<Bytes> GetStorage(ByteView key) override {
+    ++get_count;
+    auto it = storage.find(ToString(key));
+    if (it == storage.end()) return Status::NotFound("no such key");
+    return it->second;
+  }
+
+  Status SetStorage(ByteView key, ByteView value) override {
+    ++set_count;
+    storage[ToString(key)] = ToBytes(value);
+    return Status::OK();
+  }
+
+  void EmitLog(ByteView data) override { logs.push_back(ToString(data)); }
+
+  Result<Bytes> CallContract(ByteView address, ByteView input) override {
+    ++call_count;
+    if (call_hook) return call_hook(address, input);
+    return Status::NotFound("no contract at address");
+  }
+
+  std::map<std::string, Bytes> storage;
+  std::vector<std::string> logs;
+  std::function<Result<Bytes>(ByteView, ByteView)> call_hook;
+  int get_count = 0;
+  int set_count = 0;
+  int call_count = 0;
+};
+
+}  // namespace confide::testutil
