@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec64_production.dir/bench_sec64_production.cpp.o"
+  "CMakeFiles/bench_sec64_production.dir/bench_sec64_production.cpp.o.d"
+  "bench_sec64_production"
+  "bench_sec64_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec64_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_scfar.dir/bench_table1_scfar.cpp.o"
+  "CMakeFiles/bench_table1_scfar.dir/bench_table1_scfar.cpp.o.d"
+  "bench_table1_scfar"
+  "bench_table1_scfar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_scfar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

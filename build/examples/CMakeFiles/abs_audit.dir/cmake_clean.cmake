@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abs_audit.dir/abs_audit.cpp.o"
+  "CMakeFiles/abs_audit.dir/abs_audit.cpp.o.d"
+  "abs_audit"
+  "abs_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abs_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supply_chain_finance.dir/supply_chain_finance.cpp.o"
+  "CMakeFiles/supply_chain_finance.dir/supply_chain_finance.cpp.o.d"
+  "supply_chain_finance"
+  "supply_chain_finance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supply_chain_finance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccle/codec.cc" "src/ccle/CMakeFiles/confide_ccle.dir/codec.cc.o" "gcc" "src/ccle/CMakeFiles/confide_ccle.dir/codec.cc.o.d"
+  "/root/repo/src/ccle/schema.cc" "src/ccle/CMakeFiles/confide_ccle.dir/schema.cc.o" "gcc" "src/ccle/CMakeFiles/confide_ccle.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/confide_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/confide_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/confide_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

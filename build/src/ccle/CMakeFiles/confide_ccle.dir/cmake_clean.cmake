@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_ccle.dir/codec.cc.o"
+  "CMakeFiles/confide_ccle.dir/codec.cc.o.d"
+  "CMakeFiles/confide_ccle.dir/schema.cc.o"
+  "CMakeFiles/confide_ccle.dir/schema.cc.o.d"
+  "libconfide_ccle.a"
+  "libconfide_ccle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_ccle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for confide_ccle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/engine.cc" "src/chain/CMakeFiles/confide_chain.dir/engine.cc.o" "gcc" "src/chain/CMakeFiles/confide_chain.dir/engine.cc.o.d"
+  "/root/repo/src/chain/executor.cc" "src/chain/CMakeFiles/confide_chain.dir/executor.cc.o" "gcc" "src/chain/CMakeFiles/confide_chain.dir/executor.cc.o.d"
+  "/root/repo/src/chain/network.cc" "src/chain/CMakeFiles/confide_chain.dir/network.cc.o" "gcc" "src/chain/CMakeFiles/confide_chain.dir/network.cc.o.d"
+  "/root/repo/src/chain/node.cc" "src/chain/CMakeFiles/confide_chain.dir/node.cc.o" "gcc" "src/chain/CMakeFiles/confide_chain.dir/node.cc.o.d"
+  "/root/repo/src/chain/pbft.cc" "src/chain/CMakeFiles/confide_chain.dir/pbft.cc.o" "gcc" "src/chain/CMakeFiles/confide_chain.dir/pbft.cc.o.d"
+  "/root/repo/src/chain/state.cc" "src/chain/CMakeFiles/confide_chain.dir/state.cc.o" "gcc" "src/chain/CMakeFiles/confide_chain.dir/state.cc.o.d"
+  "/root/repo/src/chain/types.cc" "src/chain/CMakeFiles/confide_chain.dir/types.cc.o" "gcc" "src/chain/CMakeFiles/confide_chain.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/confide_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/confide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/confide_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/confide_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_chain.dir/engine.cc.o"
+  "CMakeFiles/confide_chain.dir/engine.cc.o.d"
+  "CMakeFiles/confide_chain.dir/executor.cc.o"
+  "CMakeFiles/confide_chain.dir/executor.cc.o.d"
+  "CMakeFiles/confide_chain.dir/network.cc.o"
+  "CMakeFiles/confide_chain.dir/network.cc.o.d"
+  "CMakeFiles/confide_chain.dir/node.cc.o"
+  "CMakeFiles/confide_chain.dir/node.cc.o.d"
+  "CMakeFiles/confide_chain.dir/pbft.cc.o"
+  "CMakeFiles/confide_chain.dir/pbft.cc.o.d"
+  "CMakeFiles/confide_chain.dir/state.cc.o"
+  "CMakeFiles/confide_chain.dir/state.cc.o.d"
+  "CMakeFiles/confide_chain.dir/types.cc.o"
+  "CMakeFiles/confide_chain.dir/types.cc.o.d"
+  "libconfide_chain.a"
+  "libconfide_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_common.dir/bytes.cc.o"
+  "CMakeFiles/confide_common.dir/bytes.cc.o.d"
+  "CMakeFiles/confide_common.dir/crc32.cc.o"
+  "CMakeFiles/confide_common.dir/crc32.cc.o.d"
+  "CMakeFiles/confide_common.dir/logging.cc.o"
+  "CMakeFiles/confide_common.dir/logging.cc.o.d"
+  "CMakeFiles/confide_common.dir/status.cc.o"
+  "CMakeFiles/confide_common.dir/status.cc.o.d"
+  "libconfide_common.a"
+  "libconfide_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

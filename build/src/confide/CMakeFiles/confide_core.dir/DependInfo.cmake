@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/confide/client.cc" "src/confide/CMakeFiles/confide_core.dir/client.cc.o" "gcc" "src/confide/CMakeFiles/confide_core.dir/client.cc.o.d"
+  "/root/repo/src/confide/cs_enclave.cc" "src/confide/CMakeFiles/confide_core.dir/cs_enclave.cc.o" "gcc" "src/confide/CMakeFiles/confide_core.dir/cs_enclave.cc.o.d"
+  "/root/repo/src/confide/engines.cc" "src/confide/CMakeFiles/confide_core.dir/engines.cc.o" "gcc" "src/confide/CMakeFiles/confide_core.dir/engines.cc.o.d"
+  "/root/repo/src/confide/key_manager.cc" "src/confide/CMakeFiles/confide_core.dir/key_manager.cc.o" "gcc" "src/confide/CMakeFiles/confide_core.dir/key_manager.cc.o.d"
+  "/root/repo/src/confide/protocol.cc" "src/confide/CMakeFiles/confide_core.dir/protocol.cc.o" "gcc" "src/confide/CMakeFiles/confide_core.dir/protocol.cc.o.d"
+  "/root/repo/src/confide/system.cc" "src/confide/CMakeFiles/confide_core.dir/system.cc.o" "gcc" "src/confide/CMakeFiles/confide_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/confide_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/confide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/confide_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/confide_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/confide_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/confide_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccle/CMakeFiles/confide_ccle.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/confide_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

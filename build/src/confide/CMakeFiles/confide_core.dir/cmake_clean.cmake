@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_core.dir/client.cc.o"
+  "CMakeFiles/confide_core.dir/client.cc.o.d"
+  "CMakeFiles/confide_core.dir/cs_enclave.cc.o"
+  "CMakeFiles/confide_core.dir/cs_enclave.cc.o.d"
+  "CMakeFiles/confide_core.dir/engines.cc.o"
+  "CMakeFiles/confide_core.dir/engines.cc.o.d"
+  "CMakeFiles/confide_core.dir/key_manager.cc.o"
+  "CMakeFiles/confide_core.dir/key_manager.cc.o.d"
+  "CMakeFiles/confide_core.dir/protocol.cc.o"
+  "CMakeFiles/confide_core.dir/protocol.cc.o.d"
+  "CMakeFiles/confide_core.dir/system.cc.o"
+  "CMakeFiles/confide_core.dir/system.cc.o.d"
+  "libconfide_core.a"
+  "libconfide_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconfide_core.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_crypto.dir/aes.cc.o"
+  "CMakeFiles/confide_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/confide_crypto.dir/drbg.cc.o"
+  "CMakeFiles/confide_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/confide_crypto.dir/gcm.cc.o"
+  "CMakeFiles/confide_crypto.dir/gcm.cc.o.d"
+  "CMakeFiles/confide_crypto.dir/hmac.cc.o"
+  "CMakeFiles/confide_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/confide_crypto.dir/keccak.cc.o"
+  "CMakeFiles/confide_crypto.dir/keccak.cc.o.d"
+  "CMakeFiles/confide_crypto.dir/merkle.cc.o"
+  "CMakeFiles/confide_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/confide_crypto.dir/secp256k1.cc.o"
+  "CMakeFiles/confide_crypto.dir/secp256k1.cc.o.d"
+  "CMakeFiles/confide_crypto.dir/sha256.cc.o"
+  "CMakeFiles/confide_crypto.dir/sha256.cc.o.d"
+  "libconfide_crypto.a"
+  "libconfide_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

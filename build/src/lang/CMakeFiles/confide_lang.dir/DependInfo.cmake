@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/builtins.cc" "src/lang/CMakeFiles/confide_lang.dir/builtins.cc.o" "gcc" "src/lang/CMakeFiles/confide_lang.dir/builtins.cc.o.d"
+  "/root/repo/src/lang/codegen_cvm.cc" "src/lang/CMakeFiles/confide_lang.dir/codegen_cvm.cc.o" "gcc" "src/lang/CMakeFiles/confide_lang.dir/codegen_cvm.cc.o.d"
+  "/root/repo/src/lang/codegen_evm.cc" "src/lang/CMakeFiles/confide_lang.dir/codegen_evm.cc.o" "gcc" "src/lang/CMakeFiles/confide_lang.dir/codegen_evm.cc.o.d"
+  "/root/repo/src/lang/compiler.cc" "src/lang/CMakeFiles/confide_lang.dir/compiler.cc.o" "gcc" "src/lang/CMakeFiles/confide_lang.dir/compiler.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/confide_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/confide_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/confide_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/confide_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/stdlib.cc" "src/lang/CMakeFiles/confide_lang.dir/stdlib.cc.o" "gcc" "src/lang/CMakeFiles/confide_lang.dir/stdlib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/confide_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/confide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/confide_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/confide_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

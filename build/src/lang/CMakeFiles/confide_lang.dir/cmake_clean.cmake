@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_lang.dir/builtins.cc.o"
+  "CMakeFiles/confide_lang.dir/builtins.cc.o.d"
+  "CMakeFiles/confide_lang.dir/codegen_cvm.cc.o"
+  "CMakeFiles/confide_lang.dir/codegen_cvm.cc.o.d"
+  "CMakeFiles/confide_lang.dir/codegen_evm.cc.o"
+  "CMakeFiles/confide_lang.dir/codegen_evm.cc.o.d"
+  "CMakeFiles/confide_lang.dir/compiler.cc.o"
+  "CMakeFiles/confide_lang.dir/compiler.cc.o.d"
+  "CMakeFiles/confide_lang.dir/lexer.cc.o"
+  "CMakeFiles/confide_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/confide_lang.dir/parser.cc.o"
+  "CMakeFiles/confide_lang.dir/parser.cc.o.d"
+  "CMakeFiles/confide_lang.dir/stdlib.cc.o"
+  "CMakeFiles/confide_lang.dir/stdlib.cc.o.d"
+  "libconfide_lang.a"
+  "libconfide_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

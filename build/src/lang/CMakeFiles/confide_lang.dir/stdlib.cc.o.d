@@ -1,0 +1,3 @@
+src/lang/CMakeFiles/confide_lang.dir/stdlib.cc.o: \
+ /root/repo/src/lang/stdlib.cc /usr/include/stdc-predef.h \
+ /root/repo/src/lang/stdlib.h

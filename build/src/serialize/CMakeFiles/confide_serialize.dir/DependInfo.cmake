@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serialize/flatlite.cc" "src/serialize/CMakeFiles/confide_serialize.dir/flatlite.cc.o" "gcc" "src/serialize/CMakeFiles/confide_serialize.dir/flatlite.cc.o.d"
+  "/root/repo/src/serialize/json.cc" "src/serialize/CMakeFiles/confide_serialize.dir/json.cc.o" "gcc" "src/serialize/CMakeFiles/confide_serialize.dir/json.cc.o.d"
+  "/root/repo/src/serialize/rlp.cc" "src/serialize/CMakeFiles/confide_serialize.dir/rlp.cc.o" "gcc" "src/serialize/CMakeFiles/confide_serialize.dir/rlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/confide_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_serialize.dir/flatlite.cc.o"
+  "CMakeFiles/confide_serialize.dir/flatlite.cc.o.d"
+  "CMakeFiles/confide_serialize.dir/json.cc.o"
+  "CMakeFiles/confide_serialize.dir/json.cc.o.d"
+  "CMakeFiles/confide_serialize.dir/rlp.cc.o"
+  "CMakeFiles/confide_serialize.dir/rlp.cc.o.d"
+  "libconfide_serialize.a"
+  "libconfide_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

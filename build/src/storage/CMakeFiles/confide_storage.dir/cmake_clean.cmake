@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_storage.dir/block_store.cc.o"
+  "CMakeFiles/confide_storage.dir/block_store.cc.o.d"
+  "CMakeFiles/confide_storage.dir/lsm_store.cc.o"
+  "CMakeFiles/confide_storage.dir/lsm_store.cc.o.d"
+  "CMakeFiles/confide_storage.dir/memtable.cc.o"
+  "CMakeFiles/confide_storage.dir/memtable.cc.o.d"
+  "CMakeFiles/confide_storage.dir/wal.cc.o"
+  "CMakeFiles/confide_storage.dir/wal.cc.o.d"
+  "libconfide_storage.a"
+  "libconfide_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_tee.dir/attestation.cc.o"
+  "CMakeFiles/confide_tee.dir/attestation.cc.o.d"
+  "CMakeFiles/confide_tee.dir/enclave.cc.o"
+  "CMakeFiles/confide_tee.dir/enclave.cc.o.d"
+  "CMakeFiles/confide_tee.dir/epc.cc.o"
+  "CMakeFiles/confide_tee.dir/epc.cc.o.d"
+  "libconfide_tee.a"
+  "libconfide_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

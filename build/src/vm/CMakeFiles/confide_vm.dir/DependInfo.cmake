@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/cvm/builder.cc" "src/vm/CMakeFiles/confide_vm.dir/cvm/builder.cc.o" "gcc" "src/vm/CMakeFiles/confide_vm.dir/cvm/builder.cc.o.d"
+  "/root/repo/src/vm/cvm/bytecode.cc" "src/vm/CMakeFiles/confide_vm.dir/cvm/bytecode.cc.o" "gcc" "src/vm/CMakeFiles/confide_vm.dir/cvm/bytecode.cc.o.d"
+  "/root/repo/src/vm/cvm/interpreter.cc" "src/vm/CMakeFiles/confide_vm.dir/cvm/interpreter.cc.o" "gcc" "src/vm/CMakeFiles/confide_vm.dir/cvm/interpreter.cc.o.d"
+  "/root/repo/src/vm/evm/evm.cc" "src/vm/CMakeFiles/confide_vm.dir/evm/evm.cc.o" "gcc" "src/vm/CMakeFiles/confide_vm.dir/evm/evm.cc.o.d"
+  "/root/repo/src/vm/evm/uint256.cc" "src/vm/CMakeFiles/confide_vm.dir/evm/uint256.cc.o" "gcc" "src/vm/CMakeFiles/confide_vm.dir/evm/uint256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/confide_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/confide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/confide_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

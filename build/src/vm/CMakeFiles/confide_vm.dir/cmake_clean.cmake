@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_vm.dir/cvm/builder.cc.o"
+  "CMakeFiles/confide_vm.dir/cvm/builder.cc.o.d"
+  "CMakeFiles/confide_vm.dir/cvm/bytecode.cc.o"
+  "CMakeFiles/confide_vm.dir/cvm/bytecode.cc.o.d"
+  "CMakeFiles/confide_vm.dir/cvm/interpreter.cc.o"
+  "CMakeFiles/confide_vm.dir/cvm/interpreter.cc.o.d"
+  "CMakeFiles/confide_vm.dir/evm/evm.cc.o"
+  "CMakeFiles/confide_vm.dir/evm/evm.cc.o.d"
+  "CMakeFiles/confide_vm.dir/evm/uint256.cc.o"
+  "CMakeFiles/confide_vm.dir/evm/uint256.cc.o.d"
+  "libconfide_vm.a"
+  "libconfide_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_workloads.dir/workloads.cc.o"
+  "CMakeFiles/confide_workloads.dir/workloads.cc.o.d"
+  "libconfide_workloads.a"
+  "libconfide_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

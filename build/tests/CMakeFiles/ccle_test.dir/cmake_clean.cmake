@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccle_test.dir/ccle_test.cc.o"
+  "CMakeFiles/ccle_test.dir/ccle_test.cc.o.d"
+  "ccle_test"
+  "ccle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confide_test.dir/confide_test.cc.o"
+  "CMakeFiles/confide_test.dir/confide_test.cc.o.d"
+  "confide_test"
+  "confide_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

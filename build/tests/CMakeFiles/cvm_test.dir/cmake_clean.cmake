@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvm_test.dir/cvm_test.cc.o"
+  "CMakeFiles/cvm_test.dir/cvm_test.cc.o.d"
+  "cvm_test"
+  "cvm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/security_test.cc" "tests/CMakeFiles/security_test.dir/security_test.cc.o" "gcc" "tests/CMakeFiles/security_test.dir/security_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/confide/CMakeFiles/confide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/confide_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/confide_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/confide_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/confide_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccle/CMakeFiles/confide_ccle.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/confide_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/confide_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/confide_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/confide_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

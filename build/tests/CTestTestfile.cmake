@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;12;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crypto_test "/root/repo/build/tests/crypto_test")
+set_tests_properties(crypto_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;13;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(serialize_test "/root/repo/build/tests/serialize_test")
+set_tests_properties(serialize_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;14;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tee_test "/root/repo/build/tests/tee_test")
+set_tests_properties(tee_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;15;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;16;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cvm_test "/root/repo/build/tests/cvm_test")
+set_tests_properties(cvm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;17;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(evm_test "/root/repo/build/tests/evm_test")
+set_tests_properties(evm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;18;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lang_test "/root/repo/build/tests/lang_test")
+set_tests_properties(lang_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;19;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ccle_test "/root/repo/build/tests/ccle_test")
+set_tests_properties(ccle_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;20;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(chain_test "/root/repo/build/tests/chain_test")
+set_tests_properties(chain_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;21;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(confide_test "/root/repo/build/tests/confide_test")
+set_tests_properties(confide_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;22;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;23;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(security_test "/root/repo/build/tests/security_test")
+set_tests_properties(security_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;9;add_test;/root/repo/tests/CMakeLists.txt;24;confide_add_test;/root/repo/tests/CMakeLists.txt;0;")
