@@ -149,5 +149,6 @@ int main() {
   std::printf("overall: %s\n", ok ? "PASS (CONFIDE-VM wins everywhere, as in "
                                     "the paper)"
                                   : "MISMATCH");
+  confide::bench::DumpMetrics();
   return ok ? 0 : 1;
 }

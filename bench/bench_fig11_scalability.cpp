@@ -180,5 +180,6 @@ int main() {
 
   bool ok = flat && speedup4 > 1.4 && speedup6 < 1.35 && zone_degrades;
   std::printf("overall: %s\n", ok ? "PASS" : "MISMATCH");
+  confide::bench::DumpMetrics();
   return ok ? 0 : 1;
 }

@@ -170,5 +170,6 @@ int main() {
   std::printf("  ladder is (near-)monotone: %s\n", monotone ? "yes" : "NO");
   bool ok = g1 > 1.2 && g2 > 1.3 && monotone && fusion_micro > 1.15;
   std::printf("overall: %s\n", ok ? "PASS" : "MISMATCH");
+  confide::bench::DumpMetrics();
   return ok ? 0 : 1;
 }

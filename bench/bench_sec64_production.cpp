@@ -90,5 +90,6 @@ int main() {
   std::printf("  empty-block overhead small: %s\n", empty_small ? "yes" : "NO");
   bool ok = busy_gt_empty && write_about_6ms && empty_small;
   std::printf("overall: %s\n", ok ? "PASS" : "MISMATCH");
+  confide::bench::DumpMetrics();
   return ok ? 0 : 1;
 }

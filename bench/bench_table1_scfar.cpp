@@ -152,5 +152,6 @@ int main() {
               tx_ops_negligible ? "yes" : "NO");
   bool ok = calls_dominate && gets_second && tx_ops_negligible;
   std::printf("overall: %s\n", ok ? "PASS" : "MISMATCH");
+  confide::bench::DumpMetrics();
   return ok ? 0 : 1;
 }

@@ -5,10 +5,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "confide/system.h"
 #include "lang/compiler.h"
 #include "serialize/rlp.h"
@@ -89,6 +91,25 @@ inline void MustCall(core::ConfideSystem* sys, core::Client* client,
                      : receipts.status().ToString().c_str());
     std::abort();
   }
+}
+
+/// Dumps the process-wide metrics registry as JSON next to the bench
+/// results so CI can archive counters alongside throughput numbers.
+/// Env var CONFIDE_METRICS_OUT overrides the default path.
+inline void DumpMetrics(const std::string& default_path = "metrics.json") {
+  const char* env = std::getenv("CONFIDE_METRICS_OUT");
+  std::string path = (env != nullptr && env[0] != '\0') ? env : default_path;
+  std::string json = metrics::MetricsRegistry::Global().Snapshot().ToJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::fprintf(stderr, "metrics: wrote %s (%zu bytes)\n", path.c_str(),
+               json.size() + 1);
 }
 
 }  // namespace confide::bench

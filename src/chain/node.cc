@@ -4,10 +4,29 @@
 #include <thread>
 
 #include "common/endian.h"
+#include "common/metrics.h"
 
 namespace confide::chain {
 
 namespace {
+
+struct NodeMetrics {
+  metrics::Counter* blocks = metrics::GetCounter("chain.block.count");
+  metrics::Counter* block_txs = metrics::GetCounter("chain.block.tx.count");
+  metrics::Histogram* txs_per_block = metrics::GetHistogram(
+      "chain.block.txs", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  metrics::Histogram* block_execute_latency =
+      metrics::GetHistogram("chain.block.execute.latency_ns");
+  metrics::Histogram* preverify_batch_latency =
+      metrics::GetHistogram("chain.preverify.batch.latency_ns");
+  metrics::Gauge* unverified_pool = metrics::GetGauge("chain.pool.unverified");
+  metrics::Gauge* verified_pool = metrics::GetGauge("chain.pool.verified");
+
+  static const NodeMetrics& Get() {
+    static const NodeMetrics instruments;
+    return instruments;
+  }
+};
 
 std::string ReceiptKey(const crypto::Hash256& tx_hash) {
   return "rcpt/" + HexEncode(crypto::HashView(tx_hash));
@@ -36,6 +55,7 @@ Status Node::SubmitTransaction(Transaction tx) {
   }
   std::lock_guard<std::mutex> lock(pool_mutex_);
   unverified_.push_back(std::move(tx));
+  NodeMetrics::Get().unverified_pool->Set(int64_t(unverified_.size()));
   return Status::OK();
 }
 
@@ -44,8 +64,10 @@ Result<size_t> Node::PreVerify() {
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
     pending.swap(unverified_);
+    NodeMetrics::Get().unverified_pool->Set(0);
   }
   if (pending.empty()) return size_t(0);
+  metrics::ScopedLatencyTimer timer(NodeMetrics::Get().preverify_batch_latency);
 
   std::vector<Transaction> txs(pending.begin(), pending.end());
   std::vector<uint8_t> valid(txs.size(), 0);
@@ -80,6 +102,7 @@ Result<size_t> Node::PreVerify() {
         ++count;
       }
     }
+    NodeMetrics::Get().verified_pool->Set(int64_t(verified_.size()));
   }
   return count;
 }
@@ -102,6 +125,7 @@ Result<Block> Node::ProposeBlock() {
       verified_.pop_front();
       bytes += tx_bytes;
     }
+    NodeMetrics::Get().verified_pool->Set(int64_t(verified_.size()));
   }
 
   std::vector<Bytes> leaves;
@@ -120,9 +144,16 @@ Result<std::vector<Receipt>> Node::ApplyBlock(const Block& block) {
     return Status::InvalidArgument("node: parent hash mismatch");
   }
 
-  CONFIDE_ASSIGN_OR_RETURN(
-      std::vector<Receipt> receipts,
-      executor_.ExecuteBlock(block.transactions, engines_, state_.get()));
+  std::vector<Receipt> receipts;
+  {
+    metrics::ScopedLatencyTimer timer(NodeMetrics::Get().block_execute_latency);
+    CONFIDE_ASSIGN_OR_RETURN(
+        receipts,
+        executor_.ExecuteBlock(block.transactions, engines_, state_.get()));
+  }
+  NodeMetrics::Get().blocks->Increment();
+  NodeMetrics::Get().block_txs->Increment(block.transactions.size());
+  NodeMetrics::Get().txs_per_block->Observe(block.transactions.size());
 
   // Persist receipts and the tx→block index alongside the state writes.
   for (size_t i = 0; i < receipts.size(); ++i) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/metrics.h"
+
 namespace confide::chain {
 
 namespace {
@@ -118,6 +120,15 @@ PbftRoundResult SimulatePbftRound(const NetworkSim& net, uint32_t leader,
     result.quorum_commit_ns =
         *std::max_element(result.commit_time_ns.begin(), result.commit_time_ns.end());
   }
+
+  static metrics::Counter* rounds = metrics::GetCounter("chain.pbft.round.count");
+  static metrics::Counter* messages =
+      metrics::GetCounter("chain.pbft.message.count");
+  static metrics::Histogram* quorum_latency =
+      metrics::GetHistogram("chain.pbft.quorum_commit_ns");
+  rounds->Increment();
+  messages->Increment(result.messages_sent);
+  quorum_latency->Observe(result.quorum_commit_ns);
   return result;
 }
 

@@ -1,8 +1,10 @@
 #include "confide/cs_enclave.h"
 
+#include <chrono>
 #include <map>
 
 #include "common/endian.h"
+#include "common/metrics.h"
 #include "crypto/drbg.h"
 #include "crypto/keccak.h"
 #include "serialize/rlp.h"
@@ -14,6 +16,46 @@ namespace {
 using serialize::RlpDecode;
 using serialize::RlpEncode;
 using serialize::RlpItem;
+
+uint64_t WallNowNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+/// Pre-processor pipeline phases (paper §5.2): P1 batch decode, P2 envelope
+/// decryption, P3 signature verification, P4 cache aggregation, P5 contract
+/// execution. Latencies are wall nanoseconds per transaction.
+struct CsMetrics {
+  metrics::Histogram* p1_decode = metrics::GetHistogram("confide.phase.p1_decode_ns");
+  metrics::Histogram* p2_envelope_open =
+      metrics::GetHistogram("confide.phase.p2_envelope_open_ns");
+  metrics::Histogram* p3_sig_verify =
+      metrics::GetHistogram("confide.phase.p3_sig_verify_ns");
+  metrics::Histogram* p4_cache_update =
+      metrics::GetHistogram("confide.phase.p4_cache_update_ns");
+  metrics::Histogram* p5_execute =
+      metrics::GetHistogram("confide.phase.p5_execute_ns");
+  metrics::Counter* preverified_txs =
+      metrics::GetCounter("confide.preverify.tx.count");
+  metrics::Counter* executed_txs = metrics::GetCounter("confide.execute.tx.count");
+  metrics::Counter* failed_txs = metrics::GetCounter("confide.execute.failed.count");
+  metrics::Counter* cache_hits =
+      metrics::GetCounter("confide.preverify_cache.hit.count");
+  metrics::Counter* cache_misses =
+      metrics::GetCounter("confide.preverify_cache.miss.count");
+  metrics::Counter* sdm_get_ops = metrics::GetCounter("confide.sdm.get.count");
+  metrics::Counter* sdm_set_ops = metrics::GetCounter("confide.sdm.set.count");
+  metrics::Counter* code_cache_hits =
+      metrics::GetCounter("confide.code_cache.hit.count");
+  metrics::Counter* code_cache_misses =
+      metrics::GetCounter("confide.code_cache.miss.count");
+
+  static const CsMetrics& Get() {
+    static const CsMetrics instruments;
+    return instruments;
+  }
+};
 
 uint64_t ConflictKeyOf(const chain::Address& contract) {
   return LoadBe64(contract.data());
@@ -50,7 +92,10 @@ class SdmEnv : public vm::HostEnv {
         code_cache_(code_cache) {}
 
   Result<Bytes> GetStorage(ByteView key) override {
-    if (count_ops_) ++stats_->get_storage_ops;
+    if (count_ops_) {
+      ++stats_->get_storage_ops;
+      CsMetrics::Get().sdm_get_ops->Increment();
+    }
     std::string cache_key = CacheKey(key);
     if (options_.enable_state_cache) {
       auto it = cache_.find(cache_key);
@@ -85,6 +130,7 @@ class SdmEnv : public vm::HostEnv {
 
   Status SetStorage(ByteView key, ByteView value) override {
     ++stats_->set_storage_ops;
+    CsMetrics::Get().sdm_set_ops->Increment();
     Bytes aad = StateAad(ByteView(contract_.data(), contract_.size()), key, svn_);
     CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, SealState(k_states_, value, aad));
     std::vector<RlpItem> req;
@@ -144,6 +190,8 @@ class SdmEnv : public vm::HostEnv {
         cached = true;
       }
     }
+    (cached ? CsMetrics::Get().code_cache_hits : CsMetrics::Get().code_cache_misses)
+        ->Increment();
     if (!cached) {
       count_ops_ = false;
       auto code_result = GetStorage(AsByteView("__code__"));
@@ -290,9 +338,11 @@ Result<OpenedEnvelope> CsEnclave::OpenWithCache(ByteView envelope,
       auto it = meta_cache_.find(hash_key);
       if (it != meta_cache_.end()) {
         ++cache_hits_;
+        CsMetrics::Get().cache_hits->Increment();
         meta = it->second;
       } else {
         ++cache_misses_;
+        CsMetrics::Get().cache_misses->Increment();
       }
     }
     if (meta) {
@@ -318,8 +368,11 @@ Result<OpenedEnvelope> CsEnclave::OpenWithCache(ByteView envelope,
 }
 
 Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* ctx) {
+  // P1: decode the incoming batch.
+  uint64_t phase_start = WallNowNs();
   CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
   if (!item.is_list()) return Status::Corruption("cs: bad batch");
+  CsMetrics::Get().p1_decode->Observe(WallNowNs() - phase_start);
   std::optional<ConsortiumKeys> keys;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -336,22 +389,29 @@ Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* c
     TxKey k_tx{};
 
     // P2: private-key decryption of the digital envelope.
+    phase_start = WallNowNs();
     auto opened = OpenEnvelope(keys->sk_tx, envelope);
+    CsMetrics::Get().p2_envelope_open->Observe(WallNowNs() - phase_start);
     if (opened.ok()) {
       k_tx = opened->k_tx;
       // P3: signature verification of the recovered raw transaction.
+      phase_start = WallNowNs();
       auto raw = chain::Transaction::Deserialize(opened->raw_tx);
       if (raw.ok()) {
         valid = crypto::EcdsaVerify(raw->sender, raw->SigningHash(), raw->signature);
         conflict_key = ConflictKeyOf(raw->contract);
       }
+      CsMetrics::Get().p3_sig_verify->Observe(WallNowNs() - phase_start);
     }
     // P4: aggregate (hash, k_tx, f_verified) into the enclave cache.
+    phase_start = WallNowNs();
     if (valid && options_.enable_preverify_cache) {
       std::lock_guard<std::mutex> lock(mutex_);
       meta_cache_[HexEncode(crypto::HashView(env_hash))] =
           CachedMeta{k_tx, true, conflict_key};
     }
+    CsMetrics::Get().p4_cache_update->Observe(WallNowNs() - phase_start);
+    CsMetrics::Get().preverified_txs->Increment();
     std::vector<RlpItem> entry;
     entry.push_back(RlpItem(Bytes(env_hash.begin(), env_hash.end())));
     entry.push_back(RlpItem::U64(valid ? 1 : 0));
@@ -363,6 +423,9 @@ Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* c
 }
 
 Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
+  // P5: contract execution (everything inside the execute ecall).
+  metrics::ScopedLatencyTimer p5_timer(CsMetrics::Get().p5_execute);
+  CsMetrics::Get().executed_txs->Increment();
   CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
   if (!item.is_list() || item.list().size() != 2) {
     return Status::Corruption("cs: bad execute request");
@@ -375,6 +438,7 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
   auto fail = [&](const Status& status) -> Result<Bytes> {
     response.success = false;
     response.status_message = status.ToString();
+    CsMetrics::Get().failed_txs->Increment();
     ctx->MonitorEmit(2, "cs: tx failed: " + status.ToString());
     return response.Serialize();
   };

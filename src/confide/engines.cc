@@ -1,12 +1,34 @@
 #include "confide/engines.h"
 
 #include "common/endian.h"
+#include "common/metrics.h"
 #include "crypto/keccak.h"
 #include "serialize/rlp.h"
 
 namespace confide::core {
 
 namespace {
+
+/// Host-side engine instruments: end-to-end ecall latencies plus the state
+/// ocall counts the paper's "optimized data structure" discussion (§5.3)
+/// targets.
+struct EngineMetrics {
+  metrics::Histogram* preverify_latency =
+      metrics::GetHistogram("confide.preverify.latency_ns");
+  metrics::Histogram* execute_latency =
+      metrics::GetHistogram("confide.execute.latency_ns");
+  metrics::Counter* get_state_ocalls =
+      metrics::GetCounter("confide.state.get_ocall.count");
+  metrics::Counter* set_state_ocalls =
+      metrics::GetCounter("confide.state.set_ocall.count");
+  metrics::Counter* public_executes =
+      metrics::GetCounter("confide.public.execute.count");
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics instruments;
+    return instruments;
+  }
+};
 
 using serialize::RlpDecode;
 using serialize::RlpEncode;
@@ -105,6 +127,7 @@ Result<bool> PublicEngine::PreVerify(const chain::Transaction& tx) {
 
 Result<chain::Receipt> PublicEngine::Execute(const chain::Transaction& tx,
                                              chain::StateDb* state) {
+  EngineMetrics::Get().public_executes->Increment();
   chain::Receipt receipt;
   receipt.tx_hash = tx.Hash();
 
@@ -172,6 +195,7 @@ Result<std::unique_ptr<ConfidentialEngine>> ConfidentialEngine::Create(
 
 void ConfidentialEngine::RegisterOcalls() {
   platform_->RegisterOcall(kOcallGetState, [this](ByteView payload) -> Result<Bytes> {
+    EngineMetrics::Get().get_state_ocalls->Increment();
     CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
     if (!item.is_list() || item.list().size() != 3) {
       return Status::Corruption("ocall: bad get-state request");
@@ -205,6 +229,7 @@ void ConfidentialEngine::RegisterOcalls() {
   });
 
   platform_->RegisterOcall(kOcallSetState, [this](ByteView payload) -> Result<Bytes> {
+    EngineMetrics::Get().set_state_ocalls->Increment();
     CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
     if (!item.is_list() || item.list().size() != 4) {
       return Status::Corruption("ocall: bad set-state request");
@@ -232,6 +257,7 @@ Result<bool> ConfidentialEngine::PreVerify(const chain::Transaction& tx) {
   if (tx.type != chain::TxType::kConfidential) {
     return Status::InvalidArgument("confidential engine: wrong tx type");
   }
+  metrics::ScopedLatencyTimer timer(EngineMetrics::Get().preverify_latency);
   std::vector<RlpItem> batch;
   batch.push_back(RlpItem(tx.envelope));
   CONFIDE_ASSIGN_OR_RETURN(
@@ -254,6 +280,7 @@ Result<bool> ConfidentialEngine::PreVerify(const chain::Transaction& tx) {
 
 Result<chain::Receipt> ConfidentialEngine::Execute(const chain::Transaction& tx,
                                                    chain::StateDb* state) {
+  metrics::ScopedLatencyTimer timer(EngineMetrics::Get().execute_latency);
   uint64_t token = next_token_.fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(mutex_);

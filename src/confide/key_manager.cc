@@ -1,5 +1,6 @@
 #include "confide/key_manager.h"
 
+#include "common/metrics.h"
 #include "crypto/drbg.h"
 #include "crypto/gcm.h"
 #include "crypto/hmac.h"
@@ -61,6 +62,9 @@ Result<tee::Quote> DeserializeQuote(ByteView wire) {
 Result<Bytes> WrapConsortiumKeys(const ConsortiumKeys& keys,
                                  const crypto::PublicKey& recipient,
                                  uint64_t entropy) {
+  static metrics::Counter* wraps =
+      metrics::GetCounter("confide.km.provision.wrap.count");
+  wraps->Increment();
   crypto::Drbg rng(Concat(AsByteView("confide-provision-eph:"),
                           ByteView(reinterpret_cast<const uint8_t*>(&entropy), 8)));
   crypto::KeyPair ephemeral = crypto::GenerateKeyPair(&rng);
@@ -93,6 +97,9 @@ Result<Bytes> WrapConsortiumKeys(const ConsortiumKeys& keys,
 
 Result<ConsortiumKeys> UnwrapConsortiumKeys(const crypto::PrivateKey& recipient_priv,
                                             ByteView blob) {
+  static metrics::Counter* unwraps =
+      metrics::GetCounter("confide.km.provision.unwrap.count");
+  unwraps->Increment();
   CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(blob));
   if (!item.is_list() || item.list().size() != 3) {
     return Status::CryptoError("k-protocol: bad provision blob");

@@ -3,10 +3,25 @@
 #include <cstring>
 
 #include "common/endian.h"
+#include "common/metrics.h"
 
 namespace confide::crypto {
 
 namespace {
+
+struct GcmMetrics {
+  metrics::Counter* seal_ops = metrics::GetCounter("crypto.gcm.seal.count");
+  metrics::Counter* seal_bytes = metrics::GetCounter("crypto.gcm.seal.bytes");
+  metrics::Counter* open_ops = metrics::GetCounter("crypto.gcm.open.count");
+  metrics::Counter* open_bytes = metrics::GetCounter("crypto.gcm.open.bytes");
+  metrics::Counter* auth_failures =
+      metrics::GetCounter("crypto.gcm.auth_failure.count");
+
+  static const GcmMetrics& Get() {
+    static const GcmMetrics instruments;
+    return instruments;
+  }
+};
 
 void Inc32(uint8_t block[16]) {
   uint32_t ctr = LoadBe32(block + 12);
@@ -84,6 +99,8 @@ void AesGcm::Ctr(const uint8_t j0[16], ByteView in, uint8_t* out) const {
 }
 
 Result<Bytes> AesGcm::Seal(ByteView iv, ByteView plaintext, ByteView aad) const {
+  GcmMetrics::Get().seal_ops->Increment();
+  GcmMetrics::Get().seal_bytes->Increment(plaintext.size());
   uint8_t j0[16] = {0};
   if (iv.size() == kGcmIvSize) {
     std::memcpy(j0, iv.data(), kGcmIvSize);
@@ -113,9 +130,12 @@ Result<Bytes> AesGcm::Seal(ByteView iv, ByteView plaintext, ByteView aad) const 
 }
 
 Result<Bytes> AesGcm::Open(ByteView iv, ByteView sealed, ByteView aad) const {
+  GcmMetrics::Get().open_ops->Increment();
   if (sealed.size() < kGcmTagSize) {
+    GcmMetrics::Get().auth_failures->Increment();
     return Status::CryptoError("GCM ciphertext shorter than tag");
   }
+  GcmMetrics::Get().open_bytes->Increment(sealed.size() - kGcmTagSize);
   ByteView ciphertext = sealed.first(sealed.size() - kGcmTagSize);
   ByteView tag = sealed.last(kGcmTagSize);
 
@@ -140,6 +160,7 @@ Result<Bytes> AesGcm::Open(ByteView iv, ByteView sealed, ByteView aad) const {
   for (int i = 0; i < 16; ++i) expected[i] ^= e_j0[i];
 
   if (!ConstantTimeEqual(ByteView(expected, 16), tag)) {
+    GcmMetrics::Get().auth_failures->Increment();
     return Status::CryptoError("GCM authentication tag mismatch");
   }
 

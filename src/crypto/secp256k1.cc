@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/endian.h"
+#include "common/metrics.h"
 #include "crypto/hmac.h"
 #include "crypto/keccak.h"
 
@@ -442,6 +443,8 @@ bool IsValidPublicKey(const PublicKey& pub) {
 }
 
 Result<Signature> EcdsaSign(const PrivateKey& priv, const Hash256& digest) {
+  static metrics::Counter* ops = metrics::GetCounter("crypto.ecdsa.sign.count");
+  ops->Increment();
   U256 d = PrivToScalar(priv);
   if (!ScalarValid(d)) {
     return Status::InvalidArgument("private key scalar out of range");
@@ -484,6 +487,8 @@ Result<Signature> EcdsaSign(const PrivateKey& priv, const Hash256& digest) {
 }
 
 bool EcdsaVerify(const PublicKey& pub, const Hash256& digest, const Signature& sig) {
+  static metrics::Counter* ops = metrics::GetCounter("crypto.ecdsa.verify.count");
+  ops->Increment();
   auto point = DecodePoint(pub);
   if (!point.ok()) return false;
 
@@ -505,6 +510,8 @@ bool EcdsaVerify(const PublicKey& pub, const Hash256& digest, const Signature& s
 }
 
 Result<Hash256> EcdhSharedSecret(const PrivateKey& priv, const PublicKey& pub) {
+  static metrics::Counter* ops = metrics::GetCounter("crypto.ecdh.count");
+  ops->Increment();
   U256 d = PrivToScalar(priv);
   if (!ScalarValid(d)) {
     return Status::InvalidArgument("private key scalar out of range");

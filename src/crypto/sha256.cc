@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/endian.h"
+#include "common/metrics.h"
 
 namespace confide::crypto {
 
@@ -96,6 +97,10 @@ Hash256 Sha256::Finish() {
 }
 
 Hash256 Sha256::Digest(ByteView data) {
+  static metrics::Counter* ops = metrics::GetCounter("crypto.sha256.count");
+  static metrics::Counter* bytes = metrics::GetCounter("crypto.sha256.bytes");
+  ops->Increment();
+  bytes->Increment(data.size());
   Sha256 ctx;
   ctx.Update(data);
   return ctx.Finish();

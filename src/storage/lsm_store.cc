@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.h"
+
 namespace confide::storage {
+
+namespace {
+
+/// Read amplification = structures_probed / reads: every point lookup
+/// probes the memtable plus however many sorted runs it has to touch
+/// before the key (or its absence) is resolved.
+struct LsmMetrics {
+  metrics::Counter* reads = metrics::GetCounter("storage.lsm.read.count");
+  metrics::Counter* structures_probed =
+      metrics::GetCounter("storage.lsm.read.structures_probed");
+  metrics::Counter* memtable_hits =
+      metrics::GetCounter("storage.lsm.read.memtable_hit.count");
+  metrics::Counter* flushes = metrics::GetCounter("storage.memtable.flush.count");
+  metrics::Counter* flushed_entries =
+      metrics::GetCounter("storage.memtable.flush.entries");
+  metrics::Counter* compactions = metrics::GetCounter("storage.compaction.count");
+  metrics::Counter* compacted_entries =
+      metrics::GetCounter("storage.compaction.entries");
+  metrics::Gauge* run_count = metrics::GetGauge("storage.lsm.run_count");
+
+  static const LsmMetrics& Get() {
+    static const LsmMetrics instruments;
+    return instruments;
+  }
+};
+
+}  // namespace
 
 std::optional<std::optional<Bytes>> SortedRun::Get(const std::string& key) const {
   auto it = std::lower_bound(
@@ -33,16 +62,24 @@ Result<std::unique_ptr<LsmKvStore>> LsmKvStore::Open(const LsmOptions& options) 
 
 Result<Bytes> LsmKvStore::Get(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  const LsmMetrics& m = LsmMetrics::Get();
+  m.reads->Increment();
+  uint64_t probed = 1;  // the memtable
   if (auto hit = mem_.Get(key)) {
+    m.structures_probed->Increment(probed);
+    m.memtable_hits->Increment();
     if (*hit) return **hit;
     return Status::NotFound("key deleted: " + key);
   }
   for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {  // newest first
+    ++probed;
     if (auto hit = (*it)->Get(key)) {
+      m.structures_probed->Increment(probed);
       if (*hit) return **hit;
       return Status::NotFound("key deleted: " + key);
     }
   }
+  m.structures_probed->Increment(probed);
   return Status::NotFound("key not found: " + key);
 }
 
@@ -86,7 +123,10 @@ Status LsmKvStore::MaybeFlushLocked() {
   mem_.ForEach([&](const std::string& key, const std::optional<Bytes>& value) {
     entries.push_back({key, value});
   });
+  LsmMetrics::Get().flushes->Increment();
+  LsmMetrics::Get().flushed_entries->Increment(entries.size());
   runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
+  LsmMetrics::Get().run_count->Set(int64_t(runs_.size()));
   mem_ = MemTable();
   if (wal_ != nullptr) {
     // The flushed data lives in the run now; in a full implementation the
@@ -111,8 +151,11 @@ void LsmKvStore::CompactLocked() {
   for (auto& [key, value] : merged) {
     if (value) entries.push_back({key, std::move(value)});
   }
+  LsmMetrics::Get().compactions->Increment();
+  LsmMetrics::Get().compacted_entries->Increment(entries.size());
   runs_.clear();
   runs_.push_back(std::make_shared<SortedRun>(std::move(entries)));
+  LsmMetrics::Get().run_count->Set(int64_t(runs_.size()));
 }
 
 Status LsmKvStore::Flush() {

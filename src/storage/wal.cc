@@ -4,8 +4,26 @@
 
 #include "common/crc32.h"
 #include "common/endian.h"
+#include "common/metrics.h"
 
 namespace confide::storage {
+
+namespace {
+
+struct WalMetrics {
+  metrics::Counter* appends = metrics::GetCounter("storage.wal.append.count");
+  metrics::Counter* append_bytes = metrics::GetCounter("storage.wal.append.bytes");
+  metrics::Counter* syncs = metrics::GetCounter("storage.wal.sync.count");
+  metrics::Counter* replayed_batches =
+      metrics::GetCounter("storage.wal.replay.batch.count");
+
+  static const WalMetrics& Get() {
+    static const WalMetrics instruments;
+    return instruments;
+  }
+};
+
+}  // namespace
 
 Bytes EncodeBatch(const WriteBatch& batch) {
   Bytes out;
@@ -78,6 +96,8 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
 
 Status Wal::Append(const WriteBatch& batch) {
   Bytes payload = EncodeBatch(batch);
+  WalMetrics::Get().appends->Increment();
+  WalMetrics::Get().append_bytes->Increment(payload.size() + 8);
   uint8_t header[8];
   StoreLe32(header, Crc32(payload));
   StoreLe32(header + 4, uint32_t(payload.size()));
@@ -89,6 +109,7 @@ Status Wal::Append(const WriteBatch& batch) {
 }
 
 Status Wal::Sync() {
+  WalMetrics::Get().syncs->Increment();
   if (std::fflush(file_) != 0) return Status::Internal("wal: flush failed");
   return Status::OK();
 }
@@ -116,6 +137,7 @@ Status Wal::Replay(const std::string& path,
       status = batch.status();
       break;
     }
+    WalMetrics::Get().replayed_batches->Increment();
     apply(*batch);
   }
   std::fclose(file);

@@ -1,10 +1,36 @@
 #include "tee/enclave.h"
 
 #include "common/endian.h"
+#include "common/metrics.h"
 #include "crypto/drbg.h"
 #include "crypto/hmac.h"
 
 namespace confide::tee {
+
+namespace {
+
+/// Process-wide instruments mirroring TeeStats. TeeStats stays per-platform
+/// (multi-node tests isolate platforms); the registry aggregates across the
+/// process for snapshots and the bench metrics.json export.
+struct TeeMetrics {
+  metrics::Counter* ecalls = metrics::GetCounter("tee.ecall.count");
+  metrics::Counter* ocalls = metrics::GetCounter("tee.ocall.count");
+  metrics::Counter* transitions = metrics::GetCounter("tee.transition.count");
+  metrics::Counter* transition_cycles =
+      metrics::GetCounter("tee.transition.cycles");
+  metrics::Counter* copy_bytes_in = metrics::GetCounter("tee.copy.bytes_in");
+  metrics::Counter* copy_bytes_out = metrics::GetCounter("tee.copy.bytes_out");
+  metrics::Counter* copy_cycles = metrics::GetCounter("tee.copy.cycles");
+  metrics::Counter* user_check_bypasses =
+      metrics::GetCounter("tee.copy.user_check_bypass.count");
+
+  static const TeeMetrics& Get() {
+    static const TeeMetrics instruments;
+    return instruments;
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // EnclaveContext
@@ -112,12 +138,15 @@ void EnclavePlatform::ChargeTransition() {
                         : model_.transition_cycles_warm;
   clock_->AdvanceCycles(cycles);
   stats_.modeled_cycles.fetch_add(cycles, std::memory_order_relaxed);
+  TeeMetrics::Get().transitions->Increment();
+  TeeMetrics::Get().transition_cycles->Increment(cycles);
 }
 
 void EnclavePlatform::ChargeCopy(size_t bytes, PointerSemantics semantics,
                                  bool inbound) {
   if (semantics == PointerSemantics::kUserCheck) {
     stats_.user_check_bypasses.fetch_add(1, std::memory_order_relaxed);
+    TeeMetrics::Get().user_check_bypasses->Increment();
     return;
   }
   uint64_t cycles = model_.copy_setup_cycles +
@@ -126,6 +155,9 @@ void EnclavePlatform::ChargeCopy(size_t bytes, PointerSemantics semantics,
   stats_.modeled_cycles.fetch_add(cycles, std::memory_order_relaxed);
   auto& counter = inbound ? stats_.bytes_copied_in : stats_.bytes_copied_out;
   counter.fetch_add(bytes, std::memory_order_relaxed);
+  TeeMetrics::Get().copy_cycles->Increment(cycles);
+  (inbound ? TeeMetrics::Get().copy_bytes_in : TeeMetrics::Get().copy_bytes_out)
+      ->Increment(bytes);
 }
 
 Result<EnclaveId> EnclavePlatform::CreateEnclave(std::shared_ptr<Enclave> code,
@@ -163,6 +195,7 @@ Result<Bytes> EnclavePlatform::Ecall(EnclaveId id, uint64_t fn, ByteView input,
     heap = it->second.heap_region;
   }
   stats_.ecalls.fetch_add(1, std::memory_order_relaxed);
+  TeeMetrics::Get().ecalls->Increment();
   ChargeTransition();                          // EENTER
   ChargeCopy(input.size(), semantics, /*inbound=*/true);
   CONFIDE_RETURN_NOT_OK(epc_.Touch(heap));     // working set fault-in
@@ -200,6 +233,7 @@ Result<Bytes> EnclavePlatform::DispatchOcall(uint64_t fn, ByteView payload,
     }
   }
   stats_.ocalls.fetch_add(1, std::memory_order_relaxed);
+  TeeMetrics::Get().ocalls->Increment();
   ChargeTransition();                          // exit to host
   ChargeCopy(payload.size(), semantics, /*inbound=*/false);
   Result<Bytes> result = handler(payload);

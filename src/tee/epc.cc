@@ -1,6 +1,25 @@
 #include "tee/epc.h"
 
+#include "common/metrics.h"
+
 namespace confide::tee {
+
+namespace {
+
+struct EpcMetrics {
+  metrics::Counter* pages_evicted = metrics::GetCounter("tee.epc.page_evict.count");
+  metrics::Counter* pages_loaded = metrics::GetCounter("tee.epc.page_load.count");
+  /// Bytes run through the paging crypto (evictions encrypt, loads decrypt).
+  metrics::Counter* crypto_bytes = metrics::GetCounter("tee.epc.crypto.bytes");
+  metrics::Counter* paging_cycles = metrics::GetCounter("tee.epc.paging.cycles");
+
+  static const EpcMetrics& Get() {
+    static const EpcMetrics instruments;
+    return instruments;
+  }
+};
+
+}  // namespace
 
 void EpcManager::ChargeCycles(uint64_t cycles) {
   clock_->AdvanceCycles(cycles);
@@ -22,6 +41,9 @@ Status EpcManager::EvictForLocked(uint64_t needed_pages) {
     region.resident = false;
     resident_pages_ -= region.pages;
     stats_->pages_evicted.fetch_add(region.pages, std::memory_order_relaxed);
+    EpcMetrics::Get().pages_evicted->Increment(region.pages);
+    EpcMetrics::Get().crypto_bytes->Increment(region.pages * model_.page_size);
+    EpcMetrics::Get().paging_cycles->Increment(region.pages * model_.page_evict_cycles);
     ChargeCycles(region.pages * model_.page_evict_cycles);
   }
   return Status::OK();
@@ -81,6 +103,9 @@ Status EpcManager::Touch(EpcRegionId id) {
   region.lru_pos = lru_.begin();
   resident_pages_ += region.pages;
   stats_->pages_loaded.fetch_add(region.pages, std::memory_order_relaxed);
+  EpcMetrics::Get().pages_loaded->Increment(region.pages);
+  EpcMetrics::Get().crypto_bytes->Increment(region.pages * model_.page_size);
+  EpcMetrics::Get().paging_cycles->Increment(region.pages * model_.page_load_cycles);
   ChargeCycles(region.pages * model_.page_load_cycles);
   return Status::OK();
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "confide/client.h"
 #include "confide/system.h"
 #include "crypto/drbg.h"
@@ -459,6 +460,59 @@ TEST_F(ConfideE2eTest, TeeCostsAreCharged) {
   ASSERT_TRUE(sys_->RunToCompletion().ok());
   EXPECT_GT(sys_->platform()->stats().ocalls.load(), ocalls_before);
   EXPECT_GT(sys_->clock()->NowNs(), before_ns);
+}
+
+TEST_F(ConfideE2eTest, MetricsTrackOneConfidentialTransaction) {
+  chain::Address addr = DeployCounter();
+  auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  metrics::MetricsSnapshot before = registry.Snapshot();
+  uint64_t stats_transitions_before = sys_->platform()->stats().transitions.load();
+
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(call->tx).ok());
+  ASSERT_TRUE(sys_->RunToCompletion().ok());
+
+  metrics::MetricsSnapshot after = registry.Snapshot();
+
+  // The registry's enclave-transition counter advanced by exactly the
+  // number of transition events the TEE cost model charged (TeeStats is
+  // the cost model's own ledger; this node is the only platform running).
+  uint64_t model_transitions =
+      sys_->platform()->stats().transitions.load() - stats_transitions_before;
+  EXPECT_GT(model_transitions, 0u);
+  EXPECT_EQ(after.counter("tee.transition.count") -
+                before.counter("tee.transition.count"),
+            model_transitions);
+
+  // One tx went through preverify and execute; P1–P5 phase histograms
+  // all saw it and the state ocall counters moved.
+  EXPECT_EQ(after.counter("confide.preverify.tx.count") -
+                before.counter("confide.preverify.tx.count"),
+            1u);
+  EXPECT_EQ(after.counter("confide.execute.tx.count") -
+                before.counter("confide.execute.tx.count"),
+            1u);
+  for (const char* phase :
+       {"confide.phase.p1_decode_ns", "confide.phase.p2_envelope_open_ns",
+        "confide.phase.p3_sig_verify_ns", "confide.phase.p4_cache_update_ns",
+        "confide.phase.p5_execute_ns"}) {
+    ASSERT_TRUE(after.histograms.count(phase)) << phase;
+    uint64_t delta = after.histograms.at(phase).count -
+                     (before.histograms.count(phase)
+                          ? before.histograms.at(phase).count
+                          : 0);
+    EXPECT_GE(delta, 1u) << phase;
+  }
+  EXPECT_GT(after.counter("confide.state.get_ocall.count") +
+                after.counter("confide.state.set_ocall.count"),
+            before.counter("confide.state.get_ocall.count") +
+                before.counter("confide.state.set_ocall.count"));
+
+  // A block was produced for the tx and the chain layer saw it.
+  EXPECT_GE(after.counter("chain.block.count") - before.counter("chain.block.count"),
+            1u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/sim_clock.h"
 #include "tee/attestation.h"
 #include "tee/enclave.h"
@@ -179,6 +180,43 @@ TEST(EnclaveTest, OcallDispatchesToHostHandler) {
   EXPECT_EQ(ToString(*out), "ping!");
   EXPECT_EQ(platform.stats().ocalls.load(), 1u);
   EXPECT_EQ(platform.stats().transitions.load(), 4u);  // ecall pair + ocall pair
+}
+
+TEST(EnclaveTest, GlobalMetricsMirrorPlatformStats) {
+  // The process-wide registry aggregates the same transition events the
+  // per-platform TeeStats records: deltas must match exactly.
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 1);
+  platform.RegisterOcall(7, [](ByteView payload) -> Result<Bytes> {
+    return ToBytes(payload);
+  });
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+
+  metrics::MetricsSnapshot before = metrics::MetricsRegistry::Global().Snapshot();
+  uint64_t stats_transitions_before = platform.stats().transitions.load();
+  uint64_t stats_ecalls_before = platform.stats().ecalls.load();
+  uint64_t stats_ocalls_before = platform.stats().ocalls.load();
+
+  ASSERT_TRUE(platform.Ecall(*id, 1, AsByteView("plain")).ok());  // no ocall
+  ASSERT_TRUE(platform.Ecall(*id, 2, AsByteView("ping")).ok());   // one ocall
+
+  metrics::MetricsSnapshot after = metrics::MetricsRegistry::Global().Snapshot();
+  uint64_t transitions_delta = platform.stats().transitions.load() -
+                               stats_transitions_before;
+  uint64_t ecalls_delta = platform.stats().ecalls.load() - stats_ecalls_before;
+  uint64_t ocalls_delta = platform.stats().ocalls.load() - stats_ocalls_before;
+
+  EXPECT_EQ(ecalls_delta, 2u);
+  EXPECT_EQ(ocalls_delta, 1u);
+  EXPECT_EQ(transitions_delta, 2 * ecalls_delta + 2 * ocalls_delta);
+  EXPECT_EQ(after.counter("tee.transition.count") -
+                before.counter("tee.transition.count"),
+            transitions_delta);
+  EXPECT_EQ(after.counter("tee.ecall.count") - before.counter("tee.ecall.count"),
+            ecalls_delta);
+  EXPECT_EQ(after.counter("tee.ocall.count") - before.counter("tee.ocall.count"),
+            ocalls_delta);
 }
 
 TEST(EnclaveTest, UnregisteredOcallFails) {
