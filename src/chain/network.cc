@@ -12,12 +12,44 @@ uint32_t NetworkSim::AddZone(std::string name) {
 
 uint32_t NetworkSim::AddNode(uint32_t zone) {
   node_zone_.push_back(zone);
+  node_partition_.push_back(0);
   return uint32_t(node_zone_.size() - 1);
 }
 
-void NetworkSim::SetLink(uint32_t zone_a, uint32_t zone_b, LinkModel link) {
+Status NetworkSim::SetLink(uint32_t zone_a, uint32_t zone_b, LinkModel link) {
+  if (zone_a >= zones_.size() || zone_b >= zones_.size()) {
+    return Status::OutOfRange("network: unknown zone id");
+  }
   links_[zone_a][zone_b] = link;
   links_[zone_b][zone_a] = link;
+  return Status::OK();
+}
+
+Status NetworkSim::SetPartition(uint32_t node, uint32_t group) {
+  if (node >= node_partition_.size()) {
+    return Status::OutOfRange("network: unknown node id");
+  }
+  node_partition_[node] = group;
+  return Status::OK();
+}
+
+void NetworkSim::HealPartitions() {
+  std::fill(node_partition_.begin(), node_partition_.end(), 0);
+}
+
+bool NetworkSim::Reachable(uint32_t from_node, uint32_t to_node) const {
+  if (from_node >= node_partition_.size() || to_node >= node_partition_.size()) {
+    return false;
+  }
+  return node_partition_[from_node] == node_partition_[to_node];
+}
+
+const LinkModel* NetworkSim::LinkBetween(uint32_t from_node,
+                                         uint32_t to_node) const {
+  if (from_node >= node_zone_.size() || to_node >= node_zone_.size()) {
+    return nullptr;
+  }
+  return &links_[node_zone_[from_node]][node_zone_[to_node]];
 }
 
 uint64_t NetworkSim::TransferNs(uint32_t from_node, uint32_t to_node,
@@ -29,14 +61,28 @@ uint64_t NetworkSim::TransferNs(uint32_t from_node, uint32_t to_node,
 
 uint64_t NetworkSim::LatencyNs(uint32_t from_node, uint32_t to_node) const {
   if (from_node == to_node) return 0;
-  return links_[node_zone_[from_node]][node_zone_[to_node]].latency_ns;
+  const LinkModel* link = LinkBetween(from_node, to_node);
+  return link == nullptr ? 0 : link->latency_ns;
 }
 
 uint64_t NetworkSim::SerializationNs(uint32_t from_node, uint32_t to_node,
                                      uint64_t bytes) const {
   if (from_node == to_node) return 0;
-  const LinkModel& link = links_[node_zone_[from_node]][node_zone_[to_node]];
-  return bytes * 1'000'000'000ull / link.bandwidth_bytes_per_sec;
+  const LinkModel* link = LinkBetween(from_node, to_node);
+  if (link == nullptr || link->bandwidth_bytes_per_sec == 0) return 0;
+  return bytes * 1'000'000'000ull / link->bandwidth_bytes_per_sec;
+}
+
+double NetworkSim::DropRate(uint32_t from_node, uint32_t to_node) const {
+  if (from_node == to_node) return 0.0;
+  const LinkModel* link = LinkBetween(from_node, to_node);
+  return link == nullptr ? 0.0 : link->drop_rate;
+}
+
+uint64_t NetworkSim::JitterNs(uint32_t from_node, uint32_t to_node) const {
+  if (from_node == to_node) return 0;
+  const LinkModel* link = LinkBetween(from_node, to_node);
+  return link == nullptr ? 0 : link->jitter_ns;
 }
 
 NetworkSim NetworkSim::SingleZone(size_t n) {
@@ -55,7 +101,7 @@ NetworkSim NetworkSim::TwoZone(size_t n, uint64_t inter_latency_ns) {
   // "connected through public network with relatively less network
   // bandwidth" (§6.2): ~50 Mb/s effective cross-city throughput.
   wan.bandwidth_bytes_per_sec = 6'250'000;
-  net.SetLink(shanghai, beijing, wan);
+  (void)net.SetLink(shanghai, beijing, wan);
   // 1:2 split, as in the paper's evaluation.
   for (size_t i = 0; i < n; ++i) {
     net.AddNode(i < n / 3 ? shanghai : beijing);

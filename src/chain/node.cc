@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/endian.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 
 namespace confide::chain {
@@ -43,13 +44,23 @@ Node::Node(NodeOptions options, EngineSet engines)
       engines_(engines),
       executor_(ExecutorOptions{options.parallelism}) {
   storage::LsmOptions lsm;
+  lsm.wal_dir = options.state_wal_dir;
   auto store = storage::LsmKvStore::Open(lsm);
+  if (!store.ok()) {
+    // WAL unusable (e.g. injected open failure): degrade to a volatile
+    // store so the node still comes up; durability tests catch this via
+    // the storage.lsm.recover.count metric staying flat.
+    store = storage::LsmKvStore::Open(storage::LsmOptions{});
+  }
   kv_ = std::shared_ptr<storage::KvStore>(std::move(*store));
   state_ = std::make_unique<CommitStateDb>(kv_);
   blocks_ = std::make_unique<storage::BlockStore>(kv_, options.clock);
 }
 
 Status Node::SubmitTransaction(Transaction tx) {
+  if (fault::FaultInjector::Global().ShouldFail("fault.chain.submit")) {
+    return Status::Unavailable("node: injected submit failure");
+  }
   if (tx.type == TxType::kConfidential && tx.envelope.empty()) {
     return Status::InvalidArgument("node: confidential tx without envelope");
   }
@@ -137,6 +148,9 @@ Result<Block> Node::ProposeBlock() {
 }
 
 Result<std::vector<Receipt>> Node::ApplyBlock(const Block& block) {
+  if (fault::FaultInjector::Global().ShouldFail("fault.chain.apply_block")) {
+    return Status::Unavailable("node: injected apply-block failure");
+  }
   if (block.header.height != blocks_->NextHeight()) {
     return Status::InvalidArgument("node: block height mismatch");
   }
@@ -147,22 +161,30 @@ Result<std::vector<Receipt>> Node::ApplyBlock(const Block& block) {
   std::vector<Receipt> receipts;
   {
     metrics::ScopedLatencyTimer timer(NodeMetrics::Get().block_execute_latency);
-    CONFIDE_ASSIGN_OR_RETURN(
-        receipts,
-        executor_.ExecuteBlock(block.transactions, engines_, state_.get()));
+    auto executed =
+        executor_.ExecuteBlock(block.transactions, engines_, state_.get());
+    if (!executed.ok()) {
+      state_->Discard();  // partial overlay from failed groups
+      return executed.status();
+    }
+    receipts = std::move(*executed);
   }
   NodeMetrics::Get().blocks->Increment();
   NodeMetrics::Get().block_txs->Increment(block.transactions.size());
   NodeMetrics::Get().txs_per_block->Observe(block.transactions.size());
 
-  // Persist receipts and the tx→block index alongside the state writes.
+  // Receipts, the tx→block index, the state writes and the block itself
+  // land in ONE batch: the store applies a batch atomically (single WAL
+  // record), so any write failure — injected or real — leaves the chain
+  // exactly at the previous block.
+  storage::WriteBatch batch;
   for (size_t i = 0; i < receipts.size(); ++i) {
     const crypto::Hash256 tx_hash = block.transactions[i].Hash();
     receipts[i].tx_hash = tx_hash;
     uint8_t height_be[8];
     StoreBe64(height_be, block.header.height);
-    kv_->Put(ReceiptKey(tx_hash), receipts[i].Serialize());
-    kv_->Put(TxIndexKey(tx_hash), Bytes(height_be, height_be + 8));
+    batch.Put(ReceiptKey(tx_hash), receipts[i].Serialize());
+    batch.Put(TxIndexKey(tx_hash), Bytes(height_be, height_be + 8));
   }
 
   std::vector<Bytes> receipt_leaves;
@@ -172,12 +194,24 @@ Result<std::vector<Receipt>> Node::ApplyBlock(const Block& block) {
 
   Block stored = block;
   stored.header.receipt_root = crypto::MerkleTree(receipt_leaves).Root();
-  CONFIDE_RETURN_NOT_OK(state_->Commit());
-  stored.header.state_root = state_->StateRoot();
+  crypto::Hash256 new_root;
+  state_->StageCommit(&batch, &new_root);
+  stored.header.state_root = new_root;
 
   crypto::Hash256 block_hash = stored.header.Hash();
-  CONFIDE_RETURN_NOT_OK(
-      blocks_->Append(stored.header.height, block_hash, stored.Serialize()));
+  Status staged = blocks_->StageAppend(stored.header.height, block_hash,
+                                       stored.Serialize(), &batch);
+  if (!staged.ok()) {
+    state_->Discard();
+    return staged;
+  }
+  Status written = kv_->Write(batch);
+  if (!written.ok()) {
+    state_->Discard();
+    return written;
+  }
+  state_->FinalizeCommit(new_root);
+  blocks_->FinalizeAppend();
   last_block_hash_ = block_hash;
   return receipts;
 }

@@ -23,6 +23,8 @@ struct NodeOptions {
   size_t block_max_bytes = 4096;
   /// Charges the ~6 ms cloud-SSD write model on block commits when set.
   SimClock* clock = nullptr;
+  /// Directory for the state-store WAL; empty = volatile state.
+  std::string state_wal_dir;
 };
 
 /// \brief Inclusion proof for one transaction (SPV read, paper §3.3: "to
@@ -54,7 +56,10 @@ class Node {
   Result<Block> ProposeBlock();
 
   /// \brief Executes and commits a block: state writes, receipts, block
-  /// storage. Returns the receipts in order.
+  /// storage — all folded into one atomic KV write, so an injected
+  /// storage fault (or any write failure) surfaces as a clean error with
+  /// no partial commit; the caller can retry the whole block. Returns
+  /// the receipts in order.
   Result<std::vector<Receipt>> ApplyBlock(const Block& block);
 
   /// \brief Fetches a stored receipt by transaction hash.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "crypto/drbg.h"
 
 namespace confide::chain {
 
@@ -129,6 +131,289 @@ PbftRoundResult SimulatePbftRound(const NetworkSim& net, uint32_t leader,
   rounds->Increment();
   messages->Increment(result.messages_sent);
   quorum_latency->Observe(result.quorum_commit_ns);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-aware simulator with view changes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class FMsgType : uint8_t {
+  kPrePrepare,  // view-0 proposal (NewView plays this role in later views)
+  kPrepare,
+  kCommit,
+  kViewChange,
+  kNewView,
+  kTimer,       // local view timeout, no network crossing
+};
+
+struct FEvent {
+  uint64_t time_ns;
+  uint32_t to;
+  uint32_t from;
+  uint32_t view;
+  FMsgType type;
+  bool valid;  // false = equivocating sender; honest receivers discard
+
+  bool operator>(const FEvent& other) const { return time_ns > other.time_ns; }
+};
+
+struct FReplica {
+  uint32_t view = 0;
+  uint64_t busy_until_ns = 0;
+  bool committed = false;
+  // Per-view protocol state (indexed by view, size max_views + 1).
+  std::vector<uint8_t> preprepared, prepared, timer_armed, newview_sent;
+  std::vector<uint32_t> prepare_votes, commit_votes, viewchange_votes;
+};
+
+}  // namespace
+
+PbftFaultResult SimulatePbftWithFaults(const NetworkSim& net, uint32_t leader,
+                                       uint64_t payload_bytes,
+                                       const PbftFaultModel& faults,
+                                       const PbftCostModel& cost) {
+  const uint32_t n = uint32_t(net.NodeCount());
+  const uint32_t f = (n - 1) / 3;
+  const uint32_t prepare_quorum = 2 * f;     // prepares from others + own
+  const uint32_t commit_quorum = 2 * f + 1;  // commits incl. own
+  const uint32_t max_view = faults.max_views;
+
+  auto behavior = [&](uint32_t i) {
+    return i < faults.behavior.size() ? faults.behavior[i]
+                                      : ReplicaBehavior::kHonest;
+  };
+  auto view_leader = [&](uint32_t v) { return (leader + v) % n; };
+
+  crypto::Drbg rng(faults.seed);
+  std::priority_queue<FEvent, std::vector<FEvent>, std::greater<FEvent>> queue;
+  std::vector<FReplica> replicas(n);
+  for (FReplica& r : replicas) {
+    r.preprepared.assign(max_view + 1, 0);
+    r.prepared.assign(max_view + 1, 0);
+    r.timer_armed.assign(max_view + 1, 0);
+    r.newview_sent.assign(max_view + 1, 0);
+    r.prepare_votes.assign(max_view + 1, 0);
+    r.commit_votes.assign(max_view + 1, 0);
+    r.viewchange_votes.assign(max_view + 1, 0);
+  }
+
+  PbftFaultResult result;
+  result.commit_time_ns.assign(n, 0);
+  uint32_t committed_count = 0;
+  uint32_t highest_view = 0;
+  std::vector<uint64_t> nic_free(n, 0);
+
+  const bool leader_crashed = behavior(leader) == ReplicaBehavior::kCrashed;
+  if (leader_crashed) fault::NoteInjected("fault.chain.leader_crash");
+
+  static metrics::Counter* dropped_counter =
+      metrics::GetCounter("chain.pbft.message.dropped");
+
+  auto unicast = [&](uint32_t from, uint32_t to, uint64_t at_ns, FMsgType type,
+                     uint32_t view, uint64_t bytes, bool valid) {
+    uint64_t depart = std::max(at_ns, nic_free[from]);
+    uint64_t serialization = net.SerializationNs(from, to, bytes);
+    nic_free[from] = depart + serialization;
+    ++result.messages_sent;
+    // Loss: partition, link drop rate, armed injector site, dead receiver.
+    bool drop = !net.Reachable(from, to) ||
+                behavior(to) == ReplicaBehavior::kCrashed;
+    double rate = net.DropRate(from, to);
+    if (!drop && rate > 0.0 &&
+        rng.NextBounded(1'000'000) < uint64_t(rate * 1'000'000.0)) {
+      drop = true;
+    }
+    if (!drop &&
+        fault::FaultInjector::Global().ShouldFail("fault.chain.pbft_msg_drop")) {
+      drop = true;
+    }
+    if (drop) {
+      ++result.messages_dropped;
+      dropped_counter->Increment();
+      return;
+    }
+    uint64_t jitter = net.JitterNs(from, to);
+    uint64_t extra = jitter > 0 ? rng.NextBounded(jitter + 1) : 0;
+    queue.push({depart + serialization + net.LatencyNs(from, to) + extra, to,
+                from, view, type, valid});
+  };
+
+  auto broadcast = [&](uint32_t from, uint64_t at_ns, FMsgType type,
+                       uint32_t view, uint64_t bytes, bool valid) {
+    for (uint32_t to = 0; to < n; ++to) {
+      if (to != from) unicast(from, to, at_ns, type, view, bytes, valid);
+    }
+  };
+
+  // Does replica i put messages on the wire, and are they truthful?
+  auto sends = [&](uint32_t i) {
+    return behavior(i) == ReplicaBehavior::kHonest ||
+           behavior(i) == ReplicaBehavior::kEquivocating;
+  };
+  auto truthful = [&](uint32_t i) {
+    return behavior(i) == ReplicaBehavior::kHonest;
+  };
+
+  auto arm_timer = [&](uint32_t i, uint32_t view, uint64_t now_ns) {
+    if (view > max_view || replicas[i].timer_armed[view]) return;
+    replicas[i].timer_armed[view] = 1;
+    queue.push({now_ns + faults.view_timeout_ns, i, i, view, FMsgType::kTimer,
+                true});
+  };
+
+  // Enters `view` at replica i; `announce` = broadcast a VIEW-CHANGE vote
+  // (false when entering because a NEW-VIEW arrived).
+  auto enter_view = [&](uint32_t i, uint32_t view, uint64_t now_ns,
+                        bool announce) {
+    FReplica& r = replicas[i];
+    if (view <= r.view && !(view == 0 && r.view == 0)) return;
+    r.view = view;
+    highest_view = std::max(highest_view, view);
+    if (announce && sends(i)) {
+      broadcast(i, now_ns, FMsgType::kViewChange, view, cost.vote_bytes,
+                truthful(i));
+    }
+    if (announce && truthful(i) && view_leader(view) == i) {
+      ++r.viewchange_votes[view];  // its own view-change vote
+    }
+    arm_timer(i, view, now_ns);
+  };
+
+  // New leader of `view` proposes once it holds a 2f+1 view-change quorum.
+  auto maybe_new_view = [&](uint32_t i, uint32_t view, uint64_t now_ns) {
+    FReplica& r = replicas[i];
+    if (view_leader(view) != i || view > max_view || r.newview_sent[view]) return;
+    if (r.viewchange_votes[view] < commit_quorum) return;
+    r.newview_sent[view] = 1;
+    if (!sends(i)) return;  // a silent new leader stalls this view too
+    if (r.view < view) enter_view(i, view, now_ns, /*announce=*/false);
+    r.preprepared[view] = 1;
+    broadcast(i, now_ns, FMsgType::kNewView, view, payload_bytes, truthful(i));
+    broadcast(i, now_ns, FMsgType::kPrepare, view, cost.vote_bytes, truthful(i));
+  };
+
+  // t=0: every live replica arms its view-0 timer; the leader proposes.
+  for (uint32_t i = 0; i < n; ++i) {
+    if (behavior(i) != ReplicaBehavior::kCrashed) arm_timer(i, 0, 0);
+  }
+  if (sends(leader)) {
+    replicas[leader].preprepared[0] = 1;
+    broadcast(leader, 0, FMsgType::kPrePrepare, 0, payload_bytes,
+              truthful(leader));
+    broadcast(leader, 0, FMsgType::kPrepare, 0, cost.vote_bytes,
+              truthful(leader));
+  }
+
+  while (!queue.empty()) {
+    FEvent ev = queue.top();
+    queue.pop();
+    FReplica& r = replicas[ev.to];
+
+    uint64_t processing = 0;
+    switch (ev.type) {
+      case FMsgType::kPrePrepare:
+      case FMsgType::kNewView:
+        processing = cost.preprepare_processing_ns;
+        break;
+      case FMsgType::kPrepare:
+      case FMsgType::kCommit:
+      case FMsgType::kViewChange:
+        processing = cost.vote_processing_ns;
+        break;
+      case FMsgType::kTimer:
+        break;
+    }
+    uint64_t start = std::max(ev.time_ns, r.busy_until_ns);
+    uint64_t done = start + processing;
+    if (processing > 0) r.busy_until_ns = done;
+
+    switch (ev.type) {
+      case FMsgType::kTimer:
+        // Stale once the replica committed or moved past the timed view.
+        if (!r.committed && ev.view == r.view && ev.view < max_view) {
+          enter_view(ev.to, ev.view + 1, done, /*announce=*/true);
+          maybe_new_view(ev.to, ev.view + 1, done);
+        }
+        break;
+      case FMsgType::kPrePrepare:
+        if (ev.valid && r.view == 0 && !r.preprepared[0]) {
+          r.preprepared[0] = 1;
+          if (sends(ev.to)) {
+            broadcast(ev.to, done, FMsgType::kPrepare, 0, cost.vote_bytes,
+                      truthful(ev.to));
+          }
+        }
+        break;
+      case FMsgType::kNewView:
+        if (ev.valid && ev.view >= r.view && !r.preprepared[ev.view]) {
+          enter_view(ev.to, ev.view, done, /*announce=*/false);
+          r.preprepared[ev.view] = 1;
+          if (sends(ev.to)) {
+            broadcast(ev.to, done, FMsgType::kPrepare, ev.view, cost.vote_bytes,
+                      truthful(ev.to));
+          }
+        }
+        break;
+      case FMsgType::kPrepare:
+        if (ev.valid) ++r.prepare_votes[ev.view];
+        break;
+      case FMsgType::kCommit:
+        if (ev.valid) ++r.commit_votes[ev.view];
+        break;
+      case FMsgType::kViewChange:
+        if (ev.valid) {
+          ++r.viewchange_votes[ev.view];
+          maybe_new_view(ev.to, ev.view, done);
+        }
+        break;
+    }
+
+    // Phase transitions in the replica's current view.
+    const uint32_t w = r.view;
+    if (r.preprepared[w] && !r.prepared[w] && r.prepare_votes[w] >= prepare_quorum) {
+      r.prepared[w] = 1;
+      if (sends(ev.to)) {
+        broadcast(ev.to, done, FMsgType::kCommit, w, cost.vote_bytes,
+                  truthful(ev.to));
+      }
+      ++r.commit_votes[w];  // own commit
+    }
+    if (r.prepared[w] && !r.committed && r.commit_votes[w] >= commit_quorum) {
+      r.committed = true;
+      result.commit_time_ns[ev.to] = done;
+      // Only honest/silent replicas count toward the trusted quorum.
+      if (behavior(ev.to) == ReplicaBehavior::kHonest ||
+          behavior(ev.to) == ReplicaBehavior::kSilent) {
+        ++committed_count;
+        if (committed_count == commit_quorum && !result.committed) {
+          result.committed = true;
+          result.quorum_commit_ns = done;
+          result.commit_view = w;
+        }
+      }
+    }
+  }
+
+  result.view_changes = highest_view;
+  if (result.committed && leader_crashed) {
+    fault::NoteRecovered("fault.chain.leader_crash");
+  }
+
+  static metrics::Counter* fault_rounds =
+      metrics::GetCounter("chain.pbft.fault_round.count");
+  static metrics::Counter* view_changes =
+      metrics::GetCounter("chain.pbft.view_change.count");
+  static metrics::Counter* messages =
+      metrics::GetCounter("chain.pbft.message.count");
+  static metrics::Histogram* quorum_latency =
+      metrics::GetHistogram("chain.pbft.fault.quorum_commit_ns");
+  fault_rounds->Increment();
+  view_changes->Increment(result.view_changes);
+  messages->Increment(result.messages_sent);
+  if (result.committed) quorum_latency->Observe(result.quorum_commit_ns);
   return result;
 }
 

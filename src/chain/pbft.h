@@ -36,9 +36,60 @@ struct PbftRoundResult {
 
 /// \brief Runs one PBFT ordering round for a proposal of `payload_bytes`.
 /// Tolerates f = (n-1)/3 faults; all replicas are honest and timely here —
-/// the goal is latency modelling, not fault injection.
+/// the fault-free fast path for latency modelling. For crashed/byzantine
+/// replicas, message loss and view changes, use SimulatePbftWithFaults.
 PbftRoundResult SimulatePbftRound(const NetworkSim& net, uint32_t leader,
                                   uint64_t payload_bytes,
                                   const PbftCostModel& cost = PbftCostModel{});
+
+/// \brief Per-replica failure mode for the fault-aware simulator.
+enum class ReplicaBehavior : uint8_t {
+  kHonest = 0,
+  kCrashed,        ///< sends and receives nothing
+  kSilent,         ///< receives and advances state, but never sends
+  kEquivocating,   ///< sends conflicting votes; honest replicas discard them
+};
+
+/// \brief Fault configuration for one simulated consensus instance.
+struct PbftFaultModel {
+  /// Behavior per node id; empty (or short) = honest. A crashed entry at
+  /// the leader's index is the classic dead-leader scenario.
+  std::vector<ReplicaBehavior> behavior;
+  /// A replica that has not committed by this deadline (per view) starts
+  /// a view change.
+  uint64_t view_timeout_ns = 400'000'000;
+  /// Give up after this many view changes (result.committed = false).
+  uint32_t max_views = 8;
+  /// Seeds the PRNG behind link drop-rate and jitter draws; a fixed seed
+  /// makes the whole simulation deterministic.
+  uint64_t seed = 1;
+};
+
+/// \brief Result of one fault-injected consensus instance.
+struct PbftFaultResult {
+  /// Commit time per node (0 = never committed).
+  std::vector<uint64_t> commit_time_ns;
+  /// Time when 2f+1 replicas committed; includes any view-change delay.
+  uint64_t quorum_commit_ns = 0;
+  /// True when a 2f+1 quorum committed before max_views was exhausted.
+  bool committed = false;
+  /// View in which the quorum committed (0 = no view change needed).
+  uint32_t commit_view = 0;
+  /// Number of view-change rounds entered.
+  uint32_t view_changes = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_dropped = 0;
+};
+
+/// \brief Plays a full PBFT instance — pre-prepare/prepare/commit plus
+/// the view-change protocol — under the fault model: crashed, silent and
+/// equivocating replicas, per-link loss/jitter, and partitions. A dead
+/// leader yields a measurable view-change latency instead of a hung
+/// round; an unreachable quorum yields committed = false after
+/// `max_views` view changes. Deterministic for a fixed model seed.
+PbftFaultResult SimulatePbftWithFaults(const NetworkSim& net, uint32_t leader,
+                                       uint64_t payload_bytes,
+                                       const PbftFaultModel& faults,
+                                       const PbftCostModel& cost = PbftCostModel{});
 
 }  // namespace confide::chain

@@ -31,20 +31,42 @@ size_t CommitStateDb::PendingWrites() const {
   return overlay_.size();
 }
 
-Status CommitStateDb::Commit() {
+void CommitStateDb::StageCommit(storage::WriteBatch* batch,
+                                crypto::Hash256* new_root) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (overlay_.empty()) return Status::OK();
-  storage::WriteBatch batch;
+  if (overlay_.empty()) {
+    *new_root = state_root_;
+    return;
+  }
   crypto::Sha256 root_ctx;
   root_ctx.Update(crypto::HashView(state_root_));
   for (auto& [key, value] : overlay_) {
     root_ctx.Update(AsByteView(key));
     root_ctx.Update(value);
-    batch.Put(key, std::move(value));
+    batch->Put(key, std::move(value));
   }
-  CONFIDE_RETURN_NOT_OK(kv_->Write(batch));
-  state_root_ = root_ctx.Finish();
+  *new_root = root_ctx.Finish();
+}
+
+void CommitStateDb::FinalizeCommit(const crypto::Hash256& new_root) {
+  std::lock_guard<std::mutex> lock(mutex_);
   overlay_.clear();
+  state_root_ = new_root;
+}
+
+Status CommitStateDb::Commit() {
+  storage::WriteBatch batch;
+  crypto::Hash256 new_root;
+  StageCommit(&batch, &new_root);
+  if (batch.ops().empty()) return Status::OK();
+  Status written = kv_->Write(batch);
+  if (!written.ok()) {
+    // The stage consumed the overlay values; drop the husk so the caller
+    // re-executes against a clean buffer.
+    Discard();
+    return written;
+  }
+  FinalizeCommit(new_root);
   return Status::OK();
 }
 

@@ -52,6 +52,18 @@ class CommitStateDb : public StateDb {
   void Discard() override;
   size_t PendingWrites() const override;
 
+  /// \brief Stages the buffered writes into `batch` and reports the state
+  /// root they chain to, without touching the store. The overlay's values
+  /// are consumed: once the batch is durably written call
+  /// FinalizeCommit(new_root); on a failed write call Discard() and
+  /// re-execute the block. Lets the node fold state, receipts and block
+  /// data into one atomic KV write.
+  void StageCommit(storage::WriteBatch* batch, crypto::Hash256* new_root);
+
+  /// \brief Completes a staged commit after its batch landed: clears the
+  /// overlay and adopts `new_root`.
+  void FinalizeCommit(const crypto::Hash256& new_root);
+
   /// \brief Chained digest over all committed writes. (A production
   /// system would use a Merkle-Patricia trie; the chained digest preserves
   /// the state-continuity property consensus checks, §3.3.)

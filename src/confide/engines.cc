@@ -193,6 +193,29 @@ Result<std::unique_ptr<ConfidentialEngine>> ConfidentialEngine::Create(
   return engine;
 }
 
+Status ConfidentialEngine::RecreateEnclave(uint64_t seed,
+                                           uint64_t enclave_heap_bytes) {
+  // A retried recovery may leave a live-but-unprovisioned enclave behind;
+  // reclaim its EPC before loading the replacement.
+  if (platform_->IsAlive(enclave_id_)) {
+    (void)platform_->DestroyEnclave(enclave_id_);
+  }
+  auto enclave = std::make_shared<CsEnclave>(seed, options_);
+  CONFIDE_ASSIGN_OR_RETURN(
+      tee::EnclaveId id, platform_->CreateEnclave(enclave, enclave_heap_bytes));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    enclave_ = std::move(enclave);
+    enclave_id_ = id;
+    conflict_keys_.clear();  // cached keys came from the dead enclave
+  }
+  // Handlers capture `this`, which is unchanged; re-registering keeps the
+  // ocall table pointed at this engine after the swap.
+  RegisterOcalls();
+  metrics::GetCounter("confide.enclave.recreate.count")->Increment();
+  return Status::OK();
+}
+
 void ConfidentialEngine::RegisterOcalls() {
   platform_->RegisterOcall(kOcallGetState, [this](ByteView payload) -> Result<Bytes> {
     EngineMetrics::Get().get_state_ocalls->Increment();

@@ -70,6 +70,14 @@ class ConfidentialEngine : public chain::ExecutionEngine {
 
   uint64_t ConflictKey(const chain::Transaction& tx) override;
 
+  /// \brief Replaces a crashed CS enclave with a freshly created one
+  /// (same options, new `seed`) inside this engine object, so every
+  /// ExecutionEngine pointer held by the node stays valid. The new
+  /// enclave has no keys — the caller must re-provision it (see
+  /// ConfideSystem::RecoverConfidentialEngine).
+  Status RecreateEnclave(uint64_t seed,
+                         uint64_t enclave_heap_bytes = 48ull << 20);
+
   tee::EnclaveId enclave_id() const { return enclave_id_; }
   CsEnclave* enclave() { return enclave_.get(); }
   tee::EnclavePlatform* platform() { return platform_; }

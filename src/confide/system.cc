@@ -1,5 +1,7 @@
 #include "confide/system.h"
 
+#include "common/fault.h"
+#include "common/metrics.h"
 #include "serialize/rlp.h"
 
 namespace confide::core {
@@ -36,6 +38,9 @@ Result<std::unique_ptr<ConfideSystem>> ConfideSystem::BootstrapCommon(
 }
 
 Status ConfideSystem::ProvisionCs() {
+  if (fault::FaultInjector::Global().ShouldFail("fault.confide.provision")) {
+    return Status::Unavailable("confide: injected provisioning failure");
+  }
   CONFIDE_ASSIGN_OR_RETURN(
       Bytes report,
       platform_->Ecall(confidential_->enclave_id(), kCsGetProvisionReport,
@@ -64,6 +69,7 @@ Status ConfideSystem::FinishBootstrap() {
   node_options.parallelism = options_.parallelism;
   node_options.block_max_bytes = options_.block_max_bytes;
   node_options.clock = &clock_;
+  node_options.state_wal_dir = options_.state_wal_dir;
   chain::EngineSet engines;
   engines.public_engine = public_.get();
   engines.confidential_engine = confidential_.get();
@@ -103,6 +109,87 @@ Result<std::unique_ptr<ConfideSystem>> ConfideSystem::BootstrapWithKms(
         kms->Provision(request, tee::MeasureEnclave("confide-km-enclave", 1)));
     return sys->platform_->Ecall(sys->km_id_, kKmAcceptProvision, blob);
   });
+}
+
+bool ConfideSystem::ConfidentialEngineAlive() const {
+  return confidential_ != nullptr &&
+         platform_->IsAlive(confidential_->enclave_id());
+}
+
+Status ConfideSystem::TryRecoverOnce() {
+  CONFIDE_RETURN_NOT_OK(confidential_->RecreateEnclave(options_.seed));
+
+  // Fast path: our own KM enclave survived and still holds the keys.
+  if (km_alive_) return ProvisionCs();
+
+  // The KM enclave was destroyed after bootstrap (paper §5.3), so the
+  // keys must come back over an attested channel: a peer's live KM
+  // enclave (decentralized MAP) or the centralized KMS.
+  const bool peer_ok = recovery_peer_ != nullptr && recovery_peer_->km_alive();
+  if (!peer_ok && recovery_kms_ == nullptr) {
+    return Status::Unavailable(
+        "recover: KM enclave destroyed and no recovery peer or KMS "
+        "configured — consortium keys unreachable");
+  }
+
+  // Fresh, key-less KM enclave to receive the provision blob.
+  km_ = std::make_shared<KmEnclave>(options_.seed);
+  CONFIDE_ASSIGN_OR_RETURN(km_id_, platform_->CreateEnclave(km_, 4 << 20));
+  km_alive_ = true;
+
+  auto obtain_keys = [&]() -> Status {
+    if (peer_ok) {
+      return RunMutualAttestation(recovery_peer_->platform_.get(),
+                                  recovery_peer_->km_id_, platform_.get(),
+                                  km_id_);
+    }
+    CONFIDE_ASSIGN_OR_RETURN(
+        Bytes request,
+        platform_->Ecall(km_id_, kKmCreateJoinRequest, ByteView{}));
+    CONFIDE_ASSIGN_OR_RETURN(
+        Bytes blob, recovery_kms_->Provision(
+                        request, tee::MeasureEnclave("confide-km-enclave", 1)));
+    return platform_->Ecall(km_id_, kKmAcceptProvision, blob).status();
+  };
+  Status keys = obtain_keys();
+  if (!keys.ok()) {
+    (void)platform_->DestroyEnclave(km_id_);
+    km_alive_ = false;
+    return keys;
+  }
+
+  Status provisioned = ProvisionCs();
+  if (provisioned.ok() && options_.destroy_km_after_provision) {
+    CONFIDE_RETURN_NOT_OK(platform_->DestroyEnclave(km_id_));
+    km_alive_ = false;
+  }
+  // On failure the fresh KM stays alive so the next attempt only has to
+  // redo the (cheap) CS-side provisioning.
+  return provisioned;
+}
+
+Status ConfideSystem::RecoverConfidentialEngine() {
+  if (confidential_ == nullptr) {
+    return Status::Internal("recover: system not bootstrapped");
+  }
+  Status last = Status::OK();
+  uint64_t backoff_ns = options_.recover_backoff_ns;
+  for (uint32_t attempt = 0; attempt < options_.recover_max_retries; ++attempt) {
+    if (attempt > 0) {
+      clock_.AdvanceNs(backoff_ns);  // modelled exponential backoff
+      backoff_ns *= 2;
+    }
+    last = TryRecoverOnce();
+    if (last.ok()) {
+      fault::NoteRecovered("fault.tee.enclave_crash");
+      if (attempt > 0) fault::NoteRecovered("fault.confide.provision");
+      metrics::GetCounter("confide.recover.success.count")->Increment();
+      metrics::GetCounter("confide.recover.attempts")->Increment(attempt + 1);
+      return Status::OK();
+    }
+  }
+  metrics::GetCounter("confide.recover.failure.count")->Increment();
+  return last;
 }
 
 Result<std::vector<chain::Receipt>> ConfideSystem::RunToCompletion() {

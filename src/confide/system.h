@@ -32,6 +32,13 @@ struct SystemOptions {
   /// Destroy the KM enclave after provisioning (paper default). Keep it
   /// alive only when later MAP provisioning of other nodes is expected.
   bool destroy_km_after_provision = true;
+  /// Attempts per RecoverConfidentialEngine() call before giving up.
+  uint32_t recover_max_retries = 4;
+  /// Base backoff between recovery attempts; doubles per retry. Charged
+  /// to the node's SimClock (modelled, not wall time).
+  uint64_t recover_backoff_ns = 1'000'000;
+  /// Directory for the node state WAL; empty = volatile state store.
+  std::string state_wal_dir;
 };
 
 /// \brief One fully bootstrapped CONFIDE node.
@@ -67,8 +74,29 @@ class ConfideSystem {
   /// drain. Convenience for tests/examples; returns total receipts.
   Result<std::vector<chain::Receipt>> RunToCompletion();
 
+  /// \brief True while the CS enclave backing the confidential engine is
+  /// loaded on the platform.
+  bool ConfidentialEngineAlive() const;
+
+  /// \brief Names a peer node whose live KM enclave can re-provision this
+  /// node's keys (decentralized MAP recovery source).
+  void SetRecoveryPeer(ConfideSystem* peer) { recovery_peer_ = peer; }
+
+  /// \brief Names a centralized KMS as the key-recovery source.
+  void SetRecoveryKms(CentralKms* kms) { recovery_kms_ = kms; }
+
+  /// \brief Rebuilds a crashed CS enclave and re-provisions its keys, so
+  /// `km_alive_ == false` does not mean permanent key loss. Key source
+  /// order: own live KM enclave, else a fresh KM enclave fed via the
+  /// recovery peer's MAP or the recovery KMS. Retries with exponential
+  /// backoff (modelled time) up to `recover_max_retries` attempts.
+  Status RecoverConfidentialEngine();
+
  private:
   ConfideSystem() = default;
+
+  /// \brief One recovery attempt: recreate enclave + re-provision keys.
+  Status TryRecoverOnce();
 
   static Result<std::unique_ptr<ConfideSystem>> BootstrapCommon(
       SystemOptions options,
@@ -88,6 +116,8 @@ class ConfideSystem {
   std::unique_ptr<chain::Node> node_;
   crypto::PublicKey pk_tx_{};
   Bytes pk_info_blob_;
+  ConfideSystem* recovery_peer_ = nullptr;
+  CentralKms* recovery_kms_ = nullptr;
 };
 
 }  // namespace confide::core

@@ -14,7 +14,8 @@ std::string BlockStore::HashKey(const crypto::Hash256& hash) {
   return "blk/x/" + HexEncode(crypto::HashView(hash));
 }
 
-Status BlockStore::Append(uint64_t height, const crypto::Hash256& hash, Bytes block) {
+Status BlockStore::StageAppend(uint64_t height, const crypto::Hash256& hash,
+                               Bytes block, WriteBatch* batch) {
   if (height != next_height_) {
     return Status::InvalidArgument("non-contiguous block height");
   }
@@ -22,13 +23,18 @@ Status BlockStore::Append(uint64_t height, const crypto::Hash256& hash, Bytes bl
     clock_->AdvanceNs(ssd_.write_latency_ns +
                       ssd_.write_ns_per_kib * (block.size() / 1024));
   }
-  WriteBatch batch;
   uint8_t be[8];
   StoreBe64(be, height);
-  batch.Put(HashKey(hash), Bytes(be, be + 8));
-  batch.Put(HeightKey(height), std::move(block));
+  batch->Put(HashKey(hash), Bytes(be, be + 8));
+  batch->Put(HeightKey(height), std::move(block));
+  return Status::OK();
+}
+
+Status BlockStore::Append(uint64_t height, const crypto::Hash256& hash, Bytes block) {
+  WriteBatch batch;
+  CONFIDE_RETURN_NOT_OK(StageAppend(height, hash, std::move(block), &batch));
   CONFIDE_RETURN_NOT_OK(kv_->Write(batch));
-  ++next_height_;
+  FinalizeAppend();
   return Status::OK();
 }
 

@@ -32,6 +32,16 @@ class BlockStore {
   /// \brief Appends a block. Heights must be contiguous from 0.
   Status Append(uint64_t height, const crypto::Hash256& hash, Bytes block);
 
+  /// \brief Stages an append into `batch` (height check + SSD latency
+  /// model) without writing; call FinalizeAppend() once the batch has
+  /// been durably written. Lets the node commit block data atomically
+  /// with state and receipts.
+  Status StageAppend(uint64_t height, const crypto::Hash256& hash, Bytes block,
+                     WriteBatch* batch);
+
+  /// \brief Completes a staged append (advances the height cursor).
+  void FinalizeAppend() { ++next_height_; }
+
   Result<Bytes> GetByHeight(uint64_t height) const;
   Result<Bytes> GetByHash(const crypto::Hash256& hash) const;
 

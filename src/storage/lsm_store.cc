@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 
 namespace confide::storage {
@@ -43,20 +44,34 @@ std::optional<std::optional<Bytes>> SortedRun::Get(const std::string& key) const
 }
 
 Result<std::unique_ptr<LsmKvStore>> LsmKvStore::Open(const LsmOptions& options) {
+  return Recover(options, nullptr);
+}
+
+Result<std::unique_ptr<LsmKvStore>> LsmKvStore::Recover(const LsmOptions& options,
+                                                        RecoveryInfo* info) {
   std::unique_ptr<LsmKvStore> store(new LsmKvStore(options));
+  RecoveryInfo local;
   if (!options.wal_dir.empty()) {
     std::string wal_path = options.wal_dir + "/confide.wal";
-    CONFIDE_RETURN_NOT_OK(Wal::Replay(wal_path, [&](const WriteBatch& batch) {
-      for (const auto& op : batch.ops()) {
-        if (op.type == WriteBatch::OpType::kPut) {
-          store->mem_.Put(op.key, op.value);
-        } else {
-          store->mem_.Put(op.key, std::nullopt);
-        }
-      }
-    }));
+    ReplayStats stats;
+    CONFIDE_RETURN_NOT_OK(Wal::Replay(
+        wal_path,
+        [&](const WriteBatch& batch) {
+          for (const auto& op : batch.ops()) {
+            if (op.type == WriteBatch::OpType::kPut) {
+              store->mem_.Put(op.key, op.value);
+            } else {
+              store->mem_.Put(op.key, std::nullopt);
+            }
+          }
+        },
+        &stats));
+    local.batches_replayed = stats.records;
+    local.torn_tail = stats.torn_tail;
     CONFIDE_ASSIGN_OR_RETURN(store->wal_, Wal::Open(wal_path));
+    metrics::GetCounter("storage.lsm.recover.count")->Increment();
   }
+  if (info != nullptr) *info = local;
   return store;
 }
 
@@ -117,6 +132,11 @@ Status LsmKvStore::Write(const WriteBatch& batch) {
 Status LsmKvStore::MaybeFlushLocked() {
   if (mem_.approximate_bytes() < options_.memtable_flush_bytes) {
     return Status::OK();
+  }
+  // Fail before any structural mutation so a rejected flush leaves the
+  // memtable (and its WAL coverage) fully intact.
+  if (fault::FaultInjector::Global().ShouldFail("fault.storage.lsm_flush")) {
+    return Status::Unavailable("lsm: injected flush failure");
   }
   std::vector<RunEntry> entries;
   entries.reserve(mem_.entry_count());

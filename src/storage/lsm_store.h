@@ -44,11 +44,24 @@ class SortedRun {
   std::vector<RunEntry> entries_;
 };
 
+/// \brief What crash recovery found (Recover() diagnostics).
+struct RecoveryInfo {
+  uint64_t batches_replayed = 0;  ///< intact WAL records re-applied
+  bool torn_tail = false;         ///< WAL ended mid-record (crash mid-write)
+};
+
 /// \brief The store. Thread-safe.
 class LsmKvStore : public KvStore {
  public:
   /// \brief Opens a store; replays the WAL when `options.wal_dir` is set.
   static Result<std::unique_ptr<LsmKvStore>> Open(const LsmOptions& options);
+
+  /// \brief Open with recovery diagnostics: replays the WAL (tolerating a
+  /// torn tail record from a crash mid-append) and reports what it found.
+  /// A store that crashed after acknowledging batch k recovers every
+  /// batch up to and including k — a prefix-consistent state.
+  static Result<std::unique_ptr<LsmKvStore>> Recover(const LsmOptions& options,
+                                                     RecoveryInfo* info = nullptr);
 
   Result<Bytes> Get(const std::string& key) const override;
   Status Put(const std::string& key, Bytes value) override;

@@ -1,9 +1,13 @@
 #include "storage/wal.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstring>
 
 #include "common/crc32.h"
 #include "common/endian.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 
 namespace confide::storage {
@@ -16,6 +20,9 @@ struct WalMetrics {
   metrics::Counter* syncs = metrics::GetCounter("storage.wal.sync.count");
   metrics::Counter* replayed_batches =
       metrics::GetCounter("storage.wal.replay.batch.count");
+  metrics::Counter* resets = metrics::GetCounter("storage.wal.reset.count");
+  metrics::Counter* torn_tails =
+      metrics::GetCounter("storage.wal.replay.torn_tail.count");
 
   static const WalMetrics& Get() {
     static const WalMetrics instruments;
@@ -87,6 +94,9 @@ Wal::~Wal() {
 }
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  if (fault::FaultInjector::Global().ShouldFail("fault.storage.wal_open")) {
+    return Status::Unavailable("wal: injected open failure for " + path);
+  }
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return Status::Internal("wal: cannot open " + path);
@@ -95,14 +105,44 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
 }
 
 Status Wal::Append(const WriteBatch& batch) {
+  if (tainted_) {
+    // A previous append failed partway through its record. If the process
+    // survives (no crash) and keeps writing, drop the torn bytes first so
+    // the log stays a clean sequence of whole records; a crash instead
+    // leaves the torn tail for Replay to skip.
+    std::fflush(file_);
+    if (::ftruncate(::fileno(file_), off_t(good_offset_)) != 0) {
+      return Status::Internal("wal: cannot repair torn tail");
+    }
+    tainted_ = false;
+  }
+  std::fseek(file_, 0, SEEK_END);
+  long offset = std::ftell(file_);
   Bytes payload = EncodeBatch(batch);
   WalMetrics::Get().appends->Increment();
   WalMetrics::Get().append_bytes->Increment(payload.size() + 8);
   uint8_t header[8];
   StoreLe32(header, Crc32(payload));
   StoreLe32(header + 4, uint32_t(payload.size()));
+  uint64_t persist_bytes = 0;
+  if (fault::FaultInjector::Global().ShouldFail("fault.storage.wal_torn",
+                                                &persist_bytes)) {
+    // Simulated crash mid-write: only the first `persist_bytes` bytes of
+    // the record make it to the file, then the writer "dies". Flush what
+    // was written so a reopened replay sees exactly the torn prefix.
+    uint64_t head = std::min<uint64_t>(persist_bytes, 8);
+    uint64_t body = std::min<uint64_t>(persist_bytes - head, payload.size());
+    if (head > 0) std::fwrite(header, 1, size_t(head), file_);
+    if (body > 0) std::fwrite(payload.data(), 1, size_t(body), file_);
+    std::fflush(file_);
+    tainted_ = persist_bytes > 0;
+    good_offset_ = uint64_t(offset);
+    return Status::Internal("wal: injected torn write");
+  }
   if (std::fwrite(header, 1, 8, file_) != 8 ||
       std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    tainted_ = true;
+    good_offset_ = uint64_t(offset);
     return Status::Internal("wal: short write");
   }
   return Status::OK();
@@ -110,24 +150,44 @@ Status Wal::Append(const WriteBatch& batch) {
 
 Status Wal::Sync() {
   WalMetrics::Get().syncs->Increment();
+  if (fault::FaultInjector::Global().ShouldFail("fault.storage.wal_sync")) {
+    sync_failing_ = true;
+    return Status::Unavailable("wal: injected sync failure");
+  }
   if (std::fflush(file_) != 0) return Status::Internal("wal: flush failed");
+  if (sync_failing_) {
+    // A sync succeeded after injected failures: the log is durable again.
+    sync_failing_ = false;
+    fault::NoteRecovered("fault.storage.wal_sync");
+  }
   return Status::OK();
 }
 
 Status Wal::Replay(const std::string& path,
-                   const std::function<void(const WriteBatch&)>& apply) {
+                   const std::function<void(const WriteBatch&)>& apply,
+                   ReplayStats* stats) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return Status::OK();  // no log yet
+  ReplayStats local;
+  if (file == nullptr) {
+    if (stats != nullptr) *stats = local;
+    return Status::OK();  // no log yet
+  }
   Status status = Status::OK();
   for (;;) {
     uint8_t header[8];
     size_t n = std::fread(header, 1, 8, file);
     if (n == 0) break;  // clean EOF
-    if (n < 8) break;   // torn header at tail: stop silently
+    if (n < 8) {        // torn header at tail: stop silently
+      local.torn_tail = true;
+      break;
+    }
     uint32_t crc = LoadLe32(header);
     uint32_t len = LoadLe32(header + 4);
     Bytes payload(len);
-    if (std::fread(payload.data(), 1, len, file) != len) break;  // torn tail
+    if (std::fread(payload.data(), 1, len, file) != len) {  // torn tail
+      local.torn_tail = true;
+      break;
+    }
     if (Crc32(payload) != crc) {
       status = Status::Corruption("wal: crc mismatch");
       break;
@@ -138,16 +198,34 @@ Status Wal::Replay(const std::string& path,
       break;
     }
     WalMetrics::Get().replayed_batches->Increment();
+    ++local.records;
     apply(*batch);
   }
   std::fclose(file);
+  if (local.torn_tail) {
+    WalMetrics::Get().torn_tails->Increment();
+    // Surviving a torn tail — replaying the intact prefix and dropping the
+    // partial record — is the recovery path for an injected torn write.
+    fault::NoteRecovered("fault.storage.wal_torn");
+  }
+  if (stats != nullptr) *stats = local;
   return status;
 }
 
 Status Wal::Reset() {
+  if (fault::FaultInjector::Global().ShouldFail("fault.storage.wal_reset")) {
+    return Status::Unavailable("wal: injected reset failure");
+  }
+  WalMetrics::Get().resets->Increment();
   std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "wb");
   if (file_ == nullptr) return Status::Internal("wal: cannot truncate");
+  // Push the truncation all the way to disk: without the fsync a crash
+  // after a memtable flush could resurrect stale records on top of the
+  // flushed run and double-apply them on recovery.
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::Internal("wal: truncate sync failed");
+  }
   return Status::OK();
 }
 

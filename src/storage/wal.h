@@ -19,7 +19,18 @@ Bytes EncodeBatch(const WriteBatch& batch);
 /// \brief Parses a WAL payload back into a WriteBatch.
 Result<WriteBatch> DecodeBatch(ByteView payload);
 
+/// \brief What Replay() found in the log (recovery diagnostics).
+struct ReplayStats {
+  uint64_t records = 0;   ///< intact records applied
+  bool torn_tail = false; ///< log ended in a partially-written record
+};
+
 /// \brief Append-only write-ahead log.
+///
+/// Fault sites (see common/fault.h): `fault.storage.wal_open`,
+/// `fault.storage.wal_torn` (Append persists only `arg` bytes of the
+/// record, simulating a crash mid-write), `fault.storage.wal_sync`,
+/// `fault.storage.wal_reset`.
 class Wal {
  public:
   ~Wal();
@@ -37,11 +48,15 @@ class Wal {
 
   /// \brief Replays every intact record of the log at `path` in order.
   /// Missing file is not an error (empty log). A torn tail record ends the
-  /// replay without error; a mid-file CRC mismatch is Corruption.
+  /// replay without error (reported via `stats`); a mid-file CRC mismatch
+  /// is Corruption.
   static Status Replay(const std::string& path,
-                       const std::function<void(const WriteBatch&)>& apply);
+                       const std::function<void(const WriteBatch&)>& apply,
+                       ReplayStats* stats = nullptr);
 
-  /// \brief Truncates the log (after a successful memtable flush).
+  /// \brief Truncates the log (after a successful memtable flush). The
+  /// truncation is synced to disk so a crash right after Reset cannot
+  /// resurrect the old log contents.
   Status Reset();
 
  private:
@@ -49,6 +64,9 @@ class Wal {
 
   std::FILE* file_;
   std::string path_;
+  bool sync_failing_ = false;  ///< last Sync failed (injected); for recovery accounting
+  bool tainted_ = false;       ///< last Append left a partial record on disk
+  uint64_t good_offset_ = 0;   ///< end of the last whole record
 };
 
 }  // namespace confide::storage

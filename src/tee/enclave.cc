@@ -1,6 +1,7 @@
 #include "tee/enclave.h"
 
 #include "common/endian.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "crypto/drbg.h"
 #include "crypto/hmac.h"
@@ -174,13 +175,30 @@ Result<EnclaveId> EnclavePlatform::CreateEnclave(std::shared_ptr<Enclave> code,
   return id;
 }
 
-Status EnclavePlatform::DestroyEnclave(EnclaveId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Status EnclavePlatform::RemoveEnclaveLocked(EnclaveId id, bool crashed) {
   auto it = enclaves_.find(id);
   if (it == enclaves_.end()) return Status::NotFound("unknown enclave");
   CONFIDE_RETURN_NOT_OK(epc_.Free(it->second.heap_region));
   enclaves_.erase(it);
+  if (crashed) crashed_.insert(id);
   return Status::OK();
+}
+
+Status EnclavePlatform::DestroyEnclave(EnclaveId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RemoveEnclaveLocked(id, /*crashed=*/false);
+}
+
+Status EnclavePlatform::KillEnclave(EnclaveId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CONFIDE_RETURN_NOT_OK(RemoveEnclaveLocked(id, /*crashed=*/true));
+  fault::NoteInjected("fault.tee.enclave_crash");
+  return Status::OK();
+}
+
+bool EnclavePlatform::IsAlive(EnclaveId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enclaves_.find(id) != enclaves_.end();
 }
 
 Result<Bytes> EnclavePlatform::Ecall(EnclaveId id, uint64_t fn, ByteView input,
@@ -189,10 +207,22 @@ Result<Bytes> EnclavePlatform::Ecall(EnclaveId id, uint64_t fn, ByteView input,
   EpcRegionId heap;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (crashed_.count(id) != 0) {
+      return Status::Unavailable("tee: enclave crashed");
+    }
     auto it = enclaves_.find(id);
     if (it == enclaves_.end()) return Status::NotFound("unknown enclave");
     code = it->second.code;
     heap = it->second.heap_region;
+  }
+  if (fault::FaultInjector::Global().ShouldFail("fault.tee.enclave_crash")) {
+    // The enclave dies before the call enters it; EPC is reclaimed and
+    // every later Ecall against this id sees the same Unavailable error.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      (void)RemoveEnclaveLocked(id, /*crashed=*/true);
+    }
+    return Status::Unavailable("tee: enclave crashed");
   }
   stats_.ecalls.fetch_add(1, std::memory_order_relaxed);
   TeeMetrics::Get().ecalls->Increment();

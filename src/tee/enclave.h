@@ -14,6 +14,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/bytes.h"
 #include "common/sim_clock.h"
@@ -126,8 +127,21 @@ class EnclavePlatform {
   Status DestroyEnclave(EnclaveId id);
 
   /// \brief Invokes fn inside the enclave, charging boundary costs.
+  /// Fault site `fault.tee.enclave_crash`: when armed, the target enclave
+  /// is killed before dispatch and the call returns Unavailable — the
+  /// simulated equivalent of an AEX/processor fault tearing the enclave
+  /// down mid-call.
   Result<Bytes> Ecall(EnclaveId id, uint64_t fn, ByteView input,
                       PointerSemantics semantics = PointerSemantics::kCopyInOut);
+
+  /// \brief Kills an enclave as if it crashed: EPC is released, the id is
+  /// remembered as crashed so later Ecalls report Unavailable (distinct
+  /// from NotFound for never-existing ids). Records the injection under
+  /// `fault.tee.enclave_crash`.
+  Status KillEnclave(EnclaveId id);
+
+  /// \brief True while `id` names a live (loaded, not crashed) enclave.
+  bool IsAlive(EnclaveId id) const;
 
   /// \brief Registers the host-side handler for ocall `fn`.
   void RegisterOcall(uint64_t fn, OcallHandler handler);
@@ -174,8 +188,13 @@ class EnclavePlatform {
   crypto::Hash256 local_report_key_;  // platform-secret MAC key
   crypto::Hash256 seal_root_key_;     // platform-secret sealing root
 
+  /// \brief Tears down one enclave under `mutex_` (shared by
+  /// DestroyEnclave and KillEnclave).
+  Status RemoveEnclaveLocked(EnclaveId id, bool crashed);
+
   mutable std::mutex mutex_;
   std::unordered_map<EnclaveId, LoadedEnclave> enclaves_;
+  std::unordered_set<EnclaveId> crashed_;
   std::unordered_map<uint64_t, OcallHandler> ocalls_;
   EnclaveId next_enclave_id_ = 1;
   std::atomic<uint64_t> monitor_sequence_{0};

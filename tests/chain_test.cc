@@ -224,6 +224,25 @@ TEST(NetworkTest, TransferScalesWithPayload) {
   EXPECT_EQ(net.TransferNs(0, 0, 100), 0u);
 }
 
+TEST(NetworkTest, OutOfRangeNodeIdsReturnSentinelsNotUb) {
+  NetworkSim net = NetworkSim::SingleZone(3);
+  // Past-the-end and far-out ids: documented sentinels, no OOB indexing.
+  EXPECT_EQ(net.ZoneOf(3), NetworkSim::kInvalidZone);
+  EXPECT_EQ(net.ZoneOf(UINT32_MAX), NetworkSim::kInvalidZone);
+  EXPECT_EQ(net.TransferNs(0, 3, 1000), 0u);
+  EXPECT_EQ(net.TransferNs(7, 0, 1000), 0u);
+  EXPECT_EQ(net.LatencyNs(0, 99), 0u);
+  EXPECT_EQ(net.SerializationNs(99, 0, 1000), 0u);
+  EXPECT_EQ(net.DropRate(99, 99), 0.0);
+  EXPECT_EQ(net.JitterNs(0, 99), 0u);
+  EXPECT_FALSE(net.Reachable(0, 3));
+  EXPECT_FALSE(net.Reachable(3, 0));
+  EXPECT_TRUE(net.Reachable(0, 2));
+  // Invalid ids are rejected by the mutators too.
+  EXPECT_FALSE(net.SetPartition(3, 1).ok());
+  EXPECT_FALSE(net.SetLink(0, 5, LinkModel{}).ok());
+}
+
 TEST(PbftTest, AllReplicasCommitInSingleZone) {
   NetworkSim net = NetworkSim::SingleZone(4);
   PbftRoundResult result = SimulatePbftRound(net, 0, 4096);

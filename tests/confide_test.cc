@@ -409,6 +409,22 @@ TEST_F(ConfideE2eTest, PublicAndConfidentialCoexist) {
   EXPECT_GT(conf_state->size(), 8u);  // sealed
 }
 
+TEST_F(ConfideE2eTest, JoinAgainstDestroyedKmFailsDescriptively) {
+  // Default bootstrap destroys the provider's KM enclave (§5.3), which
+  // makes it useless as a MAP provisioning source. Joining against it
+  // must fail up front with a descriptive error, not deep inside the
+  // attestation protocol.
+  EXPECT_FALSE(sys_->km_alive());
+  SystemOptions joiner_options;
+  joiner_options.seed = 150;
+  auto joiner = ConfideSystem::BootstrapJoin(joiner_options, sys_.get());
+  ASSERT_FALSE(joiner.ok());
+  EXPECT_EQ(joiner.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(joiner.status().message().find("provider KM enclave"),
+            std::string::npos)
+      << joiner.status().ToString();
+}
+
 TEST_F(ConfideE2eTest, JoinedNodeExecutesIdentically) {
   // Bootstrap a second node via MAP (provider keeps KM alive).
   SystemOptions first_options;

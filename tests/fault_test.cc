@@ -1,0 +1,656 @@
+/// \file fault_test.cc
+/// \brief Chaos suite for the deterministic fault-injection framework:
+/// injector semantics, PBFT view changes under replica faults, WAL/LSM
+/// crash recovery, enclave crash + re-provisioning, and an end-to-end
+/// node chaos run. Deterministic for a fixed CONFIDE_FAULT_SEED; set
+/// CONFIDE_FAULT_REPORT to dump fault.* counters as JSON on exit.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "chain/network.h"
+#include "chain/pbft.h"
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "confide/client.h"
+#include "confide/system.h"
+#include "crypto/drbg.h"
+#include "lang/compiler.h"
+#include "serialize/rlp.h"
+#include "storage/lsm_store.h"
+#include "storage/wal.h"
+
+namespace confide {
+namespace {
+
+using chain::NamedAddress;
+using core::Client;
+using core::ConfideSystem;
+using core::SystemOptions;
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::Trigger;
+using storage::WriteBatch;
+
+uint64_t ChaosSeed() {
+  if (const char* s = std::getenv("CONFIDE_FAULT_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 1;
+}
+
+/// Dumps every `fault.*` counter to CONFIDE_FAULT_REPORT (CI artifact).
+class FaultReportEnv : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* path = std::getenv("CONFIDE_FAULT_REPORT");
+    if (path == nullptr) return;
+    metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+    std::ofstream out(path);
+    out << "{\n";
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+      if (name.rfind("fault.", 0) != 0) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "  \"" << name << "\": " << value;
+    }
+    out << "\n}\n";
+  }
+};
+
+const auto* const kFaultReportEnv =
+    ::testing::AddGlobalTestEnvironment(new FaultReportEnv);
+
+// ---------------------------------------------------------------------------
+// FaultInjector semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, UnarmedSitesNeverFire) {
+  FaultPlan plan(1);
+  EXPECT_FALSE(FaultInjector::Global().ShouldFail("fault.test.nothing"));
+  EXPECT_FALSE(FaultInjector::Global().AnyArmed());
+}
+
+TEST(FaultInjectorTest, OneShotFiresExactlyOnce) {
+  FaultPlan plan(1);
+  plan.Arm("fault.test.a", Trigger{.one_shot = true});
+  EXPECT_TRUE(FaultInjector::Global().ShouldFail("fault.test.a"));
+  EXPECT_FALSE(FaultInjector::Global().ShouldFail("fault.test.a"));
+  EXPECT_EQ(FaultInjector::Global().FiredCount("fault.test.a"), 1u);
+}
+
+TEST(FaultInjectorTest, NthHitTrigger) {
+  FaultPlan plan(1);
+  plan.Arm("fault.test.nth", Trigger{.after_hits = 2});  // fires on 3rd hit
+  EXPECT_FALSE(FaultInjector::Global().ShouldFail("fault.test.nth"));
+  EXPECT_FALSE(FaultInjector::Global().ShouldFail("fault.test.nth"));
+  EXPECT_TRUE(FaultInjector::Global().ShouldFail("fault.test.nth"));
+  EXPECT_EQ(FaultInjector::Global().HitCount("fault.test.nth"), 3u);
+}
+
+TEST(FaultInjectorTest, ArgPassesThrough) {
+  FaultPlan plan(1);
+  plan.Arm("fault.test.arg", Trigger{.one_shot = true, .arg = 42});
+  uint64_t arg = 0;
+  EXPECT_TRUE(FaultInjector::Global().ShouldFail("fault.test.arg", &arg));
+  EXPECT_EQ(arg, 42u);
+}
+
+TEST(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.Arm("fault.test.p", Trigger{.probability = 0.5});
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(FaultInjector::Global().ShouldFail("fault.test.p"));
+    }
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));      // same seed, same sequence
+  EXPECT_NE(run(7), run(1234));   // different seed, different sequence
+}
+
+TEST(FaultInjectorTest, PlanDisarmsAtScopeExit) {
+  {
+    FaultPlan plan(1);
+    plan.Arm("fault.test.scoped");
+    EXPECT_TRUE(FaultInjector::Global().AnyArmed());
+  }
+  EXPECT_FALSE(FaultInjector::Global().AnyArmed());
+  EXPECT_FALSE(FaultInjector::Global().ShouldFail("fault.test.scoped"));
+}
+
+TEST(FaultInjectorTest, InjectedAndRecoveredCounters) {
+  uint64_t before =
+      metrics::MetricsRegistry::Global().Snapshot().counter("fault.test.c.injected");
+  {
+    FaultPlan plan(1);
+    plan.Arm("fault.test.c", Trigger{.one_shot = true});
+    EXPECT_TRUE(FaultInjector::Global().ShouldFail("fault.test.c"));
+  }
+  fault::NoteRecovered("fault.test.c");
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("fault.test.c.injected"), before + 1);
+  EXPECT_GE(snap.counter("fault.test.c.recovered"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// PBFT under faults
+// ---------------------------------------------------------------------------
+
+chain::PbftFaultModel Behaviors(std::vector<chain::ReplicaBehavior> b) {
+  chain::PbftFaultModel model;
+  model.behavior = std::move(b);
+  return model;
+}
+
+TEST(PbftFaultTest, AllHonestCommitsInViewZero) {
+  auto net = chain::NetworkSim::SingleZone(4);
+  auto result = chain::SimulatePbftWithFaults(net, 0, 4096, Behaviors({}));
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.commit_view, 0u);
+  EXPECT_EQ(result.view_changes, 0u);
+  EXPECT_EQ(result.messages_dropped, 0u);
+}
+
+TEST(PbftFaultTest, CrashedLeaderRecoversViaViewChange) {
+  using chain::ReplicaBehavior;
+  auto net = chain::NetworkSim::SingleZone(4);
+  auto model = Behaviors({ReplicaBehavior::kCrashed});
+  auto result = chain::SimulatePbftWithFaults(net, 0, 4096, model);
+  EXPECT_TRUE(result.committed);
+  EXPECT_GE(result.commit_view, 1u);
+  EXPECT_GE(result.view_changes, 1u);
+  // The round had to sit out at least one view timeout before committing.
+  EXPECT_GT(result.quorum_commit_ns, model.view_timeout_ns);
+  EXPECT_EQ(result.commit_time_ns[0], 0u);  // the dead leader never commits
+
+  // Model-declared leader crash is recorded and marked recovered.
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("fault.chain.leader_crash.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.leader_crash.recovered"), 1u);
+}
+
+TEST(PbftFaultTest, DoubleLeaderCrashTakesTwoViewChanges) {
+  using chain::ReplicaBehavior;
+  auto net = chain::NetworkSim::SingleZone(7);  // f = 2
+  auto model =
+      Behaviors({ReplicaBehavior::kCrashed, ReplicaBehavior::kCrashed});
+  auto result = chain::SimulatePbftWithFaults(net, 0, 4096, model);
+  EXPECT_TRUE(result.committed);
+  EXPECT_GE(result.commit_view, 2u);  // leaders of views 0 and 1 are dead
+  EXPECT_GT(result.quorum_commit_ns, 2 * model.view_timeout_ns);
+}
+
+TEST(PbftFaultTest, SilentReplicaDoesNotBlockCommit) {
+  using chain::ReplicaBehavior;
+  auto net = chain::NetworkSim::SingleZone(4);
+  auto model = Behaviors({ReplicaBehavior::kHonest, ReplicaBehavior::kSilent});
+  auto result = chain::SimulatePbftWithFaults(net, 0, 4096, model);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.commit_view, 0u);
+}
+
+TEST(PbftFaultTest, EquivocatingLeaderIsVotedOut) {
+  using chain::ReplicaBehavior;
+  auto net = chain::NetworkSim::SingleZone(4);
+  auto model = Behaviors({ReplicaBehavior::kEquivocating});
+  auto result = chain::SimulatePbftWithFaults(net, 0, 4096, model);
+  EXPECT_TRUE(result.committed);
+  EXPECT_GE(result.commit_view, 1u);  // its invalid proposal went nowhere
+}
+
+TEST(PbftFaultTest, TooManyCrashesNeverCommit) {
+  using chain::ReplicaBehavior;
+  auto net = chain::NetworkSim::SingleZone(4);  // f = 1, quorum 3
+  auto model =
+      Behaviors({ReplicaBehavior::kCrashed, ReplicaBehavior::kCrashed});
+  auto result = chain::SimulatePbftWithFaults(net, 0, 4096, model);
+  EXPECT_FALSE(result.committed);
+  EXPECT_EQ(result.quorum_commit_ns, 0u);
+  EXPECT_EQ(result.view_changes, model.max_views);  // burned every view
+}
+
+TEST(PbftFaultTest, EvenPartitionBlocksMinorityPartitionDoesNot) {
+  auto net = chain::NetworkSim::SingleZone(4);
+  ASSERT_TRUE(net.SetPartition(2, 1).ok());
+  ASSERT_TRUE(net.SetPartition(3, 1).ok());  // 2/2 split: no side has 3
+  auto blocked = chain::SimulatePbftWithFaults(net, 0, 4096, Behaviors({}));
+  EXPECT_FALSE(blocked.committed);
+  EXPECT_GT(blocked.messages_dropped, 0u);
+
+  net.HealPartitions();
+  ASSERT_TRUE(net.SetPartition(3, 1).ok());  // 3/1: majority side commits
+  auto majority = chain::SimulatePbftWithFaults(net, 0, 4096, Behaviors({}));
+  EXPECT_TRUE(majority.committed);
+  EXPECT_EQ(majority.commit_time_ns[3], 0u);  // the isolated node never does
+}
+
+TEST(PbftFaultTest, LossyLinksAreDeterministicPerSeed) {
+  auto make_net = [] {
+    chain::NetworkSim net;
+    uint32_t zone = net.AddZone("vpc");
+    chain::LinkModel lossy;
+    lossy.drop_rate = 0.1;
+    lossy.jitter_ns = 50'000;
+    EXPECT_TRUE(net.SetLink(zone, zone, lossy).ok());
+    for (int i = 0; i < 7; ++i) net.AddNode(zone);
+    return net;
+  };
+  auto net = make_net();
+  chain::PbftFaultModel model;
+  model.seed = 42;
+  auto a = chain::SimulatePbftWithFaults(net, 0, 4096, model);
+  auto b = chain::SimulatePbftWithFaults(net, 0, 4096, model);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.quorum_commit_ns, b.quorum_commit_ns);
+  EXPECT_EQ(a.commit_time_ns, b.commit_time_ns);
+  EXPECT_GT(a.messages_dropped, 0u);
+}
+
+TEST(PbftFaultTest, ArmedMessageDropSiteDropsMessages) {
+  FaultPlan plan(ChaosSeed());
+  plan.Arm("fault.chain.pbft_msg_drop", Trigger{.probability = 0.05});
+  auto net = chain::NetworkSim::SingleZone(7);
+  auto result = chain::SimulatePbftWithFaults(net, 0, 4096, Behaviors({}));
+  EXPECT_GT(result.messages_dropped, 0u);
+  // Under loss the protocol either still reaches quorum or reacts with a
+  // view change (the sim has no retransmission, so commit itself is not
+  // guaranteed — a sub-quorum view-0 commit can strand the stragglers).
+  EXPECT_TRUE(result.committed || result.view_changes > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Storage crash recovery
+// ---------------------------------------------------------------------------
+
+class LsmCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "confide_fault_lsm";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LsmCrashTest, PrefixConsistentAtEveryWalWritePoint) {
+  // The record the crash lands in: one Put of key1 -> value1.
+  WriteBatch probe;
+  probe.Put("key1", ToBytes(std::string_view("value1")));
+  const uint64_t record_size = storage::EncodeBatch(probe).size() + 8;
+
+  for (uint64_t k = 0; k <= record_size; ++k) {
+    auto sub = dir_ / ("wp" + std::to_string(k));
+    std::filesystem::create_directories(sub);
+    storage::LsmOptions options;
+    options.wal_dir = sub.string();
+
+    {
+      auto store = storage::LsmKvStore::Open(options);
+      ASSERT_TRUE(store.ok());
+      // Baseline batch is fully durable before the crash.
+      ASSERT_TRUE((*store)->Put("key0", ToBytes(std::string_view("value0"))).ok());
+
+      FaultPlan plan(ChaosSeed());
+      plan.Arm("fault.storage.wal_torn", Trigger{.one_shot = true, .arg = k});
+      Status crashed = (*store)->Put("key1", ToBytes(std::string_view("value1")));
+      EXPECT_FALSE(crashed.ok());
+      // Store object destroyed here = the simulated process crash.
+    }
+
+    storage::RecoveryInfo info;
+    auto recovered = storage::LsmKvStore::Recover(options, &info);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    // The durable prefix always survives.
+    auto v0 = (*recovered)->Get("key0");
+    ASSERT_TRUE(v0.ok()) << "k=" << k;
+    EXPECT_EQ(*v0, ToBytes(std::string_view("value0")));
+    // The interrupted batch is visible iff every byte reached the disk.
+    auto v1 = (*recovered)->Get("key1");
+    if (k == record_size) {
+      ASSERT_TRUE(v1.ok()) << "k=" << k;
+      EXPECT_EQ(*v1, ToBytes(std::string_view("value1")));
+      EXPECT_EQ(info.batches_replayed, 2u);
+      EXPECT_FALSE(info.torn_tail);
+    } else {
+      EXPECT_FALSE(v1.ok()) << "k=" << k;
+      EXPECT_EQ(info.batches_replayed, 1u);
+      EXPECT_EQ(info.torn_tail, k > 0) << "k=" << k;
+    }
+  }
+}
+
+TEST_F(LsmCrashTest, SurvivingProcessRepairsTornTailOnRetry) {
+  storage::LsmOptions options;
+  options.wal_dir = dir_.string();
+  auto store = storage::LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.storage.wal_torn", Trigger{.one_shot = true, .arg = 5});
+    EXPECT_FALSE((*store)->Put("a", ToBytes(std::string_view("1"))).ok());
+  }
+  // Same process retries: the torn bytes must not corrupt the log.
+  ASSERT_TRUE((*store)->Put("a", ToBytes(std::string_view("1"))).ok());
+  ASSERT_TRUE((*store)->Put("b", ToBytes(std::string_view("2"))).ok());
+  store->reset();  // close, then reopen from the WAL
+
+  storage::RecoveryInfo info;
+  auto recovered = storage::LsmKvStore::Recover(options, &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(info.torn_tail);
+  EXPECT_EQ(info.batches_replayed, 2u);
+  EXPECT_TRUE((*recovered)->Get("a").ok());
+  EXPECT_TRUE((*recovered)->Get("b").ok());
+}
+
+TEST_F(LsmCrashTest, SyncFailureIsSurfacedAndRecovered) {
+  auto wal = storage::Wal::Open((dir_ / "wal").string());
+  ASSERT_TRUE(wal.ok());
+  WriteBatch batch;
+  batch.Put("k", ToBytes(std::string_view("v")));
+  ASSERT_TRUE((*wal)->Append(batch).ok());
+
+  uint64_t recovered_before = metrics::MetricsRegistry::Global().Snapshot().counter(
+      "fault.storage.wal_sync.recovered");
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.storage.wal_sync", Trigger{.one_shot = true});
+    Status s = (*wal)->Sync();
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  }
+  EXPECT_TRUE((*wal)->Sync().ok());  // the retry lands and notes recovery
+  EXPECT_EQ(metrics::MetricsRegistry::Global().Snapshot().counter(
+                "fault.storage.wal_sync.recovered"),
+            recovered_before + 1);
+}
+
+TEST_F(LsmCrashTest, InjectedFlushFailureLeavesMemtableIntact) {
+  storage::LsmOptions options;
+  options.wal_dir = dir_.string();
+  auto store = storage::LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", ToBytes(std::string_view("v"))).ok());
+
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.storage.lsm_flush", Trigger{.one_shot = true});
+    EXPECT_FALSE((*store)->Flush().ok());
+  }
+  EXPECT_TRUE((*store)->Get("k").ok());  // still served from the memtable
+  EXPECT_EQ((*store)->RunCount(), 0u);
+  ASSERT_TRUE((*store)->Flush().ok());   // retry succeeds
+  EXPECT_EQ((*store)->RunCount(), 1u);
+  EXPECT_TRUE((*store)->Get("k").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Enclave crash + re-provisioning
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCounterSource = R"(
+fn increment() {
+  var key = "counter";
+  var buf = alloc(16);
+  var n = get_storage(key, strlen(key), buf, 16);
+  var value = 0;
+  if (n == 8) { value = load64(buf); }
+  value = value + 1;
+  store64(buf, value);
+  set_storage(key, strlen(key), buf, 8);
+  var out = alloc(32);
+  var len = u64_to_dec(value, out);
+  write_output(out, len);
+  return value;
+}
+)";
+
+Bytes DeployPayload(const Bytes& code) {
+  std::vector<serialize::RlpItem> items;
+  items.push_back(serialize::RlpItem::U64(uint64_t(chain::VmKind::kCvm)));
+  items.push_back(serialize::RlpItem(code));
+  return serialize::RlpEncode(serialize::RlpItem::List(std::move(items)));
+}
+
+class EnclaveRecoveryTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<ConfideSystem> Boot(SystemOptions options) {
+    auto sys = ConfideSystem::BootstrapFirst(options);
+    EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+    return std::move(*sys);
+  }
+
+  // Deploys the counter and returns its address.
+  chain::Address Deploy(ConfideSystem* sys, Client* client) {
+    auto code = lang::Compile(kCounterSource, lang::VmTarget::kCvm);
+    EXPECT_TRUE(code.ok()) << code.status().ToString();
+    chain::Address addr = NamedAddress("counter");
+    auto submission =
+        client->MakeConfidentialTx(addr, "__deploy__", DeployPayload(*code));
+    EXPECT_TRUE(submission.ok());
+    EXPECT_TRUE(sys->node()->SubmitTransaction(submission->tx).ok());
+    auto receipts = sys->RunToCompletion();
+    EXPECT_TRUE(receipts.ok());
+    EXPECT_TRUE((*receipts)[0].success);
+    return addr;
+  }
+
+  // Runs one confidential increment and returns the decrypted output.
+  std::string Increment(ConfideSystem* sys, Client* client, chain::Address addr) {
+    auto call = client->MakeConfidentialTx(addr, "increment", Bytes{});
+    EXPECT_TRUE(call.ok());
+    EXPECT_TRUE(sys->node()->SubmitTransaction(call->tx).ok());
+    auto receipts = sys->RunToCompletion();
+    EXPECT_TRUE(receipts.ok()) << receipts.status().ToString();
+    if (!receipts.ok() || receipts->empty() || !(*receipts)[0].success) {
+      return "<failed>";
+    }
+    auto opened = Client::OpenSealedReceipt(call->k_tx, (*receipts)[0].output);
+    EXPECT_TRUE(opened.ok());
+    return opened.ok() ? ToString(opened->output) : "<sealed>";
+  }
+};
+
+TEST_F(EnclaveRecoveryTest, KilledCsEnclaveReprovisionedFromLocalKm) {
+  SystemOptions options;
+  options.seed = 200;
+  options.destroy_km_after_provision = false;  // KM keeps the keys locally
+  auto sys = Boot(options);
+  Client client(501, sys->pk_tx());
+  chain::Address addr = Deploy(sys.get(), &client);
+  EXPECT_EQ(Increment(sys.get(), &client, addr), "1");
+
+  ASSERT_TRUE(sys->platform()->KillEnclave(sys->confidential_engine()->enclave_id()).ok());
+  EXPECT_FALSE(sys->ConfidentialEngineAlive());
+
+  ASSERT_TRUE(sys->RecoverConfidentialEngine().ok());
+  EXPECT_TRUE(sys->ConfidentialEngineAlive());
+  // Same consortium keys: pre-crash encrypted state is still readable.
+  EXPECT_EQ(Increment(sys.get(), &client, addr), "2");
+}
+
+TEST_F(EnclaveRecoveryTest, ReprovisionViaPeerMapWhenOwnKmDestroyed) {
+  SystemOptions provider_options;
+  provider_options.seed = 210;
+  provider_options.destroy_km_after_provision = false;  // MAP provider
+  auto provider = Boot(provider_options);
+
+  SystemOptions joiner_options;
+  joiner_options.seed = 211;  // default: KM destroyed after provisioning
+  auto joiner = ConfideSystem::BootstrapJoin(joiner_options, provider.get());
+  ASSERT_TRUE(joiner.ok()) << joiner.status().ToString();
+  EXPECT_FALSE((*joiner)->km_alive());
+
+  Client client(502, (*joiner)->pk_tx());
+  chain::Address addr = Deploy(joiner->get(), &client);
+  EXPECT_EQ(Increment(joiner->get(), &client, addr), "1");
+
+  ASSERT_TRUE((*joiner)
+                  ->platform()
+                  ->KillEnclave((*joiner)->confidential_engine()->enclave_id())
+                  .ok());
+
+  // Without any key source the keys are genuinely unreachable.
+  Status no_source = (*joiner)->RecoverConfidentialEngine();
+  EXPECT_EQ(no_source.code(), StatusCode::kUnavailable);
+  EXPECT_NE(no_source.message().find("consortium keys unreachable"),
+            std::string::npos);
+
+  (*joiner)->SetRecoveryPeer(provider.get());
+  ASSERT_TRUE((*joiner)->RecoverConfidentialEngine().ok());
+  EXPECT_FALSE((*joiner)->km_alive());  // fresh KM destroyed again per policy
+  EXPECT_EQ(Increment(joiner->get(), &client, addr), "2");
+}
+
+TEST_F(EnclaveRecoveryTest, ReprovisionViaCentralKms) {
+  core::CentralKms kms(77);
+  SystemOptions options;
+  options.seed = 220;
+  auto sys = ConfideSystem::BootstrapWithKms(options, &kms);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  EXPECT_FALSE((*sys)->km_alive());
+
+  Client client(503, (*sys)->pk_tx());
+  chain::Address addr = Deploy(sys->get(), &client);
+  EXPECT_EQ(Increment(sys->get(), &client, addr), "1");
+
+  ASSERT_TRUE((*sys)
+                  ->platform()
+                  ->KillEnclave((*sys)->confidential_engine()->enclave_id())
+                  .ok());
+  (*sys)->SetRecoveryKms(&kms);
+  ASSERT_TRUE((*sys)->RecoverConfidentialEngine().ok());
+  EXPECT_EQ(Increment(sys->get(), &client, addr), "2");
+}
+
+TEST_F(EnclaveRecoveryTest, InjectedProvisionFailureRetriesWithBackoff) {
+  SystemOptions options;
+  options.seed = 230;
+  options.destroy_km_after_provision = false;
+  auto sys = Boot(options);
+  ASSERT_TRUE(sys->platform()->KillEnclave(sys->confidential_engine()->enclave_id()).ok());
+
+  uint64_t clock_before = sys->clock()->NowNs();
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.confide.provision", Trigger{.one_shot = true});
+    ASSERT_TRUE(sys->RecoverConfidentialEngine().ok());
+  }
+  // The failed first attempt cost one (modelled) backoff interval.
+  EXPECT_GE(sys->clock()->NowNs() - clock_before, options.recover_backoff_ns);
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("fault.confide.provision.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.confide.provision.recovered"), 1u);
+  EXPECT_GE(snap.counter("fault.tee.enclave_crash.recovered"), 1u);
+}
+
+TEST_F(EnclaveRecoveryTest, RecoveryGivesUpAfterMaxRetries) {
+  SystemOptions options;
+  options.seed = 240;
+  options.destroy_km_after_provision = false;
+  options.recover_max_retries = 3;
+  auto sys = Boot(options);
+  ASSERT_TRUE(sys->platform()->KillEnclave(sys->confidential_engine()->enclave_id()).ok());
+
+  FaultPlan plan(ChaosSeed());
+  plan.Arm("fault.confide.provision", Trigger{});  // fails every attempt
+  Status failed = sys->RecoverConfidentialEngine();
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(FaultInjector::Global().FiredCount("fault.confide.provision"), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end node chaos run
+// ---------------------------------------------------------------------------
+
+TEST(NodeChaosTest, RandomOneShotFaultsNeverLeavePartialCommits) {
+  const uint64_t seed = ChaosSeed();
+  auto dir = std::filesystem::temp_directory_path() /
+             ("confide_chaos_" + std::to_string(seed));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SystemOptions options;
+  options.seed = 300 + seed;
+  options.state_wal_dir = dir.string();
+  auto boot = ConfideSystem::BootstrapFirst(options);
+  ASSERT_TRUE(boot.ok()) << boot.status().ToString();
+  auto& sys = *boot;
+  Client client(600, sys->pk_tx());
+
+  auto code = lang::Compile(kCounterSource, lang::VmTarget::kCvm);
+  ASSERT_TRUE(code.ok());
+  chain::Address addr = NamedAddress("counter");
+  auto deploy = client.MakeConfidentialTx(addr, "__deploy__", DeployPayload(*code));
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(sys->node()->SubmitTransaction(deploy->tx).ok());
+  ASSERT_TRUE(sys->RunToCompletion().ok());
+
+  crypto::Drbg rng(seed ^ 0x5eed0fau);
+  uint64_t committed = 0;
+  for (int round = 0; round < 24; ++round) {
+    FaultPlan plan(seed + uint64_t(round));
+    switch (rng.NextBounded(4)) {
+      case 0:
+        plan.Arm("fault.chain.submit", Trigger{.one_shot = true});
+        break;
+      case 1:
+        plan.Arm("fault.chain.apply_block", Trigger{.one_shot = true});
+        break;
+      case 2:
+        plan.Arm("fault.storage.wal_torn",
+                 Trigger{.one_shot = true, .arg = rng.NextBounded(64)});
+        break;
+      default:
+        break;  // fault-free round
+    }
+
+    auto call = client.MakeConfidentialTx(addr, "increment", Bytes{});
+    ASSERT_TRUE(call.ok());
+    Status submitted = sys->node()->SubmitTransaction(call->tx);
+    if (!submitted.ok()) {
+      EXPECT_EQ(submitted.code(), StatusCode::kUnavailable);
+      ASSERT_TRUE(sys->node()->SubmitTransaction(call->tx).ok());  // resubmit
+    }
+    ASSERT_TRUE(sys->node()->PreVerify().ok());
+    auto block = sys->node()->ProposeBlock();
+    ASSERT_TRUE(block.ok());
+    if (block->transactions.empty()) continue;
+
+    uint64_t height_before = sys->node()->Height();
+    auto receipts = sys->node()->ApplyBlock(*block);
+    if (!receipts.ok()) {
+      // Clean failure: nothing of the block may have landed...
+      EXPECT_EQ(sys->node()->Height(), height_before);
+      EXPECT_EQ(sys->node()->state()->PendingWrites(), 0u);
+      // ...and the exact same block must apply on retry.
+      receipts = sys->node()->ApplyBlock(*block);
+    }
+    ASSERT_TRUE(receipts.ok()) << receipts.status().ToString();
+    ASSERT_EQ(receipts->size(), 1u);
+    ASSERT_TRUE((*receipts)[0].success) << (*receipts)[0].status_message;
+    ++committed;
+
+    auto opened = Client::OpenSealedReceipt(call->k_tx, (*receipts)[0].output);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(ToString(opened->output), std::to_string(committed));
+  }
+  EXPECT_GT(committed, 0u);
+  // Every committed transaction has a durable receipt.
+  EXPECT_EQ(sys->node()->Height(), committed + 1);  // + the deploy block
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace confide

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "common/sim_clock.h"
 #include "crypto/drbg.h"
 #include "storage/block_store.h"
@@ -159,6 +160,113 @@ TEST_F(WalTest, CorruptRecordReportsCorruption) {
 
   Status status = Wal::Replay(path_, [](const WriteBatch&) {});
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalTest, ResetTruncatesDurablyAndReplaysOnlyNewRecords) {
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    WriteBatch old_batch;
+    old_batch.Put("old", ToBytes(std::string_view("stale")));
+    ASSERT_TRUE((*wal)->Append(old_batch).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+
+    ASSERT_TRUE((*wal)->Reset().ok());
+    // The truncation must be on disk immediately, not buffered: a crash
+    // right after Reset must not resurrect the stale record.
+    EXPECT_EQ(std::filesystem::file_size(path_), 0u);
+
+    WriteBatch new_batch;
+    new_batch.Put("new", ToBytes(std::string_view("fresh")));
+    ASSERT_TRUE((*wal)->Append(new_batch).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  std::vector<WriteBatch> replayed;
+  ASSERT_TRUE(Wal::Replay(path_, [&](const WriteBatch& b) {
+                replayed.push_back(b);
+              }).ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].ops()[0].key, "new");
+}
+
+TEST_F(WalTest, ResetFaultSiteSurfacesCleanly) {
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  fault::FaultPlan plan(1);
+  plan.Arm("fault.storage.wal_reset",
+           fault::Trigger{.one_shot = true});
+  Status s = (*wal)->Reset();
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE((*wal)->Reset().ok());  // retry succeeds
+}
+
+TEST_F(WalTest, MidFileCorruptionIsNotMistakenForTornTail) {
+  // Three records; corrupt the middle one. Replay must stop with
+  // Corruption (a mid-file flip is tampering/rot, not a crash artifact)
+  // after applying only the first record.
+  std::vector<uint64_t> offsets;
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*wal)->Sync().ok());
+      offsets.push_back(std::filesystem::file_size(path_));
+      WriteBatch b;
+      b.Put("key" + std::to_string(i), ToBytes(std::string_view("value")));
+      ASSERT_TRUE((*wal)->Append(b).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Flip one payload byte of record 1 (skip its 8-byte header).
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  long flip_at = long(offsets[1]) + 8 + 2;
+  std::fseek(f, flip_at, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, flip_at, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+
+  int count = 0;
+  ReplayStats stats;
+  Status status =
+      Wal::Replay(path_, [&](const WriteBatch&) { ++count; }, &stats);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_FALSE(stats.torn_tail);  // corruption, not a torn tail
+}
+
+TEST_F(WalTest, TruncationAtEveryByteOfLastRecordReplaysThePrefix) {
+  uint64_t full_size = 0;
+  uint64_t second_offset = 0;
+  {
+    auto wal = Wal::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    WriteBatch b1;
+    b1.Put("first", ToBytes(std::string_view("record")));
+    ASSERT_TRUE((*wal)->Append(b1).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+    second_offset = std::filesystem::file_size(path_);
+    WriteBatch b2;
+    b2.Put("second", ToBytes(std::string_view("record")));
+    ASSERT_TRUE((*wal)->Append(b2).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+    full_size = std::filesystem::file_size(path_);
+  }
+  // Crash at every possible byte boundary inside the last record.
+  for (uint64_t size = second_offset; size < full_size; ++size) {
+    std::filesystem::copy_file(path_, dir_ / "cut.wal",
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(dir_ / "cut.wal", size);
+    int count = 0;
+    ReplayStats stats;
+    Status status = Wal::Replay((dir_ / "cut.wal").string(),
+                                [&](const WriteBatch&) { ++count; }, &stats);
+    ASSERT_TRUE(status.ok()) << "size=" << size << ": " << status.ToString();
+    EXPECT_EQ(count, 1) << "size=" << size;
+    EXPECT_EQ(stats.records, 1u) << "size=" << size;
+    EXPECT_EQ(stats.torn_tail, size > second_offset) << "size=" << size;
+  }
 }
 
 TEST_F(WalTest, BatchCodecRoundTrip) {
