@@ -39,22 +39,30 @@ std::string TxIndexKey(const crypto::Hash256& tx_hash) {
 
 }  // namespace
 
-Node::Node(NodeOptions options, EngineSet engines)
+Node::Node(NodeOptions options, EngineSet engines,
+           std::shared_ptr<storage::KvStore> kv)
     : options_(options),
       engines_(engines),
-      executor_(ExecutorOptions{options.parallelism}) {
+      executor_(ExecutorOptions{options.parallelism}),
+      kv_(std::move(kv)) {
+  state_ = std::make_unique<CommitStateDb>(kv_);
+  blocks_ = std::make_unique<storage::BlockStore>(kv_, options.clock);
+}
+
+Result<std::unique_ptr<Node>> Node::Create(NodeOptions options,
+                                           EngineSet engines) {
   storage::LsmOptions lsm;
   lsm.wal_dir = options.state_wal_dir;
   auto store = storage::LsmKvStore::Open(lsm);
   if (!store.ok()) {
-    // WAL unusable (e.g. injected open failure): degrade to a volatile
-    // store so the node still comes up; durability tests catch this via
-    // the storage.lsm.recover.count metric staying flat.
-    store = storage::LsmKvStore::Open(storage::LsmOptions{});
+    // A node configured for durability must not come up volatile: an
+    // unusable WAL would otherwise mean every acknowledged write is lost
+    // on restart while the node reports success throughout.
+    metrics::GetCounter("chain.node.storage_open_failure.count")->Increment();
+    return store.status();
   }
-  kv_ = std::shared_ptr<storage::KvStore>(std::move(*store));
-  state_ = std::make_unique<CommitStateDb>(kv_);
-  blocks_ = std::make_unique<storage::BlockStore>(kv_, options.clock);
+  return std::unique_ptr<Node>(new Node(
+      options, engines, std::shared_ptr<storage::KvStore>(std::move(*store))));
 }
 
 Status Node::SubmitTransaction(Transaction tx) {

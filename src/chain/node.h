@@ -41,7 +41,12 @@ struct TxProof {
 /// only around block production; pools are internally locked.
 class Node {
  public:
-  Node(NodeOptions options, EngineSet engines);
+  /// \brief Opens the state store (recovering from the WAL when
+  /// `options.state_wal_dir` is set) and builds the node. A store that
+  /// cannot be opened fails creation — a node asked for durability never
+  /// silently degrades to a volatile store.
+  static Result<std::unique_ptr<Node>> Create(NodeOptions options,
+                                              EngineSet engines);
 
   /// \brief Receives a transaction into the unverified pool.
   Status SubmitTransaction(Transaction tx);
@@ -78,6 +83,9 @@ class Node {
   size_t VerifiedPoolSize() const;
 
  private:
+  Node(NodeOptions options, EngineSet engines,
+       std::shared_ptr<storage::KvStore> kv);
+
   NodeOptions options_;
   EngineSet engines_;
   BlockExecutor executor_;

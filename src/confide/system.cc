@@ -73,7 +73,7 @@ Status ConfideSystem::FinishBootstrap() {
   chain::EngineSet engines;
   engines.public_engine = public_.get();
   engines.confidential_engine = confidential_.get();
-  node_ = std::make_unique<chain::Node>(node_options, engines);
+  CONFIDE_ASSIGN_OR_RETURN(node_, chain::Node::Create(node_options, engines));
   return Status::OK();
 }
 
@@ -119,7 +119,11 @@ bool ConfideSystem::ConfidentialEngineAlive() const {
 Status ConfideSystem::TryRecoverOnce() {
   CONFIDE_RETURN_NOT_OK(confidential_->RecreateEnclave(options_.seed));
 
-  // Fast path: our own KM enclave survived and still holds the keys.
+  // Fast path: our own KM enclave survived and still holds the keys. The
+  // cached flag alone is not proof — the enclave may have been killed out
+  // from under us (KillEnclave, injected enclave crash) — so confirm
+  // liveness with the platform before provisioning against it.
+  if (km_alive_ && !platform_->IsAlive(km_id_)) km_alive_ = false;
   if (km_alive_) return ProvisionCs();
 
   // The KM enclave was destroyed after bootstrap (paper §5.3), so the

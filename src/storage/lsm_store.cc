@@ -68,6 +68,13 @@ Result<std::unique_ptr<LsmKvStore>> LsmKvStore::Recover(const LsmOptions& option
         &stats));
     local.batches_replayed = stats.records;
     local.torn_tail = stats.torn_tail;
+    if (stats.torn_tail) {
+      // Repair the log on disk before appending resumes: the torn bytes
+      // of the partial record must not end up in front of the next
+      // record, where a later Replay would read them as a garbage header
+      // and lose everything written after this recovery.
+      CONFIDE_RETURN_NOT_OK(Wal::TruncateTo(wal_path, stats.good_offset));
+    }
     CONFIDE_ASSIGN_OR_RETURN(store->wal_, Wal::Open(wal_path));
     metrics::GetCounter("storage.lsm.recover.count")->Increment();
   }

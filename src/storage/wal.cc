@@ -126,10 +126,13 @@ Status Wal::Append(const WriteBatch& batch) {
   StoreLe32(header + 4, uint32_t(payload.size()));
   uint64_t persist_bytes = 0;
   if (fault::FaultInjector::Global().ShouldFail("fault.storage.wal_torn",
-                                                &persist_bytes)) {
+                                                &persist_bytes) &&
+      persist_bytes < 8 + payload.size()) {
     // Simulated crash mid-write: only the first `persist_bytes` bytes of
     // the record make it to the file, then the writer "dies". Flush what
-    // was written so a reopened replay sees exactly the torn prefix.
+    // was written so a reopened replay sees exactly the torn prefix. A
+    // crash point at or past the record end is not a torn write at all —
+    // every byte landed — so that case falls through to the normal path.
     uint64_t head = std::min<uint64_t>(persist_bytes, 8);
     uint64_t body = std::min<uint64_t>(persist_bytes - head, payload.size());
     if (head > 0) std::fwrite(header, 1, size_t(head), file_);
@@ -199,6 +202,7 @@ Status Wal::Replay(const std::string& path,
     }
     WalMetrics::Get().replayed_batches->Increment();
     ++local.records;
+    local.good_offset += 8 + len;
     apply(*batch);
   }
   std::fclose(file);
@@ -210,6 +214,18 @@ Status Wal::Replay(const std::string& path,
   }
   if (stats != nullptr) *stats = local;
   return status;
+}
+
+Status Wal::TruncateTo(const std::string& path, uint64_t offset) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) return Status::OK();  // no log to repair
+  int fd = ::fileno(file);
+  if (::ftruncate(fd, off_t(offset)) != 0 || ::fsync(fd) != 0) {
+    std::fclose(file);
+    return Status::Internal("wal: repair truncation failed for " + path);
+  }
+  std::fclose(file);
+  return Status::OK();
 }
 
 Status Wal::Reset() {

@@ -21,16 +21,18 @@ Result<WriteBatch> DecodeBatch(ByteView payload);
 
 /// \brief What Replay() found in the log (recovery diagnostics).
 struct ReplayStats {
-  uint64_t records = 0;   ///< intact records applied
-  bool torn_tail = false; ///< log ended in a partially-written record
+  uint64_t records = 0;      ///< intact records applied
+  bool torn_tail = false;    ///< log ended in a partially-written record
+  uint64_t good_offset = 0;  ///< byte offset just past the last intact record
 };
 
 /// \brief Append-only write-ahead log.
 ///
 /// Fault sites (see common/fault.h): `fault.storage.wal_open`,
 /// `fault.storage.wal_torn` (Append persists only `arg` bytes of the
-/// record, simulating a crash mid-write), `fault.storage.wal_sync`,
-/// `fault.storage.wal_reset`.
+/// record, simulating a crash mid-write; an `arg` at or past the record
+/// end means every byte landed, so the append simply succeeds),
+/// `fault.storage.wal_sync`, `fault.storage.wal_reset`.
 class Wal {
  public:
   ~Wal();
@@ -53,6 +55,14 @@ class Wal {
   static Status Replay(const std::string& path,
                        const std::function<void(const WriteBatch&)>& apply,
                        ReplayStats* stats = nullptr);
+
+  /// \brief Truncates the log at `path` to `offset` bytes and syncs the
+  /// truncation to disk. Crash-recovery repair: after Replay reports a
+  /// torn tail, cutting the file back to `ReplayStats::good_offset`
+  /// removes the partial record so that records appended later are not
+  /// preceded by garbage a future Replay would trip over. Missing file
+  /// is not an error.
+  static Status TruncateTo(const std::string& path, uint64_t offset);
 
   /// \brief Truncates the log (after a successful memtable flush). The
   /// truncation is synced to disk so a crash right after Reset cannot

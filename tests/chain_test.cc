@@ -354,12 +354,16 @@ TEST(ExecutorTest, ParallelAndSerialProduceSameState) {
 
 class NodeTest : public ::testing::Test {
  protected:
-  NodeTest() : engines_{&engine_, &engine_}, node_(NodeOptions{}, engines_) {}
+  NodeTest()
+      : engines_{&engine_, &engine_},
+        node_ptr_(std::move(Node::Create(NodeOptions{}, engines_).value())),
+        node_(*node_ptr_) {}
 
   crypto::Drbg rng_{8};
   ScriptEngine engine_;
   EngineSet engines_;
-  Node node_;
+  std::unique_ptr<Node> node_ptr_;  // a volatile store never fails to open
+  Node& node_;
 };
 
 TEST_F(NodeTest, SubmitVerifyProposeApply) {

@@ -303,7 +303,9 @@ TEST_F(LsmCrashTest, PrefixConsistentAtEveryWalWritePoint) {
       FaultPlan plan(ChaosSeed());
       plan.Arm("fault.storage.wal_torn", Trigger{.one_shot = true, .arg = k});
       Status crashed = (*store)->Put("key1", ToBytes(std::string_view("value1")));
-      EXPECT_FALSE(crashed.ok());
+      // A crash point past the last byte means the whole record landed:
+      // the append is simply durable. Anywhere inside the record fails.
+      EXPECT_EQ(crashed.ok(), k == record_size) << "k=" << k;
       // Store object destroyed here = the simulated process crash.
     }
 
@@ -326,6 +328,52 @@ TEST_F(LsmCrashTest, PrefixConsistentAtEveryWalWritePoint) {
       EXPECT_EQ(info.batches_replayed, 1u);
       EXPECT_EQ(info.torn_tail, k > 0) << "k=" << k;
     }
+  }
+}
+
+TEST_F(LsmCrashTest, RecoveryRepairsTornTailOnDiskBeforeNewAppends) {
+  // crash -> recover -> append -> crash -> recover: the first recovery
+  // must truncate the torn bytes off the file, or the post-recovery
+  // append lands after garbage and the second replay loses it.
+  WriteBatch probe;
+  probe.Put("key1", ToBytes(std::string_view("value1")));
+  const uint64_t record_size = storage::EncodeBatch(probe).size() + 8;
+
+  for (uint64_t k = 1; k < record_size; ++k) {
+    auto sub = dir_ / ("dc" + std::to_string(k));
+    std::filesystem::create_directories(sub);
+    storage::LsmOptions options;
+    options.wal_dir = sub.string();
+
+    {
+      auto store = storage::LsmKvStore::Open(options);
+      ASSERT_TRUE(store.ok());
+      ASSERT_TRUE((*store)->Put("key0", ToBytes(std::string_view("value0"))).ok());
+      FaultPlan plan(ChaosSeed());
+      plan.Arm("fault.storage.wal_torn", Trigger{.one_shot = true, .arg = k});
+      EXPECT_FALSE((*store)->Put("key1", ToBytes(std::string_view("value1"))).ok());
+    }  // first crash
+
+    {
+      storage::RecoveryInfo info;
+      auto recovered = storage::LsmKvStore::Recover(options, &info);
+      ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+      EXPECT_TRUE(info.torn_tail) << "k=" << k;
+      // Acknowledged write after recovery...
+      ASSERT_TRUE(
+          (*recovered)->Put("key2", ToBytes(std::string_view("value2"))).ok());
+    }  // ...second crash
+
+    storage::RecoveryInfo info;
+    auto again = storage::LsmKvStore::Recover(options, &info);
+    ASSERT_TRUE(again.ok()) << "k=" << k << ": " << again.status().ToString();
+    EXPECT_FALSE(info.torn_tail) << "k=" << k;
+    EXPECT_EQ(info.batches_replayed, 2u) << "k=" << k;
+    EXPECT_TRUE((*again)->Get("key0").ok()) << "k=" << k;
+    EXPECT_FALSE((*again)->Get("key1").ok()) << "k=" << k;
+    auto v2 = (*again)->Get("key2");
+    ASSERT_TRUE(v2.ok()) << "k=" << k;
+    EXPECT_EQ(*v2, ToBytes(std::string_view("value2")));
   }
 }
 
@@ -569,9 +617,68 @@ TEST_F(EnclaveRecoveryTest, RecoveryGivesUpAfterMaxRetries) {
   EXPECT_EQ(FaultInjector::Global().FiredCount("fault.confide.provision"), 3u);
 }
 
+TEST_F(EnclaveRecoveryTest, DeadLocalKmFallsBackToRecoveryPeer) {
+  SystemOptions provider_options;
+  provider_options.seed = 250;
+  provider_options.destroy_km_after_provision = false;  // MAP provider
+  auto provider = Boot(provider_options);
+
+  SystemOptions options;
+  options.seed = 251;
+  options.destroy_km_after_provision = false;  // node keeps its own KM
+  auto sys = ConfideSystem::BootstrapJoin(options, provider.get());
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  Client client(504, (*sys)->pk_tx());
+  chain::Address addr = Deploy(sys->get(), &client);
+  EXPECT_EQ(Increment(sys->get(), &client, addr), "1");
+
+  // Both enclaves die; the km_alive_ flag still says the KM holds keys.
+  ASSERT_TRUE((*sys)->platform()->KillEnclave((*sys)->km_enclave_id()).ok());
+  ASSERT_TRUE((*sys)
+                  ->platform()
+                  ->KillEnclave((*sys)->confidential_engine()->enclave_id())
+                  .ok());
+  EXPECT_TRUE((*sys)->km_alive());  // stale cache — platform knows better
+
+  // Recovery must notice the dead KM and fall back to the peer instead of
+  // burning every retry on ProvisionCs against a dead enclave.
+  (*sys)->SetRecoveryPeer(provider.get());
+  ASSERT_TRUE((*sys)->RecoverConfidentialEngine().ok());
+  EXPECT_TRUE((*sys)->ConfidentialEngineAlive());
+  EXPECT_EQ(Increment(sys->get(), &client, addr), "2");
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end node chaos run
 // ---------------------------------------------------------------------------
+
+TEST(NodeChaosTest, WalOpenFailureFailsBootstrapInsteadOfVolatileFallback) {
+  auto dir = std::filesystem::temp_directory_path() / "confide_chaos_walopen";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SystemOptions options;
+  options.seed = 260;
+  options.state_wal_dir = dir.string();
+  uint64_t failures_before = metrics::MetricsRegistry::Global().Snapshot().counter(
+      "chain.node.storage_open_failure.count");
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.storage.wal_open", Trigger{.one_shot = true});
+    auto boot = ConfideSystem::BootstrapFirst(options);
+    // A node asked for durability must refuse to come up volatile.
+    ASSERT_FALSE(boot.ok());
+    EXPECT_EQ(boot.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(metrics::MetricsRegistry::Global().Snapshot().counter(
+                "chain.node.storage_open_failure.count"),
+            failures_before + 1);
+
+  // Same configuration without the fault boots durably.
+  auto retry = ConfideSystem::BootstrapFirst(options);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  std::filesystem::remove_all(dir);
+}
 
 TEST(NodeChaosTest, RandomOneShotFaultsNeverLeavePartialCommits) {
   const uint64_t seed = ChaosSeed();
