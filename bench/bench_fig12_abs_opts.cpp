@@ -7,6 +7,11 @@
 ///   OPT2  — Flatbuffers-style record instead of JSON (~2.5x more)
 ///   OPT3  — pre-verification cache                  (~+6%)
 ///   OPT4  — instruction-set reduction + fusion      (~+17%)
+///
+/// This repro adds one rung past the paper's ladder:
+///   OPT5  — batched state ocalls (write-back StateJournal + read-set
+///           prefetch); gauged by enclave transitions/tx, which are
+///           deterministic, rather than wall time.
 
 #include "bench/bench_util.h"
 #include "vm/cvm/builder.h"
@@ -64,7 +69,12 @@ struct Step {
   const char* paper_gain;
 };
 
-double RunStep(const Step& step, uint64_t seed) {
+struct StepResult {
+  double tps = 0;
+  double transitions_per_tx = 0;  // deterministic (cost model), noise-free
+};
+
+StepResult RunStep(const Step& step, uint64_t seed) {
   core::SystemOptions options;
   options.seed = seed;
   options.cs = step.cs;
@@ -91,6 +101,7 @@ double RunStep(const Step& step, uint64_t seed) {
   if (step.preverify) {
     for (const chain::Transaction& tx : txs) (void)engine->PreVerify(tx);
   }
+  uint64_t transitions_before = sys->platform()->stats().transitions.load();
   double secs = TimeSeconds([&] {
     for (const chain::Transaction& tx : txs) {
       auto receipt = engine->Execute(tx, state);
@@ -102,7 +113,12 @@ double RunStep(const Step& step, uint64_t seed) {
       }
     }
   });
-  return double(kTx) / secs;
+  StepResult result;
+  result.tps = double(kTx) / secs;
+  result.transitions_per_tx =
+      double(sys->platform()->stats().transitions.load() - transitions_before) /
+      double(kTx);
+  return result;
 }
 
 }  // namespace
@@ -115,6 +131,7 @@ int main() {
   base.enable_fusion = false;
   base.enable_state_cache = false;
   base.enable_preverify_cache = false;
+  base.enable_ocall_batching = false;  // OPT5 is the last rung
 
   core::CsOptions opt1 = base;
   opt1.enable_code_cache = true;       // code cache
@@ -126,27 +143,37 @@ int main() {
   core::CsOptions opt4 = opt3;
   opt4.enable_fusion = true;           // instruction optimization
 
+  core::CsOptions opt5 = opt4;
+  opt5.enable_ocall_batching = true;   // batched state ocalls
+
   const Step kSteps[] = {
       {"BASE (interpret+JSON)", base, false, false, "-"},
       {"+OPT1 code/mem cache", opt1, false, false, "~2x"},
       {"+OPT2 Flatbuffers", opt1, true, false, "~2.5x"},
       {"+OPT3 pre-verification", opt3, true, true, "~+6%"},
       {"+OPT4 instruction fusion", opt4, true, true, "~+17%"},
+      {"+OPT5 ocall batching", opt5, true, true, "-"},
   };
+  constexpr int kStepCount = int(sizeof(kSteps) / sizeof(kSteps[0]));
 
-  double tps[5];
-  std::printf("%-26s %10s %12s %12s %10s\n", "configuration", "tx/s",
-              "step gain", "cumulative", "paper");
-  for (int i = 0; i < 5; ++i) {
+  double tps[kStepCount];
+  double trans[kStepCount];
+  std::printf("%-26s %10s %12s %12s %10s %10s\n", "configuration", "tx/s",
+              "step gain", "cumulative", "trans/tx", "paper");
+  for (int i = 0; i < kStepCount; ++i) {
     // Best of 3 runs: the host is a single shared core, so individual
     // runs are noisy.
     tps[i] = 0;
+    trans[i] = 0;
     for (int rep = 0; rep < 3; ++rep) {
-      tps[i] = std::max(tps[i], RunStep(kSteps[i], 60'000 + i * 10 + rep));
+      StepResult result = RunStep(kSteps[i], 60'000 + i * 10 + rep);
+      tps[i] = std::max(tps[i], result.tps);
+      trans[i] = result.transitions_per_tx;  // identical across reps
     }
     double step_gain = i == 0 ? 1.0 : tps[i] / tps[i - 1];
-    std::printf("%-26s %10.1f %11.2fx %11.2fx %10s\n", kSteps[i].label, tps[i],
-                step_gain, tps[i] / tps[0], kSteps[i].paper_gain);
+    std::printf("%-26s %10.1f %11.2fx %11.2fx %10.1f %10s\n", kSteps[i].label,
+                tps[i], step_gain, tps[i] / tps[0], trans[i],
+                kSteps[i].paper_gain);
     std::fflush(stdout);
   }
 
@@ -165,10 +192,16 @@ int main() {
   std::printf("  OPT4 end-to-end: %.2fx (noise-bound on this host); direct "
               "VM-level fusion speedup: %.2fx (paper ~1.17x)\n",
               g4, fusion_micro);
+  // OPT5 is judged on the deterministic cost model, not wall time: the
+  // batched journal must strictly cut enclave transitions per tx.
+  bool opt5_fewer_transitions = trans[5] < trans[4];
+  std::printf("  OPT5 cuts enclave transitions/tx: %s (%.1f -> %.1f)\n",
+              opt5_fewer_transitions ? "yes" : "NO", trans[4], trans[5]);
   bool monotone = tps[1] > tps[0] && tps[2] > tps[1] && tps[3] >= tps[2] * 0.95 &&
-                  tps[4] >= tps[3] * 0.75;
+                  tps[4] >= tps[3] * 0.75 && tps[5] >= tps[4] * 0.75;
   std::printf("  ladder is (near-)monotone: %s\n", monotone ? "yes" : "NO");
-  bool ok = g1 > 1.2 && g2 > 1.3 && monotone && fusion_micro > 1.15;
+  bool ok = g1 > 1.2 && g2 > 1.3 && monotone && fusion_micro > 1.15 &&
+            opt5_fewer_transitions;
   std::printf("overall: %s\n", ok ? "PASS" : "MISMATCH");
   confide::bench::DumpMetrics();
   return ok ? 0 : 1;

@@ -2,11 +2,13 @@
 /// \brief Micro-decomposition of the confidentiality overheads (§6.1):
 /// the workload-independent T-Protocol cost, the workload-dependent
 /// D-Protocol state crypto, enclave-boundary crossings (copy vs
-/// user_check marshalling, §5.3), EPC paging, and the exit-less monitor
-/// vs ocall-based monitoring ablation.
+/// user_check marshalling, §5.3), EPC paging, the exit-less monitor vs
+/// ocall-based monitoring ablation, and the SCF-AR enclave-transition
+/// decomposition with and without batched state ocalls (OPT5).
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/sim_clock.h"
 #include "confide/protocol.h"
 #include "crypto/drbg.h"
@@ -197,6 +199,110 @@ void BM_Epc_Thrashing(benchmark::State& state) {
 }
 BENCHMARK(BM_Epc_Thrashing);
 
+// --- SCF-AR enclave transitions: batched vs single state ocalls -------------
+
+struct ScfArTransitionProfile {
+  double transitions_per_tx = 0;        // all EENTER/EEXIT events
+  double state_ocalls_per_tx = 0;       // single + batched crossings
+  double state_transitions_per_tx = 0;  // 2 * state_ocalls_per_tx
+};
+
+// Executes the Table-1 SCF-AR transfer flow and profiles the steady-state
+// boundary crossings of the last `kMeasure` transactions (code caches and
+// the OPT5 read-set profile are warm by then).
+ScfArTransitionProfile RunScfArTransitions(bool batching, uint64_t seed) {
+  using namespace confide::bench;
+  core::SystemOptions options;
+  options.seed = seed;
+  options.block_max_bytes = 64 * 1024;
+  options.cs.enable_ocall_batching = batching;
+  auto sys = MustBootstrap(options);
+  core::Client client(9, sys->pk_tx());
+
+  for (const auto& [name, source] : workloads::ScfArContracts()) {
+    MustDeploy(sys.get(), &client, name, source, true);
+  }
+  MustCall(sys.get(), &client, "scf.manager", "seed", Bytes{});
+  MustCall(sys.get(), &client, "scf.fee", "seed", Bytes{});
+  MustCall(sys.get(), &client, "scf.account", "seed",
+           ToBytes(std::string_view("supplier-alpha")));
+  MustCall(sys.get(), &client, "scf.account", "seed",
+           ToBytes(std::string_view("bank-one")));
+  for (int i = 0; i < 4; ++i) {
+    MustCall(sys.get(), &client, "scf.asset", "seed",
+             ToBytes("ar-cert-" + std::to_string(i) + "\nsupplier-alpha"));
+  }
+
+  constexpr int kWarmup = 8;   // cycles all 4 assets through the profile
+  constexpr int kMeasure = 4;
+  crypto::Drbg rng(11);
+  auto* engine = sys->confidential_engine();
+  chain::CommitStateDb* state = sys->node()->state();
+  auto run_one = [&](int i) {
+    auto sub = client.MakeConfidentialTx(
+        chain::NamedAddress("scf.gateway"), "transfer",
+        workloads::MakeScfTransferInput(&rng, i));
+    auto receipt = engine->Execute(sub->tx, state);
+    if (!receipt.ok() || !receipt->success) {
+      std::fprintf(stderr, "scf-ar transfer failed: %s\n",
+                   receipt.ok() ? receipt->status_message.c_str()
+                                : receipt.status().ToString().c_str());
+      std::abort();
+    }
+  };
+  for (int i = 0; i < kWarmup; ++i) run_one(i);
+
+  metrics::MetricsSnapshot before = metrics::MetricsRegistry::Global().Snapshot();
+  uint64_t transitions_before = sys->platform()->stats().transitions.load();
+  for (int i = kWarmup; i < kWarmup + kMeasure; ++i) run_one(i);
+  metrics::MetricsSnapshot after = metrics::MetricsRegistry::Global().Snapshot();
+
+  auto counter_delta = [&](const char* name) {
+    return after.counter(name) - before.counter(name);
+  };
+  ScfArTransitionProfile profile;
+  profile.transitions_per_tx =
+      double(sys->platform()->stats().transitions.load() - transitions_before) /
+      kMeasure;
+  profile.state_ocalls_per_tx =
+      double(counter_delta("confide.state.get_ocall.count") +
+             counter_delta("confide.state.set_ocall.count") +
+             counter_delta("confide.state.get_batch_ocall.count") +
+             counter_delta("confide.state.set_batch_ocall.count")) /
+      kMeasure;
+  profile.state_transitions_per_tx = 2.0 * profile.state_ocalls_per_tx;
+  return profile;
+}
+
+// Returns true when the batched journal holds state-ocall transitions for
+// one steady-state SCF-AR tx at <= 4 (one prefetch + one flush crossing).
+bool ScfArTransitionDecomposition() {
+  std::printf("\n== SCF-AR enclave transitions: single vs batched state ocalls ==\n\n");
+  ScfArTransitionProfile single = RunScfArTransitions(false, 91'000);
+  ScfArTransitionProfile batched = RunScfArTransitions(true, 91'001);
+  std::printf("%-28s %16s %16s\n", "per steady-state tx", "single ocalls",
+              "batched (OPT5)");
+  std::printf("%-28s %16.1f %16.1f\n", "state ocall crossings",
+              single.state_ocalls_per_tx, batched.state_ocalls_per_tx);
+  std::printf("%-28s %16.1f %16.1f\n", "state ocall transitions",
+              single.state_transitions_per_tx, batched.state_transitions_per_tx);
+  std::printf("%-28s %16.1f %16.1f\n", "total enclave transitions",
+              single.transitions_per_tx, batched.transitions_per_tx);
+
+  bool ok = batched.state_transitions_per_tx <= 4.0 &&
+            batched.transitions_per_tx < single.transitions_per_tx;
+  std::printf("\nself-check: batched state-ocall transitions/tx <= 4 "
+              "(O(storage ops) -> O(1)): %s\n",
+              ok ? "PASS" : "MISMATCH");
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return ScfArTransitionDecomposition() ? 0 : 1;
+}

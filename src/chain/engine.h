@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "chain/state.h"
 #include "chain/types.h"
@@ -40,6 +41,15 @@ class ContractRegistry {
   static Result<ContractInfo> Load(StateDb* state, const Address& contract);
 };
 
+/// \brief Conflict keys of the contracts one execution actually touched,
+/// including contracts reached through nested calls. The parallel executor
+/// uses these to detect cross-group overlap that the envelope-level
+/// ConflictKey (target contract only) cannot see.
+struct TxTouchSet {
+  std::vector<uint64_t> read_keys;
+  std::vector<uint64_t> written_keys;
+};
+
 /// \brief A transaction execution engine.
 class ExecutionEngine {
  public:
@@ -51,8 +61,16 @@ class ExecutionEngine {
   virtual Result<bool> PreVerify(const Transaction& tx) = 0;
 
   /// \brief Executes against `state`. Must Discard() partial writes on
-  /// failure; the caller commits per block.
-  virtual Result<Receipt> Execute(const Transaction& tx, StateDb* state) = 0;
+  /// failure; the caller commits per block. When `touch` is non-null the
+  /// engine fills it with the conflict keys of every contract the
+  /// execution read or wrote (nested calls included).
+  virtual Result<Receipt> Execute(const Transaction& tx, StateDb* state,
+                                  TxTouchSet* touch) = 0;
+
+  /// \brief Convenience overload for callers that do not need touch sets.
+  Result<Receipt> Execute(const Transaction& tx, StateDb* state) {
+    return Execute(tx, state, nullptr);
+  }
 
   /// \brief Conflict-group key for k-way parallel execution: transactions
   /// with equal keys are serialized, distinct keys may run concurrently.

@@ -1,9 +1,45 @@
 #include "chain/executor.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
 #include <thread>
 
+#include "common/metrics.h"
+
 namespace confide::chain {
+
+namespace {
+
+struct ExecutorMetrics {
+  metrics::Counter* regrouped_groups =
+      metrics::GetCounter("chain.executor.conflict_regroup.count");
+  metrics::Counter* reexecuted_txs =
+      metrics::GetCounter("chain.executor.conflict_reexec_tx.count");
+
+  static const ExecutorMetrics& Get() {
+    static const ExecutorMetrics instruments;
+    return instruments;
+  }
+};
+
+/// Union of the touch sets reported by one group's transactions.
+struct GroupTouch {
+  std::set<uint64_t> reads;
+  std::set<uint64_t> writes;
+};
+
+bool Intersects(const std::set<uint64_t>& a, const std::set<uint64_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    (*ia < *ib) ? ++ia : ++ib;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
     const std::vector<Transaction>& transactions, const EngineSet& engines,
@@ -27,6 +63,8 @@ Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
   std::vector<OverlayStateDb> overlays;
   overlays.reserve(group_list.size());
   for (size_t g = 0; g < group_list.size(); ++g) overlays.emplace_back(state);
+  // Filled by the worker that owns group g; read only after the join.
+  std::vector<GroupTouch> touches(group_list.size());
 
   std::atomic<size_t> next_group{0};
   std::atomic<bool> failed{false};
@@ -44,7 +82,11 @@ Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
         // Per-transaction overlay so a failed tx discards only its own
         // writes while earlier group writes survive.
         OverlayStateDb txn(&overlay);
-        Result<Receipt> result = engine->Execute(tx, &txn);
+        TxTouchSet touch;
+        Result<Receipt> result = engine->Execute(tx, &txn, &touch);
+        touches[g].reads.insert(touch.read_keys.begin(), touch.read_keys.end());
+        touches[g].writes.insert(touch.written_keys.begin(),
+                                 touch.written_keys.end());
         Receipt receipt;
         if (result.ok()) {
           receipt = std::move(result).value();
@@ -86,9 +128,67 @@ Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
   if (failed.load()) {
     return Status::Internal("executor: block aborted: " + failure);
   }
-  // Deterministic merge order.
-  for (OverlayStateDb& overlay : overlays) {
-    CONFIDE_RETURN_NOT_OK(overlay.Commit());
+
+  // Cross-group overlap check: nested calls can write a contract that a
+  // *different* group also read or wrote, which the envelope-level
+  // conflict key never sees. All groups executed against the same parent
+  // snapshot, so any such overlap makes the parallel schedule unsound —
+  // those groups rerun serially below, after the clean groups merge.
+  std::vector<bool> conflicted(group_list.size(), false);
+  for (size_t g = 0; g < group_list.size(); ++g) {
+    for (size_t h = g + 1; h < group_list.size(); ++h) {
+      if (Intersects(touches[g].writes, touches[h].writes) ||
+          Intersects(touches[g].writes, touches[h].reads) ||
+          Intersects(touches[g].reads, touches[h].writes)) {
+        conflicted[g] = true;
+        conflicted[h] = true;
+      }
+    }
+  }
+
+  // Deterministic merge order for the clean groups.
+  for (size_t g = 0; g < group_list.size(); ++g) {
+    if (conflicted[g]) continue;
+    CONFIDE_RETURN_NOT_OK(overlays[g].Commit());
+  }
+
+  // Serial re-execution of conflicted groups, in group-key order, each
+  // seeing every previously committed write. Their first-run overlays are
+  // dropped wholesale; receipts are replaced by the serial results.
+  for (size_t g = 0; g < group_list.size(); ++g) {
+    if (!conflicted[g]) continue;
+    ExecutorMetrics::Get().regrouped_groups->Increment();
+    overlays[g].Discard();
+    OverlayStateDb redo(state);
+    for (size_t index : group_list[g].second) {
+      const Transaction& tx = transactions[index];
+      ExecutionEngine* engine = engines.Route(tx);
+      ExecutorMetrics::Get().reexecuted_txs->Increment();
+      OverlayStateDb txn(&redo);
+      Result<Receipt> result = engine->Execute(tx, &txn, nullptr);
+      Receipt receipt;
+      if (result.ok()) {
+        receipt = std::move(result).value();
+        if (receipt.success) {
+          (void)txn.Commit();
+        } else {
+          txn.Discard();
+        }
+      } else if (result.status().IsVmTrap() ||
+                 result.status().code() == StatusCode::kResourceExhausted ||
+                 result.status().IsCryptoError() ||
+                 result.status().IsNotFound()) {
+        txn.Discard();
+        receipt.tx_hash = tx.Hash();
+        receipt.success = false;
+        receipt.status_message = result.status().ToString();
+      } else {
+        return Status::Internal("executor: block aborted: " +
+                                result.status().ToString());
+      }
+      receipts[index] = std::move(receipt);
+    }
+    CONFIDE_RETURN_NOT_OK(redo.Commit());
   }
   return receipts;
 }

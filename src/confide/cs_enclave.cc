@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <set>
 
 #include "common/endian.h"
 #include "common/metrics.h"
@@ -50,6 +51,14 @@ struct CsMetrics {
       metrics::GetCounter("confide.code_cache.hit.count");
   metrics::Counter* code_cache_misses =
       metrics::GetCounter("confide.code_cache.miss.count");
+  metrics::Counter* batch_flush_ops =
+      metrics::GetCounter("confide.sdm.batch_flush_ops");
+  metrics::Counter* prefetch_keys =
+      metrics::GetCounter("confide.sdm.prefetch_keys.count");
+  metrics::Gauge* preverify_resident =
+      metrics::GetGauge("confide.preverify_cache.resident");
+  metrics::Gauge* profile_resident =
+      metrics::GetGauge("confide.sdm.readset_profile.resident");
 
   static const CsMetrics& Get() {
     static const CsMetrics instruments;
@@ -66,24 +75,250 @@ uint32_t SelectorOf(std::string_view entry) {
   return LoadBe32(h.data());
 }
 
-/// The SDM: the in-enclave HostEnv. State crossings are ocalls; values are
-/// sealed/opened with D-Protocol; a per-execution memory cache absorbs
-/// repeated reads (the SCF-AR flow reads the same accounts repeatedly).
+/// Per-execution write-back state layer (OPT5). One journal is shared by
+/// reference across every nested SdmEnv frame of a kCsExecute call, so a
+/// callee's writes are visible to its caller immediately (the A→B→A
+/// reentrancy case) and all SetStorage ops buffer in-enclave until a
+/// single batched flush ocall at successful execution end. Reads absorb
+/// into one coherent cache; a learned read-set prefetch fills it in one
+/// batched get ocall up front.
+class StateJournal {
+ public:
+  StateJournal(tee::EnclaveContext* ctx, const CsOptions& options,
+               uint64_t token, const StateKey& k_states, uint64_t svn)
+      : ctx_(ctx), options_(options), token_(token), k_states_(k_states),
+        svn_(svn) {}
+
+  Result<Bytes> Get(const chain::Address& contract, ByteView key) {
+    read_keys_.insert(ConflictKeyOf(contract));
+    std::string jk = JournalKey(contract, key);
+    RecordTouch(jk, contract, key);
+    auto it = entries_.find(jk);
+    if (it != entries_.end() && (it->second.dirty || options_.enable_state_cache)) {
+      Entry& entry = it->second;
+      if (entry.sealed) {  // lazily open prefetched ciphertext
+        Bytes aad =
+            StateAad(ByteView(contract.data(), contract.size()), key, svn_);
+        CONFIDE_ASSIGN_OR_RETURN(Bytes plain,
+                                 OpenState(k_states_, *entry.sealed, aad));
+        entry.value = std::move(plain);
+        entry.sealed.reset();
+      }
+      if (!entry.value) return Status::NotFound("sdm: cached absent");
+      return *entry.value;
+    }
+    // Miss: fetch the sealed value from the untrusted store (one ocall).
+    std::vector<RlpItem> req;
+    req.push_back(RlpItem::U64(token_));
+    req.push_back(RlpItem(Bytes(contract.begin(), contract.end())));
+    req.push_back(RlpItem(ToBytes(key)));
+    CONFIDE_ASSIGN_OR_RETURN(
+        Bytes resp,
+        ctx_->Ocall(kOcallGetState, RlpEncode(RlpItem::List(std::move(req))),
+                    options_.ocall_semantics));
+    CONFIDE_ASSIGN_OR_RETURN(RlpItem resp_item, RlpDecode(resp));
+    if (!resp_item.is_list() || resp_item.list().size() != 2) {
+      return Status::Corruption("sdm: bad get-state response");
+    }
+    CONFIDE_ASSIGN_OR_RETURN(uint64_t found, resp_item.list()[0].AsU64());
+    if (found == 0) {
+      if (options_.enable_state_cache) {
+        entries_[jk] = Entry{contract, ToBytes(key), std::nullopt, false};
+      }
+      return Status::NotFound("sdm: no such state");
+    }
+    Bytes aad = StateAad(ByteView(contract.data(), contract.size()), key, svn_);
+    CONFIDE_ASSIGN_OR_RETURN(Bytes plain,
+                             OpenState(k_states_, resp_item.list()[1].bytes(), aad));
+    if (options_.enable_state_cache) {
+      entries_[jk] = Entry{contract, ToBytes(key), plain, false};
+    }
+    return plain;
+  }
+
+  Status Set(const chain::Address& contract, ByteView key, ByteView value) {
+    written_keys_.insert(ConflictKeyOf(contract));
+    // Writes join the prefetch profile too: sliding-window workloads
+    // (e.g. the SCF ledger journal) read next execution what this one
+    // wrote, and profiling reads alone would miss those keys forever.
+    RecordTouch(JournalKey(contract, key), contract, key);
+    if (options_.enable_ocall_batching) {
+      // Write-back: buffer in-enclave, flush once at execution end.
+      entries_[JournalKey(contract, key)] =
+          Entry{contract, ToBytes(key), ToBytes(value), true};
+      return Status::OK();
+    }
+    // Write-through (pre-OPT5 ladder rungs): one ocall per SetStorage.
+    Bytes aad = StateAad(ByteView(contract.data(), contract.size()), key, svn_);
+    CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, SealState(k_states_, value, aad));
+    std::vector<RlpItem> req;
+    req.push_back(RlpItem::U64(token_));
+    req.push_back(RlpItem(Bytes(contract.begin(), contract.end())));
+    req.push_back(RlpItem(ToBytes(key)));
+    req.push_back(RlpItem(std::move(sealed)));
+    CONFIDE_RETURN_NOT_OK(
+        ctx_->Ocall(kOcallSetState, RlpEncode(RlpItem::List(std::move(req))),
+                    options_.ocall_semantics)
+            .status());
+    if (options_.enable_state_cache) {
+      entries_[JournalKey(contract, key)] =
+          Entry{contract, ToBytes(key), ToBytes(value), false};
+    }
+    return Status::OK();
+  }
+
+  /// One batched get for the learned read set; results land in the cache
+  /// as if read individually. Keys already journaled are skipped.
+  Status Prefetch(const std::vector<std::pair<chain::Address, Bytes>>& keys) {
+    if (!options_.enable_ocall_batching || !options_.enable_state_cache) {
+      return Status::OK();
+    }
+    std::vector<const std::pair<chain::Address, Bytes>*> wanted;
+    for (const auto& pair : keys) {
+      if (entries_.count(JournalKey(pair.first, pair.second)) == 0) {
+        wanted.push_back(&pair);
+      }
+    }
+    if (wanted.empty()) return Status::OK();
+    std::vector<RlpItem> list;
+    for (const auto* pair : wanted) {
+      std::vector<RlpItem> entry;
+      entry.push_back(RlpItem(Bytes(pair->first.begin(), pair->first.end())));
+      entry.push_back(RlpItem(pair->second));
+      list.push_back(RlpItem::List(std::move(entry)));
+    }
+    std::vector<RlpItem> req;
+    req.push_back(RlpItem::U64(token_));
+    req.push_back(RlpItem::List(std::move(list)));
+    CONFIDE_ASSIGN_OR_RETURN(
+        Bytes resp, ctx_->OcallBatched(kOcallGetStateBatch,
+                                       RlpEncode(RlpItem::List(std::move(req))),
+                                       wanted.size(), options_.ocall_semantics));
+    CONFIDE_ASSIGN_OR_RETURN(RlpItem resp_item, RlpDecode(resp));
+    if (!resp_item.is_list() || resp_item.list().size() != wanted.size()) {
+      return Status::Corruption("sdm: bad batched get-state response");
+    }
+    for (size_t i = 0; i < wanted.size(); ++i) {
+      const RlpItem& row = resp_item.list()[i];
+      if (!row.is_list() || row.list().size() != 2) {
+        return Status::Corruption("sdm: bad batched get-state entry");
+      }
+      CONFIDE_ASSIGN_OR_RETURN(uint64_t found, row.list()[0].AsU64());
+      const chain::Address& contract = wanted[i]->first;
+      const Bytes& key = wanted[i]->second;
+      std::optional<Bytes> sealed;
+      if (found != 0) sealed = row.list()[1].bytes();
+      entries_[JournalKey(contract, key)] =
+          Entry{contract, key, std::nullopt, false, std::move(sealed)};
+    }
+    CsMetrics::Get().prefetch_keys->Increment(wanted.size());
+    return Status::OK();
+  }
+
+  /// Seals and flushes every buffered write in one batched ocall. The host
+  /// applies the batch atomically: on failure nothing reached the per-tx
+  /// overlay and the execution must be reported failed.
+  Status Flush() {
+    flush_ops_ = 0;
+    if (!options_.enable_ocall_batching) return Status::OK();
+    std::vector<RlpItem> list;
+    for (auto& [jk, entry] : entries_) {
+      if (!entry.dirty) continue;
+      Bytes aad = StateAad(ByteView(entry.contract.data(), entry.contract.size()),
+                           entry.key, svn_);
+      CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, SealState(k_states_, *entry.value, aad));
+      std::vector<RlpItem> row;
+      row.push_back(RlpItem(Bytes(entry.contract.begin(), entry.contract.end())));
+      row.push_back(RlpItem(entry.key));
+      row.push_back(RlpItem(std::move(sealed)));
+      list.push_back(RlpItem::List(std::move(row)));
+    }
+    if (list.empty()) return Status::OK();
+    uint64_t n = list.size();
+    std::vector<RlpItem> req;
+    req.push_back(RlpItem::U64(token_));
+    req.push_back(RlpItem::List(std::move(list)));
+    CONFIDE_RETURN_NOT_OK(
+        ctx_->OcallBatched(kOcallSetStateBatch,
+                           RlpEncode(RlpItem::List(std::move(req))), n,
+                           options_.ocall_semantics)
+            .status());
+    for (auto& [jk, entry] : entries_) entry.dirty = false;
+    flush_ops_ = n;
+    CsMetrics::Get().batch_flush_ops->Increment(n);
+    return Status::OK();
+  }
+
+  /// Marks a whole-contract read (code loaded from the code cache never
+  /// touches storage but is still a read of that contract's state).
+  void NoteContractRead(const chain::Address& contract) {
+    read_keys_.insert(ConflictKeyOf(contract));
+  }
+
+  /// (contract, key) pairs this execution read or wrote, in first-touch
+  /// order — the next execution's prefetch profile.
+  const std::vector<std::pair<chain::Address, Bytes>>& touches_in_order() const {
+    return touches_in_order_;
+  }
+  std::vector<uint64_t> ReadKeys() const {
+    return std::vector<uint64_t>(read_keys_.begin(), read_keys_.end());
+  }
+  std::vector<uint64_t> WrittenKeys() const {
+    return std::vector<uint64_t>(written_keys_.begin(), written_keys_.end());
+  }
+  uint64_t flush_ops() const { return flush_ops_; }
+
+ private:
+  struct Entry {
+    chain::Address contract{};
+    Bytes key;
+    std::optional<Bytes> value;  // nullopt = known absent (unless sealed)
+    bool dirty = false;
+    /// Prefetched ciphertext not yet opened: GCM runs lazily on first
+    /// Get, so prefetching a key that execution never touches costs no
+    /// crypto — only the (batched) boundary crossing.
+    std::optional<Bytes> sealed;
+  };
+
+  static std::string JournalKey(const chain::Address& contract, ByteView key) {
+    return chain::AddressToString(contract) + "/" + ToString(key);
+  }
+
+  void RecordTouch(const std::string& jk, const chain::Address& contract,
+                   ByteView key) {
+    if (touch_seen_.insert(jk).second) {
+      touches_in_order_.emplace_back(contract, ToBytes(key));
+    }
+  }
+
+  tee::EnclaveContext* ctx_;
+  const CsOptions& options_;
+  uint64_t token_;
+  const StateKey& k_states_;
+  uint64_t svn_;
+  // Ordered so the flush wire format (and its seal order) is deterministic.
+  std::map<std::string, Entry> entries_;
+  std::set<std::string> touch_seen_;
+  std::vector<std::pair<chain::Address, Bytes>> touches_in_order_;
+  std::set<uint64_t> read_keys_;
+  std::set<uint64_t> written_keys_;
+  uint64_t flush_ops_ = 0;
+};
+
+/// The SDM: the in-enclave HostEnv. One frame per (possibly nested)
+/// contract call; all frames of one execution share the StateJournal, so
+/// state crossings are journaled/batched and nested writes are coherent.
 class SdmEnv : public vm::HostEnv {
  public:
   using CodeCache = std::unordered_map<std::string, std::pair<Bytes, uint8_t>>;
 
-  SdmEnv(tee::EnclaveContext* ctx, const CsOptions& options, uint64_t token,
-         const StateKey& k_states, chain::Address contract, uint64_t svn,
-         vm::cvm::CvmVm* cvm, vm::evm::EvmVm* evm, uint32_t depth,
-         CsExecuteResponse* stats, std::mutex* code_cache_mutex,
-         CodeCache* code_cache)
-      : ctx_(ctx),
-        options_(options),
-        token_(token),
-        k_states_(k_states),
+  SdmEnv(const CsOptions& options, StateJournal* journal,
+         chain::Address contract, vm::cvm::CvmVm* cvm, vm::evm::EvmVm* evm,
+         uint32_t depth, CsExecuteResponse* stats,
+         std::mutex* code_cache_mutex, CodeCache* code_cache)
+      : options_(options),
+        journal_(journal),
         contract_(contract),
-        svn_(svn),
         cvm_(cvm),
         evm_(evm),
         depth_(depth),
@@ -96,54 +331,13 @@ class SdmEnv : public vm::HostEnv {
       ++stats_->get_storage_ops;
       CsMetrics::Get().sdm_get_ops->Increment();
     }
-    std::string cache_key = CacheKey(key);
-    if (options_.enable_state_cache) {
-      auto it = cache_.find(cache_key);
-      if (it != cache_.end()) {
-        if (!it->second) return Status::NotFound("sdm: cached absent");
-        return *it->second;
-      }
-    }
-    // Ocall: fetch the sealed value from the untrusted store.
-    std::vector<RlpItem> req;
-    req.push_back(RlpItem::U64(token_));
-    req.push_back(RlpItem(Bytes(contract_.begin(), contract_.end())));
-    req.push_back(RlpItem(ToBytes(key)));
-    CONFIDE_ASSIGN_OR_RETURN(
-        Bytes resp, ctx_->Ocall(kOcallGetState, RlpEncode(RlpItem::List(std::move(req))),
-                                options_.ocall_semantics));
-    CONFIDE_ASSIGN_OR_RETURN(RlpItem resp_item, RlpDecode(resp));
-    if (!resp_item.is_list() || resp_item.list().size() != 2) {
-      return Status::Corruption("sdm: bad get-state response");
-    }
-    CONFIDE_ASSIGN_OR_RETURN(uint64_t found, resp_item.list()[0].AsU64());
-    if (found == 0) {
-      if (options_.enable_state_cache) cache_[cache_key] = std::nullopt;
-      return Status::NotFound("sdm: no such state");
-    }
-    Bytes aad = StateAad(ByteView(contract_.data(), contract_.size()), key, svn_);
-    CONFIDE_ASSIGN_OR_RETURN(Bytes plain,
-                             OpenState(k_states_, resp_item.list()[1].bytes(), aad));
-    if (options_.enable_state_cache) cache_[cache_key] = plain;
-    return plain;
+    return journal_->Get(contract_, key);
   }
 
   Status SetStorage(ByteView key, ByteView value) override {
     ++stats_->set_storage_ops;
     CsMetrics::Get().sdm_set_ops->Increment();
-    Bytes aad = StateAad(ByteView(contract_.data(), contract_.size()), key, svn_);
-    CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, SealState(k_states_, value, aad));
-    std::vector<RlpItem> req;
-    req.push_back(RlpItem::U64(token_));
-    req.push_back(RlpItem(Bytes(contract_.begin(), contract_.end())));
-    req.push_back(RlpItem(ToBytes(key)));
-    req.push_back(RlpItem(std::move(sealed)));
-    CONFIDE_RETURN_NOT_OK(
-        ctx_->Ocall(kOcallSetState, RlpEncode(RlpItem::List(std::move(req))),
-                    options_.ocall_semantics)
-            .status());
-    if (options_.enable_state_cache) cache_[CacheKey(key)] = ToBytes(value);
-    return Status::OK();
+    return journal_->Set(contract_, key, value);
   }
 
   void EmitLog(ByteView data) override { logs.push_back(ToBytes(data)); }
@@ -164,8 +358,10 @@ class SdmEnv : public vm::HostEnv {
     std::string entry(reinterpret_cast<const char*>(input.data()), sep);
     ByteView args = (sep < input.size()) ? input.subspan(sep + 1) : ByteView{};
 
-    SdmEnv callee_env(ctx_, options_, token_, k_states_, callee, svn_, cvm_, evm_,
-                      depth_ + 1, stats_, code_cache_mutex_, code_cache_);
+    // The callee frame shares this execution's journal, so its writes are
+    // immediately visible when control returns to this frame.
+    SdmEnv callee_env(options_, journal_, callee, cvm_, evm_, depth_ + 1,
+                      stats_, code_cache_mutex_, code_cache_);
     CONFIDE_ASSIGN_OR_RETURN(vm::ExecutionResult result,
                              callee_env.RunContract(entry, args));
     for (Bytes& log : callee_env.logs) logs.push_back(std::move(log));
@@ -177,6 +373,9 @@ class SdmEnv : public vm::HostEnv {
   /// ocall and its D-Protocol decryption entirely. Code fetches bypass
   /// the Table-1 state-op counters (contract loading, not contract I/O).
   Result<vm::ExecutionResult> RunContract(std::string_view entry, ByteView args) {
+    // Even a code-cache hit is a read of this contract's state — the
+    // executor's cross-group overlap check must see it.
+    journal_->NoteContractRead(contract_);
     std::string cache_key = chain::AddressToString(contract_);
     Bytes code;
     Bytes vm_byte;
@@ -225,16 +424,9 @@ class SdmEnv : public vm::HostEnv {
   std::vector<Bytes> logs;
 
  private:
-  std::string CacheKey(ByteView key) const {
-    return chain::AddressToString(contract_) + "/" + ToString(key);
-  }
-
-  tee::EnclaveContext* ctx_;
   const CsOptions& options_;
-  uint64_t token_;
-  const StateKey& k_states_;
+  StateJournal* journal_;
   chain::Address contract_;
-  uint64_t svn_;
   vm::cvm::CvmVm* cvm_;
   vm::evm::EvmVm* evm_;
   uint32_t depth_;
@@ -242,7 +434,6 @@ class SdmEnv : public vm::HostEnv {
   std::mutex* code_cache_mutex_;
   CodeCache* code_cache_;
   bool count_ops_ = true;
-  std::map<std::string, std::optional<Bytes>> cache_;
 };
 
 }  // namespace
@@ -250,6 +441,28 @@ class SdmEnv : public vm::HostEnv {
 // ---------------------------------------------------------------------------
 // CsExecuteResponse codec
 // ---------------------------------------------------------------------------
+
+namespace {
+
+RlpItem EncodeU64List(const std::vector<uint64_t>& values) {
+  std::vector<RlpItem> items;
+  items.reserve(values.size());
+  for (uint64_t v : values) items.push_back(RlpItem::U64(v));
+  return RlpItem::List(std::move(items));
+}
+
+Result<std::vector<uint64_t>> DecodeU64List(const RlpItem& item) {
+  if (!item.is_list()) return Status::Corruption("cs: bad u64 list");
+  std::vector<uint64_t> values;
+  values.reserve(item.list().size());
+  for (const RlpItem& entry : item.list()) {
+    CONFIDE_ASSIGN_OR_RETURN(uint64_t v, entry.AsU64());
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace
 
 Bytes CsExecuteResponse::Serialize() const {
   std::vector<RlpItem> items;
@@ -261,12 +474,15 @@ Bytes CsExecuteResponse::Serialize() const {
   items.push_back(RlpItem::U64(contract_calls));
   items.push_back(RlpItem::U64(get_storage_ops));
   items.push_back(RlpItem::U64(set_storage_ops));
+  items.push_back(EncodeU64List(read_keys));
+  items.push_back(EncodeU64List(written_keys));
+  items.push_back(RlpItem::U64(batch_flush_ops));
   return RlpEncode(RlpItem::List(std::move(items)));
 }
 
 Result<CsExecuteResponse> CsExecuteResponse::Deserialize(ByteView wire) {
   CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
-  if (!item.is_list() || item.list().size() != 8) {
+  if (!item.is_list() || item.list().size() != 11) {
     return Status::Corruption("cs: bad execute response");
   }
   const auto& f = item.list();
@@ -280,6 +496,9 @@ Result<CsExecuteResponse> CsExecuteResponse::Deserialize(ByteView wire) {
   CONFIDE_ASSIGN_OR_RETURN(resp.contract_calls, f[5].AsU64());
   CONFIDE_ASSIGN_OR_RETURN(resp.get_storage_ops, f[6].AsU64());
   CONFIDE_ASSIGN_OR_RETURN(resp.set_storage_ops, f[7].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.read_keys, DecodeU64List(f[8]));
+  CONFIDE_ASSIGN_OR_RETURN(resp.written_keys, DecodeU64List(f[9]));
+  CONFIDE_ASSIGN_OR_RETURN(resp.batch_flush_ops, f[10].AsU64());
   return resp;
 }
 
@@ -335,11 +554,11 @@ Result<OpenedEnvelope> CsEnclave::OpenWithCache(ByteView envelope,
       // Keep the critical section tiny: the symmetric decryption below
       // must run outside the lock or parallel executors serialize.
       std::lock_guard<std::mutex> lock(mutex_);
-      auto it = meta_cache_.find(hash_key);
-      if (it != meta_cache_.end()) {
+      CachedMeta* cached = meta_cache_.Get(hash_key);
+      if (cached != nullptr) {
         ++cache_hits_;
         CsMetrics::Get().cache_hits->Increment();
-        meta = it->second;
+        meta = *cached;
       } else {
         ++cache_misses_;
         CsMetrics::Get().cache_misses->Increment();
@@ -407,8 +626,9 @@ Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* c
     phase_start = WallNowNs();
     if (valid && options_.enable_preverify_cache) {
       std::lock_guard<std::mutex> lock(mutex_);
-      meta_cache_[HexEncode(crypto::HashView(env_hash))] =
-          CachedMeta{k_tx, true, conflict_key};
+      meta_cache_.Put(HexEncode(crypto::HashView(env_hash)),
+                      CachedMeta{k_tx, true, conflict_key});
+      CsMetrics::Get().preverify_resident->Set(int64_t(meta_cache_.size()));
     }
     CsMetrics::Get().p4_cache_update->Observe(WallNowNs() - phase_start);
     CsMetrics::Get().preverified_txs->Increment();
@@ -435,9 +655,16 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
   crypto::Hash256 env_hash = crypto::Sha256::Digest(envelope);
 
   CsExecuteResponse response;
+  StateJournal* journal_ptr = nullptr;
   auto fail = [&](const Status& status) -> Result<Bytes> {
     response.success = false;
     response.status_message = status.ToString();
+    if (journal_ptr != nullptr) {
+      // Even failed executions report what they touched: the executor's
+      // overlap check covers their (state-dependent) receipts too.
+      response.read_keys = journal_ptr->ReadKeys();
+      response.written_keys = journal_ptr->WrittenKeys();
+    }
     CsMetrics::Get().failed_txs->Increment();
     ctx->MonitorEmit(2, "cs: tx failed: " + status.ToString());
     return response.Serialize();
@@ -445,6 +672,14 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
 
   bool was_verified = false;
   auto opened = OpenWithCache(envelope, env_hash, &was_verified);
+  // The pre-verification entry is one-shot: executing the envelope
+  // consumes it, so the cache cannot grow with already-executed txs.
+  if (options_.enable_preverify_cache) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (meta_cache_.Erase(HexEncode(crypto::HashView(env_hash)))) {
+      CsMetrics::Get().preverify_resident->Set(int64_t(meta_cache_.size()));
+    }
+  }
   if (!opened.ok()) return fail(opened.status());
 
   auto raw = chain::Transaction::Deserialize(opened->raw_tx);
@@ -465,13 +700,38 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
   }
 
   response.conflict_key = ConflictKeyOf(raw->contract);
-  SdmEnv env(ctx, options_, token, k_states, raw->contract, svn, &cvm_, &evm_,
+  StateJournal journal(ctx, options_, token, k_states, svn);
+  journal_ptr = &journal;
+
+  const bool is_deploy = raw->entry == "__deploy__";
+  const bool prefetchable = !is_deploy && options_.enable_ocall_batching &&
+                            options_.enable_state_cache;
+  std::string profile_key = chain::AddressToString(raw->contract);
+  if (prefetchable) {
+    std::vector<std::pair<chain::Address, Bytes>> hint;
+    {
+      std::lock_guard<std::mutex> lock(profile_mutex_);
+      ReadSetProfile* profile = readset_profiles_.Get(profile_key);
+      if (profile != nullptr) {
+        hint.reserve(profile->keys.size());
+        for (const auto& entry : profile->keys) {
+          hint.emplace_back(entry.contract, entry.key);
+        }
+      }
+    }
+    if (!hint.empty()) {
+      Status st = journal.Prefetch(hint);
+      if (!st.ok()) return fail(st);
+    }
+  }
+
+  SdmEnv env(options_, &journal, raw->contract, &cvm_, &evm_,
              /*depth=*/0, &response, &code_cache_mutex_, &code_cache_);
 
   chain::Receipt raw_receipt;
   raw_receipt.tx_hash = env_hash;
 
-  if (raw->entry == "__deploy__") {
+  if (is_deploy) {
     // Confidential deployment: code lands sealed like any other state.
     auto deploy = RlpDecode(raw->input);
     if (!deploy.ok() || !deploy->is_list() || deploy->list().size() != 2) {
@@ -501,6 +761,57 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
     response.gas_used = result->gas_used;
   }
   raw_receipt.logs = std::move(env.logs);
+
+  // Write-back flush: every buffered SetStorage crosses the boundary in
+  // one batched ocall. The host applies it atomically, so a failure here
+  // means nothing reached the overlay and the tx must report failure.
+  Status flush_status = journal.Flush();
+  if (!flush_status.ok()) return fail(flush_status);
+  response.batch_flush_ops = journal.flush_ops();
+
+  // Learn the read-set profile for the next execution of this contract:
+  // keys touched this run join (or refresh) the profile; keys that keep
+  // not being touched decay out, so per-transaction keys (e.g. unique
+  // asset records) don't accrete into an ever-growing prefetch scan.
+  if (prefetchable) {
+    constexpr size_t kMaxProfileKeys = 256;
+    constexpr uint32_t kMaxIdleRuns = 8;  // > SCF-AR's 4-asset cycle
+    ReadSetProfile merged;
+    {
+      std::lock_guard<std::mutex> lock(profile_mutex_);
+      ReadSetProfile* old = readset_profiles_.Get(profile_key);
+      if (old != nullptr) merged = *old;
+    }
+    std::set<std::string> touched;
+    for (const auto& pair : journal.touches_in_order()) {
+      touched.insert(chain::AddressToString(pair.first) + "/" +
+                     ToString(pair.second));
+    }
+    std::set<std::string> known;
+    ReadSetProfile next;
+    for (auto& entry : merged.keys) {
+      std::string id =
+          chain::AddressToString(entry.contract) + "/" + ToString(entry.key);
+      entry.idle = touched.count(id) ? 0 : entry.idle + 1;
+      if (entry.idle >= kMaxIdleRuns) continue;  // decayed out
+      known.insert(id);
+      next.keys.push_back(std::move(entry));
+    }
+    for (const auto& pair : journal.touches_in_order()) {
+      if (next.keys.size() >= kMaxProfileKeys) break;
+      std::string id =
+          chain::AddressToString(pair.first) + "/" + ToString(pair.second);
+      if (known.insert(id).second) {
+        next.keys.push_back(ReadSetProfile::Entry{pair.first, pair.second, 0});
+      }
+    }
+    std::lock_guard<std::mutex> lock(profile_mutex_);
+    readset_profiles_.Put(profile_key, std::move(next));
+    CsMetrics::Get().profile_resident->Set(int64_t(readset_profiles_.size()));
+  }
+
+  response.read_keys = journal.ReadKeys();
+  response.written_keys = journal.WrittenKeys();
 
   // Rpt_conf = Enc(k_tx, Rpt_raw).
   auto sealed = SealReceipt(opened->k_tx, raw_receipt.Serialize());

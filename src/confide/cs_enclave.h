@@ -19,8 +19,11 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "chain/types.h"
+#include "common/lru.h"
 #include "confide/key_manager.h"
 #include "confide/protocol.h"
 #include "tee/enclave.h"
@@ -41,6 +44,11 @@ enum CsEcall : uint64_t {
 enum CsOcall : uint64_t {
   kOcallGetState = 30,  ///< RLP{token, contract, key} -> RLP{found, value}
   kOcallSetState = 31,  ///< RLP{token, contract, key, value} -> ()
+  /// Batched read: RLP{token, [[contract, key]...]} -> RLP[[found, value]...]
+  kOcallGetStateBatch = 32,
+  /// Batched write-back flush: RLP{token, [[contract, key, sealed]...]} -> ().
+  /// Applied atomically by the host: every entry validated before any Put.
+  kOcallSetStateBatch = 33,
 };
 
 /// \brief Feature toggles matching the paper's optimization ladder.
@@ -49,10 +57,17 @@ struct CsOptions {
   bool enable_code_cache = true;        ///< OPT1 (§6.4)
   bool enable_fusion = true;            ///< OPT4 (§6.4)
   bool enable_state_cache = true;       ///< SDM memory cache (§3.2.1)
+  /// OPT5: write-back StateJournal — buffer SetStorage in-enclave and flush
+  /// once per execution; prefetch the learned read set in one batched ocall.
+  bool enable_ocall_batching = true;
   /// Marshalling mode for state ocalls ("optimized data structure", §5.3).
   tee::PointerSemantics ocall_semantics = tee::PointerSemantics::kCopyInOut;
   uint64_t gas_limit = 400'000'000;
   uint32_t max_call_depth = 64;
+  /// LRU capacity of the OPT3 pre-verification cache (entries).
+  uint32_t preverify_cache_capacity = 4096;
+  /// LRU capacity of the per-contract read-set prefetch profiles.
+  uint32_t readset_profile_capacity = 128;
 };
 
 /// \brief Result of one in-enclave execution, as returned to the host.
@@ -66,6 +81,12 @@ struct CsExecuteResponse {
   uint64_t contract_calls = 0;
   uint64_t get_storage_ops = 0;
   uint64_t set_storage_ops = 0;
+  /// Conflict keys of every contract this execution read / wrote, nested
+  /// calls included — the parallel executor's cross-group overlap check.
+  std::vector<uint64_t> read_keys;
+  std::vector<uint64_t> written_keys;
+  /// Writes carried by the final batched flush (0 when batching is off).
+  uint64_t batch_flush_ops = 0;
 
   Bytes Serialize() const;
   static Result<CsExecuteResponse> Deserialize(ByteView wire);
@@ -82,7 +103,10 @@ struct PreVerifyResult {
 class CsEnclave : public tee::Enclave {
  public:
   explicit CsEnclave(uint64_t seed, CsOptions options = CsOptions{})
-      : seed_(seed), options_(options) {}
+      : seed_(seed),
+        options_(options),
+        meta_cache_(options.preverify_cache_capacity),
+        readset_profiles_(options.readset_profile_capacity) {}
 
   std::string CodeIdentity() const override { return "confide-cs-enclave"; }
   uint64_t SecurityVersion() const override { return 1; }
@@ -117,9 +141,26 @@ class CsEnclave : public tee::Enclave {
   std::mutex mutex_;
   std::optional<ConsortiumKeys> keys_;
   std::optional<crypto::KeyPair> provision_ecdh_;
-  std::unordered_map<std::string, CachedMeta> meta_cache_;
+  LruCache<std::string, CachedMeta> meta_cache_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+
+  /// Read-set prefetch profiles, keyed by the top-level contract address:
+  /// the (contract, key) pairs recent executions of that contract touched,
+  /// issued as one batched get at the start of the next execution (OPT5).
+  /// Keys untouched for several consecutive executions decay out, so
+  /// workloads with per-transaction keys (unique asset ids) don't inflate
+  /// the prefetch into a scan of dead state.
+  struct ReadSetProfile {
+    struct Entry {
+      chain::Address contract{};
+      Bytes key;
+      uint32_t idle = 0;  ///< consecutive executions without a touch
+    };
+    std::vector<Entry> keys;
+  };
+  std::mutex profile_mutex_;
+  LruCache<std::string, ReadSetProfile> readset_profiles_;
 
   vm::cvm::CvmVm cvm_;
   vm::evm::EvmVm evm_;

@@ -1,7 +1,11 @@
 #include "confide/engines.h"
 
+#include <set>
+
 #include "common/endian.h"
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "crypto/gcm.h"
 #include "crypto/keccak.h"
 #include "serialize/rlp.h"
 
@@ -21,8 +25,14 @@ struct EngineMetrics {
       metrics::GetCounter("confide.state.get_ocall.count");
   metrics::Counter* set_state_ocalls =
       metrics::GetCounter("confide.state.set_ocall.count");
+  metrics::Counter* get_batch_ocalls =
+      metrics::GetCounter("confide.state.get_batch_ocall.count");
+  metrics::Counter* set_batch_ocalls =
+      metrics::GetCounter("confide.state.set_batch_ocall.count");
   metrics::Counter* public_executes =
       metrics::GetCounter("confide.public.execute.count");
+  metrics::Gauge* conflict_keys_resident =
+      metrics::GetGauge("confide.engine.conflict_keys.resident");
 
   static const EngineMetrics& Get() {
     static const EngineMetrics instruments;
@@ -39,25 +49,43 @@ uint32_t SelectorOf(std::string_view entry) {
   return LoadBe32(h.data());
 }
 
+/// D-Protocol sealed values are iv(12) || ciphertext || tag(16): anything
+/// shorter cannot authenticate and must not reach the overlay. Without the
+/// check a malformed entry would be stored silently and only explode at
+/// the next OpenState.
+Status ValidateSealedValue(const Bytes& sealed) {
+  if (sealed.size() < crypto::kGcmIvSize + crypto::kGcmTagSize) {
+    return Status::Corruption("ocall: malformed sealed value");
+  }
+  return Status::OK();
+}
+
 /// Plain HostEnv for the public engine: state in the clear, nested calls
-/// resolved through the on-chain registry.
+/// resolved through the on-chain registry. All frames of one execution
+/// share the touched-contract sets so the executor's cross-group overlap
+/// check sees nested reads/writes (same contract-granularity as the SDM).
 class PlainEnv : public vm::HostEnv {
  public:
   PlainEnv(chain::StateDb* state, chain::Address contract,
            const EngineOptions& options, vm::cvm::CvmVm* cvm, vm::evm::EvmVm* evm,
-           uint32_t depth)
+           uint32_t depth, std::set<uint64_t>* read_keys,
+           std::set<uint64_t>* written_keys)
       : state_(state),
         contract_(contract),
         options_(options),
         cvm_(cvm),
         evm_(evm),
-        depth_(depth) {}
+        depth_(depth),
+        read_keys_(read_keys),
+        written_keys_(written_keys) {}
 
   Result<Bytes> GetStorage(ByteView key) override {
+    read_keys_->insert(LoadBe64(contract_.data()));
     return state_->Get(contract_, key);
   }
 
   Status SetStorage(ByteView key, ByteView value) override {
+    written_keys_->insert(LoadBe64(contract_.data()));
     state_->Put(contract_, key, ToBytes(value));
     return Status::OK();
   }
@@ -78,7 +106,8 @@ class PlainEnv : public vm::HostEnv {
     std::string entry(reinterpret_cast<const char*>(input.data()), sep);
     ByteView args = (sep < input.size()) ? input.subspan(sep + 1) : ByteView{};
 
-    PlainEnv callee_env(state_, callee, options_, cvm_, evm_, depth_ + 1);
+    PlainEnv callee_env(state_, callee, options_, cvm_, evm_, depth_ + 1,
+                        read_keys_, written_keys_);
     CONFIDE_ASSIGN_OR_RETURN(vm::ExecutionResult result,
                              callee_env.Run(entry, args));
     for (Bytes& log : callee_env.logs) logs.push_back(std::move(log));
@@ -86,6 +115,7 @@ class PlainEnv : public vm::HostEnv {
   }
 
   Result<vm::ExecutionResult> Run(std::string_view entry, ByteView args) {
+    read_keys_->insert(LoadBe64(contract_.data()));  // code load
     CONFIDE_ASSIGN_OR_RETURN(chain::ContractRegistry::ContractInfo info,
                              chain::ContractRegistry::Load(state_, contract_));
     vm::ExecConfig config;
@@ -110,6 +140,8 @@ class PlainEnv : public vm::HostEnv {
   vm::cvm::CvmVm* cvm_;
   vm::evm::EvmVm* evm_;
   uint32_t depth_;
+  std::set<uint64_t>* read_keys_;
+  std::set<uint64_t>* written_keys_;
 };
 
 }  // namespace
@@ -126,8 +158,16 @@ Result<bool> PublicEngine::PreVerify(const chain::Transaction& tx) {
 }
 
 Result<chain::Receipt> PublicEngine::Execute(const chain::Transaction& tx,
-                                             chain::StateDb* state) {
+                                             chain::StateDb* state,
+                                             chain::TxTouchSet* touch) {
   EngineMetrics::Get().public_executes->Increment();
+  std::set<uint64_t> read_keys;
+  std::set<uint64_t> written_keys;
+  auto fill_touch = [&] {
+    if (touch == nullptr) return;
+    touch->read_keys.assign(read_keys.begin(), read_keys.end());
+    touch->written_keys.assign(written_keys.begin(), written_keys.end());
+  };
   chain::Receipt receipt;
   receipt.tx_hash = tx.Hash();
 
@@ -155,12 +195,16 @@ Result<chain::Receipt> PublicEngine::Execute(const chain::Transaction& tx,
                deploy->list()[1].bytes());
     state->Put(tx.contract, AsByteView(chain::ContractRegistry::kVmKey),
                Bytes{uint8_t(*vm_kind)});
+    written_keys.insert(LoadBe64(tx.contract.data()));
+    fill_touch();
     receipt.success = true;
     return receipt;
   }
 
-  PlainEnv env(state, tx.contract, options_, &cvm_, &evm_, /*depth=*/0);
+  PlainEnv env(state, tx.contract, options_, &cvm_, &evm_, /*depth=*/0,
+               &read_keys, &written_keys);
   auto result = env.Run(tx.entry, tx.input);
+  fill_touch();
   if (!result.ok()) {
     receipt.success = false;
     receipt.status_message = result.status().ToString();
@@ -208,6 +252,7 @@ Status ConfidentialEngine::RecreateEnclave(uint64_t seed,
     enclave_ = std::move(enclave);
     enclave_id_ = id;
     conflict_keys_.clear();  // cached keys came from the dead enclave
+    EngineMetrics::Get().conflict_keys_resident->Set(0);
   }
   // Handlers capture `this`, which is unchanged; re-registering keeps the
   // ocall table pointed at this engine after the swap.
@@ -268,12 +313,94 @@ void ConfidentialEngine::RegisterOcalls() {
     if (item.list()[1].bytes().size() != 20) {
       return Status::Corruption("ocall: bad contract address");
     }
+    CONFIDE_RETURN_NOT_OK(ValidateSealedValue(item.list()[3].bytes()));
     chain::Address contract{};
     std::copy(item.list()[1].bytes().begin(), item.list()[1].bytes().end(),
               contract.begin());
     state->Put(contract, item.list()[2].bytes(), item.list()[3].bytes());
     return Bytes{};
   });
+
+  // Batched read: RLP{token, [[contract, key]...]} -> RLP[[found, value]...].
+  platform_->RegisterOcall(
+      kOcallGetStateBatch, [this](ByteView payload) -> Result<Bytes> {
+        EngineMetrics::Get().get_batch_ocalls->Increment();
+        CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
+        if (!item.is_list() || item.list().size() != 2 ||
+            !item.list()[1].is_list()) {
+          return Status::Corruption("ocall: bad batched get-state request");
+        }
+        CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+        chain::StateDb* state;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = contexts_.find(token);
+          if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
+          state = it->second;
+        }
+        std::vector<RlpItem> rows;
+        for (const RlpItem& entry : item.list()[1].list()) {
+          if (!entry.is_list() || entry.list().size() != 2 ||
+              entry.list()[0].bytes().size() != 20) {
+            return Status::Corruption("ocall: bad batched get-state entry");
+          }
+          chain::Address contract{};
+          std::copy(entry.list()[0].bytes().begin(), entry.list()[0].bytes().end(),
+                    contract.begin());
+          auto value = state->Get(contract, entry.list()[1].bytes());
+          std::vector<RlpItem> row;
+          if (value.ok()) {
+            row.push_back(RlpItem::U64(1));
+            row.push_back(RlpItem(std::move(*value)));
+          } else if (value.status().IsNotFound()) {
+            row.push_back(RlpItem::U64(0));
+            row.push_back(RlpItem(Bytes{}));
+          } else {
+            return value.status();
+          }
+          rows.push_back(RlpItem::List(std::move(row)));
+        }
+        return RlpEncode(RlpItem::List(std::move(rows)));
+      });
+
+  // Batched write-back flush: RLP{token, [[contract, key, sealed]...]} -> ().
+  // Atomic by construction: every entry is validated before the first Put,
+  // so a malformed entry (or an injected flush fault) applies nothing.
+  platform_->RegisterOcall(
+      kOcallSetStateBatch, [this](ByteView payload) -> Result<Bytes> {
+        EngineMetrics::Get().set_batch_ocalls->Increment();
+        CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
+        if (!item.is_list() || item.list().size() != 2 ||
+            !item.list()[1].is_list()) {
+          return Status::Corruption("ocall: bad batched set-state request");
+        }
+        CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+        chain::StateDb* state;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = contexts_.find(token);
+          if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
+          state = it->second;
+        }
+        const auto& entries = item.list()[1].list();
+        for (const RlpItem& entry : entries) {
+          if (!entry.is_list() || entry.list().size() != 3 ||
+              entry.list()[0].bytes().size() != 20) {
+            return Status::Corruption("ocall: bad batched set-state entry");
+          }
+          CONFIDE_RETURN_NOT_OK(ValidateSealedValue(entry.list()[2].bytes()));
+        }
+        if (fault::FaultInjector::Global().ShouldFail("fault.confide.batch_flush")) {
+          return Status::Unavailable("ocall: injected batch-flush failure");
+        }
+        for (const RlpItem& entry : entries) {
+          chain::Address contract{};
+          std::copy(entry.list()[0].bytes().begin(), entry.list()[0].bytes().end(),
+                    contract.begin());
+          state->Put(contract, entry.list()[1].bytes(), entry.list()[2].bytes());
+        }
+        return Bytes{};
+      });
 }
 
 Result<bool> ConfidentialEngine::PreVerify(const chain::Transaction& tx) {
@@ -297,12 +424,14 @@ Result<bool> ConfidentialEngine::PreVerify(const chain::Transaction& tx) {
   if (valid != 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     conflict_keys_[HexEncode(entry[0].bytes())] = conflict_key;
+    EngineMetrics::Get().conflict_keys_resident->Set(int64_t(conflict_keys_.size()));
   }
   return valid != 0;
 }
 
 Result<chain::Receipt> ConfidentialEngine::Execute(const chain::Transaction& tx,
-                                                   chain::StateDb* state) {
+                                                   chain::StateDb* state,
+                                                   chain::TxTouchSet* touch) {
   metrics::ScopedLatencyTimer timer(EngineMetrics::Get().execute_latency);
   uint64_t token = next_token_.fetch_add(1);
   {
@@ -316,11 +445,23 @@ Result<chain::Receipt> ConfidentialEngine::Execute(const chain::Transaction& tx,
                                RlpEncode(RlpItem::List(std::move(req))),
                                options_.ocall_semantics);
   {
+    // The execution is over either way: release the token context and the
+    // memoized conflict key (PreVerify re-populates on resubmission), so
+    // neither map grows with executed transactions.
     std::lock_guard<std::mutex> lock(mutex_);
     contexts_.erase(token);
+    conflict_keys_.erase(HexEncode(crypto::HashView(crypto::Sha256::Digest(tx.envelope))));
+    EngineMetrics::Get().conflict_keys_resident->Set(int64_t(conflict_keys_.size()));
   }
   CONFIDE_RETURN_NOT_OK(resp.status());
   CONFIDE_ASSIGN_OR_RETURN(CsExecuteResponse exec, CsExecuteResponse::Deserialize(*resp));
+  if (touch != nullptr) {
+    // The per-call response carries the touch sets — nothing correctness-
+    // relevant flows through last_response_, which stays as a serial
+    // profiling aid (Table-1 bench, examples).
+    touch->read_keys = exec.read_keys;
+    touch->written_keys = exec.written_keys;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     last_response_ = exec;

@@ -36,9 +36,12 @@ class PublicEngine : public chain::ExecutionEngine {
   explicit PublicEngine(EngineOptions options = EngineOptions{})
       : options_(options) {}
 
+  using chain::ExecutionEngine::Execute;
+
   Result<bool> PreVerify(const chain::Transaction& tx) override;
   Result<chain::Receipt> Execute(const chain::Transaction& tx,
-                                 chain::StateDb* state) override;
+                                 chain::StateDb* state,
+                                 chain::TxTouchSet* touch) override;
   uint64_t ConflictKey(const chain::Transaction& tx) override;
 
   vm::cvm::CvmStats cvm_stats() const { return cvm_.stats(); }
@@ -61,12 +64,15 @@ class ConfidentialEngine : public chain::ExecutionEngine {
       tee::EnclavePlatform* platform, CsOptions options = CsOptions{},
       uint64_t seed = 1, uint64_t enclave_heap_bytes = 48ull << 20);
 
+  using chain::ExecutionEngine::Execute;
+
   /// \brief P1–P5 pipeline for one transaction (the node parallelizes
   /// across transactions).
   Result<bool> PreVerify(const chain::Transaction& tx) override;
 
   Result<chain::Receipt> Execute(const chain::Transaction& tx,
-                                 chain::StateDb* state) override;
+                                 chain::StateDb* state,
+                                 chain::TxTouchSet* touch) override;
 
   uint64_t ConflictKey(const chain::Transaction& tx) override;
 

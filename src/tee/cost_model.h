@@ -60,6 +60,11 @@ struct TeeStats {
   std::atomic<uint64_t> pages_evicted{0};
   std::atomic<uint64_t> pages_loaded{0};
   std::atomic<uint64_t> modeled_cycles{0};
+  /// Logical state operations carried by batched ocalls (one batched ocall
+  /// with N entries counts N here but only 1 under `ocalls`).
+  std::atomic<uint64_t> batched_ocall_entries{0};
+  /// Transitions avoided by batching: 2*(entries-1) per batched ocall.
+  std::atomic<uint64_t> transitions_saved{0};
 
   void Reset() {
     ecalls = 0;
@@ -71,6 +76,8 @@ struct TeeStats {
     pages_evicted = 0;
     pages_loaded = 0;
     modeled_cycles = 0;
+    batched_ocall_entries = 0;
+    transitions_saved = 0;
   }
 };
 

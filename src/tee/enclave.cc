@@ -24,6 +24,10 @@ struct TeeMetrics {
   metrics::Counter* copy_cycles = metrics::GetCounter("tee.copy.cycles");
   metrics::Counter* user_check_bypasses =
       metrics::GetCounter("tee.copy.user_check_bypass.count");
+  metrics::Counter* batched_entries =
+      metrics::GetCounter("tee.ocall.batched_entries.count");
+  metrics::Counter* transitions_saved =
+      metrics::GetCounter("tee.transition.saved.count");
 
   static const TeeMetrics& Get() {
     static const TeeMetrics instruments;
@@ -39,6 +43,23 @@ struct TeeMetrics {
 
 Result<Bytes> EnclaveContext::Ocall(uint64_t fn, ByteView payload,
                                     PointerSemantics semantics) {
+  return platform_->DispatchOcall(fn, payload, semantics);
+}
+
+Result<Bytes> EnclaveContext::OcallBatched(uint64_t fn, ByteView payload,
+                                           uint64_t entries,
+                                           PointerSemantics semantics) {
+  if (entries > 0) {
+    platform_->stats_.batched_ocall_entries.fetch_add(entries,
+                                                      std::memory_order_relaxed);
+    TeeMetrics::Get().batched_entries->Increment(entries);
+  }
+  if (entries > 1) {
+    uint64_t saved = 2 * (entries - 1);
+    platform_->stats_.transitions_saved.fetch_add(saved,
+                                                  std::memory_order_relaxed);
+    TeeMetrics::Get().transitions_saved->Increment(saved);
+  }
   return platform_->DispatchOcall(fn, payload, semantics);
 }
 

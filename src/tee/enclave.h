@@ -67,6 +67,15 @@ class EnclaveContext {
   Result<Bytes> Ocall(uint64_t fn, ByteView payload,
                       PointerSemantics semantics = PointerSemantics::kCopyInOut);
 
+  /// \brief One ocall carrying `entries` logical operations in its payload
+  /// (the SDM's batched state flush/prefetch). Charged like a single
+  /// crossing — that is the point — but the platform books the entries and
+  /// the 2*(entries-1) transitions the batching avoided, so benches can
+  /// report before/after crossing counts.
+  Result<Bytes> OcallBatched(
+      uint64_t fn, ByteView payload, uint64_t entries,
+      PointerSemantics semantics = PointerSemantics::kCopyInOut);
+
   /// \brief This enclave's measurement.
   Measurement Self() const;
 

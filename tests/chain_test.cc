@@ -34,14 +34,20 @@ Transaction MakeSignedTx(crypto::Drbg* rng, const Address& contract,
   return tx;
 }
 
-/// Engine that records keys: "set:<k>=<v>" writes state; "fail" traps.
+/// Engine that records keys: "set:<k>=<v>" writes state; "fail" traps;
+/// "bump" increments a counter slot on the contract named by tx.input —
+/// a stand-in for a nested call writing a contract outside the tx's own
+/// conflict group.
 class ScriptEngine : public ExecutionEngine {
  public:
+  using ExecutionEngine::Execute;
+
   Result<bool> PreVerify(const Transaction& tx) override {
     return crypto::EcdsaVerify(tx.sender, tx.SigningHash(), tx.signature);
   }
 
-  Result<Receipt> Execute(const Transaction& tx, StateDb* state) override {
+  Result<Receipt> Execute(const Transaction& tx, StateDb* state,
+                          TxTouchSet* touch) override {
     ++executed;
     Receipt receipt;
     receipt.tx_hash = tx.Hash();
@@ -49,7 +55,25 @@ class ScriptEngine : public ExecutionEngine {
       state->Put(tx.contract, AsByteView("poison"), ToBytes(std::string_view("x")));
       return Status::VmTrap("scripted failure");
     }
+    if (tx.entry == "bump") {
+      Address target = NamedAddress(ToString(tx.input));
+      uint64_t value = 0;
+      auto current = state->Get(target, AsByteView("n"));
+      if (current.ok() && current->size() == 8) value = LoadBe64(current->data());
+      Bytes next(8);
+      StoreBe64(next.data(), value + 1);
+      state->Put(target, AsByteView("n"), next);
+      if (touch != nullptr) {
+        touch->read_keys.push_back(LoadBe64(target.data()));
+        touch->written_keys.push_back(LoadBe64(target.data()));
+      }
+      receipt.success = true;
+      return receipt;
+    }
     state->Put(tx.contract, tx.input, ToBytes(std::string_view("written")));
+    if (touch != nullptr) {
+      touch->written_keys.push_back(LoadBe64(tx.contract.data()));
+    }
     receipt.success = true;
     receipt.output = ToBytes(std::string_view("ok"));
     return receipt;
@@ -346,6 +370,34 @@ TEST(ExecutorTest, ParallelAndSerialProduceSameState) {
     return state.StateRoot();
   };
   EXPECT_EQ(run(1), run(6));
+}
+
+TEST(ExecutorTest, CrossGroupSharedWriteReExecutesSerially) {
+  // Two txs target distinct contracts (distinct conflict groups) but both
+  // "bump" the same shared contract's counter — the nested-write overlap
+  // the envelope-level conflict key cannot see. A last-writer-wins merge
+  // loses one increment; overlap detection must rerun the groups serially
+  // so both survive.
+  crypto::Drbg rng(11);
+  std::vector<Transaction> txs;
+  txs.push_back(MakeSignedTx(&rng, NamedAddress("left"), "bump", ToBytes("shared")));
+  txs.push_back(MakeSignedTx(&rng, NamedAddress("right"), "bump", ToBytes("shared")));
+
+  ScriptEngine engine;
+  EngineSet engines{&engine, &engine};
+  CommitStateDb state(MakeKv());
+  BlockExecutor executor(ExecutorOptions{/*parallelism=*/4});
+  auto receipts = executor.ExecuteBlock(txs, engines, &state);
+  ASSERT_TRUE(receipts.ok());
+  EXPECT_TRUE((*receipts)[0].success);
+  EXPECT_TRUE((*receipts)[1].success);
+
+  auto value = state.Get(NamedAddress("shared"), AsByteView("n"));
+  ASSERT_TRUE(value.ok());
+  ASSERT_EQ(value->size(), 8u);
+  EXPECT_EQ(LoadBe64(value->data()), 2u);
+  // Both bumps executed once in parallel, then both groups serially.
+  EXPECT_EQ(engine.executed.load(), 4);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/bytes.h"
+#include "common/lru.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 
@@ -121,6 +124,59 @@ TEST(SimClockTest, CyclesConvertAtPaperFrequency) {
   SimClock clock;
   clock.AdvanceCycles(3700);  // 3700 cycles @ 3.7 GHz = 1000 ns
   EXPECT_EQ(clock.NowNs(), 1000u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);  // evicts "a"
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ASSERT_NE(cache.Get("b"), nullptr);
+  EXPECT_EQ(*cache.Get("c"), 3);
+}
+
+TEST(LruCacheTest, GetRefreshesRecencyButPeekDoesNot) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_NE(cache.Get("a"), nullptr);  // "b" is now LRU
+  cache.Put("c", 3);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+
+  cache.Put("d", 4);  // "c" was LRU despite the Put order...
+  EXPECT_EQ(cache.Get("c"), nullptr);
+
+  LruCache<std::string, int> peeked(2);
+  peeked.Put("a", 1);
+  peeked.Put("b", 2);
+  ASSERT_NE(peeked.Peek("a"), nullptr);  // no recency update
+  peeked.Put("c", 3);
+  EXPECT_EQ(peeked.Get("a"), nullptr);  // "a" still evicted first
+}
+
+TEST(LruCacheTest, PutOverwritesInPlaceAndEraseRemoves) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("k", 1);
+  cache.Put("k", 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get("k"), 2);
+  EXPECT_TRUE(cache.Erase("k"));
+  EXPECT_FALSE(cache.Erase("k"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+}
+
+TEST(LruCacheTest, ZeroCapacityCoercedToOne) {
+  LruCache<int, int> cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(2), 20);
 }
 
 }  // namespace

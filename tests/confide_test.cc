@@ -531,5 +531,252 @@ TEST_F(ConfideE2eTest, MetricsTrackOneConfidentialTransaction) {
             1u);
 }
 
+// ---------------------------------------------------------------------------
+// StateJournal / batched-ocall regressions (OPT5)
+// ---------------------------------------------------------------------------
+
+// A -> B -> A: the outer frame of `reent.a` reads "x", calls into
+// `reent.b`, which re-enters `reent.a` and increments "x". The outer
+// frame's re-read must observe the nested write — all frames of one
+// execution share a single StateJournal.
+constexpr const char* kReentrantASource = R"(
+fn outer() {
+  var before = state_get_u64("x");
+  var out = alloc(8);
+  call_named("reent.b", "pong", out, 0, out, 8);
+  var after = state_get_u64("x");
+  var buf = alloc(32);
+  var len = u64_to_dec(after, buf);
+  write_output(buf, len);
+  return after - before;
+}
+fn bump() {
+  state_put_u64("x", state_get_u64("x") + 1);
+  return 0;
+}
+)";
+
+constexpr const char* kReentrantBSource = R"(
+fn pong() {
+  var out = alloc(8);
+  call_named("reent.a", "bump", out, 0, out, 8);
+  return 0;
+}
+)";
+
+// Shared-counter contracts for the cross-group conflict regression.
+constexpr const char* kSharedCounterSource = R"(
+fn bump() {
+  state_put_u64("n", state_get_u64("n") + 1);
+  return 0;
+}
+fn read() {
+  var buf = alloc(32);
+  var len = u64_to_dec(state_get_u64("n"), buf);
+  write_output(buf, len);
+  return 0;
+}
+)";
+
+constexpr const char* kSharedCallerSource = R"(
+fn hit() {
+  var out = alloc(8);
+  call_named("grp.shared", "bump", out, 0, out, 8);
+  return 0;
+}
+)";
+
+// Touches four state keys per call: the workload where batching pays
+// (one prefetch + one flush instead of eight single ocalls).
+constexpr const char* kMultiKeySource = R"(
+fn touch() {
+  state_put_u64("k0", state_get_u64("k0") + 1);
+  state_put_u64("k1", state_get_u64("k1") + 1);
+  state_put_u64("k2", state_get_u64("k2") + 1);
+  state_put_u64("k3", state_get_u64("k3") + 1);
+  var buf = alloc(32);
+  var len = u64_to_dec(state_get_u64("k0"), buf);
+  write_output(buf, len);
+  return 0;
+}
+)";
+
+int64_t GaugeOr(const metrics::MetricsSnapshot& snap, const std::string& name,
+                int64_t fallback) {
+  auto it = snap.gauges.find(name);
+  return it == snap.gauges.end() ? fallback : it->second;
+}
+
+// Deploys `source` confidentially at NamedAddress(name) in its own block.
+void DeployNamed(ConfideSystem* sys, Client* client, const std::string& name,
+                 const char* source) {
+  auto code = lang::Compile(source, lang::VmTarget::kCvm);
+  ASSERT_TRUE(code.ok()) << code.status().ToString();
+  auto submission = client->MakeConfidentialTx(
+      NamedAddress(name), "__deploy__", DeployPayload(chain::VmKind::kCvm, *code));
+  ASSERT_TRUE(submission.ok());
+  ASSERT_TRUE(sys->node()->SubmitTransaction(submission->tx).ok());
+  auto receipts = sys->RunToCompletion();
+  ASSERT_TRUE(receipts.ok()) << receipts.status().ToString();
+  ASSERT_EQ(receipts->size(), 1u);
+  ASSERT_TRUE((*receipts)[0].success) << (*receipts)[0].status_message;
+}
+
+// Runs entry() on NamedAddress(name) and returns the decrypted output.
+std::string CallAndOpen(ConfideSystem* sys, Client* client,
+                        const std::string& name, const std::string& entry) {
+  auto call = client->MakeConfidentialTx(NamedAddress(name), entry, Bytes{});
+  EXPECT_TRUE(call.ok());
+  EXPECT_TRUE(sys->node()->SubmitTransaction(call->tx).ok());
+  auto receipts = sys->RunToCompletion();
+  EXPECT_TRUE(receipts.ok()) << receipts.status().ToString();
+  if (!receipts.ok() || receipts->empty() || !(*receipts)[0].success) {
+    return "<failed>";
+  }
+  auto opened = Client::OpenSealedReceipt(call->k_tx, (*receipts)[0].output);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return opened.ok() ? ToString(opened->output) : "<sealed>";
+}
+
+TEST_F(ConfideE2eTest, ReentrantNestedCallSeesNestedWrite) {
+  DeployNamed(sys_.get(), client_.get(), "reent.a", kReentrantASource);
+  DeployNamed(sys_.get(), client_.get(), "reent.b", kReentrantBSource);
+  // outer() re-reads "x" after the A->B->A bump; a per-frame SDM cache
+  // would serve the stale pre-call absence and report 0.
+  EXPECT_EQ(CallAndOpen(sys_.get(), client_.get(), "reent.a", "outer"), "1");
+}
+
+TEST(ConfideParallelTest, CrossGroupSharedContractCommitsBothWrites) {
+  SystemOptions options;
+  options.seed = 310;
+  options.parallelism = 4;
+  auto sys = ConfideSystem::BootstrapFirst(options);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  Client client(600, (*sys)->pk_tx());
+
+  DeployNamed(sys->get(), &client, "grp.shared", kSharedCounterSource);
+  DeployNamed(sys->get(), &client, "grp.a", kSharedCallerSource);
+  DeployNamed(sys->get(), &client, "grp.b", kSharedCallerSource);
+
+  // Two transactions with distinct top-level conflict keys — the
+  // scheduler puts them in different parallel groups — but both call
+  // into grp.shared and increment the same counter.
+  auto a = client.MakeConfidentialTx(NamedAddress("grp.a"), "hit", Bytes{});
+  auto b = client.MakeConfidentialTx(NamedAddress("grp.b"), "hit", Bytes{});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*sys)->node()->SubmitTransaction(a->tx).ok());
+  ASSERT_TRUE((*sys)->node()->SubmitTransaction(b->tx).ok());
+  auto receipts = (*sys)->RunToCompletion();
+  ASSERT_TRUE(receipts.ok()) << receipts.status().ToString();
+  ASSERT_EQ(receipts->size(), 2u);
+  EXPECT_TRUE((*receipts)[0].success) << (*receipts)[0].status_message;
+  EXPECT_TRUE((*receipts)[1].success) << (*receipts)[1].status_message;
+
+  // Pre-fix, overlay merge order silently dropped one increment (last
+  // writer wins); the cross-group conflict re-execution keeps both.
+  EXPECT_EQ(CallAndOpen(sys->get(), &client, "grp.shared", "read"), "2");
+}
+
+TEST(ConfideBatchingTest, BatchedStateOcallsReduceEnclaveTransitions) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+
+  // Runs three touch() calls on the 4-key contract; returns the TEE
+  // transition count and the state-ocall counter deltas of the third
+  // (steady-state: code cache warm, read-set profile learned).
+  struct SteadyState {
+    uint64_t transitions = 0;
+    uint64_t single_ocalls = 0;
+    uint64_t batch_ocalls = 0;
+  };
+  auto measure = [&](uint64_t seed, bool batching) -> SteadyState {
+    SystemOptions options;
+    options.seed = seed;
+    options.cs.enable_ocall_batching = batching;
+    auto sys = ConfideSystem::BootstrapFirst(options);
+    EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+    Client client(700, (*sys)->pk_tx());
+    DeployNamed(sys->get(), &client, "multi", kMultiKeySource);
+    EXPECT_EQ(CallAndOpen(sys->get(), &client, "multi", "touch"), "1");
+    EXPECT_EQ(CallAndOpen(sys->get(), &client, "multi", "touch"), "2");
+
+    metrics::MetricsSnapshot before = registry.Snapshot();
+    uint64_t transitions_before = (*sys)->platform()->stats().transitions.load();
+    EXPECT_EQ(CallAndOpen(sys->get(), &client, "multi", "touch"), "3");
+    metrics::MetricsSnapshot after = registry.Snapshot();
+
+    SteadyState out;
+    out.transitions =
+        (*sys)->platform()->stats().transitions.load() - transitions_before;
+    out.single_ocalls = (after.counter("confide.state.get_ocall.count") -
+                         before.counter("confide.state.get_ocall.count")) +
+                        (after.counter("confide.state.set_ocall.count") -
+                         before.counter("confide.state.set_ocall.count"));
+    out.batch_ocalls = (after.counter("confide.state.get_batch_ocall.count") -
+                        before.counter("confide.state.get_batch_ocall.count")) +
+                       (after.counter("confide.state.set_batch_ocall.count") -
+                        before.counter("confide.state.set_batch_ocall.count"));
+    return out;
+  };
+
+  SteadyState batched = measure(320, true);
+  SteadyState unbatched = measure(321, false);
+
+  // Unbatched steady state: one get + one set ocall per touched key.
+  EXPECT_EQ(unbatched.single_ocalls, 8u);
+  EXPECT_EQ(unbatched.batch_ocalls, 0u);
+  // Batched steady state: one prefetch + one flush, nothing else — the
+  // state ocalls cost 2 * 2 = 4 enclave transitions per transaction.
+  EXPECT_EQ(batched.single_ocalls, 0u);
+  EXPECT_EQ(batched.batch_ocalls, 2u);
+  EXPECT_LT(batched.transitions, unbatched.transitions);
+}
+
+TEST_F(ConfideE2eTest, ConflictKeyAndPreVerifyEntriesEvictedAfterExecute) {
+  chain::Address addr = DeployCounter();
+  auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+  ASSERT_TRUE(sys_->node()->SubmitTransaction(call->tx).ok());
+  ASSERT_TRUE(sys_->RunToCompletion().ok());
+
+  // Memoized pre-verification metadata is consumed by execution — the
+  // host conflict-key map and the in-enclave meta cache both drain back
+  // to zero instead of growing with chain history.
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(GaugeOr(snap, "confide.engine.conflict_keys.resident", -1), 0);
+  EXPECT_EQ(GaugeOr(snap, "confide.preverify_cache.resident", -1), 0);
+}
+
+TEST(ConfideCacheCapTest, PreVerifyCacheHonorsLruCapacity) {
+  SystemOptions options;
+  options.seed = 330;
+  options.cs.preverify_cache_capacity = 1;
+  auto sys = ConfideSystem::BootstrapFirst(options);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  Client client(800, (*sys)->pk_tx());
+  DeployNamed(sys->get(), &client, "capped", kCounterSource);
+
+  auto first = client.MakeConfidentialTx(NamedAddress("capped"), "increment", Bytes{});
+  auto second = client.MakeConfidentialTx(NamedAddress("capped"), "increment", Bytes{});
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_TRUE((*sys)->node()->SubmitTransaction(first->tx).ok());
+  ASSERT_TRUE((*sys)->node()->SubmitTransaction(second->tx).ok());
+  auto verified = (*sys)->node()->PreVerify();
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(*verified, 2u);
+
+  // Both passed pre-verification but the LRU held only one entry.
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(GaugeOr(snap, "confide.preverify_cache.resident", -1), 1);
+
+  // The evicted transaction still executes via the full sk_tx path.
+  auto receipts = (*sys)->RunToCompletion();
+  ASSERT_TRUE(receipts.ok()) << receipts.status().ToString();
+  ASSERT_EQ(receipts->size(), 2u);
+  EXPECT_TRUE((*receipts)[0].success) << (*receipts)[0].status_message;
+  EXPECT_TRUE((*receipts)[1].success) << (*receipts)[1].status_message;
+  snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(GaugeOr(snap, "confide.preverify_cache.resident", -1), 0);
+}
+
 }  // namespace
 }  // namespace confide::core

@@ -581,6 +581,31 @@ TEST_F(EnclaveRecoveryTest, ReprovisionViaCentralKms) {
   EXPECT_EQ(Increment(sys->get(), &client, addr), "2");
 }
 
+TEST_F(EnclaveRecoveryTest, BatchFlushFaultFailsTransactionAtomically) {
+  SystemOptions options;
+  options.seed = 260;
+  auto sys = Boot(options);
+  Client client(505, sys->pk_tx());
+  chain::Address addr = Deploy(sys.get(), &client);  // flush #1: not armed
+
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.confide.batch_flush", Trigger{.one_shot = true});
+    // The increment executes in the enclave, but the batched write-back
+    // flush fails host-side — the receipt reports failure and, because
+    // the batch applies atomically, no write reaches the store.
+    EXPECT_EQ(Increment(sys.get(), &client, addr), "<failed>");
+  }
+  auto leaked = sys->node()->state()->Get(addr, AsByteView("counter"));
+  EXPECT_EQ(leaked.status().code(), StatusCode::kNotFound)
+      << "partial flush leaked into the state store";
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("fault.confide.batch_flush.injected"), 1u);
+
+  // Disarmed, the same contract state advances normally from scratch.
+  EXPECT_EQ(Increment(sys.get(), &client, addr), "1");
+}
+
 TEST_F(EnclaveRecoveryTest, InjectedProvisionFailureRetriesWithBackoff) {
   SystemOptions options;
   options.seed = 230;

@@ -25,6 +25,10 @@ class EchoEnclave : public Enclave {
         return ToBytes(input);
       case 2:
         return ctx->Ocall(7, input);
+      case 5:
+        // Batched ocall: one crossing carrying `input.size()` logical
+        // entries (one byte of input per entry, for the tests).
+        return ctx->OcallBatched(7, input, input.size());
       case 3:
         ctx->MonitorEmit(1, "status ok");
         return Bytes{};
@@ -217,6 +221,31 @@ TEST(EnclaveTest, GlobalMetricsMirrorPlatformStats) {
             ecalls_delta);
   EXPECT_EQ(after.counter("tee.ocall.count") - before.counter("tee.ocall.count"),
             ocalls_delta);
+}
+
+TEST(EnclaveTest, BatchedOcallCostsOneCrossingAndTracksSavings) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 1);
+  platform.RegisterOcall(7, [](ByteView payload) -> Result<Bytes> {
+    return ToBytes(payload);
+  });
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+
+  // Five logical entries in one batched ocall: still a single EEXIT +
+  // ERESUME pair — four single-ocall crossings (8 transitions) avoided.
+  auto out = platform.Ecall(*id, 5, AsByteView("12345"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(platform.stats().ecalls.load(), 1u);
+  EXPECT_EQ(platform.stats().ocalls.load(), 1u);
+  EXPECT_EQ(platform.stats().transitions.load(), 4u);
+  EXPECT_EQ(platform.stats().batched_ocall_entries.load(), 5u);
+  EXPECT_EQ(platform.stats().transitions_saved.load(), 2u * 4u);
+
+  // A single-entry batch saves nothing over a plain ocall.
+  ASSERT_TRUE(platform.Ecall(*id, 5, AsByteView("x")).ok());
+  EXPECT_EQ(platform.stats().batched_ocall_entries.load(), 6u);
+  EXPECT_EQ(platform.stats().transitions_saved.load(), 2u * 4u);
 }
 
 TEST(EnclaveTest, UnregisteredOcallFails) {
