@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <thread>
 
 #include "common/metrics.h"
 
@@ -41,11 +40,16 @@ bool Intersects(const std::set<uint64_t>& a, const std::set<uint64_t>& b) {
 
 }  // namespace
 
-Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
-    const std::vector<Transaction>& transactions, const EngineSet& engines,
-    StateDb* state) const {
-  std::vector<Receipt> receipts(transactions.size());
+BlockExecutor::BlockExecutor(ExecutorOptions options) : options_(options) {
+  // A private pool is built once here — parallel blocks reuse it instead
+  // of spawning fresh threads per block.
+  if (options_.pool == nullptr && options_.parallelism > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.parallelism - 1);
+  }
+}
 
+Result<std::map<uint64_t, std::vector<size_t>>> BlockExecutor::GroupByConflictKey(
+    const std::vector<Transaction>& transactions, const EngineSet& engines) {
   // Group by conflict key, preserving in-block order within each group.
   std::map<uint64_t, std::vector<size_t>> groups;
   for (size_t i = 0; i < transactions.size(); ++i) {
@@ -55,6 +59,16 @@ Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
     }
     groups[engine->ConflictKey(transactions[i])].push_back(i);
   }
+  return groups;
+}
+
+Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
+    const std::vector<Transaction>& transactions, const EngineSet& engines,
+    StateDb* state) const {
+  std::vector<Receipt> receipts(transactions.size());
+
+  CONFIDE_ASSIGN_OR_RETURN(auto groups,
+                           GroupByConflictKey(transactions, engines));
 
   // Each worker drains whole groups; writes stage in a per-group overlay
   // and merge in deterministic group order afterwards.
@@ -117,12 +131,14 @@ Result<std::vector<Receipt>> BlockExecutor::ExecuteBlock(
   };
 
   uint32_t n_threads = std::max<uint32_t>(1, options_.parallelism);
-  if (n_threads == 1 || group_list.size() <= 1) {
+  ThreadPool* pool = options_.pool != nullptr ? options_.pool : owned_pool_.get();
+  if (n_threads == 1 || group_list.size() <= 1 || pool == nullptr) {
     worker();
   } else {
-    std::vector<std::thread> threads;
-    for (uint32_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
-    for (std::thread& thread : threads) thread.join();
+    // The calling thread is the n-th worker (inline run), so only
+    // n_threads - 1 pool helpers are requested; a saturated pool simply
+    // yields fewer helpers, never a deadlock.
+    pool->RunOnWorkers(n_threads - 1, worker);
   }
 
   if (failed.load()) {

@@ -1,8 +1,11 @@
 #include "chain/node.h"
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <thread>
 
+#include "common/bounded_queue.h"
 #include "common/endian.h"
 #include "common/fault.h"
 #include "common/metrics.h"
@@ -29,6 +32,35 @@ struct NodeMetrics {
   }
 };
 
+struct PipelineMetrics {
+  metrics::Histogram* preverify_latency =
+      metrics::GetHistogram("chain.pipeline.stage_latency.preverify_ns");
+  metrics::Histogram* execute_latency =
+      metrics::GetHistogram("chain.pipeline.stage_latency.execute_ns");
+  metrics::Histogram* commit_latency =
+      metrics::GetHistogram("chain.pipeline.stage_latency.commit_ns");
+  metrics::Gauge* verified_queue =
+      metrics::GetGauge("chain.pipeline.queue.verified");
+  metrics::Gauge* staged_queue = metrics::GetGauge("chain.pipeline.queue.staged");
+  metrics::Counter* blocks = metrics::GetCounter("chain.pipeline.block.count");
+  metrics::Counter* stalls = metrics::GetCounter("chain.pipeline.stall.count");
+  metrics::Histogram* commit_group_blocks = metrics::GetHistogram(
+      "chain.pipeline.commit_group.blocks", {1, 2, 3, 4, 6, 8, 12, 16});
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics instruments;
+    return instruments;
+  }
+};
+
+/// Wall-clock wait modelling the device-side block write (§6.4). Real
+/// blocking time — exactly what the commit stage overlaps with execution.
+void CommitWriteWait(uint64_t latency_ns) {
+  if (latency_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency_ns));
+  }
+}
+
 std::string ReceiptKey(const crypto::Hash256& tx_hash) {
   return "rcpt/" + HexEncode(crypto::HashView(tx_hash));
 }
@@ -39,11 +71,26 @@ std::string TxIndexKey(const crypto::Hash256& tx_hash) {
 
 }  // namespace
 
+namespace {
+
+/// Pool sizing: the calling thread always works inline, so parallel
+/// execution/pre-verification needs parallelism−1 helpers; the pipeline
+/// adds two long-running stage tasks (pre-verify, commit).
+std::unique_ptr<ThreadPool> MakeNodePool(const NodeOptions& options) {
+  uint32_t workers = (std::max<uint32_t>(1, options.parallelism) - 1) +
+                     (options.pipeline_depth > 0 ? 2 : 0);
+  if (workers == 0) return nullptr;
+  return std::make_unique<ThreadPool>(workers);
+}
+
+}  // namespace
+
 Node::Node(NodeOptions options, EngineSet engines,
            std::shared_ptr<storage::KvStore> kv)
     : options_(options),
       engines_(engines),
-      executor_(ExecutorOptions{options.parallelism}),
+      pool_(MakeNodePool(options)),
+      executor_(ExecutorOptions{options.parallelism, pool_.get()}),
       kv_(std::move(kv)) {
   state_ = std::make_unique<CommitStateDb>(kv_);
   blocks_ = std::make_unique<storage::BlockStore>(kv_, options.clock);
@@ -61,8 +108,24 @@ Result<std::unique_ptr<Node>> Node::Create(NodeOptions options,
     metrics::GetCounter("chain.node.storage_open_failure.count")->Increment();
     return store.status();
   }
-  return std::unique_ptr<Node>(new Node(
+  std::unique_ptr<Node> node(new Node(
       options, engines, std::shared_ptr<storage::KvStore>(std::move(*store))));
+  CONFIDE_RETURN_NOT_OK(node->RecoverChainTip());
+  return node;
+}
+
+Status Node::RecoverChainTip() {
+  // The WAL replay restored state, receipts and block bodies, but the
+  // height cursors and tip hash live in memory: rebuild them so a
+  // restarted node keeps extending the durable chain instead of starting
+  // over at height 0.
+  CONFIDE_RETURN_NOT_OK(blocks_->RecoverTip());
+  uint64_t tip = blocks_->NextHeight();
+  if (tip == 0) return Status::OK();
+  CONFIDE_ASSIGN_OR_RETURN(Bytes stored, blocks_->GetByHeight(tip - 1));
+  CONFIDE_ASSIGN_OR_RETURN(Block block, Block::Deserialize(stored));
+  last_block_hash_ = block.header.Hash();
+  return Status::OK();
 }
 
 Status Node::SubmitTransaction(Transaction tx) {
@@ -78,6 +141,27 @@ Status Node::SubmitTransaction(Transaction tx) {
   return Status::OK();
 }
 
+void Node::PreVerifyBatch(std::vector<Transaction>* txs,
+                          std::vector<uint8_t>* valid) {
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= txs->size()) return;
+      ExecutionEngine* engine = engines_.Route((*txs)[i]);
+      if (engine == nullptr) continue;
+      auto ok = engine->PreVerify((*txs)[i]);
+      (*valid)[i] = (ok.ok() && *ok) ? 1 : 0;
+    }
+  };
+  uint32_t n_threads = std::max<uint32_t>(1, options_.parallelism);
+  if (n_threads == 1 || pool_ == nullptr) {
+    worker();
+  } else {
+    pool_->RunOnWorkers(n_threads - 1, worker);
+  }
+}
+
 Result<size_t> Node::PreVerify() {
   std::deque<Transaction> pending;
   {
@@ -88,29 +172,10 @@ Result<size_t> Node::PreVerify() {
   if (pending.empty()) return size_t(0);
   metrics::ScopedLatencyTimer timer(NodeMetrics::Get().preverify_batch_latency);
 
-  std::vector<Transaction> txs(pending.begin(), pending.end());
+  std::vector<Transaction> txs(std::make_move_iterator(pending.begin()),
+                               std::make_move_iterator(pending.end()));
   std::vector<uint8_t> valid(txs.size(), 0);
-  std::atomic<size_t> next{0};
-
-  auto worker = [&] {
-    for (;;) {
-      size_t i = next.fetch_add(1);
-      if (i >= txs.size()) return;
-      ExecutionEngine* engine = engines_.Route(txs[i]);
-      if (engine == nullptr) continue;
-      auto ok = engine->PreVerify(txs[i]);
-      valid[i] = (ok.ok() && *ok) ? 1 : 0;
-    }
-  };
-
-  uint32_t n_threads = std::max<uint32_t>(1, options_.parallelism);
-  if (n_threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    for (uint32_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
-    for (std::thread& thread : threads) thread.join();
-  }
+  PreVerifyBatch(&txs, &valid);
 
   size_t count = 0;
   {
@@ -210,18 +275,358 @@ Result<std::vector<Receipt>> Node::ApplyBlock(const Block& block) {
   Status staged = blocks_->StageAppend(stored.header.height, block_hash,
                                        stored.Serialize(), &batch);
   if (!staged.ok()) {
-    state_->Discard();
+    state_->RollbackPending();
     return staged;
   }
   Status written = kv_->Write(batch);
+  if (written.ok()) CommitWriteWait(options_.commit_write_latency_ns);
+  if (written.ok() && options_.sync_commits) written = kv_->Sync();
   if (!written.ok()) {
-    state_->Discard();
+    state_->RollbackPending();
+    blocks_->RollbackStaged();
     return written;
   }
   state_->FinalizeCommit(new_root);
   blocks_->FinalizeAppend();
   last_block_hash_ = block_hash;
   return receipts;
+}
+
+namespace {
+
+/// A block that finished stage 2 (executed + staged) and waits for the
+/// commit stage.
+struct StagedBlock {
+  Block stored;
+  crypto::Hash256 block_hash{};
+  crypto::Hash256 new_root{};
+  storage::WriteBatch batch;
+  std::vector<Receipt> receipts;
+};
+
+}  // namespace
+
+Result<std::vector<Receipt>> Node::RunPipelined() {
+  if (options_.pipeline_depth == 0 || pool_ == nullptr) {
+    // The gate defaults to the old strictly serial lifecycle.
+    std::vector<Receipt> all;
+    for (;;) {
+      CONFIDE_RETURN_NOT_OK(PreVerify().status());
+      if (VerifiedPoolSize() == 0) break;
+      CONFIDE_ASSIGN_OR_RETURN(Block block, ProposeBlock());
+      if (block.transactions.empty()) break;
+      CONFIDE_ASSIGN_OR_RETURN(std::vector<Receipt> receipts, ApplyBlock(block));
+      for (Receipt& receipt : receipts) all.push_back(std::move(receipt));
+    }
+    return all;
+  }
+
+  const uint32_t depth = options_.pipeline_depth;
+  const PipelineMetrics& pm = PipelineMetrics::Get();
+
+  BoundedQueue<Transaction> verified_queue(size_t(depth) * 64);
+  BoundedQueue<std::unique_ptr<StagedBlock>> staged_queue(depth);
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status error = Status::OK();
+  auto fail = [&](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (error.ok()) error = std::move(status);
+    }
+    failed.store(true);
+    verified_queue.Close();
+    staged_queue.Close();
+  };
+
+  // Transactions stranded by a failed commit group; re-queued at unwind.
+  std::mutex aborted_mu;
+  std::deque<Transaction> aborted_txs;
+
+  // --- Stage 1: batched pre-verification (pool task) ---------------------
+  std::future<void> stage1 = pool_->Submit([&] {
+    try {
+      for (;;) {
+        if (failed.load()) break;
+        std::deque<Transaction> pending;
+        {
+          std::lock_guard<std::mutex> lock(pool_mutex_);
+          pending.swap(unverified_);
+          NodeMetrics::Get().unverified_pool->Set(0);
+        }
+        if (pending.empty()) break;
+        if (fault::FaultInjector::Global().ShouldFail(
+                "fault.chain.pipeline.preverify")) {
+          // Return the whole batch: an injected verifier outage must not
+          // drop transactions.
+          std::lock_guard<std::mutex> lock(pool_mutex_);
+          for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+            unverified_.push_front(std::move(*it));
+          }
+          fail(Status::Unavailable("pipeline: injected pre-verify failure"));
+          break;
+        }
+        // Verify in small chunks, not the whole swap: downstream stages
+        // start on the first chunk while later ones are still in the
+        // verifier, which is where the verify/execute overlap comes from.
+        constexpr size_t kPreVerifyChunk = 16;
+        bool closed = false;
+        while (!pending.empty() && !closed) {
+          metrics::ScopedLatencyTimer timer(pm.preverify_latency);
+          size_t n = std::min<size_t>(kPreVerifyChunk, pending.size());
+          std::vector<Transaction> txs(
+              std::make_move_iterator(pending.begin()),
+              std::make_move_iterator(pending.begin() + ptrdiff_t(n)));
+          pending.erase(pending.begin(), pending.begin() + ptrdiff_t(n));
+          std::vector<uint8_t> valid(txs.size(), 0);
+          PreVerifyBatch(&txs, &valid);
+          for (size_t i = 0; i < txs.size(); ++i) {
+            if (!valid[i]) continue;
+            if (!verified_queue.Push(&txs[i])) {
+              // Shutdown mid-batch: return the unconsumed tail — verified
+              // remainder of this chunk first, then the unverified rest.
+              std::lock_guard<std::mutex> lock(pool_mutex_);
+              for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+                unverified_.push_front(std::move(*it));
+              }
+              for (size_t j = txs.size(); j-- > i;) {
+                if (valid[j]) unverified_.push_front(std::move(txs[j]));
+              }
+              closed = true;
+              break;
+            }
+            pm.verified_queue->Set(int64_t(verified_queue.Size()));
+          }
+        }
+        if (closed) break;
+      }
+    } catch (...) {
+      fail(Status::Internal("pipeline: pre-verify stage threw"));
+    }
+    verified_queue.Close();
+  });
+
+  // --- Stage 3: group commit + finalize (pool task) ----------------------
+  std::vector<Receipt> committed_receipts;
+  crypto::Hash256 durable_tip = last_block_hash_;
+  std::future<void> stage3 = pool_->Submit([&] {
+    auto abort_group = [&](std::vector<std::unique_ptr<StagedBlock>>* group,
+                           size_t from) {
+      std::lock_guard<std::mutex> lock(aborted_mu);
+      for (size_t b = from; b < group->size(); ++b) {
+        for (Transaction& tx : (*group)[b]->stored.transactions) {
+          aborted_txs.push_back(std::move(tx));
+        }
+      }
+    };
+    try {
+      for (;;) {
+        std::unique_ptr<StagedBlock> first;
+        if (!staged_queue.Pop(&first)) break;
+        // Drain whatever else is already staged: these blocks commit as
+        // one group and their WAL records share a single fsync.
+        std::vector<std::unique_ptr<StagedBlock>> group;
+        group.push_back(std::move(first));
+        std::unique_ptr<StagedBlock> more;
+        while (group.size() < depth && staged_queue.TryPop(&more)) {
+          group.push_back(std::move(more));
+        }
+        pm.staged_queue->Set(int64_t(staged_queue.Size()));
+        metrics::ScopedLatencyTimer timer(pm.commit_latency);
+        if (fault::FaultInjector::Global().ShouldFail(
+                "fault.chain.pipeline.commit")) {
+          abort_group(&group, 0);
+          fail(Status::Unavailable("pipeline: injected commit failure"));
+          break;
+        }
+        Status status = Status::OK();
+        size_t written = 0;
+        for (auto& block : group) {
+          status = kv_->Write(block->batch);
+          if (!status.ok()) break;
+          // The batch landed; finalize immediately so the in-memory view
+          // (roots, height cursors) never trails what the store holds.
+          state_->FinalizeCommit(block->new_root);
+          blocks_->FinalizeAppend();
+          durable_tip = block->block_hash;
+          NodeMetrics::Get().blocks->Increment();
+          NodeMetrics::Get().block_txs->Increment(block->stored.transactions.size());
+          NodeMetrics::Get().txs_per_block->Observe(
+              double(block->stored.transactions.size()));
+          pm.blocks->Increment();
+          for (Receipt& receipt : block->receipts) {
+            committed_receipts.push_back(std::move(receipt));
+          }
+          ++written;
+        }
+        // One device write + fsync covers the whole group (group commit):
+        // consecutive blocks' batches share a single ~6 ms SSD flush, and
+        // the WAL counts the coalesced appends under
+        // storage.wal.group_commit.batched.
+        if (status.ok()) CommitWriteWait(options_.commit_write_latency_ns);
+        if (status.ok() && options_.sync_commits) status = kv_->Sync();
+        if (!status.ok()) {
+          abort_group(&group, written);
+          fail(status);
+          break;
+        }
+        pm.commit_group_blocks->Observe(double(group.size()));
+      }
+    } catch (...) {
+      fail(Status::Internal("pipeline: commit stage threw"));
+    }
+  });
+
+  // --- Stage 2: propose + execute + stage (this thread) ------------------
+  // Serial across blocks by construction: block N+1's header chains to
+  // block N's state/receipt roots, so proposal cannot overlap execution
+  // of the same stream — but it overlaps stage 1 and stage 3 freely.
+  uint64_t height = blocks_->NextStagedHeight();
+  crypto::Hash256 parent = last_block_hash_;
+  std::optional<Transaction> carry;
+  std::vector<Transaction> failed_block_txs;
+  Status stage2_status = Status::OK();
+
+  while (!failed.load()) {
+    Block block;
+    block.header.height = height;
+    block.header.parent_hash = parent;
+    block.header.timestamp_ns = height;  // deterministic
+    size_t bytes = 0;
+    for (;;) {
+      Transaction tx;
+      if (carry.has_value()) {
+        tx = std::move(*carry);
+        carry.reset();
+      } else if (!verified_queue.Pop(&tx)) {
+        break;  // stage 1 finished and the queue drained
+      }
+      pm.verified_queue->Set(int64_t(verified_queue.Size()));
+      size_t tx_bytes = tx.Serialize().size();
+      if (!block.transactions.empty() &&
+          bytes + tx_bytes > options_.block_max_bytes) {
+        carry = std::move(tx);  // overflows this block; opens the next
+        break;
+      }
+      bytes += tx_bytes;
+      block.transactions.push_back(std::move(tx));
+    }
+    if (block.transactions.empty()) break;  // pools drained
+
+    uint64_t stall_ns = 0;
+    if (fault::FaultInjector::Global().ShouldFail("fault.chain.pipeline.stall",
+                                                  &stall_ns)) {
+      // A stall is a delay, not a corruption: the pipeline must absorb it
+      // (backpressure) without reordering or dropping anything.
+      pm.stalls->Increment();
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(stall_ns > 0 ? stall_ns : 1'000'000));
+      fault::NoteRecovered("fault.chain.pipeline.stall");
+    }
+    if (fault::FaultInjector::Global().ShouldFail(
+            "fault.chain.pipeline.execute")) {
+      stage2_status = Status::Unavailable("pipeline: injected execute failure");
+      failed_block_txs = std::move(block.transactions);
+      break;
+    }
+
+    metrics::ScopedLatencyTimer timer(pm.execute_latency);
+    std::vector<Bytes> leaves;
+    for (const Transaction& tx : block.transactions) {
+      leaves.push_back(tx.Serialize());
+    }
+    block.header.tx_root = crypto::MerkleTree(leaves).Root();
+
+    auto executed =
+        executor_.ExecuteBlock(block.transactions, engines_, state_.get());
+    if (!executed.ok()) {
+      state_->Discard();  // partial overlay from failed groups
+      stage2_status = executed.status();
+      failed_block_txs = std::move(block.transactions);
+      break;
+    }
+
+    auto staged = std::make_unique<StagedBlock>();
+    staged->receipts = std::move(*executed);
+    for (size_t i = 0; i < staged->receipts.size(); ++i) {
+      const crypto::Hash256 tx_hash = block.transactions[i].Hash();
+      staged->receipts[i].tx_hash = tx_hash;
+      uint8_t height_be[8];
+      StoreBe64(height_be, height);
+      staged->batch.Put(ReceiptKey(tx_hash), staged->receipts[i].Serialize());
+      staged->batch.Put(TxIndexKey(tx_hash), Bytes(height_be, height_be + 8));
+    }
+    std::vector<Bytes> receipt_leaves;
+    for (const Receipt& receipt : staged->receipts) {
+      receipt_leaves.push_back(receipt.Serialize());
+    }
+    staged->stored = std::move(block);
+    staged->stored.header.receipt_root = crypto::MerkleTree(receipt_leaves).Root();
+    state_->StageCommit(&staged->batch, &staged->new_root);
+    staged->stored.header.state_root = staged->new_root;
+    staged->block_hash = staged->stored.header.Hash();
+    Status append = blocks_->StageAppend(height, staged->block_hash,
+                                         staged->stored.Serialize(),
+                                         &staged->batch);
+    if (!append.ok()) {
+      stage2_status = append;
+      failed_block_txs = std::move(staged->stored.transactions);
+      break;
+    }
+    parent = staged->block_hash;
+    ++height;
+    if (!staged_queue.Push(&staged)) {
+      // Commit stage failed and closed the queue; this block never commits.
+      failed_block_txs = std::move(staged->stored.transactions);
+      break;
+    }
+    pm.staged_queue->Set(int64_t(staged_queue.Size()));
+  }
+  if (!stage2_status.ok()) fail(stage2_status);
+  staged_queue.Close();   // lets stage 3 drain what was validly staged
+  verified_queue.Close();  // stops stage 1 if it is still producing
+
+  stage3.get();
+  stage1.get();
+
+  // The committed prefix is final; everything staged past it unwinds.
+  last_block_hash_ = durable_tip;
+  state_->RollbackPending();
+  blocks_->RollbackStaged();
+
+  if (failed.load()) {
+    // Re-queue every transaction that reached the pipeline but did not
+    // commit, oldest first, so a retry replays them in order:
+    // commit-stage casualties precede still-staged blocks, which precede
+    // the block that failed in stage 2, the carry-over, and the verified
+    // backlog.
+    std::deque<Transaction> requeue;
+    {
+      std::lock_guard<std::mutex> lock(aborted_mu);
+      for (Transaction& tx : aborted_txs) requeue.push_back(std::move(tx));
+    }
+    std::unique_ptr<StagedBlock> orphan;
+    while (staged_queue.TryPop(&orphan)) {
+      for (Transaction& tx : orphan->stored.transactions) {
+        requeue.push_back(std::move(tx));
+      }
+    }
+    for (Transaction& tx : failed_block_txs) requeue.push_back(std::move(tx));
+    if (carry.has_value()) requeue.push_back(std::move(*carry));
+    Transaction leftover;
+    while (verified_queue.TryPop(&leftover)) requeue.push_back(std::move(leftover));
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+        verified_.push_front(std::move(*it));
+      }
+      NodeMetrics::Get().verified_pool->Set(int64_t(verified_.size()));
+    }
+    std::lock_guard<std::mutex> lock(error_mu);
+    return error;
+  }
+  return committed_receipts;
 }
 
 Result<Receipt> Node::GetReceipt(const crypto::Hash256& tx_hash) const {

@@ -16,6 +16,12 @@ Result<Bytes> CommitStateDb::Get(const Address& contract, ByteView key) const {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = overlay_.find(full_key);
     if (it != overlay_.end()) return it->second;
+    // Staged-but-not-yet-durable writes, newest generation first: the
+    // pipeline executes block N+1 against block N's staged state.
+    for (auto gen = pending_.rbegin(); gen != pending_.rend(); ++gen) {
+      auto hit = gen->values.find(full_key);
+      if (hit != gen->values.end()) return hit->second;
+    }
   }
   return kv_->Get(full_key);
 }
@@ -34,36 +40,63 @@ size_t CommitStateDb::PendingWrites() const {
 void CommitStateDb::StageCommit(storage::WriteBatch* batch,
                                 crypto::Hash256* new_root) {
   std::lock_guard<std::mutex> lock(mutex_);
+  PendingGeneration gen;
   if (overlay_.empty()) {
-    *new_root = state_root_;
+    // An empty generation keeps the StageCommit/FinalizeCommit pairing
+    // 1:1, which is what lets the commit stage finalize blindly in FIFO
+    // order.
+    gen.root = staged_root_;
+    *new_root = staged_root_;
+    pending_.push_back(std::move(gen));
     return;
   }
   crypto::Sha256 root_ctx;
-  root_ctx.Update(crypto::HashView(state_root_));
+  root_ctx.Update(crypto::HashView(staged_root_));
   for (auto& [key, value] : overlay_) {
     root_ctx.Update(AsByteView(key));
     root_ctx.Update(value);
-    batch->Put(key, std::move(value));
+    batch->Put(key, value);  // copy: the pending generation keeps serving reads
   }
-  *new_root = root_ctx.Finish();
+  gen.values = std::move(overlay_);
+  overlay_.clear();
+  gen.root = root_ctx.Finish();
+  staged_root_ = gen.root;
+  *new_root = gen.root;
+  pending_.push_back(std::move(gen));
 }
 
 void CommitStateDb::FinalizeCommit(const crypto::Hash256& new_root) {
   std::lock_guard<std::mutex> lock(mutex_);
-  overlay_.clear();
+  if (!pending_.empty()) pending_.pop_front();
   state_root_ = new_root;
+  if (pending_.empty()) staged_root_ = state_root_;
+}
+
+void CommitStateDb::RollbackPending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  overlay_.clear();
+  staged_root_ = state_root_;
+}
+
+size_t CommitStateDb::PendingGenerations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
 }
 
 Status CommitStateDb::Commit() {
   storage::WriteBatch batch;
   crypto::Hash256 new_root;
   StageCommit(&batch, &new_root);
-  if (batch.ops().empty()) return Status::OK();
+  if (batch.ops().empty()) {
+    FinalizeCommit(new_root);  // pop the empty generation
+    return Status::OK();
+  }
   Status written = kv_->Write(batch);
   if (!written.ok()) {
-    // The stage consumed the overlay values; drop the husk so the caller
-    // re-executes against a clean buffer.
-    Discard();
+    // Drop the just-staged generation so the caller re-executes against
+    // the durable state.
+    RollbackPending();
     return written;
   }
   FinalizeCommit(new_root);

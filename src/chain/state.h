@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,14 @@ class StateDb {
 };
 
 /// \brief Canonical node state over a KvStore.
+///
+/// Supports the pipelined block lifecycle with *staged generations*: each
+/// StageCommit moves the buffered overlay into a pending generation that
+/// stays readable (block N+1 executes against block N's staged-but-not-
+/// yet-durable writes) until the matching FinalizeCommit — called in
+/// stage order once the generation's batch landed — folds it into the
+/// durable root, or RollbackPending() drops every in-flight generation
+/// after a commit failure. The serial path is the depth-1 special case.
 class CommitStateDb : public StateDb {
  public:
   explicit CommitStateDb(std::shared_ptr<storage::KvStore> kv) : kv_(std::move(kv)) {}
@@ -52,30 +61,49 @@ class CommitStateDb : public StateDb {
   void Discard() override;
   size_t PendingWrites() const override;
 
-  /// \brief Stages the buffered writes into `batch` and reports the state
-  /// root they chain to, without touching the store. The overlay's values
-  /// are consumed: once the batch is durably written call
-  /// FinalizeCommit(new_root); on a failed write call Discard() and
-  /// re-execute the block. Lets the node fold state, receipts and block
-  /// data into one atomic KV write.
+  /// \brief Stages the buffered writes into `batch` and a new pending
+  /// generation, and reports the state root they chain to (from the
+  /// newest staged generation, so overlapped blocks chain correctly),
+  /// without touching the store. Once the batch is durably written call
+  /// FinalizeCommit(new_root); on a failed write call RollbackPending()
+  /// and re-execute. Lets the node fold state, receipts and block data
+  /// into one atomic KV write.
   void StageCommit(storage::WriteBatch* batch, crypto::Hash256* new_root);
 
-  /// \brief Completes a staged commit after its batch landed: clears the
-  /// overlay and adopts `new_root`.
+  /// \brief Completes the *oldest* staged generation after its batch
+  /// landed: drops its pending values (the store now serves them) and
+  /// adopts `new_root` as the durable root. Generations must finalize in
+  /// stage order.
   void FinalizeCommit(const crypto::Hash256& new_root);
 
-  /// \brief Chained digest over all committed writes. (A production
-  /// system would use a Merkle-Patricia trie; the chained digest preserves
-  /// the state-continuity property consensus checks, §3.3.)
+  /// \brief Drops every staged-but-unfinalized generation and the overlay;
+  /// visible state reverts to the durable root. The unwind path when a
+  /// pipelined commit fails downstream of StageCommit.
+  void RollbackPending();
+
+  /// \brief Staged-but-unfinalized generations (tests).
+  size_t PendingGenerations() const;
+
+  /// \brief Chained digest over all *durably committed* writes. (A
+  /// production system would use a Merkle-Patricia trie; the chained
+  /// digest preserves the state-continuity property consensus checks,
+  /// §3.3.)
   crypto::Hash256 StateRoot() const;
 
   storage::KvStore* backing() { return kv_.get(); }
 
  private:
+  struct PendingGeneration {
+    std::map<std::string, Bytes> values;  ///< readable until finalized
+    crypto::Hash256 root;                 ///< root this generation chains to
+  };
+
   std::shared_ptr<storage::KvStore> kv_;
   mutable std::mutex mutex_;
   std::map<std::string, Bytes> overlay_;
-  crypto::Hash256 state_root_{};
+  std::deque<PendingGeneration> pending_;  ///< oldest first
+  crypto::Hash256 state_root_{};           ///< durable root
+  crypto::Hash256 staged_root_{};          ///< root incl. pending generations
 };
 
 /// \brief Scratch overlay for one transaction/group; Commit() merges into

@@ -1,0 +1,83 @@
+/// \file bounded_queue.h
+/// \brief Blocking bounded MPMC queue — the backpressure channel between
+/// block-pipeline stages. A full queue blocks the producer (stage N)
+/// until the consumer (stage N+1) drains, which is exactly the
+/// pipeline-depth bound; Close() releases everyone for shutdown/unwind.
+
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace confide {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(std::max<size_t>(1, capacity)) {}
+
+  /// \brief Blocks while full. Moves from `*item` only on success; on a
+  /// closed queue `*item` is left intact (the producer re-queues it
+  /// during pipeline unwind) and false is returned.
+  bool Push(T* item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(*item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Blocks while empty. Returns false only when closed *and*
+  /// drained — queued items are always delivered first.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// \brief Non-blocking pop; false when currently empty.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// \brief Wakes all waiters; subsequent Push fails, Pop drains then fails.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace confide

@@ -1,0 +1,152 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace confide {
+
+namespace {
+
+struct PoolMetrics {
+  metrics::Counter* tasks = metrics::GetCounter("common.threadpool.task.count");
+  metrics::Counter* steals = metrics::GetCounter("common.threadpool.steal.count");
+  metrics::Counter* inline_runs =
+      metrics::GetCounter("common.threadpool.inline_run.count");
+  metrics::Gauge* workers = metrics::GetGauge("common.threadpool.workers");
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics instruments;
+    return instruments;
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t workers) {
+  uint32_t n = std::max<uint32_t>(1, workers);
+  queues_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkQueue>());
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  PoolMetrics::Get().workers->Add(int64_t(n));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  PoolMetrics::Get().workers->Add(-int64_t(workers_.size()));
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  size_t target = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  PoolMetrics::Get().tasks->Increment();
+  {
+    // Publish under wake_mu_ so a worker cannot check pending_ and sleep
+    // between our increment and the notify.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::TryRunOne(size_t self) {
+  std::packaged_task<void()> task;
+  {
+    WorkQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+    }
+  }
+  if (!task.valid()) {
+    for (size_t k = 1; k < queues_.size(); ++k) {
+      WorkQueue& victim = *queues_[(self + k) % queues_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        PoolMetrics::Get().steals->Increment();
+        break;
+      }
+    }
+  }
+  if (!task.valid()) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();  // exceptions land in the task's future
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (pending_.load(std::memory_order_relaxed) > 0) continue;
+    if (stopping_) return;  // queues drained; safe to exit
+    wake_cv_.wait(lock, [this] {
+      return stopping_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
+  }
+}
+
+void ThreadPool::RunOnWorkers(uint32_t helpers, const std::function<void()>& fn) {
+  struct HelpState {
+    std::mutex mu;
+    std::condition_variable cv;
+    uint32_t started = 0;
+    uint32_t finished = 0;
+    bool closed = false;
+    std::exception_ptr error;
+  };
+  auto help = std::make_shared<HelpState>();
+  helpers = std::min<uint32_t>(helpers, worker_count());
+  for (uint32_t i = 0; i < helpers; ++i) {
+    (void)Submit([help, fn] {
+      {
+        std::lock_guard<std::mutex> lock(help->mu);
+        if (help->closed) return;  // the work is already done; don't start
+        ++help->started;
+      }
+      std::exception_ptr error;
+      try {
+        fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(help->mu);
+      if (error != nullptr && help->error == nullptr) help->error = error;
+      ++help->finished;
+      help->cv.notify_all();
+    });
+  }
+  PoolMetrics::Get().inline_runs->Increment();
+  std::exception_ptr inline_error;
+  try {
+    fn();  // inline run guarantees progress even on a saturated pool
+  } catch (...) {
+    inline_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(help->mu);
+  help->closed = true;
+  help->cv.wait(lock, [&] { return help->started == help->finished; });
+  std::exception_ptr helper_error = help->error;
+  lock.unlock();
+  if (inline_error != nullptr) std::rethrow_exception(inline_error);
+  if (helper_error != nullptr) std::rethrow_exception(helper_error);
+}
+
+}  // namespace confide

@@ -70,6 +70,9 @@ Status ConfideSystem::FinishBootstrap() {
   node_options.block_max_bytes = options_.block_max_bytes;
   node_options.clock = &clock_;
   node_options.state_wal_dir = options_.state_wal_dir;
+  node_options.pipeline_depth = options_.pipeline_depth;
+  node_options.sync_commits = options_.sync_commits;
+  node_options.commit_write_latency_ns = options_.commit_write_latency_ns;
   chain::EngineSet engines;
   engines.public_engine = public_.get();
   engines.confidential_engine = confidential_.get();
@@ -197,6 +200,11 @@ Status ConfideSystem::RecoverConfidentialEngine() {
 }
 
 Result<std::vector<chain::Receipt>> ConfideSystem::RunToCompletion() {
+  if (options_.pipeline_depth > 0) {
+    // Pipelined lifecycle: pre-verify, execute and commit overlap across
+    // consecutive blocks on the node's shared thread pool.
+    return node_->RunPipelined();
+  }
   std::vector<chain::Receipt> all;
   for (;;) {
     CONFIDE_RETURN_NOT_OK(node_->PreVerify().status());

@@ -39,6 +39,13 @@ struct SystemOptions {
   uint64_t recover_backoff_ns = 1'000'000;
   /// Directory for the node state WAL; empty = volatile state store.
   std::string state_wal_dir;
+  /// Blocks in flight between the node's execute and commit stages;
+  /// 0 = serial lifecycle (see chain::NodeOptions::pipeline_depth).
+  uint32_t pipeline_depth = 0;
+  /// fsync once per commit group (WAL group commit).
+  bool sync_commits = false;
+  /// Real per-block commit wait modelling the ~6 ms cloud-SSD write.
+  uint64_t commit_write_latency_ns = 0;
 };
 
 /// \brief One fully bootstrapped CONFIDE node.

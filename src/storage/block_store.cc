@@ -16,8 +16,12 @@ std::string BlockStore::HashKey(const crypto::Hash256& hash) {
 
 Status BlockStore::StageAppend(uint64_t height, const crypto::Hash256& hash,
                                Bytes block, WriteBatch* batch) {
-  if (height != next_height_) {
-    return Status::InvalidArgument("non-contiguous block height");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (height != staged_height_) {
+      return Status::InvalidArgument("non-contiguous block height");
+    }
+    ++staged_height_;
   }
   if (clock_ != nullptr) {
     clock_->AdvanceNs(ssd_.write_latency_ns +
@@ -30,10 +34,48 @@ Status BlockStore::StageAppend(uint64_t height, const crypto::Hash256& hash,
   return Status::OK();
 }
 
+void BlockStore::FinalizeAppend() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++next_height_;
+}
+
+void BlockStore::RollbackStaged() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  staged_height_ = next_height_;
+}
+
+uint64_t BlockStore::NextHeight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_height_;
+}
+
+uint64_t BlockStore::NextStagedHeight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return staged_height_;
+}
+
+Status BlockStore::RecoverTip() {
+  uint64_t height = 0;
+  for (;;) {
+    auto block = kv_->Get(HeightKey(height));
+    if (block.status().IsNotFound()) break;
+    CONFIDE_RETURN_NOT_OK(block.status());
+    ++height;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_height_ = height;
+  staged_height_ = height;
+  return Status::OK();
+}
+
 Status BlockStore::Append(uint64_t height, const crypto::Hash256& hash, Bytes block) {
   WriteBatch batch;
   CONFIDE_RETURN_NOT_OK(StageAppend(height, hash, std::move(block), &batch));
-  CONFIDE_RETURN_NOT_OK(kv_->Write(batch));
+  Status written = kv_->Write(batch);
+  if (!written.ok()) {
+    RollbackStaged();
+    return written;
+  }
   FinalizeAppend();
   return Status::OK();
 }

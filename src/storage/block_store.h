@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "common/sim_clock.h"
 #include "crypto/sha256.h"
@@ -33,20 +34,37 @@ class BlockStore {
   Status Append(uint64_t height, const crypto::Hash256& hash, Bytes block);
 
   /// \brief Stages an append into `batch` (height check + SSD latency
-  /// model) without writing; call FinalizeAppend() once the batch has
-  /// been durably written. Lets the node commit block data atomically
-  /// with state and receipts.
+  /// model) without writing, and advances the *staged* height cursor so
+  /// the pipeline can stage block N+1 before block N's batch lands; call
+  /// FinalizeAppend() once the batch has been durably written, or
+  /// RollbackStaged() to abandon every staged-but-unwritten append. Lets
+  /// the node commit block data atomically with state and receipts.
   Status StageAppend(uint64_t height, const crypto::Hash256& hash, Bytes block,
                      WriteBatch* batch);
 
-  /// \brief Completes a staged append (advances the height cursor).
-  void FinalizeAppend() { ++next_height_; }
+  /// \brief Completes the oldest staged append (advances the durable
+  /// height cursor).
+  void FinalizeAppend();
+
+  /// \brief Drops staged-but-unfinalized appends; the staged cursor
+  /// rewinds to the durable height (pipeline unwind after a failed
+  /// commit).
+  void RollbackStaged();
 
   Result<Bytes> GetByHeight(uint64_t height) const;
   Result<Bytes> GetByHash(const crypto::Hash256& hash) const;
 
-  /// \brief Number of stored blocks (next height to append).
-  uint64_t NextHeight() const { return next_height_; }
+  /// \brief Number of durably stored blocks (next height to finalize).
+  uint64_t NextHeight() const;
+
+  /// \brief Next height to stage (== NextHeight() when nothing in flight).
+  uint64_t NextStagedHeight() const;
+
+  /// \brief Rebuilds the height cursors from the underlying store after a
+  /// restart: blocks land in the same atomic batch as state and receipts,
+  /// so the highest contiguous stored height IS the committed prefix.
+  /// No-op on an empty (or volatile) store.
+  Status RecoverTip();
 
  private:
   static std::string HeightKey(uint64_t height);
@@ -55,7 +73,9 @@ class BlockStore {
   std::shared_ptr<KvStore> kv_;
   SimClock* clock_;
   SsdModel ssd_;
-  uint64_t next_height_ = 0;
+  mutable std::mutex mutex_;
+  uint64_t next_height_ = 0;    ///< durable
+  uint64_t staged_height_ = 0;  ///< includes in-flight appends
 };
 
 }  // namespace confide::storage

@@ -67,6 +67,12 @@ class KvStore {
   virtual Status Delete(const std::string& key) = 0;
   virtual Status Write(const WriteBatch& batch) = 0;
 
+  /// \brief Makes every previously acknowledged write durable. Stores
+  /// without a durability layer treat it as a no-op. Calling it once
+  /// after several Write()s is the group-commit pattern: all their log
+  /// records ride one device flush.
+  virtual Status Sync() { return Status::OK(); }
+
   /// \brief Iterator over a consistent snapshot taken at call time.
   virtual std::unique_ptr<KvIterator> NewIterator() const = 0;
 

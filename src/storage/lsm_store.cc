@@ -136,6 +136,12 @@ Status LsmKvStore::Write(const WriteBatch& batch) {
   return ApplyLocked(batch);
 }
 
+Status LsmKvStore::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wal_ == nullptr) return Status::OK();  // volatile store: nothing to sync
+  return wal_->Sync();
+}
+
 Status LsmKvStore::MaybeFlushLocked() {
   if (mem_.approximate_bytes() < options_.memtable_flush_bytes) {
     return Status::OK();

@@ -67,6 +67,7 @@ class LsmKvStore : public KvStore {
   Status Put(const std::string& key, Bytes value) override;
   Status Delete(const std::string& key) override;
   Status Write(const WriteBatch& batch) override;
+  Status Sync() override;
   std::unique_ptr<KvIterator> NewIterator() const override;
   size_t ApproximateCount() const override;
 

@@ -45,7 +45,10 @@ class Wal {
   /// \brief Appends one batch record: [u32 crc][u32 len][payload].
   Status Append(const WriteBatch& batch);
 
-  /// \brief Flushes buffered writes to the OS.
+  /// \brief Flushes buffered writes and fsyncs them to the device. When
+  /// several appends accumulated since the last sync, one flush makes all
+  /// of them durable — the group-commit path; `storage.wal.group_commit.
+  /// batched` counts the appends that coalesced this way.
   Status Sync();
 
   /// \brief Replays every intact record of the log at `path` in order.
@@ -77,6 +80,7 @@ class Wal {
   bool sync_failing_ = false;  ///< last Sync failed (injected); for recovery accounting
   bool tainted_ = false;       ///< last Append left a partial record on disk
   uint64_t good_offset_ = 0;   ///< end of the last whole record
+  uint64_t appends_since_sync_ = 0;  ///< group-commit accounting
 };
 
 }  // namespace confide::storage

@@ -1,10 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/bytes.h"
 #include "common/lru.h"
 #include "common/sim_clock.h"
+#include "common/thread_pool.h"
 #include "common/status.h"
 
 namespace confide {
@@ -177,6 +184,130 @@ TEST(LruCacheTest, ZeroCapacityCoercedToOne) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.Get(1), nullptr);
   EXPECT_EQ(*cache.Get(2), 20);
+}
+
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndWaits) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker that threw must survive for later tasks.
+  std::atomic<bool> ok{false};
+  pool.Submit([&ok] { ok = true; }).get();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor must run every queued task, not drop them.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, RunOnWorkersRunsInlineAndOnHelpers) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.RunOnWorkers(3, [&calls] { calls.fetch_add(1); });
+  // The caller always runs the function inline; helpers are best-effort
+  // but on an idle pool all of them should have started.
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_LE(calls.load(), 4);
+}
+
+TEST(ThreadPoolTest, RunOnWorkersPropagatesInlineException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.RunOnWorkers(2, [] { throw std::runtime_error("worker failed"); }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedRunOnWorkersDoesNotDeadlock) {
+  // A pool task may itself fan out on the same pool (the executor does
+  // this when called from a pipeline stage): saturated helpers degrade
+  // to inline execution instead of waiting for a free worker.
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.Submit([&] {
+        pool.RunOnWorkers(2, [&inner] { inner.fetch_add(1); });
+      })
+      .get();
+  EXPECT_GE(inner.load(), 1);
+}
+
+TEST(BoundedQueueTest, PushPopInOrder) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(q.Push(&v));
+  }
+  EXPECT_EQ(q.Size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    EXPECT_TRUE(q.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopAtCapacity) {
+  BoundedQueue<int> q(1);
+  int first = 1;
+  ASSERT_TRUE(q.Push(&first));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    int second = 2;
+    q.Push(&second);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(pushed.load());  // still blocked on the full queue
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItemsFirst) {
+  BoundedQueue<int> q(4);
+  int v = 7;
+  ASSERT_TRUE(q.Push(&v));
+  q.Close();
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));  // queued item still delivered
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.Pop(&out));  // closed and drained
+}
+
+TEST(BoundedQueueTest, PushOnClosedQueueLeavesItemIntact) {
+  BoundedQueue<std::string> q(2);
+  q.Close();
+  std::string item = "keep-me";
+  EXPECT_FALSE(q.Push(&item));
+  // The pipeline unwind re-queues rejected items, so Push must not have
+  // moved from it.
+  EXPECT_EQ(item, "keep-me");
 }
 
 }  // namespace

@@ -473,6 +473,11 @@ Bytes DeployPayload(const Bytes& code) {
 class EnclaveRecoveryTest : public ::testing::Test {
  protected:
   std::unique_ptr<ConfideSystem> Boot(SystemOptions options) {
+    // CI chaos matrix: re-run the recovery suite under the pipelined
+    // block lifecycle as well. Tests that pin a depth bypass this helper.
+    if (const char* s = std::getenv("CONFIDE_PIPELINE_DEPTH")) {
+      options.pipeline_depth = uint32_t(std::strtoul(s, nullptr, 10));
+    }
     auto sys = ConfideSystem::BootstrapFirst(options);
     EXPECT_TRUE(sys.ok()) << sys.status().ToString();
     return std::move(*sys);
@@ -780,6 +785,125 @@ TEST(NodeChaosTest, RandomOneShotFaultsNeverLeavePartialCommits) {
   EXPECT_GT(committed, 0u);
   // Every committed transaction has a durable receipt.
   EXPECT_EQ(sys->node()->Height(), committed + 1);  // + the deploy block
+
+  std::filesystem::remove_all(dir);
+}
+
+
+TEST(NodeChaosTest, PipelineCommitCrashRecoversToPrefixConsistentState) {
+  auto dir = std::filesystem::temp_directory_path() / "confide_chaos_pipeline";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SystemOptions options;
+  options.seed = 270;
+  options.state_wal_dir = dir.string();
+  options.parallelism = 2;
+  options.pipeline_depth = 3;
+  options.block_max_bytes = 1;  // one tx per block: commit order == submit order
+  constexpr size_t kIncrements = 12;
+
+  std::vector<core::ConfidentialSubmission> calls;
+  size_t committed = 0;
+  {
+    auto boot = ConfideSystem::BootstrapFirst(options);
+    ASSERT_TRUE(boot.ok()) << boot.status().ToString();
+    auto& sys = *boot;
+    Client client(610, sys->pk_tx());
+    auto code = lang::Compile(kCounterSource, lang::VmTarget::kCvm);
+    ASSERT_TRUE(code.ok());
+    chain::Address addr = NamedAddress("counter");
+    auto deploy = client.MakeConfidentialTx(addr, "__deploy__", DeployPayload(*code));
+    ASSERT_TRUE(deploy.ok());
+    ASSERT_TRUE(sys->node()->SubmitTransaction(deploy->tx).ok());
+    ASSERT_TRUE(sys->RunToCompletion().ok());
+
+    for (size_t i = 0; i < kIncrements; ++i) {
+      auto call = client.MakeConfidentialTx(addr, "increment", Bytes{});
+      ASSERT_TRUE(call.ok());
+      ASSERT_TRUE(sys->node()->SubmitTransaction(call->tx).ok());
+      calls.push_back(std::move(*call));
+    }
+
+    // The commit stage dies between pipeline stages: the first two commit
+    // groups land, the third is killed mid-run.
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.chain.pipeline.commit",
+             Trigger{.after_hits = 2, .one_shot = true});
+    auto receipts = sys->RunToCompletion();
+    ASSERT_FALSE(receipts.ok());
+    EXPECT_EQ(receipts.status().code(), StatusCode::kUnavailable);
+
+    // Durable receipts identify the committed prefix — and it must be a
+    // prefix: every receipt-less tx comes after every committed one.
+    while (committed < calls.size() &&
+           sys->node()->GetReceipt(calls[committed].tx.Hash()).ok()) {
+      ++committed;
+    }
+    EXPECT_GE(committed, 1u);
+    EXPECT_LT(committed, kIncrements);
+    for (size_t i = committed; i < calls.size(); ++i) {
+      EXPECT_FALSE(sys->node()->GetReceipt(calls[i].tx.Hash()).ok());
+    }
+    EXPECT_EQ(sys->node()->Height(), 1 + committed);  // + the deploy block
+    // The node process "crashes" here: the re-queued in-memory pool is lost.
+  }
+
+  // Recovery: a fresh node on the same WAL replays exactly the durable
+  // prefix — height, receipts, and counter value all agree.
+  auto reboot = ConfideSystem::BootstrapFirst(options);
+  ASSERT_TRUE(reboot.ok()) << reboot.status().ToString();
+  auto& sys = *reboot;
+  EXPECT_EQ(sys->node()->Height(), 1 + committed);
+  auto last = sys->node()->GetReceipt(calls[committed - 1].tx.Hash());
+  ASSERT_TRUE(last.ok());
+  auto opened = Client::OpenSealedReceipt(calls[committed - 1].k_tx, last->output);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(ToString(opened->output), std::to_string(committed));
+
+  // Resubmitting the lost suffix converges to the same final state a
+  // fault-free serial run reaches.
+  for (size_t i = committed; i < calls.size(); ++i) {
+    ASSERT_TRUE(sys->node()->SubmitTransaction(calls[i].tx).ok());
+  }
+  ASSERT_TRUE(sys->RunToCompletion().ok());
+  EXPECT_EQ(sys->node()->Height(), 1u + kIncrements);
+  auto final_receipt = sys->node()->GetReceipt(calls.back().tx.Hash());
+  ASSERT_TRUE(final_receipt.ok());
+  auto final_opened =
+      Client::OpenSealedReceipt(calls.back().k_tx, final_receipt->output);
+  ASSERT_TRUE(final_opened.ok());
+  EXPECT_EQ(ToString(final_opened->output), std::to_string(kIncrements));
+
+  // Serial fault-free reference on a volatile store: same final counter.
+  SystemOptions serial_options;
+  serial_options.seed = 271;
+  auto serial_boot = ConfideSystem::BootstrapFirst(serial_options);
+  ASSERT_TRUE(serial_boot.ok());
+  auto& serial_sys = *serial_boot;
+  Client serial_client(611, serial_sys->pk_tx());
+  auto code = lang::Compile(kCounterSource, lang::VmTarget::kCvm);
+  ASSERT_TRUE(code.ok());
+  auto deploy = serial_client.MakeConfidentialTx(NamedAddress("counter"), "__deploy__",
+                                                 DeployPayload(*code));
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(serial_sys->node()->SubmitTransaction(deploy->tx).ok());
+  ASSERT_TRUE(serial_sys->RunToCompletion().ok());
+  core::ConfidentialSubmission last_call;
+  for (size_t i = 0; i < kIncrements; ++i) {
+    auto call = serial_client.MakeConfidentialTx(NamedAddress("counter"), "increment",
+                                                 Bytes{});
+    ASSERT_TRUE(call.ok());
+    ASSERT_TRUE(serial_sys->node()->SubmitTransaction(call->tx).ok());
+    last_call = std::move(*call);
+  }
+  ASSERT_TRUE(serial_sys->RunToCompletion().ok());
+  auto serial_receipt = serial_sys->node()->GetReceipt(last_call.tx.Hash());
+  ASSERT_TRUE(serial_receipt.ok());
+  auto serial_opened =
+      Client::OpenSealedReceipt(last_call.k_tx, serial_receipt->output);
+  ASSERT_TRUE(serial_opened.ok());
+  EXPECT_EQ(ToString(serial_opened->output), ToString(final_opened->output));
 
   std::filesystem::remove_all(dir);
 }

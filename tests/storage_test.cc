@@ -5,6 +5,7 @@
 
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/sim_clock.h"
 #include "crypto/drbg.h"
 #include "storage/block_store.h"
@@ -286,6 +287,63 @@ TEST_F(WalTest, BatchCodecRoundTrip) {
 // LSM store
 // ---------------------------------------------------------------------------
 
+
+TEST_F(WalTest, GroupCommitCountersTrackCoalescedAppends) {
+  auto syncs_before = metrics::MetricsRegistry::Global().Snapshot().counter(
+      "storage.wal.group_commit.syncs");
+  auto batched_before = metrics::MetricsRegistry::Global().Snapshot().counter(
+      "storage.wal.group_commit.batched");
+  auto wal = Wal::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  WriteBatch b;
+  b.Put("k", ToBytes(std::string_view("v")));
+  // Three appends coalesce under one fsync: two of them rode along.
+  ASSERT_TRUE((*wal)->Append(b).ok());
+  ASSERT_TRUE((*wal)->Append(b).ok());
+  ASSERT_TRUE((*wal)->Append(b).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  auto snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("storage.wal.group_commit.syncs"), syncs_before + 1);
+  EXPECT_EQ(snap.counter("storage.wal.group_commit.batched"), batched_before + 2);
+
+  // A lone append batches nothing further.
+  ASSERT_TRUE((*wal)->Append(b).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("storage.wal.group_commit.syncs"), syncs_before + 2);
+  EXPECT_EQ(snap.counter("storage.wal.group_commit.batched"), batched_before + 2);
+
+  // A sync with nothing pending is a no-op for the group-commit ledger.
+  ASSERT_TRUE((*wal)->Sync().ok());
+  snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("storage.wal.group_commit.syncs"), syncs_before + 2);
+  EXPECT_EQ(snap.counter("storage.wal.group_commit.batched"), batched_before + 2);
+}
+
+TEST(LsmStoreTest, SyncIsNoOpWithoutWalAndFsyncsWithOne) {
+  // Volatile store: Sync succeeds trivially.
+  auto volatile_store = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(volatile_store.ok());
+  EXPECT_TRUE((*volatile_store)->Sync().ok());
+
+  // WAL-backed store: Sync reaches the WAL fsync path.
+  auto dir = std::filesystem::temp_directory_path() / "confide_lsm_sync";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  LsmOptions options = VolatileOptions();
+  options.wal_dir = dir.string();
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  auto syncs_before = metrics::MetricsRegistry::Global().Snapshot().counter(
+      "storage.wal.group_commit.syncs");
+  ASSERT_TRUE((*store)->Put("k", ToBytes(std::string_view("v"))).ok());
+  ASSERT_TRUE((*store)->Sync().ok());
+  EXPECT_EQ(metrics::MetricsRegistry::Global().Snapshot().counter(
+                "storage.wal.group_commit.syncs"),
+            syncs_before + 1);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(LsmStoreTest, BasicPutGetDelete) {
   auto store = LsmKvStore::Open(VolatileOptions());
   ASSERT_TRUE(store.ok());
@@ -509,6 +567,29 @@ TEST(BlockStoreTest, SsdModelChargesLatency) {
   ASSERT_TRUE(blocks.Append(0, crypto::Sha256::Digest(block), block).ok());
   // Default model: 6 ms + 4 µs/KiB * 4 KiB = 6.016 ms.
   EXPECT_EQ(clock.NowNs(), 6'000'000u + 4 * 4'000u);
+}
+
+
+TEST(BlockStoreTest, RecoverTipRebuildsCursorsFromStore) {
+  auto opened = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(opened.ok());
+  std::shared_ptr<KvStore> kv = std::move(*opened);
+  {
+    BlockStore blocks(kv);
+    Bytes b0 = ToBytes(std::string_view("block0"));
+    Bytes b1 = ToBytes(std::string_view("block1"));
+    ASSERT_TRUE(blocks.Append(0, crypto::Sha256::Digest(b0), b0).ok());
+    ASSERT_TRUE(blocks.Append(1, crypto::Sha256::Digest(b1), b1).ok());
+  }
+  // A fresh BlockStore over the same kv models a restart: cursors reset.
+  BlockStore recovered(kv);
+  EXPECT_EQ(recovered.NextHeight(), 0u);
+  ASSERT_TRUE(recovered.RecoverTip().ok());
+  EXPECT_EQ(recovered.NextHeight(), 2u);
+  EXPECT_EQ(recovered.NextStagedHeight(), 2u);
+  // Appending continues from the recovered tip.
+  Bytes b2 = ToBytes(std::string_view("block2"));
+  EXPECT_TRUE(recovered.Append(2, crypto::Sha256::Digest(b2), b2).ok());
 }
 
 }  // namespace
