@@ -108,10 +108,26 @@ Result<std::unique_ptr<Node>> Node::Create(NodeOptions options,
     metrics::GetCounter("chain.node.storage_open_failure.count")->Increment();
     return store.status();
   }
+  if (options.checkpoint.interval > 0 && options.validators == nullptr) {
+    return Status::InvalidArgument(
+        "node: checkpointing enabled without a validator set");
+  }
   std::unique_ptr<Node> node(new Node(
       options, engines, std::shared_ptr<storage::KvStore>(std::move(*store))));
-  CONFIDE_RETURN_NOT_OK(node->RecoverChainTip());
+  if (options.validators != nullptr) {
+    node->checkpoints_ = std::make_unique<CheckpointManager>(
+        options.checkpoint, node->kv_, options.validators);
+  }
+  CONFIDE_RETURN_NOT_OK(node->ResyncFromStore());
   return node;
+}
+
+Status Node::ResyncFromStore() {
+  CONFIDE_RETURN_NOT_OK(RecoverChainTip());
+  if (checkpoints_ != nullptr) {
+    CONFIDE_RETURN_NOT_OK(checkpoints_->RecoverLatest());
+  }
+  return Status::OK();
 }
 
 Status Node::RecoverChainTip() {
@@ -121,11 +137,30 @@ Status Node::RecoverChainTip() {
   // over at height 0.
   CONFIDE_RETURN_NOT_OK(blocks_->RecoverTip());
   uint64_t tip = blocks_->NextHeight();
-  if (tip == 0) return Status::OK();
+  if (tip == 0) {
+    last_block_hash_ = crypto::Hash256{};
+    state_->RestoreRoot(crypto::Hash256{});
+    return Status::OK();
+  }
   CONFIDE_ASSIGN_OR_RETURN(Bytes stored, blocks_->GetByHeight(tip - 1));
   CONFIDE_ASSIGN_OR_RETURN(Block block, Block::Deserialize(stored));
   last_block_hash_ = block.header.Hash();
+  // The chained state root is in-memory only; without restoring it from
+  // the tip header a restarted node would re-chain from a zero root and
+  // silently fork from its peers at the next block.
+  state_->RestoreRoot(block.header.state_root);
   return Status::OK();
+}
+
+void Node::MaybeCheckpointTip(uint64_t height, const crypto::Hash256& block_hash,
+                              const crypto::Hash256& state_root) {
+  if (checkpoints_ == nullptr) return;
+  Status status = checkpoints_->MaybeCheckpoint(height, block_hash, state_root);
+  if (!status.ok()) {
+    // The block is already durable; a failed checkpoint only delays the
+    // next snapshot, so count it instead of failing the commit.
+    metrics::GetCounter("chain.checkpoint.failure.count")->Increment();
+  }
 }
 
 Status Node::SubmitTransaction(Transaction tx) {
@@ -289,6 +324,7 @@ Result<std::vector<Receipt>> Node::ApplyBlock(const Block& block) {
   state_->FinalizeCommit(new_root);
   blocks_->FinalizeAppend();
   last_block_hash_ = block_hash;
+  MaybeCheckpointTip(blocks_->NextHeight(), block_hash, new_root);
   return receipts;
 }
 
@@ -450,6 +486,10 @@ Result<std::vector<Receipt>> Node::RunPipelined() {
           state_->FinalizeCommit(block->new_root);
           blocks_->FinalizeAppend();
           durable_tip = block->block_hash;
+          // Stage 3 is the only writer of the backing store, so a
+          // snapshot taken here sees exactly the committed prefix.
+          MaybeCheckpointTip(blocks_->NextHeight(), block->block_hash,
+                             block->new_root);
           NodeMetrics::Get().blocks->Increment();
           NodeMetrics::Get().block_txs->Increment(block->stored.transactions.size());
           NodeMetrics::Get().txs_per_block->Observe(

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 
+#include "chain/checkpoint.h"
 #include "chain/executor.h"
 #include "chain/types.h"
 #include "common/thread_pool.h"
@@ -39,6 +40,12 @@ struct NodeOptions {
   /// commit, so the serial lifecycle pays it per block while the
   /// pipeline pays it per group. 0 = no modelled wait.
   uint64_t commit_write_latency_ns = 0;
+  /// Stable-checkpoint production (checkpoint.h). interval == 0 disables.
+  CheckpointOptions checkpoint;
+  /// Consortium validator set that certifies checkpoints; required when
+  /// checkpointing is enabled (and for serving checkpoints to sync
+  /// clients). Must outlive the node.
+  const ValidatorSet* validators = nullptr;
 };
 
 /// \brief Inclusion proof for one transaction (SPV read, paper §3.3: "to
@@ -104,9 +111,20 @@ class Node {
   /// \brief Verifies an SPV proof against a (quorum-checked) header.
   static bool VerifyTxProof(const TxProof& proof);
 
+  /// \brief Re-derives every in-memory cursor (chain height, tip hash,
+  /// state root, checkpoint retention) from the backing store. Called by
+  /// state sync after installing a snapshot batch; also the restart
+  /// recovery path.
+  Status ResyncFromStore();
+
   CommitStateDb* state() { return state_.get(); }
   storage::BlockStore* blocks() { return blocks_.get(); }
+  /// \brief Checkpoint producer/store; nullptr when no validator set was
+  /// configured.
+  CheckpointManager* checkpoints() { return checkpoints_.get(); }
   uint64_t Height() const { return blocks_->NextHeight(); }
+  /// \brief Hash of the latest durably committed block (zero at genesis).
+  crypto::Hash256 TipHash() const { return last_block_hash_; }
   size_t UnverifiedPoolSize() const;
   size_t VerifiedPoolSize() const;
 
@@ -118,9 +136,15 @@ class Node {
   /// `valid[i]` is set for transactions that passed.
   void PreVerifyBatch(std::vector<Transaction>* txs, std::vector<uint8_t>* valid);
 
-  /// \brief Restores the height cursors and tip hash from the durable
-  /// store after a restart (crash recovery).
+  /// \brief Restores the height cursors, tip hash and state root from the
+  /// durable store after a restart (crash recovery).
   Status RecoverChainTip();
+
+  /// \brief Checkpoint hook after a block finalized at `height`; a failed
+  /// checkpoint is counted and logged but never fails the block (it is
+  /// already durable).
+  void MaybeCheckpointTip(uint64_t height, const crypto::Hash256& block_hash,
+                          const crypto::Hash256& state_root);
 
   NodeOptions options_;
   EngineSet engines_;
@@ -129,6 +153,7 @@ class Node {
   std::shared_ptr<storage::KvStore> kv_;
   std::unique_ptr<CommitStateDb> state_;
   std::unique_ptr<storage::BlockStore> blocks_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
 
   mutable std::mutex pool_mutex_;
   std::deque<Transaction> unverified_;

@@ -113,6 +113,14 @@ crypto::Hash256 CommitStateDb::StateRoot() const {
   return state_root_;
 }
 
+void CommitStateDb::RestoreRoot(const crypto::Hash256& root) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  overlay_.clear();
+  pending_.clear();
+  state_root_ = root;
+  staged_root_ = root;
+}
+
 // ---------------------------------------------------------------------------
 // OverlayStateDb
 // ---------------------------------------------------------------------------

@@ -90,6 +90,12 @@ class CommitStateDb : public StateDb {
   /// §3.3.)
   crypto::Hash256 StateRoot() const;
 
+  /// \brief Adopts `root` as the durable root and drops the overlay and
+  /// every pending generation. The root is chained (not recomputable from
+  /// the store), so restart recovery and state sync restore it from the
+  /// tip block header after the backing store is in place.
+  void RestoreRoot(const crypto::Hash256& root);
+
   storage::KvStore* backing() { return kv_.get(); }
 
  private:

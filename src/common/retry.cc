@@ -1,0 +1,97 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace confide::common {
+
+namespace {
+
+struct RetryMetrics {
+  metrics::Counter* attempts = metrics::GetCounter("common.retry.attempts");
+  metrics::Counter* success = metrics::GetCounter("common.retry.success.count");
+  metrics::Counter* exhausted =
+      metrics::GetCounter("common.retry.exhausted.count");
+  metrics::Histogram* backoff_ns =
+      metrics::GetHistogram("common.retry.backoff_ns");
+
+  static const RetryMetrics& Get() {
+    static const RetryMetrics instruments;
+    return instruments;
+  }
+};
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RetryPolicy::RetryPolicy(RetryOptions options, SimClock* clock)
+    : options_(options), clock_(clock), rng_state_(options.seed) {}
+
+uint64_t RetryPolicy::BackoffNs(uint32_t attempt) {
+  if (attempt == 0) return 0;
+  double nominal = double(options_.base_backoff_ns);
+  for (uint32_t i = 1; i < attempt; ++i) nominal *= options_.multiplier;
+  if (options_.max_backoff_ns > 0) {
+    nominal = std::min(nominal, double(options_.max_backoff_ns));
+  }
+  // Additive jitter keeps the delay >= nominal: callers that assert "the
+  // failed attempt cost at least one backoff interval" stay valid.
+  double u = double(SplitMix64(&rng_state_) >> 11) / double(1ull << 53);
+  return uint64_t(nominal * (1.0 + options_.jitter * u));
+}
+
+void RetryPolicy::Wait(uint64_t delay_ns) {
+  if (delay_ns == 0) return;
+  if (clock_ != nullptr) {
+    clock_->AdvanceNs(delay_ns);
+  } else {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+  }
+  RetryMetrics::Get().backoff_ns->Observe(delay_ns);
+}
+
+Status RetryPolicy::Run(std::string_view what,
+                        const std::function<Status()>& op,
+                        const RetryPredicate& retryable) {
+  const RetryMetrics& rm = RetryMetrics::Get();
+  last_attempts_ = 0;
+  last_backoff_ns_ = 0;
+  Status last = Status::OK();
+  for (uint32_t attempt = 0; attempt < std::max<uint32_t>(1, options_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      uint64_t delay = BackoffNs(attempt);
+      if (options_.deadline_ns > 0 &&
+          last_backoff_ns_ + delay > options_.deadline_ns) {
+        break;  // the budget does not cover another wait
+      }
+      Wait(delay);
+      last_backoff_ns_ += delay;
+    }
+    ++last_attempts_;
+    rm.attempts->Increment();
+    last = op();
+    if (last.ok()) {
+      rm.success->Increment();
+      return Status::OK();
+    }
+    if (retryable && !retryable(last)) return last;  // permanent failure
+  }
+  rm.exhausted->Increment();
+  if (last.ok()) {
+    return Status::Unavailable(std::string(what) + ": retry budget exhausted");
+  }
+  return last;
+}
+
+}  // namespace confide::common

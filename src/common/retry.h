@@ -1,0 +1,86 @@
+/// \file retry.h
+/// \brief Reusable jittered-exponential-backoff retry policy.
+///
+/// Every transient-failure loop in the system (enclave re-provisioning,
+/// state-sync chunk fetches, provider failover) shares this policy
+/// instead of hand-rolling its own backoff: attempts are capped, the
+/// accumulated backoff can be bounded by a deadline, and the jitter draw
+/// is a pure function of the seed so chaos runs replay bit-identically.
+/// Backoff is charged to a SimClock when one is supplied (modelled time);
+/// without a clock the policy sleeps for real.
+///
+/// Observability: `common.retry.attempts`, `common.retry.success.count`,
+/// `common.retry.exhausted.count` and the `common.retry.backoff_ns`
+/// histogram (see docs/METRICS.md).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace confide::common {
+
+/// \brief Tuning knobs for one RetryPolicy instance.
+struct RetryOptions {
+  /// Total attempts including the first (so 1 = no retries).
+  uint32_t max_attempts = 4;
+  /// Backoff before the second attempt; grows by `multiplier` per retry.
+  uint64_t base_backoff_ns = 1'000'000;
+  double multiplier = 2.0;
+  /// Per-delay cap after exponential growth; 0 = uncapped.
+  uint64_t max_backoff_ns = 0;
+  /// Additive jitter as a fraction of the nominal delay: the actual delay
+  /// is `nominal * (1 + jitter * u)` with u drawn uniformly from [0, 1),
+  /// so the delay never undershoots the nominal value.
+  double jitter = 0.0;
+  /// Total backoff budget across all retries; a retry whose delay would
+  /// exceed it is not taken. 0 = unlimited.
+  uint64_t deadline_ns = 0;
+  /// Seeds the jitter PRNG; a fixed seed gives a fixed delay sequence.
+  uint64_t seed = 1;
+};
+
+/// \brief Runs an operation until it succeeds, permanently fails, or the
+/// attempt/deadline budget is exhausted.
+class RetryPolicy {
+ public:
+  /// \brief Predicate deciding whether a non-OK status is worth retrying.
+  using RetryPredicate = std::function<bool(const Status&)>;
+
+  /// \brief `clock` receives the modelled backoff; nullptr = real sleep.
+  explicit RetryPolicy(RetryOptions options, SimClock* clock = nullptr);
+
+  /// \brief Delay to wait before attempt `attempt` (0-based; attempt 0 is
+  /// free). Advances the jitter PRNG, so successive calls with the same
+  /// attempt index draw fresh jitter.
+  uint64_t BackoffNs(uint32_t attempt);
+
+  /// \brief Runs `op` up to max_attempts times, backing off between
+  /// attempts. Retries every non-OK status unless `retryable` says
+  /// otherwise. `what` labels the loop in error messages. Returns the
+  /// final status (OK, the non-retryable error, or the last error once
+  /// the budget is exhausted).
+  Status Run(std::string_view what, const std::function<Status()>& op,
+             const RetryPredicate& retryable = RetryPredicate{});
+
+  /// \brief Attempts consumed by the most recent Run().
+  uint32_t LastAttempts() const { return last_attempts_; }
+
+  /// \brief Total backoff charged by the most recent Run().
+  uint64_t LastBackoffNs() const { return last_backoff_ns_; }
+
+ private:
+  void Wait(uint64_t delay_ns);
+
+  RetryOptions options_;
+  SimClock* clock_;
+  uint64_t rng_state_;
+  uint32_t last_attempts_ = 0;
+  uint64_t last_backoff_ns_ = 0;
+};
+
+}  // namespace confide::common

@@ -34,7 +34,11 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// \brief Value-semantics error status. Cheap to copy when OK.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how partial failures turn
+/// into corruption; callers that really mean to ignore one must say so
+/// with a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -74,7 +78,7 @@ class Status {
 
 /// \brief Either a value of T or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : var_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Result(Status status) : var_(std::move(status)) {}   // NOLINT(google-explicit-constructor)

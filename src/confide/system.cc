@@ -2,6 +2,7 @@
 
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "serialize/rlp.h"
 
 namespace confide::core {
@@ -73,6 +74,8 @@ Status ConfideSystem::FinishBootstrap() {
   node_options.pipeline_depth = options_.pipeline_depth;
   node_options.sync_commits = options_.sync_commits;
   node_options.commit_write_latency_ns = options_.commit_write_latency_ns;
+  node_options.checkpoint = options_.checkpoint;
+  node_options.validators = options_.validators;
   chain::EngineSet engines;
   engines.public_engine = public_.get();
   engines.confidential_engine = confidential_.get();
@@ -179,24 +182,46 @@ Status ConfideSystem::RecoverConfidentialEngine() {
   if (confidential_ == nullptr) {
     return Status::Internal("recover: system not bootstrapped");
   }
-  Status last = Status::OK();
-  uint64_t backoff_ns = options_.recover_backoff_ns;
-  for (uint32_t attempt = 0; attempt < options_.recover_max_retries; ++attempt) {
-    if (attempt > 0) {
-      clock_.AdvanceNs(backoff_ns);  // modelled exponential backoff
-      backoff_ns *= 2;
-    }
-    last = TryRecoverOnce();
-    if (last.ok()) {
-      fault::NoteRecovered("fault.tee.enclave_crash");
-      if (attempt > 0) fault::NoteRecovered("fault.confide.provision");
-      metrics::GetCounter("confide.recover.success.count")->Increment();
-      metrics::GetCounter("confide.recover.attempts")->Increment(attempt + 1);
-      return Status::OK();
-    }
+  common::RetryOptions retry_options;
+  retry_options.max_attempts = options_.recover_max_retries;
+  retry_options.base_backoff_ns = options_.recover_backoff_ns;
+  retry_options.multiplier = 2.0;
+  retry_options.seed = options_.seed;
+  common::RetryPolicy retry(retry_options, &clock_);  // modelled backoff
+  Status last =
+      retry.Run("confidential engine recovery", [this] { return TryRecoverOnce(); });
+  if (last.ok()) {
+    fault::NoteRecovered("fault.tee.enclave_crash");
+    if (retry.LastAttempts() > 1) fault::NoteRecovered("fault.confide.provision");
+    metrics::GetCounter("confide.recover.success.count")->Increment();
+    metrics::GetCounter("confide.recover.attempts")
+        ->Increment(retry.LastAttempts());
+    return Status::OK();
   }
   metrics::GetCounter("confide.recover.failure.count")->Increment();
   return last;
+}
+
+Result<chain::SyncStats> ConfideSystem::SyncFromPeers(
+    const std::vector<chain::SyncProvider*>& providers,
+    chain::SyncOptions options) {
+  if (options_.validators == nullptr) {
+    return Status::InvalidArgument(
+        "sync: system bootstrapped without a validator set");
+  }
+  options.clock = &clock_;
+  if (!options.reprovision) {
+    options.reprovision = [this]() -> Status {
+      if (ConfidentialEngineAlive()) return Status::OK();
+      return RecoverConfidentialEngine();
+    };
+  }
+  chain::StateSyncClient client(node_.get(), options_.validators,
+                                std::move(options));
+  for (chain::SyncProvider* provider : providers) {
+    client.AddProvider(provider);
+  }
+  return client.SyncToTip();
 }
 
 Result<std::vector<chain::Receipt>> ConfideSystem::RunToCompletion() {

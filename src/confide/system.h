@@ -15,8 +15,10 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "chain/node.h"
+#include "chain/sync.h"
 #include "confide/client.h"
 #include "confide/engines.h"
 
@@ -46,6 +48,13 @@ struct SystemOptions {
   bool sync_commits = false;
   /// Real per-block commit wait modelling the ~6 ms cloud-SSD write.
   uint64_t commit_write_latency_ns = 0;
+  /// Stable-checkpoint production (chain::CheckpointOptions); the interval
+  /// of 0 disables checkpointing.
+  chain::CheckpointOptions checkpoint;
+  /// Consortium validator set certifying checkpoints. Required when
+  /// `checkpoint.interval > 0` or the node serves/consumes state sync;
+  /// must outlive the system.
+  const chain::ValidatorSet* validators = nullptr;
 };
 
 /// \brief One fully bootstrapped CONFIDE node.
@@ -96,8 +105,20 @@ class ConfideSystem {
   /// `km_alive_ == false` does not mean permanent key loss. Key source
   /// order: own live KM enclave, else a fresh KM enclave fed via the
   /// recovery peer's MAP or the recovery KMS. Retries with exponential
-  /// backoff (modelled time) up to `recover_max_retries` attempts.
+  /// backoff (modelled time, common::RetryPolicy) up to
+  /// `recover_max_retries` attempts.
   Status RecoverConfidentialEngine();
+
+  /// \brief Catches this node up to the live tip from peer providers:
+  /// re-provisions the CS enclave keys first when the engine is dead (the
+  /// synced sealed state must be readable and replay executes
+  /// confidential transactions), then runs checkpoint discovery,
+  /// Merkle-verified chunk transfer and block replay (sync.h). `options`
+  /// may customize retry behaviour; the clock and (absent) reprovision
+  /// hook are wired to this system.
+  Result<chain::SyncStats> SyncFromPeers(
+      const std::vector<chain::SyncProvider*>& providers,
+      chain::SyncOptions options = chain::SyncOptions{});
 
  private:
   ConfideSystem() = default;

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "chain/checkpoint.h"
 #include "chain/executor.h"
 #include "chain/network.h"
 #include "chain/node.h"
 #include "chain/pbft.h"
 #include "chain/state.h"
+#include "chain/sync.h"
 #include "chain/types.h"
 #include "common/endian.h"
 #include "crypto/drbg.h"
@@ -611,6 +615,383 @@ TEST(PipelineTest, EmptyPoolReturnsNoReceipts) {
   ASSERT_TRUE(receipts.ok());
   EXPECT_TRUE(receipts->empty());
   EXPECT_EQ((*node)->Height(), 0u);
+}
+
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+CheckpointManifest TestManifest() {
+  CheckpointManifest manifest;
+  manifest.height = 8;
+  manifest.block_hash = crypto::Sha256::Digest(AsByteView("block-7"));
+  manifest.state_root = crypto::Sha256::Digest(AsByteView("root-7"));
+  manifest.total_entries = 12;
+  manifest.total_bytes = 4096;
+  manifest.chunk_hashes = {crypto::Sha256::Digest(AsByteView("chunk-0")),
+                           crypto::Sha256::Digest(AsByteView("chunk-1"))};
+  std::vector<Bytes> leaves;
+  for (const crypto::Hash256& h : manifest.chunk_hashes) {
+    leaves.push_back(ToBytes(crypto::HashView(h)));
+  }
+  manifest.chunks_root = crypto::MerkleTree(leaves).Root();
+  return manifest;
+}
+
+TEST(CheckpointTest, ManifestSerializationRoundTrip) {
+  CheckpointManifest manifest = TestManifest();
+  auto decoded = CheckpointManifest::Deserialize(manifest.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->height, manifest.height);
+  EXPECT_EQ(decoded->block_hash, manifest.block_hash);
+  EXPECT_EQ(decoded->state_root, manifest.state_root);
+  EXPECT_EQ(decoded->total_entries, manifest.total_entries);
+  EXPECT_EQ(decoded->total_bytes, manifest.total_bytes);
+  EXPECT_EQ(decoded->chunks_root, manifest.chunks_root);
+  EXPECT_EQ(decoded->chunk_hashes, manifest.chunk_hashes);
+  EXPECT_EQ(decoded->Digest(), manifest.Digest());
+}
+
+TEST(CheckpointTest, QuorumSizeIsTwoFPlusOne) {
+  EXPECT_EQ(ValidatorSet::Generate(4, 1).QuorumSize(), 3u);   // f = 1
+  EXPECT_EQ(ValidatorSet::Generate(7, 1).QuorumSize(), 5u);   // f = 2
+  EXPECT_EQ(ValidatorSet::Generate(10, 1).QuorumSize(), 7u);  // f = 3
+}
+
+TEST(CheckpointTest, CertificateRoundTripAndQuorumVerify) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 21);
+  CheckpointManifest manifest = TestManifest();
+  auto certificate = validators.Certify(manifest);
+  ASSERT_TRUE(certificate.ok());
+  EXPECT_EQ(certificate->votes.size(), validators.QuorumSize());
+  EXPECT_TRUE(validators.Verify(manifest, *certificate).ok());
+
+  auto decoded = CheckpointCertificate::Deserialize(certificate->Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(validators.Verify(manifest, *decoded).ok());
+}
+
+TEST(CheckpointTest, VerifyRejectsForgedSignature) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 22);
+  CheckpointManifest manifest = TestManifest();
+  auto certificate = validators.Certify(manifest);
+  ASSERT_TRUE(certificate.ok());
+  certificate->votes.front().second[3] ^= 0x01;
+  Status verdict = validators.Verify(manifest, *certificate);
+  EXPECT_EQ(verdict.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(CheckpointTest, VerifyRejectsTamperedManifest) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 23);
+  CheckpointManifest manifest = TestManifest();
+  auto certificate = validators.Certify(manifest);
+  ASSERT_TRUE(certificate.ok());
+  manifest.state_root[0] ^= 0x01;  // certificate now signs something else
+  Status verdict = validators.Verify(manifest, *certificate);
+  EXPECT_EQ(verdict.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(CheckpointTest, VerifyRejectsSubQuorumAndDuplicateVotes) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 24);
+  CheckpointManifest manifest = TestManifest();
+  auto certificate = validators.Certify(manifest);
+  ASSERT_TRUE(certificate.ok());
+
+  CheckpointCertificate sub_quorum = *certificate;
+  sub_quorum.votes.resize(validators.QuorumSize() - 1);
+  EXPECT_EQ(validators.Verify(manifest, sub_quorum).code(),
+            StatusCode::kPermissionDenied);
+
+  // Padding the quorum with a repeated vote must not count twice.
+  CheckpointCertificate duplicated = sub_quorum;
+  duplicated.votes.push_back(duplicated.votes.front());
+  EXPECT_EQ(validators.Verify(manifest, duplicated).code(),
+            StatusCode::kPermissionDenied);
+}
+
+namespace {
+
+/// Drives `blocks` single-transaction blocks through the serial lifecycle.
+void RunBlocks(Node* node, crypto::Drbg* rng, int blocks,
+               std::vector<crypto::Hash256>* tx_hashes = nullptr) {
+  for (int b = 0; b < blocks; ++b) {
+    Transaction tx =
+        MakeSignedTx(rng, NamedAddress("store"), "write",
+                     ToBytes("key" + std::to_string(node->Height())));
+    if (tx_hashes != nullptr) tx_hashes->push_back(tx.Hash());
+    ASSERT_TRUE(node->SubmitTransaction(tx).ok());
+    ASSERT_TRUE(node->PreVerify().ok());
+    auto block = node->ProposeBlock();
+    ASSERT_TRUE(block.ok());
+    auto receipts = node->ApplyBlock(*block);
+    ASSERT_TRUE(receipts.ok()) << receipts.status().ToString();
+  }
+}
+
+NodeOptions CheckpointedOptions(const ValidatorSet* validators,
+                                uint64_t interval = 2) {
+  NodeOptions options;
+  options.checkpoint.interval = interval;
+  options.checkpoint.chunk_bytes = 256;  // force multi-chunk snapshots
+  options.validators = validators;
+  return options;
+}
+
+}  // namespace
+
+TEST(CheckpointTest, NodeWritesVerifiableCheckpointsAtInterval) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 31);
+  ScriptEngine engine;
+  EngineSet engines{&engine, &engine};
+  auto node = Node::Create(CheckpointedOptions(&validators), engines);
+  ASSERT_TRUE(node.ok());
+  crypto::Drbg rng(31);
+  RunBlocks(node->get(), &rng, 5);
+
+  CheckpointManager* manager = (*node)->checkpoints();
+  ASSERT_NE(manager, nullptr);
+  EXPECT_EQ(manager->LatestHeight(), 4u);
+
+  auto manifest = manager->ManifestAt(4);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->height, 4u);
+  EXPECT_GT(manifest->chunk_count(), 1u);
+  EXPECT_GT(manifest->total_entries, 0u);
+  // A checkpoint at height h covers blocks [0, h): its block hash and
+  // state root come from the header of block h-1.
+  auto covered = (*node)->blocks()->GetByHeight(3);
+  ASSERT_TRUE(covered.ok());
+  auto covered_block = Block::Deserialize(*covered);
+  ASSERT_TRUE(covered_block.ok());
+  EXPECT_EQ(manifest->block_hash, covered_block->header.Hash());
+  EXPECT_EQ(manifest->state_root, covered_block->header.state_root);
+
+  auto certificate = manager->CertificateAt(4);
+  ASSERT_TRUE(certificate.ok());
+  EXPECT_TRUE(validators.Verify(*manifest, *certificate).ok());
+
+  // Every chunk hashes to its manifest entry and parses back to entries.
+  uint64_t entries = 0;
+  for (size_t i = 0; i < manifest->chunk_count(); ++i) {
+    auto chunk = manager->ChunkAt(4, i);
+    ASSERT_TRUE(chunk.ok());
+    EXPECT_EQ(crypto::Sha256::Digest(*chunk), manifest->chunk_hashes[i]);
+    auto parsed = CheckpointManager::ParseChunk(*chunk);
+    ASSERT_TRUE(parsed.ok());
+    entries += parsed->size();
+  }
+  EXPECT_EQ(entries, manifest->total_entries);
+}
+
+TEST(CheckpointTest, RetentionPrunesOldCheckpoints) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 32);
+  ScriptEngine engine;
+  EngineSet engines{&engine, &engine};
+  NodeOptions options = CheckpointedOptions(&validators, /*interval=*/1);
+  options.checkpoint.keep = 2;
+  auto node = Node::Create(options, engines);
+  ASSERT_TRUE(node.ok());
+  crypto::Drbg rng(32);
+  RunBlocks(node->get(), &rng, 5);
+
+  CheckpointManager* manager = (*node)->checkpoints();
+  EXPECT_EQ(manager->LatestHeight(), 5u);
+  EXPECT_EQ(manager->RetainedHeights(), (std::vector<uint64_t>{4, 5}));
+  EXPECT_TRUE(manager->ManifestAt(5).ok());
+  EXPECT_TRUE(manager->ManifestAt(4).ok());
+  // Pruned checkpoints are gone — manifest, certificate and chunks.
+  EXPECT_TRUE(manager->ManifestAt(3).status().IsNotFound());
+  EXPECT_TRUE(manager->CertificateAt(3).status().IsNotFound());
+  EXPECT_TRUE(manager->ChunkAt(3, 0).status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// State sync
+// ---------------------------------------------------------------------------
+
+TEST(SyncTest, FreshNodeCatchesUpViaSnapshotAndReplay) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 41);
+  ScriptEngine engine_a, engine_b;
+  EngineSet engines_a{&engine_a, &engine_a};
+  EngineSet engines_b{&engine_b, &engine_b};
+  auto provider_node = Node::Create(CheckpointedOptions(&validators), engines_a);
+  ASSERT_TRUE(provider_node.ok());
+  crypto::Drbg rng(41);
+  std::vector<crypto::Hash256> tx_hashes;
+  RunBlocks(provider_node->get(), &rng, 5, &tx_hashes);
+
+  auto joiner = Node::Create(CheckpointedOptions(&validators), engines_b);
+  ASSERT_TRUE(joiner.ok());
+
+  SyncProvider provider("peer-a", provider_node->get());
+  StateSyncClient client(joiner->get(), &validators, SyncOptions{});
+  client.AddProvider(&provider);
+  auto stats = client.SyncToTip();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  EXPECT_TRUE(stats->snapshot_installed);
+  EXPECT_EQ(stats->checkpoint_height, 4u);
+  EXPECT_GT(stats->chunks_verified, 0u);
+  EXPECT_EQ(stats->chunks_rejected, 0u);
+  EXPECT_EQ(stats->blocks_replayed, 1u);  // block 4, past the checkpoint
+
+  EXPECT_EQ((*joiner)->Height(), (*provider_node)->Height());
+  EXPECT_EQ((*joiner)->TipHash(), (*provider_node)->TipHash());
+  EXPECT_EQ((*joiner)->state()->StateRoot(),
+            (*provider_node)->state()->StateRoot());
+  // The full receipt set came across (snapshot + replay).
+  for (const crypto::Hash256& tx_hash : tx_hashes) {
+    auto theirs = (*provider_node)->GetReceipt(tx_hash);
+    auto ours = (*joiner)->GetReceipt(tx_hash);
+    ASSERT_TRUE(theirs.ok());
+    ASSERT_TRUE(ours.ok());
+    EXPECT_EQ(ours->Serialize(), theirs->Serialize());
+  }
+
+  // The joiner adopted the verified checkpoint and can serve it onward.
+  ASSERT_NE((*joiner)->checkpoints(), nullptr);
+  EXPECT_EQ((*joiner)->checkpoints()->LatestHeight(), 4u);
+  for (size_t i = 0; i < 2; ++i) {
+    auto mine = (*joiner)->checkpoints()->ChunkAt(4, i);
+    auto theirs = (*provider_node)->checkpoints()->ChunkAt(4, i);
+    ASSERT_TRUE(mine.ok());
+    ASSERT_TRUE(theirs.ok());
+    EXPECT_EQ(*mine, *theirs);
+  }
+
+  // A second sync against the same provider is a no-op: the provider
+  // checkpoint is now stale relative to us and there is nothing to replay.
+  auto again = client.SyncToTip();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->snapshot_installed);
+  EXPECT_EQ(again->blocks_replayed, 0u);
+}
+
+TEST(SyncTest, ReplayOnlyWhenProviderHasNoCheckpoint) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 42);
+  ScriptEngine engine_a, engine_b;
+  EngineSet engines_a{&engine_a, &engine_a};
+  EngineSet engines_b{&engine_b, &engine_b};
+  auto provider_node = Node::Create(NodeOptions{}, engines_a);  // no checkpoints
+  ASSERT_TRUE(provider_node.ok());
+  crypto::Drbg rng(42);
+  RunBlocks(provider_node->get(), &rng, 3);
+
+  auto joiner = Node::Create(NodeOptions{}, engines_b);
+  ASSERT_TRUE(joiner.ok());
+  SyncProvider provider("peer-a", provider_node->get());
+  StateSyncClient client(joiner->get(), &validators, SyncOptions{});
+  client.AddProvider(&provider);
+  auto stats = client.SyncToTip();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats->snapshot_installed);
+  EXPECT_EQ(stats->blocks_replayed, 3u);
+  EXPECT_EQ((*joiner)->TipHash(), (*provider_node)->TipHash());
+  EXPECT_EQ((*joiner)->state()->StateRoot(),
+            (*provider_node)->state()->StateRoot());
+}
+
+TEST(SyncTest, CertificateFromUnknownValidatorsIsRejected) {
+  // The provider's checkpoints are signed by a validator set the client
+  // does not trust — the moral equivalent of a forged certificate. The
+  // client must refuse the snapshot but may still replay verified blocks.
+  ValidatorSet theirs = ValidatorSet::Generate(4, 43);
+  ValidatorSet ours = ValidatorSet::Generate(4, 44);
+  ScriptEngine engine_a, engine_b;
+  EngineSet engines_a{&engine_a, &engine_a};
+  EngineSet engines_b{&engine_b, &engine_b};
+  auto provider_node = Node::Create(CheckpointedOptions(&theirs), engines_a);
+  ASSERT_TRUE(provider_node.ok());
+  crypto::Drbg rng(43);
+  RunBlocks(provider_node->get(), &rng, 4);
+
+  auto joiner = Node::Create(NodeOptions{}, engines_b);
+  ASSERT_TRUE(joiner.ok());
+  SyncProvider provider("peer-a", provider_node->get());
+  StateSyncClient client(joiner->get(), &ours, SyncOptions{});
+  client.AddProvider(&provider);
+  auto stats = client.SyncToTip();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->certificates_rejected, 0u);
+  EXPECT_FALSE(stats->snapshot_installed);  // refused the uncertified snapshot
+  EXPECT_EQ(stats->blocks_replayed, 4u);    // replay is still integrity-checked
+  EXPECT_EQ((*joiner)->TipHash(), (*provider_node)->TipHash());
+}
+
+// ---------------------------------------------------------------------------
+// Restart recovery
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string RawBlockHeightKey(uint64_t height) {
+  uint8_t be[8];
+  StoreBe64(be, height);
+  return "blk/h/" + HexEncode(ByteView(be, 8));
+}
+
+}  // namespace
+
+TEST(NodeRecoveryTest, RestartRestoresStateRootFromTipHeader) {
+  auto dir = std::filesystem::temp_directory_path() / "confide_node_root_recovery";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ScriptEngine engine;
+  EngineSet engines{&engine, &engine};
+  NodeOptions options;
+  options.state_wal_dir = dir.string();
+
+  crypto::Hash256 root_before{}, tip_before{};
+  {
+    auto node = Node::Create(options, engines);
+    ASSERT_TRUE(node.ok()) << node.status().ToString();
+    crypto::Drbg rng(51);
+    RunBlocks(node->get(), &rng, 3);
+    root_before = (*node)->state()->StateRoot();
+    tip_before = (*node)->TipHash();
+    ASSERT_NE(root_before, crypto::Hash256{});
+  }
+
+  auto restarted = Node::Create(options, engines);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  EXPECT_EQ((*restarted)->Height(), 3u);
+  EXPECT_EQ((*restarted)->TipHash(), tip_before);
+  // The chained root is restored from the tip header; without it the
+  // restarted node would re-chain from zero and fork at the next block.
+  EXPECT_EQ((*restarted)->state()->StateRoot(), root_before);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NodeRecoveryTest, CorruptedTipRecordFailsCreationLoudly) {
+  auto dir = std::filesystem::temp_directory_path() / "confide_node_corrupt_tip";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ScriptEngine engine;
+  EngineSet engines{&engine, &engine};
+  NodeOptions options;
+  options.state_wal_dir = dir.string();
+  {
+    auto node = Node::Create(options, engines);
+    ASSERT_TRUE(node.ok()) << node.status().ToString();
+    crypto::Drbg rng(52);
+    RunBlocks(node->get(), &rng, 2);
+  }
+  {
+    // Damage the tip block record on "disk".
+    storage::LsmOptions lsm;
+    lsm.wal_dir = dir.string();
+    auto kv = storage::LsmKvStore::Open(lsm);
+    ASSERT_TRUE(kv.ok());
+    ASSERT_TRUE(
+        (*kv)->Put(RawBlockHeightKey(1), ToBytes(std::string_view("garbage")))
+            .ok());
+  }
+  // Recovery must fail loudly — a node that cannot parse its tip block
+  // must not come up at a made-up height or state root.
+  auto reopened = Node::Create(options, engines);
+  EXPECT_FALSE(reopened.ok());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "common/bounded_queue.h"
 #include "common/bytes.h"
 #include "common/lru.h"
+#include "common/retry.h"
 #include "common/sim_clock.h"
 #include "common/thread_pool.h"
 #include "common/status.h"
@@ -308,6 +309,113 @@ TEST(BoundedQueueTest, PushOnClosedQueueLeavesItemIntact) {
   // The pipeline unwind re-queues rejected items, so Push must not have
   // moved from it.
   EXPECT_EQ(item, "keep-me");
+}
+
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, FirstAttemptSuccessChargesNoBackoff) {
+  SimClock clock;
+  common::RetryPolicy retry(common::RetryOptions{}, &clock);
+  Status status = retry.Run("noop", [] { return Status::OK(); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(retry.LastAttempts(), 1u);
+  EXPECT_EQ(retry.LastBackoffNs(), 0u);
+  EXPECT_EQ(clock.NowNs(), 0u);
+}
+
+TEST(RetryPolicyTest, ExponentialBackoffChargedToClock) {
+  SimClock clock;
+  common::RetryOptions options;
+  options.max_attempts = 4;
+  options.base_backoff_ns = 1'000;
+  options.multiplier = 2.0;
+  common::RetryPolicy retry(options, &clock);
+  int calls = 0;
+  Status status = retry.Run("always-fails", [&] {
+    ++calls;
+    return Status::Unavailable("nope");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(retry.LastAttempts(), 4u);
+  // Backoffs before attempts 2..4: 1000 + 2000 + 4000.
+  EXPECT_EQ(clock.NowNs(), 7'000u);
+  EXPECT_EQ(retry.LastBackoffNs(), 7'000u);
+}
+
+TEST(RetryPolicyTest, SucceedsAfterTransientFailures) {
+  SimClock clock;
+  common::RetryOptions options;
+  options.max_attempts = 5;
+  options.base_backoff_ns = 100;
+  common::RetryPolicy retry(options, &clock);
+  int calls = 0;
+  Status status = retry.Run("flaky", [&] {
+    return ++calls < 3 ? Status::Unavailable("transient") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(retry.LastAttempts(), 3u);
+}
+
+TEST(RetryPolicyTest, NonRetryablePredicateStopsImmediately) {
+  SimClock clock;
+  common::RetryPolicy retry(common::RetryOptions{}, &clock);
+  int calls = 0;
+  Status status = retry.Run(
+      "permanent",
+      [&] {
+        ++calls;
+        return Status::PermissionDenied("forged");
+      },
+      [](const Status& s) { return s.code() == StatusCode::kUnavailable; });
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(calls, 1);  // a non-retryable error burns no further attempts
+  EXPECT_EQ(clock.NowNs(), 0u);
+}
+
+TEST(RetryPolicyTest, JitterNeverUndershootsNominal) {
+  common::RetryOptions options;
+  options.base_backoff_ns = 1'000;
+  options.jitter = 0.5;
+  options.seed = 42;
+  common::RetryPolicy retry(options);
+  for (int draw = 0; draw < 32; ++draw) {
+    uint64_t delay = retry.BackoffNs(1);
+    // Additive jitter: nominal <= delay < nominal * (1 + jitter).
+    EXPECT_GE(delay, 1'000u);
+    EXPECT_LT(delay, 1'500u);
+  }
+}
+
+TEST(RetryPolicyTest, FixedSeedGivesIdenticalDelaySequence) {
+  common::RetryOptions options;
+  options.base_backoff_ns = 1'000;
+  options.jitter = 1.0;
+  options.seed = 7;
+  common::RetryPolicy a(options);
+  common::RetryPolicy b(options);
+  for (uint32_t attempt = 1; attempt < 6; ++attempt) {
+    EXPECT_EQ(a.BackoffNs(attempt), b.BackoffNs(attempt));
+  }
+}
+
+TEST(RetryPolicyTest, DeadlineCapsAccumulatedBackoff) {
+  SimClock clock;
+  common::RetryOptions options;
+  options.max_attempts = 10;
+  options.base_backoff_ns = 1'000;
+  options.multiplier = 2.0;
+  options.deadline_ns = 3'500;
+  common::RetryPolicy retry(options, &clock);
+  Status status = retry.Run("budgeted", [] { return Status::Unavailable("x"); });
+  EXPECT_FALSE(status.ok());
+  // Waits 1000 and 2000 fit the 3500 budget; the next 4000 would not.
+  EXPECT_EQ(retry.LastAttempts(), 3u);
+  EXPECT_EQ(clock.NowNs(), 3'000u);
 }
 
 }  // namespace

@@ -908,5 +908,284 @@ TEST(NodeChaosTest, PipelineCommitCrashRecoversToPrefixConsistentState) {
   std::filesystem::remove_all(dir);
 }
 
+
+// ---------------------------------------------------------------------------
+// Checkpointed state sync under faults
+// ---------------------------------------------------------------------------
+
+uint64_t CounterValue(const std::string& name) {
+  return metrics::MetricsRegistry::Global().Snapshot().counter(name);
+}
+
+class SyncChaosTest : public EnclaveRecoveryTest {
+ protected:
+  /// CI chaos matrix knob: re-run the sync suite at different stable-
+  /// checkpoint cadences (CONFIDE_CHECKPOINT_INTERVAL, default 4).
+  static uint64_t CheckpointInterval() {
+    if (const char* s = std::getenv("CONFIDE_CHECKPOINT_INTERVAL")) {
+      return std::strtoull(s, nullptr, 10);
+    }
+    return 4;
+  }
+
+  /// `interval` of 0 picks the matrix default.
+  SystemOptions ProviderOptions(uint64_t seed, uint64_t interval = 0) {
+    SystemOptions options;
+    options.seed = seed;
+    options.destroy_km_after_provision = false;  // serves MAP re-provisioning
+    options.checkpoint.interval =
+        interval == 0 ? CheckpointInterval() : interval;
+    options.checkpoint.chunk_bytes = 512;  // force multi-chunk transfers
+    options.validators = &validators_;
+    return options;
+  }
+
+  /// Boots the primary provider, deploys the confidential counter, and
+  /// runs `increments` blocks of SDM state updates.
+  void BuildPrimary(uint64_t seed, int increments, uint64_t interval = 0) {
+    primary_ = Boot(ProviderOptions(seed, interval));
+    client_ = std::make_unique<Client>(600, primary_->pk_tx());
+    addr_ = Deploy(primary_.get(), client_.get());
+    counter_value_ = 0;
+    MorePrimaryBlocks(increments);
+  }
+
+  void MorePrimaryBlocks(int increments) {
+    for (int i = 0; i < increments; ++i) {
+      ++counter_value_;
+      ASSERT_EQ(Increment(primary_.get(), client_.get(), addr_),
+                std::to_string(counter_value_));
+    }
+  }
+
+  /// Boots a joiner that shares the consortium keys via MAP.
+  std::unique_ptr<ConfideSystem> Join(uint64_t seed, uint64_t interval = 0) {
+    auto sys =
+        ConfideSystem::BootstrapJoin(ProviderOptions(seed, interval), primary_.get());
+    EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+    return std::move(*sys);
+  }
+
+  void ExpectConverged(ConfideSystem* joiner) {
+    EXPECT_EQ(joiner->node()->Height(), primary_->node()->Height());
+    EXPECT_EQ(joiner->node()->TipHash(), primary_->node()->TipHash());
+    EXPECT_EQ(joiner->node()->state()->StateRoot(),
+              primary_->node()->state()->StateRoot());
+  }
+
+  chain::ValidatorSet validators_ = chain::ValidatorSet::Generate(4, 97);
+  std::unique_ptr<ConfideSystem> primary_;
+  std::unique_ptr<Client> client_;
+  chain::Address addr_{};
+  uint64_t counter_value_ = 0;
+};
+
+// The PR acceptance scenario: a replica that missed >= 8 blocks (all of
+// them carrying confidential SDM state) rejoins through checkpoint
+// discovery, Merkle-verified chunk transfer and block replay while a
+// chunk is dropped and another corrupted in flight — and its dead CS
+// enclave is re-provisioned on the way in.
+TEST_F(SyncChaosTest, MissedBlocksRejoinEndToEndUnderInjectedFaults) {
+  BuildPrimary(700, 8);  // deploy + 8 confidential increments -> height 9
+
+  // One more confidential block whose receipt we can track across nodes.
+  auto probe = client_->MakeConfidentialTx(addr_, "increment", Bytes{});
+  ASSERT_TRUE(probe.ok());
+  crypto::Hash256 probe_hash = probe->tx.Hash();
+  ASSERT_TRUE(primary_->node()->SubmitTransaction(probe->tx).ok());
+  ASSERT_TRUE(primary_->RunToCompletion().ok());
+  ++counter_value_;
+
+  chain::SyncProvider primary_provider("primary", primary_->node());
+
+  // A second provider, itself brought up via sync (it adopts the
+  // primary's stable checkpoint and serves it onward).
+  auto second = Join(701);
+  ASSERT_TRUE(second->SyncFromPeers({&primary_provider}).ok());
+  chain::SyncProvider second_provider("second", second->node());
+
+  // The rejoining replica: crashed before block 1, CS enclave dead.
+  auto joiner = Join(702);
+  ASSERT_TRUE(joiner->platform()
+                  ->KillEnclave(joiner->confidential_engine()->enclave_id())
+                  .ok());
+  ASSERT_FALSE(joiner->ConfidentialEngineAlive());
+  joiner->SetRecoveryPeer(primary_.get());
+  ASSERT_GE(primary_->node()->Height() - joiner->node()->Height(), 8u);
+
+  uint64_t verified_before = CounterValue("chain.sync.chunks.verified");
+  FaultPlan plan(ChaosSeed());
+  plan.Arm("fault.chain.sync.chunk_drop", Trigger{.one_shot = true});
+  plan.Arm("fault.chain.sync.chunk_corrupt",
+           Trigger{.after_hits = 2, .one_shot = true});
+
+  auto stats = joiner->SyncFromPeers({&primary_provider, &second_provider});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  EXPECT_TRUE(stats->snapshot_installed);
+  EXPECT_GE(stats->checkpoint_height, 8u);
+  EXPECT_GT(stats->chunks_verified, 0u);
+  EXPECT_GE(stats->chunks_rejected, 1u);  // the corrupted chunk was refused
+  EXPECT_TRUE(joiner->ConfidentialEngineAlive());  // re-provisioned for sync
+  ExpectConverged(joiner.get());
+
+  // Identical receipt set: the tracked confidential receipt came across
+  // bit-for-bit (sealed output included).
+  auto theirs = primary_->node()->GetReceipt(probe_hash);
+  auto ours = joiner->node()->GetReceipt(probe_hash);
+  ASSERT_TRUE(theirs.ok());
+  ASSERT_TRUE(ours.ok());
+  EXPECT_EQ(ours->Serialize(), theirs->Serialize());
+
+  // The transferred SDM state is live: the counter keeps counting on the
+  // rejoined replica under its re-provisioned enclave keys.
+  Client joiner_client(601, joiner->pk_tx());
+  EXPECT_EQ(Increment(joiner.get(), &joiner_client, addr_),
+            std::to_string(counter_value_ + 1));
+
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(snap.counter("chain.sync.chunks.verified"), verified_before);
+  EXPECT_GE(snap.counter("fault.chain.sync.chunk_drop.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.sync.chunk_drop.recovered"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.sync.chunk_corrupt.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.sync.chunk_corrupt.recovered"), 1u);
+}
+
+TEST_F(SyncChaosTest, CrashAtEveryChunkBoundaryThenResyncCompletes) {
+  BuildPrimary(710, 8);
+  chain::SyncProvider provider("primary", primary_->node());
+  auto joiner = Join(711);
+
+  auto manager = primary_->node()->checkpoints();
+  ASSERT_NE(manager, nullptr);
+  uint64_t height = manager->LatestHeight();
+  ASSERT_GT(height, 0u);
+  auto manifest = manager->ManifestAt(height);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_GT(manifest->chunk_count(), 1u);
+
+  for (size_t boundary = 0; boundary < manifest->chunk_count(); ++boundary) {
+    FaultPlan plan(ChaosSeed() + boundary);
+    plan.Arm("fault.chain.sync.crash",
+             Trigger{.after_hits = boundary, .one_shot = true});
+    auto crashed = joiner->SyncFromPeers({&provider});
+    ASSERT_FALSE(crashed.ok()) << "boundary " << boundary;
+    // Atomic install: a crash mid-transfer leaves the store untouched.
+    EXPECT_EQ(joiner->node()->Height(), 0u);
+    EXPECT_EQ(joiner->node()->checkpoints()->LatestHeight(), 0u);
+  }
+
+  auto stats = joiner->SyncFromPeers({&provider});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->snapshot_installed);
+  ExpectConverged(joiner.get());
+}
+
+TEST_F(SyncChaosTest, DeadProviderMidStreamFailsOverToSecondProvider) {
+  BuildPrimary(720, 8);
+  chain::SyncProvider primary_provider("primary", primary_->node());
+  auto second = Join(721);
+  ASSERT_TRUE(second->SyncFromPeers({&primary_provider}).ok());
+  chain::SyncProvider second_provider("second", second->node());
+
+  auto joiner = Join(722);
+  FaultPlan plan(ChaosSeed());
+  // Fires on the 4th reachability check: mid-chunk-stream, after the two
+  // discovery probes and the first chunk fetch.
+  plan.Arm("fault.chain.sync.provider_dead",
+           Trigger{.after_hits = 3, .one_shot = true});
+
+  auto stats = joiner->SyncFromPeers({&primary_provider, &second_provider});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->snapshot_installed);
+  EXPECT_GE(stats->provider_failovers, 1u);
+  EXPECT_TRUE(primary_provider.dead() || second_provider.dead());
+  ExpectConverged(joiner.get());
+
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("fault.chain.sync.provider_dead.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.sync.provider_dead.recovered"), 1u);
+}
+
+TEST_F(SyncChaosTest, CorruptedChunkIsRejectedAndRefetched) {
+  BuildPrimary(730, 8);
+  chain::SyncProvider provider("primary", primary_->node());
+  auto joiner = Join(731);
+
+  uint64_t rejected_before = CounterValue("chain.sync.chunks.rejected");
+  FaultPlan plan(ChaosSeed());
+  plan.Arm("fault.chain.sync.chunk_corrupt",
+           Trigger{.after_hits = 1, .one_shot = true});
+
+  auto stats = joiner->SyncFromPeers({&provider});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->snapshot_installed);
+  // The Merkle check caught the flipped bit; the re-fetched copy passed.
+  EXPECT_GE(stats->chunks_rejected, 1u);
+  EXPECT_GT(stats->chunks_fetched, stats->chunks_verified);
+  ExpectConverged(joiner.get());
+  EXPECT_GT(CounterValue("chain.sync.chunks.rejected"), rejected_before);
+}
+
+TEST_F(SyncChaosTest, ForgedCertificateRejectedAndProviderReselected) {
+  BuildPrimary(740, 8);
+  chain::SyncProvider primary_provider("primary", primary_->node());
+  auto second = Join(741);
+  ASSERT_TRUE(second->SyncFromPeers({&primary_provider}).ok());
+  chain::SyncProvider second_provider("second", second->node());
+
+  auto joiner = Join(742);
+  FaultPlan plan(ChaosSeed());
+  // Fires on the first checkpoint query (the primary): its certificate
+  // arrives with a flipped signature byte.
+  plan.Arm("fault.chain.sync.forged_certificate", Trigger{.one_shot = true});
+
+  auto stats = joiner->SyncFromPeers({&primary_provider, &second_provider});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->certificates_rejected, 1u);
+  EXPECT_TRUE(stats->snapshot_installed);  // served by the honest provider
+  ExpectConverged(joiner.get());
+
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("fault.chain.sync.forged_certificate.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.sync.forged_certificate.recovered"), 1u);
+  EXPECT_GE(snap.counter("chain.sync.certificate.rejected"), 1u);
+}
+
+TEST_F(SyncChaosTest, StaleCheckpointRejectedInFavorOfFresherProvider) {
+  // Pinned interval: the stale fault serves the oldest retained
+  // checkpoint, which must sit at or below the lagging node's height for
+  // the staleness check (not just freshness ordering) to be what rejects
+  // it. keep=2 at interval 4 gives retained {8, 12} vs a node at 9.
+  BuildPrimary(750, 8, /*interval=*/4);  // height 9, checkpoints {4, 8}
+  chain::SyncProvider primary_provider("primary", primary_->node());
+
+  // The lagging replica: fully synced at height 9, then misses 4 blocks.
+  auto laggard = Join(751, /*interval=*/4);
+  ASSERT_TRUE(laggard->SyncFromPeers({&primary_provider}).ok());
+  MorePrimaryBlocks(4);  // primary now at height 13, checkpoints {8, 12}
+
+  // A fresh second provider holding the newest checkpoint.
+  auto second = Join(752, /*interval=*/4);
+  ASSERT_TRUE(second->SyncFromPeers({&primary_provider}).ok());
+  chain::SyncProvider second_provider("second", second->node());
+
+  FaultPlan plan(ChaosSeed());
+  // The primary answers the checkpoint query with its oldest retained
+  // checkpoint (height 8 <= laggard height 9): refused as stale.
+  plan.Arm("fault.chain.sync.stale_certificate", Trigger{.one_shot = true});
+
+  auto stats = laggard->SyncFromPeers({&primary_provider, &second_provider});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->certificates_rejected, 1u);
+  EXPECT_TRUE(stats->snapshot_installed);
+  EXPECT_EQ(stats->checkpoint_height, 12u);  // the fresher provider won
+  ExpectConverged(laggard.get());
+
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("fault.chain.sync.stale_certificate.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.sync.stale_certificate.recovered"), 1u);
+}
+
 }  // namespace
 }  // namespace confide
