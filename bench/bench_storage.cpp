@@ -1,0 +1,165 @@
+/// \file bench_storage.cpp
+/// \brief Storage read-path sweep: fill an LSM store, then run a
+/// point-get/scan mix twice — once with bloom filters and the row cache
+/// disabled (baseline) and once enabled (optimized) — and record the
+/// read amplification and get-latency p99 of each phase in metrics.json.
+///
+/// The CI `storage-perf` job runs this in Release and gates on the
+/// checked-in thresholds (bench/storage_perf_thresholds.json) via
+/// tools/check_storage_perf.py:
+///
+///   storage.bench.baseline.read_amplification_milli   structures/read ×1000
+///   storage.bench.optimized.read_amplification_milli
+///   storage.bench.baseline.get_p99_ns
+///   storage.bench.optimized.get_p99_ns
+///   storage.bench.improvement_ratio_milli              baseline/optimized ×1000
+///
+/// Knobs: CONFIDE_STORAGE_CACHE_MB sizes the optimized phase's cache
+/// (default 64); CONFIDE_METRICS_OUT overrides the metrics.json path.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "storage/lsm_store.h"
+
+namespace confide::bench {
+namespace {
+
+constexpr size_t kKeys = 30000;
+constexpr size_t kValueBytes = 128;
+constexpr size_t kReadOps = 60000;
+constexpr size_t kScanEvery = 100;  // one 50-key scan per 100 point gets
+constexpr size_t kScanLen = 50;
+
+std::string KeyOf(size_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key-%06zu", i);
+  return buf;
+}
+
+/// Deterministic LCG so both phases replay the identical access stream.
+struct Lcg {
+  uint64_t state;
+  uint64_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+};
+
+struct PhaseResult {
+  double read_amplification = 0;
+  uint64_t get_p99_ns = 0;
+  double seconds = 0;
+};
+
+/// Fill + mixed read phase against a fresh volatile store.
+PhaseResult RunPhase(bool optimized) {
+  storage::LsmOptions options;
+  options.memtable_flush_bytes = 256 << 10;  // many runs: amp is visible
+  options.max_runs = 10;
+  options.enable_bloom = optimized;
+  if (!optimized) options.cache_bytes = 0;  // optimized: env knob / 64 MB
+  auto store = storage::LsmKvStore::Open(options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    std::abort();
+  }
+
+  Bytes value(kValueBytes);
+  for (size_t i = 0; i < kKeys; ++i) {
+    value[0] = uint8_t(i);
+    if (Status s = (*store)->Put(KeyOf(i), value); !s.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  metrics::MetricsSnapshot before = metrics::MetricsRegistry::Global().Snapshot();
+  std::vector<uint64_t> latencies;
+  latencies.reserve(kReadOps);
+  Lcg rng{42};
+  const size_t hot_span = kKeys / 10;  // hot 10% absorbs 60% of the gets
+
+  double seconds = TimeSeconds([&] {
+    for (size_t op = 0; op < kReadOps; ++op) {
+      std::string key;
+      uint64_t roll = rng.Next() % 100;
+      if (roll < 60) {
+        key = KeyOf(rng.Next() % hot_span);
+      } else if (roll < 80) {
+        key = KeyOf(rng.Next() % kKeys);
+      } else {
+        key = "absent-" + std::to_string(rng.Next() % kKeys);
+      }
+      auto start = std::chrono::steady_clock::now();
+      auto result = (*store)->Get(key);
+      auto end = std::chrono::steady_clock::now();
+      if (!result.ok() && !result.status().IsNotFound()) {
+        std::fprintf(stderr, "get failed: %s\n",
+                     result.status().ToString().c_str());
+        std::abort();
+      }
+      latencies.push_back(uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+              .count()));
+      if (op % kScanEvery == 0) {
+        auto it = (*store)->NewIterator();
+        it->Seek(KeyOf(rng.Next() % kKeys));
+        for (size_t n = 0; n < kScanLen && it->Valid(); ++n) it->Next();
+      }
+    }
+  });
+
+  metrics::MetricsSnapshot after = metrics::MetricsRegistry::Global().Snapshot();
+  uint64_t reads = after.counter("storage.lsm.read.count") -
+                   before.counter("storage.lsm.read.count");
+  uint64_t probed = after.counter("storage.lsm.read.structures_probed") -
+                    before.counter("storage.lsm.read.structures_probed");
+
+  PhaseResult result;
+  result.read_amplification = reads == 0 ? 0 : double(probed) / double(reads);
+  std::sort(latencies.begin(), latencies.end());
+  result.get_p99_ns = latencies[latencies.size() * 99 / 100];
+  result.seconds = seconds;
+  return result;
+}
+
+void Record(const std::string& phase, const PhaseResult& result) {
+  metrics::GetGauge("storage.bench." + phase + ".read_amplification_milli")
+      ->Set(int64_t(result.read_amplification * 1000));
+  metrics::GetGauge("storage.bench." + phase + ".get_p99_ns")
+      ->Set(int64_t(result.get_p99_ns));
+  std::printf("%-9s  read_amp %.3f  get_p99 %8llu ns  %.2fs\n", phase.c_str(),
+              result.read_amplification,
+              static_cast<unsigned long long>(result.get_p99_ns),
+              result.seconds);
+}
+
+}  // namespace
+}  // namespace confide::bench
+
+int main() {
+  using namespace confide;
+  using namespace confide::bench;
+
+  std::printf("bench_storage: %zu keys, %zu mixed read ops\n", kKeys, kReadOps);
+  PhaseResult baseline = RunPhase(/*optimized=*/false);
+  Record("baseline", baseline);
+  PhaseResult optimized = RunPhase(/*optimized=*/true);
+  Record("optimized", optimized);
+
+  double ratio = optimized.read_amplification == 0
+                     ? 0
+                     : baseline.read_amplification / optimized.read_amplification;
+  metrics::GetGauge("storage.bench.improvement_ratio_milli")
+      ->Set(int64_t(ratio * 1000));
+  std::printf("read-amp improvement: %.2fx\n", ratio);
+
+  DumpMetrics("metrics.json");
+  return 0;
+}

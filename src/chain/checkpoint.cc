@@ -280,7 +280,11 @@ Status CheckpointManager::WriteCheckpoint(uint64_t height,
     ++chunk_index;
   };
 
-  std::unique_ptr<storage::KvIterator> it = kv_->NewIterator();
+  // Scan a sequence-pinned snapshot: the whole chunking pass runs without
+  // the store lock, so it cannot contend with the group-commit path while
+  // the node keeps finalizing blocks.
+  std::unique_ptr<storage::KvSnapshot> snapshot = kv_->GetSnapshot();
+  std::unique_ptr<storage::KvIterator> it = snapshot->NewIterator();
   for (it->SeekToFirst(); it->Valid(); it->Next()) {
     const std::string& key = it->key();
     if (key.rfind(kCheckpointPrefix, 0) == 0) continue;
@@ -417,6 +421,15 @@ Result<CheckpointCertificate> CheckpointManager::CertificateAt(
 
 Result<Bytes> CheckpointManager::ChunkAt(uint64_t height, size_t index) const {
   return kv_->Get(ChunkKey(height, index));
+}
+
+std::shared_ptr<storage::KvSnapshot> CheckpointManager::PinView() const {
+  return std::shared_ptr<storage::KvSnapshot>(kv_->GetSnapshot());
+}
+
+Result<Bytes> CheckpointManager::ChunkAt(const storage::KvSnapshot& view,
+                                         uint64_t height, size_t index) {
+  return view.Get(ChunkKey(height, index));
 }
 
 Result<std::vector<std::pair<std::string, Bytes>>> CheckpointManager::ParseChunk(

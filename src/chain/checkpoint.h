@@ -162,6 +162,15 @@ class CheckpointManager {
   /// \brief Raw payload of chunk `index` of the checkpoint at `height`.
   Result<Bytes> ChunkAt(uint64_t height, size_t index) const;
 
+  /// \brief Pins a read view of the store for serving an entire snapshot
+  /// transfer: chunk fetches against it run lock-free, and a retention
+  /// prune mid-transfer cannot yank chunks the client has yet to fetch.
+  std::shared_ptr<storage::KvSnapshot> PinView() const;
+
+  /// \brief ChunkAt against a pinned view.
+  static Result<Bytes> ChunkAt(const storage::KvSnapshot& view,
+                               uint64_t height, size_t index);
+
   const CheckpointOptions& options() const { return options_; }
 
   /// \brief Parses a chunk payload back into KV entries.

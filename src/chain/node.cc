@@ -94,6 +94,16 @@ Node::Node(NodeOptions options, EngineSet engines,
       kv_(std::move(kv)) {
   state_ = std::make_unique<CommitStateDb>(kv_);
   blocks_ = std::make_unique<storage::BlockStore>(kv_, options.clock);
+  // Move LSM compactions onto the node's shared pool: a flush that
+  // crosses the run threshold schedules the merge in the background
+  // instead of stalling the committing thread. kv_ is declared after
+  // pool_ in Node, so the store (which joins its inflight compaction on
+  // destruction) dies first.
+  if (pool_ != nullptr) {
+    if (auto* lsm = dynamic_cast<storage::LsmKvStore*>(kv_.get())) {
+      lsm->SetCompactionPool(pool_.get());
+    }
+  }
 }
 
 Result<std::unique_ptr<Node>> Node::Create(NodeOptions options,

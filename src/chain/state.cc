@@ -26,6 +26,55 @@ Result<Bytes> CommitStateDb::Get(const Address& contract, ByteView key) const {
   return kv_->Get(full_key);
 }
 
+std::vector<Result<Bytes>> StateDb::GetMany(
+    const std::vector<std::pair<Address, Bytes>>& keys) const {
+  std::vector<Result<Bytes>> out;
+  out.reserve(keys.size());
+  for (const auto& [contract, key] : keys) out.push_back(Get(contract, key));
+  return out;
+}
+
+std::vector<Result<Bytes>> CommitStateDb::GetMany(
+    const std::vector<std::pair<Address, Bytes>>& keys) const {
+  std::vector<Result<Bytes>> out;
+  out.reserve(keys.size());
+  std::vector<size_t> unresolved;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      std::string full_key = StateKey(keys[i].first, keys[i].second);
+      auto it = overlay_.find(full_key);
+      if (it != overlay_.end()) {
+        out.push_back(it->second);
+        continue;
+      }
+      bool staged = false;
+      for (auto gen = pending_.rbegin(); gen != pending_.rend(); ++gen) {
+        auto hit = gen->values.find(full_key);
+        if (hit != gen->values.end()) {
+          out.push_back(hit->second);
+          staged = true;
+          break;
+        }
+      }
+      if (staged) continue;
+      out.push_back(Status::NotFound("state: unresolved"));  // placeholder
+      unresolved.push_back(i);
+    }
+  }
+  if (!unresolved.empty()) {
+    // One pinned snapshot answers every store-level miss. Taking it after
+    // the lock above is safe: FinalizeCommit drops a pending generation
+    // only after its batch landed in the store, so the snapshot can never
+    // be older than the staged state just consulted.
+    std::unique_ptr<storage::KvSnapshot> snapshot = kv_->GetSnapshot();
+    for (size_t i : unresolved) {
+      out[i] = snapshot->Get(StateKey(keys[i].first, keys[i].second));
+    }
+  }
+  return out;
+}
+
 void CommitStateDb::Put(const Address& contract, ByteView key, Bytes value) {
   std::string full_key = StateKey(contract, key);
   std::lock_guard<std::mutex> lock(mutex_);

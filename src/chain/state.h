@@ -15,6 +15,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "chain/types.h"
 #include "storage/kv_store.h"
@@ -31,6 +33,14 @@ class StateDb {
 
   virtual Result<Bytes> Get(const Address& contract, ByteView key) const = 0;
   virtual void Put(const Address& contract, ByteView key, Bytes value) = 0;
+
+  /// \brief Batched point reads (the SDM read-set prefetch / enclave
+  /// batch ocall): one Result per (contract, key), in request order;
+  /// absent keys come back NotFound. The base implementation loops Get;
+  /// CommitStateDb overrides it to resolve every store-level miss against
+  /// one pinned kv snapshot instead of N locked point reads.
+  virtual std::vector<Result<Bytes>> GetMany(
+      const std::vector<std::pair<Address, Bytes>>& keys) const;
 
   /// \brief Makes buffered writes durable/visible at this layer's parent.
   virtual Status Commit() = 0;
@@ -56,6 +66,8 @@ class CommitStateDb : public StateDb {
   explicit CommitStateDb(std::shared_ptr<storage::KvStore> kv) : kv_(std::move(kv)) {}
 
   Result<Bytes> Get(const Address& contract, ByteView key) const override;
+  std::vector<Result<Bytes>> GetMany(
+      const std::vector<std::pair<Address, Bytes>>& keys) const override;
   void Put(const Address& contract, ByteView key, Bytes value) override;
   Status Commit() override;
   void Discard() override;

@@ -118,7 +118,20 @@ Result<Bytes> SyncProvider::FetchChunk(uint32_t requester, SimClock* clock,
   if (fault::FaultInjector::Global().ShouldFail(kFaultChunkDrop)) {
     return Status::Unavailable("sync: chunk dropped in transit (injected)");
   }
-  CONFIDE_ASSIGN_OR_RETURN(Bytes payload, manager->ChunkAt(height, index));
+  // Serve the whole transfer from one pinned view per height: every
+  // chunk read runs lock-free against the snapshot instead of taking the
+  // provider's store lock while it keeps committing blocks.
+  std::shared_ptr<storage::KvSnapshot> view;
+  {
+    std::lock_guard<std::mutex> lock(serve_mutex_);
+    if (serving_view_ == nullptr || serving_height_ != height) {
+      serving_view_ = manager->PinView();
+      serving_height_ = height;
+    }
+    view = serving_view_;
+  }
+  CONFIDE_ASSIGN_OR_RETURN(Bytes payload,
+                           CheckpointManager::ChunkAt(*view, height, index));
   if (!payload.empty() &&
       fault::FaultInjector::Global().ShouldFail(kFaultChunkCorrupt)) {
     payload[payload.size() / 2] ^= 0x01;  // bit flip in transit

@@ -119,6 +119,12 @@ class SyncProvider {
   NetworkSim* net_;
   uint32_t node_id_;
   mutable std::atomic<bool> dead_{false};
+  /// Pinned store view the current transfer is served from (one per
+  /// checkpoint height): chunk reads bypass the store lock entirely and
+  /// survive a concurrent retention prune.
+  mutable std::mutex serve_mutex_;
+  mutable uint64_t serving_height_ = 0;
+  mutable std::shared_ptr<storage::KvSnapshot> serving_view_;
 };
 
 /// \brief Client side: drives a rebooted or lagging node back to the live

@@ -50,6 +50,13 @@ class LruCache {
     }
   }
 
+  /// \brief Key of the least-recently-used entry, or nullptr when empty.
+  /// Byte-budgeted callers (the storage row cache) walk the tail with
+  /// this to evict until their external charge accounting fits.
+  const K* OldestKey() const {
+    return order_.empty() ? nullptr : &order_.back().first;
+  }
+
   /// \brief Removes an entry; returns whether it existed.
   bool Erase(const K& key) {
     auto it = index_.find(key);

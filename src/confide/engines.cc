@@ -338,7 +338,11 @@ void ConfidentialEngine::RegisterOcalls() {
           if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
           state = it->second;
         }
-        std::vector<RlpItem> rows;
+        // Validate the whole request, then resolve it as ONE batched read:
+        // CommitStateDb answers all store-level misses from a single
+        // pinned snapshot instead of a locked point read per key.
+        std::vector<std::pair<chain::Address, Bytes>> wanted;
+        wanted.reserve(item.list()[1].list().size());
         for (const RlpItem& entry : item.list()[1].list()) {
           if (!entry.is_list() || entry.list().size() != 2 ||
               entry.list()[0].bytes().size() != 20) {
@@ -347,7 +351,12 @@ void ConfidentialEngine::RegisterOcalls() {
           chain::Address contract{};
           std::copy(entry.list()[0].bytes().begin(), entry.list()[0].bytes().end(),
                     contract.begin());
-          auto value = state->Get(contract, entry.list()[1].bytes());
+          wanted.emplace_back(contract, entry.list()[1].bytes());
+        }
+        std::vector<Result<Bytes>> values = state->GetMany(wanted);
+        std::vector<RlpItem> rows;
+        rows.reserve(values.size());
+        for (auto& value : values) {
           std::vector<RlpItem> row;
           if (value.ok()) {
             row.push_back(RlpItem::U64(1));

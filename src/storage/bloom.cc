@@ -1,0 +1,80 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace confide::storage {
+
+uint64_t BloomHash(std::string_view key) {
+  // FNV-1a over the key, finished with a splitmix64 avalanche so short
+  // sequential keys (the "k0", "k1", ... shape state keys take) spread
+  // across the whole bit array.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+BloomFilter BloomFilter::Build(const std::vector<std::string_view>& keys,
+                               size_t bits_per_key) {
+  BloomFilter filter;
+  if (keys.empty() || bits_per_key == 0) return filter;
+  size_t bits = std::max<size_t>(64, keys.size() * bits_per_key);
+  filter.bits_.assign((bits + 7) / 8, 0);
+  bits = filter.bits_.size() * 8;
+  filter.num_probes_ = uint8_t(std::clamp<int>(
+      int(std::round(double(bits_per_key) * 0.6931)), 1, 30));
+  for (std::string_view key : keys) {
+    uint64_t h = BloomHash(key);
+    // Double hashing: probe_i = h1 + i*h2 (Kirsch–Mitzenmacher).
+    uint64_t delta = (h >> 33) | (h << 31);
+    for (uint8_t i = 0; i < filter.num_probes_; ++i) {
+      size_t bit = size_t(h % bits);
+      filter.bits_[bit / 8] |= uint8_t(1u << (bit % 8));
+      h += delta;
+    }
+  }
+  return filter;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (bits_.empty()) return true;  // no filter, no information
+  size_t bits = bits_.size() * 8;
+  uint64_t h = BloomHash(key);
+  uint64_t delta = (h >> 33) | (h << 31);
+  for (uint8_t i = 0; i < num_probes_; ++i) {
+    size_t bit = size_t(h % bits);
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+Bytes BloomFilter::Serialize() const {
+  Bytes wire;
+  wire.reserve(1 + bits_.size());
+  wire.push_back(num_probes_);
+  wire.insert(wire.end(), bits_.begin(), bits_.end());
+  return wire;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(ByteView wire) {
+  if (wire.empty()) return Status::Corruption("bloom: empty wire form");
+  BloomFilter filter;
+  filter.num_probes_ = wire[0];
+  if (filter.num_probes_ == 0 || filter.num_probes_ > 30) {
+    return Status::Corruption("bloom: bad probe count");
+  }
+  filter.bits_.assign(wire.begin() + 1, wire.end());
+  if (filter.bits_.empty()) return Status::Corruption("bloom: no bit array");
+  return filter;
+}
+
+}  // namespace confide::storage

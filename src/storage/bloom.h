@@ -1,0 +1,54 @@
+/// \file bloom.h
+/// \brief Per-SSTable bloom filter (LevelDB lineage: double hashing over a
+/// single 64-bit key hash). Built once when a sorted run is created,
+/// serialized into the table footer, and consulted before any binary
+/// search so a point lookup skips every run that cannot contain the key.
+///
+/// Metrics: `storage.bloom.probes` (MayContain calls against non-empty
+/// filters), `storage.bloom.negatives` (probes answered "definitely
+/// absent" — run probes avoided), `storage.bloom.false_positives`
+/// (counted by the caller when a "maybe" probe finds nothing).
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::storage {
+
+class BloomFilter {
+ public:
+  /// An empty filter answers MayContain == true (no information).
+  BloomFilter() = default;
+
+  /// \brief Builds a filter sized `bits_per_key * keys.size()` bits with
+  /// the probe count that minimizes the false-positive rate
+  /// (k = bits_per_key * ln 2, clamped to [1, 30]).
+  static BloomFilter Build(const std::vector<std::string_view>& keys,
+                           size_t bits_per_key);
+
+  /// \brief Definitely-absent test: false means the key is not in the
+  /// table; true means it might be (false-positive rate ~0.8% at 10
+  /// bits/key).
+  bool MayContain(std::string_view key) const;
+
+  bool empty() const { return bits_.empty(); }
+  size_t bit_count() const { return bits_.size() * 8; }
+
+  /// \brief Wire form persisted in the SSTable footer: [u8 probes][bits].
+  Bytes Serialize() const;
+  static Result<BloomFilter> Deserialize(ByteView wire);
+
+ private:
+  Bytes bits_;
+  uint8_t num_probes_ = 0;
+};
+
+/// \brief 64-bit key hash feeding the double-hashing probe sequence
+/// (exposed for tests).
+uint64_t BloomHash(std::string_view key);
+
+}  // namespace confide::storage

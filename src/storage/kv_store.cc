@@ -1,0 +1,68 @@
+#include "storage/kv_store.h"
+
+#include <map>
+
+namespace confide::storage {
+
+namespace {
+
+/// Fallback snapshot: a full copy taken through the store's iterator.
+/// Correct for any backend; LSM stores override GetSnapshot with a
+/// sequence-pinned structure share instead.
+class MaterializedSnapshot : public KvSnapshot {
+ public:
+  explicit MaterializedSnapshot(std::map<std::string, Bytes> data)
+      : data_(std::move(data)) {}
+
+  Result<Bytes> Get(const std::string& key) const override {
+    auto it = data_.find(key);
+    if (it == data_.end()) return Status::NotFound("key not found: " + key);
+    return it->second;
+  }
+
+  std::unique_ptr<KvIterator> NewIterator() const override;
+
+  uint64_t Sequence() const override { return 0; }  // no generation info
+
+ private:
+  friend class MaterializedIterator;
+  std::map<std::string, Bytes> data_;
+};
+
+class MaterializedIterator : public KvIterator {
+ public:
+  explicit MaterializedIterator(std::shared_ptr<const std::map<std::string, Bytes>> data)
+      : data_(std::move(data)), it_(data_->begin()) {}
+
+  bool Valid() const override { return it_ != data_->end(); }
+  void Next() override { ++it_; }
+  const std::string& key() const override { return it_->first; }
+  const Bytes& value() const override { return it_->second; }
+  void Seek(const std::string& target) override {
+    it_ = data_->lower_bound(target);
+  }
+  void SeekToFirst() override { it_ = data_->begin(); }
+
+ private:
+  std::shared_ptr<const std::map<std::string, Bytes>> data_;
+  std::map<std::string, Bytes>::const_iterator it_;
+};
+
+std::unique_ptr<KvIterator> MaterializedSnapshot::NewIterator() const {
+  // Iterators may outlive the snapshot object, so they share the data.
+  auto shared = std::make_shared<const std::map<std::string, Bytes>>(data_);
+  return std::make_unique<MaterializedIterator>(std::move(shared));
+}
+
+}  // namespace
+
+std::unique_ptr<KvSnapshot> KvStore::GetSnapshot() const {
+  std::map<std::string, Bytes> data;
+  std::unique_ptr<KvIterator> it = NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    data.emplace(it->key(), it->value());
+  }
+  return std::make_unique<MaterializedSnapshot>(std::move(data));
+}
+
+}  // namespace confide::storage

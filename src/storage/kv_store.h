@@ -57,6 +57,19 @@ class KvIterator {
   virtual void SeekToFirst() = 0;
 };
 
+/// \brief Immutable point-in-time view of a store. Reads against a
+/// snapshot never touch the store's write lock, so long scans (checkpoint
+/// chunking) and batched reads (read-set prefetch) cannot contend with
+/// the commit path. Sequence() identifies the pinned write generation:
+/// writes sequenced after it are invisible to this view.
+class KvSnapshot {
+ public:
+  virtual ~KvSnapshot() = default;
+  virtual Result<Bytes> Get(const std::string& key) const = 0;
+  virtual std::unique_ptr<KvIterator> NewIterator() const = 0;
+  virtual uint64_t Sequence() const = 0;
+};
+
 /// \brief Abstract KV store.
 class KvStore {
  public:
@@ -75,6 +88,12 @@ class KvStore {
 
   /// \brief Iterator over a consistent snapshot taken at call time.
   virtual std::unique_ptr<KvIterator> NewIterator() const = 0;
+
+  /// \brief Pins a consistent read view. The base implementation
+  /// materializes the whole store through NewIterator (correct for any
+  /// backend); LSM-style stores override it with a cheap
+  /// sequence-pinned structure share.
+  virtual std::unique_ptr<KvSnapshot> GetSnapshot() const;
 
   /// \brief Approximate number of live keys.
   virtual size_t ApproximateCount() const = 0;

@@ -47,14 +47,15 @@ void MemTable::Put(const std::string& key, std::optional<Bytes> value) {
   nodes_.push_back(std::move(node));
 }
 
-std::optional<std::optional<Bytes>> MemTable::Get(const std::string& key) const {
+Lookup MemTable::Get(const std::string& key) const {
   std::array<Node*, kMaxHeight> prev;
   FindGreaterOrEqual(key, &prev);
   Node* node = prev[0]->next[0];
   if (node != nullptr && node->key == key) {
-    return node->value;
+    return node->value ? Lookup::FoundValue(&*node->value)
+                       : Lookup::FoundTombstone();
   }
-  return std::nullopt;
+  return Lookup::NotFound();
 }
 
 }  // namespace confide::storage

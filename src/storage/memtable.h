@@ -16,6 +16,27 @@
 
 namespace confide::storage {
 
+/// \brief Explicit tri-state point-lookup result shared by the memtable
+/// and the sorted runs. A probe either finds a live value, finds a
+/// tombstone (the key was deleted at this level — stop probing older
+/// structures), or finds nothing (fall through to the next structure).
+enum class LookupState : uint8_t { kNotFound = 0, kFoundValue, kFoundTombstone };
+
+struct Lookup {
+  LookupState state = LookupState::kNotFound;
+  const Bytes* value = nullptr;  ///< set iff state == kFoundValue
+
+  static Lookup NotFound() { return {}; }
+  static Lookup FoundValue(const Bytes* v) {
+    return {LookupState::kFoundValue, v};
+  }
+  static Lookup FoundTombstone() {
+    return {LookupState::kFoundTombstone, nullptr};
+  }
+  /// \brief Key present at this level (value or tombstone).
+  bool found() const { return state != LookupState::kNotFound; }
+};
+
 /// \brief Ordered in-memory table. Not internally synchronized; callers
 /// (LsmKvStore) hold their own lock.
 class MemTable {
@@ -25,9 +46,9 @@ class MemTable {
   /// \brief Inserts or overwrites; nullopt records a tombstone.
   void Put(const std::string& key, std::optional<Bytes> value);
 
-  /// \brief Three-way lookup: {found, value-or-tombstone}.
-  /// Outer optional: key present in this table at all. Inner: tombstone.
-  std::optional<std::optional<Bytes>> Get(const std::string& key) const;
+  /// \brief Tri-state lookup; the returned value pointer stays valid
+  /// until the table is destroyed (nodes are never removed).
+  Lookup Get(const std::string& key) const;
 
   size_t entry_count() const { return count_; }
   size_t approximate_bytes() const { return bytes_; }

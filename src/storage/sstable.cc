@@ -1,0 +1,227 @@
+#include "storage/sstable.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/crc32.h"
+#include "common/endian.h"
+#include "common/metrics.h"
+
+namespace confide::storage {
+
+namespace {
+
+constexpr uint32_t kSsTableMagic = 0xC0F1DE57;
+constexpr const char* kManifestName = "MANIFEST";
+
+struct SsTableMetrics {
+  metrics::Counter* written = metrics::GetCounter("storage.sst.written.count");
+  metrics::Counter* written_bytes =
+      metrics::GetCounter("storage.sst.written.bytes");
+  metrics::Counter* loaded = metrics::GetCounter("storage.sst.loaded.count");
+
+  static const SsTableMetrics& Get() {
+    static const SsTableMetrics instruments;
+    return instruments;
+  }
+};
+
+void AppendU32(Bytes* out, uint32_t v) {
+  uint8_t buf[4];
+  StoreLe32(buf, v);
+  Append(out, ByteView(buf, 4));
+}
+
+/// Durably writes `framed` to `path` via tmp-file + rename, then fsyncs
+/// the directory so the rename itself survives a crash.
+Status AtomicWrite(const std::string& path, ByteView framed) {
+  std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return Status::Internal("sst: cannot open " + tmp);
+  bool ok = std::fwrite(framed.data(), 1, framed.size(), file) == framed.size();
+  ok = ok && std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+  std::fclose(file);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("sst: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("sst: cannot rename " + tmp);
+  }
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (!dir.empty()) {
+    int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Bytes> ReadFramed(const std::string& path, const char* what) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound(std::string(what) + ": no file at " + path);
+  }
+  uint8_t header[16];
+  if (std::fread(header, 1, 16, file) != 16) {
+    std::fclose(file);
+    return Status::Corruption(std::string(what) + ": truncated header");
+  }
+  if (LoadLe32(header) != kSsTableMagic) {
+    std::fclose(file);
+    return Status::Corruption(std::string(what) + ": bad magic");
+  }
+  uint32_t crc = LoadLe32(header + 4);
+  uint64_t len = LoadLe64(header + 8);
+  Bytes payload(len);
+  bool ok = std::fread(payload.data(), 1, len, file) == len;
+  std::fclose(file);
+  if (!ok || Crc32(payload) != crc) {
+    return Status::Corruption(std::string(what) + ": corrupt payload");
+  }
+  return payload;
+}
+
+Bytes Frame(ByteView payload) {
+  Bytes framed;
+  framed.reserve(16 + payload.size());
+  AppendU32(&framed, kSsTableMagic);
+  AppendU32(&framed, Crc32(payload));
+  uint8_t len[8];
+  StoreLe64(len, payload.size());
+  Append(&framed, ByteView(len, 8));
+  Append(&framed, payload);
+  return framed;
+}
+
+}  // namespace
+
+std::string SsTablePath(const std::string& dir, uint64_t number) {
+  return dir + "/" + std::to_string(number) + ".sst";
+}
+
+Status WriteSsTable(const std::string& path,
+                    const std::vector<RunEntry>& entries,
+                    const BloomFilter& bloom) {
+  Bytes payload;
+  AppendU32(&payload, uint32_t(entries.size()));
+  for (const RunEntry& entry : entries) {
+    payload.push_back(entry.value ? 1 : 0);
+    AppendU32(&payload, uint32_t(entry.key.size()));
+    Append(&payload, AsByteView(entry.key));
+    if (entry.value) {
+      AppendU32(&payload, uint32_t(entry.value->size()));
+      Append(&payload, *entry.value);
+    }
+  }
+  Bytes bloom_wire = bloom.empty() ? Bytes{} : bloom.Serialize();
+  AppendU32(&payload, uint32_t(bloom_wire.size()));
+  Append(&payload, bloom_wire);
+  Bytes framed = Frame(payload);
+  CONFIDE_RETURN_NOT_OK(AtomicWrite(path, framed));
+  SsTableMetrics::Get().written->Increment();
+  SsTableMetrics::Get().written_bytes->Increment(framed.size());
+  return Status::OK();
+}
+
+Result<SsTableContents> ReadSsTable(const std::string& path) {
+  CONFIDE_ASSIGN_OR_RETURN(Bytes payload, ReadFramed(path, "sst"));
+  SsTableContents contents;
+  size_t pos = 0;
+  auto read_u32 = [&](uint32_t* out) -> Status {
+    if (pos + 4 > payload.size()) return Status::Corruption("sst: truncated u32");
+    *out = LoadLe32(payload.data() + pos);
+    pos += 4;
+    return Status::OK();
+  };
+  uint32_t count;
+  CONFIDE_RETURN_NOT_OK(read_u32(&count));
+  contents.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos >= payload.size()) return Status::Corruption("sst: truncated entry");
+    uint8_t kind = payload[pos++];
+    uint32_t key_len;
+    CONFIDE_RETURN_NOT_OK(read_u32(&key_len));
+    if (pos + key_len > payload.size()) {
+      return Status::Corruption("sst: truncated key");
+    }
+    RunEntry entry;
+    entry.key.assign(reinterpret_cast<const char*>(payload.data() + pos), key_len);
+    pos += key_len;
+    if (kind == 1) {
+      uint32_t value_len;
+      CONFIDE_RETURN_NOT_OK(read_u32(&value_len));
+      if (pos + value_len > payload.size()) {
+        return Status::Corruption("sst: truncated value");
+      }
+      entry.value = Bytes(payload.begin() + pos, payload.begin() + pos + value_len);
+      pos += value_len;
+    } else if (kind != 0) {
+      return Status::Corruption("sst: unknown entry kind");
+    }
+    contents.entries.push_back(std::move(entry));
+  }
+  uint32_t bloom_len;
+  CONFIDE_RETURN_NOT_OK(read_u32(&bloom_len));
+  if (pos + bloom_len != payload.size()) {
+    return Status::Corruption("sst: trailing bytes");
+  }
+  if (bloom_len > 0) {
+    CONFIDE_ASSIGN_OR_RETURN(
+        contents.bloom,
+        BloomFilter::Deserialize(ByteView(payload.data() + pos, bloom_len)));
+  }
+  SsTableMetrics::Get().loaded->Increment();
+  return contents;
+}
+
+Status WriteManifest(const std::string& dir, const std::vector<uint64_t>& live) {
+  Bytes payload;
+  AppendU32(&payload, uint32_t(live.size()));
+  for (uint64_t number : live) {
+    uint8_t buf[8];
+    StoreLe64(buf, number);
+    Append(&payload, ByteView(buf, 8));
+  }
+  return AtomicWrite(dir + "/" + kManifestName, Frame(payload));
+}
+
+Result<std::vector<uint64_t>> ReadManifest(const std::string& dir) {
+  auto payload = ReadFramed(dir + "/" + kManifestName, "manifest");
+  if (payload.status().IsNotFound()) return std::vector<uint64_t>{};
+  CONFIDE_RETURN_NOT_OK(payload.status());
+  if (payload->size() < 4) return Status::Corruption("manifest: truncated count");
+  uint32_t count = LoadLe32(payload->data());
+  if (payload->size() != 4 + size_t(count) * 8) {
+    return Status::Corruption("manifest: bad length");
+  }
+  std::vector<uint64_t> live;
+  live.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    live.push_back(LoadLe64(payload->data() + 4 + size_t(i) * 8));
+  }
+  return live;
+}
+
+std::vector<uint64_t> ListSsTables(const std::string& dir) {
+  std::vector<uint64_t> numbers;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() != ".sst") continue;
+    const std::string stem = entry.path().stem().string();
+    if (stem.empty() ||
+        stem.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    numbers.push_back(std::strtoull(stem.c_str(), nullptr, 10));
+  }
+  return numbers;
+}
+
+}  // namespace confide::storage

@@ -1,0 +1,64 @@
+/// \file sstable.h
+/// \brief Durable sorted-run (SSTable) persistence plus the manifest that
+/// names the live tables.
+///
+/// Before this layer existed a memtable flush kept the run in memory only
+/// and truncated the WAL, so a crash after any flush silently lost the
+/// flushed keys. Now a flush writes the run — entries and its bloom
+/// filter — to `<wal_dir>/<number>.sst` before the WAL reset, and the
+/// manifest records which table numbers are live (oldest first). Both
+/// writes are atomic: data goes to a `.tmp` file, is fsynced, and renamed
+/// into place, so a crash at any byte leaves either the old file set or
+/// the new one — never a half-written table. Tables not listed in the
+/// manifest (a crash between a compaction's table write and its manifest
+/// install) are orphans: recovery deletes them.
+///
+/// File format (all little-endian):
+///   [u32 magic][u32 crc over payload][u64 payload_len][payload]
+///   payload = [u32 entry_count] entry* [u32 bloom_len][bloom wire]
+///   entry   = [u8 kind][u32 key_len][key]([u32 value_len][value] if put)
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/bloom.h"
+
+namespace confide::storage {
+
+/// \brief Key/value (or tombstone) entry of a sorted run.
+struct RunEntry {
+  std::string key;
+  std::optional<Bytes> value;  // nullopt = tombstone
+};
+
+/// \brief `<dir>/<number>.sst`.
+std::string SsTablePath(const std::string& dir, uint64_t number);
+
+/// \brief Atomically persists a run: tmp write, fsync, rename.
+Status WriteSsTable(const std::string& path,
+                    const std::vector<RunEntry>& entries,
+                    const BloomFilter& bloom);
+
+struct SsTableContents {
+  std::vector<RunEntry> entries;
+  BloomFilter bloom;
+};
+
+/// \brief Loads and CRC-checks a table written by WriteSsTable.
+Result<SsTableContents> ReadSsTable(const std::string& path);
+
+/// \brief Atomically records the live table numbers (oldest first).
+Status WriteManifest(const std::string& dir, const std::vector<uint64_t>& live);
+
+/// \brief Reads the manifest; a missing file is an empty table set.
+Result<std::vector<uint64_t>> ReadManifest(const std::string& dir);
+
+/// \brief Table numbers present on disk (`*.sst`), live or orphaned.
+std::vector<uint64_t> ListSsTables(const std::string& dir);
+
+}  // namespace confide::storage

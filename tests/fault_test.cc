@@ -442,6 +442,55 @@ TEST_F(LsmCrashTest, InjectedFlushFailureLeavesMemtableIntact) {
   EXPECT_TRUE((*store)->Get("k").ok());
 }
 
+TEST_F(LsmCrashTest, CompactionRecoversFromEveryFaultSite) {
+  // One cycle per compaction fault site: arm it one-shot, drive a
+  // compaction, and require the retry inside CompactWithRetries to both
+  // survive (writes never fail) and note the recovery. CI's chaos report
+  // check relies on this test firing all four sites on every seed, so
+  // the arming is deterministic (one-shot, probability 1).
+  const char* kSites[] = {
+      "fault.storage.compaction.start",
+      "fault.storage.compaction.merge",
+      "fault.storage.compaction.write",    // durable stores only
+      "fault.storage.compaction.install",  // durable stores only
+  };
+  int cycle = 0;
+  for (const char* site : kSites) {
+    auto sub = dir_ / ("compact" + std::to_string(cycle++));
+    std::filesystem::create_directories(sub);
+    storage::LsmOptions options;
+    options.wal_dir = sub.string();  // write/install trip only when durable
+    options.max_runs = 1;
+    auto store = storage::LsmKvStore::Open(options);
+    ASSERT_TRUE(store.ok()) << site;
+
+    auto before = metrics::MetricsRegistry::Global().Snapshot();
+    FaultPlan plan(ChaosSeed());
+    plan.Arm(site, Trigger{.one_shot = true});
+    ASSERT_TRUE((*store)->Put("a", ToBytes(std::string_view("1"))).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_TRUE((*store)->Put("b", ToBytes(std::string_view("2"))).ok());
+    // This flush pushes the run count past max_runs: the compaction's
+    // first attempt dies at the armed site, the retry completes. A
+    // failing compaction must never surface as a write failure.
+    ASSERT_TRUE((*store)->Flush().ok()) << site;
+    EXPECT_EQ((*store)->RunCount(), 1u) << site;
+
+    auto after = metrics::MetricsRegistry::Global().Snapshot();
+    std::string name(site);
+    EXPECT_EQ(after.counter(name + ".injected") -
+                  before.counter(name + ".injected"),
+              1u)
+        << site;
+    EXPECT_EQ(after.counter(name + ".recovered") -
+                  before.counter(name + ".recovered"),
+              1u)
+        << site;
+    EXPECT_TRUE((*store)->Get("a").ok()) << site;
+    EXPECT_TRUE((*store)->Get("b").ok()) << site;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Enclave crash + re-provisioning
 // ---------------------------------------------------------------------------

@@ -1,17 +1,24 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <map>
+#include <string_view>
 
 #include "common/crc32.h"
 #include "common/endian.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/sim_clock.h"
+#include "common/thread_pool.h"
 #include "crypto/drbg.h"
 #include "storage/block_store.h"
+#include "storage/bloom.h"
+#include "storage/cache.h"
 #include "storage/lsm_store.h"
 #include "storage/memtable.h"
+#include "storage/sstable.h"
 #include "storage/wal.h"
 
 namespace confide::storage {
@@ -43,20 +50,20 @@ TEST(MemTableTest, PutGetOverwrite) {
   mem.Put("a", ToBytes(std::string_view("1")));
   mem.Put("b", ToBytes(std::string_view("2")));
   mem.Put("a", ToBytes(std::string_view("3")));
-  auto a = mem.Get("a");
-  ASSERT_TRUE(a.has_value());
-  ASSERT_TRUE(a->has_value());
-  EXPECT_EQ(ToString(**a), "3");
+  Lookup a = mem.Get("a");
+  ASSERT_EQ(a.state, LookupState::kFoundValue);
+  EXPECT_EQ(ToString(*a.value), "3");
   EXPECT_EQ(mem.entry_count(), 2u);
-  EXPECT_FALSE(mem.Get("zzz").has_value());
+  EXPECT_EQ(mem.Get("zzz").state, LookupState::kNotFound);
 }
 
 TEST(MemTableTest, TombstoneIsDistinctFromAbsent) {
   MemTable mem;
   mem.Put("gone", std::nullopt);
-  auto hit = mem.Get("gone");
-  ASSERT_TRUE(hit.has_value());     // key is present...
-  EXPECT_FALSE(hit->has_value());   // ...as a tombstone
+  Lookup hit = mem.Get("gone");
+  EXPECT_TRUE(hit.found());  // key is present...
+  EXPECT_EQ(hit.state, LookupState::kFoundTombstone);  // ...as a tombstone
+  EXPECT_EQ(hit.value, nullptr);
 }
 
 TEST(MemTableTest, ForEachVisitsInKeyOrder) {
@@ -528,6 +535,465 @@ TEST(LsmStoreTest, RandomizedAgainstReferenceMap) {
     EXPECT_TRUE((*store)->Get("k" + std::to_string(i)).status().IsNotFound());
   }
 }
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back("bloom-key-" + std::to_string(i));
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  BloomFilter filter = BloomFilter::Build(views, 10);
+  for (const std::string& key : keys) {
+    EXPECT_TRUE(filter.MayContain(key)) << key;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateWithinBound) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back("bloom-key-" + std::to_string(i));
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  BloomFilter filter = BloomFilter::Build(views, 10);
+  int false_positives = 0;
+  constexpr int kProbes = 10000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.MayContain("absent-" + std::to_string(i))) ++false_positives;
+  }
+  // Theoretical FPR at 10 bits/key is ~0.8%; 2% leaves generous margin.
+  EXPECT_LT(false_positives, kProbes / 50)
+      << "FPR " << 100.0 * false_positives / kProbes << "%";
+}
+
+TEST(BloomFilterTest, SerializeRoundTrip) {
+  std::vector<std::string_view> keys = {"alpha", "beta", "gamma"};
+  BloomFilter filter = BloomFilter::Build(keys, 10);
+  auto restored = BloomFilter::Deserialize(filter.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->bit_count(), filter.bit_count());
+  for (std::string_view key : keys) EXPECT_TRUE(restored->MayContain(key));
+}
+
+TEST(BloomFilterTest, EmptyFilterAnswersMaybe) {
+  BloomFilter filter;
+  EXPECT_TRUE(filter.empty());
+  EXPECT_TRUE(filter.MayContain("anything"));
+  EXPECT_TRUE(BloomFilter::Deserialize(ByteView{}).status().code() ==
+              StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Row cache
+// ---------------------------------------------------------------------------
+
+TEST(RowCacheTest, InsertGetAndValueMatch) {
+  RowCache cache(4096);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  cache.Insert("k", ToBytes(std::string_view("value")));
+  const RowCache::Row* row = cache.Get("k");
+  ASSERT_NE(row, nullptr);
+  ASSERT_TRUE(row->value.has_value());
+  EXPECT_EQ(ToString(*row->value), "value");
+}
+
+TEST(RowCacheTest, NegativeEntryRecordsConfirmedMiss) {
+  RowCache cache(4096);
+  cache.Insert("missing", std::nullopt);
+  const RowCache::Row* row = cache.Get("missing");
+  ASSERT_NE(row, nullptr);
+  EXPECT_FALSE(row->value.has_value());
+}
+
+TEST(RowCacheTest, AdmissionRejectsOversizedRows) {
+  RowCache cache(1024);  // admission bound: 1024 / 8 = 128 bytes per row
+  cache.Insert("big", Bytes(512));
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+  cache.Insert("small", Bytes(16));
+  EXPECT_NE(cache.Get("small"), nullptr);
+}
+
+TEST(RowCacheTest, EvictsLruPastByteBudget) {
+  RowCache cache(1024);
+  // Each row charges ~64 (overhead) + key + 32 value bytes ≈ 98; ten rows
+  // blow the 1024 budget, so the oldest must go.
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert("evict-" + std::to_string(i), Bytes(32));
+  }
+  EXPECT_LE(cache.bytes(), 1024u);
+  EXPECT_EQ(cache.Get("evict-0"), nullptr);                // evicted
+  EXPECT_NE(cache.Get("evict-9"), nullptr);                // newest survives
+}
+
+TEST(RowCacheTest, InvalidateDropsRowAndAccounting) {
+  RowCache cache(4096);
+  cache.Insert("k", ToBytes(std::string_view("v")));
+  ASSERT_NE(cache.Get("k"), nullptr);
+  cache.Invalidate("k");
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(RowCacheTest, ZeroBudgetDisablesEverything) {
+  RowCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert("k", ToBytes(std::string_view("v")));
+  EXPECT_EQ(cache.Get("k"), nullptr);
+}
+
+TEST(RowCacheTest, BudgetResolutionPrecedence) {
+  // Explicit configuration wins over everything.
+  ::setenv("CONFIDE_STORAGE_CACHE_MB", "8", 1);
+  EXPECT_EQ(ResolveCacheBudget(size_t(12345), 64), 12345u);
+  // Unconfigured: the environment variable decides (in megabytes).
+  EXPECT_EQ(ResolveCacheBudget(std::nullopt, 64), size_t(8) << 20);
+  ::setenv("CONFIDE_STORAGE_CACHE_MB", "0", 1);
+  EXPECT_EQ(ResolveCacheBudget(std::nullopt, 64), 0u);  // 0 = disabled
+  // No env var either: the fallback applies.
+  ::unsetenv("CONFIDE_STORAGE_CACHE_MB");
+  EXPECT_EQ(ResolveCacheBudget(std::nullopt, 2), size_t(2) << 20);
+}
+
+// ---------------------------------------------------------------------------
+// LSM read path: bloom gating, row cache, snapshots
+// ---------------------------------------------------------------------------
+
+/// Fills `store` so that several sorted runs exist.
+void FillRuns(LsmKvStore* store, int keys_per_run, int runs) {
+  for (int r = 0; r < runs; ++r) {
+    for (int i = 0; i < keys_per_run; ++i) {
+      std::string key = "run" + std::to_string(r) + "-key" + std::to_string(i);
+      ASSERT_TRUE(store->Put(key, ToBytes(std::string_view("v"))).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+  }
+}
+
+TEST(LsmReadPathTest, BloomSkipsRunsForAbsentKeys) {
+  LsmOptions options = VolatileOptions();
+  options.max_runs = 16;     // keep all runs alive (no compaction)
+  options.cache_bytes = 0;   // isolate the bloom effect
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  FillRuns(store->get(), 50, 4);
+  ASSERT_EQ((*store)->RunCount(), 4u);
+
+  auto before = metrics::MetricsRegistry::Global().Snapshot();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(
+        (*store)->Get("nope-" + std::to_string(i)).status().IsNotFound());
+  }
+  auto after = metrics::MetricsRegistry::Global().Snapshot();
+  uint64_t negatives = after.counter("storage.bloom.negatives") -
+                       before.counter("storage.bloom.negatives");
+  uint64_t probed = after.counter("storage.lsm.read.structures_probed") -
+                    before.counter("storage.lsm.read.structures_probed");
+  // 100 absent keys × 4 runs: virtually every run probe is answered
+  // "definitely absent" by the bloom filter; the memtable is always
+  // probed, plus at most a few false positives.
+  EXPECT_GE(negatives, 390u);
+  EXPECT_LE(probed, 110u);
+}
+
+TEST(LsmReadPathTest, DisabledBloomProbesEveryRun) {
+  LsmOptions options = VolatileOptions();
+  options.max_runs = 16;
+  options.cache_bytes = 0;
+  options.enable_bloom = false;
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  FillRuns(store->get(), 50, 4);
+
+  auto before = metrics::MetricsRegistry::Global().Snapshot();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(
+        (*store)->Get("nope-" + std::to_string(i)).status().IsNotFound());
+  }
+  auto after = metrics::MetricsRegistry::Global().Snapshot();
+  // Memtable + all 4 runs for each of the 100 reads.
+  EXPECT_EQ(after.counter("storage.lsm.read.structures_probed") -
+                before.counter("storage.lsm.read.structures_probed"),
+            500u);
+  EXPECT_EQ(after.counter("storage.bloom.probes") -
+                before.counter("storage.bloom.probes"),
+            0u);
+}
+
+TEST(LsmReadPathTest, RowCacheServesRepeatsAndStaysCoherent) {
+  LsmOptions options = VolatileOptions();
+  options.cache_bytes = 1 << 20;
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("hot", ToBytes(std::string_view("v1"))).ok());
+  ASSERT_TRUE((*store)->Flush().ok());  // into a run: cache fills from runs
+
+  auto s1 = metrics::MetricsRegistry::Global().Snapshot();
+  ASSERT_TRUE((*store)->Get("hot").ok());  // run probe, populates cache
+  auto s2 = metrics::MetricsRegistry::Global().Snapshot();
+  auto hot = (*store)->Get("hot");  // cache hit: zero structures probed
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(ToString(*hot), "v1");
+  auto s3 = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(s3.counter("storage.cache.hit.count") -
+                s2.counter("storage.cache.hit.count"),
+            1u);
+  EXPECT_EQ(s3.counter("storage.lsm.read.structures_probed"),
+            s2.counter("storage.lsm.read.structures_probed"));
+  EXPECT_GT(s2.counter("storage.lsm.read.structures_probed"),
+            s1.counter("storage.lsm.read.structures_probed"));
+
+  // Write-through coherence: a Put must invalidate the cached row.
+  ASSERT_TRUE((*store)->Put("hot", ToBytes(std::string_view("v2"))).ok());
+  auto updated = (*store)->Get("hot");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(ToString(*updated), "v2");
+
+  // Negative entries: a confirmed miss is served from cache on repeat.
+  EXPECT_TRUE((*store)->Get("absent").status().IsNotFound());
+  auto s4 = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_TRUE((*store)->Get("absent").status().IsNotFound());
+  auto s5 = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(s5.counter("storage.cache.hit.count") -
+                s4.counter("storage.cache.hit.count"),
+            1u);
+
+  // Deleting a cached key must not leave the stale row behind.
+  ASSERT_TRUE((*store)->Delete("hot").ok());
+  EXPECT_TRUE((*store)->Get("hot").status().IsNotFound());
+}
+
+TEST(LsmReadPathTest, SnapshotPinsViewAgainstLaterWrites) {
+  auto store = LsmKvStore::Open(VolatileOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", ToBytes(std::string_view("old"))).ok());
+  ASSERT_TRUE((*store)->Put("gone", ToBytes(std::string_view("x"))).ok());
+
+  std::unique_ptr<KvSnapshot> snapshot = (*store)->GetSnapshot();
+  uint64_t pinned = snapshot->Sequence();
+
+  ASSERT_TRUE((*store)->Put("k", ToBytes(std::string_view("new"))).ok());
+  ASSERT_TRUE((*store)->Put("later", ToBytes(std::string_view("y"))).ok());
+  ASSERT_TRUE((*store)->Delete("gone").ok());
+  EXPECT_GT((*store)->Sequence(), pinned);
+
+  // The snapshot still serves the pinned state...
+  auto old = snapshot->Get("k");
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(ToString(*old), "old");
+  EXPECT_TRUE(snapshot->Get("later").status().IsNotFound());
+  EXPECT_TRUE(snapshot->Get("gone").ok());
+  // ...and so does its iterator.
+  auto it = snapshot->NewIterator();
+  std::map<std::string, std::string> seen;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    seen[it->key()] = ToString(it->value());
+  }
+  EXPECT_EQ(seen, (std::map<std::string, std::string>{{"k", "old"},
+                                                      {"gone", "x"}}));
+  // The store itself sees the new state.
+  auto live = (*store)->Get("k");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(ToString(*live), "new");
+}
+
+TEST(LsmReadPathTest, SnapshotSurvivesFlushAndCompaction) {
+  LsmOptions options = VolatileOptions();
+  options.memtable_flush_bytes = 512;
+  options.max_runs = 2;
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("stable", ToBytes(std::string_view("before"))).ok());
+  std::unique_ptr<KvSnapshot> snapshot = (*store)->GetSnapshot();
+
+  // Churn enough to flush several runs and compact them away.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*store)
+                    ->Put("churn-" + std::to_string(i), Bytes(32))
+                    .ok());
+  }
+  ASSERT_TRUE((*store)->Delete("stable").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  auto pinned = snapshot->Get("stable");
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(ToString(*pinned), "before");
+  EXPECT_TRUE(snapshot->Get("churn-0").status().IsNotFound());
+  EXPECT_TRUE((*store)->Get("stable").status().IsNotFound());
+}
+
+TEST(LsmReadPathTest, BackgroundCompactionOnPoolKeepsDataIntact) {
+  ThreadPool pool(2);
+  LsmOptions options;
+  options.memtable_flush_bytes = 1024;
+  options.max_runs = 3;
+  options.compaction_pool = &pool;
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  std::map<std::string, Bytes> reference;
+  crypto::Drbg rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = "bg" + std::to_string(rng.NextBounded(300));
+    if (rng.NextBounded(5) == 0) {
+      ASSERT_TRUE((*store)->Delete(key).ok());
+      reference.erase(key);
+    } else {
+      Bytes value = rng.Generate(1 + rng.NextBounded(30));
+      ASSERT_TRUE((*store)->Put(key, value).ok());
+      reference[key] = value;
+    }
+  }
+  (*store)->WaitForCompaction();
+  EXPECT_LE((*store)->RunCount(), options.max_runs + 1);
+  for (const auto& [key, value] : reference) {
+    auto got = (*store)->Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value);
+  }
+  for (int i = 300; i < 320; ++i) {
+    EXPECT_TRUE((*store)->Get("bg" + std::to_string(i)).status().IsNotFound());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable SSTables: flush persistence, compaction crash recovery
+// ---------------------------------------------------------------------------
+
+TEST(LsmDurabilityTest, FlushedRunsSurviveReopenWithoutWal) {
+  auto dir = std::filesystem::temp_directory_path() / "confide_lsm_sst";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  LsmOptions options = VolatileOptions();
+  options.wal_dir = dir.string();
+  {
+    auto store = LsmKvStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("flushed", ToBytes(std::string_view("v"))).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    // Flush reset the WAL: before SSTable persistence this key would be
+    // gone after a crash. The run on disk is now the only copy.
+  }
+  {
+    RecoveryInfo info;
+    auto store = LsmKvStore::Recover(options, &info);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(info.tables_loaded, 1u);
+    EXPECT_EQ(info.batches_replayed, 0u);  // nothing left in the WAL
+    auto got = (*store)->Get("flushed");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToString(*got), "v");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LsmDurabilityTest, SsTableRoundTripPreservesEntriesAndBloom) {
+  auto dir = std::filesystem::temp_directory_path() / "confide_sst_roundtrip";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::vector<RunEntry> entries;
+  entries.push_back({"a", ToBytes(std::string_view("1"))});
+  entries.push_back({"b", std::nullopt});  // tombstone
+  entries.push_back({"c", ToBytes(std::string_view("3"))});
+  std::vector<std::string_view> keys = {"a", "b", "c"};
+  BloomFilter bloom = BloomFilter::Build(keys, 10);
+  std::string path = SsTablePath(dir.string(), 7);
+  ASSERT_TRUE(WriteSsTable(path, entries, bloom).ok());
+
+  auto contents = ReadSsTable(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->entries.size(), 3u);
+  EXPECT_EQ(contents->entries[0].key, "a");
+  ASSERT_TRUE(contents->entries[0].value.has_value());
+  EXPECT_FALSE(contents->entries[1].value.has_value());
+  EXPECT_FALSE(contents->bloom.empty());
+  EXPECT_TRUE(contents->bloom.MayContain("a"));
+
+  // Corruption must be detected, not silently served.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  std::fseek(f, 20, SEEK_SET);
+  std::fputc(0xFF, f);
+  std::fclose(f);
+  EXPECT_TRUE(ReadSsTable(path).status().code() == StatusCode::kCorruption);
+  std::filesystem::remove_all(dir);
+}
+
+/// Crash/restart chaos: a compaction that dies at any fault site must
+/// neither lose live keys nor resurrect deleted ones after reopen.
+class CompactionCrashTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CompactionCrashTest, KilledCompactionLosesNothingOnReopen) {
+  auto dir = std::filesystem::temp_directory_path() /
+             (std::string("confide_compact_crash_") +
+              std::string(GetParam()).substr(std::string(GetParam()).rfind('.') + 1));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  LsmOptions options;
+  options.memtable_flush_bytes = 512;
+  options.max_runs = 2;
+  options.wal_dir = dir.string();
+  options.cache_bytes = 0;
+
+  std::map<std::string, Bytes> reference;
+  {
+    auto store = LsmKvStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    // Every compaction attempt dies at the parameterized site (not
+    // one-shot: the inline retries must all fail, as a crash would).
+    fault::FaultPlan plan(1);
+    plan.Arm(GetParam(), fault::Trigger{});
+    crypto::Drbg rng(31);
+    for (int i = 0; i < 400; ++i) {
+      std::string key = "cc" + std::to_string(rng.NextBounded(120));
+      if (rng.NextBounded(4) == 0) {
+        ASSERT_TRUE((*store)->Delete(key).ok());
+        reference.erase(key);
+      } else {
+        Bytes value = rng.Generate(1 + rng.NextBounded(24));
+        ASSERT_TRUE((*store)->Put(key, value).ok());
+        reference[key] = value;
+      }
+    }
+    // The armed site kept every compaction from completing.
+    EXPECT_GT((*store)->RunCount(), options.max_runs);
+    // Store destroyed here: simulated crash with compaction dead.
+  }
+  {
+    RecoveryInfo info;
+    auto store = LsmKvStore::Recover(options, &info);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_GT(info.tables_loaded, 0u);
+    if (std::string(GetParam()) == "fault.storage.compaction.install") {
+      // Crashing between the table write and the manifest install
+      // strands orphans; recovery must have deleted them.
+      EXPECT_GT(info.orphans_removed, 0u);
+    }
+    for (const auto& [key, value] : reference) {
+      auto got = (*store)->Get(key);
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+      EXPECT_EQ(*got, value) << key;
+    }
+    for (int i = 0; i < 120; ++i) {
+      std::string key = "cc" + std::to_string(i);
+      if (reference.count(key) == 0) {
+        EXPECT_TRUE((*store)->Get(key).status().IsNotFound())
+            << key << " resurrected";
+      }
+    }
+    // And the reopened store compacts fine once the fault is gone.
+    ASSERT_TRUE((*store)->Put("post-crash", Bytes(600)).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_LE((*store)->RunCount(), options.max_runs + 1);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, CompactionCrashTest,
+                         ::testing::Values("fault.storage.compaction.start",
+                                           "fault.storage.compaction.merge",
+                                           "fault.storage.compaction.write",
+                                           "fault.storage.compaction.install"));
 
 // ---------------------------------------------------------------------------
 // Block store

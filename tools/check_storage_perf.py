@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI gate for the storage read-path benchmark.
+
+Reads the metrics.json written by bench_storage and the checked-in
+thresholds (bench/storage_perf_thresholds.json), and fails when the
+optimized read amplification, the baseline/optimized improvement ratio,
+or the optimized get p99 regresses past a bound.
+
+Usage: check_storage_perf.py <metrics.json> <thresholds.json>
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        metrics = json.load(f)
+    with open(sys.argv[2]) as f:
+        thresholds = json.load(f)
+
+    gauges = metrics.get("gauges", {})
+
+    def gauge(name):
+        if name not in gauges:
+            print(f"FAIL: metrics.json has no gauge {name!r} "
+                  "(bench_storage did not finish?)")
+            return None
+        return gauges[name]
+
+    opt_amp = gauge("storage.bench.optimized.read_amplification_milli")
+    base_amp = gauge("storage.bench.baseline.read_amplification_milli")
+    ratio = gauge("storage.bench.improvement_ratio_milli")
+    p99 = gauge("storage.bench.optimized.get_p99_ns")
+    if None in (opt_amp, base_amp, ratio, p99):
+        return 1
+
+    print(f"baseline  read_amp {base_amp / 1000:.3f}")
+    print(f"optimized read_amp {opt_amp / 1000:.3f}  p99 {p99} ns")
+    print(f"improvement ratio  {ratio / 1000:.2f}x")
+
+    failures = []
+    bound = thresholds["max_optimized_read_amplification_milli"]
+    if opt_amp > bound:
+        failures.append(
+            f"optimized read amplification {opt_amp / 1000:.3f} exceeds "
+            f"threshold {bound / 1000:.3f}")
+    bound = thresholds["min_improvement_ratio_milli"]
+    if ratio < bound:
+        failures.append(
+            f"improvement ratio {ratio / 1000:.2f}x below required "
+            f"{bound / 1000:.2f}x")
+    bound = thresholds["max_optimized_get_p99_ns"]
+    if p99 > bound:
+        failures.append(f"optimized get p99 {p99} ns exceeds {bound} ns")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: storage read-path within thresholds")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
