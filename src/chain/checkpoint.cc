@@ -17,6 +17,7 @@ using serialize::RlpEncode;
 using serialize::RlpItem;
 
 constexpr std::string_view kCheckpointPrefix = "ckpt/";
+constexpr std::string_view kFreshnessPrefix = "fresh/";
 constexpr const char* kIndexKey = "ckpt/index";
 
 struct CheckpointMetrics {
@@ -27,6 +28,10 @@ struct CheckpointMetrics {
   metrics::Counter* pruned = metrics::GetCounter("chain.checkpoint.pruned.count");
   metrics::Counter* adopted =
       metrics::GetCounter("chain.checkpoint.adopted.count");
+  metrics::Counter* forks_detected =
+      metrics::GetCounter("chain.fork.detected.count");
+  metrics::Counter* witnessed =
+      metrics::GetCounter("chain.fork.witnessed.count");
   metrics::Histogram* build_latency =
       metrics::GetHistogram("chain.checkpoint.build.latency_ns");
 
@@ -233,6 +238,60 @@ std::string CheckpointManager::ChunkKey(uint64_t height, size_t index) {
   return "ckpt/c/" + HexEncode(ByteView(be, 16));
 }
 
+std::string CheckpointManager::WitnessKey(uint64_t height) {
+  uint8_t be[8];
+  StoreBe64(be, height);
+  return "ckpt/w/" + HexEncode(ByteView(be, 8));
+}
+
+void CheckpointManager::SetForkAlarm(ForkAlarm alarm) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fork_alarm_ = std::move(alarm);
+}
+
+Status CheckpointManager::WitnessCheckpoint(uint64_t height,
+                                            const crypto::Hash256& block_hash,
+                                            const crypto::Hash256& state_root) {
+  ForkAlarm alarm;
+  crypto::Hash256 seen_root{};
+  bool conflict = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Result<Bytes> existing = kv_->Get(WitnessKey(height));
+    if (existing.ok()) {
+      CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(*existing));
+      if (!item.is_list() || item.list().size() != 2) {
+        return Status::Corruption("checkpoint: malformed witness record");
+      }
+      crypto::Hash256 seen_hash;
+      CONFIDE_ASSIGN_OR_RETURN(seen_hash, HashFromItem(item.list()[0]));
+      CONFIDE_ASSIGN_OR_RETURN(seen_root, HashFromItem(item.list()[1]));
+      if (seen_hash == block_hash && seen_root == state_root) {
+        return Status::OK();  // same checkpoint re-witnessed
+      }
+      conflict = true;
+      alarm = fork_alarm_;
+      CheckpointMetrics::Get().forks_detected->Increment();
+    } else if (existing.status().IsNotFound()) {
+      std::vector<RlpItem> record;
+      record.push_back(HashItem(block_hash));
+      record.push_back(HashItem(state_root));
+      CONFIDE_RETURN_NOT_OK(
+          kv_->Put(WitnessKey(height), RlpEncode(RlpItem::List(std::move(record)))));
+      CheckpointMetrics::Get().witnessed->Increment();
+    } else {
+      return existing.status();
+    }
+  }
+  if (!conflict) return Status::OK();
+  // Two 2f+1-certified checkpoints over divergent state at one height:
+  // consortium equivocation. Alarm outside the manager lock.
+  if (alarm) alarm(height, seen_root, state_root);
+  return Status::PermissionDenied(
+      "checkpoint: fork detected — conflicting certified checkpoint at height " +
+      std::to_string(height));
+}
+
 Status CheckpointManager::MaybeCheckpoint(uint64_t height,
                                           const crypto::Hash256& block_hash,
                                           const crypto::Hash256& state_root) {
@@ -259,6 +318,10 @@ Status CheckpointManager::WriteCheckpoint(uint64_t height,
   if (fault::FaultInjector::Global().ShouldFail("fault.chain.checkpoint.write")) {
     return Status::Unavailable("checkpoint: injected write failure");
   }
+
+  // Fork evidence first: producing a checkpoint that conflicts with one
+  // already witnessed at this height means this replica itself diverged.
+  CONFIDE_RETURN_NOT_OK(WitnessCheckpoint(height, block_hash, state_root));
 
   // Chunked iteration of the full store (state, receipts, tx index, block
   // bodies) — everything except previous checkpoint blobs, so peers at
@@ -288,6 +351,10 @@ Status CheckpointManager::WriteCheckpoint(uint64_t height,
   for (it->SeekToFirst(); it->Valid(); it->Next()) {
     const std::string& key = it->key();
     if (key.rfind(kCheckpointPrefix, 0) == 0) continue;
+    // Freshness headers are node-local trust state (like the witness
+    // log): they bind to *this* platform's sealing key and must never
+    // transfer to a peer.
+    if (key.rfind(kFreshnessPrefix, 0) == 0) continue;
     uint8_t len[4];
     StoreBe32(len, uint32_t(key.size()));
     chunk.insert(chunk.end(), len, len + 4);
@@ -357,6 +424,11 @@ Status CheckpointManager::Adopt(const CheckpointManifest& manifest,
   if (chunks.size() != manifest.chunk_count()) {
     return Status::InvalidArgument("checkpoint: adopt chunk count mismatch");
   }
+  // Cross-check against the witnessed-roots log before any install: an
+  // equivocating peer serving a second certified checkpoint at a height
+  // we already saw must fail loudly, not overwrite.
+  CONFIDE_RETURN_NOT_OK(
+      WitnessCheckpoint(manifest.height, manifest.block_hash, manifest.state_root));
   const CheckpointMetrics& cm = CheckpointMetrics::Get();
   std::lock_guard<std::mutex> lock(mutex_);
   if (manifest.height <= latest_height_) return Status::OK();

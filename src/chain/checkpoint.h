@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -172,6 +173,25 @@ class CheckpointManager {
                                uint64_t height, size_t index);
 
   const CheckpointOptions& options() const { return options_; }
+  const ValidatorSet* validators() const { return validators_; }
+
+  /// \brief Fork-alarm callback: (height, witnessed state root, conflicting
+  /// state root). Fired when a *certified* checkpoint conflicts with one
+  /// this node previously witnessed at the same height — two 2f+1
+  /// certificates over divergent state, i.e. consortium equivocation.
+  using ForkAlarm = std::function<void(uint64_t, const crypto::Hash256&,
+                                       const crypto::Hash256&)>;
+  void SetForkAlarm(ForkAlarm alarm);
+
+  /// \brief Records `height -> {block_hash, state_root}` in the local
+  /// witnessed-roots log (`ckpt/w/`, excluded from snapshots — fork
+  /// evidence never transfers). A later certified checkpoint at the same
+  /// height with a different hash/root is a fail-loud fork: the
+  /// `chain.fork.detected.count` metric increments, the fork alarm fires,
+  /// and PermissionDenied("...fork...") is returned. Re-witnessing an
+  /// identical checkpoint is a no-op.
+  Status WitnessCheckpoint(uint64_t height, const crypto::Hash256& block_hash,
+                           const crypto::Hash256& state_root);
 
   /// \brief Parses a chunk payload back into KV entries.
   static Result<std::vector<std::pair<std::string, Bytes>>> ParseChunk(
@@ -181,6 +201,7 @@ class CheckpointManager {
   static std::string ManifestKey(uint64_t height);
   static std::string CertificateKey(uint64_t height);
   static std::string ChunkKey(uint64_t height, size_t index);
+  static std::string WitnessKey(uint64_t height);
 
   /// \brief Adds `height` to the retention set, queueing pruned
   /// checkpoint blobs for deletion in `batch`. Returns the new retained
@@ -195,6 +216,7 @@ class CheckpointManager {
   mutable std::mutex mutex_;
   uint64_t latest_height_ = 0;
   std::vector<uint64_t> retained_;  ///< oldest first
+  ForkAlarm fork_alarm_;
 };
 
 }  // namespace confide::chain

@@ -370,6 +370,20 @@ Result<std::vector<Receipt>> Node::RunPipelined() {
   const uint32_t depth = options_.pipeline_depth;
   const PipelineMetrics& pm = PipelineMetrics::Get();
 
+  // Transactions a previous failed run returned to the verified pool
+  // re-enter the stream ahead of everything newer — stage 1 only feeds
+  // from the unverified pool, so without this they would be stranded
+  // (re-verification is cheap and keeps a single stage-1 source).
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    for (auto it = verified_.rbegin(); it != verified_.rend(); ++it) {
+      unverified_.push_front(std::move(*it));
+    }
+    verified_.clear();
+    NodeMetrics::Get().verified_pool->Set(0);
+    NodeMetrics::Get().unverified_pool->Set(int64_t(unverified_.size()));
+  }
+
   BoundedQueue<Transaction> verified_queue(size_t(depth) * 64);
   BoundedQueue<std::unique_ptr<StagedBlock>> staged_queue(depth);
 

@@ -122,6 +122,12 @@ class Node {
   /// \brief Checkpoint producer/store; nullptr when no validator set was
   /// configured.
   CheckpointManager* checkpoints() { return checkpoints_.get(); }
+  /// \brief Installs the fork-evidence callback on this node's checkpoint
+  /// manager (no-op when checkpointing is disabled). See
+  /// CheckpointManager::SetForkAlarm.
+  void SetForkAlarm(CheckpointManager::ForkAlarm alarm) {
+    if (checkpoints_) checkpoints_->SetForkAlarm(std::move(alarm));
+  }
   uint64_t Height() const { return blocks_->NextHeight(); }
   /// \brief Hash of the latest durably committed block (zero at genesis).
   crypto::Hash256 TipHash() const { return last_block_hash_; }

@@ -16,6 +16,12 @@ constexpr const char* kFaultChunkCorrupt = "fault.chain.sync.chunk_corrupt";
 constexpr const char* kFaultForgedCert = "fault.chain.sync.forged_certificate";
 constexpr const char* kFaultStaleCert = "fault.chain.sync.stale_certificate";
 constexpr const char* kFaultClientCrash = "fault.chain.sync.crash";
+/// A colluding-quorum fork: the provider serves a checkpoint whose state
+/// root was tampered *and re-certified with real validator keys*, so the
+/// certificate verifies — only the client's witnessed-roots log can catch
+/// the conflict with the checkpoint it saw before.
+constexpr const char* kFaultEquivocatingCert =
+    "fault.chain.sync.equivocating_certificate";
 
 struct SyncMetrics {
   metrics::Counter* runs = metrics::GetCounter("chain.sync.runs.count");
@@ -34,6 +40,8 @@ struct SyncMetrics {
       metrics::GetCounter("chain.sync.provider_failover.count");
   metrics::Counter* certs_rejected =
       metrics::GetCounter("chain.sync.certificate.rejected");
+  metrics::Counter* fork_offers_rejected =
+      metrics::GetCounter("chain.fork.rejected_offer.count");
   metrics::Histogram* latency = metrics::GetHistogram("chain.sync.latency_ns");
 
   static const SyncMetrics& Get() {
@@ -103,6 +111,17 @@ SyncProvider::LatestCheckpoint(uint32_t requester, SimClock* clock) const {
       certificate.manifest_digest[0] ^= 0x01;
     }
   }
+  if (fault::FaultInjector::Global().ShouldFail(kFaultEquivocatingCert)) {
+    // Equivocation: serve a *different* state root at the same height,
+    // re-certified with the real validator keys (a colluding quorum).
+    // Certificate verification cannot reject this; only the client's
+    // witnessed-roots log exposes the conflict.
+    manifest.state_root[0] ^= 0x01;
+    if (const ValidatorSet* vs = manager->validators(); vs != nullptr) {
+      auto recertified = vs->Certify(manifest);
+      if (recertified.ok()) certificate = std::move(*recertified);
+    }
+  }
   ChargeTransfer(requester, clock,
                  manifest.Serialize().size() + certificate.Serialize().size());
   return std::make_pair(std::move(manifest), std::move(certificate));
@@ -165,6 +184,17 @@ void StateSyncClient::AddProvider(SyncProvider* provider) {
   providers_.push_back(provider);
 }
 
+common::RetryOptions StateSyncClient::RotationRetryOptions() const {
+  // Rotation happens *after* a failed attempt, so visiting every
+  // registered provider takes providers_.size() attempts — with N dead
+  // providers ahead of the one live one, max_attempts == N stops exactly
+  // one rotation short of it. Guarantee at least one attempt per provider.
+  common::RetryOptions effective = options_.retry;
+  effective.max_attempts = std::max<uint32_t>(
+      effective.max_attempts, static_cast<uint32_t>(providers_.size()));
+  return effective;
+}
+
 void StateSyncClient::RotateProvider(SyncStats* stats) {
   if (providers_.size() < 2) return;
   current_provider_ = (current_provider_ + 1) % providers_.size();
@@ -176,7 +206,8 @@ void StateSyncClient::AcknowledgeRecoveredFaults() {
   fault::FaultInjector& injector = fault::FaultInjector::Global();
   for (const char* site :
        {kFaultProviderDead, kFaultChunkDrop, kFaultChunkCorrupt,
-        kFaultForgedCert, kFaultStaleCert, kFaultClientCrash}) {
+        kFaultForgedCert, kFaultStaleCert, kFaultClientCrash,
+        kFaultEquivocatingCert}) {
     uint64_t fired = injector.FiredCount(site);
     uint64_t& acked = acked_fires_[site];
     if (fired > acked) {
@@ -253,6 +284,24 @@ Result<StateSyncClient::CheckpointChoice> StateSyncClient::DiscoverCheckpoint(
       sm.certs_rejected->Increment();
       continue;
     }
+    // Cross-check the certified offer against every checkpoint this node
+    // has witnessed: a *valid* certificate over a different root at the
+    // same height is consortium equivocation (fork) — reject the provider
+    // and record the evidence, never install its snapshot.
+    if (node_->checkpoints() != nullptr) {
+      Status witnessed = node_->checkpoints()->WitnessCheckpoint(
+          manifest.height, manifest.block_hash, manifest.state_root);
+      if (!witnessed.ok()) {
+        if (witnessed.code() != StatusCode::kPermissionDenied) {
+          return witnessed;
+        }
+        ++stats->forks_detected;
+        ++stats->certificates_rejected;
+        sm.fork_offers_rejected->Increment();
+        sm.certs_rejected->Increment();
+        continue;
+      }
+    }
     if (!best.found || manifest.height > best.manifest.height) {
       best.manifest = std::move(manifest);
       best.certificate = certificate;
@@ -267,7 +316,7 @@ Result<Bytes> StateSyncClient::FetchVerifiedChunk(
     const CheckpointManifest& manifest, const crypto::MerkleTree& chunk_tree,
     size_t index, SyncStats* stats) {
   const SyncMetrics& sm = SyncMetrics::Get();
-  common::RetryPolicy retry(options_.retry, options_.clock);
+  common::RetryPolicy retry(RotationRetryOptions(), options_.clock);
   Bytes verified;
   Status status = retry.Run("sync chunk fetch", [&]() -> Status {
     SyncProvider* provider = providers_[current_provider_];
@@ -393,7 +442,7 @@ Status StateSyncClient::ReplayBlocks(SyncStats* stats) {
 
   while (node_->Height() < tip) {
     const uint64_t height = node_->Height();
-    common::RetryPolicy retry(options_.retry, options_.clock);
+    common::RetryPolicy retry(RotationRetryOptions(), options_.clock);
     Bytes wire;
     Status fetched = retry.Run("sync block fetch", [&]() -> Status {
       auto block = providers_[current_provider_]->FetchBlock(

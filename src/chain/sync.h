@@ -68,6 +68,9 @@ struct SyncStats {
   size_t blocks_replayed = 0;
   size_t provider_failovers = 0;
   size_t certificates_rejected = 0;  ///< forged or stale
+  /// Certified checkpoints conflicting with a locally witnessed one at
+  /// the same height (equivocating provider — fork evidence).
+  size_t forks_detected = 0;
   uint64_t bytes_transferred = 0;
 };
 
@@ -105,6 +108,10 @@ class SyncProvider {
 
   /// \brief True once the provider died (injected); all requests fail.
   bool dead() const { return dead_.load(std::memory_order_relaxed); }
+
+  /// \brief Kills this provider deterministically (tests): every later
+  /// request fails exactly as after an injected `provider_dead`.
+  void Kill() { dead_.store(true, std::memory_order_relaxed); }
 
  private:
   /// \brief Dead-flag + injected-death + partition check shared by every
@@ -170,6 +177,11 @@ class StateSyncClient {
 
   /// \brief Advances to the next provider after a fetch failure.
   void RotateProvider(SyncStats* stats);
+
+  /// \brief Retry options widened so every registered provider gets at
+  /// least one attempt (rotation happens after a failure, so reaching all
+  /// providers needs >= providers_.size() attempts).
+  common::RetryOptions RotationRetryOptions() const;
 
   /// \brief On a successful sync, reports `fault.chain.sync.*.recovered`
   /// for every site that fired since the last acknowledgment (surviving an

@@ -17,6 +17,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kStaleState: return "StaleState";
   }
   return "Unknown";
 }

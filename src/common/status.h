@@ -28,6 +28,7 @@ enum class StatusCode : uint8_t {
   kUnavailable,      ///< transient (network, consensus not reached)
   kInternal,
   kNotImplemented,
+  kStaleState,       ///< sealed state older than trusted freshness counters
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -56,6 +57,7 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status NotImplemented(std::string m) { return {StatusCode::kNotImplemented, std::move(m)}; }
+  static Status StaleState(std::string m) { return {StatusCode::kStaleState, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -63,6 +65,7 @@ class [[nodiscard]] Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCryptoError() const { return code_ == StatusCode::kCryptoError; }
   bool IsVmTrap() const { return code_ == StatusCode::kVmTrap; }
+  bool IsStaleState() const { return code_ == StatusCode::kStaleState; }
 
   /// \brief "OK" or "<Code>: <message>".
   std::string ToString() const;

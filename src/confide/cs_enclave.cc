@@ -6,7 +6,9 @@
 
 #include "common/endian.h"
 #include "common/metrics.h"
+#include "confide/freshness.h"
 #include "crypto/drbg.h"
+#include "crypto/hmac.h"
 #include "crypto/keccak.h"
 #include "serialize/rlp.h"
 
@@ -59,6 +61,12 @@ struct CsMetrics {
       metrics::GetGauge("confide.preverify_cache.resident");
   metrics::Gauge* profile_resident =
       metrics::GetGauge("confide.sdm.readset_profile.resident");
+  metrics::Counter* freshness_seals =
+      metrics::GetCounter("confide.freshness.seal.count");
+  metrics::Counter* freshness_verifies =
+      metrics::GetCounter("confide.freshness.verify.count");
+  metrics::Counter* freshness_stales =
+      metrics::GetCounter("confide.freshness.stale.count");
 
   static const CsMetrics& Get() {
     static const CsMetrics instruments;
@@ -513,9 +521,113 @@ Result<Bytes> CsEnclave::HandleEcall(uint64_t fn, ByteView input,
     case kCsInstallKeys: return InstallKeys(input);
     case kCsPreVerifyBatch: return PreVerifyBatch(input, ctx);
     case kCsExecute: return Execute(input, ctx);
+    case kCsSealFreshness: return SealFreshness(input, ctx);
+    case kCsVerifyFreshness: return VerifyFreshness(input, ctx);
     default:
       return Status::InvalidArgument("cs: unknown ecall");
   }
+}
+
+Result<Bytes> CsEnclave::SealFreshness(ByteView request,
+                                       tee::EnclaveContext* ctx) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
+  if (!item.is_list() || item.list().size() != 2) {
+    return Status::InvalidArgument("cs: malformed seal-freshness request");
+  }
+  FreshnessHeader header;
+  CONFIDE_ASSIGN_OR_RETURN(header.height, item.list()[0].AsU64());
+  const auto& root_bytes = item.list()[1];
+  if (!root_bytes.is_bytes() ||
+      root_bytes.bytes().size() != header.state_root.size()) {
+    return Status::InvalidArgument("cs: malformed seal-freshness root");
+  }
+  std::copy(root_bytes.bytes().begin(), root_bytes.bytes().end(),
+            header.state_root.begin());
+  // Increment-then-seal: the trusted counter moves first, so a crash
+  // between the bump and the header write leaves the counter one ahead of
+  // the newest sealed generation — never behind it.
+  CONFIDE_ASSIGN_OR_RETURN(header.counter,
+                           ctx->CounterIncrement(kStateGenCounterFamily));
+  crypto::Hash256 k_fresh = ctx->SealKey(kFreshnessKeyLabel);
+  header.mac = crypto::HmacSha256(
+      crypto::HashView(k_fresh),
+      FreshnessMacBody(header.counter, header.height, header.state_root));
+  CsMetrics::Get().freshness_seals->Increment();
+  return header.Serialize();
+}
+
+Result<Bytes> CsEnclave::VerifyFreshness(ByteView request,
+                                         tee::EnclaveContext* ctx) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
+  if (!item.is_list() || item.list().size() != 3) {
+    return Status::InvalidArgument("cs: malformed verify-freshness request");
+  }
+  const auto& f = item.list();
+  if (!f[0].is_bytes()) {
+    return Status::InvalidArgument("cs: malformed verify-freshness header");
+  }
+  CONFIDE_ASSIGN_OR_RETURN(FreshnessHeader header,
+                           FreshnessHeader::Deserialize(ByteView(f[0].bytes())));
+  uint64_t tip_height = 0;
+  CONFIDE_ASSIGN_OR_RETURN(tip_height, f[1].AsU64());
+  crypto::Hash256 tip_root{};
+  if (!f[2].is_bytes() || f[2].bytes().size() != tip_root.size()) {
+    return Status::InvalidArgument("cs: malformed verify-freshness root");
+  }
+  std::copy(f[2].bytes().begin(), f[2].bytes().end(), tip_root.begin());
+
+  CsMetrics::Get().freshness_verifies->Increment();
+  crypto::Hash256 k_fresh = ctx->SealKey(kFreshnessKeyLabel);
+  crypto::Hash256 expected = crypto::HmacSha256(
+      crypto::HashView(k_fresh),
+      FreshnessMacBody(header.counter, header.height, header.state_root));
+  if (!ConstantTimeEqual(crypto::HashView(expected), crypto::HashView(header.mac))) {
+    return Status::PermissionDenied("cs: freshness header MAC invalid");
+  }
+
+  // StaleState from the read means the platform detected a rolled-back
+  // durable counter store — propagate, that IS the attack signal.
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t counter,
+                           ctx->CounterRead(kStateGenCounterFamily));
+  auto stale = [](std::string why) {
+    CsMetrics::Get().freshness_stales->Increment();
+    return Status::StaleState("cs: " + std::move(why));
+  };
+  if (header.counter > counter) {
+    // A validly MAC'd header from a future the trusted counter never saw:
+    // the counter store was lost or reset underneath us.
+    return stale("freshness counter behind sealed header (counter loss)");
+  }
+  FreshnessAction action = FreshnessAction::kFresh;
+  if (counter - header.counter > 1) {
+    return stale("sealed state generations behind trusted counter");
+  } else if (counter == header.counter + 1) {
+    // Interrupted seal: the counter moved but the new header never landed.
+    // Genuine interruptions always left the store *past* the old header's
+    // height (sealing follows the height advance); equality would accept a
+    // one-generation rollback, so the comparison is strict.
+    if (tip_height <= header.height) {
+      return stale("interrupted seal with non-advanced store tip");
+    }
+    action = FreshnessAction::kResealNeeded;
+  } else {  // counter == header.counter
+    if (tip_height < header.height) {
+      return stale("store tip behind sealed freshness header (rollback)");
+    }
+    if (tip_height == header.height) {
+      if (!ConstantTimeEqual(crypto::HashView(tip_root),
+                             crypto::HashView(header.state_root))) {
+        return stale("state root diverges from sealed freshness header");
+      }
+    } else {
+      // Store is newer than the last seal (the window between seals);
+      // accept and have the host re-seal to cover the newer tip.
+      action = FreshnessAction::kResealNeeded;
+    }
+  }
+  std::vector<RlpItem> out;
+  out.push_back(RlpItem::U64(uint64_t(action)));
+  return RlpEncode(RlpItem::List(std::move(out)));
 }
 
 Result<Bytes> CsEnclave::GetProvisionReport(tee::EnclaveContext* ctx) {

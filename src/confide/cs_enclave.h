@@ -38,6 +38,13 @@ enum CsEcall : uint64_t {
   kCsInstallKeys = 21,         ///< provision blob -> ()
   kCsPreVerifyBatch = 22,      ///< RLP [envelope...] -> RLP [{hash, valid, ck}...]
   kCsExecute = 23,             ///< RLP{token, envelope} -> execute response
+  /// State continuity: RLP{height, state_root} -> freshness header wire.
+  /// Bumps the trusted `state-gen` counter, then MACs the new generation.
+  kCsSealFreshness = 24,
+  /// State continuity: RLP{header wire, tip_height, tip_root} ->
+  /// RLP{action} (FreshnessAction), or StaleState / PermissionDenied when
+  /// the sealed state fails the freshness rules.
+  kCsVerifyFreshness = 25,
 };
 
 /// \brief Ocall ids served by the untrusted host (ConfidentialEngine).
@@ -130,6 +137,8 @@ class CsEnclave : public tee::Enclave {
   Result<Bytes> InstallKeys(ByteView blob);
   Result<Bytes> PreVerifyBatch(ByteView request, tee::EnclaveContext* ctx);
   Result<Bytes> Execute(ByteView request, tee::EnclaveContext* ctx);
+  Result<Bytes> SealFreshness(ByteView request, tee::EnclaveContext* ctx);
+  Result<Bytes> VerifyFreshness(ByteView request, tee::EnclaveContext* ctx);
 
   // Opens an envelope, via cache (symmetric path) or sk_tx (full path).
   Result<OpenedEnvelope> OpenWithCache(ByteView envelope,

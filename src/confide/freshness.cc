@@ -1,0 +1,47 @@
+#include "confide/freshness.h"
+
+#include "serialize/rlp.h"
+
+namespace confide::core {
+
+using serialize::RlpDecode;
+using serialize::RlpEncode;
+using serialize::RlpItem;
+
+Bytes FreshnessMacBody(uint64_t counter, uint64_t height,
+                       const crypto::Hash256& state_root) {
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem::U64(counter));
+  items.push_back(RlpItem::U64(height));
+  items.push_back(RlpItem(crypto::HashToBytes(state_root)));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Bytes FreshnessHeader::Serialize() const {
+  std::vector<RlpItem> items;
+  items.push_back(RlpItem::U64(counter));
+  items.push_back(RlpItem::U64(height));
+  items.push_back(RlpItem(crypto::HashToBytes(state_root)));
+  items.push_back(RlpItem(crypto::HashToBytes(mac)));
+  return RlpEncode(RlpItem::List(std::move(items)));
+}
+
+Result<FreshnessHeader> FreshnessHeader::Deserialize(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
+  if (!item.is_list() || item.list().size() != 4) {
+    return Status::Corruption("freshness: malformed header");
+  }
+  const auto& f = item.list();
+  FreshnessHeader header;
+  CONFIDE_ASSIGN_OR_RETURN(header.counter, f[0].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(header.height, f[1].AsU64());
+  if (!f[2].is_bytes() || f[2].bytes().size() != header.state_root.size() ||
+      !f[3].is_bytes() || f[3].bytes().size() != header.mac.size()) {
+    return Status::Corruption("freshness: malformed header digests");
+  }
+  std::copy(f[2].bytes().begin(), f[2].bytes().end(), header.state_root.begin());
+  std::copy(f[3].bytes().begin(), f[3].bytes().end(), header.mac.begin());
+  return header;
+}
+
+}  // namespace confide::core

@@ -1,0 +1,56 @@
+/// \file freshness.h
+/// \brief Authenticated state-freshness header binding sealed state to a
+/// trusted monotonic counter and a chain height (state continuity,
+/// Memoir/Ariadne lineage).
+///
+/// Every sealed-state generation the CS enclave signs off on carries a
+/// header {counter, height, state_root} MAC'd under a sealing key only
+/// same-code enclaves on the same platform can derive. On recovery and
+/// after peer sync the enclave re-derives the key, checks the MAC, and
+/// compares the header against its trusted counter and the store tip —
+/// so a host that restores an old-but-validly-sealed snapshot produces a
+/// *detected* StaleState failure instead of silently forked execution.
+
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+
+namespace confide::core {
+
+/// \brief Label of the enclave sealing key the freshness MAC derives from.
+inline constexpr std::string_view kFreshnessKeyLabel = "freshness";
+
+/// \brief Trusted monotonic counter family backing state generations.
+inline constexpr std::string_view kStateGenCounterFamily = "state-gen";
+
+/// \brief Host-side KV key the current freshness header is stored under.
+inline constexpr std::string_view kFreshnessKvKey = "fresh/state";
+
+/// \brief The freshness header: one sealed-state generation's binding.
+struct FreshnessHeader {
+  uint64_t counter = 0;           ///< state-gen counter value at seal time
+  uint64_t height = 0;            ///< chain height the seal covers
+  crypto::Hash256 state_root{};   ///< state root at `height`
+  crypto::Hash256 mac{};          ///< HMAC(SealKey("freshness"), body)
+
+  /// \brief RLP{counter, height, state_root, mac}.
+  Bytes Serialize() const;
+  static Result<FreshnessHeader> Deserialize(ByteView wire);
+};
+
+/// \brief The MAC'd body: RLP{counter, height, state_root}.
+Bytes FreshnessMacBody(uint64_t counter, uint64_t height,
+                       const crypto::Hash256& state_root);
+
+/// \brief Outcome of an in-enclave freshness verification that accepted
+/// the state (rejections surface as non-OK Status, chiefly StaleState).
+enum class FreshnessAction : uint64_t {
+  kFresh = 0,         ///< header matches the store tip exactly
+  kResealNeeded = 1,  ///< state is newer than the seal; re-seal to cover it
+};
+
+}  // namespace confide::core

@@ -3,9 +3,15 @@
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/retry.h"
+#include "confide/freshness.h"
 #include "serialize/rlp.h"
+#include "storage/lsm_store.h"
 
 namespace confide::core {
+
+using serialize::RlpDecode;
+using serialize::RlpEncode;
+using serialize::RlpItem;
 
 Result<std::unique_ptr<ConfideSystem>> ConfideSystem::BootstrapCommon(
     SystemOptions options,
@@ -54,6 +60,13 @@ Status ConfideSystem::ProvisionCs() {
 }
 
 Status ConfideSystem::FinishBootstrap() {
+  if (options_.enable_state_continuity) {
+    if (!options_.counter_store) {
+      CONFIDE_ASSIGN_OR_RETURN(options_.counter_store,
+                               storage::LsmKvStore::Open(storage::LsmOptions{}));
+    }
+    platform_->AttachCounterStore(options_.counter_store);
+  }
   CONFIDE_ASSIGN_OR_RETURN(
       confidential_,
       ConfidentialEngine::Create(platform_.get(), options_.cs, options_.seed));
@@ -80,6 +93,59 @@ Status ConfideSystem::FinishBootstrap() {
   engines.public_engine = public_.get();
   engines.confidential_engine = confidential_.get();
   CONFIDE_ASSIGN_OR_RETURN(node_, chain::Node::Create(node_options, engines));
+  // A restarted node proves its recovered store is the newest sealed
+  // generation before executing anything on it.
+  return VerifyStateContinuity();
+}
+
+Status ConfideSystem::SealStateGeneration() {
+  if (!options_.enable_state_continuity) return Status::OK();
+  std::vector<RlpItem> req;
+  req.push_back(RlpItem::U64(node_->Height()));
+  req.push_back(RlpItem(crypto::HashToBytes(node_->state()->StateRoot())));
+  CONFIDE_ASSIGN_OR_RETURN(
+      Bytes header,
+      platform_->Ecall(confidential_->enclave_id(), kCsSealFreshness,
+                       RlpEncode(RlpItem::List(std::move(req)))));
+  storage::KvStore* kv = node_->state()->backing();
+  CONFIDE_RETURN_NOT_OK(kv->Put(std::string(kFreshnessKvKey), std::move(header)));
+  return kv->Sync();
+}
+
+Status ConfideSystem::VerifyStateContinuity() {
+  if (!options_.enable_state_continuity) return Status::OK();
+  Result<Bytes> header = node_->state()->backing()->Get(std::string(kFreshnessKvKey));
+  if (!header.ok()) {
+    if (header.status().IsNotFound()) {
+      // Nothing was ever sealed — a first boot, vacuously fresh. Seal the
+      // current tip so the next restart is covered.
+      return SealStateGeneration();
+    }
+    return header.status();
+  }
+  std::vector<RlpItem> req;
+  req.push_back(RlpItem(*std::move(header)));
+  req.push_back(RlpItem::U64(node_->Height()));
+  req.push_back(RlpItem(crypto::HashToBytes(node_->state()->StateRoot())));
+  Result<Bytes> resp =
+      platform_->Ecall(confidential_->enclave_id(), kCsVerifyFreshness,
+                       RlpEncode(RlpItem::List(std::move(req))));
+  if (!resp.ok()) {
+    if (resp.status().IsStaleState()) {
+      metrics::GetCounter("confide.freshness.refused.count")->Increment();
+    }
+    return resp.status();
+  }
+  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(*resp));
+  if (!item.is_list() || item.list().size() != 1) {
+    return Status::Corruption("freshness: malformed verify response");
+  }
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t action, item.list()[0].AsU64());
+  if (FreshnessAction(action) == FreshnessAction::kResealNeeded) {
+    // State advanced past (or an interrupted seal trails) the sealed
+    // header; cover the current tip under a fresh generation.
+    return SealStateGeneration();
+  }
   return Status::OK();
 }
 
@@ -178,6 +244,14 @@ Status ConfideSystem::TryRecoverOnce() {
   return provisioned;
 }
 
+Status ConfideSystem::TryRecoverOnceWithFreshness() {
+  CONFIDE_RETURN_NOT_OK(TryRecoverOnce());
+  // Keys are back — now prove the sealed state the host is offering is
+  // the newest generation before executing on it. A rolled-back store
+  // fails here with StaleState: keys recovered, state refused.
+  return VerifyStateContinuity();
+}
+
 Status ConfideSystem::RecoverConfidentialEngine() {
   if (confidential_ == nullptr) {
     return Status::Internal("recover: system not bootstrapped");
@@ -188,8 +262,12 @@ Status ConfideSystem::RecoverConfidentialEngine() {
   retry_options.multiplier = 2.0;
   retry_options.seed = options_.seed;
   common::RetryPolicy retry(retry_options, &clock_);  // modelled backoff
-  Status last =
-      retry.Run("confidential engine recovery", [this] { return TryRecoverOnce(); });
+  // StaleState is not transient: retrying re-offers the same rolled-back
+  // state. Fail fast so the caller can escalate to peer sync.
+  Status last = retry.Run(
+      "confidential engine recovery",
+      [this] { return TryRecoverOnceWithFreshness(); },
+      [](const Status& s) { return !s.IsStaleState(); });
   if (last.ok()) {
     fault::NoteRecovered("fault.tee.enclave_crash");
     if (retry.LastAttempts() > 1) fault::NoteRecovered("fault.confide.provision");
@@ -213,7 +291,12 @@ Result<chain::SyncStats> ConfideSystem::SyncFromPeers(
   if (!options.reprovision) {
     options.reprovision = [this]() -> Status {
       if (ConfidentialEngineAlive()) return Status::OK();
-      return RecoverConfidentialEngine();
+      Status recovered = RecoverConfidentialEngine();
+      // StaleState means the keys are back but the local state failed
+      // freshness — exactly what this sync is about to remedy, so it
+      // must not abort the rejoin.
+      if (recovered.IsStaleState()) return Status::OK();
+      return recovered;
     };
   }
   chain::StateSyncClient client(node_.get(), options_.validators,
@@ -221,14 +304,23 @@ Result<chain::SyncStats> ConfideSystem::SyncFromPeers(
   for (chain::SyncProvider* provider : providers) {
     client.AddProvider(provider);
   }
-  return client.SyncToTip();
+  CONFIDE_ASSIGN_OR_RETURN(chain::SyncStats stats, client.SyncToTip());
+  // The synced tip must itself pass freshness: a provider replaying a
+  // stale checkpoint lands the store *below* the sealed generation and is
+  // refused here with StaleState; a legitimate catch-up lands above it
+  // and is re-sealed.
+  CONFIDE_RETURN_NOT_OK(VerifyStateContinuity());
+  return stats;
 }
 
 Result<std::vector<chain::Receipt>> ConfideSystem::RunToCompletion() {
   if (options_.pipeline_depth > 0) {
     // Pipelined lifecycle: pre-verify, execute and commit overlap across
     // consecutive blocks on the node's shared thread pool.
-    return node_->RunPipelined();
+    CONFIDE_ASSIGN_OR_RETURN(std::vector<chain::Receipt> receipts,
+                             node_->RunPipelined());
+    if (!receipts.empty()) CONFIDE_RETURN_NOT_OK(SealStateGeneration());
+    return receipts;
   }
   std::vector<chain::Receipt> all;
   for (;;) {
@@ -240,6 +332,9 @@ Result<std::vector<chain::Receipt>> ConfideSystem::RunToCompletion() {
                              node_->ApplyBlock(block));
     for (chain::Receipt& receipt : receipts) all.push_back(std::move(receipt));
   }
+  // Cover the advanced tip under a new sealed freshness generation
+  // (no-op when state continuity is off).
+  if (!all.empty()) CONFIDE_RETURN_NOT_OK(SealStateGeneration());
   return all;
 }
 

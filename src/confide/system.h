@@ -55,6 +55,17 @@ struct SystemOptions {
   /// `checkpoint.interval > 0` or the node serves/consumes state sync;
   /// must outlive the system.
   const chain::ValidatorSet* validators = nullptr;
+  /// State continuity: bind sealed state to a trusted monotonic counter +
+  /// chain height (freshness header), verify it on recovery/sync, and
+  /// refuse rolled-back state with StaleState. Off by default — the
+  /// freshness ecalls perturb exact transition-count assertions.
+  bool enable_state_continuity = false;
+  /// Durable backing for the platform's trusted monotonic counters
+  /// (models counter NVRAM; kept separate from the node store a rollback
+  /// attack would snapshot). Tests share one across simulated restarts;
+  /// when continuity is enabled and none is given, a fresh volatile store
+  /// is created (counters then persist only via the NVRAM shadow).
+  std::shared_ptr<storage::KvStore> counter_store;
 };
 
 /// \brief One fully bootstrapped CONFIDE node.
@@ -120,11 +131,29 @@ class ConfideSystem {
       const std::vector<chain::SyncProvider*>& providers,
       chain::SyncOptions options = chain::SyncOptions{});
 
+  /// \brief Seals the current store tip (height + state root) into a new
+  /// freshness generation: bumps the enclave's trusted `state-gen`
+  /// counter, MACs the header in-enclave and persists it host-side. No-op
+  /// unless `enable_state_continuity`.
+  Status SealStateGeneration();
+
+  /// \brief Verifies the persisted freshness header against the store tip
+  /// inside the enclave. Accepted-but-newer state is re-sealed; an absent
+  /// header (first boot) is vacuously fresh and seals the tip. Returns
+  /// StaleState when the store or the counters were rolled back — the
+  /// caller must refuse the state (peer sync is the remedy). No-op unless
+  /// `enable_state_continuity`.
+  Status VerifyStateContinuity();
+
  private:
   ConfideSystem() = default;
 
   /// \brief One recovery attempt: recreate enclave + re-provision keys.
   Status TryRecoverOnce();
+
+  /// \brief TryRecoverOnce + in-enclave freshness verification of the
+  /// recovered state (state continuity).
+  Status TryRecoverOnceWithFreshness();
 
   static Result<std::unique_ptr<ConfideSystem>> BootstrapCommon(
       SystemOptions options,

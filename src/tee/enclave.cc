@@ -28,12 +28,41 @@ struct TeeMetrics {
       metrics::GetCounter("tee.ocall.batched_entries.count");
   metrics::Counter* transitions_saved =
       metrics::GetCounter("tee.transition.saved.count");
+  metrics::Counter* counter_increments =
+      metrics::GetCounter("tee.counter.increment.count");
+  metrics::Counter* counter_reads = metrics::GetCounter("tee.counter.read.count");
+  metrics::Counter* counter_persist_failures =
+      metrics::GetCounter("tee.counter.persist_failure.count");
+  metrics::Counter* counter_rollbacks_detected =
+      metrics::GetCounter("tee.counter.rollback_detected.count");
 
   static const TeeMetrics& Get() {
     static const TeeMetrics instruments;
     return instruments;
   }
 };
+
+/// Simulated NVRAM behind the trusted monotonic counters: a process-
+/// lifetime high-water mark per (platform seed, counter key). Platform
+/// objects come and go across simulated restarts, but real hardware
+/// NVRAM does not — so a durable counter store presented below this mark
+/// is evidence of a host-side rollback, not a legitimate state.
+struct CounterNvram {
+  std::mutex mu;
+  std::map<std::string, uint64_t> high_water;
+
+  static CounterNvram& Get() {
+    static CounterNvram nvram;
+    return nvram;
+  }
+};
+
+std::string NvramKey(uint64_t platform_id, const std::string& counter_key) {
+  return std::to_string(platform_id) + "/" + counter_key;
+}
+
+constexpr const char* kFaultCounterPersist = "fault.tee.counter.persist";
+constexpr const char* kFaultCounterRollback = "fault.tee.counter.rollback";
 
 }  // namespace
 
@@ -129,6 +158,14 @@ void EnclaveContext::MonitorEmitViaOcall(uint32_t severity, std::string_view mes
   std::memcpy(payload.data(), &record, sizeof(MonitorRecord));
   (void)platform_->DispatchOcall(/*fn=*/0, payload, PointerSemantics::kCopyInOut);
   platform_->monitor_ring_.Push(record);
+}
+
+Result<uint64_t> EnclaveContext::CounterIncrement(std::string_view family) {
+  return platform_->CounterIncrement(enclave_id_, family);
+}
+
+Result<uint64_t> EnclaveContext::CounterRead(std::string_view family) {
+  return platform_->CounterRead(enclave_id_, family);
 }
 
 EpcManager* EnclaveContext::epc() { return &platform_->epc_; }
@@ -324,6 +361,133 @@ std::vector<MonitorRecord> EnclavePlatform::DrainMonitor() {
     records.push_back(*record);
   }
   return records;
+}
+
+// ---------------------------------------------------------------------------
+// Trusted monotonic counters
+// ---------------------------------------------------------------------------
+
+void EnclavePlatform::AttachCounterStore(std::shared_ptr<storage::KvStore> store) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counter_store_ = std::move(store);
+  // Drop loaded values so the next touch re-resolves against the new
+  // store — and re-runs the rollback check against the NVRAM mark.
+  counters_.clear();
+}
+
+Result<std::string> EnclavePlatform::CounterKeyLocked(
+    EnclaveId id, std::string_view family) const {
+  auto it = enclaves_.find(id);
+  if (it == enclaves_.end()) return Status::NotFound("unknown enclave");
+  return "tmc/" + HexEncode(crypto::HashView(it->second.measurement)) + "/" +
+         std::string(family);
+}
+
+Result<uint64_t> EnclavePlatform::LoadCounterLocked(const std::string& key) {
+  auto it = counters_.find(key);
+  if (it != counters_.end()) return it->second;
+
+  auto& nvram = CounterNvram::Get();
+  uint64_t mark = 0;
+  {
+    std::lock_guard<std::mutex> nv(nvram.mu);
+    auto hw = nvram.high_water.find(NvramKey(platform_id_, key));
+    if (hw != nvram.high_water.end()) mark = hw->second;
+  }
+
+  // Without a durable store the NVRAM mark itself is the persisted value.
+  uint64_t value = mark;
+  if (counter_store_) {
+    uint64_t durable = 0;
+    Result<Bytes> stored = counter_store_->Get(key);
+    if (stored.ok()) {
+      if (stored->size() != 8) {
+        return Status::Corruption("tee: malformed counter entry " + key);
+      }
+      durable = LoadBe64(stored->data());
+    } else if (!stored.status().IsNotFound()) {
+      return stored.status();
+    }
+    uint64_t rollback_by = 0;
+    bool injected =
+        fault::FaultInjector::Global().ShouldFail(kFaultCounterRollback,
+                                                  &rollback_by);
+    if (injected) {
+      // The host presents an old durable value — the counter half of a
+      // snapshot-restore attack. arg = how many increments to undo
+      // (0 → lose the counter entirely).
+      durable = (rollback_by == 0 || rollback_by >= durable)
+                    ? 0
+                    : durable - rollback_by;
+    }
+    if (durable < mark) {
+      TeeMetrics::Get().counter_rollbacks_detected->Increment();
+      if (injected) fault::NoteRecovered(kFaultCounterRollback);
+      return Status::StaleState("tee: monotonic counter " + key +
+                                " rolled back (durable " +
+                                std::to_string(durable) + " < trusted " +
+                                std::to_string(mark) + ")");
+    }
+    value = durable;
+  }
+
+  counters_[key] = value;
+  {
+    std::lock_guard<std::mutex> nv(nvram.mu);
+    uint64_t& hw = nvram.high_water[NvramKey(platform_id_, key)];
+    if (value > hw) hw = value;
+  }
+  return value;
+}
+
+Result<uint64_t> EnclavePlatform::CounterIncrement(EnclaveId id,
+                                                   std::string_view family) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CONFIDE_ASSIGN_OR_RETURN(std::string key, CounterKeyLocked(id, family));
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t current, LoadCounterLocked(key));
+  uint64_t next = current + 1;
+  // Increment-then-seal: the durable write must land before the new value
+  // is ever exposed, so a crash between the two leaves the counter *ahead*
+  // of the sealed state — never behind it.
+  if (counter_store_) {
+    if (fault::FaultInjector::Global().ShouldFail(kFaultCounterPersist)) {
+      TeeMetrics::Get().counter_persist_failures->Increment();
+      counter_persist_pending_ = true;
+      return Status::Unavailable("tee: counter persist failed for " + key);
+    }
+    uint8_t be[8];
+    StoreBe64(be, next);
+    Status put = counter_store_->Put(key, ToBytes(ByteView(be, 8)));
+    if (!put.ok()) {
+      TeeMetrics::Get().counter_persist_failures->Increment();
+      return put;
+    }
+    CONFIDE_RETURN_NOT_OK(counter_store_->Sync());
+    if (counter_persist_pending_) {
+      // A retried increment landing durably IS the recovery from the
+      // injected persist failure (the in-memory value never moved).
+      fault::NoteRecovered(kFaultCounterPersist);
+      counter_persist_pending_ = false;
+    }
+  }
+  counters_[key] = next;
+  {
+    auto& nvram = CounterNvram::Get();
+    std::lock_guard<std::mutex> nv(nvram.mu);
+    uint64_t& hw = nvram.high_water[NvramKey(platform_id_, key)];
+    if (next > hw) hw = next;
+  }
+  TeeMetrics::Get().counter_increments->Increment();
+  return next;
+}
+
+Result<uint64_t> EnclavePlatform::CounterRead(EnclaveId id,
+                                              std::string_view family) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CONFIDE_ASSIGN_OR_RETURN(std::string key, CounterKeyLocked(id, family));
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t value, LoadCounterLocked(key));
+  TeeMetrics::Get().counter_reads->Increment();
+  return value;
 }
 
 }  // namespace confide::tee

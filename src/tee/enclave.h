@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,6 +21,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "crypto/secp256k1.h"
+#include "storage/kv_store.h"
 #include "tee/attestation.h"
 #include "tee/cost_model.h"
 #include "tee/epc.h"
@@ -97,6 +99,13 @@ class EnclaveContext {
   /// \brief Derives a sealing key bound to this enclave's measurement.
   crypto::Hash256 SealKey(std::string_view label) const;
 
+  /// \brief Increments this enclave's trusted monotonic counter `family`
+  /// and returns the new value (see EnclavePlatform::CounterIncrement).
+  Result<uint64_t> CounterIncrement(std::string_view family);
+
+  /// \brief Reads this enclave's trusted monotonic counter `family`.
+  Result<uint64_t> CounterRead(std::string_view family);
+
   /// \brief Emits a monitor record through the exit-less ring (cheap).
   void MonitorEmit(uint32_t severity, std::string_view message);
 
@@ -155,6 +164,34 @@ class EnclavePlatform {
   /// \brief Registers the host-side handler for ocall `fn`.
   void RegisterOcall(uint64_t fn, OcallHandler handler);
 
+  // --- Trusted monotonic counter service (state continuity, Memoir/
+  // Ariadne lineage). Counters are keyed by enclave *measurement* and a
+  // free-form family name, so a re-provisioned enclave running the same
+  // code resumes its counters after KillEnclave/DestroyEnclave. Values
+  // only ever grow; a process-lifetime high-water shadow (the simulated
+  // NVRAM) survives platform re-construction under the same seed, so a
+  // host that rolls back the durable counter store is *detected* rather
+  // than silently obeyed.
+
+  /// \brief Attaches a durable KvStore backing for the counters (keys
+  /// `tmc/<measurement hex>/<family>`). Counters load lazily on first
+  /// touch; a durable value behind the NVRAM high-water mark fails loads
+  /// with StaleState (`tee.counter.rollback_detected.count`). Without a
+  /// store, counters persist only via the NVRAM shadow.
+  void AttachCounterStore(std::shared_ptr<storage::KvStore> store);
+
+  /// \brief Atomically increments counter `family` of enclave `id` and
+  /// returns the *new* value. The durable write lands before the value is
+  /// exposed (increment-then-seal): if persistence fails — fault site
+  /// `fault.tee.counter.persist` — the in-memory value is unchanged and
+  /// the call returns Unavailable. Fault site `fault.tee.counter.rollback`
+  /// presents a rolled-back durable value at load, which the high-water
+  /// check converts into StaleState.
+  Result<uint64_t> CounterIncrement(EnclaveId id, std::string_view family);
+
+  /// \brief Reads counter `family` of enclave `id` without incrementing.
+  Result<uint64_t> CounterRead(EnclaveId id, std::string_view family);
+
   /// \brief Verifies a local report produced on this platform.
   bool VerifyLocalReport(const LocalReport& report) const;
 
@@ -201,9 +238,23 @@ class EnclavePlatform {
   /// DestroyEnclave and KillEnclave).
   Status RemoveEnclaveLocked(EnclaveId id, bool crashed);
 
+  /// \brief `tmc/<measurement hex>/<family>` for enclave `id`; requires a
+  /// live enclave. Called under `mutex_`.
+  Result<std::string> CounterKeyLocked(EnclaveId id, std::string_view family) const;
+
+  /// \brief Resolves the current value of the counter at `key`, pulling it
+  /// from the durable store (verified against the NVRAM high-water mark)
+  /// or the shadow on first touch. Called under `mutex_`.
+  Result<uint64_t> LoadCounterLocked(const std::string& key);
+
   mutable std::mutex mutex_;
   std::unordered_map<EnclaveId, LoadedEnclave> enclaves_;
   std::unordered_set<EnclaveId> crashed_;
+  std::shared_ptr<storage::KvStore> counter_store_;
+  std::map<std::string, uint64_t> counters_;  ///< loaded counter values
+  /// An injected counter-persist failure fired and no increment has
+  /// landed durably since (the next durable increment is the recovery).
+  bool counter_persist_pending_ = false;
   std::unordered_map<uint64_t, OcallHandler> ocalls_;
   EnclaveId next_enclave_id_ = 1;
   std::atomic<uint64_t> monitor_sequence_{0};

@@ -4,6 +4,8 @@
 
 #include "chain/checkpoint.h"
 #include "chain/executor.h"
+#include "common/fault.h"
+#include "common/metrics.h"
 #include "chain/network.h"
 #include "chain/node.h"
 #include "chain/pbft.h"
@@ -916,6 +918,140 @@ TEST(SyncTest, CertificateFromUnknownValidatorsIsRejected) {
   EXPECT_GT(stats->certificates_rejected, 0u);
   EXPECT_FALSE(stats->snapshot_installed);  // refused the uncertified snapshot
   EXPECT_EQ(stats->blocks_replayed, 4u);    // replay is still integrity-checked
+  EXPECT_EQ((*joiner)->TipHash(), (*provider_node)->TipHash());
+}
+
+// ---------------------------------------------------------------------------
+// Fork evidence: witnessed-roots log + equivocating certificates
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, WitnessLogFlagsConflictingCertifiedCheckpoint) {
+  ValidatorSet validators = ValidatorSet::Generate(4, 33);
+  ScriptEngine engine;
+  EngineSet engines{&engine, &engine};
+  auto node = Node::Create(CheckpointedOptions(&validators), engines);
+  ASSERT_TRUE(node.ok());
+  crypto::Drbg rng(33);
+  RunBlocks(node->get(), &rng, 2);  // checkpoint written (and witnessed) at 2
+
+  CheckpointManager* manager = (*node)->checkpoints();
+  ASSERT_NE(manager, nullptr);
+  auto manifest = manager->ManifestAt(2);
+  ASSERT_TRUE(manifest.ok());
+
+  std::vector<uint64_t> alarm_heights;
+  (*node)->SetForkAlarm(
+      [&](uint64_t height, const crypto::Hash256& witnessed,
+          const crypto::Hash256& conflicting) {
+        alarm_heights.push_back(height);
+        EXPECT_NE(witnessed, conflicting);
+      });
+
+  // Re-witnessing the identical checkpoint is a no-op.
+  EXPECT_TRUE(manager
+                  ->WitnessCheckpoint(2, manifest->block_hash,
+                                      manifest->state_root)
+                  .ok());
+  EXPECT_TRUE(alarm_heights.empty());
+
+  // A certified checkpoint with a different root at the same height is
+  // fork evidence: fail loudly, fire the alarm, count the detection.
+  uint64_t detected_before =
+      metrics::GetCounter("chain.fork.detected.count")->Value();
+  crypto::Hash256 evil_root = manifest->state_root;
+  evil_root[0] ^= 0x01;
+  Status fork = manager->WitnessCheckpoint(2, manifest->block_hash, evil_root);
+  EXPECT_EQ(fork.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(fork.message().find("fork"), std::string::npos) << fork.ToString();
+  ASSERT_EQ(alarm_heights.size(), 1u);
+  EXPECT_EQ(alarm_heights[0], 2u);
+  EXPECT_GT(metrics::GetCounter("chain.fork.detected.count")->Value(),
+            detected_before);
+}
+
+TEST(SyncTest, EquivocatingCertificateRejectedByWitnessLog) {
+  // One provider serves the honest checkpoint, the "other" (a second
+  // handle on the same peer) serves the same height with a tampered state
+  // root re-certified by real validator keys. Certificate verification
+  // passes — only the witnessed-roots log can expose the conflict.
+  ValidatorSet validators = ValidatorSet::Generate(4, 45);
+  ScriptEngine engine_a, engine_b;
+  EngineSet engines_a{&engine_a, &engine_a};
+  EngineSet engines_b{&engine_b, &engine_b};
+  auto provider_node = Node::Create(CheckpointedOptions(&validators), engines_a);
+  ASSERT_TRUE(provider_node.ok());
+  crypto::Drbg rng(45);
+  RunBlocks(provider_node->get(), &rng, 5);
+
+  auto joiner = Node::Create(CheckpointedOptions(&validators), engines_b);
+  ASSERT_TRUE(joiner.ok());
+  std::vector<uint64_t> alarm_heights;
+  (*joiner)->SetForkAlarm([&](uint64_t height, const crypto::Hash256&,
+                              const crypto::Hash256&) {
+    alarm_heights.push_back(height);
+  });
+
+  SyncProvider honest("peer-a", provider_node->get());
+  SyncProvider equivocator("peer-b", provider_node->get());
+  StateSyncClient client(joiner->get(), &validators, SyncOptions{});
+  client.AddProvider(&honest);
+  client.AddProvider(&equivocator);
+
+  fault::FaultPlan plan(45);
+  // Fires on the second checkpoint query — the equivocating provider.
+  plan.Arm("fault.chain.sync.equivocating_certificate",
+           fault::Trigger{.after_hits = 1, .one_shot = true});
+
+  auto stats = client.SyncToTip();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->forks_detected, 1u);
+  EXPECT_GE(stats->certificates_rejected, 1u);
+  EXPECT_TRUE(stats->snapshot_installed);  // the honest offer still serves
+  ASSERT_EQ(alarm_heights.size(), 1u);
+  EXPECT_EQ(alarm_heights[0], 4u);
+  EXPECT_EQ((*joiner)->TipHash(), (*provider_node)->TipHash());
+  EXPECT_EQ((*joiner)->state()->StateRoot(),
+            (*provider_node)->state()->StateRoot());
+
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("chain.fork.detected.count"), 1u);
+  EXPECT_GE(
+      snap.counter("fault.chain.sync.equivocating_certificate.injected"), 1u);
+  EXPECT_GE(
+      snap.counter("fault.chain.sync.equivocating_certificate.recovered"), 1u);
+}
+
+TEST(SyncTest, RotationReachesLiveProviderBehindDeadOnes) {
+  // Regression: rotation happens after a failed attempt, so with N dead
+  // providers registered ahead of one live one, reaching the live one
+  // takes N+1 attempts. The old per-loop retry budget (max_attempts = 4)
+  // was exhausted exactly one rotation short.
+  ValidatorSet validators = ValidatorSet::Generate(4, 46);
+  ScriptEngine engine_a, engine_b;
+  EngineSet engines_a{&engine_a, &engine_a};
+  EngineSet engines_b{&engine_b, &engine_b};
+  auto provider_node = Node::Create(NodeOptions{}, engines_a);
+  ASSERT_TRUE(provider_node.ok());
+  crypto::Drbg rng(46);
+  RunBlocks(provider_node->get(), &rng, 3);
+
+  auto joiner = Node::Create(NodeOptions{}, engines_b);
+  ASSERT_TRUE(joiner.ok());
+  SyncOptions options;
+  ASSERT_EQ(options.retry.max_attempts, 4u);  // the failing configuration
+  StateSyncClient client(joiner->get(), &validators, std::move(options));
+  std::vector<std::unique_ptr<SyncProvider>> providers;
+  for (int i = 0; i < 5; ++i) {
+    providers.push_back(std::make_unique<SyncProvider>(
+        "peer-" + std::to_string(i), provider_node->get()));
+    client.AddProvider(providers.back().get());
+  }
+  for (int i = 0; i < 4; ++i) providers[i]->Kill();  // exactly N = 4 dead
+
+  auto stats = client.SyncToTip();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->blocks_replayed, 3u);
+  EXPECT_GE(stats->provider_failovers, 4u);  // rotated past every dead one
   EXPECT_EQ((*joiner)->TipHash(), (*provider_node)->TipHash());
 }
 

@@ -16,6 +16,8 @@
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "confide/client.h"
+#include "confide/cs_enclave.h"
+#include "confide/freshness.h"
 #include "confide/system.h"
 #include "crypto/drbg.h"
 #include "lang/compiler.h"
@@ -202,6 +204,30 @@ TEST(PbftFaultTest, EquivocatingLeaderIsVotedOut) {
   auto result = chain::SimulatePbftWithFaults(net, 0, 4096, model);
   EXPECT_TRUE(result.committed);
   EXPECT_GE(result.commit_view, 1u);  // its invalid proposal went nowhere
+}
+
+TEST(PbftFaultTest, EquivocationDuringViewChangeExcludedFromQuorum) {
+  // Fork attempt under a view change: the view-0 leader is dead, and the
+  // replica that inherits the lead in view 1 equivocates. The honest
+  // majority must vote through BOTH byzantine leaders and commit exactly
+  // one value — the equivocator never gets divergent commits accepted.
+  using chain::ReplicaBehavior;
+  auto net = chain::NetworkSim::SingleZone(7);  // f = 2: tolerates both
+  auto model =
+      Behaviors({ReplicaBehavior::kCrashed, ReplicaBehavior::kEquivocating});
+  auto result = chain::SimulatePbftWithFaults(net, 0, 4096, model);
+  ASSERT_TRUE(result.committed);
+  // Two failed views (dead leader, then equivocating leader) before an
+  // honest leader closes the round.
+  EXPECT_GE(result.view_changes, 2u);
+  EXPECT_GE(result.commit_view, 2u);
+  // The crashed replica never commits; every honest replica that did
+  // commit saw the same single quorum decision (one commit time each,
+  // from one view) — no replica committed in a conflicting earlier view.
+  EXPECT_EQ(result.commit_time_ns[0], 0u);
+  size_t committed_replicas = 0;
+  for (uint64_t t : result.commit_time_ns) committed_replicas += (t != 0);
+  EXPECT_GE(committed_replicas, 5u);  // 2f+1 quorum of honest replicas
 }
 
 TEST(PbftFaultTest, TooManyCrashesNeverCommit) {
@@ -1234,6 +1260,449 @@ TEST_F(SyncChaosTest, StaleCheckpointRejectedInFavorOfFresherProvider) {
   metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
   EXPECT_GE(snap.counter("fault.chain.sync.stale_certificate.injected"), 1u);
   EXPECT_GE(snap.counter("fault.chain.sync.stale_certificate.recovered"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// State continuity: rollback / forking attacks on sealed state
+// ---------------------------------------------------------------------------
+// Counter NVRAM high-water marks are process-lifetime and keyed by the
+// platform seed, so every continuity-enabled system here uses a unique
+// seed.
+
+class StateContinuityChaosTest : public SyncChaosTest {
+ protected:
+  SystemOptions ContinuityOptions(uint64_t seed) {
+    SystemOptions options = ProviderOptions(seed);
+    options.enable_state_continuity = true;
+    return options;
+  }
+
+  /// Joins via MAP with state continuity armed.
+  std::unique_ptr<ConfideSystem> JoinWithContinuity(uint64_t seed) {
+    auto sys = ConfideSystem::BootstrapJoin(ContinuityOptions(seed),
+                                            primary_.get());
+    EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+    return std::move(*sys);
+  }
+
+  /// Full host-visible disk image (what a snapshot-restore attack copies).
+  static std::vector<std::pair<std::string, Bytes>> DumpStore(
+      storage::KvStore* kv) {
+    std::vector<std::pair<std::string, Bytes>> entries;
+    for (auto it = kv->NewIterator(); it->Valid(); it->Next()) {
+      entries.emplace_back(it->key(), it->value());
+    }
+    return entries;
+  }
+
+  /// Restores the exact dumped image: keys written since are deleted.
+  static void RestoreStore(
+      storage::KvStore* kv,
+      const std::vector<std::pair<std::string, Bytes>>& image) {
+    WriteBatch batch;
+    for (auto it = kv->NewIterator(); it->Valid(); it->Next()) {
+      batch.Delete(it->key());
+    }
+    for (const auto& [key, value] : image) {
+      batch.Put(key, value);
+    }
+    ASSERT_TRUE(kv->Write(batch).ok());
+    ASSERT_TRUE(kv->Sync().ok());
+  }
+};
+
+TEST_F(StateContinuityChaosTest, SnapshotRestoreAttackRefusedThenPeerSyncRemedies) {
+  BuildPrimary(760, 4);  // deploy + 4 increments
+  chain::SyncProvider primary_provider("primary", primary_->node());
+
+  // The victim replica runs with freshness-sealed state.
+  auto victim = JoinWithContinuity(761);
+  ASSERT_TRUE(victim->SyncFromPeers({&primary_provider}).ok());
+  const uint64_t restore_height = victim->node()->Height();
+
+  // A provider pinned at the victim's current height (for the
+  // stale-checkpoint-replay leg below).
+  auto stale_peer = Join(762);
+  ASSERT_TRUE(stale_peer->SyncFromPeers({&primary_provider}).ok());
+  chain::SyncProvider stale_provider("stale", stale_peer->node());
+
+  // The malicious host snapshots the victim's entire disk — sealed state,
+  // chain data AND the freshness header (all authentic bytes).
+  auto image = DumpStore(victim->node()->state()->backing());
+
+  // Real time moves on: the chain grows and the victim seals newer
+  // generations.
+  MorePrimaryBlocks(3);
+  ASSERT_TRUE(victim->SyncFromPeers({&primary_provider}).ok());
+  ASSERT_GT(victim->node()->Height(), restore_height);
+
+  // Rollback attack: restore the old image wholesale.
+  RestoreStore(victim->node()->state()->backing(), image);
+  ASSERT_TRUE(victim->node()->ResyncFromStore().ok());
+  ASSERT_EQ(victim->node()->Height(), restore_height);
+
+  // Every byte authenticates, but the trusted counter is ahead of the
+  // restored generation: the state is refused, not silently accepted.
+  uint64_t refused_before = CounterValue("confide.freshness.refused.count");
+  Status stale = victim->VerifyStateContinuity();
+  ASSERT_TRUE(stale.IsStaleState()) << stale.ToString();
+  EXPECT_GT(CounterValue("confide.freshness.refused.count"), refused_before);
+
+  // Stale-checkpoint replay: syncing from a provider stuck at the restored
+  // height cannot launder the rollback — the tip still fails freshness.
+  auto replayed = victim->SyncFromPeers({&stale_provider});
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_TRUE(replayed.status().IsStaleState()) << replayed.status().ToString();
+
+  // The remedy is catching up past the sealed generation from an honest
+  // peer: the synced tip is re-sealed and the node is clean again.
+  auto remedied = victim->SyncFromPeers({&primary_provider});
+  ASSERT_TRUE(remedied.ok()) << remedied.status().ToString();
+  EXPECT_TRUE(victim->VerifyStateContinuity().ok());
+  ExpectConverged(victim.get());
+}
+
+TEST_F(StateContinuityChaosTest, RestoringOnlyChainDataBehindTheHeaderIsRefused) {
+  // Variant: the host rolls back the chain data but keeps the NEWEST
+  // freshness header in place (hoping the header alone satisfies the
+  // check). The header-vs-tip cross-check refuses the store rollback.
+  BuildPrimary(770, 4);
+  chain::SyncProvider primary_provider("primary", primary_->node());
+  auto victim = JoinWithContinuity(771);
+  ASSERT_TRUE(victim->SyncFromPeers({&primary_provider}).ok());
+
+  auto image = DumpStore(victim->node()->state()->backing());
+  MorePrimaryBlocks(2);
+  ASSERT_TRUE(victim->SyncFromPeers({&primary_provider}).ok());
+
+  // Save the newest header, restore the old image, put the header back.
+  storage::KvStore* kv = victim->node()->state()->backing();
+  auto newest_header = kv->Get(std::string(core::kFreshnessKvKey));
+  ASSERT_TRUE(newest_header.ok());
+  RestoreStore(kv, image);
+  ASSERT_TRUE(kv->Put(std::string(core::kFreshnessKvKey), *newest_header).ok());
+  ASSERT_TRUE(victim->node()->ResyncFromStore().ok());
+
+  Status stale = victim->VerifyStateContinuity();
+  ASSERT_TRUE(stale.IsStaleState()) << stale.ToString();
+}
+
+TEST_F(StateContinuityChaosTest, CrashAtEveryCounterPersistBoundaryIsRecoverable) {
+  SystemOptions options;
+  options.seed = 781;
+  options.enable_state_continuity = true;
+  auto sys = Boot(options);
+  Client client(620, sys->pk_tx());
+  chain::Address addr = Deploy(sys.get(), &client);
+
+  // Three commits, each with its freshness seal's counter persist killed:
+  // the seal fails loudly (state advanced, header stale by one), and a
+  // retried seal recovers without ever exposing an unpersisted counter.
+  for (int boundary = 0; boundary < 3; ++boundary) {
+    auto before = metrics::MetricsRegistry::Global().Snapshot();
+    {
+      FaultPlan plan(ChaosSeed() + uint64_t(boundary));
+      plan.Arm("fault.tee.counter.persist", Trigger{.one_shot = true});
+      auto call = client.MakeConfidentialTx(addr, "increment", Bytes{});
+      ASSERT_TRUE(call.ok());
+      ASSERT_TRUE(sys->node()->SubmitTransaction(call->tx).ok());
+      auto receipts = sys->RunToCompletion();
+      ASSERT_FALSE(receipts.ok()) << "boundary " << boundary;
+      EXPECT_EQ(receipts.status().code(), StatusCode::kUnavailable);
+    }
+    // The retried seal lands; the node verifies clean again.
+    ASSERT_TRUE(sys->SealStateGeneration().ok()) << "boundary " << boundary;
+    ASSERT_TRUE(sys->VerifyStateContinuity().ok()) << "boundary " << boundary;
+
+    auto after = metrics::MetricsRegistry::Global().Snapshot();
+    EXPECT_EQ(after.counter("fault.tee.counter.persist.injected") -
+                  before.counter("fault.tee.counter.persist.injected"),
+              1u);
+    EXPECT_EQ(after.counter("fault.tee.counter.persist.recovered") -
+                  before.counter("fault.tee.counter.persist.recovered"),
+              1u);
+  }
+
+  // The chain itself kept every increment despite the seal crashes.
+  EXPECT_EQ(Increment(sys.get(), &client, addr), "4");
+}
+
+TEST_F(StateContinuityChaosTest, InterruptedSealWithoutTipAdvanceIsRefused) {
+  // Crash in the increment-then-seal gap: the trusted counter advanced
+  // but the new header never hit disk, and the tip did NOT move. The
+  // strict rule refuses this (accepting it would also accept a real
+  // one-generation rollback); resealing restores continuity.
+  SystemOptions options;
+  options.seed = 791;
+  options.enable_state_continuity = true;
+  auto sys = Boot(options);
+  Client client(630, sys->pk_tx());
+  chain::Address addr = Deploy(sys.get(), &client);
+  ASSERT_EQ(Increment(sys.get(), &client, addr), "1");
+
+  // Simulate the torn seal: run the seal ecall but drop its header.
+  std::vector<serialize::RlpItem> req;
+  req.push_back(serialize::RlpItem::U64(sys->node()->Height()));
+  req.push_back(serialize::RlpItem(
+      crypto::HashToBytes(sys->node()->state()->StateRoot())));
+  auto dropped = sys->platform()->Ecall(
+      sys->confidential_engine()->enclave_id(), core::kCsSealFreshness,
+      serialize::RlpEncode(serialize::RlpItem::List(std::move(req))));
+  ASSERT_TRUE(dropped.ok());
+
+  Status stale = sys->VerifyStateContinuity();
+  ASSERT_TRUE(stale.IsStaleState()) << stale.ToString();
+
+  // Recovery: seal the current tip under a fresh generation.
+  ASSERT_TRUE(sys->SealStateGeneration().ok());
+  EXPECT_TRUE(sys->VerifyStateContinuity().ok());
+  EXPECT_EQ(Increment(sys.get(), &client, addr), "2");
+}
+
+TEST_F(StateContinuityChaosTest, ForkedReplicaFromClonedCounterStoreIsRefused) {
+  // Forking attack: the host clones a replica's durable counter store and
+  // boots a second instance of the same machine from the clone while the
+  // original seals newer generations. The clone's counters sit behind the
+  // platform's NVRAM high-water mark — the fork is refused at bootstrap.
+  auto nvram_or = storage::LsmKvStore::Open(storage::LsmOptions{});
+  ASSERT_TRUE(nvram_or.ok());
+  std::shared_ptr<storage::KvStore> counter_store = std::move(*nvram_or);
+
+  SystemOptions options;
+  options.seed = 801;
+  options.enable_state_continuity = true;
+  options.counter_store = counter_store;
+  auto original = Boot(options);
+  Client client(640, original->pk_tx());
+  chain::Address addr = Deploy(original.get(), &client);
+  ASSERT_EQ(Increment(original.get(), &client, addr), "1");
+
+  // Clone the counter store at this sealed generation.
+  auto clone_or = storage::LsmKvStore::Open(storage::LsmOptions{});
+  ASSERT_TRUE(clone_or.ok());
+  std::shared_ptr<storage::KvStore> cloned_store = std::move(*clone_or);
+  for (auto it = counter_store->NewIterator(); it->Valid(); it->Next()) {
+    ASSERT_TRUE(cloned_store->Put(it->key(), it->value()).ok());
+  }
+
+  // The original timeline moves on (counter advances past the clone).
+  ASSERT_EQ(Increment(original.get(), &client, addr), "2");
+
+  // Booting the fork from the cloned store must fail with StaleState —
+  // two replicas cannot both continue from one sealed generation.
+  uint64_t detected_before =
+      CounterValue("tee.counter.rollback_detected.count");
+  SystemOptions fork_options = options;
+  fork_options.counter_store = cloned_store;
+  auto forked = ConfideSystem::BootstrapFirst(fork_options);
+  ASSERT_FALSE(forked.ok());
+  EXPECT_TRUE(forked.status().IsStaleState()) << forked.status().ToString();
+  EXPECT_GT(CounterValue("tee.counter.rollback_detected.count"),
+            detected_before);
+
+  // The original replica is unaffected and keeps sealing.
+  EXPECT_EQ(Increment(original.get(), &client, addr), "3");
+}
+
+TEST_F(StateContinuityChaosTest, InjectedCounterRollbackDetectedAtVerify) {
+  // The counter half of the snapshot-restore attack, injected directly:
+  // the host presents a durable counter value one behind the trusted
+  // NVRAM mark.
+  auto store_or = storage::LsmKvStore::Open(storage::LsmOptions{});
+  ASSERT_TRUE(store_or.ok());
+  std::shared_ptr<storage::KvStore> counter_store = std::move(*store_or);
+
+  SystemOptions options;
+  options.seed = 811;
+  options.enable_state_continuity = true;
+  options.counter_store = counter_store;
+  auto sys = Boot(options);
+  Client client(650, sys->pk_tx());
+  chain::Address addr = Deploy(sys.get(), &client);
+  ASSERT_EQ(Increment(sys.get(), &client, addr), "1");
+  ASSERT_TRUE(sys->VerifyStateContinuity().ok());
+
+  // Re-attach the store to drop the enclave's loaded counter values, so
+  // the next verification re-reads the (rolled-back) durable counter.
+  sys->platform()->AttachCounterStore(counter_store);
+  uint64_t detected_before =
+      CounterValue("tee.counter.rollback_detected.count");
+  FaultPlan plan(ChaosSeed());
+  plan.Arm("fault.tee.counter.rollback",
+           Trigger{.one_shot = true, .arg = 1});
+  Status stale = sys->VerifyStateContinuity();
+  ASSERT_TRUE(stale.IsStaleState()) << stale.ToString();
+  EXPECT_GT(CounterValue("tee.counter.rollback_detected.count"),
+            detected_before);
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("fault.tee.counter.rollback.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.tee.counter.rollback.recovered"), 1u);
+
+  // With the honest durable value presented again, the node is clean.
+  EXPECT_TRUE(sys->VerifyStateContinuity().ok());
+  EXPECT_EQ(Increment(sys.get(), &client, addr), "2");
+}
+
+// ---------------------------------------------------------------------------
+// Fault-site coverage
+// ---------------------------------------------------------------------------
+// tools/check_fault_report.py fails CI if any `fault.*` site declared in
+// src/ never fires across the chaos matrix. These tests cover the sites
+// the scenario suites above don't reach.
+
+TEST_F(SyncChaosTest, EquivocatingCertificateRejectedDuringRejoin) {
+  BuildPrimary(820, 6);
+  chain::SyncProvider honest("honest", primary_->node());
+  chain::SyncProvider equivocator("equivocator", primary_->node());
+  auto joiner = Join(821);
+
+  uint64_t forks_before = CounterValue("chain.fork.detected.count");
+  FaultPlan plan(ChaosSeed());
+  // Fires on the second discovery query: the honest provider's manifest
+  // is witnessed first, the equivocator's conflicting (but correctly
+  // certified) one must then be refused as fork evidence.
+  plan.Arm("fault.chain.sync.equivocating_certificate",
+           Trigger{.after_hits = 1, .one_shot = true});
+  auto stats = joiner->SyncFromPeers({&honest, &equivocator});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->forks_detected, 1u);
+  EXPECT_GE(stats->certificates_rejected, 1u);
+  EXPECT_GT(CounterValue("chain.fork.detected.count"), forks_before);
+  ExpectConverged(joiner.get());
+}
+
+TEST_F(SyncChaosTest, CheckpointWriteFailureNeverFailsTheBlock) {
+  BuildPrimary(830, 2, /*interval=*/2);  // deploy + 2 -> checkpoint at 2
+
+  uint64_t failed_before = CounterValue("chain.checkpoint.failure.count");
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.chain.checkpoint.write", Trigger{.one_shot = true});
+    // Crosses the next checkpoint boundary; the injected write failure is
+    // counted but the blocks themselves land (MorePrimaryBlocks asserts
+    // every increment committed).
+    MorePrimaryBlocks(2);
+  }
+  EXPECT_GT(CounterValue("chain.checkpoint.failure.count"), failed_before);
+
+  // The following boundary checkpoints normally again.
+  MorePrimaryBlocks(2);
+  ASSERT_NE(primary_->node()->checkpoints(), nullptr);
+  EXPECT_GE(primary_->node()->checkpoints()->LatestHeight(), 6u);
+}
+
+TEST(NodeChaosTest, PipelineStageFaultsSurfaceAndRetryCleanly) {
+  SystemOptions options;
+  options.seed = 290;
+  options.parallelism = 2;
+  options.pipeline_depth = 3;  // pinned: this test is about the pipeline
+  options.block_max_bytes = 1;
+  auto boot = ConfideSystem::BootstrapFirst(options);
+  ASSERT_TRUE(boot.ok()) << boot.status().ToString();
+  auto& sys = *boot;
+  Client client(612, sys->pk_tx());
+  auto code = lang::Compile(kCounterSource, lang::VmTarget::kCvm);
+  ASSERT_TRUE(code.ok());
+  chain::Address addr = NamedAddress("counter");
+  auto deploy = client.MakeConfidentialTx(addr, "__deploy__", DeployPayload(*code));
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_TRUE(sys->node()->SubmitTransaction(deploy->tx).ok());
+  ASSERT_TRUE(sys->RunToCompletion().ok());
+
+  std::vector<core::ConfidentialSubmission> calls;
+  auto submit = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      auto call = client.MakeConfidentialTx(addr, "increment", Bytes{});
+      ASSERT_TRUE(call.ok());
+      ASSERT_TRUE(sys->node()->SubmitTransaction(call->tx).ok());
+      calls.push_back(std::move(*call));
+    }
+  };
+  auto expect_committed_through = [&](size_t count) {
+    ASSERT_EQ(calls.size(), count);
+    auto receipt = sys->node()->GetReceipt(calls.back().tx.Hash());
+    ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+    auto opened = Client::OpenSealedReceipt(calls.back().k_tx, receipt->output);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(ToString(opened->output), std::to_string(count));
+  };
+
+  // Stage-1 verifier outage: the run fails loudly and the whole batch
+  // returns to the pools — an injected outage must not drop transactions.
+  submit(3);
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.chain.pipeline.preverify", Trigger{.one_shot = true});
+    auto receipts = sys->RunToCompletion();
+    ASSERT_FALSE(receipts.ok());
+    EXPECT_EQ(receipts.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(sys->node()->UnverifiedPoolSize() + sys->node()->VerifiedPoolSize(),
+            3u);
+  ASSERT_TRUE(sys->RunToCompletion().ok());
+  expect_committed_through(3);
+
+  // Stage-2 execute failure: the failed block's transactions return to
+  // the pools and the exact same work commits on retry.
+  submit(3);
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.chain.pipeline.execute", Trigger{.one_shot = true});
+    auto receipts = sys->RunToCompletion();
+    ASSERT_FALSE(receipts.ok());
+    EXPECT_EQ(receipts.status().code(), StatusCode::kUnavailable);
+  }
+  ASSERT_TRUE(sys->RunToCompletion().ok());
+  expect_committed_through(6);
+
+  // A stall is backpressure, not corruption: absorbed without reordering
+  // or dropping anything.
+  submit(2);
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.chain.pipeline.stall",
+             Trigger{.one_shot = true, .arg = 2'000'000});
+    ASSERT_TRUE(sys->RunToCompletion().ok());
+  }
+  expect_committed_through(8);
+
+  metrics::MetricsSnapshot snap = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.counter("fault.chain.pipeline.preverify.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.pipeline.execute.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.pipeline.stall.injected"), 1u);
+  EXPECT_GE(snap.counter("fault.chain.pipeline.stall.recovered"), 1u);
+}
+
+TEST(NodeChaosTest, WalResetFailureAfterFlushIsIdempotentlyRecoverable) {
+  auto dir = std::filesystem::temp_directory_path() / "confide_chaos_walreset";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  storage::LsmOptions options;
+  options.wal_dir = dir.string();
+  {
+    auto store = storage::LsmKvStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("k", ToBytes(std::string_view("v"))).ok());
+
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.storage.wal_reset", Trigger{.one_shot = true});
+    // The run is installed before the WAL truncation fails, so the error
+    // surfaces but no data is lost...
+    Status flushed = (*store)->Flush();
+    EXPECT_EQ(flushed.code(), StatusCode::kUnavailable);
+    auto still = (*store)->Get("k");
+    ASSERT_TRUE(still.ok());
+    EXPECT_EQ(ToString(*still), "v");
+  }
+  // ...and a restart replays the un-truncated WAL over the installed run
+  // — idempotent, same state.
+  auto reopened = storage::LsmKvStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  auto value = (*reopened)->Get("k");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(ToString(*value), "v");
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "confide/client.h"
+#include "confide/freshness.h"
 #include "confide/system.h"
 #include "crypto/drbg.h"
 #include "lang/compiler.h"
 #include "serialize/rlp.h"
+#include "storage/kv_store.h"
 
 namespace confide::core {
 namespace {
@@ -135,7 +138,11 @@ TEST_F(MaliciousHostTest, RolledBackStateStillAuthenticatesButRootDiverges) {
   // Rollback (§3.3): the host restores an OLD sealed value. AES-GCM alone
   // cannot detect this (the old ciphertext is authentic); what protects
   // the ledger is consensus on state continuity — replicas that did not
-  // roll back produce a different state root.
+  // roll back produce a different state root. (With
+  // SystemOptions::enable_state_continuity the node additionally detects
+  // whole-store restores *locally* via the freshness header; see
+  // StateContinuityTest below. This test runs without it to demonstrate
+  // the consensus-level defense alone.)
   auto [r1, k1] = Bump();
   ASSERT_TRUE(r1.success);
   auto old_sealed = sys_->node()->state()->Get(addr_, AsByteView("n"));
@@ -236,6 +243,110 @@ TEST_F(MaliciousHostTest, ReplayedEnvelopeReexecutesDeterministically) {
   auto state2 = sys_->node()->state()->Get(addr_, AsByteView("n"));
   ASSERT_TRUE(state2.ok());
   EXPECT_NE(*state1, *state2);
+}
+
+// ---------------------------------------------------------------------------
+// State continuity: freshness-sealed state vs. the malicious host
+// ---------------------------------------------------------------------------
+// NVRAM high-water marks are process-lifetime and keyed by the platform
+// seed, so each continuity-enabled system uses a unique seed.
+
+class StateContinuityTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<ConfideSystem> BootWithContinuity(uint64_t seed) {
+    SystemOptions options;
+    options.seed = seed;
+    options.enable_state_continuity = true;
+    auto sys = ConfideSystem::BootstrapFirst(options);
+    EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+    return std::move(*sys);
+  }
+
+  void DeployCounter(ConfideSystem* sys, Client* client, chain::Address addr) {
+    auto code = lang::Compile(kCounterSource, lang::VmTarget::kCvm);
+    ASSERT_TRUE(code.ok()) << code.status().ToString();
+    auto deploy =
+        client->MakeConfidentialTx(addr, "__deploy__", DeployPayload(*code));
+    ASSERT_TRUE(deploy.ok());
+    ASSERT_TRUE(sys->node()->SubmitTransaction(deploy->tx).ok());
+    ASSERT_TRUE(sys->RunToCompletion().ok());
+  }
+
+  void Bump(ConfideSystem* sys, Client* client, chain::Address addr) {
+    auto call = client->MakeConfidentialTx(addr, "bump", Bytes{});
+    ASSERT_TRUE(call.ok());
+    ASSERT_TRUE(sys->node()->SubmitTransaction(call->tx).ok());
+    ASSERT_TRUE(sys->RunToCompletion().ok());
+  }
+};
+
+TEST_F(StateContinuityTest, TamperedFreshnessHeaderFailsAuthentication) {
+  auto sys = BootWithContinuity(9301);
+  Client client(9400, sys->pk_tx());
+  chain::Address addr = NamedAddress("victim");
+  DeployCounter(sys.get(), &client, addr);
+  Bump(sys.get(), &client, addr);
+  ASSERT_TRUE(sys->VerifyStateContinuity().ok());
+
+  // A forged header is an authentication failure (PermissionDenied), kept
+  // distinct from an authentic-but-stale one (StaleState) — operators
+  // must be able to tell tampering from rollback.
+  storage::KvStore* kv = sys->node()->state()->backing();
+  auto header = kv->Get(std::string(kFreshnessKvKey));
+  ASSERT_TRUE(header.ok());
+  Bytes tampered = *header;
+  tampered.back() ^= 0x01;  // flips a MAC byte
+  ASSERT_TRUE(kv->Put(std::string(kFreshnessKvKey), tampered).ok());
+  Status forged = sys->VerifyStateContinuity();
+  ASSERT_FALSE(forged.ok());
+  EXPECT_EQ(forged.code(), StatusCode::kPermissionDenied) << forged.ToString();
+  EXPECT_FALSE(forged.IsStaleState());
+
+  // Putting the authentic header back restores a clean verification.
+  ASSERT_TRUE(kv->Put(std::string(kFreshnessKvKey), *header).ok());
+  EXPECT_TRUE(sys->VerifyStateContinuity().ok());
+}
+
+TEST_F(StateContinuityTest, RestoredDiskImageIsRefusedAsStale) {
+  // The §3.3 rollback the AES-GCM layer cannot catch: the host restores a
+  // complete older disk image — every byte authentic, header included.
+  // The trusted monotonic counter has moved on, so the restore is a
+  // *detected* StaleState failure, not silently forked execution.
+  auto sys = BootWithContinuity(9302);
+  Client client(9401, sys->pk_tx());
+  chain::Address addr = NamedAddress("victim");
+  DeployCounter(sys.get(), &client, addr);
+  Bump(sys.get(), &client, addr);
+
+  storage::KvStore* kv = sys->node()->state()->backing();
+  std::vector<std::pair<std::string, Bytes>> image;
+  for (auto it = kv->NewIterator(); it->Valid(); it->Next()) {
+    image.emplace_back(it->key(), it->value());
+  }
+
+  // The node seals newer generations after the snapshot was taken.
+  Bump(sys.get(), &client, addr);
+  Bump(sys.get(), &client, addr);
+
+  storage::WriteBatch batch;
+  for (auto it = kv->NewIterator(); it->Valid(); it->Next()) {
+    batch.Delete(it->key());
+  }
+  for (const auto& [key, value] : image) {
+    batch.Put(key, value);
+  }
+  ASSERT_TRUE(kv->Write(batch).ok());
+  ASSERT_TRUE(kv->Sync().ok());
+  ASSERT_TRUE(sys->node()->ResyncFromStore().ok());
+
+  uint64_t refused_before = metrics::MetricsRegistry::Global().Snapshot().counter(
+      "confide.freshness.refused.count");
+  Status stale = sys->VerifyStateContinuity();
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.IsStaleState()) << stale.ToString();
+  EXPECT_GT(metrics::MetricsRegistry::Global().Snapshot().counter(
+                "confide.freshness.refused.count"),
+            refused_before);
 }
 
 // ---------------------------------------------------------------------------

@@ -764,6 +764,71 @@ TEST(LsmReadPathTest, RowCacheServesRepeatsAndStaysCoherent) {
   EXPECT_TRUE((*store)->Get("hot").status().IsNotFound());
 }
 
+// Regression: a cached *negative* entry (confirmed miss) must be
+// invalidated by a later Put of that key — otherwise the store keeps
+// answering NotFound for data it durably holds. Covers the direct Put,
+// the WriteBatch path, and re-deletion back to a (fresh) negative entry.
+TEST(LsmReadPathTest, NegativeCacheEntryDoesNotMaskLaterWrite) {
+  LsmOptions options = VolatileOptions();
+  options.cache_bytes = 1 << 20;
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  // Confirm the miss twice so the second read is served by the cached
+  // negative entry (hit counter advances).
+  EXPECT_TRUE((*store)->Get("ghost").status().IsNotFound());
+  auto s1 = metrics::MetricsRegistry::Global().Snapshot();
+  EXPECT_TRUE((*store)->Get("ghost").status().IsNotFound());
+  auto s2 = metrics::MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(s2.counter("storage.cache.hit.count") -
+                s1.counter("storage.cache.hit.count"),
+            1u);
+
+  // The Put must evict that negative entry...
+  ASSERT_TRUE((*store)->Put("ghost", ToBytes(std::string_view("alive"))).ok());
+  auto revived = (*store)->Get("ghost");
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ(ToString(*revived), "alive");
+
+  // ...including when the write arrives inside a WriteBatch.
+  EXPECT_TRUE((*store)->Get("batch-ghost").status().IsNotFound());
+  EXPECT_TRUE((*store)->Get("batch-ghost").status().IsNotFound());  // cached
+  WriteBatch batch;
+  batch.Put("batch-ghost", ToBytes(std::string_view("alive-too")));
+  ASSERT_TRUE((*store)->Write(batch).ok());
+  auto batched = (*store)->Get("batch-ghost");
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  EXPECT_EQ(ToString(*batched), "alive-too");
+
+  // And a re-delete flips the (now positive) cached row back to absent.
+  ASSERT_TRUE((*store)->Delete("ghost").ok());
+  EXPECT_TRUE((*store)->Get("ghost").status().IsNotFound());
+}
+
+// Regression: a cached positive row must not survive a Delete carried in
+// a WriteBatch alongside unrelated ops (the invalidation walks every op
+// in the batch, not just single-key writes).
+TEST(LsmReadPathTest, BatchDeleteInvalidatesCachedRow) {
+  LsmOptions options = VolatileOptions();
+  options.cache_bytes = 1 << 20;
+  auto store = LsmKvStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("victim", ToBytes(std::string_view("v"))).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Get("victim").ok());  // populates the cache
+  ASSERT_TRUE((*store)->Get("victim").ok());  // served from the cache
+
+  WriteBatch batch;
+  batch.Put("unrelated", ToBytes(std::string_view("x")));
+  batch.Delete("victim");
+  ASSERT_TRUE((*store)->Write(batch).ok());
+
+  EXPECT_TRUE((*store)->Get("victim").status().IsNotFound());
+  auto unrelated = (*store)->Get("unrelated");
+  ASSERT_TRUE(unrelated.ok());
+  EXPECT_EQ(ToString(*unrelated), "x");
+}
+
 TEST(LsmReadPathTest, SnapshotPinsViewAgainstLaterWrites) {
   auto store = LsmKvStore::Open(VolatileOptions());
   ASSERT_TRUE(store.ok());

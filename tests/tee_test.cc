@@ -2,8 +2,10 @@
 
 #include <thread>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/sim_clock.h"
+#include "storage/lsm_store.h"
 #include "tee/attestation.h"
 #include "tee/enclave.h"
 #include "tee/epc.h"
@@ -473,6 +475,224 @@ TEST(MonitorTest, ExitlessEmitAvoidsTransitions) {
   auto records = platform.DrainMonitor();
   ASSERT_EQ(records.size(), 1u);
   EXPECT_STREQ(records[0].message, "status ok");
+}
+
+// ---------------------------------------------------------------------------
+// Trusted monotonic counters (state continuity)
+// ---------------------------------------------------------------------------
+// Counter NVRAM high-water marks are process-lifetime and keyed by the
+// platform seed, so every test here uses its own unique seed.
+
+TEST(CounterTest, IncrementAndReadAreMonotonicPerFamily) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 7719001);
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+
+  auto first = platform.CounterIncrement(*id, "state-gen");
+  auto second = platform.CounterIncrement(*id, "state-gen");
+  auto third = platform.CounterIncrement(*id, "state-gen");
+  ASSERT_TRUE(first.ok() && second.ok() && third.ok());
+  EXPECT_EQ(*first, 1u);
+  EXPECT_EQ(*second, 2u);
+  EXPECT_EQ(*third, 3u);
+  auto read = platform.CounterRead(*id, "state-gen");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, 3u);
+
+  // Families are independent counters.
+  auto other = platform.CounterRead(*id, "epoch");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(*other, 0u);
+}
+
+TEST(CounterTest, SurvivesKillEnclaveAndReprovision) {
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 7719002);
+  auto code = std::make_shared<EchoEnclave>();
+  auto id = platform.CreateEnclave(code, 1 << 20);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(platform.CounterIncrement(*id, "state-gen").ok());
+  ASSERT_TRUE(platform.CounterIncrement(*id, "state-gen").ok());
+
+  // Crash + re-provision the same code: the counter is keyed by the
+  // enclave *measurement*, so continuity survives the enclave instance.
+  ASSERT_TRUE(platform.KillEnclave(*id).ok());
+  auto id2 = platform.CreateEnclave(code, 1 << 20);
+  ASSERT_TRUE(id2.ok());
+  auto read = platform.CounterRead(*id2, "state-gen");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, 2u);
+  auto next = platform.CounterIncrement(*id2, "state-gen");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 3u);
+}
+
+TEST(CounterTest, DurableStoreCarriesCountersAcrossPlatformRestart) {
+  auto store_or = storage::LsmKvStore::Open(storage::LsmOptions{});
+  ASSERT_TRUE(store_or.ok());
+  std::shared_ptr<storage::KvStore> store = std::move(*store_or);
+  auto code = std::make_shared<EchoEnclave>();
+
+  SimClock clock;
+  {
+    EnclavePlatform platform(TeeCostModel{}, &clock, 7719003);
+    platform.AttachCounterStore(store);
+    auto id = platform.CreateEnclave(code, 1 << 20);
+    ASSERT_TRUE(id.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(platform.CounterIncrement(*id, "state-gen").ok());
+    }
+  }
+
+  // Same machine reboots (same seed), same durable counter store.
+  EnclavePlatform restarted(TeeCostModel{}, &clock, 7719003);
+  restarted.AttachCounterStore(store);
+  auto id = restarted.CreateEnclave(code, 1 << 20);
+  ASSERT_TRUE(id.ok());
+  auto read = restarted.CounterRead(*id, "state-gen");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, 3u);
+}
+
+TEST(CounterTest, SnapshotRestoredCounterStoreIsDetectedAsRollback) {
+  metrics::Counter* detected =
+      metrics::GetCounter("tee.counter.rollback_detected.count");
+  const uint64_t detected_before = detected->Value();
+  auto code = std::make_shared<EchoEnclave>();
+  SimClock clock;
+  {
+    auto store_or = storage::LsmKvStore::Open(storage::LsmOptions{});
+    ASSERT_TRUE(store_or.ok());
+    std::shared_ptr<storage::KvStore> store = std::move(*store_or);
+    EnclavePlatform platform(TeeCostModel{}, &clock, 7719004);
+    platform.AttachCounterStore(store);
+    auto id = platform.CreateEnclave(code, 1 << 20);
+    ASSERT_TRUE(id.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(platform.CounterIncrement(*id, "state-gen").ok());
+    }
+  }
+
+  // The host restarts the machine from a snapshot taken before any
+  // increment: the durable counter store is empty, but the counter NVRAM
+  // high-water mark remembers 3 — the load must fail loudly, not hand the
+  // enclave a rolled-back counter.
+  auto stale_or = storage::LsmKvStore::Open(storage::LsmOptions{});
+  ASSERT_TRUE(stale_or.ok());
+  EnclavePlatform restarted(TeeCostModel{}, &clock, 7719004);
+  restarted.AttachCounterStore(std::move(*stale_or));
+  auto id = restarted.CreateEnclave(code, 1 << 20);
+  ASSERT_TRUE(id.ok());
+  auto read = restarted.CounterRead(*id, "state-gen");
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsStaleState()) << read.status().ToString();
+  EXPECT_GT(detected->Value(), detected_before);
+
+  // Increments are refused too: nothing may build on rolled-back state.
+  EXPECT_TRUE(
+      restarted.CounterIncrement(*id, "state-gen").status().IsStaleState());
+}
+
+TEST(CounterTest, InjectedRollbackFaultIsDetected) {
+  auto store_or = storage::LsmKvStore::Open(storage::LsmOptions{});
+  ASSERT_TRUE(store_or.ok());
+  std::shared_ptr<storage::KvStore> store = std::move(*store_or);
+  auto code = std::make_shared<EchoEnclave>();
+  SimClock clock;
+  {
+    EnclavePlatform platform(TeeCostModel{}, &clock, 7719005);
+    platform.AttachCounterStore(store);
+    auto id = platform.CreateEnclave(code, 1 << 20);
+    ASSERT_TRUE(id.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(platform.CounterIncrement(*id, "state-gen").ok());
+    }
+  }
+
+  // Restart with the real store, but the fault site rewinds the durable
+  // value by 2 increments on load (arg = increments to undo).
+  fault::FaultPlan plan(0xC0117E5);
+  fault::Trigger rollback;
+  rollback.one_shot = true;
+  rollback.arg = 2;
+  plan.Arm("fault.tee.counter.rollback", rollback);
+  EnclavePlatform restarted(TeeCostModel{}, &clock, 7719005);
+  restarted.AttachCounterStore(store);
+  auto id = restarted.CreateEnclave(code, 1 << 20);
+  ASSERT_TRUE(id.ok());
+  auto read = restarted.CounterRead(*id, "state-gen");
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsStaleState()) << read.status().ToString();
+
+  // The fault disarmed after firing: the next load sees the true durable
+  // value again and recovers.
+  auto retry = restarted.CounterRead(*id, "state-gen");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(*retry, 4u);
+}
+
+TEST(CounterTest, PersistFaultLeavesCounterUnchangedUntilRetry) {
+  auto store_or = storage::LsmKvStore::Open(storage::LsmOptions{});
+  ASSERT_TRUE(store_or.ok());
+  std::shared_ptr<storage::KvStore> store = std::move(*store_or);
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 7719006);
+  platform.AttachCounterStore(store);
+  auto id = platform.CreateEnclave(std::make_shared<EchoEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(platform.CounterIncrement(*id, "state-gen").ok());
+
+  {
+    fault::FaultPlan plan(0xC0117E6);
+    fault::Trigger once;
+    once.one_shot = true;
+    plan.Arm("fault.tee.counter.persist", once);
+    auto failed = platform.CounterIncrement(*id, "state-gen");
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  }
+
+  // The failed increment must not have moved the counter (increment-then-
+  // seal: nothing is exposed before the durable write lands).
+  auto read = platform.CounterRead(*id, "state-gen");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, 1u);
+
+  // A retried increment lands durably and counts as the recovery.
+  metrics::Counter* recovered =
+      metrics::GetCounter("fault.tee.counter.persist.recovered");
+  const uint64_t recovered_before = recovered->Value();
+  auto retried = platform.CounterIncrement(*id, "state-gen");
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(*retried, 2u);
+  EXPECT_GT(recovered->Value(), recovered_before);
+}
+
+TEST(CounterTest, EnclaveContextExposesCounters) {
+  // fn 6 increments "ctx-family" from inside the enclave and returns the
+  // new value as a decimal string.
+  class CountingEnclave : public Enclave {
+   public:
+    std::string CodeIdentity() const override { return "counting-enclave-v1"; }
+    Result<Bytes> HandleEcall(uint64_t fn, ByteView input,
+                              EnclaveContext* ctx) override {
+      (void)input;
+      if (fn != 6) return Status::InvalidArgument("unknown fn");
+      CONFIDE_ASSIGN_OR_RETURN(uint64_t value,
+                               ctx->CounterIncrement("ctx-family"));
+      return ToBytes(AsByteView(std::to_string(value)));
+    }
+  };
+  SimClock clock;
+  EnclavePlatform platform(TeeCostModel{}, &clock, 7719007);
+  auto id = platform.CreateEnclave(std::make_shared<CountingEnclave>(), 1 << 20);
+  ASSERT_TRUE(id.ok());
+  auto first = platform.Ecall(*id, 6, ByteView{});
+  auto second = platform.Ecall(*id, 6, ByteView{});
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(std::string(first->begin(), first->end()), "1");
+  EXPECT_EQ(std::string(second->begin(), second->end()), "2");
 }
 
 }  // namespace
