@@ -297,6 +297,102 @@ bool ScfArTransitionDecomposition() {
   return ok;
 }
 
+// --- Boundary bytes: copy-in/out vs accounted user_check views ---------------
+
+struct BoundaryBytesProfile {
+  double bytes_copied_per_tx = 0;  // marshalled through the Edger8r bridge
+  double bytes_viewed_per_tx = 0;  // crossed as accounted user_check views
+  std::vector<Bytes> receipts;     // serialized receipts of the measured txs
+  crypto::Hash256 state_root{};    // final committed state root
+};
+
+// Runs the SCF-AR transfer flow with the given marshalling semantics for
+// the sealed-data crossings and profiles the per-tx boundary bytes of the
+// steady-state transactions. Same seed for both runs: everything except
+// the copy accounting must come out identical.
+BoundaryBytesProfile RunBoundaryBytes(tee::PointerSemantics semantics) {
+  using namespace confide::bench;
+  core::SystemOptions options;
+  options.seed = 92'000;
+  options.block_max_bytes = 64 * 1024;
+  options.cs.ocall_semantics = semantics;
+  auto sys = MustBootstrap(options);
+  core::Client client(9, sys->pk_tx());
+
+  for (const auto& [name, source] : workloads::ScfArContracts()) {
+    MustDeploy(sys.get(), &client, name, source, true);
+  }
+  MustCall(sys.get(), &client, "scf.manager", "seed", Bytes{});
+  MustCall(sys.get(), &client, "scf.fee", "seed", Bytes{});
+  MustCall(sys.get(), &client, "scf.account", "seed",
+           ToBytes(std::string_view("supplier-alpha")));
+  MustCall(sys.get(), &client, "scf.account", "seed",
+           ToBytes(std::string_view("bank-one")));
+  for (int i = 0; i < 4; ++i) {
+    MustCall(sys.get(), &client, "scf.asset", "seed",
+             ToBytes("ar-cert-" + std::to_string(i) + "\nsupplier-alpha"));
+  }
+
+  constexpr int kWarmup = 8;
+  constexpr int kMeasure = 4;
+  crypto::Drbg rng(11);
+  auto* engine = sys->confidential_engine();
+  chain::CommitStateDb* state = sys->node()->state();
+  BoundaryBytesProfile profile;
+  auto run_one = [&](int i, bool record) {
+    auto sub = client.MakeConfidentialTx(
+        chain::NamedAddress("scf.gateway"), "transfer",
+        workloads::MakeScfTransferInput(&rng, i));
+    auto receipt = engine->Execute(sub->tx, state);
+    if (!receipt.ok() || !receipt->success) {
+      std::fprintf(stderr, "scf-ar transfer failed: %s\n",
+                   receipt.ok() ? receipt->status_message.c_str()
+                                : receipt.status().ToString().c_str());
+      std::abort();
+    }
+    if (record) profile.receipts.push_back(receipt->Serialize());
+  };
+  for (int i = 0; i < kWarmup; ++i) run_one(i, false);
+
+  tee::TeeStats& stats = sys->platform()->stats();
+  uint64_t copied_before =
+      stats.bytes_copied_in.load() + stats.bytes_copied_out.load();
+  uint64_t viewed_before = stats.bytes_viewed.load();
+  for (int i = kWarmup; i < kWarmup + kMeasure; ++i) run_one(i, true);
+  profile.bytes_copied_per_tx =
+      double(stats.bytes_copied_in.load() + stats.bytes_copied_out.load() -
+             copied_before) /
+      kMeasure;
+  profile.bytes_viewed_per_tx =
+      double(stats.bytes_viewed.load() - viewed_before) / kMeasure;
+  profile.state_root = state->StateRoot();
+  return profile;
+}
+
+// Returns true when the user_check run moves the sealed-data payload bytes
+// out of the copy column without perturbing execution: identical receipts,
+// identical state root, strictly fewer bytes copied per tx.
+bool BoundaryBytesDecomposition() {
+  std::printf("\n== Boundary bytes: copy-in/out vs accounted user_check views ==\n\n");
+  BoundaryBytesProfile copy = RunBoundaryBytes(tee::PointerSemantics::kCopyInOut);
+  BoundaryBytesProfile view = RunBoundaryBytes(tee::PointerSemantics::kUserCheck);
+  std::printf("%-28s %16s %16s\n", "per steady-state tx", "copy-in/out",
+              "user_check");
+  std::printf("%-28s %16.0f %16.0f\n", "boundary bytes copied",
+              copy.bytes_copied_per_tx, view.bytes_copied_per_tx);
+  std::printf("%-28s %16.0f %16.0f\n", "boundary bytes viewed",
+              copy.bytes_viewed_per_tx, view.bytes_viewed_per_tx);
+
+  bool identical = copy.receipts == view.receipts &&
+                   copy.state_root == view.state_root;
+  bool reduced = view.bytes_copied_per_tx < copy.bytes_copied_per_tx;
+  std::printf("\nself-check: identical receipts + state root: %s\n",
+              identical ? "PASS" : "MISMATCH");
+  std::printf("self-check: fewer boundary bytes copied per tx: %s\n",
+              reduced ? "PASS" : "MISMATCH");
+  return identical && reduced;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -304,5 +400,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return ScfArTransitionDecomposition() ? 0 : 1;
+  bool ok = ScfArTransitionDecomposition();
+  ok = BoundaryBytesDecomposition() && ok;
+  return ok ? 0 : 1;
 }

@@ -4,9 +4,8 @@
 
 namespace confide::chain {
 
-using serialize::RlpDecode;
-using serialize::RlpEncode;
-using serialize::RlpItem;
+using serialize::RlpReader;
+using serialize::RlpWriter;
 
 Address NamedAddress(std::string_view name) {
   crypto::Hash256 h = crypto::Sha256::Digest(
@@ -18,63 +17,110 @@ Address NamedAddress(std::string_view name) {
 
 namespace {
 
-RlpItem BytesItem(ByteView b) { return RlpItem(ToBytes(b)); }
+template <size_t N>
+void CopyInto(ByteView src, std::array<uint8_t, N>* dst) {
+  std::copy(src.begin(), src.end(), dst->begin());
+}
 
-Result<Bytes> FixedBytes(const RlpItem& item, size_t n, const char* what) {
-  if (!item.is_bytes() || item.bytes().size() != n) {
-    return Status::Corruption(std::string("chain: bad ") + what);
-  }
-  return item.bytes();
+/// Writes the fields every signature covers; Serialize appends the
+/// signature after these, SigningHash stops here.
+void WritePublicSigningFields(RlpWriter* w, uint64_t type, ByteView sender,
+                              ByteView contract, ByteView entry, ByteView input,
+                              uint64_t nonce) {
+  w->WriteU64(type);
+  w->WriteBytes(sender);
+  w->WriteBytes(contract);
+  w->WriteBytes(entry);
+  w->WriteBytes(input);
+  w->WriteU64(nonce);
 }
 
 }  // namespace
 
 Bytes Transaction::Serialize() const {
-  std::vector<RlpItem> items;
-  items.push_back(RlpItem::U64(uint64_t(type)));
+  RlpWriter w(64 + entry.size() + input.size() + envelope.size() + 64);
+  size_t list = w.BeginList();
   if (type == TxType::kConfidential) {
-    items.push_back(BytesItem(envelope));
+    w.WriteU64(uint64_t(type));
+    w.WriteBytes(envelope);
   } else {
-    items.push_back(BytesItem(ByteView(sender.data(), sender.size())));
-    items.push_back(BytesItem(ByteView(contract.data(), contract.size())));
-    items.push_back(RlpItem::String(entry));
-    items.push_back(BytesItem(input));
-    items.push_back(RlpItem::U64(nonce));
-    items.push_back(BytesItem(ByteView(signature.data(), signature.size())));
+    WritePublicSigningFields(&w, uint64_t(type),
+                             ByteView(sender.data(), sender.size()),
+                             ByteView(contract.data(), contract.size()),
+                             AsByteView(entry), input, nonce);
+    w.WriteBytes(ByteView(signature.data(), signature.size()));
   }
-  return RlpEncode(RlpItem::List(std::move(items)));
+  w.EndList(list);
+  return std::move(w).Take();
 }
 
-Result<Transaction> Transaction::Deserialize(ByteView wire) {
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
-  if (!item.is_list() || item.list().empty()) {
-    return Status::Corruption("chain: transaction is not a list");
-  }
-  const auto& fields = item.list();
-  Transaction tx;
-  CONFIDE_ASSIGN_OR_RETURN(uint64_t type_num, fields[0].AsU64());
+Result<TransactionRef> TransactionRef::Decode(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpReader r, RlpReader::AtList(wire));
+  TransactionRef tx;
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t type_num, r.NextU64());
   if (type_num > 1) return Status::Corruption("chain: unknown tx type");
   tx.type = TxType(type_num);
   if (tx.type == TxType::kConfidential) {
-    if (fields.size() != 2 || !fields[1].is_bytes()) {
-      return Status::Corruption("chain: bad confidential tx");
-    }
-    tx.envelope = fields[1].bytes();
+    CONFIDE_ASSIGN_OR_RETURN(tx.envelope, r.NextBytes());
+    CONFIDE_RETURN_NOT_OK(r.ExpectEnd("chain: confidential tx"));
     return tx;
   }
-  if (fields.size() != 7) return Status::Corruption("chain: bad public tx arity");
-  CONFIDE_ASSIGN_OR_RETURN(Bytes sender, FixedBytes(fields[1], 64, "sender"));
-  std::copy(sender.begin(), sender.end(), tx.sender.begin());
-  CONFIDE_ASSIGN_OR_RETURN(Bytes contract, FixedBytes(fields[2], 20, "contract"));
-  std::copy(contract.begin(), contract.end(), tx.contract.begin());
-  if (!fields[3].is_bytes()) return Status::Corruption("chain: bad entry");
-  tx.entry = ToString(fields[3].bytes());
-  if (!fields[4].is_bytes()) return Status::Corruption("chain: bad input");
-  tx.input = fields[4].bytes();
-  CONFIDE_ASSIGN_OR_RETURN(tx.nonce, fields[5].AsU64());
-  CONFIDE_ASSIGN_OR_RETURN(Bytes sig, FixedBytes(fields[6], 64, "signature"));
-  std::copy(sig.begin(), sig.end(), tx.signature.begin());
+  CONFIDE_ASSIGN_OR_RETURN(tx.sender, r.NextFixed(64, "sender"));
+  CONFIDE_ASSIGN_OR_RETURN(tx.contract, r.NextFixed(20, "contract"));
+  CONFIDE_ASSIGN_OR_RETURN(tx.entry, r.NextBytes());
+  CONFIDE_ASSIGN_OR_RETURN(tx.input, r.NextBytes());
+  CONFIDE_ASSIGN_OR_RETURN(tx.nonce, r.NextU64());
+  CONFIDE_ASSIGN_OR_RETURN(tx.signature, r.NextFixed(64, "signature"));
+  CONFIDE_RETURN_NOT_OK(r.ExpectEnd("chain: public tx"));
   return tx;
+}
+
+Transaction TransactionRef::ToOwned() const {
+  Transaction tx;
+  tx.type = type;
+  if (type == TxType::kConfidential) {
+    tx.envelope = ToBytes(envelope);
+    return tx;
+  }
+  CopyInto(sender, &tx.sender);
+  CopyInto(contract, &tx.contract);
+  tx.entry = ToString(entry);
+  tx.input = ToBytes(input);
+  tx.nonce = nonce;
+  CopyInto(signature, &tx.signature);
+  return tx;
+}
+
+crypto::PublicKey TransactionRef::SenderKey() const {
+  crypto::PublicKey key{};
+  CopyInto(sender, &key);
+  return key;
+}
+
+Address TransactionRef::ContractAddress() const {
+  Address addr{};
+  CopyInto(contract, &addr);
+  return addr;
+}
+
+crypto::Signature TransactionRef::SignatureValue() const {
+  crypto::Signature sig{};
+  CopyInto(signature, &sig);
+  return sig;
+}
+
+crypto::Hash256 TransactionRef::SigningHash() const {
+  RlpWriter w(128 + entry.size() + input.size());
+  size_t list = w.BeginList();
+  WritePublicSigningFields(&w, uint64_t(type), sender, contract, entry, input,
+                           nonce);
+  w.EndList(list);
+  return crypto::Sha256::Digest(w.buffer());
+}
+
+Result<Transaction> Transaction::Deserialize(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(TransactionRef ref, TransactionRef::Decode(wire));
+  return ref.ToOwned();
 }
 
 crypto::Hash256 Transaction::Hash() const {
@@ -82,59 +128,87 @@ crypto::Hash256 Transaction::Hash() const {
 }
 
 crypto::Hash256 Transaction::SigningHash() const {
-  std::vector<RlpItem> items;
-  items.push_back(RlpItem::U64(uint64_t(type)));
-  items.push_back(BytesItem(ByteView(sender.data(), sender.size())));
-  items.push_back(BytesItem(ByteView(contract.data(), contract.size())));
-  items.push_back(RlpItem::String(entry));
-  items.push_back(BytesItem(input));
-  items.push_back(RlpItem::U64(nonce));
-  return crypto::Sha256::Digest(RlpEncode(RlpItem::List(std::move(items))));
+  RlpWriter w(128 + entry.size() + input.size());
+  size_t list = w.BeginList();
+  WritePublicSigningFields(&w, uint64_t(type),
+                           ByteView(sender.data(), sender.size()),
+                           ByteView(contract.data(), contract.size()),
+                           AsByteView(entry), input, nonce);
+  w.EndList(list);
+  return crypto::Sha256::Digest(w.buffer());
 }
 
 Bytes Receipt::Serialize() const {
-  std::vector<RlpItem> items;
-  items.push_back(BytesItem(crypto::HashView(tx_hash)));
-  items.push_back(RlpItem::U64(success ? 1 : 0));
-  items.push_back(RlpItem::String(status_message));
-  items.push_back(BytesItem(output));
-  std::vector<RlpItem> log_items;
-  for (const Bytes& log : logs) log_items.push_back(BytesItem(log));
-  items.push_back(RlpItem::List(std::move(log_items)));
-  items.push_back(RlpItem::U64(gas_used));
-  return RlpEncode(RlpItem::List(std::move(items)));
+  RlpWriter w(64 + status_message.size() + output.size());
+  size_t list = w.BeginList();
+  w.WriteBytes(crypto::HashView(tx_hash));
+  w.WriteU64(success ? 1 : 0);
+  w.WriteString(status_message);
+  w.WriteBytes(output);
+  size_t log_list = w.BeginList();
+  for (const Bytes& log : logs) w.WriteBytes(log);
+  w.EndList(log_list);
+  w.WriteU64(gas_used);
+  w.EndList(list);
+  return std::move(w).Take();
 }
 
-Result<Receipt> Receipt::Deserialize(ByteView wire) {
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
-  if (!item.is_list() || item.list().size() != 6) {
-    return Status::Corruption("chain: bad receipt");
-  }
-  const auto& fields = item.list();
-  Receipt receipt;
-  CONFIDE_ASSIGN_OR_RETURN(Bytes hash, FixedBytes(fields[0], 32, "tx hash"));
-  std::copy(hash.begin(), hash.end(), receipt.tx_hash.begin());
-  CONFIDE_ASSIGN_OR_RETURN(uint64_t success, fields[1].AsU64());
+Result<ReceiptRef> ReceiptRef::Decode(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpReader r, RlpReader::AtList(wire));
+  ReceiptRef receipt;
+  CONFIDE_ASSIGN_OR_RETURN(receipt.tx_hash, r.NextFixed(32, "tx hash"));
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t success, r.NextU64());
   receipt.success = success != 0;
-  receipt.status_message = ToString(fields[2].bytes());
-  receipt.output = fields[3].bytes();
-  if (!fields[4].is_list()) return Status::Corruption("chain: bad logs");
-  for (const RlpItem& log : fields[4].list()) {
-    receipt.logs.push_back(log.bytes());
+  CONFIDE_ASSIGN_OR_RETURN(receipt.status_message, r.NextBytes());
+  CONFIDE_ASSIGN_OR_RETURN(receipt.output, r.NextBytes());
+  CONFIDE_ASSIGN_OR_RETURN(RlpReader logs, r.NextList());
+  receipt.logs_payload = logs.payload();
+  // Validate each log now so ToOwned / later iteration cannot fail.
+  size_t count = 0;
+  while (!logs.AtEnd()) {
+    CONFIDE_ASSIGN_OR_RETURN(ByteView log, logs.NextBytes());
+    (void)log;
+    ++count;
   }
-  CONFIDE_ASSIGN_OR_RETURN(receipt.gas_used, fields[5].AsU64());
+  receipt.log_count = count;
+  CONFIDE_ASSIGN_OR_RETURN(receipt.gas_used, r.NextU64());
+  CONFIDE_RETURN_NOT_OK(r.ExpectEnd("chain: receipt"));
   return receipt;
 }
 
+Receipt ReceiptRef::ToOwned() const {
+  Receipt receipt;
+  CopyInto(tx_hash, &receipt.tx_hash);
+  receipt.success = success;
+  receipt.status_message = ToString(status_message);
+  receipt.output = ToBytes(output);
+  receipt.logs.reserve(log_count);
+  RlpReader logs = RlpReader::OverPayload(logs_payload);
+  while (!logs.AtEnd()) {
+    auto log = logs.NextBytes();
+    if (!log.ok()) break;  // unreachable: Decode validated every log
+    receipt.logs.push_back(ToBytes(log.value()));
+  }
+  receipt.gas_used = gas_used;
+  return receipt;
+}
+
+Result<Receipt> Receipt::Deserialize(ByteView wire) {
+  CONFIDE_ASSIGN_OR_RETURN(ReceiptRef ref, ReceiptRef::Decode(wire));
+  return ref.ToOwned();
+}
+
 Bytes BlockHeader::Serialize() const {
-  std::vector<RlpItem> items;
-  items.push_back(RlpItem::U64(height));
-  items.push_back(BytesItem(crypto::HashView(parent_hash)));
-  items.push_back(BytesItem(crypto::HashView(tx_root)));
-  items.push_back(BytesItem(crypto::HashView(receipt_root)));
-  items.push_back(BytesItem(crypto::HashView(state_root)));
-  items.push_back(RlpItem::U64(timestamp_ns));
-  return RlpEncode(RlpItem::List(std::move(items)));
+  RlpWriter w(6 * 36);
+  size_t list = w.BeginList();
+  w.WriteU64(height);
+  w.WriteBytes(crypto::HashView(parent_hash));
+  w.WriteBytes(crypto::HashView(tx_root));
+  w.WriteBytes(crypto::HashView(receipt_root));
+  w.WriteBytes(crypto::HashView(state_root));
+  w.WriteU64(timestamp_ns);
+  w.EndList(list);
+  return std::move(w).Take();
 }
 
 crypto::Hash256 BlockHeader::Hash() const {
@@ -142,45 +216,44 @@ crypto::Hash256 BlockHeader::Hash() const {
 }
 
 Bytes Block::Serialize() const {
-  std::vector<RlpItem> tx_items;
+  RlpWriter w;
+  size_t list = w.BeginList();
+  w.WriteBytes(header.Serialize());
+  size_t tx_list = w.BeginList();
   for (const Transaction& tx : transactions) {
-    tx_items.push_back(RlpItem(tx.Serialize()));
+    w.WriteBytes(tx.Serialize());
   }
-  std::vector<RlpItem> items;
-  items.push_back(RlpItem(header.Serialize()));
-  items.push_back(RlpItem::List(std::move(tx_items)));
-  return RlpEncode(RlpItem::List(std::move(items)));
+  w.EndList(tx_list);
+  w.EndList(list);
+  return std::move(w).Take();
 }
 
 Result<Block> Block::Deserialize(ByteView wire) {
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
-  if (!item.is_list() || item.list().size() != 2) {
-    return Status::Corruption("chain: bad block");
-  }
+  CONFIDE_ASSIGN_OR_RETURN(RlpReader r, RlpReader::AtList(wire));
   Block block;
-  // Header.
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem header_item, RlpDecode(item.list()[0].bytes()));
-  if (!header_item.is_list() || header_item.list().size() != 6) {
-    return Status::Corruption("chain: bad block header");
-  }
-  const auto& h = header_item.list();
-  CONFIDE_ASSIGN_OR_RETURN(block.header.height, h[0].AsU64());
-  auto copy_hash = [&](const RlpItem& src, crypto::Hash256* dst) -> Status {
-    CONFIDE_ASSIGN_OR_RETURN(Bytes bytes, FixedBytes(src, 32, "header hash"));
+  // Header: a byte-string item whose content is the header's RLP list.
+  CONFIDE_ASSIGN_OR_RETURN(ByteView header_wire, r.NextBytes());
+  CONFIDE_ASSIGN_OR_RETURN(RlpReader h, RlpReader::AtList(header_wire));
+  CONFIDE_ASSIGN_OR_RETURN(block.header.height, h.NextU64());
+  auto read_hash = [&](crypto::Hash256* dst) -> Status {
+    CONFIDE_ASSIGN_OR_RETURN(ByteView bytes, h.NextFixed(32, "header hash"));
     std::copy(bytes.begin(), bytes.end(), dst->begin());
     return Status::OK();
   };
-  CONFIDE_RETURN_NOT_OK(copy_hash(h[1], &block.header.parent_hash));
-  CONFIDE_RETURN_NOT_OK(copy_hash(h[2], &block.header.tx_root));
-  CONFIDE_RETURN_NOT_OK(copy_hash(h[3], &block.header.receipt_root));
-  CONFIDE_RETURN_NOT_OK(copy_hash(h[4], &block.header.state_root));
-  CONFIDE_ASSIGN_OR_RETURN(block.header.timestamp_ns, h[5].AsU64());
-  // Transactions.
-  if (!item.list()[1].is_list()) return Status::Corruption("chain: bad tx list");
-  for (const RlpItem& tx_item : item.list()[1].list()) {
-    CONFIDE_ASSIGN_OR_RETURN(Transaction tx, Transaction::Deserialize(tx_item.bytes()));
+  CONFIDE_RETURN_NOT_OK(read_hash(&block.header.parent_hash));
+  CONFIDE_RETURN_NOT_OK(read_hash(&block.header.tx_root));
+  CONFIDE_RETURN_NOT_OK(read_hash(&block.header.receipt_root));
+  CONFIDE_RETURN_NOT_OK(read_hash(&block.header.state_root));
+  CONFIDE_ASSIGN_OR_RETURN(block.header.timestamp_ns, h.NextU64());
+  CONFIDE_RETURN_NOT_OK(h.ExpectEnd("chain: block header"));
+  // Transactions: a list of byte-string items, each one tx wire encoding.
+  CONFIDE_ASSIGN_OR_RETURN(RlpReader txs, r.NextList());
+  while (!txs.AtEnd()) {
+    CONFIDE_ASSIGN_OR_RETURN(ByteView tx_wire, txs.NextBytes());
+    CONFIDE_ASSIGN_OR_RETURN(Transaction tx, Transaction::Deserialize(tx_wire));
     block.transactions.push_back(std::move(tx));
   }
+  CONFIDE_RETURN_NOT_OK(r.ExpectEnd("chain: block"));
   return block;
 }
 

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
@@ -58,6 +59,43 @@ struct Transaction {
   static Result<Transaction> Deserialize(ByteView wire);
 };
 
+/// \brief Zero-copy decoded transaction: every field is a ByteView slice
+/// into the wire buffer, which must outlive the ref. This is the decode
+/// form used on the enclave hot path, where the wire bytes (a decrypted
+/// envelope body) are alive for the whole call and per-field copies are
+/// pure overhead. Copy via ToOwned() (or an Arena) to keep fields past
+/// the buffer's lifetime — see DESIGN.md §Zero-copy serialization.
+struct TransactionRef {
+  TxType type = TxType::kPublic;
+  ByteView sender;      ///< 64 bytes (public tx)
+  ByteView contract;    ///< 20 bytes (public tx)
+  ByteView entry;       ///< method name (public tx)
+  ByteView input;       ///< method arguments (public tx)
+  uint64_t nonce = 0;
+  ByteView signature;   ///< 64 bytes (public tx)
+  ByteView envelope;    ///< confidential tx body
+
+  /// \brief Parses `wire`, borrowing every field. Identical validation to
+  /// Transaction::Deserialize; no allocation on success.
+  static Result<TransactionRef> Decode(ByteView wire);
+
+  /// \brief Materializes an owning Transaction (copies the fields).
+  Transaction ToOwned() const;
+
+  /// \brief Digest the sender signs (re-encodes the signing fields).
+  crypto::Hash256 SigningHash() const;
+
+  // Fixed-size copies for call sites needing typed arrays (public tx only;
+  // Decode validated the field widths).
+  crypto::PublicKey SenderKey() const;
+  Address ContractAddress() const;
+  crypto::Signature SignatureValue() const;
+  std::string_view EntryString() const {
+    return std::string_view(reinterpret_cast<const char*>(entry.data()),
+                            entry.size());
+  }
+};
+
 /// \brief Execution receipt. For confidential transactions the stored
 /// form is encrypted under k_tx (T-Protocol, paper formula 2).
 struct Receipt {
@@ -70,6 +108,23 @@ struct Receipt {
 
   Bytes Serialize() const;
   static Result<Receipt> Deserialize(ByteView wire);
+};
+
+/// \brief Zero-copy decoded receipt. Scalar fields are materialized; byte
+/// fields alias the wire buffer. Logs stay in wire form (`logs_payload`
+/// holds the RLP payload of the validated logs list) and are iterated
+/// with an RlpReader on demand — decoding a receipt does not allocate.
+struct ReceiptRef {
+  ByteView tx_hash;         ///< 32 bytes
+  bool success = false;
+  ByteView status_message;
+  ByteView output;
+  ByteView logs_payload;    ///< RLP payload of the logs list (validated)
+  size_t log_count = 0;
+  uint64_t gas_used = 0;
+
+  static Result<ReceiptRef> Decode(ByteView wire);
+  Receipt ToOwned() const;
 };
 
 /// \brief Block header with Merkle commitments.

@@ -5,7 +5,7 @@
 
 namespace confide::core {
 
-using serialize::RlpDecode;
+using serialize::RlpReader;
 
 Client::Client(uint64_t seed, const crypto::PublicKey& pk_tx) : pk_tx_(pk_tx) {
   crypto::Drbg rng(Concat(AsByteView("confide-client:"),
@@ -56,17 +56,22 @@ Result<chain::Receipt> Client::OpenSealedReceipt(const TxKey& k_tx,
 
 Result<crypto::PublicKey> Client::VerifyEnginePublicKey(
     ByteView info_blob, const tee::Measurement& expected_km_measurement) {
-  CONFIDE_ASSIGN_OR_RETURN(serialize::RlpItem item, RlpDecode(info_blob));
-  if (!item.is_list() || item.list().size() != 2) {
+  // A network-delivered blob: reader-based parse so a list-shaped field
+  // fails with Corruption instead of tripping the item-tree accessors.
+  auto reader = RlpReader::AtList(info_blob);
+  if (!reader.ok()) return Status::Corruption("client: bad pk info blob");
+  auto pk_field = reader->NextFixed(64, "pk_tx");
+  if (!pk_field.ok()) return Status::Corruption("client: bad pk_tx");
+  auto quote_field = reader->NextBytes();
+  if (!quote_field.ok() || !reader->AtEnd()) {
     return Status::Corruption("client: bad pk info blob");
   }
-  const Bytes& pk_bytes = item.list()[0].bytes();
-  if (pk_bytes.size() != 64) return Status::Corruption("client: bad pk_tx");
+  ByteView pk_bytes = pk_field.value();
   crypto::PublicKey pk{};
   std::copy(pk_bytes.begin(), pk_bytes.end(), pk.begin());
 
   CONFIDE_ASSIGN_OR_RETURN(tee::Quote quote,
-                           DeserializeQuote(item.list()[1].bytes()));
+                           DeserializeQuote(quote_field.value()));
   if (!tee::VerifyQuote(quote)) {
     return Status::PermissionDenied("client: quote rejected");
   }

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/arena.h"
 #include "common/endian.h"
 #include "common/metrics.h"
 #include "confide/freshness.h"
@@ -16,9 +17,8 @@ namespace confide::core {
 
 namespace {
 
-using serialize::RlpDecode;
-using serialize::RlpEncode;
-using serialize::RlpItem;
+using serialize::RlpReader;
+using serialize::RlpWriter;
 
 uint64_t WallNowNs() {
   return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -116,20 +116,25 @@ class StateJournal {
       return *entry.value;
     }
     // Miss: fetch the sealed value from the untrusted store (one ocall).
-    std::vector<RlpItem> req;
-    req.push_back(RlpItem::U64(token_));
-    req.push_back(RlpItem(Bytes(contract.begin(), contract.end())));
-    req.push_back(RlpItem(ToBytes(key)));
+    RlpWriter req(64 + key.size());
+    size_t req_list = req.BeginList();
+    req.WriteU64(token_);
+    req.WriteBytes(ByteView(contract.data(), contract.size()));
+    req.WriteBytes(key);
+    req.EndList(req_list);
     CONFIDE_ASSIGN_OR_RETURN(
         Bytes resp,
-        ctx_->Ocall(kOcallGetState, RlpEncode(RlpItem::List(std::move(req))),
-                    options_.ocall_semantics));
-    CONFIDE_ASSIGN_OR_RETURN(RlpItem resp_item, RlpDecode(resp));
-    if (!resp_item.is_list() || resp_item.list().size() != 2) {
+        ctx_->Ocall(kOcallGetState, req.buffer(), options_.ocall_semantics));
+    // Zero-copy response walk: the sealed ciphertext stays a view into
+    // `resp` and flows straight into the GCM open.
+    auto reader = RlpReader::AtList(resp);
+    if (!reader.ok()) return Status::Corruption("sdm: bad get-state response");
+    auto found = reader->NextU64();
+    auto sealed = reader->NextBytes();
+    if (!found.ok() || !sealed.ok() || !reader->AtEnd()) {
       return Status::Corruption("sdm: bad get-state response");
     }
-    CONFIDE_ASSIGN_OR_RETURN(uint64_t found, resp_item.list()[0].AsU64());
-    if (found == 0) {
+    if (found.value() == 0) {
       if (options_.enable_state_cache) {
         entries_[jk] = Entry{contract, ToBytes(key), std::nullopt, false};
       }
@@ -137,7 +142,7 @@ class StateJournal {
     }
     Bytes aad = StateAad(ByteView(contract.data(), contract.size()), key, svn_);
     CONFIDE_ASSIGN_OR_RETURN(Bytes plain,
-                             OpenState(k_states_, resp_item.list()[1].bytes(), aad));
+                             OpenState(k_states_, sealed.value(), aad));
     if (options_.enable_state_cache) {
       entries_[jk] = Entry{contract, ToBytes(key), plain, false};
     }
@@ -159,14 +164,15 @@ class StateJournal {
     // Write-through (pre-OPT5 ladder rungs): one ocall per SetStorage.
     Bytes aad = StateAad(ByteView(contract.data(), contract.size()), key, svn_);
     CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, SealState(k_states_, value, aad));
-    std::vector<RlpItem> req;
-    req.push_back(RlpItem::U64(token_));
-    req.push_back(RlpItem(Bytes(contract.begin(), contract.end())));
-    req.push_back(RlpItem(ToBytes(key)));
-    req.push_back(RlpItem(std::move(sealed)));
+    RlpWriter req(64 + key.size() + sealed.size());
+    size_t req_list = req.BeginList();
+    req.WriteU64(token_);
+    req.WriteBytes(ByteView(contract.data(), contract.size()));
+    req.WriteBytes(key);
+    req.WriteBytes(sealed);
+    req.EndList(req_list);
     CONFIDE_RETURN_NOT_OK(
-        ctx_->Ocall(kOcallSetState, RlpEncode(RlpItem::List(std::move(req))),
-                    options_.ocall_semantics)
+        ctx_->Ocall(kOcallSetState, req.buffer(), options_.ocall_semantics)
             .status());
     if (options_.enable_state_cache) {
       entries_[JournalKey(contract, key)] =
@@ -188,36 +194,48 @@ class StateJournal {
       }
     }
     if (wanted.empty()) return Status::OK();
-    std::vector<RlpItem> list;
+    RlpWriter req;
+    size_t req_list = req.BeginList();
+    req.WriteU64(token_);
+    size_t rows = req.BeginList();
     for (const auto* pair : wanted) {
-      std::vector<RlpItem> entry;
-      entry.push_back(RlpItem(Bytes(pair->first.begin(), pair->first.end())));
-      entry.push_back(RlpItem(pair->second));
-      list.push_back(RlpItem::List(std::move(entry)));
+      size_t row = req.BeginList();
+      req.WriteBytes(ByteView(pair->first.data(), pair->first.size()));
+      req.WriteBytes(pair->second);
+      req.EndList(row);
     }
-    std::vector<RlpItem> req;
-    req.push_back(RlpItem::U64(token_));
-    req.push_back(RlpItem::List(std::move(list)));
+    req.EndList(rows);
+    req.EndList(req_list);
     CONFIDE_ASSIGN_OR_RETURN(
-        Bytes resp, ctx_->OcallBatched(kOcallGetStateBatch,
-                                       RlpEncode(RlpItem::List(std::move(req))),
-                                       wanted.size(), options_.ocall_semantics));
-    CONFIDE_ASSIGN_OR_RETURN(RlpItem resp_item, RlpDecode(resp));
-    if (!resp_item.is_list() || resp_item.list().size() != wanted.size()) {
+        Bytes resp,
+        ctx_->OcallBatched(kOcallGetStateBatch, req.buffer(), wanted.size(),
+                           options_.ocall_semantics));
+    // The response dies with this frame but prefetched ciphertexts must
+    // live until their lazy open in Get — the must-own case: one copy per
+    // sealed value into the journal arena, no per-row item tree.
+    auto reader = RlpReader::AtList(resp);
+    if (!reader.ok()) {
       return Status::Corruption("sdm: bad batched get-state response");
     }
     for (size_t i = 0; i < wanted.size(); ++i) {
-      const RlpItem& row = resp_item.list()[i];
-      if (!row.is_list() || row.list().size() != 2) {
+      auto row = reader->NextList();
+      if (!row.ok()) {
+        return Status::Corruption("sdm: bad batched get-state response");
+      }
+      auto found = row->NextU64();
+      auto sealed_view = row->NextBytes();
+      if (!found.ok() || !sealed_view.ok() || !row->AtEnd()) {
         return Status::Corruption("sdm: bad batched get-state entry");
       }
-      CONFIDE_ASSIGN_OR_RETURN(uint64_t found, row.list()[0].AsU64());
       const chain::Address& contract = wanted[i]->first;
       const Bytes& key = wanted[i]->second;
-      std::optional<Bytes> sealed;
-      if (found != 0) sealed = row.list()[1].bytes();
+      std::optional<ByteView> sealed;
+      if (found.value() != 0) sealed = arena_.Dup(sealed_view.value());
       entries_[JournalKey(contract, key)] =
-          Entry{contract, key, std::nullopt, false, std::move(sealed)};
+          Entry{contract, key, std::nullopt, false, sealed};
+    }
+    if (!reader->AtEnd()) {
+      return Status::Corruption("sdm: bad batched get-state response");
     }
     CsMetrics::Get().prefetch_keys->Increment(wanted.size());
     return Status::OK();
@@ -229,26 +247,28 @@ class StateJournal {
   Status Flush() {
     flush_ops_ = 0;
     if (!options_.enable_ocall_batching) return Status::OK();
-    std::vector<RlpItem> list;
+    uint64_t n = 0;
+    RlpWriter req;
+    size_t req_list = req.BeginList();
+    req.WriteU64(token_);
+    size_t rows = req.BeginList();
     for (auto& [jk, entry] : entries_) {
       if (!entry.dirty) continue;
       Bytes aad = StateAad(ByteView(entry.contract.data(), entry.contract.size()),
                            entry.key, svn_);
       CONFIDE_ASSIGN_OR_RETURN(Bytes sealed, SealState(k_states_, *entry.value, aad));
-      std::vector<RlpItem> row;
-      row.push_back(RlpItem(Bytes(entry.contract.begin(), entry.contract.end())));
-      row.push_back(RlpItem(entry.key));
-      row.push_back(RlpItem(std::move(sealed)));
-      list.push_back(RlpItem::List(std::move(row)));
+      size_t row = req.BeginList();
+      req.WriteBytes(ByteView(entry.contract.data(), entry.contract.size()));
+      req.WriteBytes(entry.key);
+      req.WriteBytes(sealed);
+      req.EndList(row);
+      ++n;
     }
-    if (list.empty()) return Status::OK();
-    uint64_t n = list.size();
-    std::vector<RlpItem> req;
-    req.push_back(RlpItem::U64(token_));
-    req.push_back(RlpItem::List(std::move(list)));
+    if (n == 0) return Status::OK();
+    req.EndList(rows);
+    req.EndList(req_list);
     CONFIDE_RETURN_NOT_OK(
-        ctx_->OcallBatched(kOcallSetStateBatch,
-                           RlpEncode(RlpItem::List(std::move(req))), n,
+        ctx_->OcallBatched(kOcallSetStateBatch, req.buffer(), n,
                            options_.ocall_semantics)
             .status());
     for (auto& [jk, entry] : entries_) entry.dirty = false;
@@ -284,8 +304,9 @@ class StateJournal {
     bool dirty = false;
     /// Prefetched ciphertext not yet opened: GCM runs lazily on first
     /// Get, so prefetching a key that execution never touches costs no
-    /// crypto — only the (batched) boundary crossing.
-    std::optional<Bytes> sealed;
+    /// crypto — only the (batched) boundary crossing. The view points
+    /// into arena_ (the ocall response buffer dies with Prefetch).
+    std::optional<ByteView> sealed;
   };
 
   static std::string JournalKey(const chain::Address& contract, ByteView key) {
@@ -306,6 +327,9 @@ class StateJournal {
   uint64_t svn_;
   // Ordered so the flush wire format (and its seal order) is deterministic.
   std::map<std::string, Entry> entries_;
+  /// Owns prefetched ciphertext copies; lives exactly as long as the
+  /// journal (one execution), so Entry::sealed views never dangle.
+  Arena arena_;
   std::set<std::string> touch_seen_;
   std::vector<std::pair<chain::Address, Bytes>> touches_in_order_;
   std::set<uint64_t> read_keys_;
@@ -452,19 +476,17 @@ class SdmEnv : public vm::HostEnv {
 
 namespace {
 
-RlpItem EncodeU64List(const std::vector<uint64_t>& values) {
-  std::vector<RlpItem> items;
-  items.reserve(values.size());
-  for (uint64_t v : values) items.push_back(RlpItem::U64(v));
-  return RlpItem::List(std::move(items));
+void WriteU64List(RlpWriter* w, const std::vector<uint64_t>& values) {
+  size_t mark = w->BeginList();
+  for (uint64_t v : values) w->WriteU64(v);
+  w->EndList(mark);
 }
 
-Result<std::vector<uint64_t>> DecodeU64List(const RlpItem& item) {
-  if (!item.is_list()) return Status::Corruption("cs: bad u64 list");
+Result<std::vector<uint64_t>> ReadU64List(RlpReader* r) {
+  CONFIDE_ASSIGN_OR_RETURN(RlpReader list, r->NextList());
   std::vector<uint64_t> values;
-  values.reserve(item.list().size());
-  for (const RlpItem& entry : item.list()) {
-    CONFIDE_ASSIGN_OR_RETURN(uint64_t v, entry.AsU64());
+  while (!list.AtEnd()) {
+    CONFIDE_ASSIGN_OR_RETURN(uint64_t v, list.NextU64());
     values.push_back(v);
   }
   return values;
@@ -473,40 +495,42 @@ Result<std::vector<uint64_t>> DecodeU64List(const RlpItem& item) {
 }  // namespace
 
 Bytes CsExecuteResponse::Serialize() const {
-  std::vector<RlpItem> items;
-  items.push_back(RlpItem::U64(success ? 1 : 0));
-  items.push_back(RlpItem::String(status_message));
-  items.push_back(RlpItem(sealed_receipt));
-  items.push_back(RlpItem::U64(gas_used));
-  items.push_back(RlpItem::U64(conflict_key));
-  items.push_back(RlpItem::U64(contract_calls));
-  items.push_back(RlpItem::U64(get_storage_ops));
-  items.push_back(RlpItem::U64(set_storage_ops));
-  items.push_back(EncodeU64List(read_keys));
-  items.push_back(EncodeU64List(written_keys));
-  items.push_back(RlpItem::U64(batch_flush_ops));
-  return RlpEncode(RlpItem::List(std::move(items)));
+  RlpWriter w(96 + status_message.size() + sealed_receipt.size() +
+              8 * (read_keys.size() + written_keys.size()));
+  size_t list = w.BeginList();
+  w.WriteU64(success ? 1 : 0);
+  w.WriteString(status_message);
+  w.WriteBytes(sealed_receipt);
+  w.WriteU64(gas_used);
+  w.WriteU64(conflict_key);
+  w.WriteU64(contract_calls);
+  w.WriteU64(get_storage_ops);
+  w.WriteU64(set_storage_ops);
+  WriteU64List(&w, read_keys);
+  WriteU64List(&w, written_keys);
+  w.WriteU64(batch_flush_ops);
+  w.EndList(list);
+  return std::move(w).Take();
 }
 
 Result<CsExecuteResponse> CsExecuteResponse::Deserialize(ByteView wire) {
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(wire));
-  if (!item.is_list() || item.list().size() != 11) {
-    return Status::Corruption("cs: bad execute response");
-  }
-  const auto& f = item.list();
+  CONFIDE_ASSIGN_OR_RETURN(RlpReader r, RlpReader::AtList(wire));
   CsExecuteResponse resp;
-  CONFIDE_ASSIGN_OR_RETURN(uint64_t success, f[0].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t success, r.NextU64());
   resp.success = success != 0;
-  resp.status_message = ToString(f[1].bytes());
-  resp.sealed_receipt = f[2].bytes();
-  CONFIDE_ASSIGN_OR_RETURN(resp.gas_used, f[3].AsU64());
-  CONFIDE_ASSIGN_OR_RETURN(resp.conflict_key, f[4].AsU64());
-  CONFIDE_ASSIGN_OR_RETURN(resp.contract_calls, f[5].AsU64());
-  CONFIDE_ASSIGN_OR_RETURN(resp.get_storage_ops, f[6].AsU64());
-  CONFIDE_ASSIGN_OR_RETURN(resp.set_storage_ops, f[7].AsU64());
-  CONFIDE_ASSIGN_OR_RETURN(resp.read_keys, DecodeU64List(f[8]));
-  CONFIDE_ASSIGN_OR_RETURN(resp.written_keys, DecodeU64List(f[9]));
-  CONFIDE_ASSIGN_OR_RETURN(resp.batch_flush_ops, f[10].AsU64());
+  CONFIDE_ASSIGN_OR_RETURN(ByteView message, r.NextBytes());
+  resp.status_message = ToString(message);
+  CONFIDE_ASSIGN_OR_RETURN(ByteView receipt, r.NextBytes());
+  resp.sealed_receipt = ToBytes(receipt);
+  CONFIDE_ASSIGN_OR_RETURN(resp.gas_used, r.NextU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.conflict_key, r.NextU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.contract_calls, r.NextU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.get_storage_ops, r.NextU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.set_storage_ops, r.NextU64());
+  CONFIDE_ASSIGN_OR_RETURN(resp.read_keys, ReadU64List(&r));
+  CONFIDE_ASSIGN_OR_RETURN(resp.written_keys, ReadU64List(&r));
+  CONFIDE_ASSIGN_OR_RETURN(resp.batch_flush_ops, r.NextU64());
+  CONFIDE_RETURN_NOT_OK(r.ExpectEnd("cs: execute response"));
   return resp;
 }
 
@@ -530,19 +554,18 @@ Result<Bytes> CsEnclave::HandleEcall(uint64_t fn, ByteView input,
 
 Result<Bytes> CsEnclave::SealFreshness(ByteView request,
                                        tee::EnclaveContext* ctx) {
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
-  if (!item.is_list() || item.list().size() != 2) {
+  auto reader = RlpReader::AtList(request);
+  if (!reader.ok()) {
     return Status::InvalidArgument("cs: malformed seal-freshness request");
   }
   FreshnessHeader header;
-  CONFIDE_ASSIGN_OR_RETURN(header.height, item.list()[0].AsU64());
-  const auto& root_bytes = item.list()[1];
-  if (!root_bytes.is_bytes() ||
-      root_bytes.bytes().size() != header.state_root.size()) {
-    return Status::InvalidArgument("cs: malformed seal-freshness root");
+  auto height = reader->NextU64();
+  auto root = reader->NextFixed(header.state_root.size(), "state root");
+  if (!height.ok() || !root.ok() || !reader->AtEnd()) {
+    return Status::InvalidArgument("cs: malformed seal-freshness request");
   }
-  std::copy(root_bytes.bytes().begin(), root_bytes.bytes().end(),
-            header.state_root.begin());
+  header.height = height.value();
+  std::copy(root->begin(), root->end(), header.state_root.begin());
   // Increment-then-seal: the trusted counter moves first, so a crash
   // between the bump and the header write leaves the counter one ahead of
   // the newest sealed generation — never behind it.
@@ -558,23 +581,22 @@ Result<Bytes> CsEnclave::SealFreshness(ByteView request,
 
 Result<Bytes> CsEnclave::VerifyFreshness(ByteView request,
                                          tee::EnclaveContext* ctx) {
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
-  if (!item.is_list() || item.list().size() != 3) {
+  auto reader = RlpReader::AtList(request);
+  if (!reader.ok()) {
     return Status::InvalidArgument("cs: malformed verify-freshness request");
   }
-  const auto& f = item.list();
-  if (!f[0].is_bytes()) {
-    return Status::InvalidArgument("cs: malformed verify-freshness header");
+  crypto::Hash256 tip_root{};
+  auto header_wire = reader->NextBytes();
+  auto tip_height_field = reader->NextU64();
+  auto tip_root_field = reader->NextFixed(tip_root.size(), "tip root");
+  if (!header_wire.ok() || !tip_height_field.ok() || !tip_root_field.ok() ||
+      !reader->AtEnd()) {
+    return Status::InvalidArgument("cs: malformed verify-freshness request");
   }
   CONFIDE_ASSIGN_OR_RETURN(FreshnessHeader header,
-                           FreshnessHeader::Deserialize(ByteView(f[0].bytes())));
-  uint64_t tip_height = 0;
-  CONFIDE_ASSIGN_OR_RETURN(tip_height, f[1].AsU64());
-  crypto::Hash256 tip_root{};
-  if (!f[2].is_bytes() || f[2].bytes().size() != tip_root.size()) {
-    return Status::InvalidArgument("cs: malformed verify-freshness root");
-  }
-  std::copy(f[2].bytes().begin(), f[2].bytes().end(), tip_root.begin());
+                           FreshnessHeader::Deserialize(header_wire.value()));
+  uint64_t tip_height = tip_height_field.value();
+  std::copy(tip_root_field->begin(), tip_root_field->end(), tip_root.begin());
 
   CsMetrics::Get().freshness_verifies->Increment();
   crypto::Hash256 k_fresh = ctx->SealKey(kFreshnessKeyLabel);
@@ -625,9 +647,11 @@ Result<Bytes> CsEnclave::VerifyFreshness(ByteView request,
       action = FreshnessAction::kResealNeeded;
     }
   }
-  std::vector<RlpItem> out;
-  out.push_back(RlpItem::U64(uint64_t(action)));
-  return RlpEncode(RlpItem::List(std::move(out)));
+  RlpWriter out;
+  size_t list = out.BeginList();
+  out.WriteU64(uint64_t(action));
+  out.EndList(list);
+  return std::move(out).Take();
 }
 
 Result<Bytes> CsEnclave::GetProvisionReport(tee::EnclaveContext* ctx) {
@@ -637,12 +661,14 @@ Result<Bytes> CsEnclave::GetProvisionReport(tee::EnclaveContext* ctx) {
   provision_ecdh_ = crypto::GenerateKeyPair(&rng);
   tee::LocalReport report = ctx->CreateLocalReport(
       ByteView(provision_ecdh_->pub.data(), provision_ecdh_->pub.size()));
-  std::vector<RlpItem> items;
-  items.push_back(RlpItem(Bytes(report.mrenclave.begin(), report.mrenclave.end())));
-  items.push_back(RlpItem::U64(report.security_version));
-  items.push_back(RlpItem(report.user_data));
-  items.push_back(RlpItem(Bytes(report.mac.begin(), report.mac.end())));
-  return RlpEncode(RlpItem::List(std::move(items)));
+  RlpWriter w(80 + report.user_data.size());
+  size_t list = w.BeginList();
+  w.WriteBytes(ByteView(report.mrenclave.data(), report.mrenclave.size()));
+  w.WriteU64(report.security_version);
+  w.WriteBytes(report.user_data);
+  w.WriteBytes(ByteView(report.mac.data(), report.mac.size()));
+  w.EndList(list);
+  return std::move(w).Take();
 }
 
 Result<Bytes> CsEnclave::InstallKeys(ByteView blob) {
@@ -699,10 +725,11 @@ Result<OpenedEnvelope> CsEnclave::OpenWithCache(ByteView envelope,
 }
 
 Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* ctx) {
-  // P1: decode the incoming batch.
+  // P1: decode the incoming batch. The reader walk is zero-copy: each
+  // envelope stays a view into the ecall input for its whole pre-verify.
   uint64_t phase_start = WallNowNs();
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
-  if (!item.is_list()) return Status::Corruption("cs: bad batch");
+  auto batch = RlpReader::AtList(request);
+  if (!batch.ok()) return Status::Corruption("cs: bad batch");
   CsMetrics::Get().p1_decode->Observe(WallNowNs() - phase_start);
   std::optional<ConsortiumKeys> keys;
   {
@@ -711,9 +738,12 @@ Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* c
   }
   if (!keys) return Status::Unavailable("cs: keys not provisioned");
 
-  std::vector<RlpItem> results;
-  for (const RlpItem& env_item : item.list()) {
-    const Bytes& envelope = env_item.bytes();
+  RlpWriter results;
+  size_t results_list = results.BeginList();
+  while (!batch->AtEnd()) {
+    auto envelope_field = batch->NextBytes();
+    if (!envelope_field.ok()) return Status::Corruption("cs: bad batch entry");
+    ByteView envelope = envelope_field.value();
     crypto::Hash256 env_hash = crypto::Sha256::Digest(envelope);
     bool valid = false;
     uint64_t conflict_key = 0;
@@ -727,10 +757,11 @@ Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* c
       k_tx = opened->k_tx;
       // P3: signature verification of the recovered raw transaction.
       phase_start = WallNowNs();
-      auto raw = chain::Transaction::Deserialize(opened->raw_tx);
+      auto raw = chain::TransactionRef::Decode(opened->raw_tx);
       if (raw.ok()) {
-        valid = crypto::EcdsaVerify(raw->sender, raw->SigningHash(), raw->signature);
-        conflict_key = ConflictKeyOf(raw->contract);
+        valid = crypto::EcdsaVerify(raw->SenderKey(), raw->SigningHash(),
+                                    raw->SignatureValue());
+        conflict_key = ConflictKeyOf(raw->ContractAddress());
       }
       CsMetrics::Get().p3_sig_verify->Observe(WallNowNs() - phase_start);
     }
@@ -744,26 +775,30 @@ Result<Bytes> CsEnclave::PreVerifyBatch(ByteView request, tee::EnclaveContext* c
     }
     CsMetrics::Get().p4_cache_update->Observe(WallNowNs() - phase_start);
     CsMetrics::Get().preverified_txs->Increment();
-    std::vector<RlpItem> entry;
-    entry.push_back(RlpItem(Bytes(env_hash.begin(), env_hash.end())));
-    entry.push_back(RlpItem::U64(valid ? 1 : 0));
-    entry.push_back(RlpItem::U64(conflict_key));
-    results.push_back(RlpItem::List(std::move(entry)));
+    size_t entry = results.BeginList();
+    results.WriteBytes(crypto::HashView(env_hash));
+    results.WriteU64(valid ? 1 : 0);
+    results.WriteU64(conflict_key);
+    results.EndList(entry);
   }
+  results.EndList(results_list);
   ctx->MonitorEmit(0, "cs: pre-verified batch");
-  return RlpEncode(RlpItem::List(std::move(results)));
+  return std::move(results).Take();
 }
 
 Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
   // P5: contract execution (everything inside the execute ecall).
   metrics::ScopedLatencyTimer p5_timer(CsMetrics::Get().p5_execute);
   CsMetrics::Get().executed_txs->Increment();
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(request));
-  if (!item.is_list() || item.list().size() != 2) {
+  auto req = RlpReader::AtList(request);
+  if (!req.ok()) return Status::Corruption("cs: bad execute request");
+  auto token_field = req->NextU64();
+  auto envelope_field = req->NextBytes();
+  if (!token_field.ok() || !envelope_field.ok() || !req->AtEnd()) {
     return Status::Corruption("cs: bad execute request");
   }
-  CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
-  const Bytes& envelope = item.list()[1].bytes();
+  uint64_t token = token_field.value();
+  ByteView envelope = envelope_field.value();
   crypto::Hash256 env_hash = crypto::Sha256::Digest(envelope);
 
   CsExecuteResponse response;
@@ -794,11 +829,15 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
   }
   if (!opened.ok()) return fail(opened.status());
 
-  auto raw = chain::Transaction::Deserialize(opened->raw_tx);
+  // Zero-copy decode: every field of `raw` aliases opened->raw_tx, which
+  // outlives this frame — no per-field materialization.
+  auto raw = chain::TransactionRef::Decode(opened->raw_tx);
   if (!raw.ok()) return fail(raw.status());
+  const chain::Address contract = raw->ContractAddress();
 
   if (!was_verified &&
-      !crypto::EcdsaVerify(raw->sender, raw->SigningHash(), raw->signature)) {
+      !crypto::EcdsaVerify(raw->SenderKey(), raw->SigningHash(),
+                           raw->SignatureValue())) {
     return fail(Status::PermissionDenied("cs: bad transaction signature"));
   }
 
@@ -811,14 +850,14 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
     svn = SecurityVersion();
   }
 
-  response.conflict_key = ConflictKeyOf(raw->contract);
+  response.conflict_key = ConflictKeyOf(contract);
   StateJournal journal(ctx, options_, token, k_states, svn);
   journal_ptr = &journal;
 
-  const bool is_deploy = raw->entry == "__deploy__";
+  const bool is_deploy = raw->EntryString() == "__deploy__";
   const bool prefetchable = !is_deploy && options_.enable_ocall_batching &&
                             options_.enable_state_cache;
-  std::string profile_key = chain::AddressToString(raw->contract);
+  std::string profile_key = chain::AddressToString(contract);
   if (prefetchable) {
     std::vector<std::pair<chain::Address, Bytes>> hint;
     {
@@ -837,7 +876,7 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
     }
   }
 
-  SdmEnv env(options_, &journal, raw->contract, &cvm_, &evm_,
+  SdmEnv env(options_, &journal, contract, &cvm_, &evm_,
              /*depth=*/0, &response, &code_cache_mutex_, &code_cache_);
 
   chain::Receipt raw_receipt;
@@ -845,20 +884,24 @@ Result<Bytes> CsEnclave::Execute(ByteView request, tee::EnclaveContext* ctx) {
 
   if (is_deploy) {
     // Confidential deployment: code lands sealed like any other state.
-    auto deploy = RlpDecode(raw->input);
-    if (!deploy.ok() || !deploy->is_list() || deploy->list().size() != 2) {
+    auto deploy = RlpReader::AtList(raw->input);
+    if (!deploy.ok()) {
       return fail(Status::InvalidArgument("cs: bad deploy payload"));
     }
-    auto vm_kind = deploy->list()[0].AsU64();
-    if (!vm_kind.ok() || *vm_kind > 1) {
+    auto vm_kind = deploy->NextU64();
+    auto code = deploy->NextBytes();
+    if (!vm_kind.ok() || !code.ok() || !deploy->AtEnd()) {
+      return fail(Status::InvalidArgument("cs: bad deploy payload"));
+    }
+    if (*vm_kind > 1) {
       return fail(Status::InvalidArgument("cs: bad vm kind"));
     }
-    Status st = env.SetStorage(AsByteView("__code__"), deploy->list()[1].bytes());
+    Status st = env.SetStorage(AsByteView("__code__"), code.value());
     if (st.ok()) st = env.SetStorage(AsByteView("__vm__"), Bytes{uint8_t(*vm_kind)});
     if (!st.ok()) return fail(st);
     raw_receipt.success = true;
   } else {
-    auto result = env.RunContract(raw->entry, raw->input);
+    auto result = env.RunContract(raw->EntryString(), raw->input);
     if (!result.ok()) {
       if (result.status().IsVmTrap() ||
           result.status().code() == StatusCode::kResourceExhausted ||

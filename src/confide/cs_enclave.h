@@ -67,8 +67,15 @@ struct CsOptions {
   /// OPT5: write-back StateJournal — buffer SetStorage in-enclave and flush
   /// once per execution; prefetch the learned read set in one batched ocall.
   bool enable_ocall_batching = true;
-  /// Marshalling mode for state ocalls ("optimized data structure", §5.3).
-  tee::PointerSemantics ocall_semantics = tee::PointerSemantics::kCopyInOut;
+  /// Marshalling mode for the sealed-data crossings: the execute /
+  /// pre-verify ecalls and the state ocalls ("optimized data structure",
+  /// §5.3). Defaults to `user_check` — every byte of those payloads is
+  /// either host-visible metadata (token, contract address, storage key,
+  /// all of which land in the plaintext KV anyway) or GCM-sealed
+  /// ciphertext, so skipping the bridge copy gives up nothing. Bypassed
+  /// bytes stay accounted under `tee.boundary.bytes_viewed`. Provisioning
+  /// and freshness ecalls always marshal copy-in/out.
+  tee::PointerSemantics ocall_semantics = tee::PointerSemantics::kUserCheck;
   uint64_t gas_limit = 400'000'000;
   uint32_t max_call_depth = 64;
   /// LRU capacity of the OPT3 pre-verification cache (entries).

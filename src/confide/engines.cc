@@ -40,9 +40,8 @@ struct EngineMetrics {
   }
 };
 
-using serialize::RlpDecode;
-using serialize::RlpEncode;
-using serialize::RlpItem;
+using serialize::RlpReader;
+using serialize::RlpWriter;
 
 uint32_t SelectorOf(std::string_view entry) {
   crypto::Hash256 h = crypto::Keccak256::Digest(AsByteView(entry));
@@ -53,7 +52,7 @@ uint32_t SelectorOf(std::string_view entry) {
 /// shorter cannot authenticate and must not reach the overlay. Without the
 /// check a malformed entry would be stored silently and only explode at
 /// the next OpenState.
-Status ValidateSealedValue(const Bytes& sealed) {
+Status ValidateSealedValue(ByteView sealed) {
   if (sealed.size() < crypto::kGcmIvSize + crypto::kGcmTagSize) {
     return Status::Corruption("ocall: malformed sealed value");
   }
@@ -179,22 +178,33 @@ Result<chain::Receipt> PublicEngine::Execute(const chain::Transaction& tx,
   }
 
   if (tx.entry == "__deploy__") {
-    auto deploy = RlpDecode(tx.input);
-    if (!deploy.ok() || !deploy->is_list() || deploy->list().size() != 2) {
+    auto deploy = RlpReader::AtList(tx.input);
+    uint64_t vm_kind = 0;
+    ByteView code;
+    bool deploy_ok = false;
+    if (deploy.ok()) {
+      auto vm_field = deploy->NextU64();
+      auto code_field = deploy->NextBytes();
+      if (vm_field.ok() && code_field.ok() && deploy->AtEnd()) {
+        vm_kind = vm_field.value();
+        code = code_field.value();
+        deploy_ok = true;
+      }
+    }
+    if (!deploy_ok) {
       receipt.success = false;
       receipt.status_message = "bad deploy payload";
       return receipt;
     }
-    auto vm_kind = deploy->list()[0].AsU64();
-    if (!vm_kind.ok() || *vm_kind > 1) {
+    if (vm_kind > 1) {
       receipt.success = false;
       receipt.status_message = "bad vm kind";
       return receipt;
     }
     state->Put(tx.contract, AsByteView(chain::ContractRegistry::kCodeKey),
-               deploy->list()[1].bytes());
+               ToBytes(code));
     state->Put(tx.contract, AsByteView(chain::ContractRegistry::kVmKey),
-               Bytes{uint8_t(*vm_kind)});
+               Bytes{uint8_t(vm_kind)});
     written_keys.insert(LoadBe64(tx.contract.data()));
     fill_touch();
     receipt.success = true;
@@ -264,60 +274,68 @@ Status ConfidentialEngine::RecreateEnclave(uint64_t seed,
 void ConfidentialEngine::RegisterOcalls() {
   platform_->RegisterOcall(kOcallGetState, [this](ByteView payload) -> Result<Bytes> {
     EngineMetrics::Get().get_state_ocalls->Increment();
-    CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
-    if (!item.is_list() || item.list().size() != 3) {
+    auto req = RlpReader::AtList(payload);
+    if (!req.ok()) return Status::Corruption("ocall: bad get-state request");
+    auto token = req->NextU64();
+    auto contract_field = req->NextBytes();
+    auto key = req->NextBytes();
+    if (!token.ok() || !contract_field.ok() || !key.ok() || !req->AtEnd()) {
       return Status::Corruption("ocall: bad get-state request");
     }
-    CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+    if (contract_field->size() != 20) {
+      return Status::Corruption("ocall: bad contract address");
+    }
     chain::StateDb* state;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      auto it = contexts_.find(token);
+      auto it = contexts_.find(token.value());
       if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
       state = it->second;
     }
-    if (item.list()[1].bytes().size() != 20) {
-      return Status::Corruption("ocall: bad contract address");
-    }
     chain::Address contract{};
-    std::copy(item.list()[1].bytes().begin(), item.list()[1].bytes().end(),
-              contract.begin());
-    auto value = state->Get(contract, item.list()[2].bytes());
-    std::vector<RlpItem> resp;
+    std::copy(contract_field->begin(), contract_field->end(), contract.begin());
+    auto value = state->Get(contract, key.value());
+    RlpWriter resp;
+    size_t list = resp.BeginList();
     if (value.ok()) {
-      resp.push_back(RlpItem::U64(1));
-      resp.push_back(RlpItem(std::move(*value)));
+      resp.WriteU64(1);
+      resp.WriteBytes(*value);
     } else if (value.status().IsNotFound()) {
-      resp.push_back(RlpItem::U64(0));
-      resp.push_back(RlpItem(Bytes{}));
+      resp.WriteU64(0);
+      resp.WriteBytes(ByteView{});
     } else {
       return value.status();
     }
-    return RlpEncode(RlpItem::List(std::move(resp)));
+    resp.EndList(list);
+    return std::move(resp).Take();
   });
 
   platform_->RegisterOcall(kOcallSetState, [this](ByteView payload) -> Result<Bytes> {
     EngineMetrics::Get().set_state_ocalls->Increment();
-    CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
-    if (!item.is_list() || item.list().size() != 4) {
+    auto req = RlpReader::AtList(payload);
+    if (!req.ok()) return Status::Corruption("ocall: bad set-state request");
+    auto token = req->NextU64();
+    auto contract_field = req->NextBytes();
+    auto key = req->NextBytes();
+    auto sealed = req->NextBytes();
+    if (!token.ok() || !contract_field.ok() || !key.ok() || !sealed.ok() ||
+        !req->AtEnd()) {
       return Status::Corruption("ocall: bad set-state request");
     }
-    CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+    if (contract_field->size() != 20) {
+      return Status::Corruption("ocall: bad contract address");
+    }
+    CONFIDE_RETURN_NOT_OK(ValidateSealedValue(sealed.value()));
     chain::StateDb* state;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      auto it = contexts_.find(token);
+      auto it = contexts_.find(token.value());
       if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
       state = it->second;
     }
-    if (item.list()[1].bytes().size() != 20) {
-      return Status::Corruption("ocall: bad contract address");
-    }
-    CONFIDE_RETURN_NOT_OK(ValidateSealedValue(item.list()[3].bytes()));
     chain::Address contract{};
-    std::copy(item.list()[1].bytes().begin(), item.list()[1].bytes().end(),
-              contract.begin());
-    state->Put(contract, item.list()[2].bytes(), item.list()[3].bytes());
+    std::copy(contract_field->begin(), contract_field->end(), contract.begin());
+    state->Put(contract, key.value(), ToBytes(sealed.value()));
     return Bytes{};
   });
 
@@ -325,16 +343,19 @@ void ConfidentialEngine::RegisterOcalls() {
   platform_->RegisterOcall(
       kOcallGetStateBatch, [this](ByteView payload) -> Result<Bytes> {
         EngineMetrics::Get().get_batch_ocalls->Increment();
-        CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
-        if (!item.is_list() || item.list().size() != 2 ||
-            !item.list()[1].is_list()) {
+        auto req = RlpReader::AtList(payload);
+        if (!req.ok()) {
           return Status::Corruption("ocall: bad batched get-state request");
         }
-        CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+        auto token = req->NextU64();
+        auto rows_in = req->NextList();
+        if (!token.ok() || !rows_in.ok() || !req->AtEnd()) {
+          return Status::Corruption("ocall: bad batched get-state request");
+        }
         chain::StateDb* state;
         {
           std::lock_guard<std::mutex> lock(mutex_);
-          auto it = contexts_.find(token);
+          auto it = contexts_.find(token.value());
           if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
           state = it->second;
         }
@@ -342,34 +363,40 @@ void ConfidentialEngine::RegisterOcalls() {
         // CommitStateDb answers all store-level misses from a single
         // pinned snapshot instead of a locked point read per key.
         std::vector<std::pair<chain::Address, Bytes>> wanted;
-        wanted.reserve(item.list()[1].list().size());
-        for (const RlpItem& entry : item.list()[1].list()) {
-          if (!entry.is_list() || entry.list().size() != 2 ||
-              entry.list()[0].bytes().size() != 20) {
+        while (!rows_in->AtEnd()) {
+          auto row = rows_in->NextList();
+          if (!row.ok()) {
+            return Status::Corruption("ocall: bad batched get-state entry");
+          }
+          auto contract_field = row->NextBytes();
+          auto key = row->NextBytes();
+          if (!contract_field.ok() || !key.ok() || !row->AtEnd() ||
+              contract_field->size() != 20) {
             return Status::Corruption("ocall: bad batched get-state entry");
           }
           chain::Address contract{};
-          std::copy(entry.list()[0].bytes().begin(), entry.list()[0].bytes().end(),
+          std::copy(contract_field->begin(), contract_field->end(),
                     contract.begin());
-          wanted.emplace_back(contract, entry.list()[1].bytes());
+          wanted.emplace_back(contract, ToBytes(key.value()));
         }
         std::vector<Result<Bytes>> values = state->GetMany(wanted);
-        std::vector<RlpItem> rows;
-        rows.reserve(values.size());
+        RlpWriter resp;
+        size_t rows_out = resp.BeginList();
         for (auto& value : values) {
-          std::vector<RlpItem> row;
+          size_t row = resp.BeginList();
           if (value.ok()) {
-            row.push_back(RlpItem::U64(1));
-            row.push_back(RlpItem(std::move(*value)));
+            resp.WriteU64(1);
+            resp.WriteBytes(*value);
           } else if (value.status().IsNotFound()) {
-            row.push_back(RlpItem::U64(0));
-            row.push_back(RlpItem(Bytes{}));
+            resp.WriteU64(0);
+            resp.WriteBytes(ByteView{});
           } else {
             return value.status();
           }
-          rows.push_back(RlpItem::List(std::move(row)));
+          resp.EndList(row);
         }
-        return RlpEncode(RlpItem::List(std::move(rows)));
+        resp.EndList(rows_out);
+        return std::move(resp).Take();
       });
 
   // Batched write-back flush: RLP{token, [[contract, key, sealed]...]} -> ().
@@ -378,35 +405,53 @@ void ConfidentialEngine::RegisterOcalls() {
   platform_->RegisterOcall(
       kOcallSetStateBatch, [this](ByteView payload) -> Result<Bytes> {
         EngineMetrics::Get().set_batch_ocalls->Increment();
-        CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(payload));
-        if (!item.is_list() || item.list().size() != 2 ||
-            !item.list()[1].is_list()) {
+        auto req = RlpReader::AtList(payload);
+        if (!req.ok()) {
           return Status::Corruption("ocall: bad batched set-state request");
         }
-        CONFIDE_ASSIGN_OR_RETURN(uint64_t token, item.list()[0].AsU64());
+        auto token = req->NextU64();
+        auto rows_in = req->NextList();
+        if (!token.ok() || !rows_in.ok() || !req->AtEnd()) {
+          return Status::Corruption("ocall: bad batched set-state request");
+        }
         chain::StateDb* state;
         {
           std::lock_guard<std::mutex> lock(mutex_);
-          auto it = contexts_.find(token);
+          auto it = contexts_.find(token.value());
           if (it == contexts_.end()) return Status::NotFound("ocall: unknown token");
           state = it->second;
         }
-        const auto& entries = item.list()[1].list();
-        for (const RlpItem& entry : entries) {
-          if (!entry.is_list() || entry.list().size() != 3 ||
-              entry.list()[0].bytes().size() != 20) {
+        struct Row {
+          chain::Address contract{};
+          ByteView key;
+          ByteView sealed;
+        };
+        std::vector<Row> entries;
+        while (!rows_in->AtEnd()) {
+          auto row = rows_in->NextList();
+          if (!row.ok()) {
             return Status::Corruption("ocall: bad batched set-state entry");
           }
-          CONFIDE_RETURN_NOT_OK(ValidateSealedValue(entry.list()[2].bytes()));
+          auto contract_field = row->NextBytes();
+          auto key = row->NextBytes();
+          auto sealed = row->NextBytes();
+          if (!contract_field.ok() || !key.ok() || !sealed.ok() ||
+              !row->AtEnd() || contract_field->size() != 20) {
+            return Status::Corruption("ocall: bad batched set-state entry");
+          }
+          CONFIDE_RETURN_NOT_OK(ValidateSealedValue(sealed.value()));
+          Row entry;
+          std::copy(contract_field->begin(), contract_field->end(),
+                    entry.contract.begin());
+          entry.key = key.value();
+          entry.sealed = sealed.value();
+          entries.push_back(entry);
         }
         if (fault::FaultInjector::Global().ShouldFail("fault.confide.batch_flush")) {
           return Status::Unavailable("ocall: injected batch-flush failure");
         }
-        for (const RlpItem& entry : entries) {
-          chain::Address contract{};
-          std::copy(entry.list()[0].bytes().begin(), entry.list()[0].bytes().end(),
-                    contract.begin());
-          state->Put(contract, entry.list()[1].bytes(), entry.list()[2].bytes());
+        for (const Row& entry : entries) {
+          state->Put(entry.contract, entry.key, ToBytes(entry.sealed));
         }
         return Bytes{};
       });
@@ -417,25 +462,34 @@ Result<bool> ConfidentialEngine::PreVerify(const chain::Transaction& tx) {
     return Status::InvalidArgument("confidential engine: wrong tx type");
   }
   metrics::ScopedLatencyTimer timer(EngineMetrics::Get().preverify_latency);
-  std::vector<RlpItem> batch;
-  batch.push_back(RlpItem(tx.envelope));
+  RlpWriter batch(16 + tx.envelope.size());
+  size_t batch_list = batch.BeginList();
+  batch.WriteBytes(tx.envelope);
+  batch.EndList(batch_list);
   CONFIDE_ASSIGN_OR_RETURN(
       Bytes resp, platform_->Ecall(enclave_id_, kCsPreVerifyBatch,
-                                   RlpEncode(RlpItem::List(std::move(batch)))));
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(resp));
-  if (!item.is_list() || item.list().size() != 1 || !item.list()[0].is_list() ||
-      item.list()[0].list().size() != 3) {
+                                   batch.buffer(), options_.ocall_semantics));
+  auto reader = RlpReader::AtList(resp);
+  if (!reader.ok()) {
     return Status::Corruption("confidential engine: bad preverify response");
   }
-  const auto& entry = item.list()[0].list();
-  CONFIDE_ASSIGN_OR_RETURN(uint64_t valid, entry[1].AsU64());
-  CONFIDE_ASSIGN_OR_RETURN(uint64_t conflict_key, entry[2].AsU64());
-  if (valid != 0) {
+  auto entry = reader->NextList();
+  if (!entry.ok() || !reader->AtEnd()) {
+    return Status::Corruption("confidential engine: bad preverify response");
+  }
+  auto env_hash = entry->NextBytes();
+  auto valid_field = entry->NextU64();
+  auto conflict_field = entry->NextU64();
+  if (!env_hash.ok() || !valid_field.ok() || !conflict_field.ok() ||
+      !entry->AtEnd()) {
+    return Status::Corruption("confidential engine: bad preverify response");
+  }
+  if (valid_field.value() != 0) {
     std::lock_guard<std::mutex> lock(mutex_);
-    conflict_keys_[HexEncode(entry[0].bytes())] = conflict_key;
+    conflict_keys_[HexEncode(env_hash.value())] = conflict_field.value();
     EngineMetrics::Get().conflict_keys_resident->Set(int64_t(conflict_keys_.size()));
   }
-  return valid != 0;
+  return valid_field.value() != 0;
 }
 
 Result<chain::Receipt> ConfidentialEngine::Execute(const chain::Transaction& tx,
@@ -447,11 +501,12 @@ Result<chain::Receipt> ConfidentialEngine::Execute(const chain::Transaction& tx,
     std::lock_guard<std::mutex> lock(mutex_);
     contexts_[token] = state;
   }
-  std::vector<RlpItem> req;
-  req.push_back(RlpItem::U64(token));
-  req.push_back(RlpItem(tx.envelope));
-  auto resp = platform_->Ecall(enclave_id_, kCsExecute,
-                               RlpEncode(RlpItem::List(std::move(req))),
+  RlpWriter req(24 + tx.envelope.size());
+  size_t req_list = req.BeginList();
+  req.WriteU64(token);
+  req.WriteBytes(tx.envelope);
+  req.EndList(req_list);
+  auto resp = platform_->Ecall(enclave_id_, kCsExecute, req.buffer(),
                                options_.ocall_semantics);
   {
     // The execution is over either way: release the token context and the

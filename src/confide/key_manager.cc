@@ -118,6 +118,9 @@ Result<ConsortiumKeys> UnwrapConsortiumKeys(const crypto::PrivateKey& recipient_
 
   CONFIDE_ASSIGN_OR_RETURN(crypto::AesGcm gcm,
                            crypto::AesGcm::Create(crypto::HashView(wrap_key)));
+  if (!f[1].is_bytes() || !f[2].is_bytes()) {
+    return Status::CryptoError("k-protocol: bad provision blob");
+  }
   CONFIDE_ASSIGN_OR_RETURN(Bytes payload,
                            gcm.Open(f[1].bytes(), f[2].bytes(), AsByteView("provision")));
 
@@ -238,6 +241,7 @@ Result<Bytes> KmEnclave::ProvisionCs(ByteView cs_report, tee::EnclaveContext* ct
   CONFIDE_ASSIGN_OR_RETURN(Bytes mr, GetFixed(f[0], 32, "cs measurement"));
   std::copy(mr.begin(), mr.end(), report.mrenclave.begin());
   CONFIDE_ASSIGN_OR_RETURN(report.security_version, f[1].AsU64());
+  if (!f[2].is_bytes()) return Status::Corruption("km: bad local report");
   report.user_data = f[2].bytes();
   CONFIDE_ASSIGN_OR_RETURN(Bytes mac, GetFixed(f[3], 32, "report mac"));
   std::copy(mac.begin(), mac.end(), report.mac.begin());

@@ -10,9 +10,32 @@ namespace confide::core {
 
 namespace {
 
-using serialize::RlpDecode;
-using serialize::RlpEncode;
-using serialize::RlpItem;
+using serialize::RlpReader;
+using serialize::RlpWriter;
+
+/// Borrowed views of the three envelope fields; alias `envelope`.
+struct EnvelopeFields {
+  ByteView ephemeral_pub;  ///< 64 bytes
+  ByteView wrapped_key;    ///< Enc(wrap_key, k_tx)
+  ByteView body;           ///< Enc(k_tx, Tx_raw)
+};
+
+Result<EnvelopeFields> ParseEnvelope(ByteView envelope) {
+  auto reader = RlpReader::AtList(envelope);
+  if (!reader.ok()) return Status::CryptoError("confide: malformed envelope");
+  EnvelopeFields fields;
+  auto eph = reader->NextFixed(64, "ephemeral key");
+  if (!eph.ok()) return Status::CryptoError("confide: bad ephemeral key");
+  fields.ephemeral_pub = eph.value();
+  auto wrapped = reader->NextBytes();
+  auto body = reader->NextBytes();
+  if (!wrapped.ok() || !body.ok() || !reader->AtEnd()) {
+    return Status::CryptoError("confide: malformed envelope");
+  }
+  fields.wrapped_key = wrapped.value();
+  fields.body = body.value();
+  return fields;
+}
 
 // Synthetic IV: first 12 bytes of HMAC(key, "iv" || aad || plain).
 Bytes SyntheticIv(const crypto::Hash256& key, ByteView aad, ByteView plain) {
@@ -72,25 +95,23 @@ Result<Bytes> SealEnvelope(const crypto::PublicKey& pk_tx, const TxKey& k_tx,
   CONFIDE_ASSIGN_OR_RETURN(Bytes body,
                            GcmSealWithIv(k_tx, iv2, raw_tx, AsByteView("txraw")));
 
-  std::vector<RlpItem> items;
-  items.push_back(RlpItem(Bytes(ephemeral.pub.begin(), ephemeral.pub.end())));
-  items.push_back(RlpItem(std::move(wrapped_key)));
-  items.push_back(RlpItem(std::move(body)));
-  return RlpEncode(RlpItem::List(std::move(items)));
+  RlpWriter w(80 + wrapped_key.size() + body.size());
+  size_t list = w.BeginList();
+  w.WriteBytes(ByteView(ephemeral.pub.data(), ephemeral.pub.size()));
+  w.WriteBytes(wrapped_key);
+  w.WriteBytes(body);
+  w.EndList(list);
+  return std::move(w).Take();
 }
 
 Result<OpenedEnvelope> OpenEnvelope(const crypto::PrivateKey& sk_tx,
                                     ByteView envelope) {
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(envelope));
-  if (!item.is_list() || item.list().size() != 3) {
-    return Status::CryptoError("confide: malformed envelope");
-  }
-  const auto& fields = item.list();
-  if (!fields[0].is_bytes() || fields[0].bytes().size() != 64) {
-    return Status::CryptoError("confide: bad ephemeral key");
-  }
+  // Zero-copy parse: the three fields stay views into `envelope`; only the
+  // GCM opens below materialize plaintext.
+  CONFIDE_ASSIGN_OR_RETURN(EnvelopeFields fields, ParseEnvelope(envelope));
   crypto::PublicKey ephemeral{};
-  std::copy(fields[0].bytes().begin(), fields[0].bytes().end(), ephemeral.begin());
+  std::copy(fields.ephemeral_pub.begin(), fields.ephemeral_pub.end(),
+            ephemeral.begin());
 
   CONFIDE_ASSIGN_OR_RETURN(crypto::Hash256 shared,
                            crypto::EcdhSharedSecret(sk_tx, ephemeral));
@@ -101,7 +122,7 @@ Result<OpenedEnvelope> OpenEnvelope(const crypto::PrivateKey& sk_tx,
 
   CONFIDE_ASSIGN_OR_RETURN(
       Bytes k_tx_bytes,
-      GcmOpenWithIv(wrap_key, fields[1].bytes(), AsByteView("ktx")));
+      GcmOpenWithIv(wrap_key, fields.wrapped_key, AsByteView("ktx")));
   if (k_tx_bytes.size() != 32) {
     return Status::CryptoError("confide: bad k_tx length");
   }
@@ -109,16 +130,13 @@ Result<OpenedEnvelope> OpenEnvelope(const crypto::PrivateKey& sk_tx,
   std::copy(k_tx_bytes.begin(), k_tx_bytes.end(), opened.k_tx.begin());
 
   CONFIDE_ASSIGN_OR_RETURN(
-      opened.raw_tx, GcmOpenWithIv(opened.k_tx, fields[2].bytes(), AsByteView("txraw")));
+      opened.raw_tx, GcmOpenWithIv(opened.k_tx, fields.body, AsByteView("txraw")));
   return opened;
 }
 
 Result<Bytes> OpenEnvelopeBody(const TxKey& k_tx, ByteView envelope) {
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(envelope));
-  if (!item.is_list() || item.list().size() != 3) {
-    return Status::CryptoError("confide: malformed envelope");
-  }
-  return GcmOpenWithIv(k_tx, item.list()[2].bytes(), AsByteView("txraw"));
+  CONFIDE_ASSIGN_OR_RETURN(EnvelopeFields fields, ParseEnvelope(envelope));
+  return GcmOpenWithIv(k_tx, fields.body, AsByteView("txraw"));
 }
 
 Result<Bytes> SealReceipt(const TxKey& k_tx, ByteView raw_receipt) {

@@ -9,9 +9,8 @@
 
 namespace confide::core {
 
-using serialize::RlpDecode;
-using serialize::RlpEncode;
-using serialize::RlpItem;
+using serialize::RlpReader;
+using serialize::RlpWriter;
 
 Result<std::unique_ptr<ConfideSystem>> ConfideSystem::BootstrapCommon(
     SystemOptions options,
@@ -100,13 +99,14 @@ Status ConfideSystem::FinishBootstrap() {
 
 Status ConfideSystem::SealStateGeneration() {
   if (!options_.enable_state_continuity) return Status::OK();
-  std::vector<RlpItem> req;
-  req.push_back(RlpItem::U64(node_->Height()));
-  req.push_back(RlpItem(crypto::HashToBytes(node_->state()->StateRoot())));
+  RlpWriter req(48);
+  size_t req_list = req.BeginList();
+  req.WriteU64(node_->Height());
+  req.WriteBytes(crypto::HashView(node_->state()->StateRoot()));
+  req.EndList(req_list);
   CONFIDE_ASSIGN_OR_RETURN(
-      Bytes header,
-      platform_->Ecall(confidential_->enclave_id(), kCsSealFreshness,
-                       RlpEncode(RlpItem::List(std::move(req)))));
+      Bytes header, platform_->Ecall(confidential_->enclave_id(),
+                                     kCsSealFreshness, req.buffer()));
   storage::KvStore* kv = node_->state()->backing();
   CONFIDE_RETURN_NOT_OK(kv->Put(std::string(kFreshnessKvKey), std::move(header)));
   return kv->Sync();
@@ -123,24 +123,29 @@ Status ConfideSystem::VerifyStateContinuity() {
     }
     return header.status();
   }
-  std::vector<RlpItem> req;
-  req.push_back(RlpItem(*std::move(header)));
-  req.push_back(RlpItem::U64(node_->Height()));
-  req.push_back(RlpItem(crypto::HashToBytes(node_->state()->StateRoot())));
-  Result<Bytes> resp =
-      platform_->Ecall(confidential_->enclave_id(), kCsVerifyFreshness,
-                       RlpEncode(RlpItem::List(std::move(req))));
+  RlpWriter req(64 + header->size());
+  size_t req_list = req.BeginList();
+  req.WriteBytes(*header);
+  req.WriteU64(node_->Height());
+  req.WriteBytes(crypto::HashView(node_->state()->StateRoot()));
+  req.EndList(req_list);
+  Result<Bytes> resp = platform_->Ecall(confidential_->enclave_id(),
+                                        kCsVerifyFreshness, req.buffer());
   if (!resp.ok()) {
     if (resp.status().IsStaleState()) {
       metrics::GetCounter("confide.freshness.refused.count")->Increment();
     }
     return resp.status();
   }
-  CONFIDE_ASSIGN_OR_RETURN(RlpItem item, RlpDecode(*resp));
-  if (!item.is_list() || item.list().size() != 1) {
+  auto reader = RlpReader::AtList(*resp);
+  if (!reader.ok()) {
     return Status::Corruption("freshness: malformed verify response");
   }
-  CONFIDE_ASSIGN_OR_RETURN(uint64_t action, item.list()[0].AsU64());
+  auto action_field = reader->NextU64();
+  if (!action_field.ok() || !reader->AtEnd()) {
+    return Status::Corruption("freshness: malformed verify response");
+  }
+  uint64_t action = action_field.value();
   if (FreshnessAction(action) == FreshnessAction::kResealNeeded) {
     // State advanced past (or an interrupted seal trails) the sealed
     // header; cover the current tip under a fresh generation.

@@ -1,0 +1,145 @@
+/// \file cursor.h
+/// \brief Non-owning Reader / appending Writer cursors — the primitive
+/// layer under the zero-copy decode paths (rlp, flatlite, leb128).
+///
+/// Reader walks a borrowed ByteView and hands out sub-views instead of
+/// copies; every bounds check is written against the *remaining* length
+/// (`n > Remaining()`), never as `pos + n > size`, so attacker-controlled
+/// 64-bit lengths cannot wrap the arithmetic past SIZE_MAX and defeat the
+/// guard. Writer appends to a growable buffer; it exists so encoders can
+/// stream fields without building intermediate item trees.
+///
+/// Lifetime contract: views returned by Reader alias the input buffer and
+/// are valid exactly as long as that buffer. Decoded structs that must
+/// outlive the wire bytes copy through common/arena.h or owned fields —
+/// see DESIGN.md §Zero-copy serialization.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/endian.h"
+#include "common/status.h"
+
+namespace confide::serialize {
+
+/// \brief Forward cursor over a borrowed buffer. Returned views alias the
+/// underlying bytes; the Reader never allocates.
+class Reader {
+ public:
+  explicit Reader(ByteView data) : data_(data) {}
+
+  size_t pos() const { return pos_; }
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  /// \brief Corruption unless every byte has been consumed.
+  Status ExpectEnd(const char* what) const {
+    if (!AtEnd()) {
+      return Status::Corruption(std::string(what) + ": trailing bytes");
+    }
+    return Status::OK();
+  }
+
+  Result<uint8_t> ReadU8() {
+    if (Remaining() < 1) return Status::Corruption("cursor: truncated u8");
+    return data_[pos_++];
+  }
+
+  /// \brief Borrows the next `n` bytes. Overflow-safe: the check compares
+  /// `n` against the remaining length rather than computing `pos + n`.
+  Result<ByteView> ReadBytes(size_t n) {
+    if (n > Remaining()) return Status::Corruption("cursor: truncated read");
+    ByteView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  Status Skip(size_t n) {
+    if (n > Remaining()) return Status::Corruption("cursor: truncated skip");
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<uint32_t> ReadLe32() {
+    CONFIDE_ASSIGN_OR_RETURN(ByteView b, ReadBytes(4));
+    return LoadLe32(b.data());
+  }
+
+  Result<uint64_t> ReadLe64() {
+    CONFIDE_ASSIGN_OR_RETURN(ByteView b, ReadBytes(8));
+    return LoadLe64(b.data());
+  }
+
+  Result<uint32_t> ReadBe32() {
+    CONFIDE_ASSIGN_OR_RETURN(ByteView b, ReadBytes(4));
+    return LoadBe32(b.data());
+  }
+
+  Result<uint64_t> ReadBe64() {
+    CONFIDE_ASSIGN_OR_RETURN(ByteView b, ReadBytes(8));
+    return LoadBe64(b.data());
+  }
+
+  /// \brief Borrows a [u32 length][payload] field (FlatLite-style).
+  Result<ByteView> ReadLengthPrefixed() {
+    CONFIDE_ASSIGN_OR_RETURN(uint32_t len, ReadLe32());
+    return ReadBytes(len);
+  }
+
+ private:
+  ByteView data_;
+  size_t pos_ = 0;
+};
+
+/// \brief Appending writer over an owned buffer. Mirrors Reader so
+/// encode/decode pairs read symmetrically.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(size_t reserve) { buf_.reserve(reserve); }
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteBytes(ByteView b) { Append(&buf_, b); }
+  void WriteString(std::string_view s) { Append(&buf_, AsByteView(s)); }
+
+  void WriteLe32(uint32_t v) {
+    uint8_t b[4];
+    StoreLe32(b, v);
+    Append(&buf_, ByteView(b, 4));
+  }
+
+  void WriteLe64(uint64_t v) {
+    uint8_t b[8];
+    StoreLe64(b, v);
+    Append(&buf_, ByteView(b, 8));
+  }
+
+  void WriteBe32(uint32_t v) {
+    uint8_t b[4];
+    StoreBe32(b, v);
+    Append(&buf_, ByteView(b, 4));
+  }
+
+  void WriteBe64(uint64_t v) {
+    uint8_t b[8];
+    StoreBe64(b, v);
+    Append(&buf_, ByteView(b, 8));
+  }
+
+  void WriteLengthPrefixed(ByteView b) {
+    WriteLe32(uint32_t(b.size()));
+    WriteBytes(b);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const Bytes& buffer() const { return buf_; }
+  Bytes Take() && { return std::move(buf_); }
+
+ protected:
+  Bytes buf_;
+};
+
+}  // namespace confide::serialize

@@ -94,21 +94,23 @@ bool FlatLiteView::Has(uint32_t field) const {
 
 Result<uint64_t> FlatLiteView::GetU64(uint32_t field) const {
   CONFIDE_ASSIGN_OR_RETURN(uint32_t off, OffsetOf(field));
-  if (off + 8 > buffer_.size()) {
+  // size_t arithmetic: `off + 8` in uint32 could wrap for offsets near
+  // UINT32_MAX and slip past the check.
+  if (size_t(off) + 8 > buffer_.size()) {
     return Status::Corruption("flatlite: scalar overruns buffer");
   }
   return LoadLe64(buffer_.data() + off);
 }
 
 Result<ByteView> FlatLiteView::LengthPrefixedAt(uint32_t offset) const {
-  if (offset + 4 > buffer_.size()) {
+  if (size_t(offset) + 4 > buffer_.size()) {
     return Status::Corruption("flatlite: length prefix overruns buffer");
   }
   uint32_t len = LoadLe32(buffer_.data() + offset);
-  if (size_t(offset) + 4 + len > buffer_.size()) {
+  if (size_t(offset) + 4 + size_t(len) > buffer_.size()) {
     return Status::Corruption("flatlite: payload overruns buffer");
   }
-  return buffer_.subspan(offset + 4, len);
+  return buffer_.subspan(size_t(offset) + 4, len);
 }
 
 Result<ByteView> FlatLiteView::GetBytes(uint32_t field) const {
@@ -128,10 +130,16 @@ Result<FlatLiteView> FlatLiteView::GetTable(uint32_t field) const {
 
 Result<uint32_t> FlatLiteView::GetVectorSize(uint32_t field) const {
   CONFIDE_ASSIGN_OR_RETURN(uint32_t off, OffsetOf(field));
-  if (off + 4 > buffer_.size()) {
+  if (size_t(off) + 4 > buffer_.size()) {
     return Status::Corruption("flatlite: vector count overruns buffer");
   }
-  return LoadLe32(buffer_.data() + off);
+  uint32_t count = LoadLe32(buffer_.data() + off);
+  // The slot table itself must fit; otherwise a truncated or corrupt
+  // buffer can claim ~4B elements and send callers into a futile scan.
+  if (size_t(4) * count > buffer_.size() - size_t(off) - 4) {
+    return Status::Corruption("flatlite: vector count overruns buffer");
+  }
+  return count;
 }
 
 Result<ByteView> FlatLiteView::GetVectorElement(uint32_t field, uint32_t index) const {

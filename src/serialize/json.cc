@@ -74,7 +74,8 @@ struct Parser {
           case 'r': out.push_back('\r'); break;
           case 't': out.push_back('\t'); break;
           case 'u': {
-            if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+            // Remaining-based guard (pos + 4 could wrap in principle).
+            if (text.size() - pos < 4) return Fail("truncated \\u escape");
             unsigned code = 0;
             for (int i = 0; i < 4; ++i) {
               char h = text[pos++];

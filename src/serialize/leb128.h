@@ -37,6 +37,11 @@ inline void WriteSleb128(Bytes* out, int64_t value) {
 }
 
 /// \brief Reads an unsigned LEB128 value; advances *pos.
+///
+/// The 10th byte of a u64 encoding sits at shift 63 and may only carry
+/// bit 0 — any higher payload bit would shift past bit 63 and vanish, so
+/// such encodings are rejected as non-canonical rather than silently
+/// truncated to the low bits.
 inline Result<uint64_t> ReadUleb128(ByteView data, size_t* pos) {
   uint64_t result = 0;
   int shift = 0;
@@ -44,6 +49,9 @@ inline Result<uint64_t> ReadUleb128(ByteView data, size_t* pos) {
     if (*pos >= data.size()) return Status::Corruption("truncated uleb128");
     if (shift >= 64) return Status::Corruption("uleb128 overflows 64 bits");
     uint8_t byte = data[(*pos)++];
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return Status::Corruption("uleb128 overflows 64 bits");
+    }
     result |= uint64_t(byte & 0x7f) << shift;
     if (!(byte & 0x80)) return result;
     shift += 7;
@@ -51,21 +59,31 @@ inline Result<uint64_t> ReadUleb128(ByteView data, size_t* pos) {
 }
 
 /// \brief Reads a signed LEB128 value; advances *pos.
+///
+/// At shift 63 only bit 0 of the final byte lands in the result; the
+/// remaining payload bits must match that sign bit (0x00 or 0x7f after
+/// masking) or the encoding overflows 64 bits and is rejected.
 inline Result<int64_t> ReadSleb128(ByteView data, size_t* pos) {
-  int64_t result = 0;
+  uint64_t result = 0;
   int shift = 0;
   uint8_t byte;
   do {
     if (*pos >= data.size()) return Status::Corruption("truncated sleb128");
     if (shift >= 64) return Status::Corruption("sleb128 overflows 64 bits");
     byte = data[(*pos)++];
-    result |= int64_t(byte & 0x7f) << shift;
+    if (shift == 63) {
+      uint8_t payload = byte & 0x7f;
+      if (payload != 0x00 && payload != 0x7f) {
+        return Status::Corruption("sleb128 overflows 64 bits");
+      }
+    }
+    result |= uint64_t(byte & 0x7f) << shift;
     shift += 7;
   } while (byte & 0x80);
   if (shift < 64 && (byte & 0x40)) {
-    result |= -(int64_t(1) << shift);  // sign extend
+    result |= ~uint64_t(0) << shift;  // sign extend
   }
-  return result;
+  return int64_t(result);
 }
 
 }  // namespace confide::serialize

@@ -57,6 +57,9 @@ struct TeeStats {
   std::atomic<uint64_t> bytes_copied_in{0};
   std::atomic<uint64_t> bytes_copied_out{0};
   std::atomic<uint64_t> user_check_bypasses{0};
+  /// Bytes that crossed the boundary as `user_check` views — accounted but
+  /// not copied (no marshalling cycles charged).
+  std::atomic<uint64_t> bytes_viewed{0};
   std::atomic<uint64_t> pages_evicted{0};
   std::atomic<uint64_t> pages_loaded{0};
   std::atomic<uint64_t> modeled_cycles{0};
@@ -73,6 +76,7 @@ struct TeeStats {
     bytes_copied_in = 0;
     bytes_copied_out = 0;
     user_check_bypasses = 0;
+    bytes_viewed = 0;
     pages_evicted = 0;
     pages_loaded = 0;
     modeled_cycles = 0;

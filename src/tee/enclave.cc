@@ -24,6 +24,10 @@ struct TeeMetrics {
   metrics::Counter* copy_cycles = metrics::GetCounter("tee.copy.cycles");
   metrics::Counter* user_check_bypasses =
       metrics::GetCounter("tee.copy.user_check_bypass.count");
+  metrics::Counter* boundary_bytes_copied =
+      metrics::GetCounter("tee.boundary.bytes_copied");
+  metrics::Counter* boundary_bytes_viewed =
+      metrics::GetCounter("tee.boundary.bytes_viewed");
   metrics::Counter* batched_entries =
       metrics::GetCounter("tee.ocall.batched_entries.count");
   metrics::Counter* transitions_saved =
@@ -205,7 +209,9 @@ void EnclavePlatform::ChargeCopy(size_t bytes, PointerSemantics semantics,
                                  bool inbound) {
   if (semantics == PointerSemantics::kUserCheck) {
     stats_.user_check_bypasses.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_viewed.fetch_add(bytes, std::memory_order_relaxed);
     TeeMetrics::Get().user_check_bypasses->Increment();
+    TeeMetrics::Get().boundary_bytes_viewed->Increment(bytes);
     return;
   }
   uint64_t cycles = model_.copy_setup_cycles +
@@ -215,6 +221,7 @@ void EnclavePlatform::ChargeCopy(size_t bytes, PointerSemantics semantics,
   auto& counter = inbound ? stats_.bytes_copied_in : stats_.bytes_copied_out;
   counter.fetch_add(bytes, std::memory_order_relaxed);
   TeeMetrics::Get().copy_cycles->Increment(cycles);
+  TeeMetrics::Get().boundary_bytes_copied->Increment(bytes);
   (inbound ? TeeMetrics::Get().copy_bytes_in : TeeMetrics::Get().copy_bytes_out)
       ->Increment(bytes);
 }

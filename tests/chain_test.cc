@@ -14,6 +14,7 @@
 #include "chain/types.h"
 #include "common/endian.h"
 #include "crypto/drbg.h"
+#include "serialize/rlp.h"
 #include "storage/lsm_store.h"
 
 namespace confide::chain {
@@ -167,6 +168,96 @@ TEST(ChainTypesTest, BlockRoundTrip) {
 TEST(ChainTypesTest, NamedAddressesAreStableAndDistinct) {
   EXPECT_EQ(NamedAddress("gateway"), NamedAddress("gateway"));
   EXPECT_NE(NamedAddress("gateway"), NamedAddress("manager"));
+}
+
+TEST(ChainTypesTest, TransactionRefMatchesOwningDecode) {
+  crypto::Drbg rng(5);
+  Transaction tx = MakeSignedTx(&rng, NamedAddress("bank"), "transfer",
+                                rng.Generate(100));
+  const Bytes wire = tx.Serialize();
+
+  auto ref = TransactionRef::Decode(wire);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_EQ(ref->SenderKey(), tx.sender);
+  EXPECT_EQ(ref->ContractAddress(), tx.contract);
+  EXPECT_EQ(ref->EntryString(), tx.entry);
+  EXPECT_EQ(ToBytes(ref->input), tx.input);
+  EXPECT_EQ(ref->nonce, tx.nonce);
+  EXPECT_EQ(ref->SignatureValue(), tx.signature);
+  EXPECT_EQ(ref->SigningHash(), tx.SigningHash());
+
+  // Views alias the wire buffer — no field was copied.
+  EXPECT_GE(ref->input.data(), wire.data());
+  EXPECT_LE(ref->input.data() + ref->input.size(), wire.data() + wire.size());
+
+  Transaction owned = ref->ToOwned();
+  EXPECT_EQ(owned.Serialize(), wire);
+  EXPECT_EQ(owned.Hash(), tx.Hash());
+}
+
+TEST(ChainTypesTest, ReceiptRefMatchesOwningDecode) {
+  crypto::Drbg rng(6);
+  Receipt receipt;
+  receipt.tx_hash = crypto::Sha256::Digest(AsByteView("tx"));
+  receipt.success = false;
+  receipt.status_message = "trap: divide by zero";
+  receipt.output = rng.Generate(64);
+  receipt.logs = {rng.Generate(16), rng.Generate(24)};
+  receipt.gas_used = 777;
+  const Bytes wire = receipt.Serialize();
+
+  auto ref = ReceiptRef::Decode(wire);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_EQ(ref->success, receipt.success);
+  EXPECT_EQ(ref->log_count, receipt.logs.size());
+  EXPECT_EQ(ref->gas_used, receipt.gas_used);
+  EXPECT_GE(ref->output.data(), wire.data());
+  EXPECT_LE(ref->output.data() + ref->output.size(),
+            wire.data() + wire.size());
+
+  Receipt owned = ref->ToOwned();
+  EXPECT_EQ(owned.status_message, receipt.status_message);
+  EXPECT_EQ(owned.output, receipt.output);
+  EXPECT_EQ(owned.logs, receipt.logs);
+  EXPECT_EQ(owned.Serialize(), wire);
+}
+
+TEST(ChainTypesTest, MalformedWiresFailCleanly) {
+  crypto::Drbg rng(7);
+  Transaction tx = MakeSignedTx(&rng, NamedAddress("bank"), "m",
+                                rng.Generate(32));
+  const Bytes tx_wire = tx.Serialize();
+
+  // Truncations at every boundary must error, never crash.
+  for (size_t len = 0; len < tx_wire.size(); ++len) {
+    ByteView cut(tx_wire.data(), len);
+    EXPECT_FALSE(Transaction::Deserialize(cut).ok()) << "len " << len;
+    EXPECT_FALSE(TransactionRef::Decode(cut).ok()) << "len " << len;
+  }
+
+  // A confidential tx whose envelope slot holds a nested list.
+  serialize::RlpWriter conf;
+  size_t list = conf.BeginList();
+  conf.WriteU64(uint64_t(TxType::kConfidential));
+  size_t bogus = conf.BeginList();
+  conf.WriteString("not-bytes");
+  conf.EndList(bogus);
+  conf.EndList(list);
+  EXPECT_FALSE(Transaction::Deserialize(std::move(conf).Take()).ok());
+
+  // A receipt whose logs slot holds bytes instead of a list.
+  serialize::RlpWriter rec;
+  list = rec.BeginList();
+  rec.WriteBytes(Bytes(32, 0xAB));  // tx_hash
+  rec.WriteU64(1);                  // success
+  rec.WriteString("");              // status_message
+  rec.WriteString("out");           // output
+  rec.WriteString("not-a-list");    // logs: wrong kind
+  rec.WriteU64(9);                  // gas_used
+  rec.EndList(list);
+  const Bytes bad_receipt = std::move(rec).Take();
+  EXPECT_FALSE(Receipt::Deserialize(bad_receipt).ok());
+  EXPECT_FALSE(ReceiptRef::Decode(bad_receipt).ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bounded_queue.h"
 #include "common/bytes.h"
 #include "common/lru.h"
@@ -116,6 +117,46 @@ TEST(BytesTest, SecureZeroClears) {
   Bytes secret = {9, 9, 9, 9};
   SecureZero(&secret);
   EXPECT_EQ(secret, (Bytes{0, 0, 0, 0}));
+}
+
+TEST(ArenaTest, DupViewsStayStableAcrossManyAllocations) {
+  Arena arena(64);  // small blocks to force chaining
+  std::vector<ByteView> views;
+  std::vector<Bytes> originals;
+  for (int i = 0; i < 200; ++i) {
+    originals.push_back(Bytes(size_t(1 + i % 50), uint8_t(i)));
+    views.push_back(arena.Dup(originals.back()));
+  }
+  // Blocks are chained, never reallocated: every earlier view must still
+  // read back its bytes after 200 further allocations.
+  ASSERT_GT(arena.block_count(), 1u);
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(ToBytes(views[i]), originals[i]) << "view " << i;
+  }
+}
+
+TEST(ArenaTest, DupStringAndEmptyAndOversized) {
+  Arena arena(32);
+  std::string_view s = arena.DupString("hello arena");
+  EXPECT_EQ(s, "hello arena");
+
+  EXPECT_TRUE(arena.Dup(ByteView{}).empty());  // no allocation for empty
+
+  // Oversized request gets a dedicated block rather than failing.
+  Bytes big(1000, 0x5A);
+  ByteView v = arena.Dup(big);
+  EXPECT_EQ(ToBytes(v), big);
+}
+
+TEST(ArenaTest, ResetDropsUsageAndReusesCleanly) {
+  Arena arena;
+  arena.Dup(Bytes(100, 1));
+  EXPECT_EQ(arena.bytes_used(), 100u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+  ByteView v = arena.Dup(Bytes(3, 7));
+  EXPECT_EQ(ToBytes(v), Bytes(3, 7));
 }
 
 TEST(SimClockTest, AdvancesMonotonically) {

@@ -250,6 +250,46 @@ TEST(KProtocolTest, CentralKmsProvisionsVerifiedEnclaves) {
       kms.Provision(*request, tee::MeasureEnclave("other", 1)).ok());
 }
 
+TEST(KProtocolTest, MalformedPublicInfoBlobRejectedNotCrash) {
+  const auto mr = tee::MeasureEnclave("confide-km-enclave", 1);
+
+  // Not RLP at all.
+  EXPECT_FALSE(Client::VerifyEnginePublicKey(AsByteView("junk"), mr).ok());
+  EXPECT_FALSE(Client::VerifyEnginePublicKey(ByteView{}, mr).ok());
+
+  // pk slot holds a nested list where 64 raw bytes are expected — the
+  // reader-based parse must fail with a Status, not feed list bytes into
+  // the key copy.
+  serialize::RlpWriter w;
+  size_t list = w.BeginList();
+  size_t pk_list = w.BeginList();
+  w.WriteString("not-a-key");
+  w.EndList(pk_list);
+  w.WriteString("quote");
+  w.EndList(list);
+  auto status = Client::VerifyEnginePublicKey(std::move(w).Take(), mr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), StatusCode::kCorruption);
+
+  // Wrong pk width (63 bytes) and a trailing extra field both fail.
+  serialize::RlpWriter narrow;
+  list = narrow.BeginList();
+  narrow.WriteBytes(Bytes(63, 0x11));
+  narrow.WriteString("quote");
+  narrow.EndList(list);
+  EXPECT_FALSE(
+      Client::VerifyEnginePublicKey(std::move(narrow).Take(), mr).ok());
+
+  serialize::RlpWriter extra;
+  list = extra.BeginList();
+  extra.WriteBytes(Bytes(64, 0x11));
+  extra.WriteString("quote");
+  extra.WriteString("trailing");
+  extra.EndList(list);
+  EXPECT_FALSE(
+      Client::VerifyEnginePublicKey(std::move(extra).Take(), mr).ok());
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end confidential execution
 // ---------------------------------------------------------------------------

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+
+#include "chain/types.h"
 #include "common/bytes.h"
 #include "crypto/drbg.h"
 #include "serialize/flatlite.h"
@@ -60,6 +64,74 @@ TEST(Leb128Test, TruncatedInputFails) {
   Bytes bad = {0x80};  // continuation bit with no follow-up
   size_t pos = 0;
   EXPECT_FALSE(ReadUleb128(bad, &pos).ok());
+}
+
+TEST(Leb128Test, UnsignedBoundaryRoundTrips) {
+  for (uint64_t v : {UINT64_MAX, UINT64_MAX - 1, uint64_t(1) << 63,
+                     (uint64_t(1) << 63) - 1, (uint64_t(1) << 56) - 1}) {
+    Bytes out;
+    WriteUleb128(&out, v);
+    size_t pos = 0;
+    auto back = ReadUleb128(out, &pos);
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, out.size());
+  }
+  // UINT64_MAX occupies the full 10 bytes, 10th byte carrying only bit 63.
+  Bytes max;
+  WriteUleb128(&max, UINT64_MAX);
+  ASSERT_EQ(max.size(), 10u);
+  EXPECT_EQ(max.back(), 0x01);
+}
+
+TEST(Leb128Test, SignedBoundaryRoundTrips) {
+  for (int64_t v : {INT64_MAX, INT64_MAX - 1, INT64_MIN, INT64_MIN + 1,
+                    int64_t(1) << 62, -(int64_t(1) << 62)}) {
+    Bytes out;
+    WriteSleb128(&out, v);
+    size_t pos = 0;
+    auto back = ReadSleb128(out, &pos);
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, out.size());
+  }
+}
+
+TEST(Leb128Test, TenthBytePayloadOverflowRejected) {
+  // The 10th byte sits at shift 63: any unsigned payload bit above bit 0
+  // would shift past the top of the u64 and silently vanish.
+  Bytes bad(9, 0xff);
+  bad.push_back(0x02);
+  size_t pos = 0;
+  EXPECT_FALSE(ReadUleb128(bad, &pos).ok());
+  bad.back() = 0x7f;
+  pos = 0;
+  EXPECT_FALSE(ReadUleb128(bad, &pos).ok());
+  bad.back() = 0x01;  // exactly bit 63: the canonical UINT64_MAX tail
+  pos = 0;
+  EXPECT_TRUE(ReadUleb128(bad, &pos).ok());
+  // Continuation bit on the 10th byte pushes shift past 64.
+  Bytes eleven(10, 0x80);
+  eleven.push_back(0x01);
+  pos = 0;
+  EXPECT_FALSE(ReadUleb128(eleven, &pos).ok());
+}
+
+TEST(Leb128Test, SignedTenthByteMustMatchSign) {
+  // At shift 63 the signed final payload must be all-zeros or all-ones.
+  Bytes bad(9, 0xff);
+  for (uint8_t tail : {0x01, 0x3f, 0x40, 0x7e}) {
+    bad.push_back(tail);
+    size_t pos = 0;
+    EXPECT_FALSE(ReadSleb128(bad, &pos).ok()) << int(tail);
+    bad.pop_back();
+  }
+  for (uint8_t tail : {0x00, 0x7f}) {
+    bad.push_back(tail);
+    size_t pos = 0;
+    EXPECT_TRUE(ReadSleb128(bad, &pos).ok()) << int(tail);
+    bad.pop_back();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -123,6 +195,121 @@ TEST(RlpTest, DecodeRejectsTruncation) {
 TEST(RlpTest, DecodeRejectsNonCanonicalSingleByte) {
   Bytes bad = {0x81, 0x05};  // 0x05 must encode as itself
   EXPECT_FALSE(RlpDecode(bad).ok());
+}
+
+TEST(RlpTest, OverflowLengthsRejected) {
+  // Crafted 8-byte lengths adjacent to SIZE_MAX: a naive `pos + len`
+  // bounds check wraps and lets the read through. Every case must fail
+  // with a clean error in both decode paths.
+  const std::vector<Bytes> crafted = {
+      // Long string, length = 2^64 - 1.
+      {0xbf, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+      // Long string, length = SIZE_MAX - 7 (wraps past the 9-byte header).
+      {0xbf, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xf8},
+      // Long list variants of the same lengths.
+      {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+      {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xf8},
+      // Length = 2^63 (sign-bit boundary).
+      {0xbf, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00},
+      // 4-byte length far past the remaining input.
+      {0xbb, 0xff, 0xff, 0xff, 0xff},
+      {0xfb, 0xff, 0xff, 0xff, 0xff},
+      // Truncated length-of-length itself.
+      {0xbf, 0xff, 0xff},
+      {0xff, 0xff},
+  };
+  for (const Bytes& wire : crafted) {
+    EXPECT_FALSE(RlpDecode(wire).ok()) << HexEncode(wire);
+    EXPECT_FALSE(RlpReader::AtList(wire).ok()) << HexEncode(wire);
+  }
+}
+
+TEST(RlpTest, NonMinimalLengthEncodingsRejected) {
+  // Long-form length with leading zero byte.
+  EXPECT_FALSE(RlpDecode(Bytes{0xb9, 0x00, 0x38}).ok());
+  // Long-form length below 56 (must use the short form).
+  Bytes short_len = {0xb8, 0x01, 0x61};
+  EXPECT_FALSE(RlpDecode(short_len).ok());
+  // Nested inside a list: the same guards apply mid-stream.
+  Bytes nested = {0xc3, 0xb8, 0x01, 0x61};
+  EXPECT_FALSE(RlpDecode(nested).ok());
+  auto reader = RlpReader::AtList(nested);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->NextBytes().ok());
+}
+
+TEST(RlpTest, ReaderRejectsKindMismatches) {
+  RlpWriter w;
+  size_t list = w.BeginList();
+  w.WriteString("field");
+  size_t inner = w.BeginList();
+  w.WriteU64(7);
+  w.EndList(inner);
+  w.EndList(list);
+
+  // NextList on a bytes item / NextBytes, NextU64, NextFixed on a list.
+  auto r1 = RlpReader::AtList(w.buffer());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1->NextList().ok());
+
+  auto r2 = RlpReader::AtList(w.buffer());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->NextBytes().ok());
+  EXPECT_FALSE(r2->NextBytes().ok());
+
+  auto r3 = RlpReader::AtList(w.buffer());
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(r3->NextFixed(5, "field").ok());
+  EXPECT_FALSE(r3->NextU64().ok());
+
+  auto r4 = RlpReader::AtList(w.buffer());
+  ASSERT_TRUE(r4.ok());
+  EXPECT_FALSE(r4->NextFixed(4, "field").ok());  // wrong width
+}
+
+TEST(RlpTest, ReaderWriterRoundTrip) {
+  RlpWriter w(64);
+  size_t outer = w.BeginList();
+  w.WriteU64(123456789);
+  w.WriteString("hello");
+  size_t inner = w.BeginList();
+  w.WriteU64(0);
+  w.WriteBytes(Bytes(60, 0xAB));  // long-form string
+  w.EndList(inner);
+  w.EndList(outer);
+
+  auto reader = RlpReader::AtList(w.buffer());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(*reader->CountRemaining(), 3u);
+  EXPECT_EQ(*reader->NextU64(), 123456789u);
+  ByteView s = *reader->NextBytes();
+  EXPECT_EQ(std::string(s.begin(), s.end()), "hello");
+  auto nested = reader->NextList();
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(*nested->NextU64(), 0u);
+  EXPECT_EQ(nested->NextBytes()->size(), 60u);
+  EXPECT_TRUE(nested->AtEnd());
+  EXPECT_TRUE(reader->ExpectEnd("round trip").ok());
+}
+
+TEST(RlpTest, ReaderViewsAliasInput) {
+  RlpWriter w;
+  size_t list = w.BeginList();
+  w.WriteString("payload");
+  w.EndList(list);
+  Bytes wire = std::move(w).Take();
+  auto reader = RlpReader::AtList(wire);
+  ASSERT_TRUE(reader.ok());
+  ByteView field = *reader->NextBytes();
+  EXPECT_GE(field.data(), wire.data());
+  EXPECT_LE(field.data() + field.size(), wire.data() + wire.size());
+}
+
+TEST(RlpTest, U64PayloadGuards) {
+  EXPECT_FALSE(RlpU64Payload(Bytes{0x00, 0x01}).ok());  // leading zero
+  EXPECT_FALSE(RlpU64Payload(Bytes(9, 0x01)).ok());     // > 8 bytes
+  EXPECT_EQ(*RlpU64Payload(Bytes{}), 0u);
+  EXPECT_EQ(*RlpU64Payload(Bytes(8, 0xff)), UINT64_MAX);
 }
 
 TEST(RlpTest, FuzzRoundTripRandomStructures) {
@@ -219,6 +406,16 @@ TEST(JsonTest, SetOverwritesExistingKey) {
   EXPECT_EQ(obj.Find("k")->as_int(), 2);
 }
 
+TEST(JsonTest, TruncatedUnicodeEscapeFails) {
+  // The \u guard is remaining-based; the document ending mid-escape must
+  // produce a parse error, never a read past the buffer.
+  EXPECT_FALSE(JsonParse("\"\\u").ok());
+  EXPECT_FALSE(JsonParse("\"\\u1").ok());
+  EXPECT_FALSE(JsonParse("\"\\u123").ok());
+  EXPECT_FALSE(JsonParse("\"abc\\u12").ok());
+  EXPECT_TRUE(JsonParse("\"\\u1234\"").ok());
+}
+
 TEST(JsonTest, LargeIntegerFallsBackToDouble) {
   auto v = JsonParse("99999999999999999999999999");
   ASSERT_TRUE(v.ok());
@@ -287,6 +484,29 @@ TEST(FlatLiteTest, VectorOfTables) {
   EXPECT_FALSE(view->GetVectorElement(0, 5).ok());
 }
 
+// Found by DecodeFuzzTest: a corrupted count used to be returned verbatim,
+// sending count-driven callers into a scan over ~4B absent elements.
+TEST(FlatLiteTest, VectorCountBeyondBufferRejected) {
+  FlatLiteBuilder builder(1);
+  builder.SetVector(0, {Bytes{1, 2, 3}, Bytes{4, 5, 6}});
+  Bytes buf = builder.Finish();
+
+  auto view = FlatLiteView::Parse(buf);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(*view->GetVectorSize(0), 2u);
+
+  // Overwrite the count u32 with 0xFFFFFFFF; the slot table can no longer
+  // fit in the buffer, so the size read itself must fail.
+  uint32_t count_off = 0;
+  std::memcpy(&count_off, buf.data() + 8, 4);  // field 0's offset slot
+  Bytes corrupt = buf;
+  std::memset(corrupt.data() + count_off, 0xff, 4);
+  auto corrupt_view = FlatLiteView::Parse(corrupt);
+  ASSERT_TRUE(corrupt_view.ok());
+  EXPECT_FALSE(corrupt_view->GetVectorSize(0).ok());
+  EXPECT_FALSE(corrupt_view->GetVectorElement(0, 0).ok());
+}
+
 TEST(FlatLiteTest, ZeroCopyViewsAliasBuffer) {
   FlatLiteBuilder builder(1);
   builder.SetString(0, "zero-copy");
@@ -323,6 +543,217 @@ TEST(FlatLiteTest, OutOfRangeFieldRejected) {
   ASSERT_TRUE(view.ok());
   EXPECT_FALSE(view->GetU64(9).ok());
   EXPECT_FALSE(view->Has(9));
+}
+
+// ---------------------------------------------------------------------------
+// Structure-aware decode fuzzing
+//
+// Seeded mutations of *valid* encodings — byte flips, truncation,
+// extension, header/length tweaks, internal splices — fed to every
+// decoder. The contract under test: malformed input fails with a clean
+// Status (Corruption / InvalidArgument / OutOfRange), never a crash, hang,
+// or out-of-bounds read (CI runs this under ASan at 10k iterations via
+// CONFIDE_DECODE_FUZZ_ITERS; see .github/workflows/ci.yml).
+// ---------------------------------------------------------------------------
+
+size_t FuzzIters() {
+  const char* env = std::getenv("CONFIDE_DECODE_FUZZ_ITERS");
+  if (env != nullptr && env[0] != '\0') {
+    return size_t(std::strtoull(env, nullptr, 10));
+  }
+  return 10'000;
+}
+
+Bytes Mutate(const Bytes& wire, crypto::Drbg* rng) {
+  Bytes m = wire;
+  switch (rng->NextBounded(5)) {
+    case 0:  // flip bits in one byte
+      if (!m.empty()) {
+        m[size_t(rng->NextBounded(m.size()))] ^= uint8_t(1 + rng->NextBounded(255));
+      }
+      break;
+    case 1:  // truncate
+      if (!m.empty()) m.resize(size_t(rng->NextBounded(m.size())));
+      break;
+    case 2: {  // extend with random tail
+      Bytes extra = rng->Generate(1 + size_t(rng->NextBounded(16)));
+      m.insert(m.end(), extra.begin(), extra.end());
+      break;
+    }
+    case 3:  // bump a byte: header prefixes and length bytes drift most
+      if (!m.empty()) {
+        size_t i = size_t(rng->NextBounded(m.size()));
+        m[i] = uint8_t(m[i] + 1 + rng->NextBounded(8));
+      }
+      break;
+    case 4:  // splice a chunk over another position
+      if (m.size() >= 2) {
+        size_t from = size_t(rng->NextBounded(m.size() - 1));
+        size_t to = size_t(rng->NextBounded(m.size() - 1));
+        size_t len = 1 + size_t(rng->NextBounded(
+                             std::min<uint64_t>(8, m.size() - std::max(from, to) - 1)));
+        std::copy(m.begin() + ptrdiff_t(from), m.begin() + ptrdiff_t(from + len),
+                  m.begin() + ptrdiff_t(to));
+      }
+      break;
+  }
+  return m;
+}
+
+/// Exercises the zero-copy reader over an arbitrary (possibly corrupt)
+/// item the same way the codecs do: parse as list, walk every child.
+void WalkRlp(ByteView wire, int depth) {
+  if (depth > 6) return;
+  auto list = RlpReader::AtList(wire);
+  if (!list.ok()) return;
+  while (!list->AtEnd()) {
+    auto item = list->NextItem();
+    if (!item.ok()) return;
+    WalkRlp(*item, depth + 1);
+  }
+  (void)list->CountRemaining();
+}
+
+TEST(DecodeFuzzTest, RlpNeverCrashes) {
+  RlpWriter w;
+  size_t outer = w.BeginList();
+  w.WriteU64(UINT64_MAX);
+  w.WriteBytes(Bytes(200, 0x42));
+  size_t inner = w.BeginList();
+  w.WriteString("nested");
+  w.WriteU64(55);
+  size_t deep = w.BeginList();
+  w.WriteBytes(Bytes(60, 0x01));
+  w.EndList(deep);
+  w.EndList(inner);
+  w.WriteString("");
+  w.EndList(outer);
+  const Bytes valid = std::move(w).Take();
+  ASSERT_TRUE(RlpDecode(valid).ok());
+
+  crypto::Drbg rng(0xF0221);
+  const size_t iters = FuzzIters();
+  for (size_t i = 0; i < iters; ++i) {
+    Bytes mutated = Mutate(valid, &rng);
+    (void)RlpDecode(mutated);   // owning tree path
+    WalkRlp(mutated, 0);        // zero-copy reader path
+  }
+}
+
+TEST(DecodeFuzzTest, ChainRecordsNeverCrash) {
+  crypto::Drbg rng(0xF0222);
+  crypto::KeyPair kp = crypto::GenerateKeyPair(&rng);
+
+  chain::Transaction tx;
+  tx.type = chain::TxType::kPublic;
+  tx.sender = kp.pub;
+  tx.contract = chain::NamedAddress("fuzz-contract");
+  tx.entry = "method";
+  tx.input = rng.Generate(120);
+  tx.nonce = 3;
+  tx.signature = *crypto::EcdsaSign(kp.priv, tx.SigningHash());
+  const Bytes tx_wire = tx.Serialize();
+
+  chain::Transaction conf;
+  conf.type = chain::TxType::kConfidential;
+  conf.envelope = rng.Generate(160);
+  const Bytes conf_wire = conf.Serialize();
+
+  chain::Receipt receipt;
+  receipt.tx_hash = tx.Hash();
+  receipt.success = true;
+  receipt.output = rng.Generate(90);
+  receipt.logs.push_back(rng.Generate(30));
+  receipt.gas_used = 12345;
+  const Bytes receipt_wire = receipt.Serialize();
+
+  chain::Block block;
+  block.header.height = 9;
+  block.header.timestamp_ns = 1'000'000;
+  block.transactions.push_back(tx);
+  block.transactions.push_back(conf);
+  const Bytes block_wire = block.Serialize();
+
+  ASSERT_TRUE(chain::Transaction::Deserialize(tx_wire).ok());
+  ASSERT_TRUE(chain::Receipt::Deserialize(receipt_wire).ok());
+  ASSERT_TRUE(chain::Block::Deserialize(block_wire).ok());
+
+  const size_t iters = FuzzIters();
+  for (size_t i = 0; i < iters; ++i) {
+    const Bytes& base = (i % 4 == 0)   ? conf_wire
+                        : (i % 4 == 1) ? receipt_wire
+                        : (i % 4 == 2) ? block_wire
+                                       : tx_wire;
+    Bytes mutated = Mutate(base, &rng);
+
+    // Wire decoding is canonical: when a mutated transaction still
+    // decodes, re-serializing must reproduce the input byte-for-byte —
+    // a decoder quietly accepting a non-canonical form would split the
+    // tx-hash space for identical transactions.
+    auto as_tx = chain::TransactionRef::Decode(mutated);
+    if (as_tx.ok()) {
+      EXPECT_EQ(as_tx->ToOwned().Serialize(), mutated) << "iter " << i;
+    }
+    (void)chain::Receipt::Deserialize(mutated);
+    (void)chain::Block::Deserialize(mutated);
+  }
+}
+
+TEST(DecodeFuzzTest, FlatLiteNeverCrashes) {
+  FlatLiteBuilder builder(6);
+  builder.SetString(0, "asset-001");
+  builder.SetU64(1, 77);
+  builder.SetBytes(2, Bytes(130, 0xCD));
+  FlatLiteBuilder nested(2);
+  nested.SetU64(0, 1);
+  nested.SetString(1, "inner");
+  builder.SetTable(3, nested.Finish());
+  builder.SetVector(4, {Bytes{1, 2, 3}, Bytes{4, 5}});
+  const Bytes valid = builder.Finish();
+  ASSERT_TRUE(FlatLiteView::Parse(valid).ok());
+
+  crypto::Drbg rng(0xF0223);
+  const size_t iters = FuzzIters();
+  for (size_t i = 0; i < iters; ++i) {
+    Bytes mutated = Mutate(valid, &rng);
+    auto view = FlatLiteView::Parse(mutated);
+    if (!view.ok()) continue;
+    // A parsed view must serve every accessor without faulting.
+    for (uint32_t f = 0; f < view->field_count(); ++f) {
+      (void)view->GetU64(f);
+      (void)view->GetString(f);
+      auto table = view->GetTable(f);
+      if (table.ok()) (void)table->GetString(1);
+      auto count = view->GetVectorSize(f);
+      if (count.ok()) {
+        for (uint32_t e = 0; e < *count; ++e) (void)view->GetVectorElement(f, e);
+      }
+    }
+  }
+}
+
+TEST(DecodeFuzzTest, Leb128NeverCrashes) {
+  Bytes valid;
+  WriteUleb128(&valid, UINT64_MAX);
+  WriteUleb128(&valid, 300);
+  WriteSleb128(&valid, INT64_MIN);
+  WriteSleb128(&valid, -1);
+  WriteUleb128(&valid, 0);
+
+  crypto::Drbg rng(0xF0224);
+  const size_t iters = FuzzIters();
+  for (size_t i = 0; i < iters; ++i) {
+    Bytes mutated = Mutate(valid, &rng);
+    size_t pos = 0;
+    // Alternate readers over the stream until error or exhaustion.
+    for (int field = 0; pos < mutated.size() && field < 16; ++field) {
+      if (field % 2 == 0) {
+        if (!ReadUleb128(mutated, &pos).ok()) break;
+      } else {
+        if (!ReadSleb128(mutated, &pos).ok()) break;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI gate for the serialization decode benchmark.
+
+Reads the metrics.json written by bench_serialize and the checked-in
+thresholds (bench/serialize_perf_thresholds.json), and fails when the
+zero-copy view decode's speedup over the owning decode drops below the
+required ratio for any record shape, or the view decode's absolute
+throughput collapses.
+
+Usage: check_serialize_perf.py <metrics.json> <thresholds.json>
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        metrics = json.load(f)
+    with open(sys.argv[2]) as f:
+        thresholds = json.load(f)
+
+    gauges = metrics.get("gauges", {})
+
+    def gauge(name):
+        if name not in gauges:
+            print(f"FAIL: metrics.json has no gauge {name!r} "
+                  "(bench_serialize did not finish?)")
+            return None
+        return gauges[name]
+
+    failures = []
+    missing = False
+    for record in ("tx", "receipt", "abs"):
+        speedup = gauge(f"serialize.bench.{record}.decode_speedup_milli")
+        owning = gauge(f"serialize.bench.{record}.owning_decode_ops_per_sec")
+        view = gauge(f"serialize.bench.{record}.view_decode_ops_per_sec")
+        if None in (speedup, owning, view):
+            missing = True
+            continue
+        print(f"{record:8s} owning {owning:>12,} ops/s  view {view:>12,} "
+              f"ops/s  speedup {speedup / 1000:.2f}x")
+        bound = thresholds[f"min_{record}_decode_speedup_milli"]
+        if speedup < bound:
+            failures.append(
+                f"{record} view/owning decode speedup {speedup / 1000:.2f}x "
+                f"below required {bound / 1000:.2f}x")
+        bound = thresholds["min_view_decode_ops_per_sec"]
+        if view < bound:
+            failures.append(
+                f"{record} view decode {view:,} ops/s below required "
+                f"{bound:,} ops/s")
+    if missing:
+        return 1
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: serialization decode paths within thresholds")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
