@@ -1,0 +1,468 @@
+#include "net/cluster.h"
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "crypto/sha256.h"
+#include "serialize/rlp.h"
+
+namespace confide::net {
+
+namespace {
+
+struct ClusterMetrics {
+  metrics::Counter* propose = metrics::GetCounter("cluster.propose.count");
+  metrics::Counter* retransmit = metrics::GetCounter("cluster.retransmit.count");
+  metrics::Counter* applied = metrics::GetCounter("cluster.block.applied.count");
+  metrics::Counter* submit = metrics::GetCounter("cluster.tx.submitted.count");
+  metrics::Counter* reject = metrics::GetCounter("cluster.tx.rejected.count");
+  metrics::Counter* fetch = metrics::GetCounter("cluster.fetch.request.count");
+  metrics::Counter* fetch_blocks = metrics::GetCounter("cluster.fetch.blocks.count");
+  metrics::Counter* bad_frame = metrics::GetCounter("cluster.bad_frame.count");
+
+  static ClusterMetrics& Get() {
+    static ClusterMetrics m;
+    return m;
+  }
+};
+
+Bytes EncodeSeqDigest(uint64_t seq, const crypto::Hash256& digest) {
+  serialize::RlpWriter w;
+  size_t mark = w.BeginList();
+  w.WriteU64(seq);
+  w.WriteBytes(ByteView(digest.data(), digest.size()));
+  w.EndList(mark);
+  return std::move(w).Take();
+}
+
+Bytes EncodePrePrepare(uint64_t seq, ByteView block_wire) {
+  serialize::RlpWriter w;
+  size_t mark = w.BeginList();
+  w.WriteU64(seq);
+  w.WriteBytes(block_wire);
+  w.EndList(mark);
+  return std::move(w).Take();
+}
+
+OwnedFrame ErrorFrame(uint64_t code, std::string_view message) {
+  serialize::RlpWriter w;
+  size_t mark = w.BeginList();
+  w.WriteU64(code);
+  w.WriteString(message);
+  w.EndList(mark);
+  return OwnedFrame{MsgType::kError, std::move(w).Take()};
+}
+
+}  // namespace
+
+ClusterNode::ClusterNode(core::ConfideSystem* system,
+                         std::unique_ptr<Transport> transport,
+                         ClusterOptions options)
+    : system_(system), transport_(std::move(transport)), options_(options) {}
+
+ClusterNode::~ClusterNode() { Stop(); }
+
+Status ClusterNode::Start() {
+  transport_->SetHandler([this](uint32_t from, MsgType type, ByteView body) {
+    return HandleFrame(from, type, body);
+  });
+  return transport_->Start();
+}
+
+void ClusterNode::Stop() { transport_->Stop(); }
+
+std::optional<OwnedFrame> ClusterNode::HandleFrame(uint32_t from, MsgType type,
+                                                   ByteView body) {
+  switch (type) {
+    case MsgType::kSubmitTx:
+      return OnSubmitTx(body);
+    case MsgType::kQueryReceipt:
+      return OnQueryReceipt(body);
+    case MsgType::kQueryStatus:
+      return OnQueryStatus();
+    case MsgType::kQueryPkInfo:
+      return OnQueryPkInfo();
+    case MsgType::kFetchBlocks:
+      return OnFetchBlocks(body);
+    default:
+      break;
+  }
+  // Consensus plane: only identified node peers may vote or propose.
+  if (from == kClientPeer || from >= transport_->cluster_size()) {
+    ClusterMetrics::Get().bad_frame->Increment();
+    return std::nullopt;
+  }
+  switch (type) {
+    case MsgType::kPrePrepare:
+      OnPrePrepare(from, body);
+      break;
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
+      OnVote(from, type, body);
+      break;
+    case MsgType::kBlocksReply:
+      OnBlocksReply(body);
+      break;
+    default:
+      ClusterMetrics::Get().bad_frame->Increment();
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<OwnedFrame> ClusterNode::OnSubmitTx(ByteView body) {
+  auto tx = chain::Transaction::Deserialize(body);
+  if (!tx.ok()) {
+    ClusterMetrics::Get().reject->Increment();
+    return ErrorFrame(400, tx.status().message());
+  }
+  const crypto::Hash256 hash = tx->Hash();
+  Status st = system_->node()->SubmitTransaction(std::move(*tx));
+  serialize::RlpWriter w;
+  size_t mark = w.BeginList();
+  w.WriteU64(st.ok() ? 1 : 0);
+  w.WriteBytes(ByteView(hash.data(), hash.size()));
+  w.WriteString(st.ok() ? "" : st.message());
+  w.EndList(mark);
+  if (st.ok()) {
+    ClusterMetrics::Get().submit->Increment();
+  } else {
+    ClusterMetrics::Get().reject->Increment();
+  }
+  return OwnedFrame{MsgType::kSubmitTxAck, std::move(w).Take()};
+}
+
+std::optional<OwnedFrame> ClusterNode::OnQueryReceipt(ByteView body) {
+  auto r = serialize::RlpReader::AtList(body);
+  if (!r.ok()) return ErrorFrame(400, "bad kQueryReceipt body");
+  auto hash_bytes = r->NextFixed(32, "tx hash");
+  if (!hash_bytes.ok() || !r->ExpectEnd("kQueryReceipt").ok()) {
+    return ErrorFrame(400, "bad kQueryReceipt body");
+  }
+  crypto::Hash256 hash{};
+  std::copy(hash_bytes->begin(), hash_bytes->end(), hash.begin());
+  auto receipt = system_->node()->GetReceipt(hash);
+  serialize::RlpWriter w;
+  size_t mark = w.BeginList();
+  w.WriteU64(receipt.ok() ? 1 : 0);
+  w.WriteBytes(receipt.ok() ? ByteView(receipt->Serialize()) : ByteView());
+  w.WriteU64(system_->node()->Height());
+  w.EndList(mark);
+  return OwnedFrame{MsgType::kReceiptReply, std::move(w).Take()};
+}
+
+std::optional<OwnedFrame> ClusterNode::OnQueryStatus() {
+  chain::Node* node = system_->node();
+  const crypto::Hash256 tip = node->TipHash();
+  serialize::RlpWriter w;
+  size_t mark = w.BeginList();
+  w.WriteU64(transport_->self_id());
+  w.WriteU64(node->Height());
+  w.WriteBytes(ByteView(tip.data(), tip.size()));
+  w.WriteU64(node->VerifiedPoolSize());
+  w.WriteU64(node->UnverifiedPoolSize());
+  w.EndList(mark);
+  return OwnedFrame{MsgType::kStatusReply, std::move(w).Take()};
+}
+
+std::optional<OwnedFrame> ClusterNode::OnQueryPkInfo() {
+  serialize::RlpWriter w;
+  size_t mark = w.BeginList();
+  w.WriteBytes(ByteView(system_->pk_info_blob()));
+  w.EndList(mark);
+  return OwnedFrame{MsgType::kPkInfoReply, std::move(w).Take()};
+}
+
+void ClusterNode::OnPrePrepare(uint32_t from, ByteView body) {
+  auto r = serialize::RlpReader::AtList(body);
+  if (!r.ok()) {
+    ClusterMetrics::Get().bad_frame->Increment();
+    return;
+  }
+  auto seq = r->NextU64();
+  auto wire = r->NextBytes();
+  if (!seq.ok() || !wire.ok() || !r->ExpectEnd("kPrePrepare").ok()) {
+    ClusterMetrics::Get().bad_frame->Increment();
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t tip = system_->node()->Height();
+  if (*seq < tip) return;  // already applied (retransmission)
+  Pending& p = pending_[*seq];
+  if (p.block_wire.empty()) {
+    p.block_wire = ToBytes(*wire);
+    p.digest = crypto::Sha256::Digest(*wire);
+  }
+  // The pre-prepare carries the leader's implicit prepare; our broadcast
+  // kPrepare below is our vote, counted locally too.
+  p.prepares.insert(from);
+  p.prepares.insert(transport_->self_id());
+  const Bytes vote = EncodeSeqDigest(*seq, p.digest);
+  (void)transport_->Broadcast(MsgType::kPrepare, ByteView(vote));
+  MaybeAdvanceLocked(*seq);
+  // Seq jumped past our tip: pull the gap from the proposer (frames for
+  // the intermediate blocks were lost, or we just rejoined). A pending
+  // entry at the tip only fills the gap if it carries the block — votes
+  // alone (the pre-prepare itself was the lost frame) cannot apply, so
+  // they must not suppress the fetch.
+  const auto tip_it = pending_.find(tip);
+  const bool tip_block_missing =
+      tip_it == pending_.end() || tip_it->second.block_wire.empty();
+  if (*seq > tip && tip_block_missing && !fetch_in_flight_) {
+    fetch_in_flight_ = true;
+    serialize::RlpWriter w;
+    size_t mark = w.BeginList();
+    w.WriteU64(tip);
+    w.WriteU64(*seq);
+    w.EndList(mark);
+    ClusterMetrics::Get().fetch->Increment();
+    lock.unlock();
+    (void)transport_->Send(from, MsgType::kFetchBlocks, ByteView(std::move(w).Take()));
+  }
+}
+
+void ClusterNode::OnVote(uint32_t from, MsgType type, ByteView body) {
+  auto r = serialize::RlpReader::AtList(body);
+  if (!r.ok()) {
+    ClusterMetrics::Get().bad_frame->Increment();
+    return;
+  }
+  auto seq = r->NextU64();
+  auto digest = r->NextFixed(32, "digest");
+  if (!seq.ok() || !digest.ok() || !r->ExpectEnd("vote").ok()) {
+    ClusterMetrics::Get().bad_frame->Increment();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (*seq < system_->node()->Height()) return;  // stale vote
+  Pending& p = pending_[*seq];
+  // Votes may precede the pre-prepare (reordering across connections);
+  // the digest check waits until the block is known.
+  if (!p.block_wire.empty() &&
+      !std::equal(digest->begin(), digest->end(), p.digest.begin())) {
+    ClusterMetrics::Get().bad_frame->Increment();
+    return;
+  }
+  if (type == MsgType::kPrepare) {
+    p.prepares.insert(from);
+  } else {
+    p.commits.insert(from);
+  }
+  MaybeAdvanceLocked(*seq);
+}
+
+void ClusterNode::MaybeAdvanceLocked(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  const size_t quorum = Quorum(transport_->cluster_size());
+  if (!p.commit_sent && p.prepares.size() >= quorum) {
+    p.commit_sent = true;
+    p.commits.insert(transport_->self_id());
+    const Bytes vote = EncodeSeqDigest(seq, p.digest);
+    (void)transport_->Broadcast(MsgType::kCommit, ByteView(vote));
+  }
+  if (!p.committed && p.commit_sent && p.commits.size() >= quorum) {
+    p.committed = true;
+  }
+  TryApplyLocked();
+}
+
+void ClusterNode::TryApplyLocked() {
+  chain::Node* node = system_->node();
+  while (true) {
+    auto it = pending_.find(node->Height());
+    if (it == pending_.end() || !it->second.committed ||
+        it->second.block_wire.empty()) {
+      break;
+    }
+    auto block = chain::Block::Deserialize(it->second.block_wire);
+    if (!block.ok()) {
+      CONFIDE_LOG(kError, "cluster",
+                  "committed block at seq " + std::to_string(it->first) +
+                      " undecodable: " + block.status().message());
+      pending_.erase(it);
+      break;
+    }
+    auto receipts = node->ApplyBlock(*block);
+    if (!receipts.ok()) {
+      CONFIDE_LOG(kError, "cluster",
+                  "apply at seq " + std::to_string(it->first) +
+                      " failed: " + receipts.status().message());
+      break;
+    }
+    ClusterMetrics::Get().applied->Increment();
+    pending_.erase(it);
+  }
+  // Drop stale entries a retransmission or late vote left behind.
+  while (!pending_.empty() && pending_.begin()->first < node->Height()) {
+    pending_.erase(pending_.begin());
+  }
+  cv_.notify_all();
+}
+
+std::optional<OwnedFrame> ClusterNode::OnFetchBlocks(ByteView body) {
+  auto r = serialize::RlpReader::AtList(body);
+  if (!r.ok()) return ErrorFrame(400, "bad kFetchBlocks body");
+  auto from_h = r->NextU64();
+  auto to_h = r->NextU64();
+  if (!from_h.ok() || !to_h.ok() || !r->ExpectEnd("kFetchBlocks").ok()) {
+    return ErrorFrame(400, "bad kFetchBlocks body");
+  }
+  storage::BlockStore* blocks = system_->node()->blocks();
+  const uint64_t tip = blocks->NextHeight();
+  const uint64_t lo = *from_h;
+  const uint64_t hi = std::min(std::min(*to_h, tip), lo + kFetchBatchBlocks);
+  std::vector<Bytes> wires;
+  for (uint64_t h = lo; h < hi; ++h) {
+    auto wire = blocks->GetByHeight(h);
+    if (!wire.ok()) break;
+    wires.push_back(std::move(*wire));
+  }
+  serialize::RlpWriter out;
+  size_t mark = out.BeginList();
+  out.WriteU64(lo);
+  out.WriteU64(wires.size());
+  for (const Bytes& wire : wires) out.WriteBytes(ByteView(wire));
+  out.EndList(mark);
+  ClusterMetrics::Get().fetch_blocks->Increment(wires.size());
+  return OwnedFrame{MsgType::kBlocksReply, std::move(out).Take()};
+}
+
+void ClusterNode::OnBlocksReply(ByteView body) {
+  auto r = serialize::RlpReader::AtList(body);
+  if (!r.ok()) {
+    ClusterMetrics::Get().bad_frame->Increment();
+    return;
+  }
+  auto from_h = r->NextU64();
+  auto count = r->NextU64();
+  if (!from_h.ok() || !count.ok()) {
+    ClusterMetrics::Get().bad_frame->Increment();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  chain::Node* node = system_->node();
+  size_t applied = 0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto wire = r->NextBytes();
+    if (!wire.ok()) break;
+    const uint64_t height = *from_h + i;
+    if (height < node->Height()) continue;  // already have it
+    auto block = chain::Block::Deserialize(*wire);
+    if (!block.ok()) break;
+    auto receipts = node->ApplyBlock(*block);
+    if (!receipts.ok()) {
+      CONFIDE_LOG(kError, "cluster",
+                  "catch-up apply at " + std::to_string(height) +
+                      " failed: " + receipts.status().message());
+      break;
+    }
+    ClusterMetrics::Get().applied->Increment();
+    ++applied;
+  }
+  if (applied > 0) {
+    // A filled gap means the cluster healed around lost frames (chaos
+    // drops included) — the drop site's recovery signal.
+    fault::NoteRecovered("fault.net.send.drop");
+  }
+  fetch_in_flight_ = false;
+  ++fetch_generation_;
+  TryApplyLocked();
+}
+
+Result<uint64_t> ClusterNode::ProposeOnce() {
+  chain::Node* node = system_->node();
+  CONFIDE_RETURN_NOT_OK(node->PreVerify().status());
+  CONFIDE_ASSIGN_OR_RETURN(chain::Block block, node->ProposeBlock());
+  if (block.transactions.empty()) {
+    return Status::NotFound("cluster: pools empty, nothing to propose");
+  }
+  const Bytes wire = block.Serialize();
+  const uint64_t seq = block.header.height;
+  std::lock_guard<std::mutex> lock(mu_);
+  last_proposed_tx_count_ = block.transactions.size();
+  Pending& p = pending_[seq];
+  p.block_wire = wire;
+  p.digest = crypto::Sha256::Digest(wire);
+  p.prepares.insert(transport_->self_id());
+  ClusterMetrics::Get().propose->Increment();
+  (void)transport_->Broadcast(MsgType::kPrePrepare,
+                              ByteView(EncodePrePrepare(seq, wire)));
+  MaybeAdvanceLocked(seq);
+  return seq;
+}
+
+Status ClusterNode::Retransmit(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return Status::NotFound("cluster: seq not pending");
+  ClusterMetrics::Get().retransmit->Increment();
+  (void)transport_->Broadcast(
+      MsgType::kPrePrepare,
+      ByteView(EncodePrePrepare(seq, it->second.block_wire)));
+  return Status::OK();
+}
+
+Status ClusterNode::WaitApplied(uint64_t seq, uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool applied = cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms),
+      [&] { return system_->node()->Height() > seq; });
+  if (!applied) {
+    return Status::Unavailable("cluster: seq " + std::to_string(seq) +
+                               " not applied within " +
+                               std::to_string(timeout_ms) + "ms");
+  }
+  return Status::OK();
+}
+
+Result<size_t> ClusterNode::LeaderTick() {
+  auto seq = ProposeOnce();
+  if (!seq.ok()) {
+    if (seq.status().code() == StatusCode::kNotFound) return size_t(0);
+    return seq.status();
+  }
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status st = WaitApplied(*seq, options_.propose_wait_ms);
+    if (st.ok()) break;
+    if (attempt >= options_.propose_retries) return st;
+    (void)Retransmit(*seq);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_proposed_tx_count_;
+}
+
+Status ClusterNode::CatchUp(uint32_t peer) {
+  while (true) {
+    const uint64_t before = system_->node()->Height();
+    uint64_t generation;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fetch_in_flight_ = true;
+      generation = fetch_generation_;
+    }
+    serialize::RlpWriter w;
+    size_t mark = w.BeginList();
+    w.WriteU64(before);
+    w.WriteU64(before + kFetchBatchBlocks);
+    w.EndList(mark);
+    ClusterMetrics::Get().fetch->Increment();
+    CONFIDE_RETURN_NOT_OK(
+        transport_->Send(peer, MsgType::kFetchBlocks, ByteView(std::move(w).Take())));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const bool got_reply = cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.fetch_wait_ms),
+          [&] { return fetch_generation_ != generation; });
+      if (!got_reply) {
+        fetch_in_flight_ = false;
+        return Status::Unavailable("cluster: catch-up fetch from peer " +
+                                   std::to_string(peer) + " timed out");
+      }
+    }
+    if (system_->node()->Height() == before) return Status::OK();  // caught up
+  }
+}
+
+}  // namespace confide::net

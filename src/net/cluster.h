@@ -1,0 +1,138 @@
+/// \file cluster.h
+/// \brief PBFT-lite block replication over a Transport: N CONFIDE nodes
+/// (one process each under TcpTransport, or one SimHub under
+/// SimTransport) agree on a single block sequence.
+///
+/// Protocol (docs/WIRE_PROTOCOL.md §Consensus plane): the static leader
+/// (node 0) drains its pools into a block and broadcasts
+/// kPrePrepare [seq, block]; each replica answers with a broadcast
+/// kPrepare [seq, digest] (the pre-prepare carries the leader's implicit
+/// prepare), sends kCommit once 2f+1 prepares are in, and applies the
+/// block once 2f+1 commits are in — in seq order, through the same
+/// deterministic Node::ApplyBlock every path uses, so converged heights
+/// imply converged tip hashes and state roots. f = (n-1)/3; n = 3
+/// degenerates to f = 0 (crash tolerance only), n ≥ 4 gives f ≥ 1.
+///
+/// Lost frames (chaos drops, real packet loss) are repaired two ways:
+/// the leader retransmits an unacknowledged pre-prepare, and a replica
+/// that sees seq jump past its tip pulls the gap with
+/// kFetchBlocks [from, to) → kBlocksReply. The same pull path is the
+/// crash/rejoin catch-up (docs/OPERATIONS.md §Rejoin): a restarted node
+/// recovers its durable prefix from the WAL, then CatchUp() fetches the
+/// rest from any live peer.
+
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "confide/system.h"
+#include "net/frame.h"
+#include "net/transport.h"
+
+namespace confide::net {
+
+/// \brief Blocks per kFetchBlocks request (bounded so a reply of
+/// block_max_bytes blocks stays well under kMaxFramePayload).
+inline constexpr uint64_t kFetchBatchBlocks = 256;
+
+struct ClusterOptions {
+  /// Per-attempt quorum wait in LeaderTick before retransmitting.
+  uint64_t propose_wait_ms = 1000;
+  /// Retransmit attempts before LeaderTick gives up.
+  uint32_t propose_retries = 5;
+  /// CatchUp per-batch reply wait.
+  uint64_t fetch_wait_ms = 5000;
+};
+
+/// \brief One cluster member: a bootstrapped ConfideSystem plus the
+/// replication state machine, wired to a Transport. Thread-safe: the
+/// frame handler runs on transport reader threads, LeaderTick/CatchUp on
+/// the caller's thread.
+class ClusterNode {
+ public:
+  /// \brief `system` must outlive the ClusterNode and is not owned.
+  ClusterNode(core::ConfideSystem* system, std::unique_ptr<Transport> transport,
+              ClusterOptions options = ClusterOptions{});
+  ~ClusterNode();
+
+  /// \brief Installs the frame handler and starts the transport.
+  Status Start();
+  void Stop();
+
+  uint32_t self_id() const { return transport_->self_id(); }
+  bool is_leader() const { return self_id() == 0; }
+  Transport* transport() { return transport_.get(); }
+  core::ConfideSystem* system() { return system_; }
+
+  uint64_t Height() const { return system_->node()->Height(); }
+  crypto::Hash256 TipHash() const { return system_->node()->TipHash(); }
+
+  /// \brief 2f+1 with f = (n-1)/3.
+  static size_t Quorum(size_t n) { return 2 * ((n - 1) / 3) + 1; }
+
+  /// \brief Leader: pre-verify the pools and replicate one block end to
+  /// end (propose, quorum, apply — retransmitting on timeout). Returns
+  /// the number of transactions committed; 0 when the pools are empty.
+  /// Blocks until the cluster applies the block, so it is for the TCP
+  /// deployment; simulated tests drive ProposeOnce + SimHub::DeliverAll.
+  Result<size_t> LeaderTick();
+
+  /// \brief Leader: propose one block and broadcast its pre-prepare
+  /// without waiting. Returns the block's seq (= height), or NotFound
+  /// when the pools are empty.
+  Result<uint64_t> ProposeOnce();
+
+  /// \brief Re-broadcasts the pre-prepare for a still-pending seq.
+  Status Retransmit(uint64_t seq);
+
+  /// \brief Blocks until this node has applied `seq` (Height() > seq).
+  Status WaitApplied(uint64_t seq, uint64_t timeout_ms);
+
+  /// \brief Pulls blocks from `peer` in kFetchBatchBlocks batches until a
+  /// batch makes no progress (caught up). Blocking; TCP deployment only.
+  Status CatchUp(uint32_t peer);
+
+ private:
+  struct Pending {
+    Bytes block_wire;               ///< empty until the pre-prepare arrives
+    crypto::Hash256 digest{};       ///< sha256 of block_wire
+    std::set<uint32_t> prepares;    ///< voter node ids (self included)
+    std::set<uint32_t> commits;
+    bool commit_sent = false;
+    bool committed = false;
+  };
+
+  std::optional<OwnedFrame> HandleFrame(uint32_t from, MsgType type, ByteView body);
+
+  std::optional<OwnedFrame> OnSubmitTx(ByteView body);
+  std::optional<OwnedFrame> OnQueryReceipt(ByteView body);
+  std::optional<OwnedFrame> OnQueryStatus();
+  std::optional<OwnedFrame> OnQueryPkInfo();
+  void OnPrePrepare(uint32_t from, ByteView body);
+  void OnVote(uint32_t from, MsgType type, ByteView body);
+  std::optional<OwnedFrame> OnFetchBlocks(ByteView body);
+  void OnBlocksReply(ByteView body);
+
+  /// \brief Advances one pending seq through the vote rounds: prepare
+  /// quorum → broadcast commit; commit quorum → committed + apply sweep.
+  void MaybeAdvanceLocked(uint64_t seq);
+  /// \brief Applies committed pending blocks in seq order from the tip.
+  void TryApplyLocked();
+
+  core::ConfideSystem* system_;
+  std::unique_ptr<Transport> transport_;
+  ClusterOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Pending> pending_;
+  bool fetch_in_flight_ = false;  ///< one gap-repair pull at a time
+  uint64_t fetch_generation_ = 0;  ///< bumped when a kBlocksReply lands
+  size_t last_proposed_tx_count_ = 0;
+};
+
+}  // namespace confide::net

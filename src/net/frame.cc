@@ -1,0 +1,87 @@
+#include "net/frame.h"
+
+#include "common/endian.h"
+#include "serialize/rlp.h"
+
+namespace confide::net {
+
+Bytes EncodeFrame(MsgType type, ByteView body) {
+  serialize::RlpWriter w(body.size() + 16);
+  size_t list = w.BeginList();
+  w.WriteU64(kWireVersion);
+  w.WriteU64(uint64_t(type));
+  w.WriteBytes(body);
+  w.EndList(list);
+  Bytes payload = std::move(w).Take();
+
+  Bytes frame;
+  frame.reserve(kLengthPrefixBytes + payload.size());
+  uint8_t len_be[kLengthPrefixBytes];
+  StoreBe32(len_be, uint32_t(payload.size()));
+  Append(&frame, ByteView(len_be, kLengthPrefixBytes));
+  Append(&frame, payload);
+  return frame;
+}
+
+Result<FrameView> DecodeFramePayload(ByteView payload) {
+  CONFIDE_ASSIGN_OR_RETURN(serialize::RlpReader reader,
+                           serialize::RlpReader::AtList(payload));
+  FrameView frame;
+  CONFIDE_ASSIGN_OR_RETURN(frame.version, reader.NextU64());
+  if (frame.version != kWireVersion) {
+    return Status::Corruption("frame: unsupported wire version " +
+                              std::to_string(frame.version));
+  }
+  CONFIDE_ASSIGN_OR_RETURN(uint64_t type, reader.NextU64());
+  if (type > 0xff) {
+    return Status::Corruption("frame: type tag does not fit u8");
+  }
+  frame.type = MsgType(uint8_t(type));
+  CONFIDE_ASSIGN_OR_RETURN(frame.body, reader.NextBytes());
+  CONFIDE_RETURN_NOT_OK(reader.ExpectEnd("frame"));
+  return frame;
+}
+
+void FrameAssembler::Append(ByteView chunk) {
+  // Reclaim consumed prefix before growing (keeps the buffer bounded by
+  // one pending frame plus the new chunk).
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + ptrdiff_t(consumed_));
+    consumed_ = 0;
+  }
+  confide::Append(&buf_, chunk);
+}
+
+Result<bool> FrameAssembler::Next(FrameView* out) {
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < kLengthPrefixBytes) return false;
+  const uint8_t* base = buf_.data() + consumed_;
+  const uint32_t announced = LoadBe32(base);
+  if (announced == 0) {
+    return Status::Corruption("frame: zero-length payload");
+  }
+  if (size_t(announced) > max_payload_) {
+    return Status::Corruption("frame: announced payload " +
+                              std::to_string(announced) + " exceeds cap " +
+                              std::to_string(max_payload_));
+  }
+  // Remaining-based guard: the announced length is only ever compared
+  // against bytes actually buffered; no pointer arithmetic on it until
+  // the full payload is present.
+  if (avail - kLengthPrefixBytes < size_t(announced)) return false;
+  ByteView payload(base + kLengthPrefixBytes, size_t(announced));
+  CONFIDE_ASSIGN_OR_RETURN(*out, DecodeFramePayload(payload));
+  consumed_ += kLengthPrefixBytes + size_t(announced);
+  return true;
+}
+
+Status FrameAssembler::Finish() const {
+  if (buf_.size() != consumed_) {
+    return Status::Corruption("frame: stream ended mid-frame (" +
+                              std::to_string(buf_.size() - consumed_) +
+                              " bytes pending)");
+  }
+  return Status::OK();
+}
+
+}  // namespace confide::net

@@ -1,0 +1,124 @@
+/// \file frame.h
+/// \brief Length-prefixed binary wire framing for the multi-process
+/// cluster (docs/WIRE_PROTOCOL.md is the normative spec).
+///
+/// A frame on the wire is
+///
+///   [u32 big-endian payload length][payload]
+///   payload = RLP list [ version u64, type u64, body byte-string ]
+///
+/// encoded with the PR 8 RlpWriter and decoded with RlpReader, so the
+/// decoded body is a ByteView aliasing the receive buffer (zero-copy) and
+/// every length is validated against the bytes actually present
+/// (remaining-based guards — a crafted length near SIZE_MAX fails with
+/// Corruption instead of wrapping a bounds check).
+///
+/// FrameAssembler is the stream-reassembly core shared by every byte
+/// stream consumer (TCP reader loops, tests): feed it arbitrary chunks —
+/// partial frames, many frames per chunk, a frame split at any byte — and
+/// it yields complete frames in order. A stream that announces an
+/// oversized frame, a malformed payload, or ends mid-frame is rejected
+/// with Corruption; the connection owning it must be dropped (frame
+/// boundaries cannot be re-found inside a corrupt byte stream).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace confide::net {
+
+/// \brief Wire protocol version carried in every frame. A receiver
+/// rejects frames whose version differs (see docs/WIRE_PROTOCOL.md
+/// §Versioning: the version bumps on any incompatible change; unknown
+/// *types* within a known version are ignorable, unknown versions are
+/// not).
+inline constexpr uint64_t kWireVersion = 1;
+
+/// \brief Bytes of the big-endian length prefix.
+inline constexpr size_t kLengthPrefixBytes = 4;
+
+/// \brief Upper bound on one frame's payload. Larger announcements are a
+/// protocol violation (Corruption), not an allocation request — the
+/// assembler never buffers more than this per pending frame.
+inline constexpr size_t kMaxFramePayload = 8u << 20;  // 8 MiB
+
+/// \brief Frame type tags (docs/WIRE_PROTOCOL.md §Message types).
+enum class MsgType : uint8_t {
+  // Connection plane.
+  kHello = 0,         ///< [node_id u64, role u64] — identifies a peer
+  kError = 1,         ///< [code u64, message] — reply when a request fails
+  // Client/gateway plane (request → reply on the same connection).
+  kSubmitTx = 2,      ///< body = Transaction wire
+  kSubmitTxAck = 3,   ///< [accepted u64, tx_hash 32, message]
+  kQueryReceipt = 4,  ///< [tx_hash 32]
+  kReceiptReply = 5,  ///< [found u64, receipt wire, height u64]
+  kQueryStatus = 6,   ///< []
+  kStatusReply = 7,   ///< [node_id, height, tip_hash 32, applied_seq, ...]
+  kQueryPkInfo = 8,   ///< []
+  kPkInfoReply = 9,   ///< [pk_info_blob]
+  // Consensus plane (node peers only).
+  kPrePrepare = 10,   ///< [seq u64, block wire]
+  kPrepare = 11,      ///< [seq u64, digest 32]
+  kCommit = 12,       ///< [seq u64, digest 32]
+  kFetchBlocks = 13,  ///< [from u64, to u64]
+  kBlocksReply = 14,  ///< [from u64, count u64, block wire...]
+};
+
+/// \brief Role claimed in a kHello frame.
+enum class PeerRole : uint8_t { kNode = 0, kGateway = 1, kClient = 2 };
+
+/// \brief A decoded frame. `body` aliases the buffer the frame was
+/// decoded from (the assembler's internal buffer, valid until the next
+/// Append/Next call) — copy to keep it.
+struct FrameView {
+  uint64_t version = kWireVersion;
+  MsgType type = MsgType::kError;
+  ByteView body;
+};
+
+/// \brief An owning frame (handler replies, queued sim deliveries).
+struct OwnedFrame {
+  MsgType type = MsgType::kError;
+  Bytes body;
+};
+
+/// \brief Encodes one complete frame: length prefix + RLP payload.
+Bytes EncodeFrame(MsgType type, ByteView body);
+
+/// \brief Decodes a frame payload (the bytes after the length prefix).
+/// The returned body aliases `payload`. Rejects unknown versions, type
+/// tags that do not fit a u8, and any trailing bytes.
+Result<FrameView> DecodeFramePayload(ByteView payload);
+
+/// \brief Incremental reassembly of a frame stream from arbitrary chunks.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// \brief Appends raw received bytes. Invalidates FrameViews returned
+  /// by earlier Next() calls.
+  void Append(ByteView chunk);
+
+  /// \brief Yields the next complete frame. Returns true and fills `out`
+  /// when a frame is ready; false when more bytes are needed; Corruption
+  /// when the stream is unrecoverable (oversized or malformed frame).
+  /// `out->body` aliases the internal buffer until the next Append/Next.
+  Result<bool> Next(FrameView* out);
+
+  /// \brief Call at end-of-stream: Corruption when bytes of an
+  /// unfinished frame are still pending (connection dropped mid-frame).
+  Status Finish() const;
+
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  size_t max_payload_;
+  Bytes buf_;
+  size_t consumed_ = 0;  ///< bytes of buf_ already handed out as frames
+};
+
+}  // namespace confide::net

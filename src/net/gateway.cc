@@ -1,0 +1,223 @@
+#include "net/gateway.h"
+
+#include "chain/types.h"
+#include "common/metrics.h"
+#include "serialize/json.h"
+#include "serialize/rlp.h"
+
+namespace confide::net {
+
+namespace {
+
+struct GatewayMetrics {
+  metrics::Counter* request = metrics::GetCounter("gateway.request.count");
+  metrics::Counter* submitted = metrics::GetCounter("gateway.tx.submitted.count");
+  metrics::Counter* confidential =
+      metrics::GetCounter("gateway.tx.confidential.count");
+  metrics::Counter* plain = metrics::GetCounter("gateway.tx.public.count");
+  metrics::Counter* rejected = metrics::GetCounter("gateway.tx.rejected.count");
+  metrics::Counter* query = metrics::GetCounter("gateway.query.count");
+  metrics::Counter* upstream_error =
+      metrics::GetCounter("gateway.upstream.error.count");
+
+  static GatewayMetrics& Get() {
+    static GatewayMetrics m;
+    return m;
+  }
+};
+
+HttpResponse JsonError(int status, std::string_view message) {
+  serialize::JsonValue obj{serialize::JsonValue::Object{}};
+  obj.Set("error", std::string(message));
+  return HttpResponse::Json(status, serialize::JsonWrite(obj));
+}
+
+}  // namespace
+
+Gateway::Gateway(GatewayOptions options) : options_(std::move(options)) {}
+
+Status Gateway::Start() {
+  if (options_.nodes.empty()) {
+    return Status::InvalidArgument("gateway: no cluster nodes configured");
+  }
+  for (const std::string& addr : options_.nodes) {
+    CONFIDE_ASSIGN_OR_RETURN(FrameClient client, FrameClient::Dial(addr));
+    nodes_.push_back(std::make_unique<FrameClient>(std::move(client)));
+  }
+  return server_.Start(options_.listen_host, options_.listen_port,
+                       [this](const HttpRequest& req) { return Handle(req); });
+}
+
+void Gateway::Stop() { server_.Stop(); }
+
+HttpResponse Gateway::Handle(const HttpRequest& req) {
+  GatewayMetrics::Get().request->Increment();
+  if (req.path == "/healthz") return HttpResponse::Text(200, "ok");
+  if (req.path == "/metrics") {
+    return HttpResponse::Json(
+        200, metrics::MetricsRegistry::Global().Snapshot().ToJson());
+  }
+  if (req.path == "/v1/tx" && req.method == "POST") return SubmitTx(req);
+  const std::string receipt_prefix = "/v1/receipt/";
+  if (req.path.rfind(receipt_prefix, 0) == 0 && req.method == "GET") {
+    return QueryReceipt(req.path.substr(receipt_prefix.size()));
+  }
+  if (req.path == "/v1/status" && req.method == "GET") return QueryStatus();
+  if (req.path == "/v1/pk_info" && req.method == "GET") return QueryPkInfo();
+  return JsonError(404, "no such endpoint: " + req.method + " " + req.path);
+}
+
+HttpResponse Gateway::SubmitTx(const HttpRequest& req) {
+  auto doc = serialize::JsonParse(req.body);
+  if (!doc.ok() || !doc->is_object()) {
+    GatewayMetrics::Get().rejected->Increment();
+    return JsonError(400, "body must be a JSON object");
+  }
+  const serialize::JsonValue* tx_hex = doc->Find("tx");
+  if (tx_hex == nullptr || !tx_hex->is_string()) {
+    GatewayMetrics::Get().rejected->Increment();
+    return JsonError(400, "missing string field 'tx' (hex transaction wire)");
+  }
+  auto wire = HexDecode(tx_hex->as_string());
+  if (!wire.ok()) {
+    GatewayMetrics::Get().rejected->Increment();
+    return JsonError(400, "field 'tx' is not valid hex");
+  }
+  // Decode enough to tag the TYPE (routing + metrics); the submit node
+  // re-validates everything.
+  auto tx = chain::TransactionRef::Decode(*wire);
+  if (!tx.ok()) {
+    GatewayMetrics::Get().rejected->Increment();
+    return JsonError(400, "undecodable transaction: " + tx.status().message());
+  }
+  const bool is_confidential = tx->type == chain::TxType::kConfidential;
+
+  auto reply = nodes_[0]->Call(MsgType::kSubmitTx, *wire);
+  if (!reply.ok()) {
+    GatewayMetrics::Get().upstream_error->Increment();
+    return JsonError(503, "submit node unreachable: " + reply.status().message());
+  }
+  if (reply->type != MsgType::kSubmitTxAck) {
+    GatewayMetrics::Get().rejected->Increment();
+    return JsonError(502, "unexpected reply frame from submit node");
+  }
+  auto r = serialize::RlpReader::AtList(reply->body);
+  if (!r.ok()) return JsonError(502, "malformed kSubmitTxAck");
+  auto accepted = r->NextU64();
+  auto hash = r->NextFixed(32, "tx hash");
+  auto message = r->NextBytes();
+  if (!accepted.ok() || !hash.ok() || !message.ok()) {
+    return JsonError(502, "malformed kSubmitTxAck");
+  }
+  serialize::JsonValue obj{serialize::JsonValue::Object{}};
+  obj.Set("accepted", *accepted != 0);
+  obj.Set("tx_hash", HexEncode(*hash));
+  obj.Set("type", is_confidential ? "confidential" : "public");
+  if (*accepted != 0) {
+    (is_confidential ? GatewayMetrics::Get().confidential
+                     : GatewayMetrics::Get().plain)
+        ->Increment();
+    GatewayMetrics::Get().submitted->Increment();
+    return HttpResponse::Json(202, serialize::JsonWrite(obj));
+  }
+  GatewayMetrics::Get().rejected->Increment();
+  obj.Set("error", std::string(reinterpret_cast<const char*>(message->data()),
+                               message->size()));
+  return HttpResponse::Json(400, serialize::JsonWrite(obj));
+}
+
+HttpResponse Gateway::QueryReceipt(const std::string& hash_hex) {
+  GatewayMetrics::Get().query->Increment();
+  auto hash = HexDecode(hash_hex);
+  if (!hash.ok() || hash->size() != 32) {
+    return JsonError(400, "receipt path needs a 32-byte hex tx hash");
+  }
+  serialize::RlpWriter w;
+  size_t mark = w.BeginList();
+  w.WriteBytes(ByteView(*hash));
+  w.EndList(mark);
+  // Receipts are replicated state: any node serves them identically.
+  auto reply =
+      nodes_[nodes_.size() > 1 ? 1 : 0]->Call(MsgType::kQueryReceipt,
+                                              ByteView(std::move(w).Take()));
+  if (!reply.ok()) {
+    GatewayMetrics::Get().upstream_error->Increment();
+    return JsonError(503, "query node unreachable: " + reply.status().message());
+  }
+  auto r = serialize::RlpReader::AtList(reply->body);
+  if (!r.ok() || reply->type != MsgType::kReceiptReply) {
+    return JsonError(502, "malformed kReceiptReply");
+  }
+  auto found = r->NextU64();
+  auto wire = r->NextBytes();
+  auto height = r->NextU64();
+  if (!found.ok() || !wire.ok() || !height.ok()) {
+    return JsonError(502, "malformed kReceiptReply");
+  }
+  serialize::JsonValue obj{serialize::JsonValue::Object{}};
+  obj.Set("found", *found != 0);
+  obj.Set("height", *height);
+  if (*found != 0) {
+    obj.Set("receipt_wire", HexEncode(*wire));
+    // Confidential receipts are sealed blobs — `success` is only
+    // readable for public transactions; clients open sealed receipts
+    // with their retained k_tx.
+    auto receipt = chain::ReceiptRef::Decode(*wire);
+    if (receipt.ok()) obj.Set("success", receipt->success);
+  }
+  return HttpResponse::Json(*found != 0 ? 200 : 404, serialize::JsonWrite(obj));
+}
+
+HttpResponse Gateway::QueryStatus() {
+  GatewayMetrics::Get().query->Increment();
+  serialize::JsonValue nodes{serialize::JsonValue::Array{}};
+  for (auto& client : nodes_) {
+    auto reply = client->Call(MsgType::kQueryStatus, ByteView());
+    serialize::JsonValue entry{serialize::JsonValue::Object{}};
+    if (!reply.ok() || reply->type != MsgType::kStatusReply) {
+      GatewayMetrics::Get().upstream_error->Increment();
+      entry.Set("reachable", false);
+      nodes.as_array().push_back(std::move(entry));
+      continue;
+    }
+    auto r = serialize::RlpReader::AtList(reply->body);
+    if (!r.ok()) continue;
+    auto node_id = r->NextU64();
+    auto height = r->NextU64();
+    auto tip = r->NextFixed(32, "tip");
+    auto verified = r->NextU64();
+    auto unverified = r->NextU64();
+    if (!node_id.ok() || !height.ok() || !tip.ok() || !verified.ok() ||
+        !unverified.ok()) {
+      continue;
+    }
+    entry.Set("reachable", true);
+    entry.Set("node_id", *node_id);
+    entry.Set("height", *height);
+    entry.Set("tip_hash", HexEncode(*tip));
+    entry.Set("verified_pool", *verified);
+    entry.Set("unverified_pool", *unverified);
+    nodes.as_array().push_back(std::move(entry));
+  }
+  serialize::JsonValue obj{serialize::JsonValue::Object{}};
+  obj.Set("nodes", std::move(nodes));
+  return HttpResponse::Json(200, serialize::JsonWrite(obj));
+}
+
+HttpResponse Gateway::QueryPkInfo() {
+  GatewayMetrics::Get().query->Increment();
+  auto reply = nodes_[0]->Call(MsgType::kQueryPkInfo, ByteView());
+  if (!reply.ok() || reply->type != MsgType::kPkInfoReply) {
+    GatewayMetrics::Get().upstream_error->Increment();
+    return JsonError(503, "pk_info unavailable");
+  }
+  auto r = serialize::RlpReader::AtList(reply->body);
+  if (!r.ok()) return JsonError(502, "malformed kPkInfoReply");
+  auto blob = r->NextBytes();
+  if (!blob.ok()) return JsonError(502, "malformed kPkInfoReply");
+  serialize::JsonValue obj{serialize::JsonValue::Object{}};
+  obj.Set("pk_info", HexEncode(*blob));
+  return HttpResponse::Json(200, serialize::JsonWrite(obj));
+}
+
+}  // namespace confide::net

@@ -1,0 +1,61 @@
+/// \file gateway.h
+/// \brief HTTP/JSON gateway: the client-facing edge of a CONFIDE
+/// deployment (docs/WIRE_PROTOCOL.md §Gateway HTTP API).
+///
+/// Clients build and sign transactions locally — confidential (TYPE=1)
+/// envelopes are sealed client-side against pk_tx, so the gateway never
+/// sees plaintext — and POST the wire bytes as hex. The gateway tags the
+/// TYPE, forwards the frame to the submit node (the leader) over the
+/// framed TCP plane, and serves receipt/status queries from any node.
+///
+/// Endpoints (JSON unless noted):
+///   POST /v1/tx           {"tx": "<hex>"} → {"accepted", "tx_hash", "type"}
+///   GET  /v1/receipt/<tx_hash hex>        → {"found", "receipt_wire",
+///                                            "success", "height"}
+///   GET  /v1/status                       → per-node heights + tip hashes
+///   GET  /v1/pk_info                      → {"pk_info": "<hex>"}
+///   GET  /metrics                         → this process's metrics JSON
+///   GET  /healthz                         → 200 "ok" (text)
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame_client.h"
+#include "net/http.h"
+
+namespace confide::net {
+
+struct GatewayOptions {
+  /// "host:port" of every cluster node, indexed by node id; node 0 (the
+  /// leader) receives submissions, any node serves queries.
+  std::vector<std::string> nodes;
+  std::string listen_host = "0.0.0.0";
+  uint16_t listen_port = 8080;  ///< 0 = ephemeral, see port()
+};
+
+class Gateway {
+ public:
+  explicit Gateway(GatewayOptions options);
+
+  /// \brief Dials the nodes and starts the HTTP listener.
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return server_.port(); }
+
+ private:
+  HttpResponse Handle(const HttpRequest& req);
+  HttpResponse SubmitTx(const HttpRequest& req);
+  HttpResponse QueryReceipt(const std::string& hash_hex);
+  HttpResponse QueryStatus();
+  HttpResponse QueryPkInfo();
+
+  GatewayOptions options_;
+  HttpServer server_;
+  std::vector<std::unique_ptr<FrameClient>> nodes_;
+};
+
+}  // namespace confide::net

@@ -1,0 +1,72 @@
+/// \file gateway_main.cc
+/// \brief The HTTP/JSON gateway daemon fronting a `confided` cluster.
+///
+/// See gateway.h for the endpoint surface and docs/OPERATIONS.md for the
+/// launch recipe. SIGINT/SIGTERM stop the listener, dumping the metrics
+/// registry when --metrics-out is set.
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/metrics.h"
+#include "net/config.h"
+#include "net/gateway.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+void DumpMetricsTo(const std::string& path) {
+  if (path.empty()) return;
+  const std::string json =
+      confide::metrics::MetricsRegistry::Global().Snapshot().ToJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "confide_gateway: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace confide;
+
+  auto cfg = net::GatewayConfig::FromArgs(argc, argv);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "confide_gateway: %s\n", cfg.status().ToString().c_str());
+    return 2;
+  }
+
+  net::GatewayOptions options;
+  options.nodes = cfg->nodes;
+  options.listen_host = cfg->listen_host;
+  options.listen_port = cfg->listen_port;
+  net::Gateway gateway(options);
+  if (Status st = gateway.Start(); !st.ok()) {
+    std::fprintf(stderr, "confide_gateway: start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  // Readiness line (parsed by tools/cluster_smoke.py).
+  std::printf("confide_gateway: ready on port %u (%zu nodes)\n", gateway.port(),
+              cfg->nodes.size());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  gateway.Stop();
+  DumpMetricsTo(cfg->metrics_out);
+  return 0;
+}

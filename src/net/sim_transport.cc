@@ -1,0 +1,134 @@
+#include "net/sim_transport.h"
+
+#include "common/fault.h"
+#include "common/metrics.h"
+
+namespace confide::net {
+
+namespace {
+
+struct SimMetrics {
+  metrics::Counter* send = metrics::GetCounter("net.send.count");
+  metrics::Counter* send_bytes = metrics::GetCounter("net.send.bytes");
+  metrics::Counter* drop = metrics::GetCounter("net.send.drop.count");
+  metrics::Counter* unreachable = metrics::GetCounter("net.send.unreachable.count");
+  metrics::Counter* recv = metrics::GetCounter("net.recv.count");
+  metrics::Counter* recv_bytes = metrics::GetCounter("net.recv.bytes");
+
+  static SimMetrics& Get() {
+    static SimMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+size_t SimHub::DeliverAll() {
+  size_t delivered = 0;
+  while (DeliverOne()) ++delivered;
+  return delivered;
+}
+
+bool SimHub::DeliverOne() {
+  Pending next;
+  SimTransport* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    next = std::move(queue_.front());
+    queue_.pop_front();
+    if (next.to < endpoints_.size()) target = endpoints_[next.to];
+  }
+  if (target == nullptr || !target->started_ || !target->handler_) {
+    SimMetrics::Get().drop->Increment();
+    return true;
+  }
+  SimMetrics::Get().recv->Increment();
+  SimMetrics::Get().recv_bytes->Increment(next.frame.body.size());
+  std::optional<OwnedFrame> reply =
+      target->handler_(next.from, next.frame.type, next.frame.body);
+  if (reply.has_value()) {
+    // Replies travel the same lossy medium back to the requester.
+    (void)Route(next.to, next.from, reply->type, reply->body);
+  }
+  return true;
+}
+
+size_t SimHub::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void SimHub::Register(SimTransport* endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (endpoints_.size() <= endpoint->self_id_) {
+    endpoints_.resize(endpoint->self_id_ + 1, nullptr);
+  }
+  endpoints_[endpoint->self_id_] = endpoint;
+}
+
+void SimHub::Unregister(SimTransport* endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (endpoint->self_id_ < endpoints_.size() &&
+      endpoints_[endpoint->self_id_] == endpoint) {
+    endpoints_[endpoint->self_id_] = nullptr;
+  }
+}
+
+Status SimHub::Route(uint32_t from, uint32_t to, MsgType type, ByteView body) {
+  SimMetrics::Get().send->Increment();
+  SimMetrics::Get().send_bytes->Increment(body.size());
+  if (!net_->Reachable(from, to)) {
+    SimMetrics::Get().unreachable->Increment();
+    return Status::OK();  // partitioned: silently lost, like the real net
+  }
+  if (fault::FaultInjector::Global().ShouldFail("fault.net.send.drop")) {
+    SimMetrics::Get().drop->Increment();
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const double drop_rate = net_->DropRate(from, to);
+  if (drop_rate > 0.0 &&
+      double(rng_.NextBounded(1'000'000)) < drop_rate * 1'000'000.0) {
+    SimMetrics::Get().drop->Increment();
+    return Status::OK();
+  }
+  queue_.push_back(Pending{from, to, OwnedFrame{type, ToBytes(body)}});
+  return Status::OK();
+}
+
+Status SimTransport::Start() {
+  if (self_id_ >= hub_->net_->NodeCount()) {
+    return Status::InvalidArgument("sim transport: node id " +
+                                   std::to_string(self_id_) +
+                                   " not in the NetworkSim");
+  }
+  hub_->Register(this);
+  started_ = true;
+  return Status::OK();
+}
+
+void SimTransport::Stop() {
+  if (!started_) return;
+  started_ = false;
+  hub_->Unregister(this);
+}
+
+Status SimTransport::Send(uint32_t peer, MsgType type, ByteView body) {
+  if (!started_) return Status::Unavailable("sim transport: not started");
+  return hub_->Route(self_id_, peer, type, body);
+}
+
+Status SimTransport::Broadcast(MsgType type, ByteView body) {
+  if (!started_) return Status::Unavailable("sim transport: not started");
+  const size_t n = hub_->net_->NodeCount();
+  for (uint32_t peer = 0; peer < n; ++peer) {
+    if (peer == self_id_) continue;
+    (void)hub_->Route(self_id_, peer, type, body);
+  }
+  return Status::OK();
+}
+
+size_t SimTransport::cluster_size() const { return hub_->net_->NodeCount(); }
+
+}  // namespace confide::net

@@ -1,0 +1,93 @@
+/// \file sim_transport.h
+/// \brief Transport implementation over the NetworkSim link model: every
+/// endpoint lives in one process and frames move through a deterministic
+/// FIFO, with reachability (partitions) and loss drawn from the same
+/// NetworkSim state the PBFT simulator uses.
+///
+/// This is the original single-process path, now behind the Transport
+/// seam: chaos tests and in-process cluster tests drive it by calling
+/// DeliverAll() at chosen points, so every interleaving is explicit and
+/// replayable. Latency modelling stays with the discrete-event PBFT
+/// simulator (pbft.h); the hub models only reachability, loss and the
+/// `fault.net.send.drop` injection site.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "chain/network.h"
+#include "crypto/drbg.h"
+#include "net/transport.h"
+
+namespace confide::net {
+
+class SimTransport;
+
+/// \brief Shared medium for a set of SimTransports. Not thread-safe
+/// against concurrent DeliverAll calls; Send may be called from handlers
+/// (frames enqueue). The NetworkSim is borrowed and must outlive the hub
+/// (partitions set on it take effect immediately).
+class SimHub {
+ public:
+  explicit SimHub(chain::NetworkSim* net, uint64_t seed = 1)
+      : net_(net), rng_(seed) {}
+
+  /// \brief Delivers queued frames in FIFO order until the queue drains
+  /// (replies re-enqueue). Returns the number delivered.
+  size_t DeliverAll();
+
+  /// \brief Delivers at most one queued frame. False when idle.
+  bool DeliverOne();
+
+  size_t pending() const;
+
+ private:
+  friend class SimTransport;
+
+  struct Pending {
+    uint32_t from;
+    uint32_t to;
+    OwnedFrame frame;
+  };
+
+  void Register(SimTransport* endpoint);
+  void Unregister(SimTransport* endpoint);
+  /// \brief Called by SimTransport::Send: applies reachability/loss and
+  /// enqueues.
+  Status Route(uint32_t from, uint32_t to, MsgType type, ByteView body);
+
+  chain::NetworkSim* net_;
+  crypto::Drbg rng_;
+  mutable std::mutex mu_;
+  std::vector<SimTransport*> endpoints_;  // index = node id
+  std::deque<Pending> queue_;
+};
+
+/// \brief One simulated endpoint. `self_id` must be a node id of the
+/// hub's NetworkSim.
+class SimTransport : public Transport {
+ public:
+  SimTransport(SimHub* hub, uint32_t self_id) : hub_(hub), self_id_(self_id) {}
+  ~SimTransport() override { Stop(); }
+
+  void SetHandler(HandlerFn handler) override { handler_ = std::move(handler); }
+  Status Start() override;
+  void Stop() override;
+  Status Send(uint32_t peer, MsgType type, ByteView body) override;
+  Status Broadcast(MsgType type, ByteView body) override;
+  uint32_t self_id() const override { return self_id_; }
+  size_t cluster_size() const override;
+
+ private:
+  friend class SimHub;
+
+  SimHub* hub_;
+  uint32_t self_id_;
+  bool started_ = false;
+  HandlerFn handler_;
+};
+
+}  // namespace confide::net

@@ -1,0 +1,109 @@
+/// \file tcp_transport.h
+/// \brief Real length-prefixed TCP transport between separately deployed
+/// node processes (the `confided` binary) and their clients.
+///
+/// One listening socket per node serves both planes: peers identify with
+/// a kHello frame (consensus frames are only accepted from identified
+/// node peers); connections that never send kHello are client/gateway
+/// connections and see only the request/reply plane. Outbound peer
+/// connections are established lazily on first Send and re-established
+/// on failure. Writes loop over short writes; reads feed a FrameAssembler
+/// so a frame split at any byte boundary reassembles. A corrupt inbound
+/// stream (oversized/garbled/truncated frame) closes the connection —
+/// framing cannot resynchronize inside a corrupt byte stream — and the
+/// next Send to that peer reconnects.
+///
+/// Fault-injection sites (chaos suite, docs/METRICS.md appendix):
+///   fault.net.connect.fail   outbound connect fails (retry recovers)
+///   fault.net.send.drop      frame silently not written
+///   fault.net.send.truncate  half the frame written, then the
+///                            connection is closed (peer sees a stream
+///                            ending mid-frame)
+///   fault.net.send.delay     send stalls for `arg` milliseconds
+///   fault.net.recv.corrupt   one inbound byte flipped before framing
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace confide::net {
+
+/// \brief "host:port" → (host, port). Rejects missing/invalid port.
+Result<std::pair<std::string, uint16_t>> SplitHostPort(const std::string& addr);
+
+struct TcpTransportOptions {
+  /// This node's id; must index into `peers`.
+  uint32_t self_id = 0;
+  /// One "host:port" per cluster node, indexed by node id (the entry at
+  /// self_id names the advertised address of this node; only its port
+  /// matters when `listen_port` is unset).
+  std::vector<std::string> peers;
+  /// Port to bind (0 = the port from peers[self_id]; peers[self_id] port
+  /// 0 = ephemeral, see listen_port()).
+  uint16_t listen_port = 0;
+  /// Address to bind the listener to.
+  std::string listen_host = "0.0.0.0";
+  /// Outbound connect attempts per Send before giving up.
+  uint32_t connect_attempts = 3;
+  /// Backoff between connect attempts, doubling per retry.
+  uint64_t connect_backoff_ms = 10;
+};
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options);
+  ~TcpTransport() override;
+
+  void SetHandler(HandlerFn handler) override;
+  Status Start() override;
+  void Stop() override;
+  Status Send(uint32_t peer, MsgType type, ByteView body) override;
+  Status Broadcast(MsgType type, ByteView body) override;
+  uint32_t self_id() const override { return options_.self_id; }
+  size_t cluster_size() const override { return options_.peers.size(); }
+
+  /// \brief Bound listener port (after Start; resolves ephemeral binds).
+  uint16_t listen_port() const { return bound_port_; }
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> conn);
+  /// \brief Returns the established outbound connection to `peer`,
+  /// dialing (with retry/backoff + kHello) when absent.
+  Result<std::shared_ptr<Connection>> OutboundTo(uint32_t peer);
+  /// \brief Writes one whole frame to `conn`, honoring fault sites and
+  /// looping over short writes.
+  Status WriteFrame(Connection* conn, uint32_t peer, MsgType type, ByteView body);
+
+  TcpTransportOptions options_;
+  HandlerFn handler_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::map<uint32_t, std::shared_ptr<Connection>> outbound_;  // by peer id
+  std::vector<std::shared_ptr<Connection>> inbound_;
+  std::vector<std::thread> reader_threads_;
+  /// Peers whose outbound stream was poisoned by an injected truncation;
+  /// the next successful frame to them reports fault recovery.
+  std::map<uint32_t, bool> truncate_poisoned_;
+  /// Peers whose inbound stream saw an injected byte flip; the next good
+  /// frame from them reports fault recovery.
+  std::map<uint32_t, bool> recv_corrupted_peers_;
+  bool injected_connect_fail_ = false;
+};
+
+}  // namespace confide::net

@@ -1,0 +1,589 @@
+/// \file cluster_test.cc
+/// \brief Multi-node replication tests for the PBFT-lite cluster layer
+/// (net/cluster.h): deterministic 3-node convergence over SimTransport,
+/// gap repair after a partition, real-process-shaped TCP clusters inside
+/// one test binary, crash/rejoin catch-up, and the HTTP/JSON gateway end
+/// to end (confidential submission through sealed-receipt opening).
+///
+/// All nodes bootstrap BootstrapFirst with the same seed: KM key
+/// derivation is a pure function of the seed, so every node holds the
+/// same consortium keys — the same shared-seed provisioning contract the
+/// `confided` binary documents (docs/OPERATIONS.md §Keys).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "chain/network.h"
+#include "confide/client.h"
+#include "confide/system.h"
+#include "lang/compiler.h"
+#include "net/cluster.h"
+#include "net/frame_client.h"
+#include "net/gateway.h"
+#include "net/http.h"
+#include "net/sim_transport.h"
+#include "net/tcp_transport.h"
+#include "serialize/json.h"
+#include "serialize/rlp.h"
+
+namespace confide::net {
+namespace {
+
+using chain::NamedAddress;
+using core::Client;
+using core::ConfideSystem;
+using core::SystemOptions;
+
+constexpr uint64_t kClusterSeed = 21;
+
+constexpr const char* kCounterSource = R"(
+fn increment() {
+  var key = "counter";
+  var buf = alloc(16);
+  var n = get_storage(key, strlen(key), buf, 16);
+  var value = 0;
+  if (n == 8) { value = load64(buf); }
+  value = value + 1;
+  store64(buf, value);
+  set_storage(key, strlen(key), buf, 8);
+  var out = alloc(32);
+  var len = u64_to_dec(value, out);
+  write_output(out, len);
+  return value;
+}
+)";
+
+Bytes DeployPayload(const Bytes& code) {
+  std::vector<serialize::RlpItem> items;
+  items.push_back(serialize::RlpItem::U64(uint64_t(chain::VmKind::kCvm)));
+  items.push_back(serialize::RlpItem(code));
+  return serialize::RlpEncode(serialize::RlpItem::List(std::move(items)));
+}
+
+Bytes CounterCode() {
+  auto code = lang::Compile(kCounterSource, lang::VmTarget::kCvm);
+  EXPECT_TRUE(code.ok());
+  return *code;
+}
+
+std::unique_ptr<ConfideSystem> MakeSystem() {
+  SystemOptions options;
+  options.seed = kClusterSeed;
+  options.block_max_bytes = 64 * 1024;
+  auto sys = ConfideSystem::BootstrapFirst(options);
+  EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+  return std::move(*sys);
+}
+
+bool WaitFor(const std::function<bool()>& pred, uint64_t timeout_ms = 10000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+uint16_t PickPort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+TEST(ClusterQuorumTest, TwoFPlusOne) {
+  EXPECT_EQ(ClusterNode::Quorum(1), 1u);
+  EXPECT_EQ(ClusterNode::Quorum(3), 1u);  // f = 0: crash tolerance only
+  EXPECT_EQ(ClusterNode::Quorum(4), 3u);  // f = 1
+  EXPECT_EQ(ClusterNode::Quorum(7), 5u);  // f = 2
+  EXPECT_EQ(ClusterNode::Quorum(10), 7u); // f = 3
+}
+
+// ---------------------------------------------------------------------------
+// Simulated clusters: deterministic, every delivery explicit
+// ---------------------------------------------------------------------------
+
+class SimClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim_ = chain::NetworkSim::SingleZone(kNodes);
+    hub_ = std::make_unique<SimHub>(&sim_, /*seed=*/3);
+    for (uint32_t i = 0; i < kNodes; ++i) {
+      systems_.push_back(MakeSystem());
+      ASSERT_NE(systems_[i], nullptr);
+      nodes_.push_back(std::make_unique<ClusterNode>(
+          systems_[i].get(), std::make_unique<SimTransport>(hub_.get(), i)));
+      ASSERT_TRUE(nodes_[i]->Start().ok());
+    }
+    client_ = std::make_unique<Client>(99, systems_[0]->pk_tx());
+  }
+
+  void TearDown() override {
+    for (auto& node : nodes_) node->Stop();
+  }
+
+  /// Leader proposes, the hub drains every queued frame (votes and their
+  /// replies re-enqueue until consensus quiesces).
+  uint64_t CommitRound() {
+    auto seq = nodes_[0]->ProposeOnce();
+    EXPECT_TRUE(seq.ok()) << seq.status().ToString();
+    hub_->DeliverAll();
+    return seq.ok() ? *seq : 0;
+  }
+
+  void ExpectConverged() {
+    for (uint32_t i = 1; i < kNodes; ++i) {
+      EXPECT_EQ(nodes_[i]->Height(), nodes_[0]->Height()) << "node " << i;
+      EXPECT_EQ(nodes_[i]->TipHash(), nodes_[0]->TipHash()) << "node " << i;
+    }
+  }
+
+  static constexpr uint32_t kNodes = 3;
+  chain::NetworkSim sim_;
+  std::unique_ptr<SimHub> hub_;
+  std::vector<std::unique_ptr<ConfideSystem>> systems_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(SimClusterTest, ThreeNodesConvergeOnEveryBlock) {
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("sim.counter");
+  ASSERT_TRUE(systems_[0]
+                  ->node()
+                  ->SubmitTransaction(
+                      client_->MakePublicTx(addr, "__deploy__", DeployPayload(code)))
+                  .ok());
+  const uint64_t h0 = nodes_[0]->Height();
+  CommitRound();
+  EXPECT_EQ(nodes_[0]->Height(), h0 + 1);
+  ExpectConverged();
+
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(systems_[0]
+                    ->node()
+                    ->SubmitTransaction(client_->MakePublicTx(addr, "increment", Bytes{}))
+                    .ok());
+    CommitRound();
+    ExpectConverged();
+  }
+  EXPECT_EQ(nodes_[0]->Height(), h0 + 4);
+}
+
+TEST_F(SimClusterTest, EmptyPoolsProposeNothing) {
+  auto seq = nodes_[0]->ProposeOnce();
+  EXPECT_FALSE(seq.ok());
+  EXPECT_EQ(seq.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(hub_->pending(), 0u);
+}
+
+TEST_F(SimClusterTest, ConfidentialReceiptIsReplicatedAndOpens) {
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("sim.conf");
+  auto deploy = client_->MakeConfidentialTx(addr, "__deploy__", DeployPayload(code));
+  ASSERT_TRUE(deploy.ok()) << deploy.status().ToString();
+  ASSERT_TRUE(systems_[0]->node()->SubmitTransaction(deploy->tx).ok());
+  CommitRound();
+
+  auto call = client_->MakeConfidentialTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+  ASSERT_TRUE(systems_[0]->node()->SubmitTransaction(call->tx).ok());
+  CommitRound();
+  ExpectConverged();
+
+  // Sealing is deterministic, so every replica stores a byte-identical
+  // sealed receipt — and the retained k_tx opens any copy.
+  const crypto::Hash256 tx_hash = call->tx.Hash();
+  Bytes first_wire;
+  for (uint32_t i = 0; i < kNodes; ++i) {
+    auto receipt = systems_[i]->node()->GetReceipt(tx_hash);
+    ASSERT_TRUE(receipt.ok()) << "node " << i << ": " << receipt.status().ToString();
+    Bytes wire = receipt->Serialize();
+    if (i == 0) {
+      first_wire = wire;
+    } else {
+      EXPECT_EQ(wire, first_wire) << "node " << i;
+    }
+    auto opened = Client::OpenSealedReceipt(call->k_tx, receipt->output);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_TRUE(opened->success);
+    EXPECT_EQ(opened->output, ToBytes(AsByteView("1")));
+  }
+}
+
+TEST_F(SimClusterTest, PartitionedReplicaRepairsGapViaFetch) {
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("sim.gap");
+  ASSERT_TRUE(systems_[0]
+                  ->node()
+                  ->SubmitTransaction(
+                      client_->MakePublicTx(addr, "__deploy__", DeployPayload(code)))
+                  .ok());
+  CommitRound();
+  ExpectConverged();
+
+  // Split node 2 off; it misses the next two blocks.
+  ASSERT_TRUE(sim_.SetPartition(2, 1).ok());
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(systems_[0]
+                    ->node()
+                    ->SubmitTransaction(client_->MakePublicTx(addr, "increment", Bytes{}))
+                    .ok());
+    CommitRound();
+  }
+  EXPECT_EQ(nodes_[2]->Height() + 2, nodes_[0]->Height());
+
+  // Heal. The next pre-prepare jumps past node 2's tip, which triggers
+  // the kFetchBlocks gap pull; DeliverAll drains fetch + reply + votes.
+  sim_.HealPartitions();
+  ASSERT_TRUE(systems_[0]
+                  ->node()
+                  ->SubmitTransaction(client_->MakePublicTx(addr, "increment", Bytes{}))
+                  .ok());
+  CommitRound();
+  hub_->DeliverAll();
+  ExpectConverged();
+}
+
+TEST_F(SimClusterTest, SubmitPlaneRoutesThroughFrames) {
+  // A client frame (kSubmitTx) delivered to the leader must land in its
+  // pools and be rejected with a structured ack when malformed.
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("sim.frames");
+  chain::Transaction tx =
+      client_->MakePublicTx(addr, "__deploy__", DeployPayload(code));
+
+  SimTransport client_endpoint(hub_.get(), 2);  // borrow node 2's id slot
+  nodes_[2]->Stop();
+  std::optional<OwnedFrame> ack;
+  client_endpoint.SetHandler(
+      [&](uint32_t, MsgType type, ByteView body) -> std::optional<OwnedFrame> {
+        ack = OwnedFrame{type, ToBytes(body)};
+        return std::nullopt;
+      });
+  ASSERT_TRUE(client_endpoint.Start().ok());
+
+  ASSERT_TRUE(client_endpoint.Send(0, MsgType::kSubmitTx, tx.Serialize()).ok());
+  hub_->DeliverAll();
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, MsgType::kSubmitTxAck);
+  auto r = serialize::RlpReader::AtList(ack->body);
+  ASSERT_TRUE(r.ok());
+  auto accepted = r->NextU64();
+  auto hash = r->NextFixed(32, "tx hash");
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(*accepted, 1u);
+  EXPECT_EQ(ToBytes(*hash), ToBytes(ByteView(tx.Hash().data(), 32)));
+  EXPECT_EQ(systems_[0]->node()->UnverifiedPoolSize() +
+                systems_[0]->node()->VerifiedPoolSize(),
+            1u);
+
+  // A frame that is not a decodable transaction earns a structured
+  // kError reply (docs/WIRE_PROTOCOL.md §Error frames), not silence.
+  ack.reset();
+  ASSERT_TRUE(client_endpoint.Send(0, MsgType::kSubmitTx, AsByteView("garbage")).ok());
+  hub_->DeliverAll();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, MsgType::kError);
+  auto r2 = serialize::RlpReader::AtList(ack->body);
+  ASSERT_TRUE(r2.ok());
+  auto error_code = r2->NextU64();
+  ASSERT_TRUE(error_code.ok());
+  EXPECT_EQ(*error_code, 400u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP clusters: real sockets, blocking LeaderTick, catch-up
+// ---------------------------------------------------------------------------
+
+class TcpClusterTest : public ::testing::Test {
+ protected:
+  void StartCluster(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      peers_.push_back("127.0.0.1:" + std::to_string(PickPort()));
+    }
+    for (uint32_t i = 0; i < n; ++i) StartNode(i);
+  }
+
+  void StartNode(uint32_t id) {
+    if (systems_.size() <= id) systems_.resize(id + 1);
+    if (nodes_.size() <= id) nodes_.resize(id + 1);
+    systems_[id] = MakeSystem();
+    ASSERT_NE(systems_[id], nullptr);
+    TcpTransportOptions options;
+    options.self_id = id;
+    options.peers = peers_;
+    options.listen_host = "127.0.0.1";
+    ClusterOptions cluster_options;
+    cluster_options.propose_wait_ms = 2000;
+    nodes_[id] = std::make_unique<ClusterNode>(
+        systems_[id].get(), std::make_unique<TcpTransport>(options),
+        cluster_options);
+    ASSERT_TRUE(nodes_[id]->Start().ok());
+  }
+
+  void TearDown() override {
+    for (auto& node : nodes_) {
+      if (node) node->Stop();
+    }
+  }
+
+  bool Converged() {
+    for (size_t i = 1; i < nodes_.size(); ++i) {
+      if (!nodes_[i]) continue;
+      if (nodes_[i]->Height() != nodes_[0]->Height()) return false;
+      if (!(nodes_[i]->TipHash() == nodes_[0]->TipHash())) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::string> peers_;
+  std::vector<std::unique_ptr<ConfideSystem>> systems_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+};
+
+TEST_F(TcpClusterTest, ThreeProcessesShapedClusterCommitsAndServesQueries) {
+  StartCluster(3);
+  Client client(99, systems_[0]->pk_tx());
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("tcp.counter");
+
+  // Submit through the wire, exactly like an external client.
+  auto submit = FrameClient::Dial(peers_[0]);
+  ASSERT_TRUE(submit.ok()) << submit.status().ToString();
+  chain::Transaction deploy =
+      client.MakePublicTx(addr, "__deploy__", DeployPayload(code));
+  auto ack = submit->Call(MsgType::kSubmitTx, deploy.Serialize());
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  ASSERT_EQ(ack->type, MsgType::kSubmitTxAck);
+
+  auto committed = nodes_[0]->LeaderTick();
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_EQ(*committed, 1u);
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+
+  // Receipt query against a replica (receipts replicate with the block).
+  auto query = FrameClient::Dial(peers_[1]);
+  ASSERT_TRUE(query.ok());
+  const crypto::Hash256 tx_hash = deploy.Hash();
+  serialize::RlpWriter qw;
+  size_t qmark = qw.BeginList();
+  qw.WriteBytes(ByteView(tx_hash.data(), tx_hash.size()));
+  qw.EndList(qmark);
+  const Bytes query_body = std::move(qw).Take();
+  auto reply = query->Call(MsgType::kQueryReceipt, query_body);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, MsgType::kReceiptReply);
+  auto r = serialize::RlpReader::AtList(reply->body);
+  ASSERT_TRUE(r.ok());
+  auto found = r->NextU64();
+  auto wire = r->NextBytes();
+  ASSERT_TRUE(found.ok());
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(*found, 1u);
+  auto receipt = chain::Receipt::Deserialize(*wire);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->success);
+
+  // Status from every node agrees on height and tip.
+  Bytes tip0;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    auto status_client = FrameClient::Dial(peers_[i]);
+    ASSERT_TRUE(status_client.ok());
+    auto status = status_client->Call(MsgType::kQueryStatus, ByteView());
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    ASSERT_EQ(status->type, MsgType::kStatusReply);
+    auto sr = serialize::RlpReader::AtList(status->body);
+    ASSERT_TRUE(sr.ok());
+    auto node_id = sr->NextU64();
+    auto height = sr->NextU64();
+    auto tip = sr->NextFixed(32, "tip");
+    ASSERT_TRUE(node_id.ok());
+    ASSERT_TRUE(height.ok());
+    ASSERT_TRUE(tip.ok());
+    EXPECT_EQ(*node_id, i);
+    EXPECT_EQ(*height, nodes_[0]->Height());
+    if (i == 0) {
+      tip0 = ToBytes(*tip);
+    } else {
+      EXPECT_EQ(ToBytes(*tip), tip0) << "node " << i;
+    }
+  }
+}
+
+TEST_F(TcpClusterTest, LateReplicaCatchesUpFromLivePeer) {
+  // Boot only the leader of a 2-node cluster (Quorum(2) = 1): it commits
+  // alone while its peer is down.
+  peers_ = {"127.0.0.1:" + std::to_string(PickPort()),
+            "127.0.0.1:" + std::to_string(PickPort())};
+  systems_.resize(2);
+  nodes_.resize(2);
+  StartNode(0);
+
+  Client client(99, systems_[0]->pk_tx());
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("tcp.rejoin");
+  ASSERT_TRUE(systems_[0]
+                  ->node()
+                  ->SubmitTransaction(
+                      client.MakePublicTx(addr, "__deploy__", DeployPayload(code)))
+                  .ok());
+  ASSERT_TRUE(nodes_[0]->LeaderTick().ok());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(systems_[0]
+                    ->node()
+                    ->SubmitTransaction(client.MakePublicTx(addr, "increment", Bytes{}))
+                    .ok());
+    ASSERT_TRUE(nodes_[0]->LeaderTick().ok());
+  }
+  const uint64_t leader_height = nodes_[0]->Height();
+
+  // The replica comes up late — the crash/rejoin path of
+  // docs/OPERATIONS.md §Rejoin — and pulls the whole prefix.
+  StartNode(1);
+  EXPECT_LT(nodes_[1]->Height(), leader_height);
+  ASSERT_TRUE(nodes_[1]->CatchUp(0).ok());
+  EXPECT_EQ(nodes_[1]->Height(), leader_height);
+  EXPECT_EQ(nodes_[1]->TipHash(), nodes_[0]->TipHash());
+}
+
+// ---------------------------------------------------------------------------
+// Gateway end to end over a TCP cluster
+// ---------------------------------------------------------------------------
+
+TEST_F(TcpClusterTest, GatewayServesSubmissionAndQueriesEndToEnd) {
+  StartCluster(3);
+  Client client(99, systems_[0]->pk_tx());
+  const Bytes code = CounterCode();
+
+  GatewayOptions gw_options;
+  gw_options.nodes = peers_;
+  gw_options.listen_host = "127.0.0.1";
+  gw_options.listen_port = 0;
+  Gateway gateway(gw_options);
+  ASSERT_TRUE(gateway.Start().ok());
+
+  auto http = HttpClient::Connect("http://127.0.0.1:" +
+                                  std::to_string(gateway.port()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+
+  auto health = http->Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok");
+
+  // pk_info served over HTTP matches what the nodes bootstrapped.
+  auto pk_info = http->Get("/v1/pk_info");
+  ASSERT_TRUE(pk_info.ok());
+  ASSERT_EQ(pk_info->status, 200);
+  auto pk_json = serialize::JsonParse(pk_info->body);
+  ASSERT_TRUE(pk_json.ok());
+  const auto* blob_hex = pk_json->Find("pk_info");
+  ASSERT_NE(blob_hex, nullptr);
+  EXPECT_EQ(blob_hex->as_string(),
+            HexEncode(systems_[0]->pk_info_blob()));
+
+  // Public deploy, then a confidential deploy + call at a second
+  // address (confidential contracts keep sealed state; mixing planes on
+  // one contract is not part of the model), all via POST /v1/tx.
+  chain::Address addr = NamedAddress("gw.counter");
+  chain::Address conf_addr = NamedAddress("gw.conf");
+  chain::Transaction deploy =
+      client.MakePublicTx(addr, "__deploy__", DeployPayload(code));
+  auto post = http->Post("/v1/tx",
+                         "{\"tx\":\"" + HexEncode(deploy.Serialize()) + "\"}");
+  ASSERT_TRUE(post.ok()) << post.status().ToString();
+  ASSERT_EQ(post->status, 202) << post->body;
+  auto post_json = serialize::JsonParse(post->body);
+  ASSERT_TRUE(post_json.ok());
+  ASSERT_NE(post_json->Find("accepted"), nullptr);
+  EXPECT_TRUE(post_json->Find("accepted")->as_bool());
+  EXPECT_EQ(post_json->Find("type")->as_string(), "public");
+
+  auto conf_deploy =
+      client.MakeConfidentialTx(conf_addr, "__deploy__", DeployPayload(code));
+  ASSERT_TRUE(conf_deploy.ok());
+  auto conf_deploy_post = http->Post(
+      "/v1/tx", "{\"tx\":\"" + HexEncode(conf_deploy->tx.Serialize()) + "\"}");
+  ASSERT_TRUE(conf_deploy_post.ok());
+  ASSERT_EQ(conf_deploy_post->status, 202) << conf_deploy_post->body;
+  ASSERT_TRUE(nodes_[0]->LeaderTick().ok());
+
+  auto call = client.MakeConfidentialTx(conf_addr, "increment", Bytes{});
+  ASSERT_TRUE(call.ok());
+  auto conf_post = http->Post(
+      "/v1/tx", "{\"tx\":\"" + HexEncode(call->tx.Serialize()) + "\"}");
+  ASSERT_TRUE(conf_post.ok());
+  ASSERT_EQ(conf_post->status, 202) << conf_post->body;
+  auto conf_json = serialize::JsonParse(conf_post->body);
+  ASSERT_TRUE(conf_json.ok());
+  EXPECT_EQ(conf_json->Find("type")->as_string(), "confidential");
+  const std::string tx_hash_hex = conf_json->Find("tx_hash")->as_string();
+  ASSERT_TRUE(nodes_[0]->LeaderTick().ok());
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+
+  // The receipt query routes to a replica; the sealed output opens with
+  // the client-retained k_tx and proves the confidential call ran.
+  auto receipt_resp = http->Get("/v1/receipt/" + tx_hash_hex);
+  ASSERT_TRUE(receipt_resp.ok());
+  ASSERT_EQ(receipt_resp->status, 200) << receipt_resp->body;
+  auto receipt_json = serialize::JsonParse(receipt_resp->body);
+  ASSERT_TRUE(receipt_json.ok());
+  EXPECT_TRUE(receipt_json->Find("found")->as_bool());
+  auto receipt_wire = HexDecode(receipt_json->Find("receipt_wire")->as_string());
+  ASSERT_TRUE(receipt_wire.ok());
+  auto receipt = chain::Receipt::Deserialize(*receipt_wire);
+  ASSERT_TRUE(receipt.ok());
+  auto opened = Client::OpenSealedReceipt(call->k_tx, receipt->output);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->success);
+  EXPECT_EQ(opened->output, ToBytes(AsByteView("1")));
+
+  // Unknown receipts 404; /v1/status shows all three nodes converged.
+  auto missing = http->Get("/v1/receipt/" + std::string(64, '0'));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  auto status_resp = http->Get("/v1/status");
+  ASSERT_TRUE(status_resp.ok());
+  ASSERT_EQ(status_resp->status, 200);
+  auto status_json = serialize::JsonParse(status_resp->body);
+  ASSERT_TRUE(status_json.ok());
+  const auto* node_list = status_json->Find("nodes");
+  ASSERT_NE(node_list, nullptr);
+  ASSERT_EQ(node_list->as_array().size(), 3u);
+  std::string tip0;
+  for (const auto& entry : node_list->as_array()) {
+    ASSERT_NE(entry.Find("tip_hash"), nullptr);
+    EXPECT_EQ(uint64_t(entry.Find("height")->as_int()), nodes_[0]->Height());
+    if (tip0.empty()) {
+      tip0 = entry.Find("tip_hash")->as_string();
+    } else {
+      EXPECT_EQ(entry.Find("tip_hash")->as_string(), tip0);
+    }
+  }
+
+  gateway.Stop();
+}
+
+}  // namespace
+}  // namespace confide::net

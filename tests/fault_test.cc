@@ -7,9 +7,21 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "chain/network.h"
 #include "chain/pbft.h"
@@ -21,6 +33,9 @@
 #include "confide/system.h"
 #include "crypto/drbg.h"
 #include "lang/compiler.h"
+#include "net/cluster.h"
+#include "net/sim_transport.h"
+#include "net/tcp_transport.h"
 #include "serialize/rlp.h"
 #include "storage/lsm_store.h"
 #include "storage/wal.h"
@@ -1704,6 +1719,283 @@ TEST(NodeChaosTest, WalResetFailureAfterFlushIsIdempotentlyRecoverable) {
   EXPECT_EQ(ToString(*value), "v");
   std::filesystem::remove_all(dir);
 }
+
+// ---------------------------------------------------------------------------
+// Network chaos: the fault.net.* sites of the multi-process transport
+// (src/net). Each test arms one site, proves the injected failure fired,
+// and — for the recoverable sites — that the repair path reported
+// recovery (tools/check_fault_report.py enforces both per CI run).
+// ---------------------------------------------------------------------------
+
+namespace netchaos {
+
+using net::ClusterNode;
+using net::FrameView;
+using net::MsgType;
+using net::OwnedFrame;
+using net::SimHub;
+using net::SimTransport;
+using net::TcpTransport;
+using net::TcpTransportOptions;
+
+constexpr const char* kNetCounterSource = R"(
+fn increment() {
+  var key = "counter";
+  var buf = alloc(16);
+  var n = get_storage(key, strlen(key), buf, 16);
+  var value = 0;
+  if (n == 8) { value = load64(buf); }
+  value = value + 1;
+  store64(buf, value);
+  set_storage(key, strlen(key), buf, 8);
+  return value;
+}
+)";
+
+Bytes NetDeployPayload(const Bytes& code) {
+  std::vector<serialize::RlpItem> items;
+  items.push_back(serialize::RlpItem::U64(uint64_t(chain::VmKind::kCvm)));
+  items.push_back(serialize::RlpItem(code));
+  return serialize::RlpEncode(serialize::RlpItem::List(std::move(items)));
+}
+
+std::unique_ptr<ConfideSystem> NetChaosSystem() {
+  SystemOptions options;
+  options.seed = 23;
+  options.block_max_bytes = 64 * 1024;
+  auto sys = ConfideSystem::BootstrapFirst(options);
+  EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+  return std::move(*sys);
+}
+
+bool NetWaitFor(const std::function<bool()>& pred, uint64_t timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+uint16_t NetPickPort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+/// A connected TcpTransport pair with recording handlers, the substrate
+/// for the per-site TCP chaos tests.
+class NetChaosTcpPair {
+ public:
+  NetChaosTcpPair() {
+    peers_ = {"127.0.0.1:" + std::to_string(NetPickPort()),
+              "127.0.0.1:" + std::to_string(NetPickPort())};
+    for (uint32_t id = 0; id < 2; ++id) {
+      TcpTransportOptions options;
+      options.self_id = id;
+      options.peers = peers_;
+      options.listen_host = "127.0.0.1";
+      transports_.push_back(std::make_unique<TcpTransport>(options));
+      transports_[id]->SetHandler(
+          [this, id](uint32_t from, MsgType, ByteView body)
+              -> std::optional<OwnedFrame> {
+            std::lock_guard<std::mutex> lock(mu_);
+            received_[id].emplace_back(from, ToBytes(body));
+            return std::nullopt;
+          });
+      EXPECT_TRUE(transports_[id]->Start().ok());
+    }
+  }
+
+  ~NetChaosTcpPair() {
+    for (auto& transport : transports_) transport->Stop();
+  }
+
+  TcpTransport& at(uint32_t id) { return *transports_[id]; }
+
+  size_t ReceivedCount(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return received_[id].size();
+  }
+
+  bool Received(uint32_t id, const Bytes& body) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [from, got] : received_[id]) {
+      if (got == body) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> peers_;
+  std::vector<std::unique_ptr<TcpTransport>> transports_;
+  std::mutex mu_;
+  std::map<uint32_t, std::vector<std::pair<uint32_t, Bytes>>> received_;
+};
+
+Bytes NetBody(std::string_view s) { return ToBytes(AsByteView(s)); }
+
+TEST(NetChaosTest, DroppedPrePrepareRepairedByGapFetch) {
+  // 3-node sim cluster; the leader's pre-prepare to node 1 is dropped by
+  // injection. Node 1 still sees node 2's votes (a block-less pending
+  // entry) and must pull the block via kFetchBlocks on the next round —
+  // the fault.net.send.drop recovery signal.
+  chain::NetworkSim sim = chain::NetworkSim::SingleZone(3);
+  SimHub hub(&sim, ChaosSeed());
+  std::vector<std::unique_ptr<ConfideSystem>> systems;
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  for (uint32_t i = 0; i < 3; ++i) {
+    systems.push_back(NetChaosSystem());
+    ASSERT_NE(systems[i], nullptr);
+    nodes.push_back(std::make_unique<ClusterNode>(
+        systems[i].get(), std::make_unique<SimTransport>(&hub, i)));
+    ASSERT_TRUE(nodes[i]->Start().ok());
+  }
+  Client client(99, systems[0]->pk_tx());
+  auto code = lang::Compile(kNetCounterSource, lang::VmTarget::kCvm);
+  ASSERT_TRUE(code.ok());
+  chain::Address addr = chain::NamedAddress("netchaos.counter");
+
+  auto* recovered = metrics::GetCounter("fault.net.send.drop.recovered");
+  const uint64_t recovered_before = recovered->Value();
+
+  ASSERT_TRUE(systems[0]
+                  ->node()
+                  ->SubmitTransaction(client.MakePublicTx(addr, "__deploy__",
+                                                          NetDeployPayload(*code)))
+                  .ok());
+  {
+    FaultPlan plan(ChaosSeed());
+    // Broadcast visits peers in id order: the first routed frame is the
+    // pre-prepare to node 1.
+    plan.Arm("fault.net.send.drop", Trigger{.one_shot = true});
+    ASSERT_TRUE(nodes[0]->ProposeOnce().ok());
+    EXPECT_EQ(FaultInjector::Global().FiredCount("fault.net.send.drop"), 1u);
+    hub.DeliverAll();
+  }
+  EXPECT_EQ(nodes[1]->Height() + 1, nodes[0]->Height());  // node 1 is behind
+
+  // Next round: node 1 sees the seq jump and repairs the gap.
+  ASSERT_TRUE(systems[0]
+                  ->node()
+                  ->SubmitTransaction(client.MakePublicTx(addr, "increment", Bytes{}))
+                  .ok());
+  ASSERT_TRUE(nodes[0]->ProposeOnce().ok());
+  hub.DeliverAll();
+
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(nodes[i]->Height(), nodes[0]->Height()) << "node " << i;
+    EXPECT_EQ(nodes[i]->TipHash(), nodes[0]->TipHash()) << "node " << i;
+  }
+  EXPECT_GT(recovered->Value(), recovered_before);
+  for (auto& node : nodes) node->Stop();
+}
+
+TEST(NetChaosTest, TruncatedSendHealsOnReconnect) {
+  NetChaosTcpPair pair;
+  auto* recovered = metrics::GetCounter("fault.net.send.truncate.recovered");
+  auto* corrupt = metrics::GetCounter("net.frame.corrupt.count");
+  const uint64_t recovered_before = recovered->Value();
+  const uint64_t corrupt_before = corrupt->Value();
+
+  // Warm the connection so the truncation hits an established link.
+  ASSERT_TRUE(pair.at(0).Send(1, MsgType::kPrepare, NetBody("warm")).ok());
+  ASSERT_TRUE(NetWaitFor([&] { return pair.Received(1, NetBody("warm")); }));
+
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.net.send.truncate", Trigger{.one_shot = true});
+    // Half the frame is written, then the connection dies: the peer sees
+    // a stream ending mid-frame (Corruption), the frame is lost.
+    ASSERT_TRUE(pair.at(0).Send(1, MsgType::kPrepare, NetBody("lost")).ok());
+    EXPECT_EQ(FaultInjector::Global().FiredCount("fault.net.send.truncate"), 1u);
+  }
+  ASSERT_TRUE(NetWaitFor([&] { return corrupt->Value() > corrupt_before; }));
+  EXPECT_FALSE(pair.Received(1, NetBody("lost")));
+
+  // The next send redials and lands a whole frame — recovery.
+  ASSERT_TRUE(NetWaitFor([&] {
+    return pair.at(0).Send(1, MsgType::kPrepare, NetBody("healed")).ok() &&
+           pair.Received(1, NetBody("healed"));
+  }));
+  EXPECT_GT(recovered->Value(), recovered_before);
+}
+
+TEST(NetChaosTest, ConnectFailureRetriesAndRecovers) {
+  NetChaosTcpPair pair;
+  auto* recovered = metrics::GetCounter("fault.net.connect.fail.recovered");
+  const uint64_t recovered_before = recovered->Value();
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.net.connect.fail", Trigger{.one_shot = true});
+    // First connect attempt fails by injection; the in-call retry loop
+    // dials again and the frame still arrives.
+    ASSERT_TRUE(pair.at(0).Send(1, MsgType::kCommit, NetBody("retried")).ok());
+    EXPECT_EQ(FaultInjector::Global().FiredCount("fault.net.connect.fail"), 1u);
+  }
+  ASSERT_TRUE(NetWaitFor([&] { return pair.Received(1, NetBody("retried")); }));
+  EXPECT_GT(recovered->Value(), recovered_before);
+}
+
+TEST(NetChaosTest, SendDelayStallsButDelivers) {
+  NetChaosTcpPair pair;
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.net.send.delay", Trigger{.one_shot = true, .arg = 30});
+    const auto start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(pair.at(0).Send(1, MsgType::kPrepare, NetBody("slow")).ok());
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_GE(elapsed.count(), 30);
+    EXPECT_EQ(FaultInjector::Global().FiredCount("fault.net.send.delay"), 1u);
+  }
+  ASSERT_TRUE(NetWaitFor([&] { return pair.Received(1, NetBody("slow")); }));
+}
+
+TEST(NetChaosTest, CorruptedInboundByteDropsStreamThenRecovers) {
+  NetChaosTcpPair pair;
+  auto* recovered = metrics::GetCounter("fault.net.recv.corrupt.recovered");
+  auto* corrupt = metrics::GetCounter("net.frame.corrupt.count");
+  const uint64_t recovered_before = recovered->Value();
+  const uint64_t corrupt_before = corrupt->Value();
+
+  // Warm the connection so the peer is identified before the corruption
+  // (the flipped byte must hit a data frame, not the kHello).
+  ASSERT_TRUE(pair.at(0).Send(1, MsgType::kPrepare, NetBody("warm")).ok());
+  ASSERT_TRUE(NetWaitFor([&] { return pair.Received(1, NetBody("warm")); }));
+
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.net.recv.corrupt", Trigger{.one_shot = true});
+    ASSERT_TRUE(pair.at(0).Send(1, MsgType::kPrepare, NetBody("flipped")).ok());
+    ASSERT_TRUE(NetWaitFor([&] {
+      return FaultInjector::Global().FiredCount("fault.net.recv.corrupt") == 1;
+    }));
+  }
+  // The receiver rejects the garbled stream and drops the connection.
+  ASSERT_TRUE(NetWaitFor([&] { return corrupt->Value() > corrupt_before; }));
+  EXPECT_FALSE(pair.Received(1, NetBody("flipped")));
+
+  // Redelivery over a fresh connection closes the loop: the first clean
+  // frame from the same peer reports recovery.
+  ASSERT_TRUE(NetWaitFor([&] {
+    return pair.at(0).Send(1, MsgType::kPrepare, NetBody("clean")).ok() &&
+           pair.Received(1, NetBody("clean"));
+  }));
+  EXPECT_GT(recovered->Value(), recovered_before);
+}
+
+}  // namespace netchaos
 
 }  // namespace
 }  // namespace confide

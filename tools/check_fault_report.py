@@ -46,6 +46,10 @@ RECOVERABLE_SITES = {
     "fault.chain.sync.provider_dead",
     "fault.chain.sync.stale_certificate",
     "fault.confide.provision",
+    "fault.net.connect.fail",
+    "fault.net.recv.corrupt",
+    "fault.net.send.drop",
+    "fault.net.send.truncate",
     "fault.storage.compaction.install",
     "fault.storage.compaction.merge",
     "fault.storage.compaction.start",
@@ -61,6 +65,7 @@ RECOVERABLE_SITES = {
 # runs them): prefix -> require recovery too.
 PER_REPORT_GROUPS = {
     "fault.chain.sync.": True,
+    "fault.net.": True,
     "fault.storage.compaction.": True,
 }
 

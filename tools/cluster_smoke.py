@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for a real multi-process CONFIDE cluster.
+
+Boots N `confided` node processes (shared consortium seed, framed TCP
+transport) plus one `confide_gateway` HTTP front end, drives a mixed
+confidential/plaintext load through `bench_load`, then asserts the
+deployment-shaped invariants that the in-process test suites cannot:
+
+  1. every process comes up and prints its readiness line;
+  2. the load driver sustains at least one RPS step against the gateway
+     (which itself verifies sealed receipts open with the client key and
+     that all nodes report identical tip hashes);
+  3. a direct /v1/status poll after the run confirms convergence again,
+     from outside the load driver;
+  4. the bench metrics snapshot (metrics.json) is well-formed and
+     carries the bench.load.* series CI archives per commit.
+
+Everything binds to 127.0.0.1 on ephemeral ports picked up-front, so
+parallel CI jobs on one runner do not collide. All child processes are
+torn down on exit — including on failure — so a wedged node cannot hang
+the CI job past its timeout.
+
+Usage:
+  cluster_smoke.py [--build-dir build] [--nodes 3] [--seed 21]
+                   [--rps 25,50] [--duration-s 2]
+                   [--out metrics.json]
+"""
+
+import argparse
+import json
+import os
+import re
+import select
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+
+NODE_READY_RE = re.compile(r"confided: node (\d+) ready on port (\d+)")
+GATEWAY_READY_RE = re.compile(r"confide_gateway: ready on port (\d+)")
+
+
+def pick_ports(count):
+    """Reserves `count` distinct ephemeral ports (bind :0, then close).
+
+    There is a small race between closing and the child re-binding, but
+    a fresh CI container has nothing else grabbing ports.
+    """
+    socks = [socket.socket() for _ in range(count)]
+    for s in socks:
+        s.bind(("127.0.0.1", 0))
+    ports = [s.getsockname()[1] for s in socks]
+    for s in socks:
+        s.close()
+    return ports
+
+
+def await_line(proc, pattern, what, timeout_s=30):
+    """Reads `proc` stdout until `pattern` matches; returns the match."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"{what} exited early (rc={proc.returncode})")
+        # select keeps the timeout real even if the child prints nothing.
+        ready, _, _ = select.select([proc.stdout], [], [], 0.2)
+        if not ready:
+            continue
+        line = proc.stdout.readline()
+        if not line:
+            continue
+        sys.stdout.write(line)
+        match = pattern.search(line)
+        if match:
+            return match
+    raise RuntimeError(f"timed out waiting for readiness line from {what}")
+
+
+def http_json(url, timeout_s=10):
+    with urllib.request.urlopen(url, timeout=timeout_s) as resp:
+        return json.loads(resp.read())
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument("--rps", default="25,50")
+    parser.add_argument("--duration-s", default="2")
+    parser.add_argument("--confidential-pct", default="50")
+    parser.add_argument("--out", default="metrics.json")
+    args = parser.parse_args()
+
+    confided = os.path.join(args.build_dir, "src", "net", "confided")
+    gateway_bin = os.path.join(args.build_dir, "src", "net", "confide_gateway")
+    bench_load = os.path.join(args.build_dir, "bench", "bench_load")
+    for binary in (confided, gateway_bin, bench_load):
+        if not os.path.exists(binary):
+            print(f"cluster_smoke: missing binary {binary}", file=sys.stderr)
+            return 2
+
+    node_ports = pick_ports(args.nodes)
+    peers = ",".join(f"127.0.0.1:{p}" for p in node_ports)
+    procs = []
+    try:
+        for node_id, port in enumerate(node_ports):
+            proc = subprocess.Popen(
+                [
+                    confided,
+                    f"--node-id={node_id}",
+                    f"--peers={peers}",
+                    "--listen-host=127.0.0.1",
+                    f"--seed={args.seed}",
+                    "--block-max-bytes=65536",
+                    "--tick-ms=20",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            procs.append((f"confided[{node_id}]", proc))
+            match = await_line(proc, NODE_READY_RE, f"confided node {node_id}")
+            assert int(match.group(2)) == port
+
+        gw_proc = subprocess.Popen(
+            [gateway_bin, f"--nodes={peers}", "--listen=127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        procs.append(("confide_gateway", gw_proc))
+        gw_port = int(
+            await_line(gw_proc, GATEWAY_READY_RE, "confide_gateway").group(1)
+        )
+        gateway_url = f"http://127.0.0.1:{gw_port}"
+
+        health = urllib.request.urlopen(f"{gateway_url}/healthz", timeout=10)
+        if health.read() != b"ok":
+            print("cluster_smoke: gateway /healthz not ok", file=sys.stderr)
+            return 1
+
+        # The load driver submits the mixed workload, sweeps the RPS
+        # steps, verifies sampled sealed receipts open, and exits
+        # non-zero on divergence or an unsustained sweep.
+        env = dict(os.environ, CONFIDE_METRICS_OUT=args.out)
+        rc = subprocess.call(
+            [
+                bench_load,
+                f"--gateway={gateway_url}",
+                f"--seed={args.seed}",
+                f"--rps={args.rps}",
+                f"--duration-s={args.duration_s}",
+                f"--confidential-pct={args.confidential_pct}",
+            ],
+            env=env,
+        )
+        if rc != 0:
+            print(f"cluster_smoke: bench_load failed (rc={rc})", file=sys.stderr)
+            return 1
+
+        # Independent convergence check, outside the load driver.
+        status = http_json(f"{gateway_url}/v1/status")
+        nodes = status["nodes"]
+        if len(nodes) != args.nodes:
+            print(f"cluster_smoke: expected {args.nodes} nodes in /v1/status, "
+                  f"got {len(nodes)}", file=sys.stderr)
+            return 1
+        tips = {(n["height"], n["tip_hash"]) for n in nodes if n["reachable"]}
+        if len({n["reachable"] for n in nodes}) != 1 or len(tips) != 1:
+            print(f"cluster_smoke: cluster diverged: {nodes}", file=sys.stderr)
+            return 1
+        height, tip = next(iter(tips))
+        if height == 0:
+            print("cluster_smoke: cluster never committed a block",
+                  file=sys.stderr)
+            return 1
+
+        with open(args.out) as metrics_file:
+            metrics = json.load(metrics_file)
+        gauges = metrics.get("gauges", {})
+        if gauges.get("bench.load.max_sustained_rps", 0) <= 0:
+            print("cluster_smoke: metrics.json missing sustained-rps gauge",
+                  file=sys.stderr)
+            return 1
+
+        print(f"cluster_smoke: OK — {args.nodes} nodes converged at height "
+              f"{height} tip {tip[:16]}, metrics in {args.out}")
+        return 0
+    finally:
+        for name, proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 10
+        for name, proc in procs:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                print(f"cluster_smoke: killing unresponsive {name}",
+                      file=sys.stderr)
+                proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
