@@ -30,6 +30,10 @@
 ///   --duration-s=5         (CONFIDE_LOAD_DURATION_S)  per step
 ///   --confidential-pct=50  (CONFIDE_LOAD_CONF_PCT)    TYPE=1 share
 ///   --workers=8            (CONFIDE_LOAD_WORKERS)     sender threads
+///   --contracts=bench      (CONFIDE_LOAD_CONTRACTS)   contract name prefix;
+///                          a second run against the same cluster needs a
+///                          fresh prefix (re-deploying an existing address
+///                          is rejected) — the failover smoke uses bench2
 
 #include <algorithm>
 #include <atomic>
@@ -55,6 +59,7 @@ struct LoadConfig {
   uint64_t duration_s = 5;
   uint64_t confidential_pct = 50;
   uint64_t workers = 8;
+  std::string contracts = "bench";
 };
 
 std::string FlagOrEnv(int argc, char** argv, const std::string& flag,
@@ -83,6 +88,8 @@ LoadConfig ParseConfig(int argc, char** argv) {
   cfg.workers = std::strtoull(
       FlagOrEnv(argc, argv, "workers", "CONFIDE_LOAD_WORKERS", "8").c_str(),
       nullptr, 10);
+  cfg.contracts =
+      FlagOrEnv(argc, argv, "contracts", "CONFIDE_LOAD_CONTRACTS", "bench");
   const std::string rps = FlagOrEnv(argc, argv, "rps", "CONFIDE_LOAD_RPS", "50,100,200");
   cfg.rps_steps.clear();
   size_t start = 0;
@@ -254,14 +261,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Bytes deploy_payload = DeployPayload(chain::VmKind::kCvm, *code);
+  const chain::Address pub_addr = chain::NamedAddress(cfg.contracts + ".pub");
+  const chain::Address conf_addr = chain::NamedAddress(cfg.contracts + ".conf");
   {
-    chain::Transaction tx = client.MakePublicTx(chain::NamedAddress("bench.pub"),
-                                                "__deploy__", deploy_payload);
+    chain::Transaction tx =
+        client.MakePublicTx(pub_addr, "__deploy__", deploy_payload);
     MustAwaitReceipt(&http, MustSubmit(&http, tx));
   }
   {
-    auto sub = client.MakeConfidentialTx(chain::NamedAddress("bench.conf"),
-                                         "__deploy__", deploy_payload);
+    auto sub = client.MakeConfidentialTx(conf_addr, "__deploy__", deploy_payload);
     if (!sub.ok()) return 1;
     const Bytes wire = MustAwaitReceipt(&http, MustSubmit(&http, sub->tx));
     // The stored receipt's `output` is the T-Protocol sealed blob.
@@ -308,8 +316,7 @@ int main(int argc, char** argv) {
       const Bytes input = workloads::MakeStringConcatInput(&rng);
       chain::Transaction tx;
       if (a.confidential) {
-        auto sub = client.MakeConfidentialTx(chain::NamedAddress("bench.conf"),
-                                             "string_concat", input);
+        auto sub = client.MakeConfidentialTx(conf_addr, "string_concat", input);
         if (!sub.ok()) return 1;
         tx = sub->tx;
         a.tx_hash_hex = HexEncode(ByteView(tx.Hash().data(), 32));
@@ -317,8 +324,7 @@ int main(int argc, char** argv) {
           conf_samples.emplace_back(a.tx_hash_hex, sub->k_tx);
         }
       } else {
-        tx = client.MakePublicTx(chain::NamedAddress("bench.pub"),
-                                 "string_concat", input);
+        tx = client.MakePublicTx(pub_addr, "string_concat", input);
         a.tx_hash_hex = HexEncode(ByteView(tx.Hash().data(), 32));
       }
       serialize::JsonValue body{serialize::JsonValue::Object{}};

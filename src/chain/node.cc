@@ -265,6 +265,14 @@ Result<Block> Node::ProposeBlock() {
   return block;
 }
 
+void Node::RequeueVerified(std::vector<Transaction> txs) {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  for (auto it = txs.rbegin(); it != txs.rend(); ++it) {
+    verified_.push_front(std::move(*it));
+  }
+  NodeMetrics::Get().verified_pool->Set(int64_t(verified_.size()));
+}
+
 Result<std::vector<Receipt>> Node::ApplyBlock(const Block& block) {
   if (fault::FaultInjector::Global().ShouldFail("fault.chain.apply_block")) {
     return Status::Unavailable("node: injected apply-block failure");

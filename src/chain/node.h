@@ -81,6 +81,12 @@ class Node {
   /// block_max_bytes of transactions, at least one if available).
   Result<Block> ProposeBlock();
 
+  /// \brief Returns already-verified transactions to the front of the
+  /// verified pool, preserving their order. Used when a proposed block is
+  /// abandoned (e.g. the proposer lost its leadership view before the
+  /// block committed) so the drained transactions are not lost.
+  void RequeueVerified(std::vector<Transaction> txs);
+
   /// \brief Executes and commits a block: state writes, receipts, block
   /// storage — all folded into one atomic KV write, so an injected
   /// storage fault (or any write failure) surfaces as a clean error with

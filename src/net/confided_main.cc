@@ -4,12 +4,15 @@
 /// Bootstraps a full node (platform + enclaves + engines + chain node,
 /// system.h) from the shared consortium seed, joins the cluster over the
 /// framed TCP transport, catches up from a live peer, then replicates
-/// blocks — the static leader (node 0) proposes on a tick, replicas
-/// follow the PBFT-lite vote rounds (cluster.h). SIGINT/SIGTERM drain
-/// and exit, dumping the metrics registry when --metrics-out is set.
+/// blocks — the leader of the current view (node view % n) proposes on a
+/// tick, replicas follow the PBFT-lite vote rounds and elect a new
+/// leader when the current one falls silent (cluster.h §Leader
+/// failover). SIGINT/SIGTERM drain and exit, dumping the metrics
+/// registry when --metrics-out is set.
 ///
 /// docs/OPERATIONS.md walks through launching a 3-node cluster.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <thread>
@@ -73,7 +76,15 @@ int main(int argc, char** argv) {
   auto transport = std::make_unique<net::TcpTransport>(transport_options);
   net::TcpTransport* tcp = transport.get();
 
-  net::ClusterNode cluster(system->get(), std::move(transport));
+  net::ClusterOptions cluster_options;
+  cluster_options.heartbeat_ms = cfg->heartbeat_ms;
+  cluster_options.view_timeout_ms = cfg->view_timeout_ms;
+  cluster_options.view_timeout_max_ms =
+      std::max<uint64_t>(cfg->view_timeout_ms * 16, cfg->view_timeout_ms);
+  // Distinct per-node jitter so replicas' election timers do not stampede.
+  cluster_options.election_seed = cfg->seed + cfg->node_id;
+  net::ClusterNode cluster(system->get(), std::move(transport),
+                           cluster_options);
   if (Status st = cluster.Start(); !st.ok()) {
     std::fprintf(stderr, "confided: start: %s\n", st.ToString().c_str());
     return 1;
@@ -88,17 +99,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cluster.Height()));
   std::fflush(stdout);
 
-  // Rejoin: pull any blocks committed while this node was down. The
-  // leader may not be up yet on a cold start — failures are benign (the
-  // gap-repair pull fires on the first pre-prepare past our tip).
+  // Rejoin: pull any blocks committed while this node was down, trying
+  // every peer (the old leader may be the one that crashed). Peers may
+  // not be up yet on a cold start — failures are benign (the gap-repair
+  // pull fires on the first pre-prepare or heartbeat past our tip).
   if (!cluster.is_leader()) {
+    const uint32_t n = uint32_t(cfg->peers.size());
     for (int attempt = 0; attempt < 5 && !g_stop.load(); ++attempt) {
-      if (cluster.CatchUp(0).ok()) break;
+      const uint32_t peer = (cluster.leader() + attempt) % n;
+      if (peer != cfg->node_id && cluster.CatchUp(peer).ok()) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
     }
   }
 
   while (!g_stop.load()) {
+    // Leadership is per-view: re-check every iteration so this process
+    // starts proposing the moment it wins an election and stops the
+    // moment it is deposed.
     if (cluster.is_leader()) {
       auto committed = cluster.LeaderTick();
       if (!committed.ok()) {

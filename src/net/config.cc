@@ -85,6 +85,12 @@ Result<NodeConfig> NodeConfig::FromArgs(int argc, char** argv) {
   cfg.state_dir = Lookup(flags, "state-dir", "CONFIDED_STATE_DIR", "");
   CONFIDE_ASSIGN_OR_RETURN(cfg.tick_ms,
                            LookupU64(flags, "tick-ms", "CONFIDED_TICK_MS", 20));
+  CONFIDE_ASSIGN_OR_RETURN(
+      cfg.heartbeat_ms,
+      LookupU64(flags, "heartbeat-ms", "CONFIDED_HEARTBEAT_MS", 100));
+  CONFIDE_ASSIGN_OR_RETURN(
+      cfg.view_timeout_ms,
+      LookupU64(flags, "view-timeout-ms", "CONFIDED_VIEW_TIMEOUT_MS", 1000));
   cfg.metrics_out = Lookup(flags, "metrics-out", "CONFIDED_METRICS_OUT", "");
 
   if (cfg.peers.empty()) {

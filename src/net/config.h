@@ -32,6 +32,10 @@ namespace confide::net {
 ///   --parallelism=P       (CONFIDED_PARALLELISM)  pre-verify threads
 ///   --state-dir=D         (CONFIDED_STATE_DIR)    WAL dir; empty = volatile
 ///   --tick-ms=T           (CONFIDED_TICK_MS)      leader propose cadence
+///   --heartbeat-ms=T      (CONFIDED_HEARTBEAT_MS) leader heartbeat cadence;
+///                         0 disables failover (static leader)
+///   --view-timeout-ms=T   (CONFIDED_VIEW_TIMEOUT_MS) base leader-silence
+///                         budget before a replica starts a view change
 ///   --metrics-out=PATH    (CONFIDED_METRICS_OUT)  metrics JSON on exit
 struct NodeConfig {
   uint32_t node_id = 0;
@@ -42,6 +46,8 @@ struct NodeConfig {
   uint32_t parallelism = 1;
   std::string state_dir;
   uint64_t tick_ms = 20;
+  uint64_t heartbeat_ms = 100;
+  uint64_t view_timeout_ms = 1000;
   std::string metrics_out;
 
   static Result<NodeConfig> FromArgs(int argc, char** argv);

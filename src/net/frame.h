@@ -34,8 +34,10 @@ namespace confide::net {
 /// rejects frames whose version differs (see docs/WIRE_PROTOCOL.md
 /// §Versioning: the version bumps on any incompatible change; unknown
 /// *types* within a known version are ignorable, unknown versions are
-/// not).
-inline constexpr uint64_t kWireVersion = 1;
+/// not). Version 2 threads the view number through every consensus-plane
+/// body (dynamic leader election), an incompatible change to the
+/// kPrePrepare/kPrepare/kCommit schemas.
+inline constexpr uint64_t kWireVersion = 2;
 
 /// \brief Bytes of the big-endian length prefix.
 inline constexpr size_t kLengthPrefixBytes = 4;
@@ -60,11 +62,16 @@ enum class MsgType : uint8_t {
   kQueryPkInfo = 8,   ///< []
   kPkInfoReply = 9,   ///< [pk_info_blob]
   // Consensus plane (node peers only).
-  kPrePrepare = 10,   ///< [seq u64, block wire]
-  kPrepare = 11,      ///< [seq u64, digest 32]
-  kCommit = 12,       ///< [seq u64, digest 32]
+  kPrePrepare = 10,   ///< [view u64, seq u64, block wire]
+  kPrepare = 11,      ///< [view u64, seq u64, digest 32]
+  kCommit = 12,       ///< [view u64, seq u64, digest 32]
   kFetchBlocks = 13,  ///< [from u64, to u64]
   kBlocksReply = 14,  ///< [from u64, count u64, block wire...]
+  kHeartbeat = 15,    ///< [view u64, height u64] — leader liveness beacon
+  kViewChange = 16,   ///< [new_view u64, last_applied u64, cert_count u64,
+                      ///<  (seq u64, view u64, block wire)...]
+  kNewView = 17,      ///< [new_view u64, count u64, (seq u64, block wire)...]
+  kRedirect = 18,     ///< [leader u64, view u64] — reply from a non-leader
 };
 
 /// \brief Role claimed in a kHello frame.

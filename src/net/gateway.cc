@@ -2,6 +2,7 @@
 
 #include "chain/types.h"
 #include "common/metrics.h"
+#include "common/retry.h"
 #include "serialize/json.h"
 #include "serialize/rlp.h"
 
@@ -19,6 +20,9 @@ struct GatewayMetrics {
   metrics::Counter* query = metrics::GetCounter("gateway.query.count");
   metrics::Counter* upstream_error =
       metrics::GetCounter("gateway.upstream.error.count");
+  metrics::Counter* failover =
+      metrics::GetCounter("gateway.upstream.failover.count");
+  metrics::Counter* redirect = metrics::GetCounter("gateway.redirect.count");
 
   static GatewayMetrics& Get() {
     static GatewayMetrics m;
@@ -35,6 +39,61 @@ HttpResponse JsonError(int status, std::string_view message) {
 }  // namespace
 
 Gateway::Gateway(GatewayOptions options) : options_(std::move(options)) {}
+
+Result<OwnedFrame> Gateway::SubmitToLeader(ByteView wire) {
+  Result<OwnedFrame> reply = Status::Unavailable("gateway: no reply");
+  common::RetryPolicy retry(common::RetryOptions{
+      .max_attempts = 5,
+      .base_backoff_ns = 20'000'000,  // 20ms; an election takes a timeout
+      .multiplier = 2.0,
+      .max_backoff_ns = 400'000'000,
+      .jitter = 0.25,
+  });
+  Status st = retry.Run("gateway submit", [&]() -> Status {
+    const size_t n = nodes_.size();
+    const size_t idx = leader_hint_.load(std::memory_order_relaxed) % n;
+    auto r = nodes_[idx]->Call(MsgType::kSubmitTx, wire);
+    if (!r.ok()) {
+      // Connect/send error: fail over to the next node. If it is not the
+      // leader either, its kRedirect points us at whoever is.
+      GatewayMetrics::Get().failover->Increment();
+      leader_hint_.store(uint32_t((idx + 1) % n), std::memory_order_relaxed);
+      return r.status();
+    }
+    if (r->type == MsgType::kRedirect) {
+      auto rd = serialize::RlpReader::AtList(r->body);
+      if (rd.ok()) {
+        auto ldr = rd->NextU64();
+        auto view = rd->NextU64();
+        if (ldr.ok() && view.ok() && *ldr < n) {
+          GatewayMetrics::Get().redirect->Increment();
+          leader_hint_.store(uint32_t(*ldr), std::memory_order_relaxed);
+          return Status::Unavailable("gateway: redirected to node " +
+                                     std::to_string(*ldr) + " (view " +
+                                     std::to_string(*view) + ")");
+        }
+      }
+      return Status::Unavailable("gateway: malformed kRedirect");
+    }
+    reply = std::move(r);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return reply;
+}
+
+Result<OwnedFrame> Gateway::CallAnyNode(MsgType type, ByteView body,
+                                        size_t start) {
+  Result<OwnedFrame> last = Status::Unavailable("gateway: no nodes");
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const size_t idx = (start + i) % nodes_.size();
+    auto r = nodes_[idx]->Call(type, body);
+    if (r.ok()) return r;
+    if (i + 1 < nodes_.size()) GatewayMetrics::Get().failover->Increment();
+    last = std::move(r);
+  }
+  return last;
+}
 
 Status Gateway::Start() {
   if (options_.nodes.empty()) {
@@ -92,7 +151,7 @@ HttpResponse Gateway::SubmitTx(const HttpRequest& req) {
   }
   const bool is_confidential = tx->type == chain::TxType::kConfidential;
 
-  auto reply = nodes_[0]->Call(MsgType::kSubmitTx, *wire);
+  auto reply = SubmitToLeader(*wire);
   if (!reply.ok()) {
     GatewayMetrics::Get().upstream_error->Increment();
     return JsonError(503, "submit node unreachable: " + reply.status().message());
@@ -136,10 +195,11 @@ HttpResponse Gateway::QueryReceipt(const std::string& hash_hex) {
   size_t mark = w.BeginList();
   w.WriteBytes(ByteView(*hash));
   w.EndList(mark);
-  // Receipts are replicated state: any node serves them identically.
-  auto reply =
-      nodes_[nodes_.size() > 1 ? 1 : 0]->Call(MsgType::kQueryReceipt,
-                                              ByteView(std::move(w).Take()));
+  // Receipts are replicated state: any node serves them identically, so
+  // spread the read load off the leader and fail over past dead nodes.
+  const Bytes body = std::move(w).Take();
+  auto reply = CallAnyNode(MsgType::kQueryReceipt, ByteView(body),
+                           nodes_.size() > 1 ? 1 : 0);
   if (!reply.ok()) {
     GatewayMetrics::Get().upstream_error->Increment();
     return JsonError(503, "query node unreachable: " + reply.status().message());
@@ -171,6 +231,9 @@ HttpResponse Gateway::QueryReceipt(const std::string& hash_hex) {
 HttpResponse Gateway::QueryStatus() {
   GatewayMetrics::Get().query->Increment();
   serialize::JsonValue nodes{serialize::JsonValue::Array{}};
+  uint64_t best_view = 0;
+  uint64_t best_leader = 0;
+  bool saw_leader = false;
   for (auto& client : nodes_) {
     auto reply = client->Call(MsgType::kQueryStatus, ByteView());
     serialize::JsonValue entry{serialize::JsonValue::Object{}};
@@ -197,7 +260,23 @@ HttpResponse Gateway::QueryStatus() {
     entry.Set("tip_hash", HexEncode(*tip));
     entry.Set("verified_pool", *verified);
     entry.Set("unverified_pool", *unverified);
+    auto node_view = r->NextU64();
+    auto node_leader = r->NextU64();
+    if (node_view.ok() && node_leader.ok()) {
+      entry.Set("view", *node_view);
+      entry.Set("leader", *node_leader);
+      // Track the freshest leader announcement so submissions after a
+      // failover go straight to the new leader.
+      if (!saw_leader || *node_view > best_view) {
+        best_view = *node_view;
+        best_leader = *node_leader;
+        saw_leader = true;
+      }
+    }
     nodes.as_array().push_back(std::move(entry));
+  }
+  if (saw_leader && best_leader < nodes_.size()) {
+    leader_hint_.store(uint32_t(best_leader), std::memory_order_relaxed);
   }
   serialize::JsonValue obj{serialize::JsonValue::Object{}};
   obj.Set("nodes", std::move(nodes));
@@ -206,7 +285,7 @@ HttpResponse Gateway::QueryStatus() {
 
 HttpResponse Gateway::QueryPkInfo() {
   GatewayMetrics::Get().query->Increment();
-  auto reply = nodes_[0]->Call(MsgType::kQueryPkInfo, ByteView());
+  auto reply = CallAnyNode(MsgType::kQueryPkInfo, ByteView(), 0);
   if (!reply.ok() || reply->type != MsgType::kPkInfoReply) {
     GatewayMetrics::Get().upstream_error->Increment();
     return JsonError(503, "pk_info unavailable");

@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,8 +30,9 @@
 namespace confide::net {
 
 struct GatewayOptions {
-  /// "host:port" of every cluster node, indexed by node id; node 0 (the
-  /// leader) receives submissions, any node serves queries.
+  /// "host:port" of every cluster node, indexed by node id. Submissions
+  /// chase the current leader (the gateway follows kRedirect hints and
+  /// fails over on connect errors); any node serves queries.
   std::vector<std::string> nodes;
   std::string listen_host = "0.0.0.0";
   uint16_t listen_port = 8080;  ///< 0 = ephemeral, see port()
@@ -46,6 +48,12 @@ class Gateway {
 
   uint16_t port() const { return server_.port(); }
 
+  /// \brief The node id submissions currently route to (updated from
+  /// kRedirect hints and status sweeps).
+  uint32_t leader_hint() const {
+    return leader_hint_.load(std::memory_order_relaxed);
+  }
+
  private:
   HttpResponse Handle(const HttpRequest& req);
   HttpResponse SubmitTx(const HttpRequest& req);
@@ -53,9 +61,19 @@ class Gateway {
   HttpResponse QueryStatus();
   HttpResponse QueryPkInfo();
 
+  /// \brief Submits to the leader-hint node, following kRedirect hints
+  /// and failing over to the next node on connect errors, with
+  /// common::RetryPolicy backoff between attempts (an election in
+  /// progress answers nobody for a moment).
+  Result<OwnedFrame> SubmitToLeader(ByteView wire);
+  /// \brief Tries every node starting at `start` until one answers;
+  /// counts gateway.upstream.failover.count per dead node skipped.
+  Result<OwnedFrame> CallAnyNode(MsgType type, ByteView body, size_t start);
+
   GatewayOptions options_;
   HttpServer server_;
   std::vector<std::unique_ptr<FrameClient>> nodes_;
+  std::atomic<uint32_t> leader_hint_{0};
 };
 
 }  // namespace confide::net

@@ -181,11 +181,6 @@ Status HttpServer::Start(const std::string& host, uint16_t port, Handler handler
 void HttpServer::Stop() {
   bool was_running = running_.exchange(false);
   if (!was_running && listen_fd_ < 0) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
   std::vector<std::thread> workers;
   std::vector<int> fds;
   {
@@ -198,6 +193,13 @@ void HttpServer::Stop() {
     if (t.joinable()) t.join();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is gone (the running_ flip bounds its poll at 100 ms),
+  // so the listener can be closed without racing AcceptLoop's reads of
+  // listen_fd_.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
 }
 
 void HttpServer::AcceptLoop() {

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -75,22 +76,22 @@ struct TcpTransport::Connection {
   std::atomic<bool> closed{false};
   std::mutex write_mu;
 
+  /// Shutdown-only: unblocks any reader parked in ::read(), but the fd
+  /// stays open until the last shared_ptr drops. Closing the fd here would
+  /// race a concurrent read and could hand the fd number to an unrelated
+  /// accept() before the reader notices.
   void Close() {
     alive.store(false, std::memory_order_relaxed);
     bool expected = false;
     if (closed.compare_exchange_strong(expected, true)) {
       ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
       NetMetrics::Get().conn_close->Increment();
     }
   }
 
   ~Connection() {
-    bool expected = false;
-    if (closed.compare_exchange_strong(expected, true)) {
-      ::close(fd);
-      NetMetrics::Get().conn_close->Increment();
-    }
+    Close();
+    if (fd >= 0) ::close(fd);
   }
 
   /// Write exactly `data`, looping over short writes. Returns false on
@@ -174,11 +175,6 @@ Status TcpTransport::Start() {
 void TcpTransport::Stop() {
   bool was_running = running_.exchange(false);
   if (!was_running && listen_fd_ < 0) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
   std::vector<std::shared_ptr<Connection>> conns;
   std::vector<std::thread> readers;
   {
@@ -194,6 +190,13 @@ void TcpTransport::Stop() {
     if (t.joinable()) t.join();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is gone (the running_ flip bounds its poll at 100 ms),
+  // so the listener can be closed without racing AcceptLoop's reads of
+  // listen_fd_.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
 }
 
 void TcpTransport::AcceptLoop() {
@@ -301,6 +304,16 @@ void TcpTransport::ReadLoop(std::shared_ptr<Connection> conn) {
     if (!stream_ok) break;
   }
   conn->Close();
+  // Drop the maps' references so the destructor can release the fd; the
+  // thread's own shared_ptr is then the last holder.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inbound_.erase(std::remove(inbound_.begin(), inbound_.end(), conn),
+                   inbound_.end());
+    const uint32_t peer = conn->peer_id.load(std::memory_order_relaxed);
+    auto it = outbound_.find(peer);
+    if (it != outbound_.end() && it->second == conn) outbound_.erase(it);
+  }
 }
 
 Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::OutboundTo(

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "chain/network.h"
+#include "common/metrics.h"
 #include "confide/client.h"
 #include "confide/system.h"
 #include "lang/compiler.h"
@@ -111,6 +112,7 @@ uint16_t PickPort() {
 
 TEST(ClusterQuorumTest, TwoFPlusOne) {
   EXPECT_EQ(ClusterNode::Quorum(1), 1u);
+  EXPECT_EQ(ClusterNode::Quorum(2), 1u);  // f = 0: either node commits alone
   EXPECT_EQ(ClusterNode::Quorum(3), 1u);  // f = 0: crash tolerance only
   EXPECT_EQ(ClusterNode::Quorum(4), 3u);  // f = 1
   EXPECT_EQ(ClusterNode::Quorum(7), 5u);  // f = 2
@@ -312,11 +314,204 @@ TEST_F(SimClusterTest, SubmitPlaneRoutesThroughFrames) {
 }
 
 // ---------------------------------------------------------------------------
+// View changes: dynamic leadership over the deterministic sim transport
+// ---------------------------------------------------------------------------
+
+/// An n-node sim harness for the election tests. The fixture above is
+/// pinned to 3 nodes (quorum 1); elections only exercise quorum
+/// intersection at n >= 4 (quorum 3), so these tests build their own.
+struct SimViewCluster {
+  explicit SimViewCluster(uint32_t n)
+      : sim(chain::NetworkSim::SingleZone(n)), hub(&sim, /*seed=*/5) {
+    for (uint32_t i = 0; i < n; ++i) {
+      systems.push_back(MakeSystem());
+      EXPECT_NE(systems[i], nullptr);
+      nodes.push_back(std::make_unique<ClusterNode>(
+          systems[i].get(), std::make_unique<SimTransport>(&hub, i)));
+      EXPECT_TRUE(nodes[i]->Start().ok());
+    }
+    client = std::make_unique<Client>(99, systems[0]->pk_tx());
+  }
+  ~SimViewCluster() {
+    for (auto& node : nodes) node->Stop();
+  }
+
+  chain::NetworkSim sim;
+  SimHub hub;
+  std::vector<std::unique_ptr<ConfideSystem>> systems;
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  std::unique_ptr<Client> client;
+};
+
+TEST(SimViewChangeTest, ElectionMovesLeadershipAndResumesProgress) {
+  SimViewCluster c(4);
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("view.counter");
+  ASSERT_TRUE(c.systems[0]
+                  ->node()
+                  ->SubmitTransaction(c.client->MakePublicTx(
+                      addr, "__deploy__", DeployPayload(code)))
+                  .ok());
+  ASSERT_TRUE(c.nodes[0]->ProposeOnce().ok());
+  c.hub.DeliverAll();
+  const uint64_t h1 = c.nodes[0]->Height();
+  EXPECT_TRUE(c.nodes[0]->is_leader());
+
+  // The leader dies. Two replicas time out (driven explicitly here) and
+  // broadcast view-changes for view 1; node 1 — the leader of view 1 —
+  // joins on the f+1 rule, reaches quorum 3, and announces kNewView.
+  c.nodes[0]->Stop();
+  c.nodes[2]->StartViewChange(1);
+  c.nodes[3]->StartViewChange(1);
+  c.hub.DeliverAll();
+  for (uint32_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(c.nodes[i]->view(), 1u) << "node " << i;
+    EXPECT_EQ(c.nodes[i]->leader(), 1u) << "node " << i;
+  }
+  EXPECT_TRUE(c.nodes[1]->is_leader());
+  EXPECT_FALSE(c.nodes[2]->is_leader());
+
+  // The new leader replicates a block among the three survivors.
+  ASSERT_TRUE(c.systems[1]
+                  ->node()
+                  ->SubmitTransaction(
+                      c.client->MakePublicTx(addr, "increment", Bytes{}))
+                  .ok());
+  ASSERT_TRUE(c.nodes[1]->ProposeOnce().ok());
+  c.hub.DeliverAll();
+  for (uint32_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(c.nodes[i]->Height(), h1 + 1) << "node " << i;
+    EXPECT_EQ(c.nodes[i]->TipHash(), c.nodes[1]->TipHash()) << "node " << i;
+  }
+
+  // A submission landing on a non-leader replica earns a kRedirect hint
+  // naming the elected leader (docs/WIRE_PROTOCOL.md §View change).
+  c.nodes[3]->Stop();
+  SimTransport client_endpoint(&c.hub, 3);  // borrow node 3's id slot
+  std::optional<OwnedFrame> reply;
+  client_endpoint.SetHandler(
+      [&](uint32_t, MsgType type, ByteView body) -> std::optional<OwnedFrame> {
+        reply = OwnedFrame{type, ToBytes(body)};
+        return std::nullopt;
+      });
+  ASSERT_TRUE(client_endpoint.Start().ok());
+  chain::Transaction tx = c.client->MakePublicTx(addr, "increment", Bytes{});
+  ASSERT_TRUE(client_endpoint.Send(2, MsgType::kSubmitTx, tx.Serialize()).ok());
+  c.hub.DeliverAll();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kRedirect);
+  auto r = serialize::RlpReader::AtList(reply->body);
+  ASSERT_TRUE(r.ok());
+  auto hint_leader = r->NextU64();
+  auto hint_view = r->NextU64();
+  ASSERT_TRUE(hint_leader.ok());
+  ASSERT_TRUE(hint_view.ok());
+  EXPECT_EQ(*hint_leader, 1u);
+  EXPECT_EQ(*hint_view, 1u);
+}
+
+TEST(SimViewChangeTest, MismatchedViewAndDigestVotesRejectedAndCounted) {
+  SimViewCluster c(4);
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("view.votes");
+  auto* rejected = metrics::GetCounter("cluster.vote.rejected.count");
+
+  // Node 3's slot doubles as the forger; nodes 0-2 still form quorum 3.
+  c.nodes[3]->Stop();
+  SimTransport forger(&c.hub, 3);
+  ASSERT_TRUE(forger.Start().ok());
+
+  ASSERT_TRUE(c.systems[0]
+                  ->node()
+                  ->SubmitTransaction(c.client->MakePublicTx(
+                      addr, "__deploy__", DeployPayload(code)))
+                  .ok());
+  auto seq = c.nodes[0]->ProposeOnce();
+  ASSERT_TRUE(seq.ok());
+
+  // Two forged prepares against the leader's live proposal: one stamped
+  // with a view nobody is in, one with the right view but a digest that
+  // matches no block. Both must be dropped and counted, not tallied.
+  const uint64_t before = rejected->Value();
+  auto forge_vote = [&](uint64_t view, uint8_t fill) {
+    serialize::RlpWriter w;
+    size_t mark = w.BeginList();
+    w.WriteU64(view);
+    w.WriteU64(*seq);
+    Bytes digest(32, fill);
+    w.WriteBytes(ByteView(digest));
+    w.EndList(mark);
+    return std::move(w).Take();
+  };
+  ASSERT_TRUE(forger.Send(0, MsgType::kPrepare, forge_vote(7, 0x00)).ok());
+  ASSERT_TRUE(forger.Send(0, MsgType::kPrepare, forge_vote(0, 0xff)).ok());
+  c.hub.DeliverAll();
+  EXPECT_EQ(rejected->Value(), before + 2);
+
+  // The forged votes contributed nothing; the honest quorum still commits.
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.nodes[i]->Height(), *seq + 1) << "node " << i;
+    EXPECT_EQ(c.nodes[i]->TipHash(), c.nodes[0]->TipHash()) << "node " << i;
+  }
+}
+
+TEST(SimViewChangeTest, StaleRejoinerAdoptsNewViewAndRepairsGap) {
+  SimViewCluster c(4);
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("view.rejoin");
+  ASSERT_TRUE(c.systems[0]
+                  ->node()
+                  ->SubmitTransaction(c.client->MakePublicTx(
+                      addr, "__deploy__", DeployPayload(code)))
+                  .ok());
+  ASSERT_TRUE(c.nodes[0]->ProposeOnce().ok());
+  c.hub.DeliverAll();
+  const uint64_t h1 = c.nodes[0]->Height();
+
+  // Old leader crashes; view 1 is elected and commits a block without it.
+  c.nodes[0]->Stop();
+  c.nodes[2]->StartViewChange(1);
+  c.nodes[3]->StartViewChange(1);
+  c.hub.DeliverAll();
+  ASSERT_TRUE(c.systems[1]
+                  ->node()
+                  ->SubmitTransaction(
+                      c.client->MakePublicTx(addr, "increment", Bytes{}))
+                  .ok());
+  ASSERT_TRUE(c.nodes[1]->ProposeOnce().ok());
+  c.hub.DeliverAll();
+  EXPECT_EQ(c.nodes[1]->Height(), h1 + 1);
+
+  // The deposed leader rejoins still believing view 0. The first
+  // pre-prepare from view 1's legitimate leader is proof the election
+  // happened: it adopts the view and pulls the missed block via the
+  // gap-repair fetch — no kNewView replay needed.
+  ASSERT_TRUE(c.nodes[0]->Start().ok());
+  EXPECT_EQ(c.nodes[0]->view(), 0u);
+  EXPECT_EQ(c.nodes[0]->Height(), h1);
+  ASSERT_TRUE(c.systems[1]
+                  ->node()
+                  ->SubmitTransaction(
+                      c.client->MakePublicTx(addr, "increment", Bytes{}))
+                  .ok());
+  ASSERT_TRUE(c.nodes[1]->ProposeOnce().ok());
+  c.hub.DeliverAll();
+  EXPECT_EQ(c.nodes[0]->view(), 1u);
+  EXPECT_FALSE(c.nodes[0]->is_leader());
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.nodes[i]->Height(), h1 + 2) << "node " << i;
+    EXPECT_EQ(c.nodes[i]->TipHash(), c.nodes[1]->TipHash()) << "node " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // TCP clusters: real sockets, blocking LeaderTick, catch-up
 // ---------------------------------------------------------------------------
 
 class TcpClusterTest : public ::testing::Test {
  protected:
+  TcpClusterTest() { base_options_.propose_wait_ms = 2000; }
+
   void StartCluster(size_t n) {
     for (size_t i = 0; i < n; ++i) {
       peers_.push_back("127.0.0.1:" + std::to_string(PickPort()));
@@ -333,8 +528,8 @@ class TcpClusterTest : public ::testing::Test {
     options.self_id = id;
     options.peers = peers_;
     options.listen_host = "127.0.0.1";
-    ClusterOptions cluster_options;
-    cluster_options.propose_wait_ms = 2000;
+    ClusterOptions cluster_options = base_options_;
+    cluster_options.election_seed = kClusterSeed + id;
     nodes_[id] = std::make_unique<ClusterNode>(
         systems_[id].get(), std::make_unique<TcpTransport>(options),
         cluster_options);
@@ -357,6 +552,7 @@ class TcpClusterTest : public ::testing::Test {
   }
 
   std::vector<std::string> peers_;
+  ClusterOptions base_options_;
   std::vector<std::unique_ptr<ConfideSystem>> systems_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
 };
@@ -422,6 +618,17 @@ TEST_F(TcpClusterTest, ThreeProcessesShapedClusterCommitsAndServesQueries) {
     ASSERT_TRUE(tip.ok());
     EXPECT_EQ(*node_id, i);
     EXPECT_EQ(*height, nodes_[0]->Height());
+    // Wire v2 appends the leader hint: [verified, unverified, view, leader].
+    auto verified = sr->NextU64();
+    auto unverified = sr->NextU64();
+    auto view = sr->NextU64();
+    auto leader = sr->NextU64();
+    ASSERT_TRUE(verified.ok());
+    ASSERT_TRUE(unverified.ok());
+    ASSERT_TRUE(view.ok());
+    ASSERT_TRUE(leader.ok());
+    EXPECT_EQ(*view, 0u);
+    EXPECT_EQ(*leader, 0u);
     if (i == 0) {
       tip0 = ToBytes(*tip);
     } else {
@@ -464,6 +671,191 @@ TEST_F(TcpClusterTest, LateReplicaCatchesUpFromLivePeer) {
   ASSERT_TRUE(nodes_[1]->CatchUp(0).ok());
   EXPECT_EQ(nodes_[1]->Height(), leader_height);
   EXPECT_EQ(nodes_[1]->TipHash(), nodes_[0]->TipHash());
+}
+
+TEST_F(TcpClusterTest, CatchUpFailureReleasesFetchLatch) {
+  // Regression: a CatchUp whose peer dies before the request leaves must
+  // not leave fetch_in_flight_ latched — every later gap-repair pull
+  // would be suppressed and the node could never heal.
+  peers_ = {"127.0.0.1:" + std::to_string(PickPort()),
+            "127.0.0.1:" + std::to_string(PickPort())};
+  systems_.resize(2);
+  nodes_.resize(2);
+  StartNode(0);
+  EXPECT_FALSE(nodes_[0]->fetch_in_flight_for_test());
+  Status st = nodes_[0]->CatchUp(1);  // peer 1 was never started
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(nodes_[0]->fetch_in_flight_for_test());
+}
+
+TEST_F(TcpClusterTest, AbandonedProposalRequeuesTransactionsForNextRound) {
+  // Regression: a leader that cannot reach quorum abandons the round; the
+  // drained transactions must return to the verified pool and the stale
+  // Pending entry must not block the same seq once peers appear.
+  base_options_.propose_wait_ms = 100;
+  base_options_.propose_retries = 1;
+  for (size_t i = 0; i < 4; ++i) {
+    peers_.push_back("127.0.0.1:" + std::to_string(PickPort()));
+  }
+  systems_.resize(4);
+  nodes_.resize(4);
+  StartNode(0);  // alone: Quorum(4) = 3 is unreachable
+
+  Client client(99, systems_[0]->pk_tx());
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("tcp.abandon");
+  ASSERT_TRUE(systems_[0]
+                  ->node()
+                  ->SubmitTransaction(
+                      client.MakePublicTx(addr, "__deploy__", DeployPayload(code)))
+                  .ok());
+
+  auto tick = nodes_[0]->LeaderTick();
+  EXPECT_FALSE(tick.ok());
+  const uint64_t h0 = nodes_[0]->Height();
+  EXPECT_EQ(systems_[0]->node()->VerifiedPoolSize(), 1u);
+
+  // The quorum arrives late; the same seq must now replicate cleanly.
+  for (uint32_t id = 1; id < 4; ++id) StartNode(id);
+  auto committed = nodes_[0]->LeaderTick();
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_EQ(*committed, 1u);
+  EXPECT_EQ(nodes_[0]->Height(), h0 + 1);
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+}
+
+TEST_F(TcpClusterTest, HeartbeatDetectorElectsNewLeaderAndRedirects) {
+  base_options_.heartbeat_ms = 20;
+  base_options_.view_timeout_ms = 150;
+  base_options_.view_timeout_max_ms = 2000;
+  StartCluster(3);
+  Client client(99, systems_[0]->pk_tx());
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("tcp.failover");
+  ASSERT_TRUE(systems_[0]
+                  ->node()
+                  ->SubmitTransaction(
+                      client.MakePublicTx(addr, "__deploy__", DeployPayload(code)))
+                  .ok());
+  ASSERT_TRUE(nodes_[0]->LeaderTick().ok());
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+  const uint64_t h1 = nodes_[0]->Height();
+
+  // The leader goes dark. The survivors' failure detectors time out,
+  // agree on a new view, and the elected leader starts heartbeating.
+  nodes_[0]->Stop();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return nodes_[1]->view() >= 1 && nodes_[2]->view() == nodes_[1]->view();
+      },
+      20000));
+  const uint64_t view = nodes_[1]->view();
+  const uint32_t leader = nodes_[1]->leader();
+  EXPECT_EQ(leader, uint32_t(view % 3));
+  ASSERT_NE(leader, 0u);
+  const uint32_t follower = leader == 1 ? 2 : 1;
+
+  // A submission at the follower earns a kRedirect naming the winner.
+  auto to_follower = FrameClient::Dial(peers_[follower]);
+  ASSERT_TRUE(to_follower.ok());
+  chain::Transaction tx = client.MakePublicTx(addr, "increment", Bytes{});
+  auto redirect = to_follower->Call(MsgType::kSubmitTx, tx.Serialize());
+  ASSERT_TRUE(redirect.ok()) << redirect.status().ToString();
+  ASSERT_EQ(redirect->type, MsgType::kRedirect);
+  auto r = serialize::RlpReader::AtList(redirect->body);
+  ASSERT_TRUE(r.ok());
+  auto hint = r->NextU64();
+  ASSERT_TRUE(hint.ok());
+  EXPECT_EQ(uint32_t(*hint), leader);
+
+  // Re-routed to the announced leader, the survivors commit without 0.
+  auto to_leader = FrameClient::Dial(peers_[leader]);
+  ASSERT_TRUE(to_leader.ok());
+  auto ack = to_leader->Call(MsgType::kSubmitTx, tx.Serialize());
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  ASSERT_EQ(ack->type, MsgType::kSubmitTxAck);
+  auto committed = nodes_[leader]->LeaderTick();
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_EQ(*committed, 1u);
+  ASSERT_TRUE(WaitFor([&] {
+    return nodes_[1]->Height() == h1 + 1 && nodes_[2]->Height() == h1 + 1;
+  }));
+  EXPECT_EQ(nodes_[1]->TipHash(), nodes_[2]->TipHash());
+}
+
+TEST_F(TcpClusterTest, GatewayFailsOverAndChasesElectedLeader) {
+  base_options_.heartbeat_ms = 20;
+  base_options_.view_timeout_ms = 150;
+  base_options_.view_timeout_max_ms = 2000;
+  StartCluster(3);
+  Client client(99, systems_[0]->pk_tx());
+  const Bytes code = CounterCode();
+  chain::Address addr = NamedAddress("gw.failover");
+
+  GatewayOptions gw_options;
+  gw_options.nodes = peers_;
+  gw_options.listen_host = "127.0.0.1";
+  gw_options.listen_port = 0;
+  Gateway gateway(gw_options);
+  ASSERT_TRUE(gateway.Start().ok());
+  auto http = HttpClient::Connect("http://127.0.0.1:" +
+                                  std::to_string(gateway.port()));
+  ASSERT_TRUE(http.ok()) << http.status().ToString();
+
+  chain::Transaction deploy =
+      client.MakePublicTx(addr, "__deploy__", DeployPayload(code));
+  auto post = http->Post("/v1/tx",
+                         "{\"tx\":\"" + HexEncode(deploy.Serialize()) + "\"}");
+  ASSERT_TRUE(post.ok());
+  ASSERT_EQ(post->status, 202) << post->body;
+  ASSERT_TRUE(nodes_[0]->LeaderTick().ok());
+  ASSERT_TRUE(WaitFor([&] { return Converged(); }));
+  const uint64_t h1 = nodes_[0]->Height();
+
+  // Kill the leader the gateway is pointed at; survivors elect.
+  nodes_[0]->Stop();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        return nodes_[1]->view() >= 1 && nodes_[2]->view() == nodes_[1]->view();
+      },
+      20000));
+
+  auto* failover = metrics::GetCounter("gateway.upstream.failover.count");
+  const uint64_t failover_before = failover->Value();
+
+  // Submissions keep landing: the gateway fails over off the dead node
+  // and follows kRedirect hints to whoever won the election.
+  chain::Transaction tx = client.MakePublicTx(addr, "increment", Bytes{});
+  const std::string body = "{\"tx\":\"" + HexEncode(tx.Serialize()) + "\"}";
+  ASSERT_TRUE(WaitFor([&] {
+    auto resp = http->Post("/v1/tx", body);
+    return resp.ok() && resp->status == 202;
+  }));
+  EXPECT_GT(failover->Value(), failover_before);
+
+  const uint32_t leader = nodes_[1]->leader();
+  ASSERT_NE(leader, 0u);
+  ASSERT_TRUE(nodes_[leader]->LeaderTick().ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return nodes_[1]->Height() == h1 + 1 && nodes_[2]->Height() == h1 + 1;
+  }));
+
+  // /v1/status marks the dead node unreachable and carries the view and
+  // leader columns the failover tooling keys on.
+  auto status_resp = http->Get("/v1/status");
+  ASSERT_TRUE(status_resp.ok());
+  auto status_json = serialize::JsonParse(status_resp->body);
+  ASSERT_TRUE(status_json.ok());
+  const auto& entries = status_json->Find("nodes")->as_array();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_FALSE(entries[0].Find("reachable")->as_bool());
+  for (size_t i = 1; i < 3; ++i) {
+    ASSERT_TRUE(entries[i].Find("reachable")->as_bool());
+    EXPECT_EQ(uint64_t(entries[i].Find("view")->as_int()), nodes_[1]->view());
+    EXPECT_EQ(uint32_t(entries[i].Find("leader")->as_int()), leader);
+  }
+  EXPECT_EQ(gateway.leader_hint(), leader);
+  gateway.Stop();
 }
 
 // ---------------------------------------------------------------------------

@@ -1995,6 +1995,237 @@ TEST(NetChaosTest, CorruptedInboundByteDropsStreamThenRecovers) {
   EXPECT_GT(recovered->Value(), recovered_before);
 }
 
+// ---------------------------------------------------------------------------
+// View-change chaos: the fault.net.view.* sites (cluster.h §Leader
+// failover). A 4-node sim cluster (quorum 3) kills the leader at every
+// protocol phase and asserts the survivors elect, converge to
+// byte-identical tips, and report recovery for each injected fault.
+// ---------------------------------------------------------------------------
+
+struct ViewChaosCluster {
+  ViewChaosCluster()
+      : sim(chain::NetworkSim::SingleZone(4)), hub(&sim, ChaosSeed()) {
+    for (uint32_t i = 0; i < 4; ++i) {
+      systems.push_back(NetChaosSystem());
+      nodes.push_back(std::make_unique<ClusterNode>(
+          systems[i].get(), std::make_unique<SimTransport>(&hub, i)));
+      EXPECT_TRUE(nodes[i]->Start().ok());
+    }
+    client = std::make_unique<Client>(99, systems[0]->pk_tx());
+    auto code = lang::Compile(kNetCounterSource, lang::VmTarget::kCvm);
+    EXPECT_TRUE(code.ok());
+    deploy_payload = NetDeployPayload(*code);
+  }
+  ~ViewChaosCluster() {
+    for (auto& node : nodes) node->Stop();
+  }
+
+  /// Commits the counter deploy under the view-0 leader; returns the
+  /// resulting height.
+  uint64_t DeployAndCommit() {
+    EXPECT_TRUE(
+        systems[0]
+            ->node()
+            ->SubmitTransaction(
+                client->MakePublicTx(addr, "__deploy__", deploy_payload))
+            .ok());
+    EXPECT_TRUE(nodes[0]->ProposeOnce().ok());
+    hub.DeliverAll();
+    return nodes[0]->Height();
+  }
+
+  void Submit(uint32_t node_id, const char* method) {
+    EXPECT_TRUE(systems[node_id]
+                    ->node()
+                    ->SubmitTransaction(
+                        client->MakePublicTx(addr, method, Bytes{}))
+                    .ok());
+  }
+
+  void ExpectSurvivorsConverged(uint64_t height, uint64_t view) {
+    for (uint32_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(nodes[i]->view(), view) << "node " << i;
+      EXPECT_EQ(nodes[i]->Height(), height) << "node " << i;
+      EXPECT_EQ(nodes[i]->TipHash(), nodes[1]->TipHash()) << "node " << i;
+    }
+  }
+
+  chain::Address addr = chain::NamedAddress("viewchaos.counter");
+  chain::NetworkSim sim;
+  SimHub hub;
+  std::vector<std::unique_ptr<ConfideSystem>> systems;
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  std::unique_ptr<Client> client;
+  Bytes deploy_payload;
+};
+
+TEST(ViewChangeChaosTest, LeaderKilledWhileIdleSuccessorResumesProgress) {
+  ViewChaosCluster c;
+  const uint64_t h1 = c.DeployAndCommit();
+
+  // Phase: idle. The leader dies between rounds; nothing is in flight.
+  c.nodes[0]->Stop();
+  c.nodes[2]->StartViewChange(1);
+  c.nodes[3]->StartViewChange(1);
+  c.hub.DeliverAll();
+  c.ExpectSurvivorsConverged(h1, 1);
+  EXPECT_TRUE(c.nodes[1]->is_leader());
+
+  c.Submit(1, "increment");
+  ASSERT_TRUE(c.nodes[1]->ProposeOnce().ok());
+  c.hub.DeliverAll();
+  c.ExpectSurvivorsConverged(h1 + 1, 1);
+}
+
+TEST(ViewChangeChaosTest, LeaderDiesAfterPrepareQuorumBlockSurvivesElection) {
+  ViewChaosCluster c;
+  const uint64_t h1 = c.DeployAndCommit();
+
+  // Phase: prepared-but-not-committed. Deliver the pre-prepares, then
+  // drop every commit at the send site: all four nodes hold a prepare
+  // certificate for the block, nobody applies it.
+  c.Submit(0, "increment");
+  auto seq = c.nodes[0]->ProposeOnce();
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(c.hub.DeliverOne());  // pre-prepare → node 1
+  ASSERT_TRUE(c.hub.DeliverOne());  // pre-prepare → node 2
+  ASSERT_TRUE(c.hub.DeliverOne());  // pre-prepare → node 3
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.net.send.drop", Trigger{.probability = 1.0});
+    c.hub.DeliverAll();  // the 9 queued prepares land; 4×3 commits drop
+    EXPECT_EQ(FaultInjector::Global().FiredCount("fault.net.send.drop"), 12u);
+  }
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.nodes[i]->Height(), h1) << "node " << i;
+  }
+
+  // Every survivor's kViewChange carries the prepared certificate
+  // (quorum intersection), so the new leader must re-propose the same
+  // block — and it must commit exactly once (heights advance by one,
+  // never two).
+  c.nodes[0]->Stop();
+  c.nodes[2]->StartViewChange(1);
+  c.nodes[3]->StartViewChange(1);
+  c.hub.DeliverAll();
+  c.ExpectSurvivorsConverged(h1 + 1, 1);
+}
+
+TEST(ViewChangeChaosTest, DroppedViewChangeReBroadcastCompletesElection) {
+  ViewChaosCluster c;
+  const uint64_t h1 = c.DeployAndCommit();
+  c.nodes[0]->Stop();
+
+  auto* recovered =
+      metrics::GetCounter("fault.net.view.viewchange_drop.recovered");
+  const uint64_t recovered_before = recovered->Value();
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.net.view.viewchange_drop", Trigger{.one_shot = true});
+    // Node 2's view-change evaporates in flight: with only two of three
+    // survivor messages, the election must stall short of quorum.
+    c.nodes[2]->StartViewChange(1);
+    EXPECT_EQ(
+        FaultInjector::Global().FiredCount("fault.net.view.viewchange_drop"),
+        1u);
+    c.hub.DeliverAll();
+    c.nodes[3]->StartViewChange(1);
+    c.nodes[1]->StartViewChange(1);
+    c.hub.DeliverAll();
+    EXPECT_EQ(c.nodes[1]->view(), 0u);  // 2 of 3 messages: no quorum
+
+    // The election-timeout retry: re-invoking the same target
+    // re-broadcasts, the quorum completes, and the node whose message
+    // was dropped still adopts the new view — the recovery signal.
+    c.nodes[2]->StartViewChange(1);
+    c.hub.DeliverAll();
+  }
+  c.ExpectSurvivorsConverged(h1, 1);
+  EXPECT_GT(recovered->Value(), recovered_before);
+}
+
+TEST(ViewChangeChaosTest, LeaderCrashMidElectionEscalatesToNextCandidate) {
+  ViewChaosCluster c;
+  const uint64_t h1 = c.DeployAndCommit();
+  c.nodes[0]->Stop();
+
+  auto* recovered =
+      metrics::GetCounter("fault.net.view.election_crash.recovered");
+  const uint64_t recovered_before = recovered->Value();
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.net.view.election_crash", Trigger{.one_shot = true});
+    // Node 1 collects a quorum for view 1 and dies before kNewView: the
+    // election evaporates and every survivor stays in view 0.
+    c.nodes[2]->StartViewChange(1);
+    c.nodes[3]->StartViewChange(1);
+    c.hub.DeliverAll();
+    EXPECT_EQ(
+        FaultInjector::Global().FiredCount("fault.net.view.election_crash"),
+        1u);
+    for (uint32_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(c.nodes[i]->view(), 0u) << "node " << i;
+    }
+
+    // The replicas' timers fire again with a higher target; view 2 is
+    // led by node 2, and the crashed candidate recovers by adopting the
+    // later view like any replica.
+    c.nodes[3]->StartViewChange(2);
+    c.nodes[1]->StartViewChange(2);
+    c.nodes[2]->StartViewChange(2);
+    c.hub.DeliverAll();
+  }
+  c.ExpectSurvivorsConverged(h1, 2);
+  EXPECT_TRUE(c.nodes[2]->is_leader());
+  EXPECT_GT(recovered->Value(), recovered_before);
+
+  c.Submit(2, "increment");
+  ASSERT_TRUE(c.nodes[2]->ProposeOnce().ok());
+  c.hub.DeliverAll();
+  c.ExpectSurvivorsConverged(h1 + 1, 2);
+}
+
+TEST(ViewChangeChaosTest, ForgedStaleNewViewRejectedByEveryReplica) {
+  ViewChaosCluster c;
+  const uint64_t h1 = c.DeployAndCommit();
+
+  // First election (all four alive): node 1 takes view 1; the deposed
+  // node 0 follows along as a replica.
+  c.nodes[2]->StartViewChange(1);
+  c.nodes[3]->StartViewChange(1);
+  c.hub.DeliverAll();
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.nodes[i]->view(), 1u) << "node " << i;
+  }
+
+  auto* rejected = metrics::GetCounter("cluster.newview.rejected.count");
+  auto* recovered =
+      metrics::GetCounter("fault.net.view.stale_newview.recovered");
+  const uint64_t rejected_before = rejected->Value();
+  const uint64_t recovered_before = recovered->Value();
+  {
+    FaultPlan plan(ChaosSeed());
+    plan.Arm("fault.net.view.stale_newview", Trigger{.one_shot = true});
+    // Election to view 5 — node 1 leads again, and the injection makes
+    // it forge a kNewView for its stale view 1 before the genuine one.
+    // Every replica must reject the forgery (rolling the view back would
+    // re-admit a deposed leader) yet still complete the real election.
+    c.nodes[2]->StartViewChange(5);
+    c.nodes[3]->StartViewChange(5);
+    c.hub.DeliverAll();
+    EXPECT_EQ(
+        FaultInjector::Global().FiredCount("fault.net.view.stale_newview"),
+        1u);
+  }
+  EXPECT_EQ(rejected->Value(), rejected_before + 3);  // nodes 0, 2, 3
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.nodes[i]->view(), 5u) << "node " << i;
+    EXPECT_EQ(c.nodes[i]->Height(), h1) << "node " << i;
+  }
+  EXPECT_TRUE(c.nodes[1]->is_leader());
+  EXPECT_GT(recovered->Value(), recovered_before);
+}
+
 }  // namespace netchaos
 
 }  // namespace

@@ -50,6 +50,9 @@ RECOVERABLE_SITES = {
     "fault.net.recv.corrupt",
     "fault.net.send.drop",
     "fault.net.send.truncate",
+    "fault.net.view.election_crash",
+    "fault.net.view.stale_newview",
+    "fault.net.view.viewchange_drop",
     "fault.storage.compaction.install",
     "fault.storage.compaction.merge",
     "fault.storage.compaction.start",

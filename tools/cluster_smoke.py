@@ -15,6 +15,16 @@ deployment-shaped invariants that the in-process test suites cannot:
   4. the bench metrics snapshot (metrics.json) is well-formed and
      carries the bench.load.* series CI archives per commit.
 
+With --kill-leader the smoke additionally rehearses leader failover
+(docs/OPERATIONS.md §Failover): after the first load phase it SIGKILLs
+node 0 (the view-0 leader), waits for the survivors to elect a
+successor via the heartbeat detector (the gateway's /v1/status reports
+each node's view and leader), then runs a second load phase — with a
+fresh contract prefix, since the first phase's contracts are already
+deployed — that must sustain its RPS gate against the re-formed
+cluster. The final convergence check then requires exactly the
+survivors to agree (the killed node must report reachable=false).
+
 Everything binds to 127.0.0.1 on ephemeral ports picked up-front, so
 parallel CI jobs on one runner do not collide. All child processes are
 torn down on exit — including on failure — so a wedged node cannot hang
@@ -23,7 +33,7 @@ the CI job past its timeout.
 Usage:
   cluster_smoke.py [--build-dir build] [--nodes 3] [--seed 21]
                    [--rps 25,50] [--duration-s 2]
-                   [--out metrics.json]
+                   [--out metrics.json] [--kill-leader]
 """
 
 import argparse
@@ -81,6 +91,29 @@ def http_json(url, timeout_s=10):
         return json.loads(resp.read())
 
 
+def await_failover(gateway_url, n_nodes, dead_node, timeout_s=90):
+    """Polls /v1/status until the survivors agree on a view >= 1 whose
+    leader is not `dead_node`; returns that view."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            nodes = http_json(f"{gateway_url}/v1/status")["nodes"]
+        except OSError:
+            time.sleep(0.5)
+            continue
+        live = [n for n in nodes if n.get("reachable")]
+        views = {n.get("view") for n in live}
+        leaders = {n.get("leader") for n in live}
+        if len(live) == n_nodes - 1 and len(views) == 1 and len(leaders) == 1:
+            view, leader = views.pop(), leaders.pop()
+            if view is not None and view >= 1 and leader != dead_node:
+                return view
+        time.sleep(0.5)
+    raise RuntimeError(
+        f"survivors never elected a leader other than node {dead_node}"
+    )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
@@ -90,7 +123,19 @@ def main():
     parser.add_argument("--duration-s", default="2")
     parser.add_argument("--confidential-pct", default="50")
     parser.add_argument("--out", default="metrics.json")
+    parser.add_argument(
+        "--kill-leader",
+        action="store_true",
+        help="SIGKILL node 0 after the first load phase, wait for the "
+        "survivors to elect a successor, then run a second load phase",
+    )
     args = parser.parse_args()
+    if args.kill_leader and args.nodes < 4:
+        # n=4 is the smallest cluster where the election needs a real
+        # multi-party quorum (2f+1 = 3); at n<=3 the PBFT-lite quorum
+        # degenerates to 1 and the rehearsal would prove nothing.
+        print("cluster_smoke: --kill-leader needs --nodes >= 4", file=sys.stderr)
+        return 2
 
     confided = os.path.join(args.build_dir, "src", "net", "confided")
     gateway_bin = os.path.join(args.build_dir, "src", "net", "confide_gateway")
@@ -159,15 +204,53 @@ def main():
             print(f"cluster_smoke: bench_load failed (rc={rc})", file=sys.stderr)
             return 1
 
-        # Independent convergence check, outside the load driver.
+        survivors = args.nodes
+        if args.kill_leader:
+            # Failover rehearsal: SIGKILL the view-0 leader mid-flight,
+            # wait for the heartbeat detector to elect a successor, then
+            # prove the re-formed cluster still takes load. The second
+            # phase deploys under a fresh contract prefix — the first
+            # phase's addresses are already taken.
+            leader_name, leader_proc = procs[0]
+            print(f"cluster_smoke: SIGKILL {leader_name} (view-0 leader)")
+            leader_proc.kill()
+            leader_proc.wait()
+            view = await_failover(gateway_url, args.nodes, dead_node=0)
+            print(f"cluster_smoke: survivors elected view {view}")
+            rc = subprocess.call(
+                [
+                    bench_load,
+                    f"--gateway={gateway_url}",
+                    f"--seed={args.seed}",
+                    f"--rps={args.rps}",
+                    f"--duration-s={args.duration_s}",
+                    f"--confidential-pct={args.confidential_pct}",
+                    "--contracts=bench2",
+                ],
+                env=env,
+            )
+            if rc != 0:
+                print(f"cluster_smoke: post-failover bench_load failed "
+                      f"(rc={rc})", file=sys.stderr)
+                return 1
+            survivors = args.nodes - 1
+
+        # Independent convergence check, outside the load driver. With
+        # --kill-leader the dead node must show up unreachable and every
+        # survivor must agree on height and tip.
         status = http_json(f"{gateway_url}/v1/status")
         nodes = status["nodes"]
         if len(nodes) != args.nodes:
             print(f"cluster_smoke: expected {args.nodes} nodes in /v1/status, "
                   f"got {len(nodes)}", file=sys.stderr)
             return 1
-        tips = {(n["height"], n["tip_hash"]) for n in nodes if n["reachable"]}
-        if len({n["reachable"] for n in nodes}) != 1 or len(tips) != 1:
+        live = [n for n in nodes if n["reachable"]]
+        if len(live) != survivors:
+            print(f"cluster_smoke: expected {survivors} reachable nodes: "
+                  f"{nodes}", file=sys.stderr)
+            return 1
+        tips = {(n["height"], n["tip_hash"]) for n in live}
+        if len(tips) != 1:
             print(f"cluster_smoke: cluster diverged: {nodes}", file=sys.stderr)
             return 1
         height, tip = next(iter(tips))
@@ -184,7 +267,7 @@ def main():
                   file=sys.stderr)
             return 1
 
-        print(f"cluster_smoke: OK — {args.nodes} nodes converged at height "
+        print(f"cluster_smoke: OK — {survivors} nodes converged at height "
               f"{height} tip {tip[:16]}, metrics in {args.out}")
         return 0
     finally:
